@@ -1,0 +1,67 @@
+// Ablation: latency under offered load (open-loop queueing study).
+//
+// Fig. 2 reports capacity; an operator also needs the latency each mode
+// delivers at a given request rate. Poisson arrivals are pushed into each
+// mode on the emulated Jetson devices: HA admits one image at a time into
+// the pipeline (one logical server at the bottleneck-stage rate), HT is
+// two independent servers. The table shows the saturation knees the
+// ModeController's capacity thresholds are built from.
+
+#include <cstdio>
+
+#include "core/rng.h"
+#include "harness_common.h"
+#include "sim/queue_sim.h"
+
+using namespace fluid;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::HarnessOptions::FromArgs(argc, argv);
+  core::Rng rng(opts.seed);
+  slim::FluidModel fluid(slim::FluidNetConfig{},
+                         slim::SubnetFamily::PaperDefault(), rng);
+  const sim::SystemProfile p =
+      bench::AnalyticJetsonProfile(fluid, bench::LinkFrom(opts));
+
+  // HA: the pipeline admits the next image when its slowest stage frees.
+  const double ha_service =
+      std::max({p.static_front_latency_s / p.master_speed,
+                p.link.TransferTime(p.static_cut_bytes),
+                p.static_back_latency_s / p.worker_speed});
+  // HT: two independent standalone servers.
+  const std::vector<double> ht_services{
+      p.w50_latency_s / p.master_speed,
+      p.upper50_latency_s / p.worker_speed};
+
+  std::printf("== Ablation: latency vs offered load (emulated Jetson) ==\n");
+  std::printf("# HA capacity %.1f img/s; HT capacity %.1f img/s\n\n",
+              1.0 / ha_service,
+              1.0 / ht_services[0] + 1.0 / ht_services[1]);
+  std::printf("%-10s | %10s %10s %10s | %10s %10s %10s\n", "load[img/s]",
+              "HA mean", "HA p99", "HA util", "HT mean", "HT p99", "HT util");
+  std::printf("%s\n", std::string(82, '-').c_str());
+
+  for (const double load :
+       {2.0, 5.0, 8.0, 10.0, 11.0, 12.0, 14.0, 20.0, 26.0, 28.0}) {
+    sim::QueueSimOptions ha;
+    ha.arrival_rate = load;
+    ha.service_times_s = {ha_service};
+    ha.arrivals = 4000;
+    ha.seed = opts.seed;
+    const auto ra = sim::SimulateQueue(ha);
+
+    sim::QueueSimOptions ht = ha;
+    ht.service_times_s = ht_services;
+    const auto rt = sim::SimulateQueue(ht);
+
+    const auto fmt = [](double seconds) { return seconds * 1e3; };
+    std::printf("%-10.0f | %9.0fms %9.0fms %9.0f%% | %9.0fms %9.0fms %9.0f%%\n",
+                load, fmt(ra.mean_sojourn_s), fmt(ra.p99_sojourn_s),
+                ra.utilization * 100, fmt(rt.mean_sojourn_s),
+                fmt(rt.p99_sojourn_s), rt.utilization * 100);
+  }
+  std::printf("\nreading: HA latency explodes as load approaches its "
+              "~11 img/s capacity — exactly where the ModeController flips "
+              "to HT, which stays responsive to ~28 img/s.\n");
+  return 0;
+}

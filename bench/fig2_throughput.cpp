@@ -1,0 +1,126 @@
+// Reproduces the THROUGHPUT panel of paper Fig. 2.
+//
+// Two views are printed:
+//  1. The headline panel uses the calibrated Jetson-Xavier-NX-class device
+//     model (sim::EmulatedJetsonCpu — ~35.5 MFLOP/s + ~58 ms dispatch
+//     overhead, solved from the paper's two measured anchors) applied to
+//     this library's exact per-sub-network FLOP counts, plus the
+//     offline-measured link model. This is the DESIGN.md §3 substitution
+//     for the paper's boards and reproduces Fig. 2's absolute numbers.
+//  2. A transparency panel re-derives the same grid from latencies
+//     *measured on this host's CPU* (raw, uncalibrated) — the shape (who
+//     wins, who survives) is identical; the absolute scale reflects this
+//     machine instead of a Jetson.
+//
+// Expected shape (paper): Static 11.1 img/s both-online and 0 under any
+// failure; Dynamic 14.4 HT / survives only Master; Fluid 28.3 HT
+// (~2.5× Static, ~2× Dynamic), survives either failure.
+
+#include <cstdio>
+
+#include "core/rng.h"
+#include "harness_common.h"
+#include "sim/latency.h"
+#include "sim/pipeline_sim.h"
+#include "train/model_zoo.h"
+
+using namespace fluid;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::HarnessOptions::FromArgs(argc, argv);
+  const slim::FluidNetConfig cfg;
+  core::Rng rng(opts.seed);
+
+  std::printf("== Fig. 2 (throughput panel) — Fluid DyDNNs, DATE 2024 ==\n");
+  std::printf("# link: %.1f ms one-way + payload at %.0f Mbit/s (paper: "
+              "measured offline on TCP)\n\n",
+              opts.link_latency_ms, opts.link_bandwidth_mbps);
+
+  // Weights do not affect latency — untrained models suffice here.
+  slim::FluidModel fluid(cfg, slim::SubnetFamily::PaperDefault(), rng);
+  nn::Sequential static_model = train::BuildConvNet(cfg, 16, rng);
+
+  // ---- Panel 1: emulated Jetson (calibrated substitution) -------------
+  sim::SystemProfile jp =
+      bench::AnalyticJetsonProfile(fluid, bench::LinkFrom(opts));
+  jp.acc_static = jp.acc_dynamic_full = jp.acc_fluid_full = 0.99;
+  jp.acc_dynamic_w50 = jp.acc_fluid_lower50 = jp.acc_fluid_upper50 = 0.98;
+
+  std::printf("-- emulated Jetson-class devices (%.1f MFLOP/s + %.1f ms "
+              "dispatch overhead) --\n",
+              sim::EmulatedJetsonCpu().effective_flops_per_s / 1e6,
+              sim::EmulatedJetsonCpu().fixed_overhead_s * 1e3);
+  std::printf("per-image latency: static front %.1f ms, back %.1f ms, 50%% "
+              "%.1f ms, upper50%% %.1f ms, link(cut) %.1f ms\n\n",
+              jp.static_front_latency_s * 1e3, jp.static_back_latency_s * 1e3,
+              jp.w50_latency_s * 1e3, jp.upper50_latency_s * 1e3,
+              jp.link.TransferTime(jp.static_cut_bytes) * 1e3);
+  sim::Fig2Evaluator jeval(jp);
+  std::printf("%s\n", sim::FormatFig2Table(jeval.FullGrid()).c_str());
+
+  const auto st = jeval.Evaluate(sim::DnnType::kStatic,
+                                 sim::Availability::kBothOnline,
+                                 sim::Mode::kHighAccuracy);
+  const auto dyn = jeval.Evaluate(sim::DnnType::kDynamic,
+                                  sim::Availability::kBothOnline,
+                                  sim::Mode::kHighThroughput);
+  const auto fl = jeval.Evaluate(sim::DnnType::kFluid,
+                                 sim::Availability::kBothOnline,
+                                 sim::Mode::kHighThroughput);
+  std::printf("key numbers           (this run | paper)\n");
+  std::printf("  Static both-online    : %5.1f | %5.1f img/s\n",
+              st.throughput_img_per_s, bench::PaperFig2::kStaticThroughput);
+  std::printf("  Dynamic HT            : %5.1f | %5.1f img/s\n",
+              dyn.throughput_img_per_s,
+              bench::PaperFig2::kDynamicHtThroughput);
+  std::printf("  Fluid HT              : %5.1f | %5.1f img/s\n",
+              fl.throughput_img_per_s, bench::PaperFig2::kFluidHtThroughput);
+  std::printf("  Fluid HT / Static     : %4.2fx | %4.2fx\n",
+              fl.throughput_img_per_s / st.throughput_img_per_s,
+              bench::PaperFig2::kFluidHtThroughput /
+                  bench::PaperFig2::kStaticThroughput);
+  std::printf("  Fluid HT / Dynamic    : %4.2fx | %4.2fx\n\n",
+              fl.throughput_img_per_s / dyn.throughput_img_per_s,
+              bench::PaperFig2::kFluidHtThroughput /
+                  bench::PaperFig2::kDynamicHtThroughput);
+
+  // ---- Panel 2: raw host-measured latencies (transparency) ------------
+  sim::SystemProfile hp;
+  hp.link = bench::LinkFrom(opts);
+  core::Tensor sample({1, 1, 28, 28});
+  auto halves = train::SplitConvNet(cfg, 16, static_model, 2);
+  hp.static_cut_bytes = halves.cut_bytes_per_sample;
+  hp.static_front_latency_s =
+      sim::MeasureModelLatency(halves.front, sample, 50).mean_s;
+  core::Tensor mid = halves.front.Forward(sample, false);
+  hp.static_back_latency_s =
+      sim::MeasureModelLatency(halves.back, mid, 50).mean_s;
+  auto lower50 = fluid.ExtractSubnet(fluid.family().MasterResident());
+  auto upper50 = fluid.ExtractSubnet(fluid.family().WorkerResident());
+  hp.w50_latency_s = sim::MeasureModelLatency(lower50, sample, 50).mean_s;
+  hp.upper50_latency_s = sim::MeasureModelLatency(upper50, sample, 50).mean_s;
+  hp.acc_static = hp.acc_dynamic_full = hp.acc_fluid_full = 0.99;
+  hp.acc_dynamic_w50 = hp.acc_fluid_lower50 = hp.acc_fluid_upper50 = 0.98;
+
+  std::printf("-- raw host CPU (uncalibrated; same shape, this machine's "
+              "scale) --\n");
+  std::printf("per-image latency: static front %.3f ms, back %.3f ms, 50%% "
+              "%.3f ms, upper50%% %.3f ms\n\n",
+              hp.static_front_latency_s * 1e3, hp.static_back_latency_s * 1e3,
+              hp.w50_latency_s * 1e3, hp.upper50_latency_s * 1e3);
+  sim::Fig2Evaluator heval(hp);
+  std::printf("%s\n", sim::FormatFig2Table(heval.FullGrid()).c_str());
+
+  // Extension: store-and-forward vs overlapped pipeline on the Jetson model.
+  sim::PipelineParams pp;
+  pp.front_latency_s = jp.static_front_latency_s;
+  pp.back_latency_s = jp.static_back_latency_s;
+  pp.cut_bytes = jp.static_cut_bytes;
+  pp.link = jp.link;
+  const auto seq = sim::SequentialPipelineThroughput(pp);
+  const auto pip = sim::SimulatePipelined(pp, 300);
+  std::printf("static pipeline on emulated Jetson: store-and-forward %.1f "
+              "img/s, overlapped (DES) %.1f img/s\n",
+              seq.throughput_img_per_s, pip.throughput_img_per_s);
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "harness_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/rng.h"
+#include "data/mnist.h"
+#include "train/incremental_trainer.h"
+#include "train/nested_trainer.h"
+#include "train/static_trainer.h"
+
+namespace fluid::bench {
+
+HarnessOptions HarnessOptions::FromArgs(int argc, char** argv) {
+  HarnessOptions opts;
+  std::map<std::string, std::string> kv;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    kv[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+  const auto geti = [&](const char* key, std::int64_t& out) {
+    if (kv.contains(key)) out = std::strtoll(kv[key].c_str(), nullptr, 10);
+  };
+  const auto getd = [&](const char* key, double& out) {
+    if (kv.contains(key)) out = std::strtod(kv[key].c_str(), nullptr);
+  };
+  geti("train", opts.train_count);
+  geti("test", opts.test_count);
+  geti("epochs", opts.epochs_per_stage);
+  geti("niters", opts.niters);
+  std::int64_t seed = static_cast<std::int64_t>(opts.seed);
+  geti("seed", seed);
+  opts.seed = static_cast<std::uint64_t>(seed);
+  getd("link_ms", opts.link_latency_ms);
+  getd("bandwidth_mbps", opts.link_bandwidth_mbps);
+  if (kv.contains("data_dir")) opts.data_dir = kv["data_dir"];
+  return opts;
+}
+
+sim::LinkModel LinkFrom(const HarnessOptions& opts) {
+  sim::LinkModel link;
+  link.latency_s = opts.link_latency_ms * 1e-3;
+  link.bandwidth_bytes_per_s = opts.link_bandwidth_mbps * 1e6 / 8.0;
+  return link;
+}
+
+TrainedModels TrainAll(const HarnessOptions& opts) {
+  TrainedModels out;
+  out.cfg = slim::FluidNetConfig{};  // the paper's model
+
+  auto splits = data::LoadMnistOrSynthetic(
+      opts.data_dir, opts.train_count, opts.test_count, opts.seed,
+      data::SyntheticMnistOptions::Hard());
+  out.train_set = std::move(splits.train);
+  out.test_set = std::move(splits.test);
+  out.real_mnist = splits.from_real_files;
+  std::printf("# dataset: %s (%lld train / %lld test)\n",
+              out.real_mnist ? "real MNIST" : "synthetic MNIST",
+              static_cast<long long>(out.train_set.size()),
+              static_cast<long long>(out.test_set.size()));
+
+  train::TrainOptions stage;
+  stage.epochs = opts.epochs_per_stage;
+  stage.batch_size = 32;
+  stage.learning_rate = 0.02F;
+  stage.shuffle_seed = opts.seed;
+
+  // --- Static DNN -------------------------------------------------------
+  std::printf("# training Static DNN (width 16)...\n");
+  train::StaticTrainer static_trainer(out.cfg, 16, opts.seed + 1);
+  {
+    train::TrainOptions opts_static = stage;
+    // The schedules below see the data niters×stages times; give the
+    // static model a comparable total number of passes.
+    opts_static.epochs = opts.epochs_per_stage * opts.niters * 2;
+    static_trainer.Fit(out.train_set, nullptr, opts_static);
+  }
+  out.static_model =
+      std::make_unique<nn::Sequential>(std::move(static_trainer.model()));
+
+  // --- Dynamic DNN (incremental, MLCAD'19) ------------------------------
+  std::printf("# training Dynamic DNN (incremental)...\n");
+  {
+    core::Rng rng(opts.seed + 2);
+    out.dynamic_model = std::make_unique<slim::FluidModel>(
+        out.cfg, slim::SubnetFamily::PaperDefault(), rng);
+    train::IncrementalTrainer trainer(*out.dynamic_model);
+    train::TrainOptions opts_dyn = stage;
+    opts_dyn.epochs = opts.epochs_per_stage * opts.niters;
+    trainer.Fit(out.train_set, nullptr, opts_dyn);
+  }
+
+  // --- Fluid DyDNN (nested incremental, Algorithm 1) ---------------------
+  std::printf("# training Fluid DyDNN (nested incremental, niters=%lld)...\n",
+              static_cast<long long>(opts.niters));
+  {
+    core::Rng rng(opts.seed + 3);
+    out.fluid_model = std::make_unique<slim::FluidModel>(
+        out.cfg, slim::SubnetFamily::PaperDefault(), rng);
+    train::NestedIncrementalTrainer trainer(*out.fluid_model);
+    train::NestedTrainOptions nopts;
+    nopts.niters = opts.niters;
+    nopts.stage = stage;
+    trainer.Fit(out.train_set, nullptr, nopts);
+  }
+  return out;
+}
+
+sim::SystemProfile AnalyticJetsonProfile(const slim::FluidModel& model,
+                                         const sim::LinkModel& link) {
+  const auto& cfg = model.config();
+  const auto& family = model.family();
+  const auto jetson = sim::EmulatedJetsonCpu();
+  const slim::ChannelRange full{0, family.max_width()};
+
+  // FLOPs of the static pipeline halves (cut after stage 2 of 3).
+  std::int64_t f_front = 0, f_back = 0;
+  for (std::int64_t i = 0; i < cfg.num_conv_layers; ++i) {
+    const slim::ChannelRange in =
+        (i == 0) ? slim::ChannelRange{0, cfg.image_channels} : full;
+    const std::int64_t sp = (i == 0) ? cfg.image_size : cfg.SpatialAfter(i - 1);
+    const std::int64_t flops =
+        model.conv(static_cast<std::size_t>(i)).SliceFlops(in, full, sp, sp);
+    (i < 2 ? f_front : f_back) += flops;
+  }
+  f_back += model.fc().SliceFlops(model.FcColumns(full),
+                                  {0, cfg.num_classes});
+
+  sim::SystemProfile p;
+  p.link = link;
+  p.overlapped_pipeline = true;  // see EmulatedJetsonCpu calibration note
+  p.static_front_latency_s = jetson.LatencyFor(f_front);
+  p.static_back_latency_s = jetson.LatencyFor(f_back);
+  p.static_cut_bytes = family.max_width() * cfg.SpatialAfter(1) *
+                       cfg.SpatialAfter(1) *
+                       static_cast<std::int64_t>(sizeof(float));
+  p.w50_latency_s =
+      jetson.LatencyFor(model.SubnetFlops(family.MasterResident()));
+  p.upper50_latency_s =
+      jetson.LatencyFor(model.SubnetFlops(family.WorkerResident()));
+  // The paper measured a small Master/Worker asymmetry (14.4 vs 13.9 img/s
+  // for the same-size slices); reproduce it as a worker speed factor.
+  p.worker_speed = 0.965;
+  return p;
+}
+
+sim::SystemProfile ProfileFrom(TrainedModels& models,
+                               const HarnessOptions& opts) {
+  sim::SystemProfile p =
+      AnalyticJetsonProfile(*models.fluid_model, LinkFrom(opts));
+
+  const auto& family = models.fluid_model->family();
+  const auto combined = family.Combined();
+  const auto l50 = family.MasterResident();
+  const auto u50 = family.WorkerResident();
+  p.acc_static =
+      train::EvaluateModel(*models.static_model, models.test_set).accuracy;
+  p.acc_dynamic_full =
+      train::EvaluateSubnet(*models.dynamic_model, combined, models.test_set)
+          .accuracy;
+  p.acc_dynamic_w50 =
+      train::EvaluateSubnet(*models.dynamic_model, l50, models.test_set)
+          .accuracy;
+  p.acc_fluid_full =
+      train::EvaluateSubnet(*models.fluid_model, combined, models.test_set)
+          .accuracy;
+  p.acc_fluid_lower50 =
+      train::EvaluateSubnet(*models.fluid_model, l50, models.test_set)
+          .accuracy;
+  p.acc_fluid_upper50 =
+      train::EvaluateSubnet(*models.fluid_model, u50, models.test_set)
+          .accuracy;
+  return p;
+}
+
+}  // namespace fluid::bench

@@ -1,0 +1,78 @@
+#pragma once
+// Shared pipeline for the benchmark harnesses: train the three model
+// families of the paper on (synthetic) MNIST, measure latencies on the
+// host CPU, and assemble the Fig2Evaluator profile.
+//
+// Every bench accepts overrides via argv ("key=value" pairs) so EXPERIMENTS
+// runs can scale the workload: train=N test=N epochs=N niters=N seed=N
+// link_ms=F bandwidth_mbps=F.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+#include "sim/scenario.h"
+#include "slim/fluid_model.h"
+#include "train/trainer_common.h"
+
+namespace fluid::bench {
+
+struct HarnessOptions {
+  std::int64_t train_count = 4000;
+  std::int64_t test_count = 1000;
+  std::int64_t epochs_per_stage = 2;
+  std::int64_t niters = 3;
+  std::uint64_t seed = 42;
+  /// Paper methodology: TCP latency measured offline. Default approximates
+  /// the Jetson pair's effective per-message cost.
+  double link_latency_ms = 12.0;
+  double link_bandwidth_mbps = 100.0;
+  std::string data_dir = "data";  // real MNIST used when IDX files exist
+
+  static HarnessOptions FromArgs(int argc, char** argv);
+};
+
+/// The three trained systems of the evaluation.
+struct TrainedModels {
+  slim::FluidNetConfig cfg;
+  std::unique_ptr<nn::Sequential> static_model;     // Static DNN
+  std::unique_ptr<slim::FluidModel> dynamic_model;  // incremental-trained
+  std::unique_ptr<slim::FluidModel> fluid_model;    // nested-trained
+  data::Dataset train_set;
+  data::Dataset test_set;
+  bool real_mnist = false;
+};
+
+/// Load data and train all three families (prints progress to stdout).
+TrainedModels TrainAll(const HarnessOptions& opts);
+
+/// Latency side of the profile from the calibrated Jetson-class device
+/// model (sim::EmulatedJetsonCpu) applied to this library's exact FLOP
+/// counts — the substitution for the paper's boards (DESIGN.md §3).
+/// Accuracies are left zero.
+sim::SystemProfile AnalyticJetsonProfile(const slim::FluidModel& model,
+                                         const sim::LinkModel& link);
+
+/// Assemble the full profile: emulated-Jetson latencies + accuracies
+/// measured on the trained models' test set.
+sim::SystemProfile ProfileFrom(TrainedModels& models,
+                               const HarnessOptions& opts);
+
+/// Link model from the options.
+sim::LinkModel LinkFrom(const HarnessOptions& opts);
+
+/// Paper reference numbers (Fig. 2) for side-by-side shape comparison.
+struct PaperFig2 {
+  static constexpr double kStaticThroughput = 11.1;
+  static constexpr double kDynamicHtThroughput = 14.4;
+  static constexpr double kFluidHtThroughput = 28.3;
+  static constexpr double kStaticAccuracy = 98.9;
+  static constexpr double kDynamicFullAccuracy = 98.8;
+  static constexpr double kDynamicW50Accuracy = 97.6;
+  static constexpr double kFluidFullAccuracy = 99.2;
+};
+
+}  // namespace fluid::bench

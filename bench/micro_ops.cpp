@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks of the kernels every experiment rests
+// on: GEMM, conv forward/backward, slimmable slice execution at each paper
+// width, the channel-partitioned HA runner, and the wire codec.
+
+#include <benchmark/benchmark.h>
+
+#include "core/gemm.h"
+#include "core/rng.h"
+#include "dist/message.h"
+#include "nn/checkpoint.h"
+#include "nn/conv2d.h"
+#include "slim/fluid_model.h"
+#include "slim/partitioned.h"
+#include "train/model_zoo.h"
+
+using namespace fluid;
+
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  core::Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (auto _ : state) {
+    core::Gemm(false, false, n, n, n, 1.0F, a.data(), n, b.data(), n, 0.0F,
+               c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(16)->Arg(64)->Arg(144);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const std::int64_t width = state.range(0);
+  core::Rng rng(2);
+  nn::Conv2d conv(width, width, 3, 1, 1, rng);
+  core::Tensor x =
+      core::Tensor::UniformRandom({1, width, 14, 14}, rng, -1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, false));
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const std::int64_t width = state.range(0);
+  core::Rng rng(3);
+  nn::Conv2d conv(width, width, 3, 1, 1, rng);
+  core::Tensor x =
+      core::Tensor::UniformRandom({1, width, 14, 14}, rng, -1, 1);
+  core::Tensor g = core::Tensor::Ones({1, width, 14, 14});
+  for (auto _ : state) {
+    conv.Forward(x, true);
+    benchmark::DoNotOptimize(conv.Backward(g));
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16);
+
+void BM_SubnetForward(benchmark::State& state) {
+  // Single-image inference of each paper sub-network — the quantity the
+  // Fig. 2 throughput panel measures.
+  static slim::FluidModel model = slim::FluidModel::PaperDefault(5);
+  const auto specs = model.family().All();
+  const auto& spec = specs[static_cast<std::size_t>(state.range(0))];
+  core::Rng rng(4);
+  core::Tensor x = core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(spec, x, false));
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_SubnetForward)->DenseRange(0, 5);
+
+void BM_ExtractedSubnetForward(benchmark::State& state) {
+  static slim::FluidModel model = slim::FluidModel::PaperDefault(6);
+  nn::Sequential extracted =
+      model.ExtractSubnet(model.family().MasterResident());
+  core::Rng rng(5);
+  core::Tensor x = core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extracted.Forward(x, false));
+  }
+}
+BENCHMARK(BM_ExtractedSubnetForward);
+
+void BM_PartitionedHaForward(benchmark::State& state) {
+  static slim::FluidModel model = slim::FluidModel::PaperDefault(7);
+  slim::PartitionedRunner runner(model);
+  core::Rng rng(6);
+  core::Tensor x = core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.Run(x));
+  }
+}
+BENCHMARK(BM_PartitionedHaForward);
+
+void BM_MessageCodec(benchmark::State& state) {
+  core::Rng rng(7);
+  const core::Tensor t =
+      core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+  const dist::Message msg =
+      dist::Message::WithTensor(dist::MsgType::kInfer, 1, "m", t);
+  for (auto _ : state) {
+    const auto bytes = dist::EncodeMessage(msg);
+    dist::Message out;
+    dist::DecodeMessage(bytes, out).ThrowIfError();
+    benchmark::DoNotOptimize(out.payload.data());
+  }
+}
+BENCHMARK(BM_MessageCodec);
+
+void BM_CheckpointSerialize(benchmark::State& state) {
+  slim::FluidNetConfig cfg;
+  core::Rng rng(8);
+  nn::Sequential model = train::BuildConvNet(cfg, 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::SerializeState(nn::ExtractState(model)));
+  }
+}
+BENCHMARK(BM_CheckpointSerialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

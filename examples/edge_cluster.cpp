@@ -1,0 +1,126 @@
+// Edge-cluster study: the DESIGN.md "beyond-the-paper" scenario — what the
+// Fluid deployment buys on heterogeneous device pairs and flaky links,
+// using the discrete-event simulator instead of real boards.
+//
+// Sweeps (a) worker/master speed ratios, (b) link quality, and (c) a long
+// random failure trace, reporting throughput, accuracy and downtime for
+// all three model families.
+
+#include <cstdio>
+
+#include "core/rng.h"
+#include "sim/pipeline_sim.h"
+#include "sim/scenario.h"
+#include "sim/timeline.h"
+
+using namespace fluid;
+
+namespace {
+
+sim::SystemProfile BaseProfile() {
+  sim::SystemProfile p;
+  // Compute costs from the paper model's exact FLOP counts on the
+  // calibrated Jetson-class device model (matches the paper's testbed).
+  const sim::ComputeProfile core = sim::EmulatedJetsonCpu();
+  p.overlapped_pipeline = true;
+  p.static_front_latency_s = core.LatencyFor(1'128'960);  // conv1+conv2 @16
+  p.static_back_latency_s = core.LatencyFor(228'672);     // conv3+fc @16
+  p.static_cut_bytes = 16 * 7 * 7 * 4;
+  p.w50_latency_s = core.LatencyFor(396'576);      // 50% standalone
+  p.upper50_latency_s = core.LatencyFor(396'576);  // upper-50% standalone
+  p.acc_static = 0.989;
+  p.acc_dynamic_full = 0.988;
+  p.acc_dynamic_w50 = 0.976;
+  p.acc_fluid_full = 0.992;
+  p.acc_fluid_lower50 = 0.989;
+  p.acc_fluid_upper50 = 0.988;
+  p.link.latency_s = 0.012;
+  p.link.bandwidth_bytes_per_s = 12.5e6;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Edge-cluster study (DES) ==\n\n");
+
+  // (a) Heterogeneous speeds: a fast master paired with weaker workers.
+  std::printf("-- heterogeneity: worker speed relative to master --\n");
+  std::printf("%-12s %14s %14s %14s\n", "worker_speed", "Static[img/s]",
+              "Fluid HT", "Fluid HA");
+  for (const double speed : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    sim::SystemProfile p = BaseProfile();
+    p.worker_speed = speed;
+    sim::Fig2Evaluator eval(p);
+    const auto st = eval.Evaluate(sim::DnnType::kStatic,
+                                  sim::Availability::kBothOnline,
+                                  sim::Mode::kHighAccuracy);
+    const auto ht = eval.Evaluate(sim::DnnType::kFluid,
+                                  sim::Availability::kBothOnline,
+                                  sim::Mode::kHighThroughput);
+    const auto ha = eval.Evaluate(sim::DnnType::kFluid,
+                                  sim::Availability::kBothOnline,
+                                  sim::Mode::kHighAccuracy);
+    std::printf("%-12.2f %14.1f %14.1f %14.1f\n", speed,
+                st.throughput_img_per_s, ht.throughput_img_per_s,
+                ha.throughput_img_per_s);
+  }
+  std::printf("reading: HT degrades gracefully with a weak worker (the "
+              "master's stream is unaffected); the pipeline is hostage to "
+              "its slowest stage.\n\n");
+
+  // (b) Link quality sweep at fixed compute.
+  std::printf("-- link quality: one-way latency sweep --\n");
+  std::printf("%-10s %14s %14s %14s\n", "link[ms]", "Static[img/s]",
+              "Fluid HT", "Fluid HA");
+  for (const double ms : {1.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
+    sim::SystemProfile p = BaseProfile();
+    p.link.latency_s = ms * 1e-3;
+    sim::Fig2Evaluator eval(p);
+    const auto st = eval.Evaluate(sim::DnnType::kStatic,
+                                  sim::Availability::kBothOnline,
+                                  sim::Mode::kHighAccuracy);
+    const auto ht = eval.Evaluate(sim::DnnType::kFluid,
+                                  sim::Availability::kBothOnline,
+                                  sim::Mode::kHighThroughput);
+    const auto ha = eval.Evaluate(sim::DnnType::kFluid,
+                                  sim::Availability::kBothOnline,
+                                  sim::Mode::kHighAccuracy);
+    std::printf("%-10.0f %14.1f %14.1f %14.1f\n", ms,
+                st.throughput_img_per_s, ht.throughput_img_per_s,
+                ha.throughput_img_per_s);
+  }
+  std::printf("reading: HT never touches the link; everything pipelined "
+              "collapses on slow networks.\n\n");
+
+  // (c) A long random failure trace: availability economics.
+  std::printf("-- 1000 s random failure trace (MTBF 120 s, MTTR 30 s) --\n");
+  core::Rng rng(2024);
+  std::vector<sim::AvailabilityEvent> events;
+  for (const auto device : {sim::DeviceId::kMaster, sim::DeviceId::kWorker}) {
+    double t = 0.0;
+    while (t < 1000.0) {
+      t += rng.Uniform(60.0, 180.0);  // up time
+      if (t >= 1000.0) break;
+      events.push_back({t, device, false});
+      t += rng.Uniform(10.0, 50.0);  // repair time
+      events.push_back({t, device, true});
+    }
+  }
+  sim::Fig2Evaluator eval(BaseProfile());
+  std::printf("%-9s %14s %12s %12s\n", "model", "images/1000s", "downtime[s]",
+              "mean acc[%]");
+  for (const auto type :
+       {sim::DnnType::kStatic, sim::DnnType::kDynamic, sim::DnnType::kFluid}) {
+    const auto summary = sim::SimulateTimeline(
+        eval, type, sim::Mode::kHighThroughput, events, 1000.0);
+    std::printf("%-9s %14.0f %12.1f %12.2f\n",
+                std::string(sim::DnnTypeName(type)).c_str(),
+                summary.total_images, summary.downtime_s,
+                summary.mean_accuracy * 100);
+  }
+  std::printf("reading: under realistic churn, Static spends every partial "
+              "outage down, Dynamic survives only worker outages, Fluid "
+              "only goes dark when both devices are gone.\n");
+  return 0;
+}

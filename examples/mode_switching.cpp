@@ -1,0 +1,114 @@
+// Mode switching: the HA ↔ HT adaptation of §II-B under a varying load.
+//
+// Builds the operating points from the calibrated Jetson-class device
+// then drives a ModeController with a day-in-the-life demand trace
+// (quiet → burst → quiet) and a failure window, printing which mode the
+// system picks and what accuracy it pays for keeping up.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/rng.h"
+#include "dist/mode_controller.h"
+#include "sim/scenario.h"
+#include "sim/timeline.h"
+
+using namespace fluid;
+
+int main() {
+  const slim::FluidNetConfig cfg;
+  core::Rng rng(3);
+
+  // Operating points for the paper's testbed: the calibrated Jetson-class
+  // device model applied to this library's exact FLOP counts.
+  slim::FluidModel fluid(cfg, slim::SubnetFamily::PaperDefault(), rng);
+  const auto jetson = sim::EmulatedJetsonCpu();
+  const auto& family = fluid.family();
+  const slim::ChannelRange full{0, family.max_width()};
+
+  sim::SystemProfile p;
+  p.overlapped_pipeline = true;
+  std::int64_t f_front = 0, f_back = 0;
+  for (std::int64_t i = 0; i < cfg.num_conv_layers; ++i) {
+    const slim::ChannelRange in =
+        (i == 0) ? slim::ChannelRange{0, cfg.image_channels} : full;
+    const std::int64_t sp = (i == 0) ? cfg.image_size : cfg.SpatialAfter(i - 1);
+    (i < 2 ? f_front : f_back) +=
+        fluid.conv(static_cast<std::size_t>(i)).SliceFlops(in, full, sp, sp);
+  }
+  f_back += fluid.fc().SliceFlops(fluid.FcColumns(full), {0, cfg.num_classes});
+  p.static_front_latency_s = jetson.LatencyFor(f_front);
+  p.static_back_latency_s = jetson.LatencyFor(f_back);
+  p.static_cut_bytes = 16 * 7 * 7 * 4;
+  p.w50_latency_s =
+      jetson.LatencyFor(fluid.SubnetFlops(family.MasterResident()));
+  p.upper50_latency_s =
+      jetson.LatencyFor(fluid.SubnetFlops(family.WorkerResident()));
+  p.link.latency_s = 0.012;
+  p.link.bandwidth_bytes_per_s = 12.5e6;
+  // Nominal accuracies (the paper band) — this example is about modes.
+  p.acc_static = 0.989;
+  p.acc_dynamic_full = 0.988;
+  p.acc_dynamic_w50 = 0.976;
+  p.acc_fluid_full = 0.992;
+  p.acc_fluid_lower50 = 0.989;
+  p.acc_fluid_upper50 = 0.988;
+
+  sim::Fig2Evaluator eval(p);
+  const auto ha = eval.Evaluate(sim::DnnType::kFluid,
+                                sim::Availability::kBothOnline,
+                                sim::Mode::kHighAccuracy);
+  const auto ht = eval.Evaluate(sim::DnnType::kFluid,
+                                sim::Availability::kBothOnline,
+                                sim::Mode::kHighThroughput);
+  std::printf("operating points (emulated Jetson-class devices):\n");
+  std::printf("  HA: %6.1f img/s @ %.1f%%   (%s)\n",
+              ha.throughput_img_per_s, ha.accuracy * 100, ha.note.c_str());
+  std::printf("  HT: %6.1f img/s @ %.1f%%   (%s)\n\n",
+              ht.throughput_img_per_s, ht.accuracy * 100, ht.note.c_str());
+
+  // Demand trace: sinusoid with a burst, sampled once a second.
+  dist::ModeController controller(ha.throughput_img_per_s,
+                                  ht.throughput_img_per_s, 0.15);
+  std::printf("%-6s %10s %6s %12s %10s %10s\n", "t[s]", "demand", "mode",
+              "capacity", "served", "acc[%]");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  double served_total = 0.0, demand_total = 0.0, acc_weighted = 0.0;
+  for (int t = 0; t < 60; ++t) {
+    const double base = ha.throughput_img_per_s * 0.7;
+    const double swing =
+        ha.throughput_img_per_s * 0.9 * std::sin(t * 0.15);
+    double demand = std::max(1.0, base + swing);
+    if (t >= 30 && t < 40) demand *= 2.2;  // burst window
+
+    const sim::Mode mode = controller.Decide(demand);
+    const auto op = eval.Evaluate(sim::DnnType::kFluid,
+                                  sim::Availability::kBothOnline, mode);
+    const double served = std::min(demand, op.throughput_img_per_s);
+    served_total += served;
+    demand_total += demand;
+    acc_weighted += served * op.accuracy;
+    if (t % 5 == 0 || t == 30 || t == 40) {
+      std::printf("%-6d %10.1f %6s %12.1f %10.1f %10.1f\n", t, demand,
+                  std::string(sim::ModeName(mode)).c_str(),
+                  op.throughput_img_per_s, served, op.accuracy * 100);
+    }
+  }
+  std::printf("%s\n", std::string(60, '-').c_str());
+  std::printf("served %.0f of %.0f offered images (%.1f%%), mean accuracy "
+              "%.2f%%, %lld mode switches\n\n",
+              served_total, demand_total, 100.0 * served_total / demand_total,
+              100.0 * acc_weighted / served_total,
+              static_cast<long long>(controller.switches()));
+
+  // The same adaptation viewed as a failure timeline.
+  const std::vector<sim::AvailabilityEvent> events{
+      {20.0, sim::DeviceId::kWorker, false},
+      {35.0, sim::DeviceId::kWorker, true},
+  };
+  const auto summary = sim::SimulateTimeline(
+      eval, sim::DnnType::kFluid, sim::Mode::kHighThroughput, events, 50.0);
+  std::printf("failure-window timeline (HT preference):\n%s",
+              sim::FormatTimeline(summary).c_str());
+  return 0;
+}

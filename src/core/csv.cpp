@@ -1,0 +1,78 @@
+#include "core/csv.h"
+
+#include <iomanip>
+
+#include "core/serialize.h"
+
+namespace fluid::core {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FLUID_CHECK_MSG(!header_.empty(), "CsvWriter needs at least one column");
+}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  FLUID_CHECK_MSG(cells.size() == header_.size(),
+                  "CsvWriter row width mismatch: expected " +
+                      std::to_string(header_.size()) + ", got " +
+                      std::to_string(cells.size()));
+  rows_.push_back(std::move(cells));
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Text(std::string_view value) {
+  cells_.emplace_back(value);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Number(double value,
+                                                     int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  cells_.push_back(os.str());
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Integer(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::RowBuilder::Done() { writer_.AddRow(std::move(cells_)); }
+
+std::string CsvWriter::Quote(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << Quote(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << Quote(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Status CsvWriter::WriteTo(const std::string& path) const {
+  const std::string text = ToString();
+  return WriteFile(path,
+                   std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(text.data()),
+                       text.size()));
+}
+
+}  // namespace fluid::core

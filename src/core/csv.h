@@ -1,0 +1,54 @@
+#pragma once
+// Minimal CSV writer for experiment results (RFC-4180-style quoting).
+// Benches write their tables through this so EXPERIMENTS.md numbers can be
+// regenerated and diffed mechanically.
+
+#include <cstdint>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace fluid::core {
+
+class CsvWriter {
+ public:
+  /// Column headers fix the row width; every row must match.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Append one row of cells (stringified; quoting applied on render).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: mixed text/number row.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter& writer) : writer_(writer) {}
+    RowBuilder& Text(std::string_view value);
+    RowBuilder& Number(double value, int precision = 4);
+    RowBuilder& Integer(std::int64_t value);
+    /// Commits the row; the builder must not be reused afterwards.
+    void Done();
+
+   private:
+    CsvWriter& writer_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder Row() { return RowBuilder(*this); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render the whole document.
+  std::string ToString() const;
+
+  /// Write to a file (atomic).
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  static std::string Quote(const std::string& cell);
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fluid::core

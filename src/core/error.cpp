@@ -1,0 +1,44 @@
+#include "core/error.h"
+
+#include <sstream>
+
+namespace fluid::core {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void Status::ThrowIfError() const {
+  if (!ok()) throw Error(ToString());
+}
+
+namespace detail {
+
+void ThrowCheckFailure(const char* expr, const char* file, int line,
+                       const std::string& message) {
+  std::ostringstream os;
+  os << "FLUID_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace fluid::core

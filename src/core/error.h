@@ -1,0 +1,142 @@
+#pragma once
+// Error handling primitives for the fluid library.
+//
+// Policy (see DESIGN.md §6): construction/programmer errors throw
+// fluid::core::Error; recoverable runtime conditions on hot or distributed
+// paths use Status / StatusOr so callers can branch without unwinding.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace fluid::core {
+
+/// Exception type thrown for precondition violations and unrecoverable
+/// misuse of the API (shape mismatches, out-of-range slices, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Category of a Status; deliberately small — this is a research library,
+/// not an RPC framework.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kUnavailable,    // peer dead / link down
+  kDeadlineExceeded,
+  kDataLoss,       // corrupt frame / truncated file
+  kInternal,
+};
+
+/// Human-readable name of a status code (stable, for logs and tests).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error value. Cheap to copy when OK.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status DeadlineExceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
+  static Status DataLoss(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  /// Throws Error if not OK. For call sites where failure is a bug.
+  void ThrowIfError() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or a Status explaining why there is none.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    require();
+    return *value_;
+  }
+  const T& value() const& {
+    require();
+    return *value_;
+  }
+  T&& value() && {
+    require();
+    return std::move(*value_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void require() const {
+    if (!value_.has_value()) {
+      throw Error("StatusOr has no value: " + status_.ToString());
+    }
+  }
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+namespace detail {
+[[noreturn]] void ThrowCheckFailure(const char* expr, const char* file, int line,
+                                    const std::string& message);
+}  // namespace detail
+
+}  // namespace fluid::core
+
+/// Precondition check: throws fluid::core::Error with location info.
+/// Always on (not compiled out in release) — this library favours loud
+/// failure over silent corruption; the hot loops avoid per-element checks
+/// by checking once per call instead.
+#define FLUID_CHECK(expr)                                                        \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      ::fluid::core::detail::ThrowCheckFailure(#expr, __FILE__, __LINE__, "");   \
+    }                                                                            \
+  } while (false)
+
+#define FLUID_CHECK_MSG(expr, msg)                                               \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      ::fluid::core::detail::ThrowCheckFailure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                            \
+  } while (false)
+
+/// Propagate a non-OK Status to the caller.
+#define FLUID_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::fluid::core::Status _st = (expr);      \
+    if (!_st.ok()) return _st;               \
+  } while (false)

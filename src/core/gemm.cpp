@@ -1,0 +1,87 @@
+#include "core/gemm.h"
+
+#include <vector>
+
+#include "core/error.h"
+
+namespace fluid::core {
+
+namespace {
+
+// Reads element (i, j) of op(M) given storage pointer/stride.
+inline float At(const float* m, std::int64_t ld, bool trans, std::int64_t i,
+                std::int64_t j) {
+  return trans ? m[j * ld + i] : m[i * ld + j];
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc) {
+  FLUID_CHECK_MSG(m >= 0 && n >= 0 && k >= 0, "Gemm: negative dimension");
+  if (m == 0 || n == 0) return;
+
+  // Scale / clear C first so the accumulation loop is pure adds.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* row = c + i * ldc;
+    if (beta == 0.0F) {
+      for (std::int64_t j = 0; j < n; ++j) row[j] = 0.0F;
+    } else if (beta != 1.0F) {
+      for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+  if (k == 0 || alpha == 0.0F) return;
+
+  // Fast path: no transposes — i,p,j loop order streams B and C rows.
+  if (!trans_a && !trans_b) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * lda;
+      float* crow = c + i * ldc;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = alpha * arow[p];
+        if (av == 0.0F) continue;
+        const float* brow = b + p * ldb;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+
+  // Transposed paths: pack op(A) rows / access op(B) via At().
+  // Pack Bᵀ columns once when B is transposed and reasonably small; this
+  // turns the inner loop into a contiguous stream.
+  if (trans_b) {
+    std::vector<float> bpack(static_cast<std::size_t>(k) *
+                             static_cast<std::size_t>(n));
+    for (std::int64_t p = 0; p < k; ++p) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        bpack[static_cast<std::size_t>(p * n + j)] = b[j * ldb + p];
+      }
+    }
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = alpha * At(a, lda, trans_a, i, p);
+        if (av == 0.0F) continue;
+        const float* brow = bpack.data() + p * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+
+  // trans_a only.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = alpha * a[p * lda + i];
+      if (av == 0.0F) continue;
+      const float* brow = b + p * ldb;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace fluid::core

@@ -1,0 +1,21 @@
+#pragma once
+// Single-precision GEMM: C = alpha * op(A) * op(B) + beta * C.
+//
+// A portable cache-blocked kernel — no BLAS dependency so the library
+// builds offline on any box. Good enough for the paper's kernels (the
+// biggest GEMM in the 100 % model is 16×144 by 144×batch).
+
+#include <cstdint>
+
+namespace fluid::core {
+
+/// Row-major GEMM.
+///   trans_a / trans_b: whether to use Aᵀ / Bᵀ.
+///   m, n, k: dimensions of op(A) [m×k], op(B) [k×n], C [m×n].
+///   lda/ldb/ldc: leading (row) strides of the *stored* matrices.
+void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc);
+
+}  // namespace fluid::core

@@ -1,0 +1,53 @@
+#include "core/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace fluid::core {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_flush_mutex;
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LogLevelName(level) << " " << (base ? base + 1 : file)
+          << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  using namespace std::chrono;
+  const auto now = duration_cast<milliseconds>(
+                       steady_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard<std::mutex> lock(g_flush_mutex);
+  std::fprintf(stderr, "%lld %s\n", static_cast<long long>(now),
+               stream_.str().c_str());
+}
+
+}  // namespace detail
+}  // namespace fluid::core

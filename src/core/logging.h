@@ -1,0 +1,54 @@
+#pragma once
+// Minimal thread-safe leveled logger.
+//
+// Usage:  FLUID_LOG(Info) << "trained width " << w;
+// The global level defaults to Warn so tests and benches stay quiet;
+// examples raise it to Info.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace fluid::core {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded cheaply.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+std::string_view LogLevelName(LogLevel level);
+
+namespace detail {
+
+/// Accumulates one log line and flushes it (with a timestamp and level tag)
+/// to stderr on destruction. Not for use across statements.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+bool LogEnabled(LogLevel level);
+
+}  // namespace detail
+}  // namespace fluid::core
+
+#define FLUID_LOG(severity)                                                  \
+  if (!::fluid::core::detail::LogEnabled(::fluid::core::LogLevel::k##severity)) \
+    ;                                                                        \
+  else                                                                       \
+    ::fluid::core::detail::LogLine(::fluid::core::LogLevel::k##severity,     \
+                                   __FILE__, __LINE__)

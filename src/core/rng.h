@@ -1,0 +1,64 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic code in the library (weight init, data synthesis,
+// shuffling, failure injection) draws from an explicitly seeded Rng so every
+// experiment is reproducible from a single seed. The generator is
+// xoshiro256++ (Blackman & Vigna), which is far faster than std::mt19937 and
+// has no measurable bias for our use.
+
+#include <cstdint>
+#include <vector>
+
+namespace fluid::core {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via splitmix64 so that nearby
+  /// seeds give uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64 random bits.
+  std::uint64_t NextU64();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t UniformInt(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double Normal();
+
+  /// Normal with given mean / stddev.
+  double Normal(double mean, double stddev);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(UniformInt(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  std::vector<std::size_t> Permutation(std::size_t n);
+
+  /// Derive an independent child stream (for per-worker determinism).
+  Rng Split();
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace fluid::core

@@ -1,0 +1,85 @@
+#pragma once
+// Binary serialization used for checkpoints and the distributed wire
+// protocol. Little-endian, length-prefixed, versioned by the caller.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/tensor.h"
+
+namespace fluid::core {
+
+/// Append-only little-endian byte sink.
+class ByteWriter {
+ public:
+  void WriteU8(std::uint8_t v);
+  void WriteU32(std::uint32_t v);
+  void WriteU64(std::uint64_t v);
+  void WriteI64(std::int64_t v);
+  void WriteF32(float v);
+  void WriteF64(double v);
+  /// Length-prefixed (u32) string.
+  void WriteString(std::string_view s);
+  /// Length-prefixed (u64) raw bytes.
+  void WriteBytes(std::span<const std::uint8_t> bytes);
+  /// Length-prefixed (u64 count) float block.
+  void WriteFloats(std::span<const float> values);
+  /// Shape (rank + dims) then the float payload.
+  void WriteTensor(const Tensor& t);
+
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+  std::vector<std::uint8_t> TakeBuffer() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked reader over a byte span. All Read* methods return a
+/// Status-checked value via StatusOr-free API: they throw-free fail by
+/// returning Status from TryRead*; convenience Read* throw on corruption.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool AtEnd() const { return remaining() == 0; }
+
+  Status TryReadU8(std::uint8_t& out);
+  Status TryReadU32(std::uint32_t& out);
+  Status TryReadU64(std::uint64_t& out);
+  Status TryReadI64(std::int64_t& out);
+  Status TryReadF32(float& out);
+  Status TryReadF64(double& out);
+  Status TryReadString(std::string& out);
+  Status TryReadBytes(std::vector<std::uint8_t>& out);
+  Status TryReadFloats(std::vector<float>& out);
+  Status TryReadTensor(Tensor& out);
+
+  // Throwing conveniences for checkpoint paths where corruption is fatal.
+  std::uint8_t ReadU8();
+  std::uint32_t ReadU32();
+  std::uint64_t ReadU64();
+  std::int64_t ReadI64();
+  float ReadF32();
+  double ReadF64();
+  std::string ReadString();
+  Tensor ReadTensor();
+
+ private:
+  Status Take(std::size_t n, const std::uint8_t*& ptr);
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Write a byte buffer to a file, atomically (tmp + rename).
+Status WriteFile(const std::string& path, std::span<const std::uint8_t> bytes);
+
+/// Read a whole file into a byte buffer.
+StatusOr<std::vector<std::uint8_t>> ReadFile(const std::string& path);
+
+}  // namespace fluid::core

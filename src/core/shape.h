@@ -1,0 +1,46 @@
+#pragma once
+// Dense tensor shape: an ordered list of extents, row-major semantics.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace fluid::core {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  /// Number of axes.
+  std::size_t rank() const { return dims_.size(); }
+
+  /// Extent of axis `axis` (supports negative axes, Python style).
+  std::int64_t dim(std::int64_t axis) const;
+
+  std::int64_t operator[](std::size_t axis) const { return dims_[axis]; }
+
+  /// Total element count (1 for rank-0).
+  std::int64_t numel() const;
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Row-major strides, in elements.
+  std::vector<std::int64_t> Strides() const;
+
+  /// Flat offset of a multi-index; checked.
+  std::int64_t Offset(const std::vector<std::int64_t>& index) const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[2, 3, 28, 28]"
+  std::string ToString() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace fluid::core

@@ -1,0 +1,94 @@
+#include "core/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace fluid::core {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0F) {}
+
+Tensor::Tensor(std::initializer_list<std::int64_t> dims)
+    : Tensor(Shape(dims)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  FLUID_CHECK_MSG(
+      static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+      "Tensor data size does not match shape " + shape_.ToString());
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::UniformRandom(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::NormalRandom(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.Normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::KaimingUniform(Shape shape, Rng& rng, std::int64_t fan_in) {
+  FLUID_CHECK_MSG(fan_in > 0, "KaimingUniform requires fan_in > 0");
+  const float bound =
+      std::sqrt(6.0F / static_cast<float>(fan_in));  // gain √2, U(-b, b)
+  return UniformRandom(std::move(shape), rng, -bound, bound);
+}
+
+float& Tensor::at(std::int64_t flat) {
+  FLUID_CHECK_MSG(flat >= 0 && flat < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(flat)];
+}
+
+float Tensor::at(std::int64_t flat) const {
+  FLUID_CHECK_MSG(flat >= 0 && flat < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(flat)];
+}
+
+float& Tensor::operator()(const std::vector<std::int64_t>& index) {
+  return data_[static_cast<std::size_t>(shape_.Offset(index))];
+}
+
+float Tensor::operator()(const std::vector<std::int64_t>& index) const {
+  return data_[static_cast<std::size_t>(shape_.Offset(index))];
+}
+
+void Tensor::Fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) const {
+  FLUID_CHECK_MSG(new_shape.numel() == shape_.numel(),
+                  "Reshaped: numel mismatch " + shape_.ToString() + " -> " +
+                      new_shape.ToString());
+  return Tensor(std::move(new_shape), data_);
+}
+
+std::string Tensor::ToString(std::int64_t max_elements) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.ToString() << " {";
+  const std::int64_t n = std::min<std::int64_t>(numel(), max_elements);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[static_cast<std::size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace fluid::core

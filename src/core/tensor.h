@@ -1,0 +1,82 @@
+#pragma once
+// Dense row-major float32 tensor with value semantics.
+//
+// Design notes:
+//  * float32 only — the paper's models are small CNNs; a dtype zoo would be
+//    accidental complexity (Core Guidelines P.2: express intent).
+//  * Value semantics with explicit moves; the library passes tensors by
+//    const& / && so accidental deep copies don't occur on hot paths.
+//  * Elementwise / linear-algebra helpers live in tensor_ops.h; this header
+//    is only storage + indexing.
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/shape.h"
+
+namespace fluid::core {
+
+class Rng;
+
+class Tensor {
+ public:
+  /// Empty tensor: shape [0], no elements. (A default-constructed tensor
+  /// is a consistent zero-element value, not a scalar — Tensor(Shape{})
+  /// makes a rank-0 scalar with one element.)
+  Tensor() : shape_({0}) {}
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(std::initializer_list<std::int64_t> dims);
+
+  /// Tensor with the given shape and flat (row-major) contents.
+  Tensor(Shape shape, std::vector<float> data);
+
+  // -- factories -------------------------------------------------------
+  static Tensor Zeros(Shape shape);
+  static Tensor Full(Shape shape, float value);
+  static Tensor Ones(Shape shape) { return Full(std::move(shape), 1.0F); }
+  /// iid U(lo, hi).
+  static Tensor UniformRandom(Shape shape, Rng& rng, float lo, float hi);
+  /// iid N(0, stddev²).
+  static Tensor NormalRandom(Shape shape, Rng& rng, float stddev);
+  /// Kaiming-uniform init for a weight with `fan_in` inputs.
+  static Tensor KaimingUniform(Shape shape, Rng& rng, std::int64_t fan_in);
+
+  // -- observers -------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  float& at(std::int64_t flat);
+  float at(std::int64_t flat) const;
+
+  /// Multi-index access (checked).
+  float& operator()(const std::vector<std::int64_t>& index);
+  float operator()(const std::vector<std::int64_t>& index) const;
+
+  // -- mutators --------------------------------------------------------
+  void Fill(float value);
+  void Zero() { Fill(0.0F); }
+
+  /// Reinterpret with a new shape of identical numel (no data movement).
+  Tensor Reshaped(Shape new_shape) const;
+
+  /// Deep copy (explicit, so accidental copies are grep-able).
+  Tensor Clone() const { return *this; }
+
+  /// "Tensor[2, 3] {0.1, 0.2, ...}" — truncated for large tensors.
+  std::string ToString(std::int64_t max_elements = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fluid::core

@@ -1,0 +1,141 @@
+#include "core/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "core/gemm.h"
+
+namespace fluid::core {
+
+namespace {
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  FLUID_CHECK_MSG(a.shape() == b.shape(),
+                  std::string(op) + ": shape mismatch " +
+                      a.shape().ToString() + " vs " + b.shape().ToString());
+}
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  Tensor out(a.shape());
+  auto oa = a.data();
+  auto ob = b.data();
+  auto oo = out.data();
+  for (std::size_t i = 0; i < oo.size(); ++i) oo[i] = oa[i] + ob[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  Tensor out(a.shape());
+  auto oa = a.data();
+  auto ob = b.data();
+  auto oo = out.data();
+  for (std::size_t i = 0; i < oo.size(); ++i) oo[i] = oa[i] - ob[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  Tensor out(a.shape());
+  auto oa = a.data();
+  auto ob = b.data();
+  auto oo = out.data();
+  for (std::size_t i = 0; i < oo.size(); ++i) oo[i] = oa[i] * ob[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float scalar) {
+  Tensor out(a.shape());
+  auto oa = a.data();
+  auto oo = out.data();
+  for (std::size_t i = 0; i < oo.size(); ++i) oo[i] = oa[i] * scalar;
+  return out;
+}
+
+void Axpy(float alpha, const Tensor& b, Tensor& a) {
+  CheckSameShape(a, b, "Axpy");
+  auto oa = a.data();
+  auto ob = b.data();
+  for (std::size_t i = 0; i < oa.size(); ++i) oa[i] += alpha * ob[i];
+}
+
+double Sum(const Tensor& a) {
+  double s = 0.0;
+  for (const float v : a.data()) s += v;
+  return s;
+}
+
+double Mean(const Tensor& a) {
+  return a.numel() == 0 ? 0.0 : Sum(a) / static_cast<double>(a.numel());
+}
+
+float Max(const Tensor& a) {
+  FLUID_CHECK_MSG(!a.empty(), "Max of empty tensor");
+  return *std::max_element(a.data().begin(), a.data().end());
+}
+
+std::int64_t Argmax(const Tensor& a) {
+  FLUID_CHECK_MSG(!a.empty(), "Argmax of empty tensor");
+  const auto it = std::max_element(a.data().begin(), a.data().end());
+  return static_cast<std::int64_t>(it - a.data().begin());
+}
+
+std::vector<std::int64_t> ArgmaxRows(const Tensor& logits) {
+  FLUID_CHECK_MSG(logits.shape().rank() == 2, "ArgmaxRows needs rank-2");
+  const std::int64_t rows = logits.shape()[0];
+  const std::int64_t cols = logits.shape()[1];
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  auto d = logits.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int64_t best = 0;
+    float best_v = d[static_cast<std::size_t>(r * cols)];
+    for (std::int64_t c = 1; c < cols; ++c) {
+      const float v = d[static_cast<std::size_t>(r * cols + c)];
+      if (v > best_v) {
+        best_v = v;
+        best = c;
+      }
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+double Norm(const Tensor& a) {
+  double s = 0.0;
+  for (const float v : a.data()) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "MaxAbsDiff");
+  float m = 0.0F;
+  auto oa = a.data();
+  auto ob = b.data();
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    m = std::max(m, std::fabs(oa[i] - ob[i]));
+  }
+  return m;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  FLUID_CHECK_MSG(a.shape().rank() == 2 && b.shape().rank() == 2,
+                  "MatMul needs rank-2 operands");
+  const std::int64_t m = a.shape()[0];
+  const std::int64_t k = a.shape()[1];
+  FLUID_CHECK_MSG(b.shape()[0] == k, "MatMul inner dimension mismatch");
+  const std::int64_t n = b.shape()[1];
+  Tensor out({m, n});
+  Gemm(false, false, m, n, k, 1.0F, a.data().data(), k, b.data().data(), n,
+       0.0F, out.data().data(), n);
+  return out;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol) {
+  if (a.shape() != b.shape()) return false;
+  return MaxAbsDiff(a, b) <= atol;
+}
+
+}  // namespace fluid::core

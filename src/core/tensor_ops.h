@@ -1,0 +1,50 @@
+#pragma once
+// Free-function tensor math used by the NN layers.
+//
+// These operate on whole tensors; channel-sliced variants (the slimmable
+// hot path) live in fluid::slim and reuse the GEMM kernel directly.
+
+#include <cstdint>
+
+#include "core/tensor.h"
+
+namespace fluid::core {
+
+/// c = a + b (elementwise, shapes must match).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// c = a - b.
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// c = a ⊙ b (Hadamard).
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// c = a * scalar.
+Tensor Scale(const Tensor& a, float scalar);
+
+/// a += alpha * b, in place. Shapes must match.
+void Axpy(float alpha, const Tensor& b, Tensor& a);
+
+/// Sum of all elements.
+double Sum(const Tensor& a);
+/// Mean of all elements (0 for empty).
+double Mean(const Tensor& a);
+/// Max element value. Requires non-empty.
+float Max(const Tensor& a);
+/// Flat index of max element. Requires non-empty.
+std::int64_t Argmax(const Tensor& a);
+
+/// Argmax along the last axis of a rank-2 tensor [rows, cols] → per-row
+/// class index.
+std::vector<std::int64_t> ArgmaxRows(const Tensor& logits);
+
+/// L2 norm of all elements.
+double Norm(const Tensor& a);
+
+/// Max |a - b| over all elements; shapes must match.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+/// Matrix multiply of rank-2 tensors: [m,k] × [k,n] → [m,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// True if shapes match and all elements within atol.
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5F);
+
+}  // namespace fluid::core

@@ -1,0 +1,97 @@
+#include "data/dataset.h"
+
+#include <cstring>
+
+#include "core/error.h"
+
+namespace fluid::data {
+
+Dataset Dataset::Slice(std::int64_t begin, std::int64_t end) const {
+  FLUID_CHECK_MSG(0 <= begin && begin <= end && end <= size(),
+                  "Dataset::Slice range out of bounds");
+  const auto& s = images.shape();
+  const std::int64_t per = s[1] * s[2] * s[3];
+  Dataset out;
+  out.images = core::Tensor({end - begin, s[1], s[2], s[3]});
+  std::memcpy(out.images.data().data(), images.data().data() + begin * per,
+              static_cast<std::size_t>((end - begin) * per) * sizeof(float));
+  out.labels.assign(labels.begin() + begin, labels.begin() + end);
+  return out;
+}
+
+core::Tensor Dataset::Image(std::int64_t index) const {
+  FLUID_CHECK_MSG(0 <= index && index < size(),
+                  "Dataset::Image index out of bounds");
+  const auto& s = images.shape();
+  const std::int64_t per = s[1] * s[2] * s[3];
+  core::Tensor out({1, s[1], s[2], s[3]});
+  std::memcpy(out.data().data(), images.data().data() + index * per,
+              static_cast<std::size_t>(per) * sizeof(float));
+  return out;
+}
+
+std::int64_t Dataset::Label(std::int64_t index) const {
+  FLUID_CHECK_MSG(0 <= index && index < size(),
+                  "Dataset::Label index out of bounds");
+  return labels[static_cast<std::size_t>(index)];
+}
+
+Dataset Dataset::Gather(const std::vector<std::size_t>& indices) const {
+  const auto& s = images.shape();
+  const std::int64_t per = s[1] * s[2] * s[3];
+  Dataset out;
+  out.images = core::Tensor(
+      {static_cast<std::int64_t>(indices.size()), s[1], s[2], s[3]});
+  out.labels.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    FLUID_CHECK_MSG(indices[i] < static_cast<std::size_t>(size()),
+                    "Dataset::Gather index out of bounds");
+    std::memcpy(out.images.data().data() + static_cast<std::int64_t>(i) * per,
+                images.data().data() +
+                    static_cast<std::int64_t>(indices[i]) * per,
+                static_cast<std::size_t>(per) * sizeof(float));
+    out.labels[i] = labels[indices[i]];
+  }
+  return out;
+}
+
+void Dataset::Validate(std::int64_t num_classes) const {
+  FLUID_CHECK_MSG(images.shape().rank() == 4, "Dataset images must be NCHW");
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(labels.size()) == size(),
+                  "Dataset label count mismatch");
+  for (const auto l : labels) {
+    FLUID_CHECK_MSG(l >= 0 && l < num_classes, "Dataset label out of range");
+  }
+}
+
+DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size,
+                       core::Rng* rng)
+    : dataset_(dataset), batch_size_(batch_size), rng_(rng) {
+  FLUID_CHECK_MSG(batch_size_ > 0, "DataLoader batch size must be positive");
+  order_.resize(static_cast<std::size_t>(dataset_.size()));
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+}
+
+std::int64_t DataLoader::NumBatches() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::StartEpoch() {
+  cursor_ = 0;
+  if (rng_) rng_->Shuffle(order_);
+}
+
+bool DataLoader::Next(Batch& out) {
+  if (cursor_ >= dataset_.size()) return false;
+  const std::int64_t end =
+      std::min<std::int64_t>(cursor_ + batch_size_, dataset_.size());
+  std::vector<std::size_t> idx(order_.begin() + cursor_,
+                               order_.begin() + end);
+  Dataset gathered = dataset_.Gather(idx);
+  out.images = std::move(gathered.images);
+  out.labels = std::move(gathered.labels);
+  cursor_ = end;
+  return true;
+}
+
+}  // namespace fluid::data

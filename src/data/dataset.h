@@ -1,0 +1,65 @@
+#pragma once
+// Labeled image dataset + mini-batch loader.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace fluid::data {
+
+/// A labeled image classification dataset held in memory.
+/// images: [N, C, H, W]; labels: N class indices.
+struct Dataset {
+  core::Tensor images;
+  std::vector<std::int64_t> labels;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.shape()[0]; }
+
+  /// Copy of samples [begin, end).
+  Dataset Slice(std::int64_t begin, std::int64_t end) const;
+
+  /// One sample as a batch-of-one tensor.
+  core::Tensor Image(std::int64_t index) const;
+  std::int64_t Label(std::int64_t index) const;
+
+  /// Samples gathered by index list (for shuffled batching).
+  Dataset Gather(const std::vector<std::size_t>& indices) const;
+
+  /// Sanity checks (shapes consistent, labels in range). Throws on failure.
+  void Validate(std::int64_t num_classes) const;
+};
+
+/// One mini-batch.
+struct Batch {
+  core::Tensor images;
+  std::vector<std::int64_t> labels;
+  std::int64_t size() const { return images.empty() ? 0 : images.shape()[0]; }
+};
+
+/// Iterates a dataset in mini-batches, reshuffling each epoch when a
+/// non-null Rng is supplied. The last partial batch is kept (not dropped) —
+/// evaluation must see every sample.
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, std::int64_t batch_size, core::Rng* rng);
+
+  /// Number of batches per epoch.
+  std::int64_t NumBatches() const;
+
+  /// Reset to the epoch start (reshuffles when shuffling).
+  void StartEpoch();
+
+  /// Fetch the next batch; returns false at epoch end.
+  bool Next(Batch& out);
+
+ private:
+  const Dataset& dataset_;
+  std::int64_t batch_size_;
+  core::Rng* rng_;
+  std::vector<std::size_t> order_;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace fluid::data

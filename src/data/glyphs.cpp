@@ -1,0 +1,132 @@
+#include "data/glyphs.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.h"
+
+namespace fluid::data {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+Stroke MakeArc(double cx, double cy, double rx, double ry, double a0,
+               double a1, int segments) {
+  FLUID_CHECK_MSG(segments >= 1, "MakeArc needs at least one segment");
+  Stroke s;
+  s.reserve(static_cast<std::size_t>(segments) + 1);
+  for (int i = 0; i <= segments; ++i) {
+    const double t = a0 + (a1 - a0) * static_cast<double>(i) / segments;
+    s.push_back({cx + rx * std::cos(t), cy + ry * std::sin(t)});
+  }
+  return s;
+}
+
+namespace {
+
+// Digit templates hand-tuned to read like handwritten digits after the
+// renderer's random affine jitter. Coordinates in the unit box, y down.
+Glyph Make0() {
+  return {MakeArc(0.5, 0.5, 0.26, 0.36, 0.0, 2.0 * kPi, 24)};
+}
+
+Glyph Make1() {
+  return {{{0.36, 0.30}, {0.52, 0.14}},
+          {{0.52, 0.14}, {0.52, 0.86}}};
+}
+
+Glyph Make2() {
+  Glyph g;
+  // Top hook.
+  g.push_back(MakeArc(0.5, 0.33, 0.24, 0.20, -kPi, 0.0, 10));
+  // Diagonal to bottom-left, then base bar.
+  g.push_back({{0.74, 0.33}, {0.26, 0.84}});
+  g.push_back({{0.26, 0.84}, {0.78, 0.84}});
+  return g;
+}
+
+Glyph Make3() {
+  Glyph g;
+  g.push_back(MakeArc(0.47, 0.32, 0.22, 0.18, -0.8 * kPi, 0.45 * kPi, 12));
+  g.push_back(MakeArc(0.47, 0.68, 0.24, 0.19, -0.45 * kPi, 0.8 * kPi, 12));
+  return g;
+}
+
+Glyph Make4() {
+  return {{{0.58, 0.12}, {0.22, 0.60}},
+          {{0.22, 0.60}, {0.80, 0.60}},
+          {{0.62, 0.12}, {0.62, 0.88}}};
+}
+
+Glyph Make5() {
+  Glyph g;
+  g.push_back({{0.74, 0.14}, {0.30, 0.14}});
+  g.push_back({{0.30, 0.14}, {0.28, 0.46}});
+  g.push_back(MakeArc(0.49, 0.64, 0.24, 0.21, -0.6 * kPi, 0.75 * kPi, 14));
+  return g;
+}
+
+Glyph Make6() {
+  Glyph g;
+  // Sweep from the top right down the left side.
+  g.push_back({{0.68, 0.13}, {0.38, 0.42}});
+  g.push_back({{0.38, 0.42}, {0.28, 0.62}});
+  // Bottom loop.
+  g.push_back(MakeArc(0.50, 0.66, 0.22, 0.20, 0.0, 2.0 * kPi, 18));
+  return g;
+}
+
+Glyph Make7() {
+  return {{{0.24, 0.15}, {0.78, 0.15}},
+          {{0.78, 0.15}, {0.42, 0.86}}};
+}
+
+Glyph Make8() {
+  Glyph g;
+  g.push_back(MakeArc(0.5, 0.31, 0.20, 0.17, 0.0, 2.0 * kPi, 18));
+  g.push_back(MakeArc(0.5, 0.68, 0.23, 0.19, 0.0, 2.0 * kPi, 18));
+  return g;
+}
+
+Glyph Make9() {
+  Glyph g;
+  g.push_back(MakeArc(0.50, 0.33, 0.21, 0.19, 0.0, 2.0 * kPi, 18));
+  g.push_back({{0.71, 0.33}, {0.62, 0.86}});
+  return g;
+}
+
+}  // namespace
+
+const Glyph& DigitGlyph(std::int64_t d) {
+  FLUID_CHECK_MSG(d >= 0 && d <= 9, "DigitGlyph: digit out of range");
+  static const Glyph glyphs[10] = {Make0(), Make1(), Make2(), Make3(),
+                                   Make4(), Make5(), Make6(), Make7(),
+                                   Make8(), Make9()};
+  return glyphs[static_cast<std::size_t>(d)];
+}
+
+double SegmentDistanceSquared(const Point& p, const Point& a, const Point& b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double apx = p.x - a.x;
+  const double apy = p.y - a.y;
+  const double len2 = abx * abx + aby * aby;
+  double t = len2 > 0.0 ? (apx * abx + apy * aby) / len2 : 0.0;
+  t = std::max(0.0, std::min(1.0, t));
+  const double dx = apx - t * abx;
+  const double dy = apy - t * aby;
+  return dx * dx + dy * dy;
+}
+
+double GlyphDistance(const Glyph& glyph, const Point& p) {
+  double best = 1e18;
+  for (const auto& stroke : glyph) {
+    for (std::size_t i = 1; i < stroke.size(); ++i) {
+      best = std::min(best, SegmentDistanceSquared(p, stroke[i - 1], stroke[i]));
+    }
+  }
+  return std::sqrt(best);
+}
+
+}  // namespace fluid::data

@@ -1,0 +1,82 @@
+#include "data/idx.h"
+
+#include "core/serialize.h"
+
+namespace fluid::data {
+
+namespace {
+
+// IDX integers are big-endian.
+std::uint32_t ReadBigEndianU32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+}  // namespace
+
+core::StatusOr<core::Tensor> LoadIdxImages(const std::string& path) {
+  auto bytes = core::ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  const auto& b = *bytes;
+  if (b.size() < 16) return core::Status::DataLoss("IDX image header truncated");
+  const std::uint32_t magic = ReadBigEndianU32(b.data());
+  if (magic != 0x00000803) {
+    return core::Status::DataLoss("bad IDX image magic in " + path);
+  }
+  const std::uint32_t n = ReadBigEndianU32(b.data() + 4);
+  const std::uint32_t rows = ReadBigEndianU32(b.data() + 8);
+  const std::uint32_t cols = ReadBigEndianU32(b.data() + 12);
+  const std::size_t expected =
+      16 + static_cast<std::size_t>(n) * rows * cols;
+  if (b.size() != expected) {
+    return core::Status::DataLoss("IDX image payload size mismatch in " + path);
+  }
+  core::Tensor images({static_cast<std::int64_t>(n), 1,
+                       static_cast<std::int64_t>(rows),
+                       static_cast<std::int64_t>(cols)});
+  auto out = images.data();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>(b[16 + i]) / 255.0F;
+  }
+  return images;
+}
+
+core::StatusOr<std::vector<std::int64_t>> LoadIdxLabels(
+    const std::string& path) {
+  auto bytes = core::ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  const auto& b = *bytes;
+  if (b.size() < 8) return core::Status::DataLoss("IDX label header truncated");
+  const std::uint32_t magic = ReadBigEndianU32(b.data());
+  if (magic != 0x00000801) {
+    return core::Status::DataLoss("bad IDX label magic in " + path);
+  }
+  const std::uint32_t n = ReadBigEndianU32(b.data() + 4);
+  if (b.size() != 8 + static_cast<std::size_t>(n)) {
+    return core::Status::DataLoss("IDX label payload size mismatch in " + path);
+  }
+  std::vector<std::int64_t> labels(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<std::int64_t>(b[8 + i]);
+  }
+  return labels;
+}
+
+core::StatusOr<Dataset> LoadIdxDataset(const std::string& images_path,
+                                       const std::string& labels_path) {
+  auto images = LoadIdxImages(images_path);
+  if (!images.ok()) return images.status();
+  auto labels = LoadIdxLabels(labels_path);
+  if (!labels.ok()) return labels.status();
+  if (images->shape()[0] != static_cast<std::int64_t>(labels->size())) {
+    return core::Status::DataLoss("IDX image/label count mismatch");
+  }
+  Dataset ds;
+  ds.images = std::move(*images);
+  ds.labels = std::move(*labels);
+  return ds;
+}
+
+}  // namespace fluid::data

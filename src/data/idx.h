@@ -1,0 +1,26 @@
+#pragma once
+// Loader for the IDX file format (the format real MNIST ships in).
+//
+// When the genuine MNIST files are present on disk the experiments use
+// them transparently; otherwise the synthetic generator stands in
+// (see mnist.h). Supports the two record types MNIST uses: u8 rank-3
+// image files (magic 0x00000803) and u8 rank-1 label files (0x00000801).
+
+#include <string>
+
+#include "core/error.h"
+#include "data/dataset.h"
+
+namespace fluid::data {
+
+/// Parse an IDX image file into [N, 1, H, W] float tensors scaled to [0,1].
+core::StatusOr<core::Tensor> LoadIdxImages(const std::string& path);
+
+/// Parse an IDX label file into class indices.
+core::StatusOr<std::vector<std::int64_t>> LoadIdxLabels(const std::string& path);
+
+/// Load an images+labels pair into a Dataset.
+core::StatusOr<Dataset> LoadIdxDataset(const std::string& images_path,
+                                       const std::string& labels_path);
+
+}  // namespace fluid::data

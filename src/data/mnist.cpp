@@ -1,0 +1,36 @@
+#include "data/mnist.h"
+
+#include "core/logging.h"
+#include "data/idx.h"
+#include "data/synthetic_mnist.h"
+
+namespace fluid::data {
+
+MnistSplits LoadMnistOrSynthetic(const std::string& dir,
+                                 std::int64_t train_count,
+                                 std::int64_t test_count, std::uint64_t seed,
+                                 const SyntheticMnistOptions& synth_options) {
+  MnistSplits splits;
+  auto train = LoadIdxDataset(dir + "/train-images-idx3-ubyte",
+                              dir + "/train-labels-idx1-ubyte");
+  auto test = LoadIdxDataset(dir + "/t10k-images-idx3-ubyte",
+                             dir + "/t10k-labels-idx1-ubyte");
+  if (train.ok() && test.ok()) {
+    FLUID_LOG(Info) << "using real MNIST from " << dir;
+    splits.train = train->size() > train_count
+                       ? train->Slice(0, train_count)
+                       : std::move(*train);
+    splits.test = test->size() > test_count ? test->Slice(0, test_count)
+                                            : std::move(*test);
+    splits.from_real_files = true;
+    return splits;
+  }
+  FLUID_LOG(Info) << "real MNIST not found under '" << dir
+                  << "'; generating synthetic digits";
+  splits.train = MakeSyntheticMnist(train_count, seed, synth_options);
+  splits.test = MakeSyntheticMnist(test_count, seed + 1, synth_options);
+  splits.from_real_files = false;
+  return splits;
+}
+
+}  // namespace fluid::data

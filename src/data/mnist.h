@@ -1,0 +1,29 @@
+#pragma once
+// Unified entry point for the experiments' dataset: real MNIST when the IDX
+// files exist, synthetic MNIST otherwise (DESIGN.md §3 substitution).
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/synthetic_mnist.h"
+
+namespace fluid::data {
+
+struct MnistSplits {
+  Dataset train;
+  Dataset test;
+  /// True when loaded from real IDX files rather than synthesised.
+  bool from_real_files = false;
+};
+
+/// Look for `train-images-idx3-ubyte` / `train-labels-idx1-ubyte` /
+/// `t10k-images-idx3-ubyte` / `t10k-labels-idx1-ubyte` under `dir` and
+/// load them (truncated to the requested counts); fall back to synthetic
+/// data generated with `seed` (train) and `seed+1` (test) using
+/// `synth_options` (the experiments pass SyntheticMnistOptions::Hard()).
+MnistSplits LoadMnistOrSynthetic(
+    const std::string& dir, std::int64_t train_count, std::int64_t test_count,
+    std::uint64_t seed, const SyntheticMnistOptions& synth_options = {});
+
+}  // namespace fluid::data

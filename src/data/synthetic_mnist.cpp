@@ -1,0 +1,146 @@
+#include "data/synthetic_mnist.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "data/glyphs.h"
+
+namespace fluid::data {
+
+SyntheticMnistOptions SyntheticMnistOptions::Hard() {
+  SyntheticMnistOptions opt;
+  opt.max_rotation_rad = 0.32;  // ~18°
+  opt.min_scale = 0.62;
+  opt.max_scale = 1.18;
+  opt.max_shear = 0.35;
+  opt.max_translate_px = 3.5;
+  opt.min_thickness = 0.028;
+  opt.max_thickness = 0.10;
+  opt.pixel_noise_std = 0.12;
+  opt.min_intensity = 0.55;
+  opt.max_intensity = 1.0;
+  opt.edge_softness = 0.05;
+  return opt;
+}
+
+namespace {
+
+/// 2×2 linear map + translation, applied to unit-box glyph coordinates.
+struct Affine {
+  double a = 1, b = 0, c = 0, d = 1;  // [a b; c d]
+  double tx = 0, ty = 0;
+
+  Point Apply(const Point& p) const {
+    return {a * p.x + b * p.y + tx, c * p.x + d * p.y + ty};
+  }
+};
+
+Affine SampleAffine(core::Rng& rng, const SyntheticMnistOptions& opt,
+                    std::int64_t size) {
+  const double angle = rng.Uniform(-opt.max_rotation_rad, opt.max_rotation_rad);
+  const double sx = rng.Uniform(opt.min_scale, opt.max_scale);
+  const double sy = rng.Uniform(opt.min_scale, opt.max_scale);
+  const double shear = rng.Uniform(-opt.max_shear, opt.max_shear);
+  const double ca = std::cos(angle), sa = std::sin(angle);
+  // rotation ∘ shear ∘ scale, about the glyph centre (0.5, 0.5).
+  Affine m;
+  m.a = ca * sx + (-sa) * (shear * sx);
+  m.b = -sa * sy;
+  m.c = sa * sx + ca * (shear * sx);
+  m.d = ca * sy;
+  const double tpx = rng.Uniform(-opt.max_translate_px, opt.max_translate_px) /
+                     static_cast<double>(size);
+  const double tpy = rng.Uniform(-opt.max_translate_px, opt.max_translate_px) /
+                     static_cast<double>(size);
+  // Keep the centre fixed, then translate.
+  m.tx = 0.5 - (m.a * 0.5 + m.b * 0.5) + tpx;
+  m.ty = 0.5 - (m.c * 0.5 + m.d * 0.5) + tpy;
+  return m;
+}
+
+}  // namespace
+
+core::Tensor RenderDigit(std::int64_t digit, std::uint64_t seed,
+                         std::uint64_t index,
+                         const SyntheticMnistOptions& opt) {
+  FLUID_CHECK_MSG(digit >= 0 && digit <= 9, "RenderDigit digit out of range");
+  const std::int64_t size = opt.image_size;
+  FLUID_CHECK_MSG(size >= 8, "RenderDigit image too small");
+
+  // Per-sample stream: decorrelated across indices and seeds.
+  core::Rng rng(seed ^ (0x5851F42D4C957F2DULL * (index + 1)) ^
+                (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(digit + 1)));
+
+  const Glyph& glyph = DigitGlyph(digit);
+  const Affine fwd = SampleAffine(rng, opt, size);
+  const double thickness = rng.Uniform(opt.min_thickness, opt.max_thickness);
+  const double intensity = rng.Uniform(opt.min_intensity, opt.max_intensity);
+
+  // Pre-transform the glyph once (cheaper than inverting per pixel).
+  Glyph warped;
+  warped.reserve(glyph.size());
+  for (const auto& stroke : glyph) {
+    Stroke w;
+    w.reserve(stroke.size());
+    for (const auto& p : stroke) w.push_back(fwd.Apply(p));
+    warped.push_back(std::move(w));
+  }
+
+  core::Tensor image({1, 1, size, size});
+  auto px = image.data();
+  const double inv = 1.0 / static_cast<double>(size);
+  for (std::int64_t y = 0; y < size; ++y) {
+    for (std::int64_t x = 0; x < size; ++x) {
+      const Point p{(static_cast<double>(x) + 0.5) * inv,
+                    (static_cast<double>(y) + 0.5) * inv};
+      const double d = GlyphDistance(warped, p);
+      // Soft stroke: full intensity inside the core, smooth falloff across
+      // the antialias band.
+      double v = 0.0;
+      if (d < thickness) {
+        v = 1.0;
+      } else if (d < thickness + opt.edge_softness) {
+        const double t = (d - thickness) / opt.edge_softness;
+        v = 1.0 - t * t * (3.0 - 2.0 * t);  // smoothstep down
+      }
+      v *= intensity;
+      v += rng.Normal(0.0, opt.pixel_noise_std);
+      px[static_cast<std::size_t>(y * size + x)] =
+          static_cast<float>(std::clamp(v, 0.0, 1.0));
+    }
+  }
+  return image;
+}
+
+Dataset MakeSyntheticMnist(std::int64_t count, std::uint64_t seed,
+                           const SyntheticMnistOptions& opt) {
+  FLUID_CHECK_MSG(count > 0, "MakeSyntheticMnist count must be positive");
+  const std::int64_t size = opt.image_size;
+  Dataset ds;
+  ds.images = core::Tensor({count, 1, size, size});
+  ds.labels.resize(static_cast<std::size_t>(count));
+
+  // Balanced labels in a seed-deterministic shuffled order so that any
+  // prefix of the dataset is approximately balanced too.
+  core::Rng order_rng(seed ^ 0xC0FFEE0DDBA11ULL);
+  std::vector<std::int64_t> digits(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    digits[static_cast<std::size_t>(i)] = i % 10;
+  }
+  order_rng.Shuffle(digits);
+
+  const std::int64_t per = size * size;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t digit = digits[static_cast<std::size_t>(i)];
+    const core::Tensor img =
+        RenderDigit(digit, seed, static_cast<std::uint64_t>(i), opt);
+    std::copy(img.data().begin(), img.data().end(),
+              ds.images.data().begin() + i * per);
+    ds.labels[static_cast<std::size_t>(i)] = digit;
+  }
+  return ds;
+}
+
+}  // namespace fluid::data

@@ -1,0 +1,71 @@
+#include "nn/activations.h"
+#include <sstream>
+
+#include "core/error.h"
+
+namespace fluid::nn {
+
+core::Tensor ReLU::Forward(const core::Tensor& input, bool training) {
+  core::Tensor output(input.shape());
+  auto in = input.data();
+  auto out = output.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = in[i] > 0.0F ? in[i] : 0.0F;
+  }
+  if (training) cached_input_ = input;
+  return output;
+}
+
+core::Tensor ReLU::Backward(const core::Tensor& grad_output) {
+  FLUID_CHECK_MSG(!cached_input_.empty(),
+                  "ReLU::Backward without training Forward");
+  FLUID_CHECK_MSG(grad_output.shape() == cached_input_.shape(),
+                  "ReLU::Backward grad shape mismatch");
+  core::Tensor grad_input(grad_output.shape());
+  auto in = cached_input_.data();
+  auto go = grad_output.data();
+  auto gi = grad_input.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    gi[i] = in[i] > 0.0F ? go[i] : 0.0F;
+  }
+  return grad_input;
+}
+
+LeakyReLU::LeakyReLU(float slope) : slope_(slope) {
+  FLUID_CHECK_MSG(slope >= 0.0F && slope < 1.0F,
+                  "LeakyReLU slope must be in [0, 1)");
+}
+
+core::Tensor LeakyReLU::Forward(const core::Tensor& input, bool training) {
+  core::Tensor output(input.shape());
+  auto in = input.data();
+  auto out = output.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = in[i] > 0.0F ? in[i] : slope_ * in[i];
+  }
+  if (training) cached_input_ = input;
+  return output;
+}
+
+core::Tensor LeakyReLU::Backward(const core::Tensor& grad_output) {
+  FLUID_CHECK_MSG(!cached_input_.empty(),
+                  "LeakyReLU::Backward without training Forward");
+  FLUID_CHECK_MSG(grad_output.shape() == cached_input_.shape(),
+                  "LeakyReLU::Backward grad shape mismatch");
+  core::Tensor grad_input(grad_output.shape());
+  auto in = cached_input_.data();
+  auto go = grad_output.data();
+  auto gi = grad_input.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    gi[i] = in[i] > 0.0F ? go[i] : slope_ * go[i];
+  }
+  return grad_input;
+}
+
+std::string LeakyReLU::ToString() const {
+  std::ostringstream os;
+  os << "LeakyReLU(" << slope_ << ")";
+  return os.str();
+}
+
+}  // namespace fluid::nn

@@ -1,0 +1,40 @@
+#pragma once
+// Stateless activation layers.
+
+#include "nn/layer.h"
+
+namespace fluid::nn {
+
+class ReLU : public Layer {
+ public:
+  core::Tensor Forward(const core::Tensor& input, bool training) override;
+  core::Tensor Backward(const core::Tensor& grad_output) override;
+  std::string Kind() const override { return "ReLU"; }
+
+ private:
+  core::Tensor cached_input_;
+};
+
+/// max(x, slope·x). The Fluid model uses this instead of plain ReLU:
+/// when an upper channel slice trained inside the wide model is restricted
+/// to its own inputs, its pre-activations can turn uniformly negative, and
+/// with a hard ReLU the standalone slice would be gradient-dead and
+/// unrecoverable by Algorithm 1's retraining (the failure behind the
+/// paper's "reusing the weights ... is nontrivial"). The leak keeps the
+/// retraining well-posed.
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float slope = 0.01F);
+
+  core::Tensor Forward(const core::Tensor& input, bool training) override;
+  core::Tensor Backward(const core::Tensor& grad_output) override;
+  std::string Kind() const override { return "LeakyReLU"; }
+  std::string ToString() const override;
+  float slope() const { return slope_; }
+
+ private:
+  float slope_;
+  core::Tensor cached_input_;
+};
+
+}  // namespace fluid::nn

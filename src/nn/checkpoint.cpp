@@ -1,0 +1,84 @@
+#include "nn/checkpoint.h"
+
+namespace fluid::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4B434C46;  // "FLCK" little-endian
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+StateDict ExtractState(Layer& model) {
+  StateDict state;
+  for (const auto& p : model.Params()) {
+    state[p.name] = *p.value;
+  }
+  return state;
+}
+
+core::Status LoadState(Layer& model, const StateDict& state,
+                       bool allow_partial) {
+  for (const auto& p : model.Params()) {
+    const auto it = state.find(p.name);
+    if (it == state.end()) {
+      if (allow_partial) continue;
+      return core::Status::NotFound("checkpoint missing parameter " + p.name);
+    }
+    if (it->second.shape() != p.value->shape()) {
+      return core::Status::InvalidArgument(
+          "checkpoint shape mismatch for " + p.name + ": model " +
+          p.value->shape().ToString() + " vs checkpoint " +
+          it->second.shape().ToString());
+    }
+    *p.value = it->second;
+  }
+  return core::Status::Ok();
+}
+
+std::vector<std::uint8_t> SerializeState(const StateDict& state) {
+  core::ByteWriter w;
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteU32(static_cast<std::uint32_t>(state.size()));
+  for (const auto& [name, tensor] : state) {
+    w.WriteString(name);
+    w.WriteTensor(tensor);
+  }
+  return w.TakeBuffer();
+}
+
+core::StatusOr<StateDict> ParseState(std::span<const std::uint8_t> bytes) {
+  core::ByteReader r(bytes);
+  std::uint32_t magic = 0, version = 0, count = 0;
+  FLUID_RETURN_IF_ERROR(r.TryReadU32(magic));
+  if (magic != kMagic) return core::Status::DataLoss("bad checkpoint magic");
+  FLUID_RETURN_IF_ERROR(r.TryReadU32(version));
+  if (version != kVersion) {
+    return core::Status::DataLoss("unsupported checkpoint version " +
+                                  std::to_string(version));
+  }
+  FLUID_RETURN_IF_ERROR(r.TryReadU32(count));
+  StateDict state;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    FLUID_RETURN_IF_ERROR(r.TryReadString(name));
+    core::Tensor t;
+    FLUID_RETURN_IF_ERROR(r.TryReadTensor(t));
+    state[name] = std::move(t);
+  }
+  return state;
+}
+
+core::Status SaveCheckpoint(Layer& model, const std::string& path) {
+  const auto bytes = SerializeState(ExtractState(model));
+  return core::WriteFile(path, bytes);
+}
+
+core::Status LoadCheckpoint(Layer& model, const std::string& path) {
+  auto bytes = core::ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  auto state = ParseState(*bytes);
+  if (!state.ok()) return state.status();
+  return LoadState(model, *state);
+}
+
+}  // namespace fluid::nn

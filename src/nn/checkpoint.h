@@ -1,0 +1,39 @@
+#pragma once
+// Named-parameter checkpoints (save / load / in-memory state dicts).
+//
+// Format v1: magic "FLCK", u32 version, u32 count, then per entry a string
+// name and a tensor. The distributed deployment plans reuse the same
+// in-memory StateDict to ship sub-network weights to workers.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/serialize.h"
+#include "core/tensor.h"
+#include "nn/layer.h"
+
+namespace fluid::nn {
+
+/// Ordered name → tensor map (ordered so serialization is deterministic).
+using StateDict = std::map<std::string, core::Tensor>;
+
+/// Snapshot all parameters of a layer tree.
+StateDict ExtractState(Layer& model);
+
+/// Load parameters by name. Missing names or shape mismatches are errors
+/// unless `allow_partial` — then matching names load and the rest are left
+/// untouched (used when deploying a slice onto a fresh model).
+core::Status LoadState(Layer& model, const StateDict& state,
+                       bool allow_partial = false);
+
+/// Serialize a state dict to bytes / parse it back.
+std::vector<std::uint8_t> SerializeState(const StateDict& state);
+core::StatusOr<StateDict> ParseState(std::span<const std::uint8_t> bytes);
+
+/// File convenience wrappers.
+core::Status SaveCheckpoint(Layer& model, const std::string& path);
+core::Status LoadCheckpoint(Layer& model, const std::string& path);
+
+}  // namespace fluid::nn

@@ -1,0 +1,129 @@
+#include "nn/conv2d.h"
+
+#include <sstream>
+#include <vector>
+
+#include "core/error.h"
+#include "core/gemm.h"
+#include "nn/im2col.h"
+
+namespace fluid::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               core::Rng& rng, std::string name)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      name_(std::move(name)),
+      weight_(core::Tensor::KaimingUniform(
+          {out_channels, in_channels, kernel, kernel}, rng,
+          in_channels * kernel * kernel)),
+      bias_(core::Tensor({out_channels})),
+      weight_grad_(core::Tensor({out_channels, in_channels, kernel, kernel})),
+      bias_grad_(core::Tensor({out_channels})) {
+  FLUID_CHECK_MSG(in_channels > 0 && out_channels > 0 && kernel > 0,
+                  "Conv2d: dimensions must be positive");
+}
+
+core::Tensor Conv2d::Forward(const core::Tensor& input, bool training) {
+  const auto& s = input.shape();
+  FLUID_CHECK_MSG(s.rank() == 4 && s[1] == in_channels_,
+                  "Conv2d: expected input [N," + std::to_string(in_channels_) +
+                      ",H,W], got " + s.ToString());
+  const std::int64_t batch = s[0], height = s[2], width = s[3];
+  const std::int64_t out_h = ConvOutExtent(height, kernel_, stride_, pad_);
+  const std::int64_t out_w = ConvOutExtent(width, kernel_, stride_, pad_);
+  const std::int64_t patch = in_channels_ * kernel_ * kernel_;
+  const std::int64_t area = out_h * out_w;
+
+  core::Tensor output({batch, out_channels_, out_h, out_w});
+  std::vector<float> cols(static_cast<std::size_t>(patch * area));
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const auto in_sample = input.data().subspan(
+        static_cast<std::size_t>(n * in_channels_ * height * width),
+        static_cast<std::size_t>(in_channels_ * height * width));
+    Im2Col(in_sample, in_channels_, height, width, 0, in_channels_, kernel_,
+           stride_, pad_, cols);
+    float* out_sample =
+        output.data().data() + n * out_channels_ * area;
+    // out [Cout, area] = W [Cout, patch] × cols [patch, area]
+    core::Gemm(false, false, out_channels_, area, patch, 1.0F,
+               weight_.data().data(), patch, cols.data(), area, 0.0F,
+               out_sample, area);
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      const float b = bias_.data()[static_cast<std::size_t>(c)];
+      float* row = out_sample + c * area;
+      for (std::int64_t i = 0; i < area; ++i) row[i] += b;
+    }
+  }
+  if (training) cached_input_ = input;
+  return output;
+}
+
+core::Tensor Conv2d::Backward(const core::Tensor& grad_output) {
+  FLUID_CHECK_MSG(!cached_input_.empty(),
+                  "Conv2d::Backward without training Forward");
+  const auto& in_shape = cached_input_.shape();
+  const std::int64_t batch = in_shape[0], height = in_shape[2],
+                     width = in_shape[3];
+  const std::int64_t out_h = ConvOutExtent(height, kernel_, stride_, pad_);
+  const std::int64_t out_w = ConvOutExtent(width, kernel_, stride_, pad_);
+  const std::int64_t patch = in_channels_ * kernel_ * kernel_;
+  const std::int64_t area = out_h * out_w;
+  FLUID_CHECK_MSG(grad_output.shape() ==
+                      core::Shape({batch, out_channels_, out_h, out_w}),
+                  "Conv2d::Backward grad shape mismatch");
+
+  core::Tensor grad_input(in_shape);
+  std::vector<float> cols(static_cast<std::size_t>(patch * area));
+  std::vector<float> grad_cols(static_cast<std::size_t>(patch * area));
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const auto in_sample = cached_input_.data().subspan(
+        static_cast<std::size_t>(n * in_channels_ * height * width),
+        static_cast<std::size_t>(in_channels_ * height * width));
+    Im2Col(in_sample, in_channels_, height, width, 0, in_channels_, kernel_,
+           stride_, pad_, cols);
+    const float* go_sample =
+        grad_output.data().data() + n * out_channels_ * area;
+
+    // dW [Cout, patch] += gO [Cout, area] × colsᵀ [area, patch]
+    core::Gemm(false, true, out_channels_, patch, area, 1.0F, go_sample, area,
+               cols.data(), area, 1.0F, weight_grad_.data().data(), patch);
+    // db += row sums of gO
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      double s = 0.0;
+      const float* row = go_sample + c * area;
+      for (std::int64_t i = 0; i < area; ++i) s += row[i];
+      bias_grad_.data()[static_cast<std::size_t>(c)] += static_cast<float>(s);
+    }
+    // gCols [patch, area] = Wᵀ [patch, Cout] × gO [Cout, area]
+    core::Gemm(true, false, patch, area, out_channels_, 1.0F,
+               weight_.data().data(), patch, go_sample, area, 0.0F,
+               grad_cols.data(), area);
+    auto gi_sample = grad_input.data().subspan(
+        static_cast<std::size_t>(n * in_channels_ * height * width),
+        static_cast<std::size_t>(in_channels_ * height * width));
+    Col2Im(grad_cols, in_channels_, height, width, 0, in_channels_, kernel_,
+           stride_, pad_, gi_sample);
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Conv2d::Params() {
+  return {{name_ + ".weight", &weight_, &weight_grad_},
+          {name_ + ".bias", &bias_, &bias_grad_}};
+}
+
+std::string Conv2d::ToString() const {
+  std::ostringstream os;
+  os << "Conv2d(" << in_channels_ << "->" << out_channels_ << ", k=" << kernel_
+     << ", s=" << stride_ << ", p=" << pad_ << ")";
+  return os.str();
+}
+
+}  // namespace fluid::nn

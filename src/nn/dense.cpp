@@ -1,0 +1,83 @@
+#include "nn/dense.h"
+
+#include <sstream>
+
+#include "core/error.h"
+#include "core/gemm.h"
+
+namespace fluid::nn {
+
+Dense::Dense(std::int64_t in_features, std::int64_t out_features,
+             core::Rng& rng, std::string name)
+    : in_features_(in_features),
+      out_features_(out_features),
+      name_(std::move(name)),
+      weight_(core::Tensor::KaimingUniform({out_features, in_features}, rng,
+                                           in_features)),
+      bias_(core::Tensor({out_features})),
+      weight_grad_(core::Tensor({out_features, in_features})),
+      bias_grad_(core::Tensor({out_features})) {
+  FLUID_CHECK_MSG(in_features > 0 && out_features > 0,
+                  "Dense: dimensions must be positive");
+}
+
+core::Tensor Dense::Forward(const core::Tensor& input, bool training) {
+  const auto& s = input.shape();
+  FLUID_CHECK_MSG(s.rank() == 2 && s[1] == in_features_,
+                  "Dense: expected [N," + std::to_string(in_features_) +
+                      "], got " + s.ToString());
+  const std::int64_t batch = s[0];
+  core::Tensor output({batch, out_features_});
+  // out [N, out] = in [N, in] × Wᵀ [in, out]
+  core::Gemm(false, true, batch, out_features_, in_features_, 1.0F,
+             input.data().data(), in_features_, weight_.data().data(),
+             in_features_, 0.0F, output.data().data(), out_features_);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    float* row = output.data().data() + n * out_features_;
+    for (std::int64_t o = 0; o < out_features_; ++o) {
+      row[o] += bias_.data()[static_cast<std::size_t>(o)];
+    }
+  }
+  if (training) cached_input_ = input;
+  return output;
+}
+
+core::Tensor Dense::Backward(const core::Tensor& grad_output) {
+  FLUID_CHECK_MSG(!cached_input_.empty(),
+                  "Dense::Backward without training Forward");
+  const std::int64_t batch = cached_input_.shape()[0];
+  FLUID_CHECK_MSG(grad_output.shape() == core::Shape({batch, out_features_}),
+                  "Dense::Backward grad shape mismatch");
+
+  // dW [out, in] += gOᵀ [out, N] × in [N, in]
+  core::Gemm(true, false, out_features_, in_features_, batch, 1.0F,
+             grad_output.data().data(), out_features_,
+             cached_input_.data().data(), in_features_, 1.0F,
+             weight_grad_.data().data(), in_features_);
+  // db += column sums of gO
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = grad_output.data().data() + n * out_features_;
+    for (std::int64_t o = 0; o < out_features_; ++o) {
+      bias_grad_.data()[static_cast<std::size_t>(o)] += row[o];
+    }
+  }
+  // gIn [N, in] = gO [N, out] × W [out, in]
+  core::Tensor grad_input({batch, in_features_});
+  core::Gemm(false, false, batch, in_features_, out_features_, 1.0F,
+             grad_output.data().data(), out_features_, weight_.data().data(),
+             in_features_, 0.0F, grad_input.data().data(), in_features_);
+  return grad_input;
+}
+
+std::vector<ParamRef> Dense::Params() {
+  return {{name_ + ".weight", &weight_, &weight_grad_},
+          {name_ + ".bias", &bias_, &bias_grad_}};
+}
+
+std::string Dense::ToString() const {
+  std::ostringstream os;
+  os << "Dense(" << in_features_ << "->" << out_features_ << ")";
+  return os.str();
+}
+
+}  // namespace fluid::nn

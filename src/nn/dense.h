@@ -1,0 +1,37 @@
+#pragma once
+// Fully-connected layer: y = W x + b, rank-2 inputs [N, in].
+
+#include <cstdint>
+#include <string>
+
+#include "core/rng.h"
+#include "nn/layer.h"
+
+namespace fluid::nn {
+
+class Dense : public Layer {
+ public:
+  /// Weight [out, in], Kaiming-uniform; bias [out], zero.
+  Dense(std::int64_t in_features, std::int64_t out_features, core::Rng& rng,
+        std::string name = "dense");
+
+  core::Tensor Forward(const core::Tensor& input, bool training) override;
+  core::Tensor Backward(const core::Tensor& grad_output) override;
+  std::vector<ParamRef> Params() override;
+  std::string Kind() const override { return "Dense"; }
+  std::string ToString() const override;
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+  core::Tensor& weight() { return weight_; }
+  core::Tensor& bias() { return bias_; }
+
+ private:
+  std::int64_t in_features_, out_features_;
+  std::string name_;
+  core::Tensor weight_, bias_;
+  core::Tensor weight_grad_, bias_grad_;
+  core::Tensor cached_input_;
+};
+
+}  // namespace fluid::nn

@@ -1,0 +1,22 @@
+#include "nn/flatten.h"
+
+#include "core/error.h"
+
+namespace fluid::nn {
+
+core::Tensor Flatten::Forward(const core::Tensor& input, bool training) {
+  const auto& s = input.shape();
+  FLUID_CHECK_MSG(s.rank() >= 1, "Flatten expects rank >= 1");
+  const std::int64_t batch = s[0];
+  const std::int64_t rest = batch == 0 ? 0 : input.numel() / batch;
+  if (training) cached_in_shape_ = s;
+  return input.Reshaped({batch, rest});
+}
+
+core::Tensor Flatten::Backward(const core::Tensor& grad_output) {
+  FLUID_CHECK_MSG(cached_in_shape_.rank() > 0,
+                  "Flatten::Backward without training Forward");
+  return grad_output.Reshaped(cached_in_shape_);
+}
+
+}  // namespace fluid::nn

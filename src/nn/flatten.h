@@ -1,0 +1,18 @@
+#pragma once
+// Flattens [N, ...] to [N, prod(...)]; shape-only, no data movement.
+
+#include "nn/layer.h"
+
+namespace fluid::nn {
+
+class Flatten : public Layer {
+ public:
+  core::Tensor Forward(const core::Tensor& input, bool training) override;
+  core::Tensor Backward(const core::Tensor& grad_output) override;
+  std::string Kind() const override { return "Flatten"; }
+
+ private:
+  core::Shape cached_in_shape_;
+};
+
+}  // namespace fluid::nn

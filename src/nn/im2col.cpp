@@ -1,0 +1,93 @@
+#include "nn/im2col.h"
+
+#include "core/error.h"
+
+namespace fluid::nn {
+
+std::int64_t ConvOutExtent(std::int64_t in, std::int64_t kernel,
+                           std::int64_t stride, std::int64_t pad) {
+  FLUID_CHECK_MSG(stride > 0, "stride must be positive");
+  const std::int64_t padded = in + 2 * pad - kernel;
+  FLUID_CHECK_MSG(padded >= 0, "kernel larger than padded input");
+  return padded / stride + 1;
+}
+
+void Im2Col(std::span<const float> input, std::int64_t channels,
+            std::int64_t height, std::int64_t width, std::int64_t c_lo,
+            std::int64_t c_hi, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, std::span<float> cols) {
+  FLUID_CHECK_MSG(0 <= c_lo && c_lo < c_hi && c_hi <= channels,
+                  "Im2Col channel slice out of range");
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(input.size()) ==
+                      channels * height * width,
+                  "Im2Col input size mismatch");
+  const std::int64_t out_h = ConvOutExtent(height, kernel, stride, pad);
+  const std::int64_t out_w = ConvOutExtent(width, kernel, stride, pad);
+  const std::int64_t slice = c_hi - c_lo;
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(cols.size()) ==
+                      slice * kernel * kernel * out_h * out_w,
+                  "Im2Col cols size mismatch");
+
+  const std::int64_t patch_area = out_h * out_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = c_lo; c < c_hi; ++c) {
+    const float* chan = input.data() + c * height * width;
+    for (std::int64_t ky = 0; ky < kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < kernel; ++kx, ++row) {
+        float* dst = cols.data() + row * patch_area;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= height) {
+            for (std::int64_t ox = 0; ox < out_w; ++ox) dst[oy * out_w + ox] = 0.0F;
+            continue;
+          }
+          const float* src_row = chan + iy * width;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * stride + kx - pad;
+            dst[oy * out_w + ox] =
+                (ix >= 0 && ix < width) ? src_row[ix] : 0.0F;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(std::span<const float> cols, std::int64_t channels,
+            std::int64_t height, std::int64_t width, std::int64_t c_lo,
+            std::int64_t c_hi, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, std::span<float> grad_input) {
+  FLUID_CHECK_MSG(0 <= c_lo && c_lo < c_hi && c_hi <= channels,
+                  "Col2Im channel slice out of range");
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(grad_input.size()) ==
+                      channels * height * width,
+                  "Col2Im grad_input size mismatch");
+  const std::int64_t out_h = ConvOutExtent(height, kernel, stride, pad);
+  const std::int64_t out_w = ConvOutExtent(width, kernel, stride, pad);
+  const std::int64_t slice = c_hi - c_lo;
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(cols.size()) ==
+                      slice * kernel * kernel * out_h * out_w,
+                  "Col2Im cols size mismatch");
+
+  const std::int64_t patch_area = out_h * out_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = c_lo; c < c_hi; ++c) {
+    float* chan = grad_input.data() + c * height * width;
+    for (std::int64_t ky = 0; ky < kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < kernel; ++kx, ++row) {
+        const float* src = cols.data() + row * patch_area;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= height) continue;
+          float* dst_row = chan + iy * width;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * stride + kx - pad;
+            if (ix >= 0 && ix < width) dst_row[ix] += src[oy * out_w + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fluid::nn

@@ -1,0 +1,34 @@
+#pragma once
+// im2col / col2im for 2-D convolution, with channel-range support.
+//
+// The channel-range parameters are what make the slimmable layers work:
+// fluid::slim executes a sub-network by lowering only the active input
+// channel slice, so the same routines serve both the plain and the
+// slimmable convolutions.
+
+#include <cstdint>
+#include <span>
+
+namespace fluid::nn {
+
+/// Output spatial extent of a convolution axis.
+std::int64_t ConvOutExtent(std::int64_t in, std::int64_t kernel,
+                           std::int64_t stride, std::int64_t pad);
+
+/// Lower one image's channel slice [c_lo, c_hi) into column-major patches.
+///   input: one sample, C×H×W contiguous (full C extent = `channels`).
+///   cols:  out buffer, ((c_hi-c_lo)*k*k) × (out_h*out_w), row-major.
+void Im2Col(std::span<const float> input, std::int64_t channels,
+            std::int64_t height, std::int64_t width, std::int64_t c_lo,
+            std::int64_t c_hi, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, std::span<float> cols);
+
+/// Inverse scatter-add of Im2Col: accumulates column gradients back into the
+/// image gradient slice [c_lo, c_hi). `grad_input` must cover the full C
+/// extent; only the slice is touched (+=).
+void Col2Im(std::span<const float> cols, std::int64_t channels,
+            std::int64_t height, std::int64_t width, std::int64_t c_lo,
+            std::int64_t c_hi, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, std::span<float> grad_input);
+
+}  // namespace fluid::nn

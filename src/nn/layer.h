@@ -1,0 +1,58 @@
+#pragma once
+// Layer interface for the from-scratch NN substrate.
+//
+// The library uses explicit, layer-local backpropagation rather than a tape
+// autograd: each layer caches what it needs during Forward and produces the
+// input gradient in Backward while accumulating its parameter gradients.
+// This keeps the slimmable channel-slice logic (fluid::slim) tractable and
+// auditable — the paper's contribution is a *training schedule*, and the
+// schedule manipulates exactly these parameter blocks.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace fluid::nn {
+
+/// Non-owning handle to one learnable parameter and its gradient
+/// accumulator. `name` is unique within a model and stable across runs —
+/// checkpoints and the distributed deployment plans key on it.
+struct ParamRef {
+  std::string name;
+  core::Tensor* value = nullptr;
+  core::Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute the layer output. When `training` is true the layer may cache
+  /// activations needed by Backward; inference calls with false avoid that
+  /// memory traffic.
+  virtual core::Tensor Forward(const core::Tensor& input, bool training) = 0;
+
+  /// Given ∂L/∂output, accumulate parameter gradients (+=) and return
+  /// ∂L/∂input. Only valid after a Forward(…, training=true).
+  virtual core::Tensor Backward(const core::Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> Params() { return {}; }
+
+  /// Zero all parameter gradient accumulators.
+  void ZeroGrad() {
+    for (auto& p : Params()) p.grad->Zero();
+  }
+
+  /// Short type tag, e.g. "Conv2d".
+  virtual std::string Kind() const = 0;
+
+  /// Human-readable one-line description.
+  virtual std::string ToString() const { return Kind(); }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace fluid::nn

@@ -1,0 +1,109 @@
+#include "nn/metrics.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/tensor_ops.h"
+
+namespace fluid::nn {
+
+double Accuracy(const core::Tensor& logits,
+                const std::vector<std::int64_t>& labels) {
+  const auto preds = core::ArgmaxRows(logits);
+  FLUID_CHECK_MSG(preds.size() == labels.size(),
+                  "Accuracy: label count mismatch");
+  if (preds.empty()) return 0.0;
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+void AverageMeter::Add(double value, std::int64_t weight) {
+  FLUID_CHECK_MSG(weight >= 0, "AverageMeter weight must be non-negative");
+  sum_ += value * static_cast<double>(weight);
+  count_ += weight;
+}
+
+void AverageMeter::Reset() {
+  sum_ = 0.0;
+  count_ = 0;
+}
+
+double AverageMeter::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+ConfusionMatrix::ConfusionMatrix(std::int64_t num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes * num_classes), 0) {
+  FLUID_CHECK_MSG(num_classes > 0, "ConfusionMatrix needs >= 1 class");
+}
+
+void ConfusionMatrix::Add(std::int64_t predicted, std::int64_t actual) {
+  FLUID_CHECK_MSG(predicted >= 0 && predicted < num_classes_ && actual >= 0 &&
+                      actual < num_classes_,
+                  "ConfusionMatrix::Add class out of range");
+  ++counts_[static_cast<std::size_t>(predicted * num_classes_ + actual)];
+  ++total_;
+}
+
+void ConfusionMatrix::AddBatch(const core::Tensor& logits,
+                               const std::vector<std::int64_t>& labels) {
+  const auto preds = core::ArgmaxRows(logits);
+  FLUID_CHECK_MSG(preds.size() == labels.size(),
+                  "ConfusionMatrix::AddBatch label count mismatch");
+  for (std::size_t i = 0; i < preds.size(); ++i) Add(preds[i], labels[i]);
+}
+
+std::int64_t ConfusionMatrix::at(std::int64_t predicted,
+                                 std::int64_t actual) const {
+  FLUID_CHECK_MSG(predicted >= 0 && predicted < num_classes_ && actual >= 0 &&
+                      actual < num_classes_,
+                  "ConfusionMatrix::at class out of range");
+  return counts_[static_cast<std::size_t>(predicted * num_classes_ + actual)];
+}
+
+double ConfusionMatrix::OverallAccuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t diag = 0;
+  for (std::int64_t c = 0; c < num_classes_; ++c) diag += at(c, c);
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Recall(std::int64_t cls) const {
+  std::int64_t col = 0;
+  for (std::int64_t p = 0; p < num_classes_; ++p) col += at(p, cls);
+  return col == 0 ? 0.0
+                  : static_cast<double>(at(cls, cls)) /
+                        static_cast<double>(col);
+}
+
+double ConfusionMatrix::Precision(std::int64_t cls) const {
+  std::int64_t row = 0;
+  for (std::int64_t a = 0; a < num_classes_; ++a) row += at(cls, a);
+  return row == 0 ? 0.0
+                  : static_cast<double>(at(cls, cls)) /
+                        static_cast<double>(row);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream os;
+  os << "pred\\actual";
+  for (std::int64_t a = 0; a < num_classes_; ++a) {
+    os << std::setw(6) << a;
+  }
+  os << "\n";
+  for (std::int64_t p = 0; p < num_classes_; ++p) {
+    os << std::setw(11) << p;
+    for (std::int64_t a = 0; a < num_classes_; ++a) {
+      os << std::setw(6) << at(p, a);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fluid::nn

@@ -1,0 +1,55 @@
+#pragma once
+// Classification metrics used by the trainers, benches and EXPERIMENTS.md.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace fluid::nn {
+
+/// Fraction of rows whose argmax matches the label, in [0,1].
+double Accuracy(const core::Tensor& logits,
+                const std::vector<std::int64_t>& labels);
+
+/// Streaming mean (loss curves, latency averages).
+class AverageMeter {
+ public:
+  void Add(double value, std::int64_t weight = 1);
+  void Reset();
+  double mean() const;
+  std::int64_t count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+/// Square confusion matrix with pretty-printing, for error analysis in the
+/// examples.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::int64_t num_classes);
+
+  void Add(std::int64_t predicted, std::int64_t actual);
+  void AddBatch(const core::Tensor& logits,
+                const std::vector<std::int64_t>& labels);
+
+  std::int64_t at(std::int64_t predicted, std::int64_t actual) const;
+  std::int64_t total() const { return total_; }
+  double OverallAccuracy() const;
+  /// Recall of one class (diagonal / column sum); 0 when unseen.
+  double Recall(std::int64_t cls) const;
+  /// Precision of one class (diagonal / row sum); 0 when never predicted.
+  double Precision(std::int64_t cls) const;
+
+  std::string ToString() const;
+
+ private:
+  std::int64_t num_classes_;
+  std::vector<std::int64_t> counts_;  // [predicted * C + actual]
+  std::int64_t total_ = 0;
+};
+
+}  // namespace fluid::nn

@@ -1,0 +1,97 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace fluid::nn {
+
+void Optimizer::SetMask(const std::string& param_name, core::Tensor mask) {
+  if (mask.empty()) {
+    masks_.erase(param_name);
+    return;
+  }
+  masks_[param_name] = std::move(mask);
+}
+
+const core::Tensor* Optimizer::MaskFor(const std::string& name) const {
+  const auto it = masks_.find(name);
+  return it == masks_.end() ? nullptr : &it->second;
+}
+
+Sgd::Sgd(float learning_rate, float momentum, float weight_decay)
+    : Optimizer(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {}
+
+void Sgd::Step(const std::vector<ParamRef>& params) {
+  for (const auto& p : params) {
+    FLUID_CHECK_MSG(p.value && p.grad, "Sgd: null param " + p.name);
+    auto& vel = velocity_[p.name];
+    if (vel.shape() != p.value->shape()) vel = core::Tensor(p.value->shape());
+
+    const core::Tensor* mask = MaskFor(p.name);
+    if (mask) {
+      FLUID_CHECK_MSG(mask->shape() == p.value->shape(),
+                      "Sgd: mask shape mismatch for " + p.name);
+    }
+    auto w = p.value->data();
+    auto g = p.grad->data();
+    auto v = vel.data();
+    const float* m = mask ? mask->data().data() : nullptr;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (m && m[i] == 0.0F) continue;
+      const float grad = g[i] + weight_decay_ * w[i];
+      v[i] = momentum_ * v[i] + grad;
+      w[i] -= learning_rate_ * v[i];
+    }
+  }
+}
+
+Adam::Adam(float learning_rate, float beta1, float beta2, float epsilon)
+    : Optimizer(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {}
+
+void Adam::Step(const std::vector<ParamRef>& params) {
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  for (const auto& p : params) {
+    FLUID_CHECK_MSG(p.value && p.grad, "Adam: null param " + p.name);
+    auto& mom = moments_[p.name];
+    if (mom.m.shape() != p.value->shape()) {
+      mom.m = core::Tensor(p.value->shape());
+      mom.v = core::Tensor(p.value->shape());
+    }
+    const core::Tensor* mask = MaskFor(p.name);
+    if (mask) {
+      FLUID_CHECK_MSG(mask->shape() == p.value->shape(),
+                      "Adam: mask shape mismatch for " + p.name);
+    }
+    auto w = p.value->data();
+    auto g = p.grad->data();
+    auto m1 = mom.m.data();
+    auto m2 = mom.v.data();
+    const float* msk = mask ? mask->data().data() : nullptr;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (msk && msk[i] == 0.0F) continue;
+      m1[i] = beta1_ * m1[i] + (1.0F - beta1_) * g[i];
+      m2[i] = beta2_ * m2[i] + (1.0F - beta2_) * g[i] * g[i];
+      const double mhat = m1[i] / bc1;
+      const double vhat = m2[i] / bc2;
+      w[i] -= static_cast<float>(learning_rate_ * mhat /
+                                 (std::sqrt(vhat) + epsilon_));
+    }
+  }
+}
+
+float StepLrSchedule::LrAt(std::int64_t epoch) const {
+  FLUID_CHECK_MSG(epoch >= 0, "epoch must be non-negative");
+  if (step_epochs_ <= 0) return base_lr_;
+  return base_lr_ *
+         std::pow(gamma_, static_cast<float>(epoch / step_epochs_));
+}
+
+}  // namespace fluid::nn

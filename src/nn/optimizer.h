@@ -1,0 +1,98 @@
+#pragma once
+// Optimizers with per-parameter *update masks*.
+//
+// The masks are the mechanism behind incremental training: when a wider
+// sub-network is trained on top of a frozen narrower one, the trainer
+// installs a 0/1 mask over each parameter so updates touch only the newly
+// added channel block. Gradients are still computed everywhere (cheap for
+// these model sizes); the mask gates the weight update, which is exactly
+// the "freeze" semantics of Xun et al. (MLCAD'19) and Algorithm 1.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tensor.h"
+#include "nn/layer.h"
+
+namespace fluid::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Apply one update step to all `params` using their accumulated grads.
+  virtual void Step(const std::vector<ParamRef>& params) = 0;
+
+  /// Install a 0/1 mask for the named parameter (same shape as the value).
+  /// Elements with mask 0 are not updated. Passing an empty tensor clears
+  /// the mask.
+  void SetMask(const std::string& param_name, core::Tensor mask);
+  void ClearMasks() { masks_.clear(); }
+  bool HasMask(const std::string& param_name) const {
+    return masks_.contains(param_name);
+  }
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ protected:
+  explicit Optimizer(float learning_rate) : learning_rate_(learning_rate) {}
+
+  /// Returns the mask for `name`, or nullptr when unmasked.
+  const core::Tensor* MaskFor(const std::string& name) const;
+
+  float learning_rate_;
+
+ private:
+  std::unordered_map<std::string, core::Tensor> masks_;
+};
+
+/// SGD with classical momentum and decoupled L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float learning_rate, float momentum = 0.9F,
+               float weight_decay = 0.0F);
+
+  void Step(const std::vector<ParamRef>& params) override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::unordered_map<std::string, core::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float learning_rate, float beta1 = 0.9F, float beta2 = 0.999F,
+                float epsilon = 1e-8F);
+
+  void Step(const std::vector<ParamRef>& params) override;
+
+ private:
+  struct Moments {
+    core::Tensor m;
+    core::Tensor v;
+  };
+  float beta1_, beta2_, epsilon_;
+  std::int64_t step_count_ = 0;
+  std::unordered_map<std::string, Moments> moments_;
+};
+
+/// Step-decay learning-rate schedule: lr = base * gamma^(epoch / step).
+class StepLrSchedule {
+ public:
+  StepLrSchedule(float base_lr, std::int64_t step_epochs, float gamma)
+      : base_lr_(base_lr), step_epochs_(step_epochs), gamma_(gamma) {}
+
+  float LrAt(std::int64_t epoch) const;
+
+ private:
+  float base_lr_;
+  std::int64_t step_epochs_;
+  float gamma_;
+};
+
+}  // namespace fluid::nn

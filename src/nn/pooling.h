@@ -1,0 +1,27 @@
+#pragma once
+// Max pooling over NCHW inputs.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fluid::nn {
+
+class MaxPool2d : public Layer {
+ public:
+  /// Square window, stride == window (the paper's model pools 2×2/2).
+  explicit MaxPool2d(std::int64_t window);
+
+  core::Tensor Forward(const core::Tensor& input, bool training) override;
+  core::Tensor Backward(const core::Tensor& grad_output) override;
+  std::string Kind() const override { return "MaxPool2d"; }
+  std::string ToString() const override;
+
+ private:
+  std::int64_t window_;
+  core::Shape cached_in_shape_;
+  std::vector<std::int64_t> cached_argmax_;  // flat input index per output elt
+};
+
+}  // namespace fluid::nn

@@ -1,0 +1,56 @@
+#include "nn/sequential.h"
+
+#include <sstream>
+
+#include "core/error.h"
+
+namespace fluid::nn {
+
+Sequential& Sequential::Add(LayerPtr layer) {
+  FLUID_CHECK_MSG(layer != nullptr, "Sequential::Add null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+core::Tensor Sequential::Forward(const core::Tensor& input, bool training) {
+  core::Tensor x = input;
+  for (auto& l : layers_) x = l->Forward(x, training);
+  return x;
+}
+
+core::Tensor Sequential::Backward(const core::Tensor& grad_output) {
+  core::Tensor g = grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->Backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamRef> Sequential::Params() {
+  std::vector<ParamRef> params;
+  for (auto& l : layers_) {
+    for (auto& p : l->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  FLUID_CHECK_MSG(i < layers_.size(), "Sequential::layer index out of range");
+  return *layers_[i];
+}
+
+std::int64_t Sequential::ParamCount() {
+  std::int64_t n = 0;
+  for (const auto& p : Params()) n += p.value->numel();
+  return n;
+}
+
+std::string Sequential::ToString() const {
+  std::ostringstream os;
+  os << "Sequential(\n";
+  for (const auto& l : layers_) os << "  " << l->ToString() << "\n";
+  os << ")";
+  return os.str();
+}
+
+}  // namespace fluid::nn

@@ -1,0 +1,69 @@
+#include "nn/softmax.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace fluid::nn {
+
+core::Tensor Softmax(const core::Tensor& logits) {
+  FLUID_CHECK_MSG(logits.shape().rank() == 2, "Softmax expects rank-2");
+  const std::int64_t rows = logits.shape()[0];
+  const std::int64_t cols = logits.shape()[1];
+  core::Tensor out(logits.shape());
+  auto in = logits.data();
+  auto o = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* src = in.data() + r * cols;
+    float* dst = o.data() + r * cols;
+    float mx = src[0];
+    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, src[c]);
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      dst[c] = std::exp(src[c] - mx);
+      sum += dst[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t c = 0; c < cols; ++c) dst[c] *= inv;
+  }
+  return out;
+}
+
+double SoftmaxCrossEntropy::Forward(const core::Tensor& logits,
+                                    const std::vector<std::int64_t>& labels) {
+  FLUID_CHECK_MSG(logits.shape().rank() == 2,
+                  "SoftmaxCrossEntropy expects rank-2 logits");
+  const std::int64_t rows = logits.shape()[0];
+  const std::int64_t cols = logits.shape()[1];
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(labels.size()) == rows,
+                  "labels size must equal batch size");
+  probs_ = Softmax(logits);
+  labels_ = labels;
+  double loss = 0.0;
+  auto p = probs_.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t y = labels[static_cast<std::size_t>(r)];
+    FLUID_CHECK_MSG(y >= 0 && y < cols, "label out of range");
+    const float py = p[static_cast<std::size_t>(r * cols + y)];
+    loss -= std::log(std::max(py, 1e-12F));
+  }
+  return loss / static_cast<double>(rows);
+}
+
+core::Tensor SoftmaxCrossEntropy::Backward() const {
+  FLUID_CHECK_MSG(!probs_.empty(),
+                  "SoftmaxCrossEntropy::Backward before Forward");
+  const std::int64_t rows = probs_.shape()[0];
+  const std::int64_t cols = probs_.shape()[1];
+  core::Tensor grad = probs_;
+  auto g = grad.data();
+  const float inv_n = 1.0F / static_cast<float>(rows);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    g[static_cast<std::size_t>(r * cols + labels_[static_cast<std::size_t>(r)])] -=
+        1.0F;
+  }
+  for (auto& v : g) v *= inv_n;
+  return grad;
+}
+
+}  // namespace fluid::nn

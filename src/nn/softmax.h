@@ -1,0 +1,36 @@
+#pragma once
+// Softmax + cross-entropy, fused for numerical stability.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace fluid::nn {
+
+/// Row-wise softmax of rank-2 logits (stable: subtracts row max).
+core::Tensor Softmax(const core::Tensor& logits);
+
+/// Fused softmax-cross-entropy loss over a batch.
+///
+/// Forward caches the probabilities; Backward returns ∂L/∂logits =
+/// (softmax − onehot) / N, which is the textbook fused gradient.
+class SoftmaxCrossEntropy {
+ public:
+  /// Mean negative log-likelihood of `labels` under softmax(logits).
+  /// logits: [N, classes]; labels: N class indices.
+  double Forward(const core::Tensor& logits,
+                 const std::vector<std::int64_t>& labels);
+
+  /// Gradient w.r.t. logits for the last Forward call.
+  core::Tensor Backward() const;
+
+  /// Probabilities from the last Forward call.
+  const core::Tensor& probabilities() const { return probs_; }
+
+ private:
+  core::Tensor probs_;
+  std::vector<std::int64_t> labels_;
+};
+
+}  // namespace fluid::nn

@@ -1,0 +1,48 @@
+#include "sim/latency.h"
+
+#include <chrono>
+
+#include "core/error.h"
+
+namespace fluid::sim {
+
+LatencyMeasurement MeasureLatency(const std::function<void()>& fn,
+                                  std::int64_t iters, std::int64_t warmup) {
+  FLUID_CHECK_MSG(iters > 0, "MeasureLatency needs >= 1 iteration");
+  using clock = std::chrono::steady_clock;
+  for (std::int64_t i = 0; i < warmup; ++i) fn();
+  LatencyMeasurement m;
+  m.iterations = iters;
+  m.min_s = 1e18;
+  double total = 0.0;
+  for (std::int64_t i = 0; i < iters; ++i) {
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    const double s =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+            .count();
+    total += s;
+    m.min_s = std::min(m.min_s, s);
+    m.max_s = std::max(m.max_s, s);
+  }
+  m.mean_s = total / static_cast<double>(iters);
+  return m;
+}
+
+LatencyMeasurement MeasureModelLatency(nn::Sequential& model,
+                                       const core::Tensor& sample,
+                                       std::int64_t iters) {
+  return MeasureLatency(
+      [&] { model.Forward(sample, /*training=*/false); }, iters);
+}
+
+LatencyMeasurement MeasureSubnetLatency(slim::FluidModel& model,
+                                        const slim::SubnetSpec& spec,
+                                        const core::Tensor& sample,
+                                        std::int64_t iters) {
+  return MeasureLatency(
+      [&] { model.Forward(spec, sample, /*training=*/false); }, iters);
+}
+
+}  // namespace fluid::sim

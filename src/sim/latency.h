@@ -1,0 +1,37 @@
+#pragma once
+// Wall-clock latency measurement of real model code on the host CPU —
+// the "measured computation latency" half of the paper's methodology.
+
+#include <cstdint>
+#include <functional>
+
+#include "core/tensor.h"
+#include "nn/sequential.h"
+#include "slim/fluid_model.h"
+
+namespace fluid::sim {
+
+struct LatencyMeasurement {
+  double mean_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  std::int64_t iterations = 0;
+};
+
+/// Time `fn` (one inference) `iters` times after `warmup` unmeasured runs.
+LatencyMeasurement MeasureLatency(const std::function<void()>& fn,
+                                  std::int64_t iters = 30,
+                                  std::int64_t warmup = 5);
+
+/// Single-image inference latency of a standalone model.
+LatencyMeasurement MeasureModelLatency(nn::Sequential& model,
+                                       const core::Tensor& sample,
+                                       std::int64_t iters = 30);
+
+/// Single-image inference latency of a sub-network slice.
+LatencyMeasurement MeasureSubnetLatency(slim::FluidModel& model,
+                                        const slim::SubnetSpec& spec,
+                                        const core::Tensor& sample,
+                                        std::int64_t iters = 30);
+
+}  // namespace fluid::sim

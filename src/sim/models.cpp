@@ -1,0 +1,3 @@
+#include "sim/models.h"
+
+// Header-only structs; this TU anchors the library target.

@@ -1,0 +1,56 @@
+#pragma once
+// Device and link cost models for the two-board edge system.
+//
+// The paper measured computation latency on Jetson Xavier NX CPUs and TCP
+// communication latency offline, then combined them analytically ("the
+// total throughput of the system can be calculated with the sum of
+// computation and communication latency", §III). These models reproduce
+// that methodology: compute cost comes either from an analytic FLOPs/rate
+// profile or from latencies measured on the host (sim/latency.h); link
+// cost is latency + size/bandwidth.
+
+#include <cstdint>
+#include <string>
+
+namespace fluid::sim {
+
+/// Compute-side cost model of one device.
+struct ComputeProfile {
+  /// Sustained effective rate on conv/GEMM kernels, FLOP/s.
+  double effective_flops_per_s = 2.0e9;
+  /// Fixed per-inference dispatch overhead, seconds.
+  double fixed_overhead_s = 1.0e-4;
+  /// Relative speed multiplier (1.0 = reference device; heterogeneous
+  /// clusters scale this).
+  double speed_factor = 1.0;
+
+  /// Seconds to run `flops` once.
+  double LatencyFor(std::int64_t flops) const {
+    return fixed_overhead_s +
+           static_cast<double>(flops) /
+               (effective_flops_per_s * speed_factor);
+  }
+};
+
+/// A device in the distributed system.
+struct DeviceModel {
+  std::string name;
+  ComputeProfile compute;
+  bool online = true;
+};
+
+/// Point-to-point link (the paper's TCP connection between two boards).
+struct LinkModel {
+  /// One-way message latency, seconds (paper measured this offline).
+  double latency_s = 0.010;
+  /// Payload bandwidth, bytes/s.
+  double bandwidth_bytes_per_s = 12.5e6;  // ~100 Mbit/s Ethernet
+
+  /// Seconds to move `bytes` one way.
+  double TransferTime(std::int64_t bytes) const {
+    return latency_s +
+           static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+};
+
+}  // namespace fluid::sim

@@ -1,0 +1,78 @@
+#include "sim/pipeline_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/error.h"
+
+namespace fluid::sim {
+
+PipelineResult SequentialPipelineThroughput(const PipelineParams& p) {
+  const double per_image = p.front_latency_s + p.link.TransferTime(p.cut_bytes) +
+                           p.back_latency_s;
+  FLUID_CHECK_MSG(per_image > 0.0, "pipeline latency must be positive");
+  PipelineResult r;
+  r.mean_latency_s = per_image;
+  r.throughput_img_per_s = 1.0 / per_image;
+  r.images = 1;
+  return r;
+}
+
+PipelineResult SimulatePipelined(const PipelineParams& p, std::int64_t images) {
+  FLUID_CHECK_MSG(images > 0, "SimulatePipelined needs >= 1 image");
+  Simulator sim;
+  const double tl = p.link.TransferTime(p.cut_bytes);
+
+  // Resource-availability times; each image claims the stages in order.
+  double front_free = 0.0, link_free = 0.0, back_free = 0.0;
+  std::vector<double> start(static_cast<std::size_t>(images), 0.0);
+  std::vector<double> done(static_cast<std::size_t>(images), 0.0);
+
+  // The closed-form greedy schedule is exactly what an event simulation
+  // produces for a 3-resource tandem queue; drive it through the kernel so
+  // the DES is exercised and timestamps stay consistent with other sims.
+  for (std::int64_t i = 0; i < images; ++i) {
+    const double t0 = front_free;  // admitted as soon as the Master frees
+    const double t1 = t0 + p.front_latency_s;
+    const double t2 = std::max(t1, link_free) + tl;
+    const double t3 = std::max(t2, back_free) + p.back_latency_s;
+    front_free = t1;
+    link_free = t2;
+    back_free = t3;
+    start[static_cast<std::size_t>(i)] = t0;
+    done[static_cast<std::size_t>(i)] = t3;
+    sim.ScheduleAt(t3, [] {});
+  }
+  sim.Run();
+
+  PipelineResult r;
+  r.images = images;
+  // Steady-state throughput from the second half (skips pipeline fill).
+  const std::int64_t half = images / 2;
+  const double span = done[static_cast<std::size_t>(images - 1)] -
+                      done[static_cast<std::size_t>(half)];
+  const std::int64_t count = images - 1 - half;
+  r.throughput_img_per_s =
+      count > 0 && span > 0.0 ? static_cast<double>(count) / span
+                              : 1.0 / done[0];
+  double total_latency = 0.0;
+  for (std::int64_t i = 0; i < images; ++i) {
+    total_latency += done[static_cast<std::size_t>(i)] -
+                     start[static_cast<std::size_t>(i)];
+  }
+  r.mean_latency_s = total_latency / static_cast<double>(images);
+  return r;
+}
+
+double IndependentParallelThroughput(const double* device_latencies_s,
+                                     std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    FLUID_CHECK_MSG(device_latencies_s[i] > 0.0,
+                    "device latency must be positive");
+    total += 1.0 / device_latencies_s[i];
+  }
+  return total;
+}
+
+}  // namespace fluid::sim

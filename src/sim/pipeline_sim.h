@@ -1,0 +1,47 @@
+#pragma once
+// Discrete-event simulations of the two distributed execution patterns:
+//
+//  * TwoStagePipeline — the Static-DNN deployment (front half on Master,
+//    back half on Worker, activations over the link). Computes both the
+//    paper's store-and-forward throughput (no overlap: 1/(ta+tl+tb)) and
+//    the pipelined steady state (overlap: 1/max(ta,tl,tb)); the ablation
+//    bench contrasts them.
+//  * IndependentParallel — the Fluid HT deployment (each device runs its
+//    own sub-network on its own input stream).
+
+#include <cstdint>
+
+#include "sim/models.h"
+#include "sim/simulator.h"
+
+namespace fluid::sim {
+
+struct PipelineParams {
+  double front_latency_s = 0.0;  // Master compute per image
+  double back_latency_s = 0.0;   // Worker compute per image
+  std::int64_t cut_bytes = 0;    // activation crossing the link per image
+  LinkModel link;
+};
+
+struct PipelineResult {
+  double throughput_img_per_s = 0.0;
+  double mean_latency_s = 0.0;   // per-image end-to-end
+  std::int64_t images = 0;
+};
+
+/// Paper's analytic model: each image fully traverses Master → link →
+/// Worker before the next is admitted.
+PipelineResult SequentialPipelineThroughput(const PipelineParams& p);
+
+/// Event-driven simulation with stage overlap: the Master starts image
+/// i+1 while the link/Worker handle image i. `images` inferences are run
+/// to steady state.
+PipelineResult SimulatePipelined(const PipelineParams& p,
+                                 std::int64_t images = 200);
+
+/// Fluid HT mode: `n` devices run independent models in parallel on
+/// separate input streams; system throughput is the sum of device rates.
+double IndependentParallelThroughput(const double* device_latencies_s,
+                                     std::size_t n);
+
+}  // namespace fluid::sim

@@ -1,0 +1,127 @@
+#include "sim/queue_sim.h"
+#include <functional>
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace fluid::sim {
+
+QueueSimResult SimulateQueue(const QueueSimOptions& options) {
+  FLUID_CHECK_MSG(options.arrival_rate > 0.0,
+                  "SimulateQueue: arrival rate must be positive");
+  FLUID_CHECK_MSG(!options.service_times_s.empty(),
+                  "SimulateQueue: need at least one server");
+  for (const double s : options.service_times_s) {
+    FLUID_CHECK_MSG(s > 0.0, "SimulateQueue: service time must be positive");
+  }
+  FLUID_CHECK_MSG(options.arrivals > 0, "SimulateQueue: need arrivals");
+
+  Simulator sim;
+  core::Rng rng(options.seed);
+  const std::size_t servers = options.service_times_s.size();
+
+  struct State {
+    std::deque<double> queue;            // arrival timestamps of waiting jobs
+    std::vector<bool> busy;
+    std::vector<double> busy_time;
+    std::vector<double> sojourns;
+    std::int64_t arrived = 0;
+    std::int64_t completed = 0;
+    std::int64_t dropped = 0;
+    double queue_area = 0.0;             // ∫ depth dt
+    double last_event_time = 0.0;
+    double last_completion = 0.0;
+  } st;
+  st.busy.assign(servers, false);
+  st.busy_time.assign(servers, 0.0);
+
+  const auto account_queue = [&](double now) {
+    st.queue_area += static_cast<double>(st.queue.size()) *
+                     (now - st.last_event_time);
+    st.last_event_time = now;
+  };
+
+  // Start service on server `s` for a job that arrived at `arrived_at`.
+  std::function<void(std::size_t, double)> start_service =
+      [&](std::size_t server, double arrived_at) {
+        st.busy[server] = true;
+        const double service = options.service_times_s[server];
+        st.busy_time[server] += service;
+        sim.Schedule(service, [&, server, arrived_at] {
+          const double now = sim.Now();
+          account_queue(now);
+          st.sojourns.push_back(now - arrived_at);
+          ++st.completed;
+          st.last_completion = now;
+          if (!st.queue.empty()) {
+            const double next_arrival = st.queue.front();
+            st.queue.pop_front();
+            start_service(server, next_arrival);
+          } else {
+            st.busy[server] = false;
+          }
+        });
+      };
+
+  // Poisson arrival process.
+  std::function<void()> arrive = [&] {
+    const double now = sim.Now();
+    account_queue(now);
+    ++st.arrived;
+    // Dispatch to any idle server, else queue (or drop).
+    bool dispatched = false;
+    for (std::size_t server = 0; server < servers && !dispatched; ++server) {
+      if (!st.busy[server]) {
+        start_service(server, now);
+        dispatched = true;
+      }
+    }
+    if (!dispatched) {
+      if (options.queue_capacity > 0 &&
+          static_cast<std::int64_t>(st.queue.size()) >=
+              options.queue_capacity) {
+        ++st.dropped;
+      } else {
+        st.queue.push_back(now);
+      }
+    }
+    if (st.arrived < options.arrivals) {
+      const double gap = -std::log(1.0 - rng.Uniform()) / options.arrival_rate;
+      sim.Schedule(gap, arrive);
+    }
+  };
+  sim.Schedule(0.0, arrive);
+  sim.Run();
+
+  QueueSimResult result;
+  result.completed = st.completed;
+  result.dropped = st.dropped;
+  const double span = st.last_completion;
+  result.throughput_img_per_s =
+      span > 0.0 ? static_cast<double>(st.completed) / span : 0.0;
+  if (!st.sojourns.empty()) {
+    double total = 0.0;
+    for (const double s : st.sojourns) total += s;
+    result.mean_sojourn_s = total / static_cast<double>(st.sojourns.size());
+    std::sort(st.sojourns.begin(), st.sojourns.end());
+    const auto pct = [&](double q) {
+      const std::size_t idx = static_cast<std::size_t>(
+          q * static_cast<double>(st.sojourns.size() - 1));
+      return st.sojourns[idx];
+    };
+    result.p50_sojourn_s = pct(0.50);
+    result.p99_sojourn_s = pct(0.99);
+  }
+  result.mean_queue_depth = span > 0.0 ? st.queue_area / span : 0.0;
+  double busy_total = 0.0;
+  for (const double b : st.busy_time) busy_total += b;
+  result.utilization =
+      span > 0.0 ? busy_total / (static_cast<double>(servers) * span) : 0.0;
+  return result;
+}
+
+}  // namespace fluid::sim

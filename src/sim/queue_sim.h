@@ -1,0 +1,40 @@
+#pragma once
+// Open-loop queueing simulation of an inference service: Poisson arrivals
+// into k deterministic servers with one shared FIFO queue, driven through
+// the DES kernel.
+//
+// The Fig. 2 panels report capacity; this answers the operator's follow-up
+// question — what *latency* each mode delivers at a given offered load,
+// and where the saturation knee sits. HA is one logical server (the
+// pipeline admits one image at a time); HT is two independent servers.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace fluid::sim {
+
+struct QueueSimOptions {
+  double arrival_rate = 10.0;           // offered load, img/s (Poisson)
+  std::vector<double> service_times_s;  // one entry per server
+  std::int64_t arrivals = 2000;
+  std::uint64_t seed = 1;
+  /// Drop requests once this many are waiting (0 = unbounded queue).
+  std::int64_t queue_capacity = 0;
+};
+
+struct QueueSimResult {
+  double throughput_img_per_s = 0.0;  // completed / span
+  double mean_sojourn_s = 0.0;        // queueing + service
+  double p50_sojourn_s = 0.0;
+  double p99_sojourn_s = 0.0;
+  double mean_queue_depth = 0.0;      // time-averaged
+  std::int64_t completed = 0;
+  std::int64_t dropped = 0;
+  double utilization = 0.0;           // busy-server-time / (servers · span)
+};
+
+QueueSimResult SimulateQueue(const QueueSimOptions& options);
+
+}  // namespace fluid::sim

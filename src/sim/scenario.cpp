@@ -1,0 +1,252 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.h"
+#include "sim/latency.h"
+#include "train/model_zoo.h"
+#include "train/trainer_common.h"
+
+namespace fluid::sim {
+
+std::string_view DnnTypeName(DnnType t) {
+  switch (t) {
+    case DnnType::kStatic: return "Static";
+    case DnnType::kDynamic: return "Dynamic";
+    case DnnType::kFluid: return "Fluid";
+  }
+  return "?";
+}
+
+std::string_view ModeName(Mode m) {
+  return m == Mode::kHighAccuracy ? "HA" : "HT";
+}
+
+std::string_view AvailabilityName(Availability a) {
+  switch (a) {
+    case Availability::kBothOnline: return "Master+Worker";
+    case Availability::kOnlyMaster: return "Only Master";
+    case Availability::kOnlyWorker: return "Only Worker";
+  }
+  return "?";
+}
+
+Fig2Evaluator::Fig2Evaluator(SystemProfile profile)
+    : profile_(std::move(profile)) {
+  FLUID_CHECK_MSG(profile_.master_speed > 0 && profile_.worker_speed > 0,
+                  "device speeds must be positive");
+}
+
+ComputeProfile EmulatedJetsonCpu() {
+  // Solved from the two Fig. 2 anchors (see header): with
+  // f(50%) = 396,576 FLOP and f(pipeline front) = 1,128,960 FLOP,
+  //   o + f50/r     = 1/14.4 s
+  //   o + f_front/r = 1/11.1 s
+  // gives r = 35.47 MFLOP/s and o = 58.26 ms.
+  return ComputeProfile{35.47e6, 0.058263, 1.0};
+}
+
+double Fig2Evaluator::DistributedPipelineThroughput() const {
+  const double ta = profile_.static_front_latency_s / profile_.master_speed;
+  const double tl = profile_.link.TransferTime(profile_.static_cut_bytes);
+  const double tb = profile_.static_back_latency_s / profile_.worker_speed;
+  if (profile_.overlapped_pipeline) {
+    // Overlapped steady state: the slowest stage gates admission.
+    return 1.0 / std::max({ta, tl, tb});
+  }
+  // Paper §III formula: store-and-forward — the sum of computation and
+  // communication latency bounds the system.
+  return 1.0 / (ta + tl + tb);
+}
+
+ScenarioResult Fig2Evaluator::EvalStatic(Availability a) const {
+  ScenarioResult r;
+  if (a != Availability::kBothOnline) {
+    // Either half of the weights alone cannot produce a prediction.
+    r.note = "static half-model cannot run standalone";
+    return r;
+  }
+  r.operational = true;
+  r.throughput_img_per_s = DistributedPipelineThroughput();
+  r.accuracy = profile_.acc_static;
+  r.note = "layer pipeline: front on Master, back on Worker";
+  return r;
+}
+
+ScenarioResult Fig2Evaluator::EvalDynamic(Availability a, Mode m) const {
+  ScenarioResult r;
+  switch (a) {
+    case Availability::kBothOnline:
+      r.operational = true;
+      if (m == Mode::kHighAccuracy) {
+        // Full-width model distributed exactly like the Static DNN.
+        r.throughput_img_per_s = DistributedPipelineThroughput();
+        r.accuracy = profile_.acc_dynamic_full;
+        r.note = "100% model as layer pipeline";
+      } else {
+        // Adapt: 50% sub-network entirely on the Master, no link cost;
+        // the upper weights cannot run alone, so the Worker idles.
+        r.throughput_img_per_s =
+            profile_.master_speed / profile_.w50_latency_s;
+        r.accuracy = profile_.acc_dynamic_w50;
+        r.note = "50% model local on Master; Worker idle";
+      }
+      return r;
+    case Availability::kOnlyMaster:
+      r.operational = true;
+      r.throughput_img_per_s = profile_.master_speed / profile_.w50_latency_s;
+      r.accuracy = profile_.acc_dynamic_w50;
+      r.note = "50% model survives on Master";
+      return r;
+    case Availability::kOnlyWorker:
+      // The upper 50 % weights depend on the lower 50 % (lost with the
+      // Master) — the defining failure of Dynamic DNNs (paper Fig. 1c).
+      r.note = "upper weights depend on lost lower 50%";
+      return r;
+  }
+  return r;
+}
+
+ScenarioResult Fig2Evaluator::EvalFluid(Availability a, Mode m) const {
+  ScenarioResult r;
+  const double master_rate = profile_.master_speed / profile_.w50_latency_s;
+  const double worker_rate =
+      profile_.worker_speed / profile_.upper50_latency_s;
+  switch (a) {
+    case Availability::kBothOnline:
+      r.operational = true;
+      if (m == Mode::kHighAccuracy) {
+        // "Replicate the distributed Static DNNs" (paper §III): redeploy
+        // the combined 100% model as the same layer pipeline.
+        r.throughput_img_per_s = DistributedPipelineThroughput();
+        r.accuracy = profile_.acc_fluid_full;
+        r.note = "combined 100% model as layer pipeline";
+      } else {
+        // Two independent sub-networks on separate input streams.
+        r.throughput_img_per_s = master_rate + worker_rate;
+        // Each stream classifies with its own sub-network; the system
+        // accuracy is the rate-weighted mix of the two.
+        r.accuracy = (master_rate * profile_.acc_fluid_lower50 +
+                      worker_rate * profile_.acc_fluid_upper50) /
+                     (master_rate + worker_rate);
+        r.note = "lower50 on Master || upper50 on Worker";
+      }
+      return r;
+    case Availability::kOnlyMaster:
+      r.operational = true;
+      r.throughput_img_per_s = master_rate;
+      r.accuracy = profile_.acc_fluid_lower50;
+      r.note = "lower 50% survives on Master";
+      return r;
+    case Availability::kOnlyWorker:
+      r.operational = true;
+      r.throughput_img_per_s = worker_rate;
+      r.accuracy = profile_.acc_fluid_upper50;
+      r.note = "upper 50% survives on Worker (independent weights)";
+      return r;
+  }
+  return r;
+}
+
+ScenarioResult Fig2Evaluator::Evaluate(DnnType type, Availability availability,
+                                       Mode mode) const {
+  switch (type) {
+    case DnnType::kStatic: return EvalStatic(availability);
+    case DnnType::kDynamic: return EvalDynamic(availability, mode);
+    case DnnType::kFluid: return EvalFluid(availability, mode);
+  }
+  return {};
+}
+
+std::vector<Fig2Row> Fig2Evaluator::FullGrid() const {
+  std::vector<Fig2Row> rows;
+  for (const DnnType t :
+       {DnnType::kStatic, DnnType::kDynamic, DnnType::kFluid}) {
+    for (const Availability a :
+         {Availability::kBothOnline, Availability::kOnlyMaster,
+          Availability::kOnlyWorker}) {
+      if (a == Availability::kBothOnline && t != DnnType::kStatic) {
+        rows.push_back({t, a, Mode::kHighAccuracy,
+                        Evaluate(t, a, Mode::kHighAccuracy)});
+        rows.push_back({t, a, Mode::kHighThroughput,
+                        Evaluate(t, a, Mode::kHighThroughput)});
+      } else {
+        rows.push_back({t, a, Mode::kHighAccuracy,
+                        Evaluate(t, a, Mode::kHighAccuracy)});
+      }
+    }
+  }
+  return rows;
+}
+
+SystemProfile BuildSystemProfile(const ProfileInputs& in) {
+  FLUID_CHECK_MSG(in.static_model && in.dynamic_model && in.fluid_model &&
+                      in.test_set,
+                  "BuildSystemProfile: all models and test set required");
+  SystemProfile p;
+  p.link = in.link;
+
+  const auto& cfg = in.fluid_model->config();
+  const auto& family = in.fluid_model->family();
+  core::Tensor sample({1, cfg.image_channels, cfg.image_size, cfg.image_size});
+
+  // --- Static pipeline halves ------------------------------------------
+  auto halves = train::SplitConvNet(cfg, family.max_width(), *in.static_model,
+                                    in.cut_stage);
+  p.static_cut_bytes = halves.cut_bytes_per_sample;
+  p.static_front_latency_s =
+      MeasureModelLatency(halves.front, sample, in.latency_iters).mean_s;
+  core::Tensor mid = halves.front.Forward(sample, false);
+  p.static_back_latency_s =
+      MeasureModelLatency(halves.back, mid, in.latency_iters).mean_s;
+
+  // --- 50 %-width standalone models ------------------------------------
+  const auto spec_l50 = family.MasterResident();
+  const auto spec_u50 = family.WorkerResident();
+  auto lower50 = in.fluid_model->ExtractSubnet(spec_l50);
+  auto upper50 = in.fluid_model->ExtractSubnet(spec_u50);
+  p.w50_latency_s =
+      MeasureModelLatency(lower50, sample, in.latency_iters).mean_s;
+  p.upper50_latency_s =
+      MeasureModelLatency(upper50, sample, in.latency_iters).mean_s;
+
+  // --- Accuracies -------------------------------------------------------
+  const auto combined = family.Combined();
+  p.acc_static = train::EvaluateModel(*in.static_model, *in.test_set).accuracy;
+  p.acc_dynamic_full =
+      train::EvaluateSubnet(*in.dynamic_model, combined, *in.test_set).accuracy;
+  p.acc_dynamic_w50 =
+      train::EvaluateSubnet(*in.dynamic_model, spec_l50, *in.test_set).accuracy;
+  p.acc_fluid_full =
+      train::EvaluateSubnet(*in.fluid_model, combined, *in.test_set).accuracy;
+  p.acc_fluid_lower50 =
+      train::EvaluateSubnet(*in.fluid_model, spec_l50, *in.test_set).accuracy;
+  p.acc_fluid_upper50 =
+      train::EvaluateSubnet(*in.fluid_model, spec_u50, *in.test_set).accuracy;
+  return p;
+}
+
+std::string FormatFig2Table(const std::vector<Fig2Row>& rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(9) << "Model" << std::setw(15) << "Devices"
+     << std::setw(5) << "Mode" << std::right << std::setw(12) << "img/s"
+     << std::setw(10) << "acc %" << "  " << std::left << "deployment\n";
+  os << std::string(78, '-') << "\n";
+  for (const auto& row : rows) {
+    os << std::left << std::setw(9) << DnnTypeName(row.type) << std::setw(15)
+       << AvailabilityName(row.availability) << std::setw(5)
+       << (row.availability == Availability::kBothOnline &&
+                   row.type != DnnType::kStatic
+               ? ModeName(row.mode)
+               : "-")
+       << std::right << std::fixed << std::setprecision(1) << std::setw(12)
+       << row.result.throughput_img_per_s << std::setw(10)
+       << row.result.accuracy * 100.0 << "  " << std::left << row.result.note
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fluid::sim

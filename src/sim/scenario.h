@@ -1,0 +1,122 @@
+#pragma once
+// The Fig. 2 scenario evaluator: Static vs Dynamic vs Fluid DyDNN under
+// device failures and HA/HT modes, using the paper's methodology
+// (measured compute latency + offline-measured link latency, combined
+// analytically).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+#include "sim/models.h"
+#include "slim/fluid_model.h"
+
+namespace fluid::sim {
+
+enum class DnnType { kStatic, kDynamic, kFluid };
+enum class Mode { kHighAccuracy, kHighThroughput };
+enum class Availability { kBothOnline, kOnlyMaster, kOnlyWorker };
+
+std::string_view DnnTypeName(DnnType t);
+std::string_view ModeName(Mode m);
+std::string_view AvailabilityName(Availability a);
+
+/// Everything the analytic evaluator needs, decoupled from how it was
+/// obtained (measured on the host by BuildSystemProfile, or synthesised in
+/// tests/ablations).
+struct SystemProfile {
+  // Compute latencies on the reference device, seconds per image.
+  double static_front_latency_s = 0.0;  // pipeline front (Master)
+  double static_back_latency_s = 0.0;   // pipeline back (Worker)
+  std::int64_t static_cut_bytes = 0;    // activation across the link
+  double w50_latency_s = 0.0;           // any 50 %-width standalone model
+  double upper50_latency_s = 0.0;       // upper-50 % standalone model
+
+  // Test accuracies, in [0,1].
+  double acc_static = 0.0;        // static 100 % model
+  double acc_dynamic_full = 0.0;  // dynamic 100 % (combined)
+  double acc_dynamic_w50 = 0.0;   // dynamic 50 % standalone
+  double acc_fluid_full = 0.0;    // fluid 100 % (combined, HA)
+  double acc_fluid_lower50 = 0.0;
+  double acc_fluid_upper50 = 0.0;
+
+  LinkModel link;
+  // Heterogeneity multipliers (1 = reference speed).
+  double master_speed = 1.0;
+  double worker_speed = 1.0;
+  /// Pipeline throughput model for the distributed deployments.
+  /// false → the paper's store-and-forward formula 1/(ta + tlink + tb);
+  /// true  → overlapped steady state 1/max(ta, tlink, tb). Calibration of
+  /// the paper's Fig. 2 against the Jetson device model (see
+  /// sim::EmulatedJetsonCpu) is consistent with the overlapped schedule.
+  bool overlapped_pipeline = false;
+};
+
+/// A Jetson-Xavier-NX-class CPU cost model calibrated so that the paper's
+/// two measured anchors hold exactly for this library's FLOP counts:
+/// the 50 %-width model runs at 14.4 img/s and the distributed static
+/// pipeline's bottleneck stage at 11.1 img/s (paper Fig. 2). The solved
+/// parameters — ~35.5 MFLOP/s sustained with ~58 ms fixed per-inference
+/// overhead — reflect the framework-dispatch-dominated regime of tiny
+/// models on embedded CPUs.
+ComputeProfile EmulatedJetsonCpu();
+
+struct ScenarioResult {
+  bool operational = false;
+  double throughput_img_per_s = 0.0;
+  double accuracy = 0.0;  // 0 when down
+  std::string note;       // what is deployed where
+};
+
+/// One row of the reproduced Fig. 2 table.
+struct Fig2Row {
+  DnnType type;
+  Availability availability;
+  Mode mode;
+  ScenarioResult result;
+};
+
+class Fig2Evaluator {
+ public:
+  explicit Fig2Evaluator(SystemProfile profile);
+
+  const SystemProfile& profile() const { return profile_; }
+
+  /// Operating point for one (model type, availability, mode) cell.
+  /// Mode only differentiates behaviour when both devices are online and
+  /// the model family supports adaptation.
+  ScenarioResult Evaluate(DnnType type, Availability availability,
+                          Mode mode) const;
+
+  /// Every cell of Fig. 2 (HT and HA listed separately where they differ).
+  std::vector<Fig2Row> FullGrid() const;
+
+ private:
+  ScenarioResult EvalStatic(Availability a) const;
+  ScenarioResult EvalDynamic(Availability a, Mode m) const;
+  ScenarioResult EvalFluid(Availability a, Mode m) const;
+  double DistributedPipelineThroughput() const;
+
+  SystemProfile profile_;
+};
+
+/// Inputs for building a SystemProfile from real trained models by
+/// measuring on the host CPU (the reproduction's stand-in for the Jetson).
+struct ProfileInputs {
+  nn::Sequential* static_model = nullptr;   // trained 100 % static model
+  slim::FluidModel* dynamic_model = nullptr;  // incremental-trained
+  slim::FluidModel* fluid_model = nullptr;    // nested-trained
+  const data::Dataset* test_set = nullptr;
+  LinkModel link;
+  std::int64_t cut_stage = 2;    // static pipeline cut (after stage 2 of 3)
+  std::int64_t latency_iters = 20;
+};
+
+SystemProfile BuildSystemProfile(const ProfileInputs& in);
+
+/// Render the grid as the two aligned Fig. 2 panels (throughput, accuracy).
+std::string FormatFig2Table(const std::vector<Fig2Row>& rows);
+
+}  // namespace fluid::sim

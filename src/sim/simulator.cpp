@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include "core/error.h"
+
+namespace fluid::sim {
+
+void Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  FLUID_CHECK_MSG(delay >= 0.0, "Simulator::Schedule negative delay");
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  FLUID_CHECK_MSG(when >= now_, "Simulator::ScheduleAt time in the past");
+  FLUID_CHECK_MSG(fn != nullptr, "Simulator: null event callback");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::Run(SimTime until) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    if (!Step()) break;
+    ++fired;
+  }
+  if (until != std::numeric_limits<SimTime>::infinity() && now_ < until &&
+      queue_.empty()) {
+    now_ = until;
+  }
+  return fired;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; move via const_cast is the standard
+  // idiom for draining move-only payloads.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+}  // namespace fluid::sim

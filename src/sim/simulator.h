@@ -1,0 +1,58 @@
+#pragma once
+// Minimal discrete-event simulation kernel.
+//
+// Deterministic: events at equal timestamps fire in scheduling order.
+// Used by the pipeline and failure-timeline simulations to model the
+// two-device edge system without real hardware (DESIGN.md §3).
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace fluid::sim {
+
+using SimTime = double;  // seconds
+
+class Simulator {
+ public:
+  /// Schedule `fn` to run `delay` seconds from now. Negative delays are an
+  /// error; zero is allowed (fires after currently queued same-time events).
+  void Schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedule at an absolute time (must not be in the past).
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  SimTime Now() const { return now_; }
+
+  /// Fire events in time order until the queue drains or `until` is
+  /// reached. Returns the number of events processed.
+  std::size_t Run(SimTime until = std::numeric_limits<SimTime>::infinity());
+
+  /// Fire exactly one event; false if the queue is empty.
+  bool Step();
+
+  bool Empty() const { return queue_.empty(); }
+  std::size_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tiebreaker → deterministic ordering
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace fluid::sim

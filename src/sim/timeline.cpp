@@ -1,0 +1,115 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace fluid::sim {
+
+namespace {
+
+Availability ToAvailability(bool master_up, bool worker_up) {
+  if (master_up && worker_up) return Availability::kBothOnline;
+  if (master_up) return Availability::kOnlyMaster;
+  if (worker_up) return Availability::kOnlyWorker;
+  // Both down: modelled as OnlyWorker-with-zero below; callers never see
+  // this value directly (HandleBothDown handles it).
+  return Availability::kBothOnline;
+}
+
+}  // namespace
+
+TimelineSummary SimulateTimeline(const Fig2Evaluator& evaluator, DnnType type,
+                                 Mode preferred_mode,
+                                 std::vector<AvailabilityEvent> events,
+                                 SimTime horizon) {
+  FLUID_CHECK_MSG(horizon > 0.0, "SimulateTimeline horizon must be positive");
+  std::sort(events.begin(), events.end(),
+            [](const AvailabilityEvent& a, const AvailabilityEvent& b) {
+              return a.time < b.time;
+            });
+
+  Simulator sim;
+  bool master_up = true, worker_up = true;
+  TimelineSummary summary;
+  SimTime segment_start = 0.0;
+
+  const auto evaluate_now = [&]() -> ScenarioResult {
+    if (!master_up && !worker_up) {
+      return {};  // nothing online: non-operational
+    }
+    return evaluator.Evaluate(type, ToAvailability(master_up, worker_up),
+                              preferred_mode);
+  };
+
+  ScenarioResult current = evaluate_now();
+
+  const auto close_segment = [&](SimTime end) {
+    if (end <= segment_start) return;
+    TimelineSegment seg;
+    seg.begin = segment_start;
+    seg.end = end;
+    seg.availability = ToAvailability(master_up, worker_up);
+    seg.operating_point = current;
+    seg.images_served =
+        current.throughput_img_per_s * (end - segment_start);
+    summary.total_images += seg.images_served;
+    if (!current.operational) summary.downtime_s += end - segment_start;
+    summary.segments.push_back(std::move(seg));
+    segment_start = end;
+  };
+
+  for (const auto& ev : events) {
+    if (ev.time < 0.0 || ev.time >= horizon) continue;
+    sim.ScheduleAt(ev.time, [&, ev] {
+      close_segment(ev.time);
+      if (ev.device == DeviceId::kMaster) {
+        master_up = ev.online;
+      } else {
+        worker_up = ev.online;
+      }
+      current = evaluate_now();
+    });
+  }
+  sim.Run(horizon);
+  close_segment(horizon);
+
+  summary.mean_throughput = summary.total_images / horizon;
+  double acc_weighted = 0.0;
+  for (const auto& seg : summary.segments) {
+    acc_weighted += seg.operating_point.accuracy * seg.images_served;
+  }
+  summary.mean_accuracy =
+      summary.total_images > 0.0 ? acc_weighted / summary.total_images : 0.0;
+  return summary;
+}
+
+std::string FormatTimeline(const TimelineSummary& summary) {
+  std::ostringstream os;
+  os << std::left << std::setw(16) << "t [s]" << std::setw(15) << "devices"
+     << std::right << std::setw(9) << "img/s" << std::setw(9) << "acc %"
+     << "  " << std::left << "deployment\n";
+  os << std::string(72, '-') << "\n";
+  for (const auto& seg : summary.segments) {
+    std::ostringstream span;
+    span << std::fixed << std::setprecision(1) << seg.begin << "-" << seg.end;
+    os << std::left << std::setw(16) << span.str() << std::setw(15)
+       << (seg.operating_point.operational
+               ? AvailabilityName(seg.availability)
+               : std::string_view("ALL DOWN"))
+       << std::right << std::fixed << std::setprecision(1) << std::setw(9)
+       << seg.operating_point.throughput_img_per_s << std::setw(9)
+       << seg.operating_point.accuracy * 100.0 << "  " << std::left
+       << seg.operating_point.note << "\n";
+  }
+  os << std::string(72, '-') << "\n";
+  os << std::fixed << std::setprecision(2) << "mean throughput "
+     << summary.mean_throughput << " img/s, mean accuracy "
+     << summary.mean_accuracy * 100.0 << " %, downtime " << summary.downtime_s
+     << " s\n";
+  return os.str();
+}
+
+}  // namespace fluid::sim

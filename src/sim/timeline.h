@@ -1,0 +1,53 @@
+#pragma once
+// Failure/recovery timeline simulation: how each model family's operating
+// point evolves as devices drop and return (the dynamic view of Fig. 1's
+// reliability matrix).
+
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace fluid::sim {
+
+enum class DeviceId { kMaster, kWorker };
+
+/// A scheduled availability change.
+struct AvailabilityEvent {
+  SimTime time = 0.0;
+  DeviceId device = DeviceId::kMaster;
+  bool online = true;
+};
+
+/// One constant-operating-point segment of the timeline.
+struct TimelineSegment {
+  SimTime begin = 0.0;
+  SimTime end = 0.0;
+  Availability availability = Availability::kBothOnline;
+  ScenarioResult operating_point;
+  /// Images served during the segment at the operating throughput.
+  double images_served = 0.0;
+};
+
+struct TimelineSummary {
+  std::vector<TimelineSegment> segments;
+  double total_images = 0.0;
+  double downtime_s = 0.0;       // time spent non-operational
+  double mean_throughput = 0.0;  // images / horizon
+  /// Image-weighted accuracy over the horizon.
+  double mean_accuracy = 0.0;
+};
+
+/// Replays availability events through the DES kernel and evaluates the
+/// (model type, preferred mode) policy at every change. Events outside
+/// [0, horizon) are ignored; both devices start online.
+TimelineSummary SimulateTimeline(const Fig2Evaluator& evaluator, DnnType type,
+                                 Mode preferred_mode,
+                                 std::vector<AvailabilityEvent> events,
+                                 SimTime horizon);
+
+/// Render segments as a text chart for examples/benches.
+std::string FormatTimeline(const TimelineSummary& summary);
+
+}  // namespace fluid::sim

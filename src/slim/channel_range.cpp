@@ -1,0 +1,68 @@
+#include "slim/channel_range.h"
+
+#include <sstream>
+
+#include "core/error.h"
+
+namespace fluid::slim {
+
+std::string ChannelRange::ToString() const {
+  std::ostringstream os;
+  os << "[" << lo << "," << hi << ")";
+  return os.str();
+}
+
+void CheckRange(const ChannelRange& r, std::int64_t max, const char* what) {
+  FLUID_CHECK_MSG(0 <= r.lo && r.lo < r.hi && r.hi <= max,
+                  std::string(what) + ": bad channel range " + r.ToString() +
+                      " for extent " + std::to_string(max));
+}
+
+core::Tensor ConvSliceMask(std::int64_t co, std::int64_t ci, std::int64_t k,
+                           const ChannelRange& in, const ChannelRange& out) {
+  CheckRange(in, ci, "ConvSliceMask(in)");
+  CheckRange(out, co, "ConvSliceMask(out)");
+  core::Tensor mask({co, ci, k, k});
+  auto d = mask.data();
+  const std::int64_t kk = k * k;
+  for (std::int64_t o = out.lo; o < out.hi; ++o) {
+    for (std::int64_t i = in.lo; i < in.hi; ++i) {
+      float* cell = d.data() + (o * ci + i) * kk;
+      for (std::int64_t j = 0; j < kk; ++j) cell[j] = 1.0F;
+    }
+  }
+  return mask;
+}
+
+core::Tensor DenseSliceMask(std::int64_t out_features, std::int64_t in_features,
+                            const ChannelRange& in_cols,
+                            const ChannelRange& out_rows) {
+  CheckRange(in_cols, in_features, "DenseSliceMask(in)");
+  CheckRange(out_rows, out_features, "DenseSliceMask(out)");
+  core::Tensor mask({out_features, in_features});
+  auto d = mask.data();
+  for (std::int64_t o = out_rows.lo; o < out_rows.hi; ++o) {
+    float* row = d.data() + o * in_features;
+    for (std::int64_t i = in_cols.lo; i < in_cols.hi; ++i) row[i] = 1.0F;
+  }
+  return mask;
+}
+
+core::Tensor BiasSliceMask(std::int64_t n, const ChannelRange& r) {
+  CheckRange(r, n, "BiasSliceMask");
+  core::Tensor mask({n});
+  auto d = mask.data();
+  for (std::int64_t i = r.lo; i < r.hi; ++i) d[static_cast<std::size_t>(i)] = 1.0F;
+  return mask;
+}
+
+void MaskSubtract(core::Tensor& a, const core::Tensor& b) {
+  FLUID_CHECK_MSG(a.shape() == b.shape(), "MaskSubtract shape mismatch");
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    if (db[i] != 0.0F) da[i] = 0.0F;
+  }
+}
+
+}  // namespace fluid::slim

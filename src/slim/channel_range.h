@@ -1,0 +1,55 @@
+#pragma once
+// Half-open channel intervals — the coordinate system of every slimmable
+// slice in the library.
+//
+// A Fluid DyDNN sub-network is described entirely by which contiguous
+// channel block [lo, hi) of the shared weight store it activates in each
+// hidden layer (DESIGN.md §5). Lower sub-networks start at 0; the paper's
+// "upper" sub-networks start at the 50 % boundary.
+
+#include <cstdint>
+#include <string>
+
+#include "core/tensor.h"
+
+namespace fluid::slim {
+
+struct ChannelRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  std::int64_t width() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+  bool Contains(const ChannelRange& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+  bool Overlaps(const ChannelRange& other) const {
+    return lo < other.hi && other.lo < hi;
+  }
+  bool operator==(const ChannelRange& other) const = default;
+
+  std::string ToString() const;
+};
+
+/// Throws unless 0 <= lo < hi <= max.
+void CheckRange(const ChannelRange& r, std::int64_t max, const char* what);
+
+/// 0/1 mask over a conv weight [Co, Ci, k, k]: 1 where the output channel is
+/// in `out` AND the input channel is in `in`.
+core::Tensor ConvSliceMask(std::int64_t co, std::int64_t ci, std::int64_t k,
+                           const ChannelRange& in, const ChannelRange& out);
+
+/// 0/1 mask over a dense weight [out, in]: 1 inside the row range `out` and
+/// the column range `in` (column units are *features*, not channels).
+core::Tensor DenseSliceMask(std::int64_t out_features, std::int64_t in_features,
+                            const ChannelRange& in_cols,
+                            const ChannelRange& out_rows);
+
+/// 0/1 mask over a bias [n]: 1 inside `r`.
+core::Tensor BiasSliceMask(std::int64_t n, const ChannelRange& r);
+
+/// a := a AND NOT b (elementwise over 0/1 masks); shapes must match.
+/// Used to carve the frozen inner block out of a trainable slice.
+void MaskSubtract(core::Tensor& a, const core::Tensor& b);
+
+}  // namespace fluid::slim

@@ -1,0 +1,231 @@
+#include "slim/fluid_model.h"
+
+#include "core/error.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+
+namespace fluid::slim {
+
+std::int64_t FluidNetConfig::SpatialAfter(std::int64_t stage) const {
+  std::int64_t s = image_size;
+  for (std::int64_t i = 0; i <= stage; ++i) {
+    // Conv keeps the extent (paper uses 3×3/1 pad 1); pool floors.
+    s = (s + 2 * pad - kernel) / stride + 1;
+    s /= pool;
+  }
+  return s;
+}
+
+FluidModel::FluidModel(FluidNetConfig config, SubnetFamily family,
+                       core::Rng& rng)
+    : config_(config), family_(std::move(family)) {
+  FLUID_CHECK_MSG(config_.num_conv_layers >= 1,
+                  "FluidModel needs at least one conv layer");
+  FLUID_CHECK_MSG(config_.FinalSpatial() >= 1,
+                  "FluidModel: input too small for the pool pyramid");
+  const std::int64_t w = family_.max_width();
+  for (std::int64_t i = 0; i < config_.num_conv_layers; ++i) {
+    const std::int64_t in_ch = (i == 0) ? config_.image_channels : w;
+    convs_.push_back(std::make_unique<SlimConv2d>(
+        in_ch, w, config_.kernel, config_.stride, config_.pad, rng,
+        "conv" + std::to_string(i + 1)));
+    relus_.push_back(std::make_unique<nn::LeakyReLU>(config_.relu_leak));
+    pools_.push_back(std::make_unique<nn::MaxPool2d>(config_.pool));
+  }
+  fc_ = std::make_unique<SlimDense>(w * config_.FeaturesPerChannel(),
+                                    config_.num_classes, rng, "fc");
+}
+
+FluidModel FluidModel::PaperDefault(std::uint64_t seed) {
+  core::Rng rng(seed);
+  return FluidModel(FluidNetConfig{}, SubnetFamily::PaperDefault(), rng);
+}
+
+ChannelRange FluidModel::FcColumns(const ChannelRange& channels) const {
+  const std::int64_t f = config_.FeaturesPerChannel();
+  return {channels.lo * f, channels.hi * f};
+}
+
+core::Tensor FluidModel::Forward(const SubnetSpec& spec,
+                                 const core::Tensor& input, bool training) {
+  CheckRange(spec.range, family_.max_width(), "FluidModel::Forward");
+  core::Tensor h = input;
+  for (std::size_t i = 0; i < convs_.size(); ++i) {
+    // Stage 0 consumes the image (full input channels); later stages
+    // consume the packed slice produced by the previous stage, which lives
+    // at weight columns [range.lo, range.hi).
+    const ChannelRange in = (i == 0)
+                                ? ChannelRange{0, config_.image_channels}
+                                : spec.range;
+    h = convs_[i]->Forward(h, in, spec.range, training);
+    h = relus_[i]->Forward(h, training);
+    h = pools_[i]->Forward(h, training);
+  }
+  h = flatten_.Forward(h, training);
+  core::Tensor logits =
+      fc_->Forward(h, FcColumns(spec.range),
+                   {0, config_.num_classes}, training);
+  if (training) inflight_ = spec;
+  return logits;
+}
+
+core::Tensor FluidModel::Backward(const core::Tensor& grad_logits) {
+  FLUID_CHECK_MSG(inflight_.has_value(),
+                  "FluidModel::Backward without a training Forward");
+  core::Tensor g = fc_->Backward(grad_logits);
+  g = flatten_.Backward(g);
+  for (std::size_t i = convs_.size(); i-- > 0;) {
+    g = pools_[i]->Backward(g);
+    g = relus_[i]->Backward(g);
+    g = convs_[i]->Backward(g);
+  }
+  inflight_.reset();
+  return g;
+}
+
+std::vector<nn::ParamRef> FluidModel::Params() {
+  std::vector<nn::ParamRef> params;
+  for (auto& c : convs_) {
+    for (auto& p : c->Params()) params.push_back(p);
+  }
+  for (auto& p : fc_->Params()) params.push_back(p);
+  return params;
+}
+
+void FluidModel::ZeroGrad() {
+  for (auto& p : Params()) p.grad->Zero();
+}
+
+std::map<std::string, core::Tensor> FluidModel::TrainableMasks(
+    const SubnetSpec& spec, const std::optional<SubnetSpec>& frozen,
+    bool train_head_bias) const {
+  if (frozen) {
+    FLUID_CHECK_MSG(
+        spec.range.Contains(frozen->range) ||
+            !spec.range.Overlaps(frozen->range),
+        "TrainableMasks: frozen range must be nested or disjoint");
+  }
+  const std::int64_t w = family_.max_width();
+  std::map<std::string, core::Tensor> masks;
+
+  for (std::size_t i = 0; i < convs_.size(); ++i) {
+    const auto& c = *convs_[i];
+    const ChannelRange in_full =
+        (i == 0) ? ChannelRange{0, config_.image_channels} : spec.range;
+    core::Tensor wmask =
+        ConvSliceMask(c.max_out(), c.max_in(), c.kernel(), in_full, spec.range);
+    core::Tensor bmask = BiasSliceMask(w, spec.range);
+    if (frozen && spec.range.Contains(frozen->range)) {
+      const ChannelRange fin =
+          (i == 0) ? ChannelRange{0, config_.image_channels} : frozen->range;
+      MaskSubtract(wmask, ConvSliceMask(c.max_out(), c.max_in(), c.kernel(),
+                                        fin, frozen->range));
+      MaskSubtract(bmask, BiasSliceMask(w, frozen->range));
+    }
+    masks[c.name() + ".weight"] = std::move(wmask);
+    masks[c.name() + ".bias"] = std::move(bmask);
+  }
+
+  core::Tensor fcw = DenseSliceMask(config_.num_classes, fc_->max_in(),
+                                    FcColumns(spec.range),
+                                    {0, config_.num_classes});
+  if (frozen && spec.range.Contains(frozen->range)) {
+    MaskSubtract(fcw, DenseSliceMask(config_.num_classes, fc_->max_in(),
+                                     FcColumns(frozen->range),
+                                     {0, config_.num_classes}));
+  }
+  masks["fc.weight"] = std::move(fcw);
+  // The classifier bias is shared by every sub-network; only the schedule
+  // step designated as its owner updates it (DESIGN.md §5).
+  masks["fc.bias"] = train_head_bias
+                         ? core::Tensor::Ones({config_.num_classes})
+                         : core::Tensor::Zeros({config_.num_classes});
+  return masks;
+}
+
+nn::Sequential FluidModel::ExtractSubnet(const SubnetSpec& spec) const {
+  core::Rng dummy(0);
+  nn::Sequential model;
+  const std::int64_t width = spec.range.width();
+  for (std::size_t i = 0; i < convs_.size(); ++i) {
+    const auto& c = *convs_[i];
+    const ChannelRange in =
+        (i == 0) ? ChannelRange{0, config_.image_channels} : spec.range;
+    auto layer = std::make_unique<nn::Conv2d>(
+        in.width(), width, config_.kernel, config_.stride, config_.pad, dummy,
+        c.name());
+    layer->weight() = c.PackWeight(in, spec.range);
+    layer->bias() = c.PackBias(spec.range);
+    model.Add(std::move(layer));
+    model.Emplace<nn::LeakyReLU>(config_.relu_leak);
+    model.Emplace<nn::MaxPool2d>(config_.pool);
+  }
+  model.Emplace<nn::Flatten>();
+  auto head = std::make_unique<nn::Dense>(
+      width * config_.FeaturesPerChannel(), config_.num_classes, dummy, "fc");
+  head->weight() =
+      fc_->PackWeight(FcColumns(spec.range), {0, config_.num_classes});
+  head->bias() = fc_->PackBias({0, config_.num_classes});
+  model.Add(std::move(head));
+  return model;
+}
+
+void FluidModel::ImportSubnet(const SubnetSpec& spec, nn::Sequential& model) {
+  // Layout produced by ExtractSubnet: (Conv2d, ReLU, MaxPool2d) per stage,
+  // then Flatten, Dense.
+  const std::size_t expected = convs_.size() * 3 + 2;
+  FLUID_CHECK_MSG(model.size() == expected,
+                  "ImportSubnet: unexpected model layout");
+  for (std::size_t i = 0; i < convs_.size(); ++i) {
+    auto* layer = dynamic_cast<nn::Conv2d*>(&model.layer(i * 3));
+    FLUID_CHECK_MSG(layer != nullptr, "ImportSubnet: stage is not Conv2d");
+    const ChannelRange in =
+        (i == 0) ? ChannelRange{0, config_.image_channels} : spec.range;
+    convs_[i]->UnpackWeight(layer->weight(), in, spec.range);
+    convs_[i]->UnpackBias(layer->bias(), spec.range);
+  }
+  auto* head = dynamic_cast<nn::Dense*>(&model.layer(expected - 1));
+  FLUID_CHECK_MSG(head != nullptr, "ImportSubnet: head is not Dense");
+  fc_->UnpackWeight(head->weight(), FcColumns(spec.range),
+                    {0, config_.num_classes});
+  fc_->UnpackBias(head->bias(), {0, config_.num_classes});
+}
+
+std::int64_t FluidModel::SubnetFlops(const SubnetSpec& spec) const {
+  std::int64_t flops = 0;
+  std::int64_t s = config_.image_size;
+  for (std::size_t i = 0; i < convs_.size(); ++i) {
+    const ChannelRange in =
+        (i == 0) ? ChannelRange{0, config_.image_channels} : spec.range;
+    flops += convs_[i]->SliceFlops(in, spec.range, s, s);
+    s = (s + 2 * config_.pad - config_.kernel) / config_.stride + 1;
+    s /= config_.pool;
+  }
+  flops += fc_->SliceFlops(FcColumns(spec.range), {0, config_.num_classes});
+  return flops;
+}
+
+std::int64_t FluidModel::SubnetParamBytes(const SubnetSpec& spec) const {
+  std::int64_t count = 0;
+  for (std::size_t i = 0; i < convs_.size(); ++i) {
+    const ChannelRange in =
+        (i == 0) ? ChannelRange{0, config_.image_channels} : spec.range;
+    count += in.width() * spec.range.width() * config_.kernel * config_.kernel;
+    count += spec.range.width();  // bias
+  }
+  count += FcColumns(spec.range).width() * config_.num_classes;
+  count += config_.num_classes;
+  return count * static_cast<std::int64_t>(sizeof(float));
+}
+
+SlimConv2d& FluidModel::conv(std::size_t i) {
+  FLUID_CHECK_MSG(i < convs_.size(), "FluidModel::conv index out of range");
+  return *convs_[i];
+}
+
+const SlimConv2d& FluidModel::conv(std::size_t i) const {
+  FLUID_CHECK_MSG(i < convs_.size(), "FluidModel::conv index out of range");
+  return *convs_[i];
+}
+
+}  // namespace fluid::slim

@@ -1,0 +1,130 @@
+#pragma once
+// FluidModel: the paper's 3-conv + 1-FC network over a shared slimmable
+// weight store, runnable at any sub-network of a SubnetFamily.
+//
+// This is the central type of the library. One instance holds the single
+// full-width copy of every parameter; all six sub-networks of the paper are
+// *views* (channel slices) onto it. Training a slice in place with an
+// optimizer mask is mathematically identical to the paper's
+// "copy → retrain → copy back" (Algorithm 1, lines 7-9), because the copy-
+// back writes exactly the masked region; the trainers in fluid::train
+// document this equivalence and the tests verify it against a literal
+// extract-train-import implementation.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "nn/activations.h"
+#include "nn/flatten.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "slim/slim_conv2d.h"
+#include "slim/slim_dense.h"
+#include "slim/subnet_spec.h"
+
+namespace fluid::slim {
+
+/// Architecture hyper-parameters (defaults = the paper's model: 28×28
+/// grayscale input, three 3×3 conv stages each followed by ReLU + 2×2 max
+/// pool, then one fully-connected classifier).
+struct FluidNetConfig {
+  std::int64_t image_channels = 1;
+  std::int64_t image_size = 28;
+  std::int64_t num_classes = 10;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t pad = 1;
+  std::int64_t pool = 2;
+  std::int64_t num_conv_layers = 3;
+  /// Leak slope of the activations (see nn::LeakyReLU for why not 0).
+  float relu_leak = 0.01F;
+
+  /// Spatial extent after stage i (0-based, post-pool). Stage -1 = input.
+  std::int64_t SpatialAfter(std::int64_t stage) const;
+  /// Spatial extent entering the classifier.
+  std::int64_t FinalSpatial() const { return SpatialAfter(num_conv_layers - 1); }
+  /// Features per channel entering the classifier.
+  std::int64_t FeaturesPerChannel() const {
+    const auto s = FinalSpatial();
+    return s * s;
+  }
+};
+
+class FluidModel {
+ public:
+  FluidModel(FluidNetConfig config, SubnetFamily family, core::Rng& rng);
+
+  /// Paper model + paper family, seeded.
+  static FluidModel PaperDefault(std::uint64_t seed = 42);
+
+  const FluidNetConfig& config() const { return config_; }
+  const SubnetFamily& family() const { return family_; }
+
+  /// Run one sub-network. `input` is [N, image_channels, S, S]; returns
+  /// logits [N, num_classes]. With training=true the layers cache for one
+  /// subsequent Backward (not reentrant).
+  core::Tensor Forward(const SubnetSpec& spec, const core::Tensor& input,
+                       bool training);
+
+  /// Backprop through the sub-network of the last training Forward.
+  /// Accumulates gradients in the shared full-width stores (only the
+  /// slice's region is touched) and returns ∂L/∂input.
+  core::Tensor Backward(const core::Tensor& grad_logits);
+
+  /// All full-width parameters (for optimizers / checkpoints).
+  std::vector<nn::ParamRef> Params();
+  void ZeroGrad();
+
+  /// 0/1 update masks for training `spec` while keeping `frozen` (if given)
+  /// bit-exact. `train_head_bias` gates the shared classifier bias — only
+  /// the first model trained in an incremental schedule owns it (see
+  /// optimizer.h for why masks implement freezing).
+  std::map<std::string, core::Tensor> TrainableMasks(
+      const SubnetSpec& spec, const std::optional<SubnetSpec>& frozen,
+      bool train_head_bias) const;
+
+  /// Deep-copy the slice into a standalone nn::Sequential (Conv2d/Dense) —
+  /// the deployment artifact shipped to a device. Forward of the extracted
+  /// model is bit-identical to Forward(spec, ...) on this store.
+  nn::Sequential ExtractSubnet(const SubnetSpec& spec) const;
+
+  /// Write a standalone model's weights back into the slice (inverse of
+  /// ExtractSubnet; the literal Algorithm-1 "copy back" step).
+  void ImportSubnet(const SubnetSpec& spec, nn::Sequential& model);
+
+  /// Forward-pass FLOPs of one sample through the slice.
+  std::int64_t SubnetFlops(const SubnetSpec& spec) const;
+
+  /// Bytes of the packed parameters of the slice (deployment payload size).
+  std::int64_t SubnetParamBytes(const SubnetSpec& spec) const;
+
+  /// Direct access for the partitioned runner and tests.
+  SlimConv2d& conv(std::size_t i);
+  const SlimConv2d& conv(std::size_t i) const;
+  SlimDense& fc() { return *fc_; }
+  const SlimDense& fc() const { return *fc_; }
+
+  /// Feature-column range of the classifier for a channel range.
+  ChannelRange FcColumns(const ChannelRange& channels) const;
+
+ private:
+  FluidNetConfig config_;
+  SubnetFamily family_;
+  std::vector<std::unique_ptr<SlimConv2d>> convs_;
+  std::unique_ptr<SlimDense> fc_;
+
+  // Per-stage stateless-but-caching layers for the single in-flight
+  // forward/backward pair.
+  std::vector<std::unique_ptr<nn::LeakyReLU>> relus_;
+  std::vector<std::unique_ptr<nn::MaxPool2d>> pools_;
+  nn::Flatten flatten_;
+  std::optional<SubnetSpec> inflight_;
+};
+
+}  // namespace fluid::slim

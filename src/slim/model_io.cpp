@@ -1,0 +1,116 @@
+#include "slim/model_io.h"
+
+#include "core/serialize.h"
+#include "nn/checkpoint.h"
+
+namespace fluid::slim {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x444C5546;  // "FLUD"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> SerializeFluidModel(FluidModel& model) {
+  core::ByteWriter w;
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+
+  const auto& cfg = model.config();
+  w.WriteI64(cfg.image_channels);
+  w.WriteI64(cfg.image_size);
+  w.WriteI64(cfg.num_classes);
+  w.WriteI64(cfg.kernel);
+  w.WriteI64(cfg.stride);
+  w.WriteI64(cfg.pad);
+  w.WriteI64(cfg.pool);
+  w.WriteI64(cfg.num_conv_layers);
+  w.WriteF32(cfg.relu_leak);
+
+  const auto& family = model.family();
+  w.WriteU32(static_cast<std::uint32_t>(family.num_widths()));
+  for (const auto width : family.widths()) w.WriteI64(width);
+  w.WriteU32(static_cast<std::uint32_t>(family.split_index()));
+
+  nn::StateDict state;
+  for (const auto& p : model.Params()) state[p.name] = *p.value;
+  w.WriteBytes(nn::SerializeState(state));
+  return w.TakeBuffer();
+}
+
+core::StatusOr<FluidModel> ParseFluidModel(
+    std::span<const std::uint8_t> bytes) {
+  core::ByteReader r(bytes);
+  std::uint32_t magic = 0, version = 0;
+  FLUID_RETURN_IF_ERROR(r.TryReadU32(magic));
+  if (magic != kMagic) {
+    return core::Status::DataLoss("bad fluid-model magic");
+  }
+  FLUID_RETURN_IF_ERROR(r.TryReadU32(version));
+  if (version != kVersion) {
+    return core::Status::DataLoss("unsupported fluid-model version " +
+                                  std::to_string(version));
+  }
+
+  FluidNetConfig cfg;
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(cfg.image_channels));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(cfg.image_size));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(cfg.num_classes));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(cfg.kernel));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(cfg.stride));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(cfg.pad));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(cfg.pool));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(cfg.num_conv_layers));
+  FLUID_RETURN_IF_ERROR(r.TryReadF32(cfg.relu_leak));
+
+  std::uint32_t width_count = 0;
+  FLUID_RETURN_IF_ERROR(r.TryReadU32(width_count));
+  if (width_count == 0 || width_count > 64) {
+    return core::Status::DataLoss("implausible width count");
+  }
+  std::vector<std::int64_t> widths(width_count);
+  for (auto& width : widths) FLUID_RETURN_IF_ERROR(r.TryReadI64(width));
+  std::uint32_t split_index = 0;
+  FLUID_RETURN_IF_ERROR(r.TryReadU32(split_index));
+  if (split_index >= width_count) {
+    return core::Status::DataLoss("split index out of range");
+  }
+
+  std::vector<std::uint8_t> state_bytes;
+  FLUID_RETURN_IF_ERROR(r.TryReadBytes(state_bytes));
+  auto state = nn::ParseState(state_bytes);
+  if (!state.ok()) return state.status();
+
+  // Construction validates geometry; weight load validates shapes.
+  try {
+    core::Rng rng(0);
+    FluidModel model(cfg, SubnetFamily(std::move(widths), split_index), rng);
+    for (const auto& p : model.Params()) {
+      const auto it = state->find(p.name);
+      if (it == state->end()) {
+        return core::Status::DataLoss("fluid model missing parameter " +
+                                      p.name);
+      }
+      if (it->second.shape() != p.value->shape()) {
+        return core::Status::DataLoss("fluid model shape mismatch for " +
+                                      p.name);
+      }
+      *p.value = it->second;
+    }
+    return model;
+  } catch (const core::Error& e) {
+    return core::Status::DataLoss(std::string("invalid fluid model: ") +
+                                  e.what());
+  }
+}
+
+core::Status SaveFluidModel(FluidModel& model, const std::string& path) {
+  return core::WriteFile(path, SerializeFluidModel(model));
+}
+
+core::StatusOr<FluidModel> LoadFluidModel(const std::string& path) {
+  auto bytes = core::ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return ParseFluidModel(*bytes);
+}
+
+}  // namespace fluid::slim

@@ -1,0 +1,26 @@
+#pragma once
+// Persistence for whole Fluid models: architecture config + width family +
+// the shared full-width weight store, in one versioned binary file.
+//
+// This is the "trained artifact" of the system — a master loads it at
+// startup and extracts/deploys slices from it (nn::checkpoint handles the
+// per-slice deployment format).
+
+#include <string>
+
+#include "core/error.h"
+#include "slim/fluid_model.h"
+
+namespace fluid::slim {
+
+/// Serialize config, family and all parameters.
+std::vector<std::uint8_t> SerializeFluidModel(FluidModel& model);
+
+/// Rebuild a model from SerializeFluidModel bytes.
+core::StatusOr<FluidModel> ParseFluidModel(std::span<const std::uint8_t> bytes);
+
+/// File wrappers (atomic write).
+core::Status SaveFluidModel(FluidModel& model, const std::string& path);
+core::StatusOr<FluidModel> LoadFluidModel(const std::string& path);
+
+}  // namespace fluid::slim

@@ -1,0 +1,112 @@
+#include "slim/partitioned.h"
+
+#include <cstring>
+
+#include "core/error.h"
+#include "core/tensor_ops.h"
+#include "nn/activations.h"
+#include "nn/flatten.h"
+#include "nn/pooling.h"
+
+namespace fluid::slim {
+
+core::Tensor ConcatChannels(const core::Tensor& a, const core::Tensor& b) {
+  FLUID_CHECK_MSG(a.shape().rank() == 4 && b.shape().rank() == 4,
+                  "ConcatChannels expects NCHW");
+  FLUID_CHECK_MSG(a.shape()[0] == b.shape()[0] &&
+                      a.shape()[2] == b.shape()[2] &&
+                      a.shape()[3] == b.shape()[3],
+                  "ConcatChannels: batch/spatial mismatch");
+  const std::int64_t batch = a.shape()[0], ca = a.shape()[1],
+                     cb = b.shape()[1], h = a.shape()[2], w = a.shape()[3];
+  core::Tensor out({batch, ca + cb, h, w});
+  const std::int64_t plane = h * w;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    std::memcpy(out.data().data() + n * (ca + cb) * plane,
+                a.data().data() + n * ca * plane,
+                static_cast<std::size_t>(ca * plane) * sizeof(float));
+    std::memcpy(out.data().data() + (n * (ca + cb) + ca) * plane,
+                b.data().data() + n * cb * plane,
+                static_cast<std::size_t>(cb * plane) * sizeof(float));
+  }
+  return out;
+}
+
+PartitionedRunner::PartitionedRunner(FluidModel& model)
+    : model_(model),
+      lower_{0, model.family().split_width()},
+      upper_{model.family().split_width(), model.family().max_width()} {}
+
+core::Tensor PartitionedRunner::Run(const core::Tensor& input,
+                                    PartitionStats* stats) {
+  const auto& cfg = model_.config();
+  constexpr std::int64_t kF32 = sizeof(float);
+  PartitionStats local;
+
+  // The Master owns the input stream; the Worker needs a copy of each image.
+  local.bytes_master_to_worker += input.numel() * kF32;
+  local.exchanges += 1;
+
+  nn::LeakyReLU relu(cfg.relu_leak);
+  nn::MaxPool2d pool(cfg.pool);
+  nn::Flatten flatten;
+
+  core::Tensor full = input;  // both devices hold this after each exchange
+  const std::int64_t stages = cfg.num_conv_layers;
+  for (std::int64_t i = 0; i < stages; ++i) {
+    const ChannelRange in = (i == 0)
+                                ? ChannelRange{0, cfg.image_channels}
+                                : ChannelRange{0, model_.family().max_width()};
+    // Master computes its rows, Worker computes its rows — from the same
+    // full-width input both hold.
+    core::Tensor lo = model_.conv(static_cast<std::size_t>(i))
+                          .Forward(full, in, lower_, false);
+    core::Tensor hi = model_.conv(static_cast<std::size_t>(i))
+                          .Forward(full, in, upper_, false);
+    lo = pool.Forward(relu.Forward(lo, false), false);
+    hi = pool.Forward(relu.Forward(hi, false), false);
+    if (i + 1 < stages) {
+      // Exchange halves so both sides hold the full next-stage input.
+      local.bytes_master_to_worker += lo.numel() * kF32;
+      local.bytes_worker_to_master += hi.numel() * kF32;
+      local.exchanges += 1;
+      full = ConcatChannels(lo, hi);
+    } else {
+      // Last stage: each side flattens its own half; no activation
+      // exchange — the classifier merges partial products instead.
+      core::Tensor flat_lo = flatten.Forward(lo, false);
+      core::Tensor flat_hi = flatten.Forward(hi, false);
+      core::Tensor logits_lo =
+          model_.fc().Forward(flat_lo, model_.FcColumns(lower_),
+                              {0, cfg.num_classes}, false, /*add_bias=*/true);
+      core::Tensor logits_hi =
+          model_.fc().Forward(flat_hi, model_.FcColumns(upper_),
+                              {0, cfg.num_classes}, false, /*add_bias=*/false);
+      local.bytes_worker_to_master += logits_hi.numel() * kF32;
+      local.exchanges += 1;
+      if (stats) *stats = local;
+      return core::Add(logits_lo, logits_hi);
+    }
+  }
+  throw core::Error("PartitionedRunner: unreachable (no conv stages)");
+}
+
+PartitionStats PartitionedRunner::AnalyticStats(std::int64_t batch) const {
+  const auto& cfg = model_.config();
+  constexpr std::int64_t kF32 = sizeof(float);
+  PartitionStats s;
+  s.bytes_master_to_worker +=
+      batch * cfg.image_channels * cfg.image_size * cfg.image_size * kF32;
+  s.exchanges += 1;
+  for (std::int64_t i = 0; i + 1 < cfg.num_conv_layers; ++i) {
+    const std::int64_t sp = cfg.SpatialAfter(i);
+    s.bytes_master_to_worker += batch * lower_.width() * sp * sp * kF32;
+    s.bytes_worker_to_master += batch * upper_.width() * sp * sp * kF32;
+    s.exchanges += 1;
+  }
+  s.bytes_worker_to_master += batch * cfg.num_classes * kF32;
+  s.exchanges += 1;
+  return s;
+}
+
+}  // namespace fluid::slim

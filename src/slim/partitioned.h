@@ -1,0 +1,57 @@
+#pragma once
+// Channel-partitioned execution of the combined (full-width) model — the
+// math of the paper's High-Accuracy mode.
+//
+// In HA mode the Master computes the lower channel block of every stage and
+// the Worker the upper block (each holds only its own weight slice). A conv
+// output channel needs *all* input channels, so after every stage except
+// the last the devices exchange activation halves; the classifier merges as
+// a sum of two partial products. This file implements that dataflow in one
+// process and counts the bytes each direction would carry — the numbers the
+// sim/ and dist/ layers use to model TCP cost, and the reason HA throughput
+// is communication-bound (paper Fig. 2, 11.1 img/s for both Static and HA).
+
+#include <cstdint>
+
+#include "core/tensor.h"
+#include "slim/fluid_model.h"
+
+namespace fluid::slim {
+
+/// Bytes and synchronisation points of one partitioned forward pass.
+struct PartitionStats {
+  std::int64_t bytes_master_to_worker = 0;
+  std::int64_t bytes_worker_to_master = 0;
+  std::int64_t exchanges = 0;  // pairwise sync points (input, per-stage, merge)
+
+  std::int64_t total_bytes() const {
+    return bytes_master_to_worker + bytes_worker_to_master;
+  }
+};
+
+/// Concatenate two packed activations along the channel axis:
+/// [N, Ca, H, W] ⧺ [N, Cb, H, W] → [N, Ca+Cb, H, W].
+core::Tensor ConcatChannels(const core::Tensor& a, const core::Tensor& b);
+
+class PartitionedRunner {
+ public:
+  /// Non-owning; `model` must outlive the runner. The partition boundary is
+  /// the family's split width (Master = lower block, Worker = upper block).
+  explicit PartitionedRunner(FluidModel& model);
+
+  /// Forward `input` [N, C, S, S] through the partitioned dataflow.
+  /// Returns logits matching model.Forward(family().Combined(), input,
+  /// false) — conv stages bit-exactly, the classifier merge up to float
+  /// summation re-association (partial products are summed per device).
+  core::Tensor Run(const core::Tensor& input, PartitionStats* stats = nullptr);
+
+  /// Stats of a single-sample pass without running it (analytic; used by
+  /// the DES to cost communication).
+  PartitionStats AnalyticStats(std::int64_t batch = 1) const;
+
+ private:
+  FluidModel& model_;
+  ChannelRange lower_, upper_;
+};
+
+}  // namespace fluid::slim

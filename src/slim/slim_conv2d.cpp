@@ -1,0 +1,209 @@
+#include "slim/slim_conv2d.h"
+
+#include <cstring>
+#include <vector>
+
+#include "core/error.h"
+#include "core/gemm.h"
+#include "nn/im2col.h"
+
+namespace fluid::slim {
+
+SlimConv2d::SlimConv2d(std::int64_t max_in, std::int64_t max_out,
+                       std::int64_t kernel, std::int64_t stride,
+                       std::int64_t pad, core::Rng& rng, std::string name)
+    : max_in_(max_in),
+      max_out_(max_out),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      name_(std::move(name)),
+      weight_(core::Tensor::KaimingUniform({max_out, max_in, kernel, kernel},
+                                           rng, max_in * kernel * kernel)),
+      bias_(core::Tensor({max_out})),
+      weight_grad_(core::Tensor({max_out, max_in, kernel, kernel})),
+      bias_grad_(core::Tensor({max_out})) {
+  FLUID_CHECK_MSG(max_in > 0 && max_out > 0 && kernel > 0,
+                  "SlimConv2d: dimensions must be positive");
+}
+
+core::Tensor SlimConv2d::Forward(const core::Tensor& input,
+                                 const ChannelRange& in,
+                                 const ChannelRange& out, bool training) {
+  CheckRange(in, max_in_, "SlimConv2d::Forward in");
+  CheckRange(out, max_out_, "SlimConv2d::Forward out");
+  const auto& s = input.shape();
+  FLUID_CHECK_MSG(s.rank() == 4 && s[1] == in.width(),
+                  "SlimConv2d: packed input " + s.ToString() +
+                      " does not match slice " + in.ToString());
+  const std::int64_t batch = s[0], height = s[2], width = s[3];
+  const std::int64_t out_h = nn::ConvOutExtent(height, kernel_, stride_, pad_);
+  const std::int64_t out_w = nn::ConvOutExtent(width, kernel_, stride_, pad_);
+  const std::int64_t in_w = in.width(), out_ch = out.width();
+  const std::int64_t patch = in_w * kernel_ * kernel_;
+  const std::int64_t area = out_h * out_w;
+  const std::int64_t kk = kernel_ * kernel_;
+
+  // Pack the weight slice: rows = out channels of the slice, each row the
+  // contiguous [in.lo, in.hi) kernel block of that output channel.
+  std::vector<float> wpack(static_cast<std::size_t>(out_ch * patch));
+  for (std::int64_t o = 0; o < out_ch; ++o) {
+    const float* src =
+        weight_.data().data() + ((out.lo + o) * max_in_ + in.lo) * kk;
+    std::memcpy(wpack.data() + o * patch, src,
+                static_cast<std::size_t>(patch) * sizeof(float));
+  }
+
+  core::Tensor output({batch, out_ch, out_h, out_w});
+  std::vector<float> cols(static_cast<std::size_t>(patch * area));
+  const std::int64_t in_plane = in_w * height * width;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const auto in_sample = input.data().subspan(
+        static_cast<std::size_t>(n * in_plane),
+        static_cast<std::size_t>(in_plane));
+    // Packed input: lower full channel slice [0, in_w) of the packed tensor.
+    nn::Im2Col(in_sample, in_w, height, width, 0, in_w, kernel_, stride_,
+               pad_, cols);
+    float* out_sample = output.data().data() + n * out_ch * area;
+    core::Gemm(false, false, out_ch, area, patch, 1.0F, wpack.data(), patch,
+               cols.data(), area, 0.0F, out_sample, area);
+    for (std::int64_t o = 0; o < out_ch; ++o) {
+      const float b = bias_.data()[static_cast<std::size_t>(out.lo + o)];
+      float* row = out_sample + o * area;
+      for (std::int64_t i = 0; i < area; ++i) row[i] += b;
+    }
+  }
+  if (training) {
+    cached_input_ = input;
+    cached_in_ = in;
+    cached_out_ = out;
+  }
+  return output;
+}
+
+core::Tensor SlimConv2d::Backward(const core::Tensor& grad_output) {
+  FLUID_CHECK_MSG(!cached_input_.empty(),
+                  "SlimConv2d::Backward without training Forward");
+  const ChannelRange in = cached_in_, out = cached_out_;
+  const auto& is = cached_input_.shape();
+  const std::int64_t batch = is[0], height = is[2], width = is[3];
+  const std::int64_t out_h = nn::ConvOutExtent(height, kernel_, stride_, pad_);
+  const std::int64_t out_w = nn::ConvOutExtent(width, kernel_, stride_, pad_);
+  const std::int64_t in_w = in.width(), out_ch = out.width();
+  const std::int64_t patch = in_w * kernel_ * kernel_;
+  const std::int64_t area = out_h * out_w;
+  const std::int64_t kk = kernel_ * kernel_;
+  FLUID_CHECK_MSG(grad_output.shape() ==
+                      core::Shape({batch, out_ch, out_h, out_w}),
+                  "SlimConv2d::Backward grad shape mismatch");
+
+  std::vector<float> wpack(static_cast<std::size_t>(out_ch * patch));
+  for (std::int64_t o = 0; o < out_ch; ++o) {
+    std::memcpy(wpack.data() + o * patch,
+                weight_.data().data() + ((out.lo + o) * max_in_ + in.lo) * kk,
+                static_cast<std::size_t>(patch) * sizeof(float));
+  }
+
+  std::vector<float> gw(static_cast<std::size_t>(out_ch * patch), 0.0F);
+  core::Tensor grad_input(is);
+  std::vector<float> cols(static_cast<std::size_t>(patch * area));
+  std::vector<float> grad_cols(static_cast<std::size_t>(patch * area));
+  const std::int64_t in_plane = in_w * height * width;
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const auto in_sample = cached_input_.data().subspan(
+        static_cast<std::size_t>(n * in_plane),
+        static_cast<std::size_t>(in_plane));
+    nn::Im2Col(in_sample, in_w, height, width, 0, in_w, kernel_, stride_,
+               pad_, cols);
+    const float* go_sample = grad_output.data().data() + n * out_ch * area;
+
+    core::Gemm(false, true, out_ch, patch, area, 1.0F, go_sample, area,
+               cols.data(), area, 1.0F, gw.data(), patch);
+    for (std::int64_t o = 0; o < out_ch; ++o) {
+      double s = 0.0;
+      const float* row = go_sample + o * area;
+      for (std::int64_t i = 0; i < area; ++i) s += row[i];
+      bias_grad_.data()[static_cast<std::size_t>(out.lo + o)] +=
+          static_cast<float>(s);
+    }
+    core::Gemm(true, false, patch, area, out_ch, 1.0F, wpack.data(), patch,
+               go_sample, area, 0.0F, grad_cols.data(), area);
+    auto gi_sample = grad_input.data().subspan(
+        static_cast<std::size_t>(n * in_plane),
+        static_cast<std::size_t>(in_plane));
+    nn::Col2Im(grad_cols, in_w, height, width, 0, in_w, kernel_, stride_,
+               pad_, gi_sample);
+  }
+
+  // Scatter the packed weight-grad block into the full-width accumulator.
+  for (std::int64_t o = 0; o < out_ch; ++o) {
+    float* dst =
+        weight_grad_.data().data() + ((out.lo + o) * max_in_ + in.lo) * kk;
+    const float* src = gw.data() + o * patch;
+    for (std::int64_t j = 0; j < patch; ++j) dst[j] += src[j];
+  }
+  return grad_input;
+}
+
+std::vector<nn::ParamRef> SlimConv2d::Params() {
+  return {{name_ + ".weight", &weight_, &weight_grad_},
+          {name_ + ".bias", &bias_, &bias_grad_}};
+}
+
+core::Tensor SlimConv2d::PackWeight(const ChannelRange& in,
+                                    const ChannelRange& out) const {
+  CheckRange(in, max_in_, "PackWeight in");
+  CheckRange(out, max_out_, "PackWeight out");
+  const std::int64_t kk = kernel_ * kernel_;
+  core::Tensor packed({out.width(), in.width(), kernel_, kernel_});
+  for (std::int64_t o = 0; o < out.width(); ++o) {
+    std::memcpy(packed.data().data() + o * in.width() * kk,
+                weight_.data().data() + ((out.lo + o) * max_in_ + in.lo) * kk,
+                static_cast<std::size_t>(in.width() * kk) * sizeof(float));
+  }
+  return packed;
+}
+
+core::Tensor SlimConv2d::PackBias(const ChannelRange& out) const {
+  CheckRange(out, max_out_, "PackBias");
+  core::Tensor packed({out.width()});
+  std::memcpy(packed.data().data(), bias_.data().data() + out.lo,
+              static_cast<std::size_t>(out.width()) * sizeof(float));
+  return packed;
+}
+
+void SlimConv2d::UnpackWeight(const core::Tensor& packed,
+                              const ChannelRange& in, const ChannelRange& out) {
+  CheckRange(in, max_in_, "UnpackWeight in");
+  CheckRange(out, max_out_, "UnpackWeight out");
+  const std::int64_t kk = kernel_ * kernel_;
+  FLUID_CHECK_MSG(packed.shape() ==
+                      core::Shape({out.width(), in.width(), kernel_, kernel_}),
+                  "UnpackWeight: packed shape mismatch");
+  for (std::int64_t o = 0; o < out.width(); ++o) {
+    std::memcpy(weight_.data().data() + ((out.lo + o) * max_in_ + in.lo) * kk,
+                packed.data().data() + o * in.width() * kk,
+                static_cast<std::size_t>(in.width() * kk) * sizeof(float));
+  }
+}
+
+void SlimConv2d::UnpackBias(const core::Tensor& packed,
+                            const ChannelRange& out) {
+  CheckRange(out, max_out_, "UnpackBias");
+  FLUID_CHECK_MSG(packed.shape() == core::Shape({out.width()}),
+                  "UnpackBias: packed shape mismatch");
+  std::memcpy(bias_.data().data() + out.lo, packed.data().data(),
+              static_cast<std::size_t>(out.width()) * sizeof(float));
+}
+
+std::int64_t SlimConv2d::SliceFlops(const ChannelRange& in,
+                                    const ChannelRange& out,
+                                    std::int64_t height,
+                                    std::int64_t width) const {
+  const std::int64_t out_h = nn::ConvOutExtent(height, kernel_, stride_, pad_);
+  const std::int64_t out_w = nn::ConvOutExtent(width, kernel_, stride_, pad_);
+  return 2 * out.width() * in.width() * kernel_ * kernel_ * out_h * out_w;
+}
+
+}  // namespace fluid::slim

@@ -1,0 +1,75 @@
+#pragma once
+// Slimmable 2-D convolution: one full-width weight store, many runnable
+// channel slices.
+//
+// Unlike nn::Conv2d this is not an nn::Layer — its Forward takes the active
+// input/output channel ranges, because which slice runs is decided per call
+// by the sub-network spec. Inputs and outputs are *packed*: a tensor whose
+// channel extent equals the active width (so a deployed 25 % slice is
+// bit-identical to a standalone small model — see FluidModel::ExtractSubnet).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "nn/layer.h"
+#include "slim/channel_range.h"
+
+namespace fluid::slim {
+
+class SlimConv2d {
+ public:
+  /// Full-width weight [max_out, max_in, k, k], Kaiming-uniform for the
+  /// *largest* fan-in (shared init across slices, as in slimmable nets).
+  SlimConv2d(std::int64_t max_in, std::int64_t max_out, std::int64_t kernel,
+             std::int64_t stride, std::int64_t pad, core::Rng& rng,
+             std::string name);
+
+  /// Run the slice (in over the weight's input axis, out over its output
+  /// axis). `input` is packed: [N, in.width(), H, W].
+  /// Returns packed [N, out.width(), OH, OW].
+  core::Tensor Forward(const core::Tensor& input, const ChannelRange& in,
+                       const ChannelRange& out, bool training);
+
+  /// Backprop for the slice of the last training Forward. Accumulates into
+  /// the full-width gradient store (only the slice region is touched) and
+  /// returns the packed input gradient.
+  core::Tensor Backward(const core::Tensor& grad_output);
+
+  std::vector<nn::ParamRef> Params();
+
+  /// Copy the slice's weights out as a packed [out.w, in.w, k, k] tensor
+  /// (plus bias) — deployment format.
+  core::Tensor PackWeight(const ChannelRange& in, const ChannelRange& out) const;
+  core::Tensor PackBias(const ChannelRange& out) const;
+
+  /// Write a packed slice back into the store (inverse of PackWeight).
+  void UnpackWeight(const core::Tensor& packed, const ChannelRange& in,
+                    const ChannelRange& out);
+  void UnpackBias(const core::Tensor& packed, const ChannelRange& out);
+
+  std::int64_t max_in() const { return max_in_; }
+  std::int64_t max_out() const { return max_out_; }
+  std::int64_t kernel() const { return kernel_; }
+  const std::string& name() const { return name_; }
+  core::Tensor& weight() { return weight_; }
+  core::Tensor& bias() { return bias_; }
+
+  /// FLOPs (multiply-adds ×2) of one sample through the slice.
+  std::int64_t SliceFlops(const ChannelRange& in, const ChannelRange& out,
+                          std::int64_t height, std::int64_t width) const;
+
+ private:
+  std::int64_t max_in_, max_out_, kernel_, stride_, pad_;
+  std::string name_;
+  core::Tensor weight_, bias_;
+  core::Tensor weight_grad_, bias_grad_;
+
+  // Training caches (single in-flight Forward/Backward pair).
+  core::Tensor cached_input_;
+  ChannelRange cached_in_{}, cached_out_{};
+};
+
+}  // namespace fluid::slim

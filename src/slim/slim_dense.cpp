@@ -1,0 +1,134 @@
+#include "slim/slim_dense.h"
+
+#include <cstring>
+#include <vector>
+
+#include "core/error.h"
+#include "core/gemm.h"
+
+namespace fluid::slim {
+
+SlimDense::SlimDense(std::int64_t max_in, std::int64_t max_out, core::Rng& rng,
+                     std::string name)
+    : max_in_(max_in),
+      max_out_(max_out),
+      name_(std::move(name)),
+      weight_(core::Tensor::KaimingUniform({max_out, max_in}, rng, max_in)),
+      bias_(core::Tensor({max_out})),
+      weight_grad_(core::Tensor({max_out, max_in})),
+      bias_grad_(core::Tensor({max_out})) {
+  FLUID_CHECK_MSG(max_in > 0 && max_out > 0,
+                  "SlimDense: dimensions must be positive");
+}
+
+core::Tensor SlimDense::Forward(const core::Tensor& input,
+                                const ChannelRange& in, const ChannelRange& out,
+                                bool training, bool add_bias) {
+  CheckRange(in, max_in_, "SlimDense::Forward in");
+  CheckRange(out, max_out_, "SlimDense::Forward out");
+  const auto& s = input.shape();
+  FLUID_CHECK_MSG(s.rank() == 2 && s[1] == in.width(),
+                  "SlimDense: packed input " + s.ToString() +
+                      " does not match slice " + in.ToString());
+  const std::int64_t batch = s[0];
+  core::Tensor output({batch, out.width()});
+
+  // out[n,o] = Σ_i input[n,i] * W[out.lo+o, in.lo+i] + b[out.lo+o]
+  // Use the stored weight directly with lda = max_in_ and an offset.
+  const float* wbase = weight_.data().data() + out.lo * max_in_ + in.lo;
+  core::Gemm(false, true, batch, out.width(), in.width(), 1.0F,
+             input.data().data(), in.width(), wbase, max_in_, 0.0F,
+             output.data().data(), out.width());
+  if (add_bias) {
+    for (std::int64_t n = 0; n < batch; ++n) {
+      float* row = output.data().data() + n * out.width();
+      for (std::int64_t o = 0; o < out.width(); ++o) {
+        row[o] += bias_.data()[static_cast<std::size_t>(out.lo + o)];
+      }
+    }
+  }
+  if (training) {
+    cached_input_ = input;
+    cached_in_ = in;
+    cached_out_ = out;
+  }
+  return output;
+}
+
+core::Tensor SlimDense::Backward(const core::Tensor& grad_output) {
+  FLUID_CHECK_MSG(!cached_input_.empty(),
+                  "SlimDense::Backward without training Forward");
+  const ChannelRange in = cached_in_, out = cached_out_;
+  const std::int64_t batch = cached_input_.shape()[0];
+  FLUID_CHECK_MSG(grad_output.shape() == core::Shape({batch, out.width()}),
+                  "SlimDense::Backward grad shape mismatch");
+
+  // dW slice [out.w, in.w] += gOᵀ × input; accumulate straight into the
+  // full-width grad with ldc = max_in_.
+  float* gw_base = weight_grad_.data().data() + out.lo * max_in_ + in.lo;
+  core::Gemm(true, false, out.width(), in.width(), batch, 1.0F,
+             grad_output.data().data(), out.width(),
+             cached_input_.data().data(), in.width(), 1.0F, gw_base, max_in_);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = grad_output.data().data() + n * out.width();
+    for (std::int64_t o = 0; o < out.width(); ++o) {
+      bias_grad_.data()[static_cast<std::size_t>(out.lo + o)] += row[o];
+    }
+  }
+  // gIn [N, in.w] = gO [N, out.w] × W slice [out.w, in.w]
+  core::Tensor grad_input({batch, in.width()});
+  const float* wbase = weight_.data().data() + out.lo * max_in_ + in.lo;
+  core::Gemm(false, false, batch, in.width(), out.width(), 1.0F,
+             grad_output.data().data(), out.width(), wbase, max_in_, 0.0F,
+             grad_input.data().data(), in.width());
+  return grad_input;
+}
+
+std::vector<nn::ParamRef> SlimDense::Params() {
+  return {{name_ + ".weight", &weight_, &weight_grad_},
+          {name_ + ".bias", &bias_, &bias_grad_}};
+}
+
+core::Tensor SlimDense::PackWeight(const ChannelRange& in,
+                                   const ChannelRange& out) const {
+  CheckRange(in, max_in_, "SlimDense::PackWeight in");
+  CheckRange(out, max_out_, "SlimDense::PackWeight out");
+  core::Tensor packed({out.width(), in.width()});
+  for (std::int64_t o = 0; o < out.width(); ++o) {
+    std::memcpy(packed.data().data() + o * in.width(),
+                weight_.data().data() + (out.lo + o) * max_in_ + in.lo,
+                static_cast<std::size_t>(in.width()) * sizeof(float));
+  }
+  return packed;
+}
+
+core::Tensor SlimDense::PackBias(const ChannelRange& out) const {
+  CheckRange(out, max_out_, "SlimDense::PackBias");
+  core::Tensor packed({out.width()});
+  std::memcpy(packed.data().data(), bias_.data().data() + out.lo,
+              static_cast<std::size_t>(out.width()) * sizeof(float));
+  return packed;
+}
+
+void SlimDense::UnpackWeight(const core::Tensor& packed, const ChannelRange& in,
+                             const ChannelRange& out) {
+  CheckRange(in, max_in_, "SlimDense::UnpackWeight in");
+  CheckRange(out, max_out_, "SlimDense::UnpackWeight out");
+  FLUID_CHECK_MSG(packed.shape() == core::Shape({out.width(), in.width()}),
+                  "SlimDense::UnpackWeight shape mismatch");
+  for (std::int64_t o = 0; o < out.width(); ++o) {
+    std::memcpy(weight_.data().data() + (out.lo + o) * max_in_ + in.lo,
+                packed.data().data() + o * in.width(),
+                static_cast<std::size_t>(in.width()) * sizeof(float));
+  }
+}
+
+void SlimDense::UnpackBias(const core::Tensor& packed, const ChannelRange& out) {
+  CheckRange(out, max_out_, "SlimDense::UnpackBias");
+  FLUID_CHECK_MSG(packed.shape() == core::Shape({out.width()}),
+                  "SlimDense::UnpackBias shape mismatch");
+  std::memcpy(bias_.data().data() + out.lo, packed.data().data(),
+              static_cast<std::size_t>(out.width()) * sizeof(float));
+}
+
+}  // namespace fluid::slim

@@ -1,0 +1,63 @@
+#pragma once
+// Slimmable fully-connected layer (the classifier head of the Fluid model).
+//
+// Column ranges are in *feature* units: a channel slice [lo, hi) of a
+// flattened C×H×W activation occupies the contiguous feature columns
+// [lo·HW, hi·HW) because flatten is channel-major. The caller (FluidModel)
+// does that conversion.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "nn/layer.h"
+#include "slim/channel_range.h"
+
+namespace fluid::slim {
+
+class SlimDense {
+ public:
+  /// Full weight [max_out, max_in]; Kaiming-uniform at max fan-in.
+  SlimDense(std::int64_t max_in, std::int64_t max_out, core::Rng& rng,
+            std::string name);
+
+  /// input packed [N, in.width()]; returns packed [N, out.width()].
+  /// `add_bias` is false when the caller is computing a *partial* product
+  /// over a column block that another device will sum with its own partial
+  /// (channel-partitioned HA mode adds the bias exactly once, at the merge).
+  core::Tensor Forward(const core::Tensor& input, const ChannelRange& in,
+                       const ChannelRange& out, bool training,
+                       bool add_bias = true);
+
+  core::Tensor Backward(const core::Tensor& grad_output);
+
+  std::vector<nn::ParamRef> Params();
+
+  core::Tensor PackWeight(const ChannelRange& in, const ChannelRange& out) const;
+  core::Tensor PackBias(const ChannelRange& out) const;
+  void UnpackWeight(const core::Tensor& packed, const ChannelRange& in,
+                    const ChannelRange& out);
+  void UnpackBias(const core::Tensor& packed, const ChannelRange& out);
+
+  std::int64_t max_in() const { return max_in_; }
+  std::int64_t max_out() const { return max_out_; }
+  const std::string& name() const { return name_; }
+  core::Tensor& weight() { return weight_; }
+  core::Tensor& bias() { return bias_; }
+
+  std::int64_t SliceFlops(const ChannelRange& in, const ChannelRange& out) const {
+    return 2 * in.width() * out.width();
+  }
+
+ private:
+  std::int64_t max_in_, max_out_;
+  std::string name_;
+  core::Tensor weight_, bias_;
+  core::Tensor weight_grad_, bias_grad_;
+  core::Tensor cached_input_;
+  ChannelRange cached_in_{}, cached_out_{};
+};
+
+}  // namespace fluid::slim

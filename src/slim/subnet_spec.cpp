@@ -1,0 +1,76 @@
+#include "slim/subnet_spec.h"
+
+#include <sstream>
+
+#include "core/error.h"
+
+namespace fluid::slim {
+
+SubnetFamily::SubnetFamily(std::vector<std::int64_t> widths,
+                           std::size_t split_index)
+    : widths_(std::move(widths)), split_index_(split_index) {
+  FLUID_CHECK_MSG(!widths_.empty(), "SubnetFamily: empty width list");
+  FLUID_CHECK_MSG(widths_.front() > 0, "SubnetFamily: widths must be positive");
+  for (std::size_t i = 1; i < widths_.size(); ++i) {
+    FLUID_CHECK_MSG(widths_[i] > widths_[i - 1],
+                    "SubnetFamily: widths must be strictly increasing");
+  }
+  FLUID_CHECK_MSG(split_index_ < widths_.size(),
+                  "SubnetFamily: split_index out of range");
+}
+
+SubnetFamily SubnetFamily::PaperDefault() {
+  return SubnetFamily({4, 8, 12, 16}, 1);
+}
+
+std::string SubnetFamily::PercentName(std::int64_t width) const {
+  // Percent of the maximum width, rounded to the nearest integer.
+  const std::int64_t pct = (width * 100 + max_width() / 2) / max_width();
+  std::ostringstream os;
+  os << pct << "%";
+  return os.str();
+}
+
+SubnetSpec SubnetFamily::Lower(std::size_t i) const {
+  FLUID_CHECK_MSG(i < widths_.size(), "SubnetFamily::Lower index out of range");
+  return SubnetSpec{PercentName(widths_[i]), {0, widths_[i]}, false};
+}
+
+SubnetSpec SubnetFamily::Upper(std::size_t i) const {
+  FLUID_CHECK_MSG(i < widths_.size(), "SubnetFamily::Upper index out of range");
+  FLUID_CHECK_MSG(i > split_index_,
+                  "SubnetFamily::Upper requires a width above the split");
+  return SubnetSpec{"upper" + PercentName(widths_[i] - split_width()),
+                    {split_width(), widths_[i]},
+                    true};
+}
+
+std::vector<SubnetSpec> SubnetFamily::LowerFamily() const {
+  std::vector<SubnetSpec> specs;
+  specs.reserve(widths_.size());
+  for (std::size_t i = 0; i < widths_.size(); ++i) specs.push_back(Lower(i));
+  return specs;
+}
+
+std::vector<SubnetSpec> SubnetFamily::UpperFamily() const {
+  std::vector<SubnetSpec> specs;
+  for (std::size_t i = split_index_ + 1; i < widths_.size(); ++i) {
+    specs.push_back(Upper(i));
+  }
+  return specs;
+}
+
+std::vector<SubnetSpec> SubnetFamily::All() const {
+  auto specs = LowerFamily();
+  for (auto& u : UpperFamily()) specs.push_back(u);
+  return specs;
+}
+
+SubnetSpec SubnetFamily::ByName(const std::string& name) const {
+  for (const auto& s : All()) {
+    if (s.name == name) return s;
+  }
+  throw core::Error("SubnetFamily: no sub-network named '" + name + "'");
+}
+
+}  // namespace fluid::slim

@@ -1,0 +1,83 @@
+#pragma once
+// Sub-network naming and geometry for a Fluid DyDNN width family.
+//
+// The paper's family (widths [4,8,12,16], split after index 1) yields six
+// runnable sub-networks:
+//   lower:  25% [0,4)   50% [0,8)   75% [0,12)   100% [0,16)
+//   upper:  upper25% [8,12)   upper50% [8,16)
+// The lower family alone is exactly the Dynamic-DNN baseline of
+// Xun et al. (MLCAD'19); the upper family is what "Fluid" adds.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "slim/channel_range.h"
+
+namespace fluid::slim {
+
+/// One runnable sub-network: a name plus the channel block every hidden
+/// layer activates. (In this architecture all hidden layers share widths,
+/// as in the paper.)
+struct SubnetSpec {
+  std::string name;
+  ChannelRange range;
+  /// True for the upper-slice sub-networks that start at the split
+  /// boundary rather than channel 0.
+  bool is_upper = false;
+
+  bool operator==(const SubnetSpec& other) const = default;
+  std::string ToString() const { return name + range.ToString(); }
+};
+
+/// The full width family: cumulative widths plus the Master/Worker split.
+class SubnetFamily {
+ public:
+  /// `widths` must be strictly increasing and positive; `split_index`
+  /// selects the width held by the Master (everything above it is the
+  /// Worker's upper block).
+  SubnetFamily(std::vector<std::int64_t> widths, std::size_t split_index);
+
+  /// Paper default: widths {4, 8, 12, 16}, split after the 50 % model.
+  static SubnetFamily PaperDefault();
+
+  std::size_t num_widths() const { return widths_.size(); }
+  std::int64_t max_width() const { return widths_.back(); }
+  std::int64_t split_width() const { return widths_[split_index_]; }
+  std::size_t split_index() const { return split_index_; }
+  const std::vector<std::int64_t>& widths() const { return widths_; }
+
+  /// Lower sub-network i: channels [0, widths[i]). Name "25%", "50%", ....
+  SubnetSpec Lower(std::size_t i) const;
+
+  /// Upper sub-network above the split for width index i > split_index:
+  /// channels [split_width, widths[i]). Name "upper25%", "upper50%", ....
+  SubnetSpec Upper(std::size_t i) const;
+
+  /// All lower specs, narrowest first (the Dynamic-DNN family).
+  std::vector<SubnetSpec> LowerFamily() const;
+
+  /// All upper specs, narrowest first (what Fluid adds).
+  std::vector<SubnetSpec> UpperFamily() const;
+
+  /// Every runnable sub-network: lower family then upper family.
+  std::vector<SubnetSpec> All() const;
+
+  /// Look up any spec produced by this family by name.
+  SubnetSpec ByName(const std::string& name) const;
+
+  /// The largest standalone spec for a given role after a failure:
+  /// the Master keeps the split-width lower model, the Worker keeps the
+  /// widest upper model.
+  SubnetSpec MasterResident() const { return Lower(split_index_); }
+  SubnetSpec WorkerResident() const { return Upper(widths_.size() - 1); }
+  /// The combined full-width model both devices realise together in HA mode.
+  SubnetSpec Combined() const { return Lower(widths_.size() - 1); }
+
+ private:
+  std::string PercentName(std::int64_t width) const;
+  std::vector<std::int64_t> widths_;
+  std::size_t split_index_;
+};
+
+}  // namespace fluid::slim

@@ -1,0 +1,32 @@
+#include "train/incremental_trainer.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace fluid::train {
+
+std::vector<StageLog> IncrementalTrainer::Fit(const data::Dataset& train_set,
+                                              const data::Dataset* eval_set,
+                                              const TrainOptions& opts) {
+  std::vector<StageLog> logs;
+  const auto lower = model_.family().LowerFamily();
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    const std::optional<slim::SubnetSpec> frozen =
+        i == 0 ? std::nullopt : std::make_optional(lower[i - 1]);
+    const bool head_bias = (i == 0);
+    const double loss =
+        TrainSubnet(model_, lower[i], frozen, head_bias, train_set, opts);
+    StageLog log{lower[i].name, loss, std::nan("")};
+    if (eval_set) {
+      log.eval_accuracy =
+          EvaluateSubnet(model_, lower[i], *eval_set).accuracy;
+    }
+    FLUID_LOG(Info) << "incremental stage " << lower[i].name << " loss "
+                    << loss;
+    logs.push_back(log);
+  }
+  return logs;
+}
+
+}  // namespace fluid::train

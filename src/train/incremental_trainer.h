@@ -1,0 +1,29 @@
+#pragma once
+// The Dynamic-DNN baseline: incremental training (Xun et al., MLCAD 2019).
+//
+// Widths are trained narrowest-first; each wider model freezes everything
+// the previous one trained and only fits its newly added channel block.
+// Smaller sub-networks are therefore preserved bit-exactly — they can be
+// switched to at runtime — but the *upper* channel blocks never work on
+// their own, which is precisely the reliability gap Fluid DyDNNs close.
+
+#include "train/trainer_common.h"
+
+namespace fluid::train {
+
+class IncrementalTrainer {
+ public:
+  /// Trains the lower family of `model` in place.
+  explicit IncrementalTrainer(slim::FluidModel& model) : model_(model) {}
+
+  /// `opts.epochs` applies per width stage. When `eval_set` is non-null
+  /// each stage logs the freshly trained sub-network's accuracy.
+  std::vector<StageLog> Fit(const data::Dataset& train_set,
+                            const data::Dataset* eval_set,
+                            const TrainOptions& opts);
+
+ private:
+  slim::FluidModel& model_;
+};
+
+}  // namespace fluid::train

@@ -1,0 +1,71 @@
+#include "train/model_zoo.h"
+
+#include "core/error.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/pooling.h"
+
+namespace fluid::train {
+
+nn::Sequential BuildConvNet(const slim::FluidNetConfig& cfg, std::int64_t width,
+                            core::Rng& rng) {
+  FLUID_CHECK_MSG(width > 0, "BuildConvNet width must be positive");
+  nn::Sequential model;
+  for (std::int64_t i = 0; i < cfg.num_conv_layers; ++i) {
+    const std::int64_t in_ch = (i == 0) ? cfg.image_channels : width;
+    model.Emplace<nn::Conv2d>(in_ch, width, cfg.kernel, cfg.stride, cfg.pad,
+                              rng, "conv" + std::to_string(i + 1));
+    model.Emplace<nn::LeakyReLU>(cfg.relu_leak);
+    model.Emplace<nn::MaxPool2d>(cfg.pool);
+  }
+  model.Emplace<nn::Flatten>();
+  const auto s = cfg.FinalSpatial();
+  model.Emplace<nn::Dense>(width * s * s, cfg.num_classes, rng, "fc");
+  return model;
+}
+
+PipelineHalves SplitConvNet(const slim::FluidNetConfig& cfg, std::int64_t width,
+                            nn::Sequential& full, std::int64_t cut_stage) {
+  FLUID_CHECK_MSG(cut_stage > 0 && cut_stage < cfg.num_conv_layers,
+                  "SplitConvNet: cut must fall between conv stages");
+  const std::size_t expected =
+      static_cast<std::size_t>(cfg.num_conv_layers) * 3 + 2;
+  FLUID_CHECK_MSG(full.size() == expected,
+                  "SplitConvNet: model layout does not match BuildConvNet");
+
+  core::Rng dummy(0);
+  PipelineHalves halves;
+  for (std::int64_t i = 0; i < cfg.num_conv_layers; ++i) {
+    auto* src = dynamic_cast<nn::Conv2d*>(&full.layer(
+        static_cast<std::size_t>(i) * 3));
+    FLUID_CHECK_MSG(src != nullptr, "SplitConvNet: stage is not Conv2d");
+    const std::int64_t in_ch = (i == 0) ? cfg.image_channels : width;
+    auto copy = std::make_unique<nn::Conv2d>(in_ch, width, cfg.kernel,
+                                             cfg.stride, cfg.pad, dummy,
+                                             "conv" + std::to_string(i + 1));
+    copy->weight() = src->weight();
+    copy->bias() = src->bias();
+    nn::Sequential& half = (i < cut_stage) ? halves.front : halves.back;
+    half.Add(std::move(copy));
+    half.Emplace<nn::LeakyReLU>(cfg.relu_leak);
+    half.Emplace<nn::MaxPool2d>(cfg.pool);
+  }
+  auto* src_head = dynamic_cast<nn::Dense*>(&full.layer(expected - 1));
+  FLUID_CHECK_MSG(src_head != nullptr, "SplitConvNet: head is not Dense");
+  const auto s = cfg.FinalSpatial();
+  auto head = std::make_unique<nn::Dense>(width * s * s, cfg.num_classes,
+                                          dummy, "fc");
+  head->weight() = src_head->weight();
+  head->bias() = src_head->bias();
+  halves.back.Emplace<nn::Flatten>();
+  halves.back.Add(std::move(head));
+
+  const std::int64_t sp = cfg.SpatialAfter(cut_stage - 1);
+  halves.cut_bytes_per_sample =
+      width * sp * sp * static_cast<std::int64_t>(sizeof(float));
+  return halves;
+}
+
+}  // namespace fluid::train

@@ -1,0 +1,33 @@
+#pragma once
+// Construction helpers for the baseline models of the evaluation:
+// the Static DNN and its layer-pipeline split across two devices.
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "nn/sequential.h"
+#include "slim/fluid_model.h"
+
+namespace fluid::train {
+
+/// Build the paper's 3-conv + 1-FC network at a fixed width — the Static
+/// DNN baseline (uses the same architecture hyper-parameters as the Fluid
+/// model, just without slimmability).
+nn::Sequential BuildConvNet(const slim::FluidNetConfig& cfg, std::int64_t width,
+                            core::Rng& rng);
+
+/// The Static DNN's distributed deployment: a layer pipeline cut after
+/// `cut_stage` conv stages (paper Fig. 1: layers A,B on the Master, C,D on
+/// the Worker). Weights are deep-copied from `full`, which must have been
+/// built by BuildConvNet with the same cfg/width.
+struct PipelineHalves {
+  nn::Sequential front;  // Master: stages [0, cut_stage)
+  nn::Sequential back;   // Worker: remaining stages + classifier
+  /// Bytes of the activation tensor crossing the cut per input sample.
+  std::int64_t cut_bytes_per_sample = 0;
+};
+
+PipelineHalves SplitConvNet(const slim::FluidNetConfig& cfg, std::int64_t width,
+                            nn::Sequential& full, std::int64_t cut_stage);
+
+}  // namespace fluid::train

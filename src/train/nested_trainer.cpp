@@ -1,0 +1,71 @@
+#include "train/nested_trainer.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/logging.h"
+
+namespace fluid::train {
+
+std::vector<StageLog> NestedIncrementalTrainer::Fit(
+    const data::Dataset& train_set, const data::Dataset* eval_set,
+    const NestedTrainOptions& opts) {
+  FLUID_CHECK_MSG(opts.niters >= 1, "NestedTrainOptions.niters must be >= 1");
+  std::vector<StageLog> logs;
+  const auto lower = model_.family().LowerFamily();
+  const auto upper = model_.family().UpperFamily();
+
+  for (std::int64_t iter = 0; iter < opts.niters; ++iter) {  // Alg.1 line 1
+    TrainOptions stage_opts = opts.stage;
+    if (iter > 0) stage_opts.learning_rate *= opts.finetune_lr_scale;
+    // Decorrelate batch order across iterations.
+    stage_opts.shuffle_seed =
+        opts.stage.shuffle_seed + static_cast<std::uint64_t>(iter) * 977;
+
+    const std::string prefix = "iter" + std::to_string(iter + 1) + "/";
+
+    // Lines 2-5: incremental pass over the lower family.
+    for (std::size_t i = 0; i < lower.size(); ++i) {
+      const std::optional<slim::SubnetSpec> frozen =
+          i == 0 ? std::nullopt : std::make_optional(lower[i - 1]);
+      // The narrowest model owns the shared classifier bias; it keeps
+      // ownership across iterations so the bias never sees conflicting
+      // updates within one pass.
+      const bool head_bias = (i == 0);
+      const double loss = TrainSubnet(model_, lower[i], frozen, head_bias,
+                                      train_set, stage_opts);
+      StageLog log{prefix + lower[i].name, loss, std::nan("")};
+      if (eval_set) {
+        log.eval_accuracy =
+            EvaluateSubnet(model_, lower[i], *eval_set).accuracy;
+      }
+      logs.push_back(log);
+    }
+
+    // Lines 6-10: re-train each upper slice so it runs standalone. The
+    // copy-from / copy-back of Algorithm 1 is the identity on the shared
+    // store; the mask confines updates to the slice, which is exactly the
+    // region the copy-back would overwrite. The upper family is itself a
+    // "nested Dynamic DNN trained incrementally" (§II-A): each wider upper
+    // slice freezes the narrower one, otherwise the upper-50% pass would
+    // clobber the standalone upper-25% model it shares weights with.
+    for (std::size_t i = 0; i < upper.size(); ++i) {
+      const auto& u = upper[i];
+      const std::optional<slim::SubnetSpec> frozen =
+          i == 0 ? std::nullopt : std::make_optional(upper[i - 1]);
+      const double loss = TrainSubnet(model_, u, frozen,
+                                      /*train_head_bias=*/false, train_set,
+                                      stage_opts);
+      StageLog log{prefix + u.name, loss, std::nan("")};
+      if (eval_set) {
+        log.eval_accuracy = EvaluateSubnet(model_, u, *eval_set).accuracy;
+      }
+      logs.push_back(log);
+    }
+    FLUID_LOG(Info) << "nested iteration " << (iter + 1) << "/" << opts.niters
+                    << " done";
+  }
+  return logs;
+}
+
+}  // namespace fluid::train

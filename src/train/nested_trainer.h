@@ -1,0 +1,53 @@
+#pragma once
+// Nested incremental training — Algorithm 1 of the paper, the core
+// contribution of Fluid DyDNNs.
+//
+// Per outer iteration:
+//   1. The lower family is trained incrementally (line 2-5): each width
+//      fits its exclusive channel block; "copy trained weights to the next
+//      model" is the identity here because all widths share one weight
+//      store (DESIGN.md §5).
+//   2. The upper family — itself "a nested Dynamic DNN ... trained
+//      incrementally so they can be used independently" (§II-A) — is
+//      re-trained so each upper slice works standalone (line 6-10), each
+//      wider slice freezing the narrower one exactly like the lower pass.
+//      "Copy corresponding weights from the 100% model" and "copy the
+//      re-trained weights back" are the identity on a shared store: masked
+//      in-place SGD updates exactly the region the copy-back would write.
+//      tests/train/nested_trainer_test.cpp verifies this equivalence
+//      against a literal extract → train → import loop.
+//
+// The upper re-training perturbs weights the 75 %/100 % models rely on —
+// the paper's "nontrivial" interaction — which is why the schedule
+// iterates: the next outer iteration's incremental pass re-fits the
+// combined models around the updated upper blocks.
+
+#include "train/trainer_common.h"
+
+namespace fluid::train {
+
+struct NestedTrainOptions {
+  /// Outer fine-tuning iterations (Algorithm 1 line 1).
+  std::int64_t niters = 2;
+  /// SGD settings applied to every stage; `epochs` counts per stage.
+  TrainOptions stage;
+  /// LR multiplier applied to iterations after the first, so later passes
+  /// fine-tune rather than re-learn.
+  float finetune_lr_scale = 0.3F;
+};
+
+class NestedIncrementalTrainer {
+ public:
+  explicit NestedIncrementalTrainer(slim::FluidModel& model) : model_(model) {}
+
+  /// Runs Algorithm 1. Logs one entry per (iteration, stage); when
+  /// `eval_set` is given each entry carries that sub-network's accuracy.
+  std::vector<StageLog> Fit(const data::Dataset& train_set,
+                            const data::Dataset* eval_set,
+                            const NestedTrainOptions& opts);
+
+ private:
+  slim::FluidModel& model_;
+};
+
+}  // namespace fluid::train

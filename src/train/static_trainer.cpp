@@ -1,0 +1,23 @@
+#include "train/static_trainer.h"
+
+#include <cmath>
+
+namespace fluid::train {
+
+StaticTrainer::StaticTrainer(slim::FluidNetConfig cfg, std::int64_t width,
+                             std::uint64_t seed)
+    : cfg_(cfg), width_(width), model_([&] {
+        core::Rng rng(seed);
+        return BuildConvNet(cfg, width, rng);
+      }()) {}
+
+std::vector<StageLog> StaticTrainer::Fit(const data::Dataset& train_set,
+                                         const data::Dataset* eval_set,
+                                         const TrainOptions& opts) {
+  const double loss = TrainModel(model_, train_set, opts);
+  StageLog log{"static", loss, std::nan("")};
+  if (eval_set) log.eval_accuracy = EvaluateModel(model_, *eval_set).accuracy;
+  return {log};
+}
+
+}  // namespace fluid::train

@@ -1,0 +1,29 @@
+#pragma once
+// Static DNN baseline: one fixed-width model, plain SGD.
+
+#include "train/model_zoo.h"
+#include "train/trainer_common.h"
+
+namespace fluid::train {
+
+class StaticTrainer {
+ public:
+  StaticTrainer(slim::FluidNetConfig cfg, std::int64_t width,
+                std::uint64_t seed);
+
+  /// Train and return per-stage logs (a single "static" stage).
+  std::vector<StageLog> Fit(const data::Dataset& train_set,
+                            const data::Dataset* eval_set,
+                            const TrainOptions& opts);
+
+  nn::Sequential& model() { return model_; }
+  const slim::FluidNetConfig& config() const { return cfg_; }
+  std::int64_t width() const { return width_; }
+
+ private:
+  slim::FluidNetConfig cfg_;
+  std::int64_t width_;
+  nn::Sequential model_;
+};
+
+}  // namespace fluid::train

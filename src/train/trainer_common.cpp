@@ -1,0 +1,124 @@
+#include "train/trainer_common.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "nn/metrics.h"
+#include "nn/optimizer.h"
+#include "nn/softmax.h"
+
+namespace fluid::train {
+
+namespace {
+
+/// One SGD epoch over `dataset` driving `forward` / `backward` callbacks.
+/// Returns the mean loss.
+double RunEpoch(
+    const data::Dataset& dataset, std::int64_t batch_size, core::Rng& rng,
+    const std::function<core::Tensor(const core::Tensor&)>& forward,
+    const std::function<void(const core::Tensor&)>& backward) {
+  data::DataLoader loader(dataset, batch_size, &rng);
+  loader.StartEpoch();
+  nn::SoftmaxCrossEntropy loss;
+  nn::AverageMeter meter;
+  data::Batch batch;
+  while (loader.Next(batch)) {
+    core::Tensor logits = forward(batch.images);
+    const double batch_loss = loss.Forward(logits, batch.labels);
+    backward(loss.Backward());
+    meter.Add(batch_loss, batch.size());
+  }
+  return meter.mean();
+}
+
+template <typename ForwardFn>
+EvalResult EvaluateWith(const data::Dataset& dataset, std::int64_t batch_size,
+                        ForwardFn&& forward) {
+  data::DataLoader loader(dataset, batch_size, /*rng=*/nullptr);
+  loader.StartEpoch();
+  nn::SoftmaxCrossEntropy loss;
+  nn::AverageMeter loss_meter, acc_meter;
+  data::Batch batch;
+  while (loader.Next(batch)) {
+    core::Tensor logits = forward(batch.images);
+    loss_meter.Add(loss.Forward(logits, batch.labels), batch.size());
+    acc_meter.Add(nn::Accuracy(logits, batch.labels), batch.size());
+  }
+  return {loss_meter.mean(), acc_meter.mean()};
+}
+
+}  // namespace
+
+EvalResult EvaluateSubnet(slim::FluidModel& model, const slim::SubnetSpec& spec,
+                          const data::Dataset& dataset,
+                          std::int64_t batch_size) {
+  return EvaluateWith(dataset, batch_size, [&](const core::Tensor& x) {
+    return model.Forward(spec, x, /*training=*/false);
+  });
+}
+
+EvalResult EvaluateModel(nn::Sequential& model, const data::Dataset& dataset,
+                         std::int64_t batch_size) {
+  return EvaluateWith(dataset, batch_size, [&](const core::Tensor& x) {
+    return model.Forward(x, /*training=*/false);
+  });
+}
+
+double TrainSubnet(slim::FluidModel& model, const slim::SubnetSpec& spec,
+                   const std::optional<slim::SubnetSpec>& frozen,
+                   bool train_head_bias, const data::Dataset& dataset,
+                   const TrainOptions& opts) {
+  nn::Sgd sgd(opts.learning_rate, opts.momentum, opts.weight_decay);
+  for (auto& [name, mask] : model.TrainableMasks(spec, frozen, train_head_bias)) {
+    sgd.SetMask(name, std::move(mask));
+  }
+  core::Rng rng(opts.shuffle_seed ^
+                std::hash<std::string>{}(spec.name));
+  const auto params = model.Params();
+  double last = 0.0;
+  for (std::int64_t e = 0; e < opts.epochs; ++e) {
+    sgd.set_learning_rate(opts.learning_rate *
+                          std::pow(opts.lr_decay_per_epoch,
+                                   static_cast<float>(e)));
+    last = RunEpoch(
+        dataset, opts.batch_size, rng,
+        [&](const core::Tensor& x) {
+          model.ZeroGrad();
+          return model.Forward(spec, x, /*training=*/true);
+        },
+        [&](const core::Tensor& grad) {
+          model.Backward(grad);
+          sgd.Step(params);
+        });
+    FLUID_LOG(Debug) << "subnet " << spec.name << " epoch " << e
+                     << " loss " << last;
+  }
+  return last;
+}
+
+double TrainModel(nn::Sequential& model, const data::Dataset& dataset,
+                  const TrainOptions& opts) {
+  nn::Sgd sgd(opts.learning_rate, opts.momentum, opts.weight_decay);
+  core::Rng rng(opts.shuffle_seed);
+  const auto params = model.Params();
+  double last = 0.0;
+  for (std::int64_t e = 0; e < opts.epochs; ++e) {
+    sgd.set_learning_rate(opts.learning_rate *
+                          std::pow(opts.lr_decay_per_epoch,
+                                   static_cast<float>(e)));
+    last = RunEpoch(
+        dataset, opts.batch_size, rng,
+        [&](const core::Tensor& x) {
+          model.ZeroGrad();
+          return model.Forward(x, /*training=*/true);
+        },
+        [&](const core::Tensor& grad) {
+          model.Backward(grad);
+          sgd.Step(params);
+        });
+    FLUID_LOG(Debug) << "static epoch " << e << " loss " << last;
+  }
+  return last;
+}
+
+}  // namespace fluid::train

@@ -1,0 +1,62 @@
+#pragma once
+// Shared training/evaluation plumbing for the three schedules.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+#include "slim/fluid_model.h"
+
+namespace fluid::train {
+
+struct TrainOptions {
+  std::int64_t epochs = 1;
+  std::int64_t batch_size = 32;
+  float learning_rate = 0.05F;
+  float momentum = 0.9F;
+  float weight_decay = 1e-4F;
+  std::uint64_t shuffle_seed = 1234;
+  /// Multiplicative LR decay applied per epoch (1 = constant).
+  float lr_decay_per_epoch = 1.0F;
+};
+
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;  // in [0,1]
+};
+
+/// Per-stage record emitted by the schedules (consumed by benches and
+/// EXPERIMENTS.md tables).
+struct StageLog {
+  std::string stage;     // e.g. "iter1/50%" or "iter2/upper25%"
+  double train_loss = 0.0;
+  double eval_accuracy = 0.0;  // NaN when no eval set was supplied
+};
+
+/// Loss/accuracy of a sub-network slice over a dataset.
+EvalResult EvaluateSubnet(slim::FluidModel& model, const slim::SubnetSpec& spec,
+                          const data::Dataset& dataset,
+                          std::int64_t batch_size = 256);
+
+/// Loss/accuracy of a standalone model over a dataset.
+EvalResult EvaluateModel(nn::Sequential& model, const data::Dataset& dataset,
+                         std::int64_t batch_size = 256);
+
+/// Train one slice for `opts.epochs` epochs with masked SGD.
+/// `frozen` keeps that nested slice bit-exact; `train_head_bias` gates the
+/// shared classifier bias (see FluidModel::TrainableMasks).
+/// Returns the mean training loss of the final epoch.
+double TrainSubnet(slim::FluidModel& model, const slim::SubnetSpec& spec,
+                   const std::optional<slim::SubnetSpec>& frozen,
+                   bool train_head_bias, const data::Dataset& dataset,
+                   const TrainOptions& opts);
+
+/// Train a standalone model (no masks). Returns final-epoch mean loss.
+double TrainModel(nn::Sequential& model, const data::Dataset& dataset,
+                  const TrainOptions& opts);
+
+}  // namespace fluid::train

@@ -1,0 +1,60 @@
+#include "core/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/serialize.h"
+
+namespace fluid::core {
+namespace {
+
+TEST(CsvTest, HeaderAndRowsRender) {
+  CsvWriter csv({"model", "img_s", "acc"});
+  csv.Row().Text("Static").Number(11.1, 1).Number(0.989, 3).Done();
+  csv.Row().Text("Fluid").Number(28.3, 1).Number(0.992, 3).Done();
+  EXPECT_EQ(csv.ToString(),
+            "model,img_s,acc\nStatic,11.1,0.989\nFluid,28.3,0.992\n");
+  EXPECT_EQ(csv.num_rows(), 2u);
+}
+
+TEST(CsvTest, QuotesCommasQuotesAndNewlines) {
+  CsvWriter csv({"note"});
+  csv.AddRow({"plain"});
+  csv.AddRow({"has,comma"});
+  csv.AddRow({"has\"quote"});
+  csv.AddRow({"has\nnewline"});
+  EXPECT_EQ(csv.ToString(),
+            "note\nplain\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvTest, RowWidthEnforced) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.AddRow({"only-one"}), Error);
+  EXPECT_THROW(csv.Row().Text("x").Done(), Error);
+  EXPECT_NO_THROW(csv.Row().Text("x").Integer(2).Done());
+}
+
+TEST(CsvTest, EmptyHeaderRejected) {
+  EXPECT_THROW(CsvWriter({}), Error);
+}
+
+TEST(CsvTest, IntegerAndPrecisionFormatting) {
+  CsvWriter csv({"n", "pi"});
+  csv.Row().Integer(-42).Number(3.14159, 2).Done();
+  EXPECT_EQ(csv.ToString(), "n,pi\n-42,3.14\n");
+}
+
+TEST(CsvTest, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/fluid_csv_test.csv";
+  CsvWriter csv({"x"});
+  csv.AddRow({"1"});
+  ASSERT_TRUE(csv.WriteTo(path).ok());
+  auto bytes = ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(std::string(bytes->begin(), bytes->end()), "x\n1\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fluid::core

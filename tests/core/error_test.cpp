@@ -1,0 +1,69 @@
+#include "core/error.h"
+
+#include <gtest/gtest.h>
+
+namespace fluid::core {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_NO_THROW(st.ThrowIfError());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "NOT_FOUND: missing thing");
+  EXPECT_THROW(st.ThrowIfError(), Error);
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const auto code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kUnavailable,
+        StatusCode::kDeadlineExceeded, StatusCode::kDataLoss,
+        StatusCode::kInternal}) {
+    EXPECT_NE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsStatus) {
+  StatusOr<int> v(Status::Unavailable("down"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kUnavailable);
+  EXPECT_THROW(v.value(), Error);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("payload"));
+  const std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(CheckTest, FluidCheckThrowsWithLocation) {
+  try {
+    FLUID_CHECK_MSG(1 == 2, "impossible");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("impossible"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(FLUID_CHECK(2 + 2 == 4));
+}
+
+}  // namespace
+}  // namespace fluid::core

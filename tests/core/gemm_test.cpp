@@ -1,0 +1,101 @@
+#include "core/gemm.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace fluid::core {
+namespace {
+
+// Reference implementation for cross-checking.
+void NaiveGemm(bool ta, bool tb, std::int64_t m, std::int64_t n,
+               std::int64_t k, float alpha, const std::vector<float>& a,
+               std::int64_t lda, const std::vector<float>& b, std::int64_t ldb,
+               float beta, std::vector<float>& c, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * lda + i] : a[i * lda + p];
+        const float bv = tb ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * ldc + j] =
+          static_cast<float>(alpha * acc + beta * c[i * ldc + j]);
+    }
+  }
+}
+
+struct GemmCase {
+  bool ta, tb;
+  std::int64_t m, n, k;
+  float alpha, beta;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParamTest, MatchesNaiveReference) {
+  const auto p = GetParam();
+  Rng rng(p.m * 131 + p.n * 17 + p.k);
+  const std::int64_t lda = p.ta ? p.m : p.k;
+  const std::int64_t ldb = p.tb ? p.k : p.n;
+  const std::int64_t rows_a = p.ta ? p.k : p.m;
+  const std::int64_t rows_b = p.tb ? p.n : p.k;
+  std::vector<float> a(static_cast<std::size_t>(rows_a * lda));
+  std::vector<float> b(static_cast<std::size_t>(rows_b * ldb));
+  for (auto& v : a) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.Uniform(-1, 1));
+  std::vector<float> c(static_cast<std::size_t>(p.m * p.n));
+  for (auto& v : c) v = static_cast<float>(rng.Uniform(-1, 1));
+  std::vector<float> expected = c;
+
+  Gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a.data(), lda, b.data(), ldb,
+       p.beta, c.data(), p.n);
+  NaiveGemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a, lda, b, ldb, p.beta,
+            expected, p.n);
+
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-3F) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposesAndShapes, GemmParamTest,
+    ::testing::Values(
+        GemmCase{false, false, 4, 5, 6, 1.0F, 0.0F},
+        GemmCase{false, false, 16, 144, 9, 1.0F, 0.0F},
+        GemmCase{true, false, 7, 3, 5, 1.0F, 0.0F},
+        GemmCase{false, true, 3, 7, 5, 1.0F, 0.0F},
+        GemmCase{true, true, 6, 6, 6, 1.0F, 0.0F},
+        GemmCase{false, false, 5, 5, 5, 2.5F, 0.0F},
+        GemmCase{false, false, 5, 5, 5, 1.0F, 1.0F},
+        GemmCase{true, false, 8, 2, 9, -1.0F, 0.5F},
+        GemmCase{false, true, 1, 1, 32, 1.0F, 0.0F},
+        GemmCase{false, false, 1, 64, 1, 1.0F, 0.0F}));
+
+TEST(GemmTest, ZeroSizedDimensionsAreNoOps) {
+  float c[4] = {1, 2, 3, 4};
+  Gemm(false, false, 0, 2, 3, 1.0F, nullptr, 3, nullptr, 2, 0.0F, c, 2);
+  Gemm(false, false, 2, 0, 3, 1.0F, nullptr, 3, nullptr, 0, 0.0F, c, 0);
+  EXPECT_EQ(c[0], 1.0F);
+}
+
+TEST(GemmTest, KZeroScalesCByBeta) {
+  float c[2] = {2.0F, 4.0F};
+  Gemm(false, false, 1, 2, 0, 1.0F, nullptr, 1, nullptr, 2, 0.5F, c, 2);
+  EXPECT_EQ(c[0], 1.0F);
+  EXPECT_EQ(c[1], 2.0F);
+}
+
+TEST(GemmTest, BetaZeroOverwritesGarbage) {
+  const float a[1] = {2.0F};
+  const float b[1] = {3.0F};
+  float c[1] = {123.0F};
+  Gemm(false, false, 1, 1, 1, 1.0F, a, 1, b, 1, 0.0F, c, 1);
+  EXPECT_EQ(c[0], 6.0F);
+}
+
+}  // namespace
+}  // namespace fluid::core

@@ -1,0 +1,51 @@
+#include "core/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace fluid::core {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelGateControlsEmission) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_FALSE(detail::LogEnabled(LogLevel::kInfo));
+  EXPECT_FALSE(detail::LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(detail::LogEnabled(LogLevel::kError));
+
+  SetLogLevel(LogLevel::kTrace);
+  EXPECT_TRUE(detail::LogEnabled(LogLevel::kDebug));
+
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(detail::LogEnabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, GetterReflectsSetter) {
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, NamesAreStable) {
+  EXPECT_EQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(LogLevelName(LogLevel::kError), "ERROR");
+  EXPECT_EQ(LogLevelName(LogLevel::kOff), "OFF");
+}
+
+TEST_F(LoggingTest, MacroSkipsDisabledLevelsWithoutEvaluating) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  FLUID_LOG(Debug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  FLUID_LOG(Error) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace fluid::core

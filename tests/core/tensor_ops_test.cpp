@@ -1,0 +1,78 @@
+#include "core/tensor_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace fluid::core {
+namespace {
+
+TEST(TensorOpsTest, AddSubMulElementwise) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b(Shape{3}, {10, 20, 30});
+  EXPECT_EQ(Add(a, b).at(1), 22.0F);
+  EXPECT_EQ(Sub(b, a).at(2), 27.0F);
+  EXPECT_EQ(Mul(a, b).at(0), 10.0F);
+}
+
+TEST(TensorOpsTest, ShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(Add(a, b), Error);
+  EXPECT_THROW(Mul(a, b), Error);
+}
+
+TEST(TensorOpsTest, ScaleAndAxpy) {
+  Tensor a(Shape{2}, {1, -2});
+  EXPECT_EQ(Scale(a, 3.0F).at(1), -6.0F);
+  Tensor acc(Shape{2}, {10, 10});
+  Axpy(0.5F, a, acc);
+  EXPECT_EQ(acc.at(0), 10.5F);
+  EXPECT_EQ(acc.at(1), 9.0F);
+}
+
+TEST(TensorOpsTest, Reductions) {
+  Tensor a(Shape{4}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(Sum(a), 10.0);
+  EXPECT_DOUBLE_EQ(Mean(a), 2.5);
+  EXPECT_EQ(Max(a), 4.0F);
+  EXPECT_EQ(Argmax(a), 3);
+  EXPECT_NEAR(Norm(a), std::sqrt(30.0), 1e-9);
+}
+
+TEST(TensorOpsTest, ArgmaxRowsPerRow) {
+  Tensor logits(Shape{2, 3}, {0.1F, 0.9F, 0.2F, 5.0F, 1.0F, 2.0F});
+  const auto preds = ArgmaxRows(logits);
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0], 1);
+  EXPECT_EQ(preds[1], 0);
+}
+
+TEST(TensorOpsTest, MatMulSmallKnownResult) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.shape(), Shape({2, 2}));
+  EXPECT_EQ(c.at(0), 58.0F);
+  EXPECT_EQ(c.at(1), 64.0F);
+  EXPECT_EQ(c.at(2), 139.0F);
+  EXPECT_EQ(c.at(3), 154.0F);
+}
+
+TEST(TensorOpsTest, MatMulChecksInnerDim) {
+  EXPECT_THROW(MatMul(Tensor({2, 3}), Tensor({2, 3})), Error);
+}
+
+TEST(TensorOpsTest, AllCloseAndMaxAbsDiff) {
+  Tensor a(Shape{2}, {1.0F, 2.0F});
+  Tensor b(Shape{2}, {1.0F, 2.00001F});
+  EXPECT_TRUE(AllClose(a, b, 1e-4F));
+  EXPECT_FALSE(AllClose(a, b, 1e-7F));
+  EXPECT_NEAR(MaxAbsDiff(a, b), 1e-5F, 1e-6F);
+  EXPECT_FALSE(AllClose(a, Tensor({3})));
+}
+
+}  // namespace
+}  // namespace fluid::core

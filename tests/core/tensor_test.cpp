@@ -1,0 +1,99 @@
+#include "core/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace fluid::core {
+namespace {
+
+TEST(TensorTest, ConstructionZeroInitialises) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(TensorTest, ConstructionFromDataChecksSize) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full({4}, 2.5F);
+  for (const float v : t.data()) EXPECT_EQ(v, 2.5F);
+}
+
+TEST(TensorTest, FlatAccessChecksBounds) {
+  Tensor t({3});
+  t.at(2) = 7.0F;
+  EXPECT_EQ(t.at(2), 7.0F);
+  EXPECT_THROW(t.at(3), Error);
+  EXPECT_THROW(t.at(-1), Error);
+}
+
+TEST(TensorTest, MultiIndexAccess) {
+  Tensor t({2, 3});
+  t({1, 2}) = 9.0F;
+  EXPECT_EQ(t.at(5), 9.0F);
+  EXPECT_EQ(t({1, 2}), 9.0F);
+}
+
+TEST(TensorTest, ReshapedPreservesData) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  EXPECT_EQ(r.at(4), 5.0F);
+  EXPECT_THROW(t.Reshaped({4, 2}), Error);
+}
+
+TEST(TensorTest, UniformRandomRespectsBounds) {
+  Rng rng(7);
+  Tensor t = Tensor::UniformRandom({1000}, rng, -2.0F, 3.0F);
+  for (const float v : t.data()) {
+    EXPECT_GE(v, -2.0F);
+    EXPECT_LT(v, 3.0F);
+  }
+}
+
+TEST(TensorTest, NormalRandomHasRoughlyRightMoments) {
+  Rng rng(11);
+  Tensor t = Tensor::NormalRandom({20000}, rng, 2.0F);
+  double sum = 0.0, sq = 0.0;
+  for (const float v : t.data()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / t.numel();
+  const double var = sq / t.numel() - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.06);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(TensorTest, KaimingUniformBoundScalesWithFanIn) {
+  Rng rng(3);
+  Tensor t = Tensor::KaimingUniform({64, 64}, rng, 64);
+  const float bound = std::sqrt(6.0F / 64.0F);
+  for (const float v : t.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor t = Tensor::Full({2}, 1.0F);
+  Tensor c = t.Clone();
+  c.at(0) = 5.0F;
+  EXPECT_EQ(t.at(0), 1.0F);
+}
+
+TEST(TensorTest, ToStringTruncates) {
+  Tensor t({100});
+  const std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fluid::core

@@ -1,0 +1,73 @@
+// Parameterized coverage sweep of DataLoader: for every (dataset size,
+// batch size, shuffled?) combination, one epoch must visit every sample
+// exactly once with correctly paired labels.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace fluid::data {
+namespace {
+
+struct LoaderCase {
+  std::int64_t dataset_size;
+  std::int64_t batch_size;
+  bool shuffled;
+};
+
+class DataLoaderSweep : public ::testing::TestWithParam<LoaderCase> {};
+
+TEST_P(DataLoaderSweep, OneEpochIsExactCover) {
+  const auto c = GetParam();
+  Dataset ds;
+  ds.images = core::Tensor({c.dataset_size, 1, 2, 2});
+  ds.labels.resize(static_cast<std::size_t>(c.dataset_size));
+  for (std::int64_t i = 0; i < c.dataset_size; ++i) {
+    for (std::int64_t p = 0; p < 4; ++p) {
+      ds.images.at(i * 4 + p) = static_cast<float>(i);
+    }
+    ds.labels[static_cast<std::size_t>(i)] = i % 7;
+  }
+
+  core::Rng rng(99);
+  DataLoader loader(ds, c.batch_size, c.shuffled ? &rng : nullptr);
+  loader.StartEpoch();
+
+  std::map<std::int64_t, int> visits;
+  Batch batch;
+  std::int64_t batches = 0;
+  std::int64_t total = 0;
+  while (loader.Next(batch)) {
+    ++batches;
+    EXPECT_LE(batch.size(), c.batch_size);
+    EXPECT_GT(batch.size(), 0);
+    total += batch.size();
+    for (std::int64_t i = 0; i < batch.size(); ++i) {
+      const auto id = static_cast<std::int64_t>(batch.images.at(i * 4));
+      ++visits[id];
+      EXPECT_EQ(batch.labels[static_cast<std::size_t>(i)], id % 7);
+    }
+  }
+  EXPECT_EQ(total, c.dataset_size);
+  EXPECT_EQ(batches, loader.NumBatches());
+  EXPECT_EQ(static_cast<std::int64_t>(visits.size()), c.dataset_size);
+  for (const auto& [id, count] : visits) EXPECT_EQ(count, 1) << "sample " << id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeBatchGrid, DataLoaderSweep,
+    ::testing::Values(LoaderCase{1, 1, false}, LoaderCase{1, 8, true},
+                      LoaderCase{7, 3, false}, LoaderCase{7, 3, true},
+                      LoaderCase{8, 8, true}, LoaderCase{9, 8, true},
+                      LoaderCase{64, 1, true}, LoaderCase{100, 32, false},
+                      LoaderCase{100, 32, true}, LoaderCase{31, 7, true}),
+    [](const ::testing::TestParamInfo<LoaderCase>& info) {
+      const auto& c = info.param;
+      return "n" + std::to_string(c.dataset_size) + "_b" +
+             std::to_string(c.batch_size) + (c.shuffled ? "_shuf" : "_seq");
+    });
+
+}  // namespace
+}  // namespace fluid::data

@@ -1,0 +1,137 @@
+#include "data/dataset.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "test_util.h"
+
+namespace fluid::data {
+namespace {
+
+Dataset MakeCounting(std::int64_t n) {
+  // Sample i has all pixels = i, label = i % 3.
+  Dataset ds;
+  ds.images = core::Tensor({n, 1, 2, 2});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t p = 0; p < 4; ++p) {
+      ds.images.at(i * 4 + p) = static_cast<float>(i);
+    }
+    ds.labels[static_cast<std::size_t>(i)] = i % 3;
+  }
+  return ds;
+}
+
+TEST(DatasetTest, SliceCopiesRange) {
+  Dataset ds = MakeCounting(10);
+  Dataset s = ds.Slice(3, 6);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.images.at(0), 3.0F);
+  EXPECT_EQ(s.labels[0], 0);
+  EXPECT_THROW(ds.Slice(5, 11), core::Error);
+  EXPECT_THROW(ds.Slice(-1, 2), core::Error);
+}
+
+TEST(DatasetTest, ImageAndLabelAccessors) {
+  Dataset ds = MakeCounting(4);
+  core::Tensor img = ds.Image(2);
+  EXPECT_EQ(img.shape(), core::Shape({1, 1, 2, 2}));
+  EXPECT_EQ(img.at(0), 2.0F);
+  EXPECT_EQ(ds.Label(2), 2);
+  EXPECT_THROW(ds.Image(4), core::Error);
+}
+
+TEST(DatasetTest, GatherReordersAndDuplicates) {
+  Dataset ds = MakeCounting(5);
+  Dataset g = ds.Gather({4, 0, 4});
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.images.at(0), 4.0F);
+  EXPECT_EQ(g.images.at(4), 0.0F);
+  EXPECT_EQ(g.images.at(8), 4.0F);
+  EXPECT_THROW(ds.Gather({5}), core::Error);
+}
+
+TEST(DatasetTest, ValidateCatchesBadLabels) {
+  Dataset ds = MakeCounting(6);
+  EXPECT_NO_THROW(ds.Validate(3));
+  EXPECT_THROW(ds.Validate(2), core::Error);
+}
+
+TEST(DataLoaderTest, CoversEverySampleOnce) {
+  Dataset ds = MakeCounting(10);
+  core::Rng rng(1);
+  DataLoader loader(ds, 3, &rng);
+  loader.StartEpoch();
+  EXPECT_EQ(loader.NumBatches(), 4);  // 3+3+3+1
+
+  std::multiset<float> seen;
+  Batch batch;
+  std::int64_t batches = 0;
+  while (loader.Next(batch)) {
+    ++batches;
+    EXPECT_LE(batch.size(), 3);
+    for (std::int64_t i = 0; i < batch.size(); ++i) {
+      seen.insert(batch.images.at(i * 4));
+    }
+  }
+  EXPECT_EQ(batches, 4);
+  EXPECT_EQ(seen.size(), 10u);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(seen.count(static_cast<float>(i)), 1u);
+  }
+}
+
+TEST(DataLoaderTest, ShuffleChangesOrderAcrossEpochs) {
+  Dataset ds = MakeCounting(32);
+  core::Rng rng(2);
+  DataLoader loader(ds, 32, &rng);
+  loader.StartEpoch();
+  Batch first;
+  ASSERT_TRUE(loader.Next(first));
+  loader.StartEpoch();
+  Batch second;
+  ASSERT_TRUE(loader.Next(second));
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < 32 && !any_diff; ++i) {
+    any_diff = first.images.at(i * 4) != second.images.at(i * 4);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DataLoaderTest, NoRngMeansStableOrder) {
+  Dataset ds = MakeCounting(5);
+  DataLoader loader(ds, 2, nullptr);
+  loader.StartEpoch();
+  Batch b;
+  ASSERT_TRUE(loader.Next(b));
+  EXPECT_EQ(b.images.at(0), 0.0F);
+  EXPECT_EQ(b.labels[1], 1);
+  ASSERT_TRUE(loader.Next(b));
+  ASSERT_TRUE(loader.Next(b));
+  EXPECT_EQ(b.size(), 1);  // final partial batch kept
+  EXPECT_FALSE(loader.Next(b));
+}
+
+TEST(DataLoaderTest, BatchLabelsTravelWithImages) {
+  Dataset ds = MakeCounting(9);
+  core::Rng rng(3);
+  DataLoader loader(ds, 4, &rng);
+  loader.StartEpoch();
+  Batch batch;
+  while (loader.Next(batch)) {
+    for (std::int64_t i = 0; i < batch.size(); ++i) {
+      const auto value = static_cast<std::int64_t>(batch.images.at(i * 4));
+      EXPECT_EQ(batch.labels[static_cast<std::size_t>(i)], value % 3);
+    }
+  }
+}
+
+TEST(DataLoaderTest, ZeroBatchSizeThrows) {
+  Dataset ds = MakeCounting(3);
+  EXPECT_THROW(DataLoader(ds, 0, nullptr), core::Error);
+}
+
+}  // namespace
+}  // namespace fluid::data

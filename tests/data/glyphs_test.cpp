@@ -1,0 +1,67 @@
+#include "data/glyphs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace fluid::data {
+namespace {
+
+TEST(GlyphsTest, AllTenDigitsHaveStrokes) {
+  for (std::int64_t d = 0; d <= 9; ++d) {
+    const Glyph& g = DigitGlyph(d);
+    EXPECT_FALSE(g.empty()) << "digit " << d;
+    for (const auto& stroke : g) {
+      EXPECT_GE(stroke.size(), 2u) << "degenerate stroke in digit " << d;
+    }
+  }
+}
+
+TEST(GlyphsTest, GlyphsStayInsideUnitBox) {
+  for (std::int64_t d = 0; d <= 9; ++d) {
+    for (const auto& stroke : DigitGlyph(d)) {
+      for (const auto& p : stroke) {
+        EXPECT_GE(p.x, 0.0);
+        EXPECT_LE(p.x, 1.0);
+        EXPECT_GE(p.y, 0.0);
+        EXPECT_LE(p.y, 1.0);
+      }
+    }
+  }
+}
+
+TEST(GlyphsTest, DigitOutOfRangeThrows) {
+  EXPECT_THROW(DigitGlyph(-1), core::Error);
+  EXPECT_THROW(DigitGlyph(10), core::Error);
+}
+
+TEST(GlyphsTest, MakeArcEndpoints) {
+  const Stroke arc = MakeArc(0.5, 0.5, 0.2, 0.2, 0.0, 3.14159265, 8);
+  ASSERT_EQ(arc.size(), 9u);
+  EXPECT_NEAR(arc.front().x, 0.7, 1e-9);
+  EXPECT_NEAR(arc.front().y, 0.5, 1e-9);
+  EXPECT_NEAR(arc.back().x, 0.3, 1e-6);
+  EXPECT_NEAR(arc.back().y, 0.5, 1e-6);
+}
+
+TEST(SegmentDistanceTest, PointProjectionCases) {
+  const Point a{0, 0}, b{1, 0};
+  // Perpendicular foot inside the segment.
+  EXPECT_NEAR(SegmentDistanceSquared({0.5, 1.0}, a, b), 1.0, 1e-12);
+  // Clamped to endpoint a.
+  EXPECT_NEAR(SegmentDistanceSquared({-2.0, 0.0}, a, b), 4.0, 1e-12);
+  // Clamped to endpoint b.
+  EXPECT_NEAR(SegmentDistanceSquared({3.0, 0.0}, a, b), 4.0, 1e-12);
+  // Degenerate zero-length segment.
+  EXPECT_NEAR(SegmentDistanceSquared({1.0, 1.0}, a, a), 2.0, 1e-12);
+}
+
+TEST(GlyphDistanceTest, OnStrokeIsZero) {
+  const Glyph& one = DigitGlyph(1);
+  // The vertical stroke of "1" passes through (0.52, 0.5).
+  EXPECT_NEAR(GlyphDistance(one, {0.52, 0.5}), 0.0, 1e-9);
+  EXPECT_GT(GlyphDistance(one, {0.05, 0.05}), 0.2);
+}
+
+}  // namespace
+}  // namespace fluid::data

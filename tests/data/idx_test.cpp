@@ -1,0 +1,104 @@
+#include "data/idx.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace fluid::data {
+namespace {
+
+void WriteBigEndianU32(std::ofstream& f, std::uint32_t v) {
+  const char bytes[4] = {static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                         static_cast<char>(v >> 8), static_cast<char>(v)};
+  f.write(bytes, 4);
+}
+
+std::string WriteImagesFile(std::uint32_t n, std::uint32_t rows,
+                            std::uint32_t cols, std::uint8_t fill) {
+  const std::string path = ::testing::TempDir() + "/fluid_idx_images.bin";
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  WriteBigEndianU32(f, 0x00000803);
+  WriteBigEndianU32(f, n);
+  WriteBigEndianU32(f, rows);
+  WriteBigEndianU32(f, cols);
+  for (std::uint32_t i = 0; i < n * rows * cols; ++i) {
+    f.put(static_cast<char>(fill));
+  }
+  return path;
+}
+
+std::string WriteLabelsFile(const std::vector<std::uint8_t>& labels) {
+  const std::string path = ::testing::TempDir() + "/fluid_idx_labels.bin";
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  WriteBigEndianU32(f, 0x00000801);
+  WriteBigEndianU32(f, static_cast<std::uint32_t>(labels.size()));
+  for (const auto l : labels) f.put(static_cast<char>(l));
+  return path;
+}
+
+TEST(IdxTest, LoadsImagesScaledToUnit) {
+  const std::string path = WriteImagesFile(2, 3, 3, 255);
+  auto images = LoadIdxImages(path);
+  ASSERT_TRUE(images.ok());
+  EXPECT_EQ(images->shape(), core::Shape({2, 1, 3, 3}));
+  EXPECT_EQ(images->at(0), 1.0F);
+  std::remove(path.c_str());
+}
+
+TEST(IdxTest, LoadsLabels) {
+  const std::string path = WriteLabelsFile({3, 1, 4, 1, 5});
+  auto labels = LoadIdxLabels(path);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->size(), 5u);
+  EXPECT_EQ((*labels)[2], 4);
+  std::remove(path.c_str());
+}
+
+TEST(IdxTest, DatasetPairsImagesAndLabels) {
+  const std::string img = WriteImagesFile(3, 2, 2, 128);
+  const std::string lbl = WriteLabelsFile({0, 1, 2});
+  auto ds = LoadIdxDataset(img, lbl);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 3);
+  EXPECT_NEAR(ds->images.at(0), 128.0F / 255.0F, 1e-6F);
+  std::remove(img.c_str());
+  std::remove(lbl.c_str());
+}
+
+TEST(IdxTest, CountMismatchRejected) {
+  const std::string img = WriteImagesFile(3, 2, 2, 0);
+  const std::string lbl = WriteLabelsFile({0, 1});
+  EXPECT_EQ(LoadIdxDataset(img, lbl).status().code(),
+            core::StatusCode::kDataLoss);
+  std::remove(img.c_str());
+  std::remove(lbl.c_str());
+}
+
+TEST(IdxTest, BadMagicRejected) {
+  const std::string lbl = WriteLabelsFile({1});
+  EXPECT_EQ(LoadIdxImages(lbl).status().code(), core::StatusCode::kDataLoss);
+  std::remove(lbl.c_str());
+}
+
+TEST(IdxTest, TruncatedPayloadRejected) {
+  const std::string path = ::testing::TempDir() + "/fluid_idx_trunc.bin";
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    WriteBigEndianU32(f, 0x00000803);
+    WriteBigEndianU32(f, 10);
+    WriteBigEndianU32(f, 28);
+    WriteBigEndianU32(f, 28);
+    f.put(0);  // far too short
+  }
+  EXPECT_EQ(LoadIdxImages(path).status().code(), core::StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(IdxTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadIdxImages("/no/such/file").status().code(),
+            core::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace fluid::data

@@ -1,0 +1,54 @@
+#include "data/mnist.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tensor_ops.h"
+
+namespace fluid::data {
+namespace {
+
+TEST(MnistTest, FallsBackToSyntheticWhenDirMissing) {
+  const auto splits =
+      LoadMnistOrSynthetic("/no/such/dir", 100, 40, /*seed=*/5);
+  EXPECT_FALSE(splits.from_real_files);
+  EXPECT_EQ(splits.train.size(), 100);
+  EXPECT_EQ(splits.test.size(), 40);
+  splits.train.Validate(10);
+  splits.test.Validate(10);
+}
+
+TEST(MnistTest, TrainAndTestSplitsDiffer) {
+  const auto splits = LoadMnistOrSynthetic("/no/such/dir", 50, 50, 5);
+  EXPECT_GT(core::MaxAbsDiff(splits.train.images, splits.test.images), 0.01F);
+}
+
+TEST(MnistTest, DeterministicInSeed) {
+  const auto a = LoadMnistOrSynthetic("/no/such/dir", 30, 10, 9);
+  const auto b = LoadMnistOrSynthetic("/no/such/dir", 30, 10, 9);
+  EXPECT_EQ(core::MaxAbsDiff(a.train.images, b.train.images), 0.0F);
+}
+
+TEST(MnistTest, SynthOptionsArePassedThrough) {
+  SyntheticMnistOptions small;
+  small.image_size = 16;
+  const auto splits = LoadMnistOrSynthetic("/no/such/dir", 10, 10, 1, small);
+  EXPECT_EQ(splits.train.images.shape()[2], 16);
+}
+
+TEST(MnistTest, HardPresetIsActuallyHarder) {
+  // The hard preset must produce noisier images (higher background energy)
+  // than the default — a coarse but meaningful guard on the preset.
+  const auto easy = MakeSyntheticMnist(64, 3, SyntheticMnistOptions{});
+  const auto hard = MakeSyntheticMnist(64, 3, SyntheticMnistOptions::Hard());
+  EXPECT_GT(core::Mean(hard.images), core::Mean(easy.images) * 0.5);
+  // Count near-zero pixels: the noisy preset has far fewer.
+  const auto count_dark = [](const Dataset& ds) {
+    std::int64_t dark = 0;
+    for (const float v : ds.images.data()) dark += v < 0.02F;
+    return dark;
+  };
+  EXPECT_LT(count_dark(hard), count_dark(easy));
+}
+
+}  // namespace
+}  // namespace fluid::data

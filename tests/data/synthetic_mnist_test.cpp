@@ -1,0 +1,92 @@
+#include "data/synthetic_mnist.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/tensor_ops.h"
+
+namespace fluid::data {
+namespace {
+
+TEST(SyntheticMnistTest, RenderDeterministicInSeedAndIndex) {
+  const SyntheticMnistOptions opt;
+  core::Tensor a = RenderDigit(3, 42, 7, opt);
+  core::Tensor b = RenderDigit(3, 42, 7, opt);
+  EXPECT_EQ(core::MaxAbsDiff(a, b), 0.0F);
+}
+
+TEST(SyntheticMnistTest, DifferentIndicesDiffer) {
+  const SyntheticMnistOptions opt;
+  core::Tensor a = RenderDigit(3, 42, 7, opt);
+  core::Tensor b = RenderDigit(3, 42, 8, opt);
+  EXPECT_GT(core::MaxAbsDiff(a, b), 0.01F);
+}
+
+TEST(SyntheticMnistTest, PixelsInUnitRange) {
+  const SyntheticMnistOptions opt;
+  for (std::int64_t d = 0; d <= 9; ++d) {
+    core::Tensor img = RenderDigit(d, 1, static_cast<std::uint64_t>(d), opt);
+    EXPECT_EQ(img.shape(), core::Shape({1, 1, 28, 28}));
+    for (const float v : img.data()) {
+      EXPECT_GE(v, 0.0F);
+      EXPECT_LE(v, 1.0F);
+    }
+  }
+}
+
+TEST(SyntheticMnistTest, DigitHasInk) {
+  const SyntheticMnistOptions opt;
+  for (std::int64_t d = 0; d <= 9; ++d) {
+    core::Tensor img = RenderDigit(d, 5, 100 + static_cast<std::uint64_t>(d), opt);
+    // A drawn digit must have a meaningful bright region...
+    EXPECT_GT(core::Sum(img), 20.0) << "digit " << d << " nearly blank";
+    // ...but not fill the frame.
+    EXPECT_LT(core::Mean(img), 0.5) << "digit " << d << " floods the frame";
+  }
+}
+
+TEST(SyntheticMnistTest, DatasetBalancedAndLabeled) {
+  Dataset ds = MakeSyntheticMnist(200, 7);
+  ds.Validate(10);
+  EXPECT_EQ(ds.size(), 200);
+  std::vector<int> counts(10, 0);
+  for (const auto l : ds.labels) ++counts[static_cast<std::size_t>(l)];
+  for (const int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(SyntheticMnistTest, DatasetDeterministicInSeed) {
+  Dataset a = MakeSyntheticMnist(50, 9);
+  Dataset b = MakeSyntheticMnist(50, 9);
+  EXPECT_EQ(core::MaxAbsDiff(a.images, b.images), 0.0F);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(SyntheticMnistTest, DifferentSeedsGiveDifferentData) {
+  Dataset a = MakeSyntheticMnist(50, 9);
+  Dataset b = MakeSyntheticMnist(50, 10);
+  EXPECT_GT(core::MaxAbsDiff(a.images, b.images), 0.01F);
+}
+
+TEST(SyntheticMnistTest, CustomImageSize) {
+  SyntheticMnistOptions opt;
+  opt.image_size = 16;
+  Dataset ds = MakeSyntheticMnist(10, 3, opt);
+  EXPECT_EQ(ds.images.shape(), core::Shape({10, 1, 16, 16}));
+}
+
+TEST(SyntheticMnistTest, InvalidArgsThrow) {
+  EXPECT_THROW(MakeSyntheticMnist(0, 1), core::Error);
+  SyntheticMnistOptions opt;
+  opt.image_size = 4;
+  EXPECT_THROW(RenderDigit(0, 1, 0, opt), core::Error);
+}
+
+TEST(SyntheticMnistTest, SameIndexDifferentDigitDiffers) {
+  const SyntheticMnistOptions opt;
+  core::Tensor a = RenderDigit(1, 42, 7, opt);
+  core::Tensor b = RenderDigit(8, 42, 7, opt);
+  EXPECT_GT(core::MaxAbsDiff(a, b), 0.1F);
+}
+
+}  // namespace
+}  // namespace fluid::data

@@ -1,0 +1,42 @@
+#include "nn/activations.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace fluid::nn {
+namespace {
+
+TEST(ReLUTest, ClampsNegativesToZero) {
+  ReLU relu;
+  core::Tensor x(core::Shape{4}, {-1.0F, 0.0F, 2.0F, -0.5F});
+  core::Tensor y = relu.Forward(x, false);
+  EXPECT_EQ(y.at(0), 0.0F);
+  EXPECT_EQ(y.at(1), 0.0F);
+  EXPECT_EQ(y.at(2), 2.0F);
+  EXPECT_EQ(y.at(3), 0.0F);
+}
+
+TEST(ReLUTest, BackwardGatesByInputSign) {
+  ReLU relu;
+  core::Tensor x(core::Shape{3}, {-1.0F, 0.5F, 3.0F});
+  relu.Forward(x, true);
+  core::Tensor g(core::Shape{3}, {10.0F, 10.0F, 10.0F});
+  core::Tensor gi = relu.Backward(g);
+  EXPECT_EQ(gi.at(0), 0.0F);
+  EXPECT_EQ(gi.at(1), 10.0F);
+  EXPECT_EQ(gi.at(2), 10.0F);
+}
+
+TEST(ReLUTest, BackwardWithoutForwardThrows) {
+  ReLU relu;
+  EXPECT_THROW(relu.Backward(core::Tensor({2})), core::Error);
+}
+
+TEST(ReLUTest, HasNoParams) {
+  ReLU relu;
+  EXPECT_TRUE(relu.Params().empty());
+}
+
+}  // namespace
+}  // namespace fluid::nn

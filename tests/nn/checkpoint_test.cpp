@@ -1,0 +1,83 @@
+#include "nn/checkpoint.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/sequential.h"
+
+namespace fluid::nn {
+namespace {
+
+Sequential MakeModel(std::uint64_t seed) {
+  core::Rng rng(seed);
+  Sequential model;
+  model.Emplace<Conv2d>(1, 2, 3, 1, 1, rng, "c1");
+  model.Emplace<Dense>(8, 4, rng, "fc");
+  return model;
+}
+
+TEST(CheckpointTest, ExtractLoadRoundTrip) {
+  Sequential a = MakeModel(1);
+  Sequential b = MakeModel(2);
+  const StateDict state = ExtractState(a);
+  ASSERT_TRUE(LoadState(b, state).ok());
+  for (std::size_t i = 0; i < a.Params().size(); ++i) {
+    EXPECT_TRUE(core::AllClose(*a.Params()[i].value, *b.Params()[i].value));
+  }
+}
+
+TEST(CheckpointTest, SerializeParseRoundTrip) {
+  Sequential a = MakeModel(3);
+  const auto bytes = SerializeState(ExtractState(a));
+  auto parsed = ParseState(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 4u);
+  EXPECT_TRUE(parsed->contains("c1.weight"));
+  EXPECT_TRUE(parsed->contains("fc.bias"));
+}
+
+TEST(CheckpointTest, MissingParamFailsUnlessPartial) {
+  Sequential a = MakeModel(4);
+  StateDict state = ExtractState(a);
+  state.erase("fc.bias");
+  Sequential b = MakeModel(5);
+  EXPECT_EQ(LoadState(b, state).code(), core::StatusCode::kNotFound);
+  EXPECT_TRUE(LoadState(b, state, /*allow_partial=*/true).ok());
+}
+
+TEST(CheckpointTest, ShapeMismatchRejected) {
+  Sequential a = MakeModel(6);
+  StateDict state = ExtractState(a);
+  state["c1.weight"] = core::Tensor({1, 1, 3, 3});
+  Sequential b = MakeModel(7);
+  EXPECT_EQ(LoadState(b, state).code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, CorruptMagicRejected) {
+  std::vector<std::uint8_t> bytes{'n', 'o', 'p', 'e', 0, 0, 0, 0};
+  EXPECT_EQ(ParseState(bytes).status().code(), core::StatusCode::kDataLoss);
+}
+
+TEST(CheckpointTest, FileSaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fluid_ckpt_test.bin";
+  Sequential a = MakeModel(8);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  Sequential b = MakeModel(9);
+  ASSERT_TRUE(LoadCheckpoint(b, path).ok());
+  EXPECT_TRUE(core::AllClose(*a.Params()[0].value, *b.Params()[0].value));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadFromMissingFileIsNotFound) {
+  Sequential a = MakeModel(10);
+  EXPECT_EQ(LoadCheckpoint(a, "/nonexistent/dir/x.bin").code(),
+            core::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace fluid::nn

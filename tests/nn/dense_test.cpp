@@ -1,0 +1,68 @@
+#include "nn/dense.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "nn/softmax.h"
+#include "test_util.h"
+
+namespace fluid::nn {
+namespace {
+
+TEST(DenseTest, ForwardMatchesManualMatmul) {
+  core::Rng rng(1);
+  Dense dense(3, 2, rng);
+  dense.weight() = core::Tensor(core::Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  dense.bias() = core::Tensor(core::Shape{2}, {0.5F, -0.5F});
+  core::Tensor input(core::Shape{1, 3}, {1, 1, 1});
+  core::Tensor out = dense.Forward(input, false);
+  EXPECT_NEAR(out.at(0), 6.5F, 1e-5F);
+  EXPECT_NEAR(out.at(1), 14.5F, 1e-5F);
+}
+
+TEST(DenseTest, RejectsWrongInputWidth) {
+  core::Rng rng(2);
+  Dense dense(4, 2, rng);
+  EXPECT_THROW(dense.Forward(core::Tensor({1, 3}), false), core::Error);
+}
+
+TEST(DenseTest, GradientsMatchFiniteDifferences) {
+  core::Rng rng(3);
+  Dense dense(5, 3, rng, "d");
+  core::Tensor input = core::Tensor::UniformRandom({4, 5}, rng, -1, 1);
+  const std::vector<std::int64_t> labels{0, 1, 2, 1};
+
+  SoftmaxCrossEntropy loss;
+  const auto compute_loss = [&] {
+    return loss.Forward(dense.Forward(input, true), labels);
+  };
+
+  compute_loss();
+  dense.ZeroGrad();
+  core::Tensor grad_input = dense.Backward(loss.Backward());
+
+  auto params = dense.Params();
+  fluid::testing::ExpectGradientsMatch(*params[0].value, *params[0].grad,
+                                       compute_loss);
+  fluid::testing::ExpectGradientsMatch(*params[1].value, *params[1].grad,
+                                       compute_loss);
+  fluid::testing::ExpectGradientsMatch(input, grad_input, compute_loss);
+}
+
+TEST(DenseTest, BackwardWithoutForwardThrows) {
+  core::Rng rng(4);
+  Dense dense(2, 2, rng);
+  EXPECT_THROW(dense.Backward(core::Tensor({1, 2})), core::Error);
+}
+
+TEST(DenseTest, ParamNamesFollowLayerName) {
+  core::Rng rng(5);
+  Dense dense(2, 2, rng, "fc9");
+  EXPECT_EQ(dense.Params()[0].name, "fc9.weight");
+  EXPECT_EQ(dense.Params()[1].name, "fc9.bias");
+}
+
+}  // namespace
+}  // namespace fluid::nn

@@ -1,0 +1,58 @@
+#include "nn/flatten.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/tensor_ops.h"
+
+namespace fluid::nn {
+namespace {
+
+TEST(FlattenTest, CollapsesTrailingAxes) {
+  Flatten flatten;
+  core::Tensor x({3, 2, 4, 4});
+  core::Tensor y = flatten.Forward(x, false);
+  EXPECT_EQ(y.shape(), core::Shape({3, 32}));
+}
+
+TEST(FlattenTest, PreservesDataOrder) {
+  Flatten flatten;
+  core::Tensor x(core::Shape{1, 2, 1, 2}, {1, 2, 3, 4});
+  core::Tensor y = flatten.Forward(x, false);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(y.at(i), x.at(i));
+}
+
+TEST(FlattenTest, BackwardRestoresShape) {
+  Flatten flatten;
+  core::Tensor x({2, 3, 2, 2});
+  flatten.Forward(x, true);
+  core::Tensor g = core::Tensor::Ones({2, 12});
+  core::Tensor gi = flatten.Backward(g);
+  EXPECT_EQ(gi.shape(), x.shape());
+  EXPECT_DOUBLE_EQ(core::Sum(gi), 24.0);
+}
+
+TEST(FlattenTest, BackwardWithoutTrainingForwardThrows) {
+  Flatten flatten;
+  core::Tensor x({1, 4});
+  flatten.Forward(x, /*training=*/false);  // does not cache
+  EXPECT_THROW(flatten.Backward(x), core::Error);
+}
+
+TEST(FlattenTest, Rank2IsPassThrough) {
+  Flatten flatten;
+  core::Tensor x(core::Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  core::Tensor y = flatten.Forward(x, false);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_EQ(core::MaxAbsDiff(x, y), 0.0F);
+}
+
+TEST(FlattenTest, ZeroBatchSupported) {
+  Flatten flatten;
+  core::Tensor x({0, 3, 2, 2});
+  core::Tensor y = flatten.Forward(x, false);
+  EXPECT_EQ(y.shape()[0], 0);
+}
+
+}  // namespace
+}  // namespace fluid::nn

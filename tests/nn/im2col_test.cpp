@@ -1,0 +1,90 @@
+#include "nn/im2col.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace fluid::nn {
+namespace {
+
+TEST(Im2ColTest, OutExtentFormula) {
+  EXPECT_EQ(ConvOutExtent(28, 3, 1, 1), 28);
+  EXPECT_EQ(ConvOutExtent(28, 3, 1, 0), 26);
+  EXPECT_EQ(ConvOutExtent(7, 3, 2, 1), 4);
+  EXPECT_THROW(ConvOutExtent(2, 5, 1, 0), core::Error);
+  EXPECT_THROW(ConvOutExtent(4, 3, 0, 0), core::Error);
+}
+
+TEST(Im2ColTest, IdentityKernelNoPadCopiesPixels) {
+  // 1x1 kernel, stride 1, no pad: cols == input.
+  const std::vector<float> input{1, 2, 3, 4};
+  std::vector<float> cols(4);
+  Im2Col(input, 1, 2, 2, 0, 1, 1, 1, 0, cols);
+  EXPECT_EQ(cols, input);
+}
+
+TEST(Im2ColTest, PaddingProducesZeros) {
+  // Single pixel image, 3x3 kernel with pad 1: only the centre tap sees it.
+  const std::vector<float> input{5.0F};
+  std::vector<float> cols(9);
+  Im2Col(input, 1, 1, 1, 0, 1, 3, 1, 1, cols);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(cols[static_cast<std::size_t>(i)], i == 4 ? 5.0F : 0.0F);
+  }
+}
+
+TEST(Im2ColTest, ChannelSliceSelectsChannels) {
+  // Two channels; take only the second.
+  const std::vector<float> input{1, 2, 3, 4,   // channel 0
+                                 5, 6, 7, 8};  // channel 1
+  std::vector<float> cols(4);
+  Im2Col(input, 2, 2, 2, 1, 2, 1, 1, 0, cols);
+  EXPECT_EQ(cols, (std::vector<float>{5, 6, 7, 8}));
+}
+
+TEST(Im2ColTest, Col2ImIsAdjointOfIm2Col) {
+  // <Im2Col(x), y> == <x, Col2Im(y)> — the defining adjoint property,
+  // which is exactly what makes backward-by-col2im correct.
+  core::Rng rng(99);
+  const std::int64_t C = 3, H = 5, W = 4, K = 3, S = 1, P = 1;
+  const std::int64_t OH = ConvOutExtent(H, K, S, P);
+  const std::int64_t OW = ConvOutExtent(W, K, S, P);
+  const std::int64_t cols_n = C * K * K * OH * OW;
+
+  std::vector<float> x(static_cast<std::size_t>(C * H * W));
+  for (auto& v : x) v = static_cast<float>(rng.Uniform(-1, 1));
+  std::vector<float> y(static_cast<std::size_t>(cols_n));
+  for (auto& v : y) v = static_cast<float>(rng.Uniform(-1, 1));
+
+  std::vector<float> cols(static_cast<std::size_t>(cols_n));
+  Im2Col(x, C, H, W, 0, C, K, S, P, cols);
+  std::vector<float> back(static_cast<std::size_t>(C * H * W), 0.0F);
+  Col2Im(y, C, H, W, 0, C, K, S, P, back);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.size(); ++i) lhs += cols[i] * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2ColTest, SizeMismatchThrows) {
+  std::vector<float> input(4);
+  std::vector<float> cols(3);  // wrong
+  EXPECT_THROW(Im2Col(input, 1, 2, 2, 0, 1, 1, 1, 0, cols), core::Error);
+  EXPECT_THROW(Im2Col(input, 1, 2, 2, 0, 2, 1, 1, 0, cols), core::Error);
+}
+
+TEST(Im2ColTest, StrideTwoDownsamples) {
+  const std::vector<float> input{1, 2, 3,
+                                 4, 5, 6,
+                                 7, 8, 9};
+  std::vector<float> cols(4);
+  Im2Col(input, 1, 3, 3, 0, 1, 1, 2, 0, cols);
+  EXPECT_EQ(cols, (std::vector<float>{1, 3, 7, 9}));
+}
+
+}  // namespace
+}  // namespace fluid::nn

@@ -1,0 +1,77 @@
+#include "nn/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace fluid::nn {
+namespace {
+
+TEST(AccuracyTest, CountsCorrectArgmax) {
+  core::Tensor logits(core::Shape{3, 2}, {0.9F, 0.1F,   // pred 0
+                                          0.2F, 0.8F,   // pred 1
+                                          0.6F, 0.4F}); // pred 0
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {0, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {0, 1, 0}), 1.0);
+}
+
+TEST(AccuracyTest, LabelCountMismatchThrows) {
+  core::Tensor logits({2, 2});
+  EXPECT_THROW(Accuracy(logits, {0}), core::Error);
+}
+
+TEST(AverageMeterTest, WeightedMean) {
+  AverageMeter m;
+  m.Add(1.0, 1);
+  m.Add(3.0, 3);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.5);
+  EXPECT_EQ(m.count(), 4);
+  m.Reset();
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, AccumulatesAndComputesMetrics) {
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0);
+  cm.Add(0, 0);
+  cm.Add(1, 0);  // class 0 misclassified as 1
+  cm.Add(1, 1);
+  cm.Add(2, 2);
+  EXPECT_EQ(cm.total(), 5);
+  EXPECT_EQ(cm.at(0, 0), 2);
+  EXPECT_EQ(cm.at(1, 0), 1);
+  EXPECT_DOUBLE_EQ(cm.OverallAccuracy(), 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(2), 1.0);
+}
+
+TEST(ConfusionMatrixTest, UnseenClassHasZeroRecall) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 0.0);
+}
+
+TEST(ConfusionMatrixTest, AddBatchUsesArgmax) {
+  ConfusionMatrix cm(2);
+  core::Tensor logits(core::Shape{2, 2}, {0.9F, 0.1F, 0.1F, 0.9F});
+  cm.AddBatch(logits, {0, 0});
+  EXPECT_EQ(cm.at(0, 0), 1);
+  EXPECT_EQ(cm.at(1, 0), 1);
+}
+
+TEST(ConfusionMatrixTest, BoundsChecked) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.Add(2, 0), core::Error);
+  EXPECT_THROW(cm.at(0, -1), core::Error);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCounts) {
+  ConfusionMatrix cm(2);
+  cm.Add(1, 1);
+  EXPECT_NE(cm.ToString().find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fluid::nn

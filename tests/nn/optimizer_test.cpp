@@ -1,0 +1,115 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace fluid::nn {
+namespace {
+
+ParamRef MakeParam(const std::string& name, core::Tensor& value,
+                   core::Tensor& grad) {
+  return {name, &value, &grad};
+}
+
+TEST(SgdTest, PlainStepDescendsGradient) {
+  core::Tensor w(core::Shape{2}, {1.0F, 1.0F});
+  core::Tensor g(core::Shape{2}, {0.5F, -0.5F});
+  Sgd sgd(0.1F, /*momentum=*/0.0F);
+  sgd.Step({MakeParam("w", w, g)});
+  EXPECT_NEAR(w.at(0), 0.95F, 1e-6F);
+  EXPECT_NEAR(w.at(1), 1.05F, 1e-6F);
+}
+
+TEST(SgdTest, MomentumAccumulatesVelocity) {
+  core::Tensor w(core::Shape{1}, {0.0F});
+  core::Tensor g(core::Shape{1}, {1.0F});
+  Sgd sgd(1.0F, 0.9F);
+  sgd.Step({MakeParam("w", w, g)});
+  EXPECT_NEAR(w.at(0), -1.0F, 1e-6F);       // v=1
+  sgd.Step({MakeParam("w", w, g)});
+  EXPECT_NEAR(w.at(0), -2.9F, 1e-6F);       // v=1.9
+}
+
+TEST(SgdTest, WeightDecayPullsTowardZero) {
+  core::Tensor w(core::Shape{1}, {10.0F});
+  core::Tensor g(core::Shape{1}, {0.0F});
+  Sgd sgd(0.1F, 0.0F, /*weight_decay=*/0.1F);
+  sgd.Step({MakeParam("w", w, g)});
+  EXPECT_LT(w.at(0), 10.0F);
+}
+
+TEST(SgdTest, MaskFreezesElements) {
+  core::Tensor w(core::Shape{3}, {1.0F, 1.0F, 1.0F});
+  core::Tensor g(core::Shape{3}, {1.0F, 1.0F, 1.0F});
+  Sgd sgd(0.5F, 0.0F);
+  sgd.SetMask("w", core::Tensor(core::Shape{3}, {1.0F, 0.0F, 1.0F}));
+  sgd.Step({MakeParam("w", w, g)});
+  EXPECT_NEAR(w.at(0), 0.5F, 1e-6F);
+  EXPECT_EQ(w.at(1), 1.0F);  // frozen bit-exactly
+  EXPECT_NEAR(w.at(2), 0.5F, 1e-6F);
+}
+
+TEST(SgdTest, ClearingMaskUnfreezes) {
+  core::Tensor w(core::Shape{1}, {1.0F});
+  core::Tensor g(core::Shape{1}, {1.0F});
+  Sgd sgd(0.5F, 0.0F);
+  sgd.SetMask("w", core::Tensor(core::Shape{1}, {0.0F}));
+  sgd.Step({MakeParam("w", w, g)});
+  EXPECT_EQ(w.at(0), 1.0F);
+  sgd.SetMask("w", core::Tensor{});  // clears
+  sgd.Step({MakeParam("w", w, g)});
+  EXPECT_NEAR(w.at(0), 0.5F, 1e-6F);
+}
+
+TEST(SgdTest, MaskShapeMismatchThrows) {
+  core::Tensor w(core::Shape{2}, {1, 1});
+  core::Tensor g(core::Shape{2}, {1, 1});
+  Sgd sgd(0.1F);
+  sgd.SetMask("w", core::Tensor({3}));
+  EXPECT_THROW(sgd.Step({MakeParam("w", w, g)}), core::Error);
+}
+
+TEST(AdamTest, ConvergesOnSimpleQuadratic) {
+  // Minimise f(w) = w² from w=1. Adam oscillates locally but must converge.
+  core::Tensor w(core::Shape{1}, {1.0F});
+  core::Tensor g({1});
+  Adam adam(0.05F);
+  for (int i = 0; i < 200; ++i) {
+    g.at(0) = 2.0F * w.at(0);
+    adam.Step({MakeParam("w", w, g)});
+  }
+  EXPECT_LT(std::fabs(w.at(0)), 0.05F);
+}
+
+TEST(AdamTest, FirstStepSizeIsLearningRate) {
+  // With bias correction, the very first Adam step is ≈ lr · sign(grad).
+  core::Tensor w(core::Shape{1}, {0.0F});
+  core::Tensor g(core::Shape{1}, {3.0F});
+  Adam adam(0.01F);
+  adam.Step({MakeParam("w", w, g)});
+  EXPECT_NEAR(w.at(0), -0.01F, 1e-4F);
+}
+
+TEST(AdamTest, RespectsMask) {
+  core::Tensor w(core::Shape{2}, {1.0F, 1.0F});
+  core::Tensor g(core::Shape{2}, {1.0F, 1.0F});
+  Adam adam(0.1F);
+  adam.SetMask("w", core::Tensor(core::Shape{2}, {0.0F, 1.0F}));
+  adam.Step({MakeParam("w", w, g)});
+  EXPECT_EQ(w.at(0), 1.0F);
+  EXPECT_LT(w.at(1), 1.0F);
+}
+
+TEST(StepLrScheduleTest, DecaysEveryStep) {
+  StepLrSchedule sched(1.0F, 10, 0.5F);
+  EXPECT_EQ(sched.LrAt(0), 1.0F);
+  EXPECT_EQ(sched.LrAt(9), 1.0F);
+  EXPECT_EQ(sched.LrAt(10), 0.5F);
+  EXPECT_EQ(sched.LrAt(25), 0.25F);
+}
+
+}  // namespace
+}  // namespace fluid::nn

@@ -1,0 +1,78 @@
+#include "nn/pooling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace fluid::nn {
+namespace {
+
+TEST(MaxPool2dTest, PicksWindowMaxima) {
+  MaxPool2d pool(2);
+  core::Tensor x(core::Shape{1, 1, 4, 4},
+                 {1,  2,  5,  4,
+                  3,  0,  1,  2,
+                  9,  8,  0,  0,
+                  7,  6,  0, 10});
+  core::Tensor y = pool.Forward(x, false);
+  ASSERT_EQ(y.shape(), core::Shape({1, 1, 2, 2}));
+  EXPECT_EQ(y.at(0), 3.0F);
+  EXPECT_EQ(y.at(1), 5.0F);
+  EXPECT_EQ(y.at(2), 9.0F);
+  EXPECT_EQ(y.at(3), 10.0F);
+}
+
+TEST(MaxPool2dTest, OddExtentFloorsAndIgnoresTail) {
+  MaxPool2d pool(2);
+  // 5x5 input → 2x2 output; row/col 4 are never read.
+  core::Tensor x({1, 1, 5, 5});
+  x({0, 0, 4, 4}) = 100.0F;
+  core::Tensor y = pool.Forward(x, false);
+  ASSERT_EQ(y.shape(), core::Shape({1, 1, 2, 2}));
+  for (const float v : y.data()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(MaxPool2dTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  core::Tensor x(core::Shape{1, 1, 2, 2}, {1, 4, 2, 3});
+  pool.Forward(x, true);
+  core::Tensor g(core::Shape{1, 1, 1, 1}, {5.0F});
+  core::Tensor gi = pool.Backward(g);
+  EXPECT_EQ(gi.at(0), 0.0F);
+  EXPECT_EQ(gi.at(1), 5.0F);  // the max location
+  EXPECT_EQ(gi.at(2), 0.0F);
+  EXPECT_EQ(gi.at(3), 0.0F);
+}
+
+TEST(MaxPool2dTest, TieBreaksToFirstSeen) {
+  MaxPool2d pool(2);
+  core::Tensor x(core::Shape{1, 1, 2, 2}, {7, 7, 7, 7});
+  pool.Forward(x, true);
+  core::Tensor g(core::Shape{1, 1, 1, 1}, {1.0F});
+  core::Tensor gi = pool.Backward(g);
+  EXPECT_EQ(gi.at(0), 1.0F);
+  EXPECT_EQ(gi.at(1) + gi.at(2) + gi.at(3), 0.0F);
+}
+
+TEST(MaxPool2dTest, WindowLargerThanInputThrows) {
+  MaxPool2d pool(4);
+  EXPECT_THROW(pool.Forward(core::Tensor({1, 1, 2, 2}), false), core::Error);
+}
+
+TEST(MaxPool2dTest, BackwardWithoutForwardThrows) {
+  MaxPool2d pool(2);
+  EXPECT_THROW(pool.Backward(core::Tensor({1, 1, 1, 1})), core::Error);
+}
+
+TEST(MaxPool2dTest, PerChannelIndependence) {
+  MaxPool2d pool(2);
+  core::Tensor x({1, 2, 2, 2});
+  x({0, 0, 0, 0}) = 1.0F;
+  x({0, 1, 1, 1}) = 2.0F;
+  core::Tensor y = pool.Forward(x, false);
+  EXPECT_EQ(y({0, 0, 0, 0}), 1.0F);
+  EXPECT_EQ(y({0, 1, 0, 0}), 2.0F);
+}
+
+}  // namespace
+}  // namespace fluid::nn

@@ -1,0 +1,93 @@
+#include "nn/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/pooling.h"
+#include "nn/softmax.h"
+#include "test_util.h"
+
+namespace fluid::nn {
+namespace {
+
+Sequential MakeTinyCnn(core::Rng& rng) {
+  Sequential model;
+  model.Emplace<Conv2d>(1, 2, 3, 1, 1, rng, "c1");
+  model.Emplace<ReLU>();
+  model.Emplace<MaxPool2d>(2);
+  model.Emplace<Flatten>();
+  model.Emplace<Dense>(2 * 2 * 2, 3, rng, "fc");
+  return model;
+}
+
+TEST(SequentialTest, ForwardProducesLogitsShape) {
+  core::Rng rng(1);
+  Sequential model = MakeTinyCnn(rng);
+  core::Tensor x = core::Tensor::UniformRandom({4, 1, 4, 4}, rng, 0, 1);
+  core::Tensor y = model.Forward(x, false);
+  EXPECT_EQ(y.shape(), core::Shape({4, 3}));
+}
+
+TEST(SequentialTest, ParamsAggregateAllLayers) {
+  core::Rng rng(2);
+  Sequential model = MakeTinyCnn(rng);
+  const auto params = model.Params();
+  ASSERT_EQ(params.size(), 4u);  // conv w+b, dense w+b
+  EXPECT_EQ(params[0].name, "c1.weight");
+  EXPECT_EQ(params[3].name, "fc.bias");
+  EXPECT_GT(model.ParamCount(), 0);
+}
+
+TEST(SequentialTest, EndToEndGradientsMatchFiniteDifferences) {
+  core::Rng rng(3);
+  Sequential model = MakeTinyCnn(rng);
+  core::Tensor input = core::Tensor::UniformRandom({2, 1, 4, 4}, rng, -1, 1);
+  const std::vector<std::int64_t> labels{0, 2};
+  SoftmaxCrossEntropy loss;
+
+  const auto compute_loss = [&] {
+    return loss.Forward(model.Forward(input, true), labels);
+  };
+  compute_loss();
+  model.ZeroGrad();
+  model.Backward(loss.Backward());
+
+  for (auto& p : model.Params()) {
+    fluid::testing::ExpectGradientsMatch(*p.value, *p.grad, compute_loss, 12);
+  }
+}
+
+TEST(SequentialTest, AddNullLayerThrows) {
+  Sequential model;
+  EXPECT_THROW(model.Add(nullptr), core::Error);
+}
+
+TEST(SequentialTest, LayerAccessBoundsChecked) {
+  core::Rng rng(4);
+  Sequential model = MakeTinyCnn(rng);
+  EXPECT_NO_THROW(model.layer(0));
+  EXPECT_THROW(model.layer(99), core::Error);
+}
+
+TEST(SequentialTest, EmptySequentialIsIdentity) {
+  Sequential model;
+  core::Tensor x(core::Shape{2, 2}, {1, 2, 3, 4});
+  core::Tensor y = model.Forward(x, false);
+  EXPECT_EQ(y.at(3), 4.0F);
+}
+
+TEST(SequentialTest, ToStringListsLayers) {
+  core::Rng rng(5);
+  Sequential model = MakeTinyCnn(rng);
+  const std::string s = model.ToString();
+  EXPECT_NE(s.find("Conv2d"), std::string::npos);
+  EXPECT_NE(s.find("Dense"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fluid::nn

@@ -1,0 +1,86 @@
+#include "nn/softmax.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/tensor_ops.h"
+#include "test_util.h"
+
+namespace fluid::nn {
+namespace {
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  core::Tensor logits(core::Shape{2, 3}, {1, 2, 3, -1, 0, 1});
+  core::Tensor p = Softmax(logits);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    double sum = 0;
+    for (std::int64_t c = 0; c < 3; ++c) sum += p({r, c});
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, InvariantToRowShift) {
+  core::Tensor a(core::Shape{1, 3}, {1, 2, 3});
+  core::Tensor b(core::Shape{1, 3}, {101, 102, 103});
+  EXPECT_TRUE(core::AllClose(Softmax(a), Softmax(b), 1e-5F));
+}
+
+TEST(SoftmaxTest, StableForHugeLogits) {
+  core::Tensor logits(core::Shape{1, 2}, {1000.0F, 999.0F});
+  core::Tensor p = Softmax(logits);
+  EXPECT_TRUE(std::isfinite(p.at(0)));
+  EXPECT_GT(p.at(0), p.at(1));
+}
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  core::Tensor logits({4, 10});
+  const double l = loss.Forward(logits, {0, 1, 2, 3});
+  EXPECT_NEAR(l, std::log(10.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropyTest, PerfectPredictionNearZeroLoss) {
+  SoftmaxCrossEntropy loss;
+  core::Tensor logits(core::Shape{1, 3}, {100.0F, 0.0F, 0.0F});
+  EXPECT_NEAR(loss.Forward(logits, {0}), 0.0, 1e-5);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientIsProbsMinusOnehotOverN) {
+  SoftmaxCrossEntropy loss;
+  core::Tensor logits(core::Shape{2, 3}, {1, 2, 3, 3, 2, 1});
+  loss.Forward(logits, {2, 0});
+  core::Tensor g = loss.Backward();
+  core::Tensor p = Softmax(logits);
+  EXPECT_NEAR(g({0, 2}), (p({0, 2}) - 1.0F) / 2.0F, 1e-5F);
+  EXPECT_NEAR(g({0, 0}), p({0, 0}) / 2.0F, 1e-5F);
+  EXPECT_NEAR(g({1, 0}), (p({1, 0}) - 1.0F) / 2.0F, 1e-5F);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientMatchesFiniteDifferences) {
+  SoftmaxCrossEntropy loss;
+  core::Rng rng(8);
+  core::Tensor logits = core::Tensor::UniformRandom({3, 4}, rng, -2, 2);
+  const std::vector<std::int64_t> labels{1, 3, 0};
+  loss.Forward(logits, labels);
+  core::Tensor g = loss.Backward();
+  fluid::testing::ExpectGradientsMatch(
+      logits, g, [&] { return loss.Forward(logits, labels); });
+}
+
+TEST(SoftmaxCrossEntropyTest, RejectsBadLabels) {
+  SoftmaxCrossEntropy loss;
+  core::Tensor logits({1, 3});
+  EXPECT_THROW(loss.Forward(logits, {3}), core::Error);
+  EXPECT_THROW(loss.Forward(logits, {-1}), core::Error);
+  EXPECT_THROW(loss.Forward(logits, {0, 1}), core::Error);
+}
+
+TEST(SoftmaxCrossEntropyTest, BackwardBeforeForwardThrows) {
+  SoftmaxCrossEntropy loss;
+  EXPECT_THROW(loss.Backward(), core::Error);
+}
+
+}  // namespace
+}  // namespace fluid::nn

@@ -1,0 +1,52 @@
+#include "sim/latency.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "train/model_zoo.h"
+
+namespace fluid::sim {
+namespace {
+
+TEST(LatencyTest, MeasuresASleepWithinTolerance) {
+  const auto m = MeasureLatency(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); },
+      /*iters=*/5, /*warmup=*/1);
+  EXPECT_EQ(m.iterations, 5);
+  EXPECT_GE(m.mean_s, 0.002);
+  EXPECT_LT(m.mean_s, 0.05);  // generous: CI boxes stall
+  EXPECT_LE(m.min_s, m.mean_s);
+  EXPECT_GE(m.max_s, m.mean_s);
+}
+
+TEST(LatencyTest, RequiresPositiveIterations) {
+  EXPECT_THROW(MeasureLatency([] {}, 0), core::Error);
+}
+
+TEST(LatencyTest, ModelLatencyScalesWithWidth) {
+  slim::FluidNetConfig cfg;
+  core::Rng rng(1);
+  nn::Sequential narrow = train::BuildConvNet(cfg, 4, rng);
+  nn::Sequential wide = train::BuildConvNet(cfg, 16, rng);
+  core::Tensor sample({1, 1, 28, 28});
+  const auto tn = MeasureModelLatency(narrow, sample, 10);
+  const auto tw = MeasureModelLatency(wide, sample, 10);
+  EXPECT_GT(tw.mean_s, tn.mean_s);
+}
+
+TEST(LatencyTest, SubnetLatencyOrdersWithSliceWidth) {
+  slim::FluidModel model = slim::FluidModel::PaperDefault(3);
+  core::Tensor sample({1, 1, 28, 28});
+  const auto t25 = MeasureSubnetLatency(
+      model, model.family().ByName("25%"), sample, 10);
+  const auto t100 = MeasureSubnetLatency(
+      model, model.family().ByName("100%"), sample, 10);
+  EXPECT_GT(t100.mean_s, t25.mean_s);
+}
+
+}  // namespace
+}  // namespace fluid::sim

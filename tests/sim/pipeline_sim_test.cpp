@@ -1,0 +1,82 @@
+#include "sim/pipeline_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace fluid::sim {
+namespace {
+
+PipelineParams MakeParams(double front, double back, std::int64_t bytes,
+                          double link_latency, double bandwidth) {
+  PipelineParams p;
+  p.front_latency_s = front;
+  p.back_latency_s = back;
+  p.cut_bytes = bytes;
+  p.link.latency_s = link_latency;
+  p.link.bandwidth_bytes_per_s = bandwidth;
+  return p;
+}
+
+TEST(LinkModelTest, TransferTimeIsLatencyPlusSerialization) {
+  LinkModel link{0.010, 1e6};
+  EXPECT_DOUBLE_EQ(link.TransferTime(0), 0.010);
+  EXPECT_DOUBLE_EQ(link.TransferTime(1000000), 1.010);
+}
+
+TEST(ComputeProfileTest, LatencyScalesWithFlopsAndSpeed) {
+  ComputeProfile p{1e9, 1e-4, 1.0};
+  EXPECT_DOUBLE_EQ(p.LatencyFor(1e9), 1.0 + 1e-4);
+  p.speed_factor = 2.0;
+  EXPECT_DOUBLE_EQ(p.LatencyFor(1e9), 0.5 + 1e-4);
+}
+
+TEST(SequentialPipelineTest, PaperFormulaSumOfLatencies) {
+  const auto p = MakeParams(0.030, 0.040, 1000, 0.010, 1e6);
+  const auto r = SequentialPipelineThroughput(p);
+  // 0.030 + (0.010 + 0.001) + 0.040 = 0.081 s per image.
+  EXPECT_NEAR(r.mean_latency_s, 0.081, 1e-9);
+  EXPECT_NEAR(r.throughput_img_per_s, 1.0 / 0.081, 1e-6);
+}
+
+TEST(PipelinedSimTest, ThroughputBoundedByBottleneckStage) {
+  const auto p = MakeParams(0.050, 0.020, 0, 0.010, 1e9);
+  const auto r = SimulatePipelined(p, 400);
+  // Steady state: the 50 ms front stage is the bottleneck → 20 img/s.
+  EXPECT_NEAR(r.throughput_img_per_s, 20.0, 0.5);
+  // Latency per image is the full traversal.
+  EXPECT_NEAR(r.mean_latency_s, 0.080, 0.002);
+}
+
+TEST(PipelinedSimTest, OverlapBeatsStoreAndForward) {
+  const auto p = MakeParams(0.030, 0.030, 100000, 0.010, 1e7);
+  const auto seq = SequentialPipelineThroughput(p);
+  const auto pip = SimulatePipelined(p, 300);
+  EXPECT_GT(pip.throughput_img_per_s, seq.throughput_img_per_s * 1.5);
+}
+
+TEST(PipelinedSimTest, LinkBoundWhenBandwidthTiny) {
+  const auto p = MakeParams(0.001, 0.001, 1000000, 0.0, 1e6);  // 1 s transfer
+  const auto r = SimulatePipelined(p, 100);
+  EXPECT_NEAR(r.throughput_img_per_s, 1.0, 0.05);
+}
+
+TEST(IndependentParallelTest, RatesAdd) {
+  const double lat[2] = {0.1, 0.05};
+  EXPECT_DOUBLE_EQ(IndependentParallelThroughput(lat, 2), 10.0 + 20.0);
+  const double one[1] = {0.25};
+  EXPECT_DOUBLE_EQ(IndependentParallelThroughput(one, 1), 4.0);
+}
+
+TEST(IndependentParallelTest, RejectsNonPositiveLatency) {
+  const double bad[1] = {0.0};
+  EXPECT_THROW(IndependentParallelThroughput(bad, 1), core::Error);
+}
+
+TEST(PipelinedSimTest, InvalidImageCountThrows) {
+  const auto p = MakeParams(0.01, 0.01, 0, 0.0, 1e9);
+  EXPECT_THROW(SimulatePipelined(p, 0), core::Error);
+}
+
+}  // namespace
+}  // namespace fluid::sim

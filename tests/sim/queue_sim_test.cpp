@@ -1,0 +1,97 @@
+#include "sim/queue_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace fluid::sim {
+namespace {
+
+QueueSimOptions Base(double rate, std::vector<double> services) {
+  QueueSimOptions o;
+  o.arrival_rate = rate;
+  o.service_times_s = std::move(services);
+  o.arrivals = 4000;
+  o.seed = 7;
+  return o;
+}
+
+TEST(QueueSimTest, LightLoadSojournNearServiceTime) {
+  // At 10% utilization queueing is negligible.
+  const auto r = SimulateQueue(Base(1.0, {0.1}));
+  EXPECT_EQ(r.completed, 4000);
+  EXPECT_NEAR(r.mean_sojourn_s, 0.105, 0.02);  // M/D/1 adds ~ρ·s/2(1-ρ)
+  EXPECT_NEAR(r.utilization, 0.1, 0.02);
+  EXPECT_EQ(r.dropped, 0);
+}
+
+TEST(QueueSimTest, ThroughputTracksOfferedLoadBelowCapacity) {
+  const auto r = SimulateQueue(Base(5.0, {0.1}));  // capacity 10
+  EXPECT_NEAR(r.throughput_img_per_s, 5.0, 0.4);
+}
+
+TEST(QueueSimTest, SaturatedServerCapsThroughputAtServiceRate) {
+  const auto r = SimulateQueue(Base(50.0, {0.1}));  // capacity 10
+  EXPECT_NEAR(r.throughput_img_per_s, 10.0, 0.3);
+  EXPECT_NEAR(r.utilization, 1.0, 0.02);
+  // Sojourn grows far beyond the bare service time.
+  EXPECT_GT(r.mean_sojourn_s, 1.0);
+}
+
+TEST(QueueSimTest, LatencyIncreasesMonotonicallyWithLoad) {
+  double prev = 0.0;
+  for (const double load : {2.0, 6.0, 9.0, 9.9}) {
+    const auto r = SimulateQueue(Base(load, {0.1}));
+    EXPECT_GE(r.mean_sojourn_s, prev * 0.95) << "load " << load;
+    prev = r.mean_sojourn_s;
+  }
+}
+
+TEST(QueueSimTest, TwoServersDoubleCapacity) {
+  const auto one = SimulateQueue(Base(25.0, {0.1}));
+  const auto two = SimulateQueue(Base(25.0, {0.1, 0.1}));
+  EXPECT_NEAR(one.throughput_img_per_s, 10.0, 0.3);
+  EXPECT_NEAR(two.throughput_img_per_s, 20.0, 0.5);
+}
+
+TEST(QueueSimTest, HeterogeneousServersShareWork) {
+  // Fast server (0.05 s) + slow server (0.2 s): capacity 25 img/s.
+  const auto r = SimulateQueue(Base(40.0, {0.05, 0.2}));
+  EXPECT_NEAR(r.throughput_img_per_s, 25.0, 1.0);
+}
+
+TEST(QueueSimTest, BoundedQueueDropsOverflow) {
+  auto o = Base(100.0, {0.1});
+  o.queue_capacity = 5;
+  const auto r = SimulateQueue(o);
+  EXPECT_GT(r.dropped, 0);
+  EXPECT_EQ(r.completed + r.dropped, 4000);
+  // Served latency stays bounded by the short queue.
+  EXPECT_LT(r.p99_sojourn_s, 0.1 * 8);
+}
+
+TEST(QueueSimTest, PercentilesOrdered) {
+  const auto r = SimulateQueue(Base(9.0, {0.1}));
+  EXPECT_LE(r.p50_sojourn_s, r.p99_sojourn_s);
+  EXPECT_LE(r.mean_sojourn_s, r.p99_sojourn_s);
+  EXPECT_GE(r.p50_sojourn_s, 0.1 - 1e-9);  // can't beat the service time
+}
+
+TEST(QueueSimTest, DeterministicInSeed) {
+  const auto a = SimulateQueue(Base(9.0, {0.1}));
+  const auto b = SimulateQueue(Base(9.0, {0.1}));
+  EXPECT_DOUBLE_EQ(a.mean_sojourn_s, b.mean_sojourn_s);
+  EXPECT_EQ(a.completed, b.completed);
+}
+
+TEST(QueueSimTest, InvalidOptionsThrow) {
+  EXPECT_THROW(SimulateQueue(Base(0.0, {0.1})), core::Error);
+  EXPECT_THROW(SimulateQueue(Base(1.0, {})), core::Error);
+  EXPECT_THROW(SimulateQueue(Base(1.0, {-0.1})), core::Error);
+  auto o = Base(1.0, {0.1});
+  o.arrivals = 0;
+  EXPECT_THROW(SimulateQueue(o), core::Error);
+}
+
+}  // namespace
+}  // namespace fluid::sim

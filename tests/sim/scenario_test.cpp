@@ -1,0 +1,134 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace fluid::sim {
+namespace {
+
+/// A profile with round numbers chosen so the paper's relationships are
+/// easy to verify: pipeline ≈ 11 img/s, 50% local ≈ 14 img/s, HT ≈ 28.
+SystemProfile PaperLikeProfile() {
+  SystemProfile p;
+  p.static_front_latency_s = 0.040;
+  p.static_back_latency_s = 0.035;
+  p.static_cut_bytes = 3136;            // 16·7·7·4
+  p.w50_latency_s = 0.070;              // → 14.3 img/s
+  p.upper50_latency_s = 0.072;          // → 13.9 img/s
+  p.acc_static = 0.989;
+  p.acc_dynamic_full = 0.988;
+  p.acc_dynamic_w50 = 0.976;
+  p.acc_fluid_full = 0.992;
+  p.acc_fluid_lower50 = 0.989;
+  p.acc_fluid_upper50 = 0.988;
+  p.link.latency_s = 0.012;
+  p.link.bandwidth_bytes_per_s = 1.0e6;  // + ~3.1 ms per cut
+  return p;
+}
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  ScenarioTest() : eval_(PaperLikeProfile()) {}
+  Fig2Evaluator eval_;
+};
+
+TEST_F(ScenarioTest, StaticFailsWheneverEitherDeviceIsDown) {
+  for (const auto a : {Availability::kOnlyMaster, Availability::kOnlyWorker}) {
+    const auto r = eval_.Evaluate(DnnType::kStatic, a, Mode::kHighAccuracy);
+    EXPECT_FALSE(r.operational);
+    EXPECT_EQ(r.throughput_img_per_s, 0.0);
+    EXPECT_EQ(r.accuracy, 0.0);
+  }
+}
+
+TEST_F(ScenarioTest, StaticBothOnlineIsPipelineBound) {
+  const auto r = eval_.Evaluate(DnnType::kStatic, Availability::kBothOnline,
+                                Mode::kHighAccuracy);
+  ASSERT_TRUE(r.operational);
+  // 0.040 + (0.012 + 3136/1e6) + 0.035 = 0.090136 s → ~11.1 img/s.
+  EXPECT_NEAR(r.throughput_img_per_s, 11.09, 0.05);
+  EXPECT_DOUBLE_EQ(r.accuracy, 0.989);
+}
+
+TEST_F(ScenarioTest, DynamicSurvivesWorkerFailureOnly) {
+  const auto master_only = eval_.Evaluate(
+      DnnType::kDynamic, Availability::kOnlyMaster, Mode::kHighAccuracy);
+  EXPECT_TRUE(master_only.operational);
+  EXPECT_NEAR(master_only.throughput_img_per_s, 14.3, 0.1);
+  EXPECT_DOUBLE_EQ(master_only.accuracy, 0.976);
+
+  const auto worker_only = eval_.Evaluate(
+      DnnType::kDynamic, Availability::kOnlyWorker, Mode::kHighAccuracy);
+  EXPECT_FALSE(worker_only.operational);
+}
+
+TEST_F(ScenarioTest, FluidSurvivesEitherFailure) {
+  const auto master_only = eval_.Evaluate(
+      DnnType::kFluid, Availability::kOnlyMaster, Mode::kHighThroughput);
+  EXPECT_TRUE(master_only.operational);
+  EXPECT_DOUBLE_EQ(master_only.accuracy, 0.989);
+
+  const auto worker_only = eval_.Evaluate(
+      DnnType::kFluid, Availability::kOnlyWorker, Mode::kHighThroughput);
+  EXPECT_TRUE(worker_only.operational);
+  EXPECT_NEAR(worker_only.throughput_img_per_s, 13.9, 0.1);
+  EXPECT_DOUBLE_EQ(worker_only.accuracy, 0.988);
+}
+
+TEST_F(ScenarioTest, FluidHtIsSumOfDeviceRates) {
+  const auto ht = eval_.Evaluate(DnnType::kFluid, Availability::kBothOnline,
+                                 Mode::kHighThroughput);
+  EXPECT_NEAR(ht.throughput_img_per_s, 1.0 / 0.070 + 1.0 / 0.072, 1e-6);
+  // Rate-weighted accuracy sits between the two sub-networks'.
+  EXPECT_GT(ht.accuracy, 0.988);
+  EXPECT_LT(ht.accuracy, 0.989);
+}
+
+TEST_F(ScenarioTest, FluidHaMatchesStaticPipelineThroughputWithBetterAccuracy) {
+  const auto ha = eval_.Evaluate(DnnType::kFluid, Availability::kBothOnline,
+                                 Mode::kHighAccuracy);
+  const auto st = eval_.Evaluate(DnnType::kStatic, Availability::kBothOnline,
+                                 Mode::kHighAccuracy);
+  EXPECT_DOUBLE_EQ(ha.throughput_img_per_s, st.throughput_img_per_s);
+  EXPECT_GT(ha.accuracy, st.accuracy);  // the paper's regularization bonus
+}
+
+TEST_F(ScenarioTest, PaperHeadlineRatiosHold) {
+  const auto st = eval_.Evaluate(DnnType::kStatic, Availability::kBothOnline,
+                                 Mode::kHighAccuracy);
+  const auto dyn_ht = eval_.Evaluate(
+      DnnType::kDynamic, Availability::kBothOnline, Mode::kHighThroughput);
+  const auto fl_ht = eval_.Evaluate(
+      DnnType::kFluid, Availability::kBothOnline, Mode::kHighThroughput);
+  // Fluid HT ≈ 2.5× Static and ≈ 2× Dynamic (paper abstract).
+  EXPECT_NEAR(fl_ht.throughput_img_per_s / st.throughput_img_per_s, 2.5, 0.2);
+  EXPECT_NEAR(fl_ht.throughput_img_per_s / dyn_ht.throughput_img_per_s, 2.0,
+              0.1);
+}
+
+TEST_F(ScenarioTest, HeterogeneousSpeedsScaleThroughput) {
+  SystemProfile p = PaperLikeProfile();
+  p.worker_speed = 2.0;
+  Fig2Evaluator fast_worker(p);
+  const auto ht = fast_worker.Evaluate(
+      DnnType::kFluid, Availability::kBothOnline, Mode::kHighThroughput);
+  EXPECT_NEAR(ht.throughput_img_per_s, 1.0 / 0.070 + 2.0 / 0.072, 1e-6);
+}
+
+TEST_F(ScenarioTest, FullGridCoversAllCells) {
+  const auto rows = eval_.FullGrid();
+  // Static: 3 cells; Dynamic: 4 (HA+HT when both online); Fluid: 4.
+  EXPECT_EQ(rows.size(), 11u);
+  const std::string table = FormatFig2Table(rows);
+  EXPECT_NE(table.find("Static"), std::string::npos);
+  EXPECT_NE(table.find("Fluid"), std::string::npos);
+  EXPECT_NE(table.find("img/s"), std::string::npos);
+}
+
+TEST(ScenarioNamesTest, EnumsHaveStableNames) {
+  EXPECT_EQ(DnnTypeName(DnnType::kStatic), "Static");
+  EXPECT_EQ(ModeName(Mode::kHighThroughput), "HT");
+  EXPECT_EQ(AvailabilityName(Availability::kOnlyWorker), "Only Worker");
+}
+
+}  // namespace
+}  // namespace fluid::sim

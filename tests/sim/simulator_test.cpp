@@ -1,0 +1,92 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace fluid::sim {
+namespace {
+
+TEST(SimulatorTest, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulatorTest, EqualTimesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(1.0, [&, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.Schedule(1.0, chain);
+  };
+  sim.Schedule(0.0, chain);
+  sim.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 4.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(10.0, [&] { ++fired; });
+  sim.Run(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Empty());
+}
+
+TEST(SimulatorTest, ZeroDelayFiresAtCurrentTime) {
+  Simulator sim;
+  bool inner_fired = false;
+  sim.Schedule(2.0, [&] {
+    sim.Schedule(0.0, [&] { inner_fired = true; });
+  });
+  sim.Run();
+  EXPECT_TRUE(inner_fired);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+}
+
+TEST(SimulatorTest, NegativeDelayAndPastScheduleThrow) {
+  Simulator sim;
+  EXPECT_THROW(sim.Schedule(-1.0, [] {}), core::Error);
+  sim.Schedule(5.0, [] {});
+  sim.Run();
+  EXPECT_THROW(sim.ScheduleAt(4.0, [] {}), core::Error);
+}
+
+TEST(SimulatorTest, StepProcessesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(sim.processed(), 2u);
+}
+
+TEST(SimulatorTest, RunToHorizonAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.Run(42.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 42.0);
+}
+
+}  // namespace
+}  // namespace fluid::sim

@@ -1,0 +1,119 @@
+#include "sim/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace fluid::sim {
+namespace {
+
+SystemProfile SimpleProfile() {
+  SystemProfile p;
+  p.static_front_latency_s = 0.05;
+  p.static_back_latency_s = 0.05;
+  p.static_cut_bytes = 0;
+  p.w50_latency_s = 0.1;      // 10 img/s
+  p.upper50_latency_s = 0.1;  // 10 img/s
+  p.acc_static = 0.99;
+  p.acc_dynamic_full = 0.98;
+  p.acc_dynamic_w50 = 0.95;
+  p.acc_fluid_full = 0.99;
+  p.acc_fluid_lower50 = 0.97;
+  p.acc_fluid_upper50 = 0.96;
+  p.link.latency_s = 0.0;
+  p.link.bandwidth_bytes_per_s = 1e9;
+  return p;
+}
+
+TEST(TimelineTest, NoEventsIsOneSegment) {
+  Fig2Evaluator eval(SimpleProfile());
+  const auto summary = SimulateTimeline(eval, DnnType::kFluid,
+                                        Mode::kHighThroughput, {}, 10.0);
+  ASSERT_EQ(summary.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(summary.segments[0].end, 10.0);
+  EXPECT_NEAR(summary.mean_throughput, 20.0, 1e-6);  // both devices at 10
+  EXPECT_DOUBLE_EQ(summary.downtime_s, 0.0);
+}
+
+TEST(TimelineTest, FluidSurvivesFailureAndRecovers) {
+  Fig2Evaluator eval(SimpleProfile());
+  const std::vector<AvailabilityEvent> events{
+      {2.0, DeviceId::kWorker, false},
+      {6.0, DeviceId::kWorker, true},
+  };
+  const auto summary = SimulateTimeline(eval, DnnType::kFluid,
+                                        Mode::kHighThroughput, events, 10.0);
+  ASSERT_EQ(summary.segments.size(), 3u);
+  EXPECT_NEAR(summary.segments[0].operating_point.throughput_img_per_s, 20.0,
+              1e-6);
+  EXPECT_NEAR(summary.segments[1].operating_point.throughput_img_per_s, 10.0,
+              1e-6);  // master-only
+  EXPECT_NEAR(summary.segments[2].operating_point.throughput_img_per_s, 20.0,
+              1e-6);
+  EXPECT_DOUBLE_EQ(summary.downtime_s, 0.0);
+  // 2s·20 + 4s·10 + 4s·20 = 160 images over 10 s.
+  EXPECT_NEAR(summary.total_images, 160.0, 1e-6);
+}
+
+TEST(TimelineTest, StaticGoesDownOnAnyFailure) {
+  Fig2Evaluator eval(SimpleProfile());
+  const std::vector<AvailabilityEvent> events{
+      {5.0, DeviceId::kMaster, false},
+  };
+  const auto summary = SimulateTimeline(eval, DnnType::kStatic,
+                                        Mode::kHighAccuracy, events, 10.0);
+  ASSERT_EQ(summary.segments.size(), 2u);
+  EXPECT_FALSE(summary.segments[1].operating_point.operational);
+  EXPECT_DOUBLE_EQ(summary.downtime_s, 5.0);
+}
+
+TEST(TimelineTest, BothDevicesDownIsTotalOutage) {
+  Fig2Evaluator eval(SimpleProfile());
+  const std::vector<AvailabilityEvent> events{
+      {1.0, DeviceId::kMaster, false},
+      {2.0, DeviceId::kWorker, false},
+      {3.0, DeviceId::kMaster, true},
+  };
+  const auto summary = SimulateTimeline(eval, DnnType::kFluid,
+                                        Mode::kHighThroughput, events, 4.0);
+  ASSERT_EQ(summary.segments.size(), 4u);
+  EXPECT_FALSE(summary.segments[2].operating_point.operational);
+  EXPECT_DOUBLE_EQ(summary.downtime_s, 1.0);
+  // Recovery segment serves with master only.
+  EXPECT_TRUE(summary.segments[3].operating_point.operational);
+}
+
+TEST(TimelineTest, MeanAccuracyIsImageWeighted) {
+  Fig2Evaluator eval(SimpleProfile());
+  const std::vector<AvailabilityEvent> events{
+      {5.0, DeviceId::kWorker, false},
+  };
+  const auto summary = SimulateTimeline(eval, DnnType::kFluid,
+                                        Mode::kHighThroughput, events, 10.0);
+  // First 5 s at 20 img/s (acc mix 0.965), last 5 s at 10 img/s (0.97).
+  const double expected =
+      (100.0 * 0.965 + 50.0 * 0.97) / 150.0;
+  EXPECT_NEAR(summary.mean_accuracy, expected, 1e-9);
+}
+
+TEST(TimelineTest, EventsOutsideHorizonIgnored) {
+  Fig2Evaluator eval(SimpleProfile());
+  const std::vector<AvailabilityEvent> events{
+      {15.0, DeviceId::kWorker, false},
+      {-1.0, DeviceId::kMaster, false},
+  };
+  const auto summary = SimulateTimeline(eval, DnnType::kFluid,
+                                        Mode::kHighThroughput, events, 10.0);
+  EXPECT_EQ(summary.segments.size(), 1u);
+}
+
+TEST(TimelineTest, FormatTimelineRendersSegments) {
+  Fig2Evaluator eval(SimpleProfile());
+  const auto summary = SimulateTimeline(
+      eval, DnnType::kFluid, Mode::kHighThroughput,
+      {{2.0, DeviceId::kWorker, false}}, 5.0);
+  const std::string text = FormatTimeline(summary);
+  EXPECT_NE(text.find("Only Master"), std::string::npos);
+  EXPECT_NE(text.find("mean throughput"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fluid::sim

@@ -1,0 +1,75 @@
+#include "slim/channel_range.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/tensor_ops.h"
+
+namespace fluid::slim {
+namespace {
+
+TEST(ChannelRangeTest, BasicsAndPredicates) {
+  ChannelRange r{4, 12};
+  EXPECT_EQ(r.width(), 8);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.Contains({4, 12}));
+  EXPECT_TRUE(r.Contains({6, 8}));
+  EXPECT_FALSE(r.Contains({0, 8}));
+  EXPECT_TRUE(r.Overlaps({0, 5}));
+  EXPECT_FALSE(r.Overlaps({0, 4}));   // half-open: touching is disjoint
+  EXPECT_FALSE(r.Overlaps({12, 16}));
+  EXPECT_EQ(r.ToString(), "[4,12)");
+}
+
+TEST(ChannelRangeTest, CheckRangeValidation) {
+  EXPECT_NO_THROW(CheckRange({0, 16}, 16, "t"));
+  EXPECT_THROW(CheckRange({0, 17}, 16, "t"), core::Error);
+  EXPECT_THROW(CheckRange({-1, 4}, 16, "t"), core::Error);
+  EXPECT_THROW(CheckRange({4, 4}, 16, "t"), core::Error);
+  EXPECT_THROW(CheckRange({8, 4}, 16, "t"), core::Error);
+}
+
+TEST(ConvSliceMaskTest, MarksExactlyTheSlice) {
+  const core::Tensor mask = ConvSliceMask(4, 3, 2, {1, 3}, {2, 4});
+  // ones = out channels {2,3} × in channels {1,2} × 2×2 kernel = 16.
+  EXPECT_DOUBLE_EQ(core::Sum(mask), 16.0);
+  EXPECT_EQ(mask({2, 1, 0, 0}), 1.0F);
+  EXPECT_EQ(mask({2, 0, 0, 0}), 0.0F);  // in channel 0 outside
+  EXPECT_EQ(mask({1, 1, 0, 0}), 0.0F);  // out channel 1 outside
+  EXPECT_EQ(mask({3, 2, 1, 1}), 1.0F);
+}
+
+TEST(DenseSliceMaskTest, RowAndColumnBlock) {
+  const core::Tensor mask = DenseSliceMask(4, 6, {2, 5}, {1, 3});
+  EXPECT_DOUBLE_EQ(core::Sum(mask), 6.0);  // 2 rows × 3 cols
+  EXPECT_EQ(mask({1, 2}), 1.0F);
+  EXPECT_EQ(mask({1, 5}), 0.0F);
+  EXPECT_EQ(mask({0, 3}), 0.0F);
+  EXPECT_EQ(mask({2, 4}), 1.0F);
+}
+
+TEST(BiasSliceMaskTest, MarksRange) {
+  const core::Tensor mask = BiasSliceMask(5, {1, 3});
+  EXPECT_EQ(mask.at(0), 0.0F);
+  EXPECT_EQ(mask.at(1), 1.0F);
+  EXPECT_EQ(mask.at(2), 1.0F);
+  EXPECT_EQ(mask.at(3), 0.0F);
+}
+
+TEST(MaskSubtractTest, RemovesInnerBlock) {
+  core::Tensor a = BiasSliceMask(8, {0, 8});
+  const core::Tensor b = BiasSliceMask(8, {0, 4});
+  MaskSubtract(a, b);
+  EXPECT_DOUBLE_EQ(core::Sum(a), 4.0);
+  EXPECT_EQ(a.at(0), 0.0F);
+  EXPECT_EQ(a.at(4), 1.0F);
+}
+
+TEST(MaskSubtractTest, ShapeMismatchThrows) {
+  core::Tensor a({4});
+  const core::Tensor b({5});
+  EXPECT_THROW(MaskSubtract(a, b), core::Error);
+}
+
+}  // namespace
+}  // namespace fluid::slim

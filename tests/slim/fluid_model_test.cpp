@@ -1,0 +1,214 @@
+#include "slim/fluid_model.h"
+
+#include "core/error.h"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "nn/optimizer.h"
+#include "nn/softmax.h"
+
+namespace fluid::slim {
+namespace {
+
+class FluidModelTest : public ::testing::Test {
+ protected:
+  FluidModelTest() : model_(FluidModel::PaperDefault(7)), rng_(123) {}
+  FluidModel model_;
+  core::Rng rng_;
+};
+
+TEST_F(FluidModelTest, ConfigGeometryMatchesPaper) {
+  const auto& cfg = model_.config();
+  EXPECT_EQ(cfg.SpatialAfter(0), 14);
+  EXPECT_EQ(cfg.SpatialAfter(1), 7);
+  EXPECT_EQ(cfg.SpatialAfter(2), 3);
+  EXPECT_EQ(cfg.FeaturesPerChannel(), 9);
+}
+
+TEST_F(FluidModelTest, EverySubnetProducesLogits) {
+  core::Tensor x = core::Tensor::UniformRandom({2, 1, 28, 28}, rng_, 0, 1);
+  for (const auto& spec : model_.family().All()) {
+    core::Tensor logits = model_.Forward(spec, x, false);
+    EXPECT_EQ(logits.shape(), core::Shape({2, 10})) << spec.ToString();
+  }
+}
+
+TEST_F(FluidModelTest, ExtractedSubnetIsBitIdentical) {
+  core::Tensor x = core::Tensor::UniformRandom({3, 1, 28, 28}, rng_, 0, 1);
+  for (const auto& spec : model_.family().All()) {
+    nn::Sequential standalone = model_.ExtractSubnet(spec);
+    core::Tensor a = model_.Forward(spec, x, false);
+    core::Tensor b = standalone.Forward(x, false);
+    EXPECT_EQ(core::MaxAbsDiff(a, b), 0.0F)
+        << "extracted " << spec.ToString() << " diverged";
+  }
+}
+
+TEST_F(FluidModelTest, ImportSubnetRoundTripsThroughExtract) {
+  const auto spec = model_.family().ByName("upper50%");
+  nn::Sequential standalone = model_.ExtractSubnet(spec);
+  // Perturb the standalone model, import, re-extract: must match.
+  for (auto& p : standalone.Params()) {
+    for (auto& v : p.value->data()) v += 0.25F;
+  }
+  model_.ImportSubnet(spec, standalone);
+  nn::Sequential again = model_.ExtractSubnet(spec);
+  for (std::size_t i = 0; i < again.Params().size(); ++i) {
+    EXPECT_TRUE(core::AllClose(*again.Params()[i].value,
+                               *standalone.Params()[i].value));
+  }
+}
+
+TEST_F(FluidModelTest, ImportDoesNotTouchDisjointSlices) {
+  const auto upper = model_.family().ByName("upper50%");
+  const auto lower = model_.family().ByName("50%");
+  nn::Sequential lower_before = model_.ExtractSubnet(lower);
+
+  nn::Sequential standalone = model_.ExtractSubnet(upper);
+  for (auto& p : standalone.Params()) {
+    for (auto& v : p.value->data()) v += 1.0F;
+  }
+  model_.ImportSubnet(upper, standalone);
+
+  // Conv weights of the lower model are untouched; its classifier bias is
+  // shared with the whole family (and was deliberately overwritten by the
+  // import), so compare everything except fc.bias.
+  nn::Sequential lower_after = model_.ExtractSubnet(lower);
+  const auto before = lower_before.Params();
+  const auto after = lower_after.Params();
+  for (std::size_t i = 0; i + 1 < before.size(); ++i) {
+    EXPECT_TRUE(core::AllClose(*before[i].value, *after[i].value))
+        << before[i].name;
+  }
+}
+
+TEST_F(FluidModelTest, BackwardConfinesGradientsToSlice) {
+  const auto spec = model_.family().ByName("upper25%");
+  core::Tensor x = core::Tensor::UniformRandom({2, 1, 28, 28}, rng_, 0, 1);
+  nn::SoftmaxCrossEntropy loss;
+  model_.ZeroGrad();
+  loss.Forward(model_.Forward(spec, x, true), {1, 2});
+  model_.Backward(loss.Backward());
+
+  // conv2 weight grads must live in rows/cols [8, 12).
+  const auto params = model_.Params();
+  for (const auto& p : params) {
+    if (p.name != "conv2.weight") continue;
+    for (std::int64_t o = 0; o < 16; ++o) {
+      for (std::int64_t i = 0; i < 16; ++i) {
+        const bool inside = o >= 8 && o < 12 && i >= 8 && i < 12;
+        float norm = 0;
+        for (std::int64_t k = 0; k < 9; ++k) {
+          norm += std::fabs(p.grad->at((o * 16 + i) * 9 + k));
+        }
+        if (!inside) {
+          EXPECT_EQ(norm, 0.0F) << "grad leak at out " << o << " in " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(FluidModelTest, TrainableMasksFreezeNestedSlice) {
+  const auto& family = model_.family();
+  const auto masks = model_.TrainableMasks(
+      family.ByName("50%"), family.ByName("25%"), /*train_head_bias=*/false);
+  const auto& c2 = masks.at("conv2.weight");
+  // Inside 25% block: frozen.
+  EXPECT_EQ(c2({0, 0, 0, 0}), 0.0F);
+  EXPECT_EQ(c2({3, 3, 1, 1}), 0.0F);
+  // New 50% block: trainable.
+  EXPECT_EQ(c2({5, 5, 0, 0}), 1.0F);
+  EXPECT_EQ(c2({5, 1, 0, 0}), 1.0F);  // new row, old column
+  EXPECT_EQ(c2({1, 5, 0, 0}), 1.0F);  // old row, new column
+  // Outside the 50% slice entirely: not trainable.
+  EXPECT_EQ(c2({9, 0, 0, 0}), 0.0F);
+  // Head bias frozen as requested.
+  EXPECT_DOUBLE_EQ(core::Sum(masks.at("fc.bias")), 0.0);
+}
+
+TEST_F(FluidModelTest, TrainableMasksUpperSliceDisjointFromLower) {
+  const auto& family = model_.family();
+  const auto masks = model_.TrainableMasks(family.ByName("upper50%"),
+                                           std::nullopt, false);
+  const auto& c2 = masks.at("conv2.weight");
+  EXPECT_EQ(c2({8, 8, 0, 0}), 1.0F);
+  EXPECT_EQ(c2({8, 0, 0, 0}), 0.0F);  // upper rows never read lower cols
+  EXPECT_EQ(c2({0, 0, 0, 0}), 0.0F);
+  // conv1 consumes the image, so its input range is the image channel.
+  const auto& c1 = masks.at("conv1.weight");
+  EXPECT_EQ(c1({8, 0, 0, 0}), 1.0F);
+  EXPECT_EQ(c1({0, 0, 0, 0}), 0.0F);
+}
+
+TEST_F(FluidModelTest, MaskedTrainingPreservesFrozenSubnetExactly) {
+  const auto& family = model_.family();
+  const auto spec25 = family.ByName("25%");
+  const auto spec50 = family.ByName("50%");
+  core::Tensor x = core::Tensor::UniformRandom({4, 1, 28, 28}, rng_, 0, 1);
+  const std::vector<std::int64_t> labels{0, 1, 2, 3};
+
+  core::Tensor logits25_before = model_.Forward(spec25, x, false);
+
+  nn::Sgd sgd(0.05F);
+  for (auto& [name, mask] :
+       model_.TrainableMasks(spec50, spec25, /*train_head_bias=*/false)) {
+    sgd.SetMask(name, std::move(mask));
+  }
+  nn::SoftmaxCrossEntropy loss;
+  const auto params = model_.Params();
+  for (int step = 0; step < 5; ++step) {
+    model_.ZeroGrad();
+    loss.Forward(model_.Forward(spec50, x, true), labels);
+    model_.Backward(loss.Backward());
+    sgd.Step(params);
+  }
+
+  core::Tensor logits25_after = model_.Forward(spec25, x, false);
+  EXPECT_EQ(core::MaxAbsDiff(logits25_before, logits25_after), 0.0F)
+      << "frozen 25% sub-network drifted during 50% training";
+}
+
+TEST_F(FluidModelTest, SubnetFlopsMonotoneInWidth) {
+  const auto& family = model_.family();
+  std::int64_t prev = 0;
+  for (const auto& spec : family.LowerFamily()) {
+    const auto flops = model_.SubnetFlops(spec);
+    EXPECT_GT(flops, prev);
+    prev = flops;
+  }
+  // Upper50 has the same width as 50%, so identical cost structure except
+  // equal — both 8-channel models.
+  EXPECT_EQ(model_.SubnetFlops(family.ByName("upper50%")),
+            model_.SubnetFlops(family.ByName("50%")));
+}
+
+TEST_F(FluidModelTest, SubnetParamBytesMatchExtractedModel) {
+  for (const auto& spec : model_.family().All()) {
+    nn::Sequential extracted = model_.ExtractSubnet(spec);
+    std::int64_t count = 0;
+    for (auto& p : extracted.Params()) count += p.value->numel();
+    EXPECT_EQ(model_.SubnetParamBytes(spec),
+              count * static_cast<std::int64_t>(sizeof(float)))
+        << spec.ToString();
+  }
+}
+
+TEST_F(FluidModelTest, BackwardWithoutForwardThrows) {
+  EXPECT_THROW(model_.Backward(core::Tensor({1, 10})), core::Error);
+}
+
+TEST_F(FluidModelTest, ParamsExposeFullWidthStores) {
+  const auto params = model_.Params();
+  ASSERT_EQ(params.size(), 8u);  // 3 convs + fc, weight+bias each
+  EXPECT_EQ(params[0].name, "conv1.weight");
+  EXPECT_EQ(params[0].value->shape(), core::Shape({16, 1, 3, 3}));
+  EXPECT_EQ(params[6].name, "fc.weight");
+  EXPECT_EQ(params[6].value->shape(), core::Shape({10, 144}));
+}
+
+}  // namespace
+}  // namespace fluid::slim

@@ -1,0 +1,84 @@
+#include "slim/model_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+
+namespace fluid::slim {
+namespace {
+
+TEST(ModelIoTest, SerializeParseRoundTripPreservesEverything) {
+  FluidModel original = FluidModel::PaperDefault(77);
+  const auto bytes = SerializeFluidModel(original);
+  auto parsed = ParseFluidModel(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->config().image_size, 28);
+  EXPECT_EQ(parsed->family().max_width(), 16);
+  EXPECT_EQ(parsed->family().split_width(), 8);
+
+  core::Rng rng(5);
+  core::Tensor x = core::Tensor::UniformRandom({2, 1, 28, 28}, rng, 0, 1);
+  for (const auto& spec : original.family().All()) {
+    EXPECT_EQ(core::MaxAbsDiff(original.Forward(spec, x, false),
+                               parsed->Forward(spec, x, false)),
+              0.0F)
+        << spec.ToString();
+  }
+}
+
+TEST(ModelIoTest, NonDefaultConfigRoundTrips) {
+  FluidNetConfig cfg;
+  cfg.image_size = 16;
+  cfg.num_conv_layers = 2;
+  cfg.relu_leak = 0.05F;
+  SubnetFamily family({2, 4, 6}, 1);
+  core::Rng rng(3);
+  FluidModel original(cfg, family, rng);
+
+  auto parsed = ParseFluidModel(SerializeFluidModel(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->config().num_conv_layers, 2);
+  EXPECT_EQ(parsed->config().relu_leak, 0.05F);
+  EXPECT_EQ(parsed->family().widths(), (std::vector<std::int64_t>{2, 4, 6}));
+  EXPECT_EQ(parsed->family().split_index(), 1u);
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fluid_model_io_test.bin";
+  FluidModel original = FluidModel::PaperDefault(88);
+  ASSERT_TRUE(SaveFluidModel(original, path).ok());
+  auto loaded = LoadFluidModel(path);
+  ASSERT_TRUE(loaded.ok());
+  core::Rng rng(6);
+  core::Tensor x = core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+  const auto spec = original.family().Combined();
+  EXPECT_EQ(core::MaxAbsDiff(original.Forward(spec, x, false),
+                             loaded->Forward(spec, x, false)),
+            0.0F);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, BadMagicRejected) {
+  std::vector<std::uint8_t> garbage{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(ParseFluidModel(garbage).status().code(),
+            core::StatusCode::kDataLoss);
+}
+
+TEST(ModelIoTest, TruncatedPayloadRejected) {
+  FluidModel original = FluidModel::PaperDefault(99);
+  auto bytes = SerializeFluidModel(original);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(ParseFluidModel(bytes).ok());
+}
+
+TEST(ModelIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadFluidModel("/no/such/fluid_model.bin").status().code(),
+            core::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace fluid::slim

@@ -1,0 +1,92 @@
+#include "slim/partitioned.h"
+
+#include "core/error.h"
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+
+namespace fluid::slim {
+namespace {
+
+TEST(ConcatChannelsTest, InterleavesPerSample) {
+  core::Tensor a = core::Tensor::Full({2, 1, 2, 2}, 1.0F);
+  core::Tensor b = core::Tensor::Full({2, 2, 2, 2}, 2.0F);
+  core::Tensor c = ConcatChannels(a, b);
+  ASSERT_EQ(c.shape(), core::Shape({2, 3, 2, 2}));
+  EXPECT_EQ(c({0, 0, 0, 0}), 1.0F);
+  EXPECT_EQ(c({0, 1, 0, 0}), 2.0F);
+  EXPECT_EQ(c({1, 0, 1, 1}), 1.0F);
+  EXPECT_EQ(c({1, 2, 1, 1}), 2.0F);
+}
+
+TEST(ConcatChannelsTest, MismatchThrows) {
+  EXPECT_THROW(
+      ConcatChannels(core::Tensor({1, 1, 2, 2}), core::Tensor({2, 1, 2, 2})),
+      core::Error);
+  EXPECT_THROW(
+      ConcatChannels(core::Tensor({1, 1, 2, 2}), core::Tensor({1, 1, 3, 2})),
+      core::Error);
+}
+
+TEST(PartitionedRunnerTest, BitExactAgainstCombinedForward) {
+  FluidModel model = FluidModel::PaperDefault(99);
+  core::Rng rng(5);
+  core::Tensor x = core::Tensor::UniformRandom({3, 1, 28, 28}, rng, 0, 1);
+
+  core::Tensor expected =
+      model.Forward(model.family().Combined(), x, false);
+  PartitionedRunner runner(model);
+  PartitionStats stats;
+  core::Tensor got = runner.Run(x, &stats);
+
+  // Conv stages are bit-exact; the classifier merge re-associates the
+  // float summation (partial products + bias), so allow float-ulp slack.
+  EXPECT_LT(core::MaxAbsDiff(got, expected), 1e-5F)
+      << "channel-partitioned HA execution diverged from the 100% model";
+}
+
+TEST(PartitionedRunnerTest, StatsCountExpectedBytes) {
+  FluidModel model = FluidModel::PaperDefault(98);
+  core::Rng rng(6);
+  core::Tensor x = core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+  PartitionedRunner runner(model);
+  PartitionStats stats;
+  runner.Run(x, &stats);
+
+  // input: 28*28*4 = 3136 bytes M→W.
+  // after stage 0 (14x14): 8ch*196*4 = 6272 each way.
+  // after stage 1 (7x7):   8ch*49*4  = 1568 each way.
+  // final partial logits:  10*4      = 40 W→M.
+  EXPECT_EQ(stats.bytes_master_to_worker, 3136 + 6272 + 1568);
+  EXPECT_EQ(stats.bytes_worker_to_master, 6272 + 1568 + 40);
+  EXPECT_EQ(stats.exchanges, 4);
+}
+
+TEST(PartitionedRunnerTest, AnalyticStatsMatchMeasured) {
+  FluidModel model = FluidModel::PaperDefault(97);
+  core::Rng rng(7);
+  for (const std::int64_t batch : {1, 4}) {
+    core::Tensor x =
+        core::Tensor::UniformRandom({batch, 1, 28, 28}, rng, 0, 1);
+    PartitionedRunner runner(model);
+    PartitionStats measured;
+    runner.Run(x, &measured);
+    const PartitionStats analytic = runner.AnalyticStats(batch);
+    EXPECT_EQ(measured.bytes_master_to_worker,
+              analytic.bytes_master_to_worker);
+    EXPECT_EQ(measured.bytes_worker_to_master,
+              analytic.bytes_worker_to_master);
+    EXPECT_EQ(measured.exchanges, analytic.exchanges);
+  }
+}
+
+TEST(PartitionedRunnerTest, TotalBytesIsSumOfDirections) {
+  PartitionStats s;
+  s.bytes_master_to_worker = 100;
+  s.bytes_worker_to_master = 50;
+  EXPECT_EQ(s.total_bytes(), 150);
+}
+
+}  // namespace
+}  // namespace fluid::slim

@@ -1,0 +1,113 @@
+#include "slim/slim_conv2d.h"
+
+#include "core/error.h"
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "nn/conv2d.h"
+
+namespace fluid::slim {
+namespace {
+
+TEST(SlimConv2dTest, FullSliceMatchesPlainConv2d) {
+  core::Rng rng1(11), rng2(11);
+  SlimConv2d slim(3, 4, 3, 1, 1, rng1, "s");
+  nn::Conv2d plain(3, 4, 3, 1, 1, rng2, "p");
+  // Same seed → same Kaiming init because both draw the identical stream.
+  core::Tensor x = core::Tensor::UniformRandom({2, 3, 6, 6}, rng1, -1, 1);
+  core::Tensor a = slim.Forward(x, {0, 3}, {0, 4}, false);
+  core::Tensor b = plain.Forward(x, false);
+  EXPECT_LT(core::MaxAbsDiff(a, b), 1e-6F);
+}
+
+TEST(SlimConv2dTest, SliceEqualsPackedStandaloneConv) {
+  core::Rng rng(12);
+  SlimConv2d slim(8, 8, 3, 1, 1, rng, "s");
+  const ChannelRange in{2, 6}, out{4, 8};
+  core::Tensor x = core::Tensor::UniformRandom({1, 4, 5, 5}, rng, -1, 1);
+
+  core::Tensor slice_out = slim.Forward(x, in, out, false);
+
+  core::Rng dummy(0);
+  nn::Conv2d packed(4, 4, 3, 1, 1, dummy, "p");
+  packed.weight() = slim.PackWeight(in, out);
+  packed.bias() = slim.PackBias(out);
+  core::Tensor packed_out = packed.Forward(x, false);
+
+  EXPECT_LT(core::MaxAbsDiff(slice_out, packed_out), 1e-6F);
+}
+
+TEST(SlimConv2dTest, BackwardTouchesOnlySliceGradients) {
+  core::Rng rng(13);
+  SlimConv2d slim(8, 8, 3, 1, 1, rng, "s");
+  const ChannelRange in{0, 4}, out{4, 8};
+  core::Tensor x = core::Tensor::UniformRandom({1, 4, 5, 5}, rng, -1, 1);
+  core::Tensor y = slim.Forward(x, in, out, true);
+  slim.Backward(core::Tensor::Ones(y.shape()));
+
+  const auto params = slim.Params();
+  const core::Tensor& wg = *params[0].grad;
+  const core::Tensor& bg = *params[1].grad;
+  const core::Tensor wmask = ConvSliceMask(8, 8, 3, in, out);
+  for (std::int64_t i = 0; i < wg.numel(); ++i) {
+    if (wmask.at(i) == 0.0F) {
+      EXPECT_EQ(wg.at(i), 0.0F) << "gradient leaked outside slice at " << i;
+    }
+  }
+  for (std::int64_t c = 0; c < 8; ++c) {
+    if (c < out.lo || c >= out.hi) EXPECT_EQ(bg.at(c), 0.0F);
+  }
+  // And the slice region is non-trivially populated.
+  EXPECT_GT(core::Norm(wg), 0.0);
+  EXPECT_GT(core::Norm(bg), 0.0);
+}
+
+TEST(SlimConv2dTest, PackUnpackRoundTrip) {
+  core::Rng rng(14);
+  SlimConv2d slim(8, 8, 3, 1, 1, rng, "s");
+  const ChannelRange in{2, 6}, out{1, 7};
+  const core::Tensor w = slim.PackWeight(in, out);
+  const core::Tensor b = slim.PackBias(out);
+
+  core::Rng rng2(999);
+  SlimConv2d other(8, 8, 3, 1, 1, rng2, "o");
+  other.UnpackWeight(w, in, out);
+  other.UnpackBias(b, out);
+  EXPECT_TRUE(core::AllClose(other.PackWeight(in, out), w));
+  EXPECT_TRUE(core::AllClose(other.PackBias(out), b));
+}
+
+TEST(SlimConv2dTest, UnpackLeavesOutsideUntouched) {
+  core::Rng rng(15);
+  SlimConv2d slim(4, 4, 3, 1, 1, rng, "s");
+  const float before = slim.weight().at(0);  // (out 0, in 0) — outside below
+  core::Tensor patch = core::Tensor::Ones({2, 2, 3, 3});
+  slim.UnpackWeight(patch, {2, 4}, {2, 4});
+  EXPECT_EQ(slim.weight().at(0), before);
+  EXPECT_EQ(slim.weight()({3, 3, 0, 0}), 1.0F);
+}
+
+TEST(SlimConv2dTest, InputWidthMismatchThrows) {
+  core::Rng rng(16);
+  SlimConv2d slim(8, 8, 3, 1, 1, rng, "s");
+  core::Tensor x({1, 3, 5, 5});
+  EXPECT_THROW(slim.Forward(x, {0, 4}, {0, 4}, false), core::Error);
+}
+
+TEST(SlimConv2dTest, SliceFlopsScaleWithWidths) {
+  core::Rng rng(17);
+  SlimConv2d slim(16, 16, 3, 1, 1, rng, "s");
+  const auto full = slim.SliceFlops({0, 16}, {0, 16}, 28, 28);
+  const auto half = slim.SliceFlops({0, 8}, {0, 8}, 28, 28);
+  EXPECT_EQ(full, 4 * half);  // both fan-in and fan-out halve
+}
+
+TEST(SlimConv2dTest, BackwardWithoutForwardThrows) {
+  core::Rng rng(18);
+  SlimConv2d slim(2, 2, 3, 1, 1, rng, "s");
+  EXPECT_THROW(slim.Backward(core::Tensor({1, 2, 4, 4})), core::Error);
+}
+
+}  // namespace
+}  // namespace fluid::slim

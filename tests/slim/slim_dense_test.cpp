@@ -1,0 +1,108 @@
+#include "slim/slim_dense.h"
+
+#include "core/error.h"
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "nn/dense.h"
+
+namespace fluid::slim {
+namespace {
+
+TEST(SlimDenseTest, FullSliceMatchesPlainDense) {
+  core::Rng rng1(21), rng2(21);
+  SlimDense slim(6, 4, rng1, "s");
+  nn::Dense plain(6, 4, rng2, "p");
+  core::Tensor x = core::Tensor::UniformRandom({3, 6}, rng1, -1, 1);
+  core::Tensor a = slim.Forward(x, {0, 6}, {0, 4}, false);
+  core::Tensor b = plain.Forward(x, false);
+  EXPECT_LT(core::MaxAbsDiff(a, b), 1e-6F);
+}
+
+TEST(SlimDenseTest, ColumnSliceUsesOnlyThoseColumns) {
+  core::Rng rng(22);
+  SlimDense slim(8, 2, rng, "s");
+  // Zero all weights except the column block [4, 8).
+  slim.weight().Zero();
+  for (std::int64_t o = 0; o < 2; ++o) {
+    for (std::int64_t i = 4; i < 8; ++i) slim.weight()({o, i}) = 1.0F;
+  }
+  slim.bias().Zero();
+  core::Tensor x = core::Tensor::Ones({1, 4});
+  core::Tensor y = slim.Forward(x, {4, 8}, {0, 2}, false);
+  EXPECT_NEAR(y.at(0), 4.0F, 1e-6F);
+  EXPECT_NEAR(y.at(1), 4.0F, 1e-6F);
+}
+
+TEST(SlimDenseTest, PartialProductSkipsBias) {
+  core::Rng rng(23);
+  SlimDense slim(4, 2, rng, "s");
+  slim.bias() = core::Tensor(core::Shape{2}, {10.0F, 20.0F});
+  core::Tensor x = core::Tensor::Zeros({1, 4});
+  core::Tensor with_bias = slim.Forward(x, {0, 4}, {0, 2}, false, true);
+  core::Tensor without = slim.Forward(x, {0, 4}, {0, 2}, false, false);
+  EXPECT_NEAR(with_bias.at(0), 10.0F, 1e-6F);
+  EXPECT_EQ(without.at(0), 0.0F);
+}
+
+TEST(SlimDenseTest, PartialSumsReconstructFullProduct) {
+  // The HA-mode merge: lower-cols partial (with bias) + upper-cols partial
+  // (without bias) must equal the full product.
+  core::Rng rng(24);
+  SlimDense slim(8, 3, rng, "s");
+  core::Tensor x = core::Tensor::UniformRandom({2, 8}, rng, -1, 1);
+  core::Tensor full = slim.Forward(x, {0, 8}, {0, 3}, false);
+
+  core::Tensor xlo({2, 4}), xhi({2, 4});
+  for (std::int64_t n = 0; n < 2; ++n) {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      xlo({n, i}) = x({n, i});
+      xhi({n, i}) = x({n, i + 4});
+    }
+  }
+  core::Tensor plo = slim.Forward(xlo, {0, 4}, {0, 3}, false, true);
+  core::Tensor phi = slim.Forward(xhi, {4, 8}, {0, 3}, false, false);
+  EXPECT_LT(core::MaxAbsDiff(core::Add(plo, phi), full), 1e-5F);
+}
+
+TEST(SlimDenseTest, BackwardConfinedToSlice) {
+  core::Rng rng(25);
+  SlimDense slim(8, 4, rng, "s");
+  const ChannelRange in{2, 6}, out{1, 3};
+  core::Tensor x = core::Tensor::UniformRandom({2, 4}, rng, -1, 1);
+  core::Tensor y = slim.Forward(x, in, out, true);
+  slim.Backward(core::Tensor::Ones(y.shape()));
+
+  const core::Tensor& wg = *slim.Params()[0].grad;
+  const core::Tensor mask = DenseSliceMask(4, 8, in, out);
+  for (std::int64_t i = 0; i < wg.numel(); ++i) {
+    if (mask.at(i) == 0.0F) EXPECT_EQ(wg.at(i), 0.0F);
+  }
+  EXPECT_GT(core::Norm(wg), 0.0);
+  const core::Tensor& bg = *slim.Params()[1].grad;
+  EXPECT_EQ(bg.at(0), 0.0F);
+  EXPECT_NE(bg.at(1), 0.0F);
+  EXPECT_EQ(bg.at(3), 0.0F);
+}
+
+TEST(SlimDenseTest, PackUnpackRoundTrip) {
+  core::Rng rng(26);
+  SlimDense a(8, 4, rng, "a");
+  core::Rng rng2(27);
+  SlimDense b(8, 4, rng2, "b");
+  const ChannelRange in{1, 5}, out{0, 4};
+  b.UnpackWeight(a.PackWeight(in, out), in, out);
+  b.UnpackBias(a.PackBias(out), out);
+  EXPECT_TRUE(core::AllClose(a.PackWeight(in, out), b.PackWeight(in, out)));
+}
+
+TEST(SlimDenseTest, InputWidthMismatchThrows) {
+  core::Rng rng(28);
+  SlimDense slim(8, 4, rng, "s");
+  EXPECT_THROW(slim.Forward(core::Tensor({1, 3}), {0, 4}, {0, 4}, false),
+               core::Error);
+}
+
+}  // namespace
+}  // namespace fluid::slim

@@ -1,0 +1,110 @@
+// Family-wide property sweeps: invariants that must hold for every width
+// family, not just the paper's. Parameterized over family geometries.
+
+#include <cctype>
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "slim/fluid_model.h"
+
+namespace fluid::slim {
+namespace {
+
+struct FamilyCase {
+  const char* label;
+  std::vector<std::int64_t> widths;
+  std::size_t split;
+};
+
+class FamilyPropertyTest : public ::testing::TestWithParam<FamilyCase> {
+ protected:
+  static FluidNetConfig SmallConfig() {
+    FluidNetConfig cfg;
+    cfg.image_size = 12;
+    cfg.num_conv_layers = 2;
+    cfg.num_classes = 4;
+    return cfg;
+  }
+};
+
+TEST_P(FamilyPropertyTest, EveryExtractedSubnetMatchesItsSlice) {
+  const auto& fc = GetParam();
+  SubnetFamily family(fc.widths, fc.split);
+  core::Rng rng(41);
+  FluidModel model(SmallConfig(), family, rng);
+  core::Tensor x = core::Tensor::UniformRandom({2, 1, 12, 12}, rng, -1, 1);
+  for (const auto& spec : family.All()) {
+    nn::Sequential extracted = model.ExtractSubnet(spec);
+    EXPECT_EQ(core::MaxAbsDiff(model.Forward(spec, x, false),
+                               extracted.Forward(x, false)),
+              0.0F)
+        << spec.ToString();
+  }
+}
+
+TEST_P(FamilyPropertyTest, MaskBlocksPartitionEachNestedSlice) {
+  // For nested lower specs, mask(k) must strictly contain mask(k-1), and
+  // mask(k) minus frozen(k-1) plus mask(k-1) must reassemble mask(k).
+  const auto& fc = GetParam();
+  SubnetFamily family(fc.widths, fc.split);
+  core::Rng rng(42);
+  FluidModel model(SmallConfig(), family, rng);
+  const auto lower = family.LowerFamily();
+  for (std::size_t i = 1; i < lower.size(); ++i) {
+    const auto whole =
+        model.TrainableMasks(lower[i], std::nullopt, false);
+    const auto exclusive =
+        model.TrainableMasks(lower[i], lower[i - 1], false);
+    const auto inner =
+        model.TrainableMasks(lower[i - 1], std::nullopt, false);
+    for (const auto& [name, whole_mask] : whole) {
+      const auto& excl = exclusive.at(name);
+      const auto& in = inner.at(name);
+      for (std::int64_t j = 0; j < whole_mask.numel(); ++j) {
+        // Partition: whole = exclusive ∪ inner, disjointly.
+        EXPECT_EQ(whole_mask.at(j), std::min(1.0F, excl.at(j) + in.at(j)))
+            << name << " at " << j << " (stage " << lower[i].name << ")";
+        EXPECT_EQ(excl.at(j) * in.at(j), 0.0F)
+            << name << " blocks overlap at " << j;
+      }
+    }
+  }
+}
+
+TEST_P(FamilyPropertyTest, FlopsAndBytesMonotoneInWidth) {
+  const auto& fc = GetParam();
+  SubnetFamily family(fc.widths, fc.split);
+  core::Rng rng(43);
+  FluidModel model(SmallConfig(), family, rng);
+  std::int64_t prev_flops = 0, prev_bytes = 0;
+  for (const auto& spec : family.LowerFamily()) {
+    EXPECT_GT(model.SubnetFlops(spec), prev_flops);
+    EXPECT_GT(model.SubnetParamBytes(spec), prev_bytes);
+    prev_flops = model.SubnetFlops(spec);
+    prev_bytes = model.SubnetParamBytes(spec);
+  }
+}
+
+TEST_P(FamilyPropertyTest, UpperSlicesDisjointFromMasterResident) {
+  const auto& fc = GetParam();
+  SubnetFamily family(fc.widths, fc.split);
+  const auto master = family.MasterResident();
+  for (const auto& u : family.UpperFamily()) {
+    EXPECT_FALSE(u.range.Overlaps(master.range))
+        << u.ToString() << " overlaps " << master.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FamilyPropertyTest,
+    ::testing::Values(FamilyCase{"paper_like", {2, 4, 6, 8}, 1},
+                      FamilyCase{"two_widths", {3, 7}, 0},
+                      FamilyCase{"many_widths", {1, 2, 3, 4, 5, 6}, 2},
+                      FamilyCase{"uneven", {2, 3, 8}, 1}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace fluid::slim

@@ -1,0 +1,76 @@
+#include "slim/subnet_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace fluid::slim {
+namespace {
+
+TEST(SubnetFamilyTest, PaperDefaultGeometry) {
+  const auto family = SubnetFamily::PaperDefault();
+  EXPECT_EQ(family.num_widths(), 4u);
+  EXPECT_EQ(family.max_width(), 16);
+  EXPECT_EQ(family.split_width(), 8);
+
+  EXPECT_EQ(family.Lower(0).name, "25%");
+  EXPECT_EQ(family.Lower(0).range, (ChannelRange{0, 4}));
+  EXPECT_EQ(family.Lower(3).name, "100%");
+  EXPECT_EQ(family.Lower(3).range, (ChannelRange{0, 16}));
+
+  EXPECT_EQ(family.Upper(2).name, "upper25%");
+  EXPECT_EQ(family.Upper(2).range, (ChannelRange{8, 12}));
+  EXPECT_TRUE(family.Upper(2).is_upper);
+  EXPECT_EQ(family.Upper(3).name, "upper50%");
+  EXPECT_EQ(family.Upper(3).range, (ChannelRange{8, 16}));
+}
+
+TEST(SubnetFamilyTest, ResidentsAndCombined) {
+  const auto family = SubnetFamily::PaperDefault();
+  EXPECT_EQ(family.MasterResident().name, "50%");
+  EXPECT_EQ(family.WorkerResident().name, "upper50%");
+  EXPECT_EQ(family.Combined().name, "100%");
+  EXPECT_EQ(family.Combined().range, (ChannelRange{0, 16}));
+}
+
+TEST(SubnetFamilyTest, AllListsLowerThenUpper) {
+  const auto all = SubnetFamily::PaperDefault().All();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "25%");
+  EXPECT_EQ(all[3].name, "100%");
+  EXPECT_EQ(all[4].name, "upper25%");
+  EXPECT_EQ(all[5].name, "upper50%");
+}
+
+TEST(SubnetFamilyTest, ByNameFindsAndThrows) {
+  const auto family = SubnetFamily::PaperDefault();
+  EXPECT_EQ(family.ByName("upper50%").range, (ChannelRange{8, 16}));
+  EXPECT_THROW(family.ByName("60%"), core::Error);
+}
+
+TEST(SubnetFamilyTest, UpperFamilyRequiresWidthAboveSplit) {
+  const auto family = SubnetFamily::PaperDefault();
+  EXPECT_THROW(family.Upper(1), core::Error);
+  EXPECT_THROW(family.Upper(0), core::Error);
+}
+
+TEST(SubnetFamilyTest, ValidatesWidths) {
+  EXPECT_THROW(SubnetFamily({}, 0), core::Error);
+  EXPECT_THROW(SubnetFamily({4, 4}, 0), core::Error);
+  EXPECT_THROW(SubnetFamily({8, 4}, 0), core::Error);
+  EXPECT_THROW(SubnetFamily({-4, 8}, 0), core::Error);
+  EXPECT_THROW(SubnetFamily({4, 8}, 2), core::Error);
+}
+
+TEST(SubnetFamilyTest, NonPaperFamilyNamesScale) {
+  // Six widths with the split in the middle.
+  SubnetFamily family({2, 4, 6, 8, 10, 12}, 2);
+  EXPECT_EQ(family.Lower(0).name, "17%");
+  EXPECT_EQ(family.Lower(5).name, "100%");
+  EXPECT_EQ(family.split_width(), 6);
+  EXPECT_EQ(family.UpperFamily().size(), 3u);
+  EXPECT_EQ(family.Upper(5).range, (ChannelRange{6, 12}));
+}
+
+}  // namespace
+}  // namespace fluid::slim

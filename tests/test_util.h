@@ -1,0 +1,75 @@
+#pragma once
+// Shared helpers for the test suite: finite-difference gradient checking
+// and tiny synthetic fixtures.
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "data/dataset.h"
+
+namespace fluid::testing {
+
+/// Central finite-difference derivative of scalar `f` w.r.t. element `i`
+/// of `x` (x is restored afterwards).
+inline double NumericalGrad(core::Tensor& x, std::int64_t i,
+                            const std::function<double()>& f,
+                            double eps = 1e-3) {
+  const float saved = x.at(i);
+  x.at(i) = saved + static_cast<float>(eps);
+  const double up = f();
+  x.at(i) = saved - static_cast<float>(eps);
+  const double down = f();
+  x.at(i) = saved;
+  return (up - down) / (2.0 * eps);
+}
+
+/// Asserts |analytic - numeric| small for a sample of elements of `param`.
+/// `loss` must re-run forward+loss from scratch; `grad` is the analytic
+/// gradient tensor after one backward pass (already computed).
+inline void ExpectGradientsMatch(core::Tensor& param, const core::Tensor& grad,
+                                 const std::function<double()>& loss,
+                                 std::int64_t max_checks = 24,
+                                 double tol = 2e-2) {
+  ASSERT_EQ(param.shape(), grad.shape());
+  const std::int64_t n = param.numel();
+  const std::int64_t stride = std::max<std::int64_t>(1, n / max_checks);
+  for (std::int64_t i = 0; i < n; i += stride) {
+    const double num = NumericalGrad(param, i, loss);
+    const double ana = grad.at(i);
+    const double scale = std::max({1.0, std::fabs(num), std::fabs(ana)});
+    EXPECT_NEAR(ana, num, tol * scale)
+        << "gradient mismatch at flat index " << i;
+  }
+}
+
+/// A tiny, quickly separable 2-class image problem: class 0 bright in the
+/// top half, class 1 bright in the bottom half, with noise. Useful where a
+/// real convergence signal is needed but synthetic MNIST would be slow.
+inline data::Dataset MakeToyTwoClass(std::int64_t count, std::int64_t size,
+                                     std::uint64_t seed) {
+  core::Rng rng(seed);
+  data::Dataset ds;
+  ds.images = core::Tensor({count, 1, size, size});
+  ds.labels.resize(static_cast<std::size_t>(count));
+  auto px = ds.images.data();
+  const std::int64_t plane = size * size;
+  for (std::int64_t n = 0; n < count; ++n) {
+    const std::int64_t label = static_cast<std::int64_t>(n % 2);
+    ds.labels[static_cast<std::size_t>(n)] = label;
+    for (std::int64_t y = 0; y < size; ++y) {
+      for (std::int64_t x = 0; x < size; ++x) {
+        const bool bright = (label == 0) ? (y < size / 2) : (y >= size / 2);
+        const double v = (bright ? 0.9 : 0.1) + rng.Normal(0.0, 0.05);
+        px[static_cast<std::size_t>(n * plane + y * size + x)] =
+            static_cast<float>(std::clamp(v, 0.0, 1.0));
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace fluid::testing

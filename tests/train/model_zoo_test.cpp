@@ -1,0 +1,72 @@
+#include "train/model_zoo.h"
+
+#include "core/error.h"
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+
+namespace fluid::train {
+namespace {
+
+TEST(ModelZooTest, BuildConvNetMatchesPaperLayout) {
+  slim::FluidNetConfig cfg;  // paper defaults
+  core::Rng rng(1);
+  nn::Sequential model = BuildConvNet(cfg, 16, rng);
+  // 3 × (conv, relu, pool) + flatten + dense.
+  EXPECT_EQ(model.size(), 11u);
+  core::Tensor x({2, 1, 28, 28});
+  EXPECT_EQ(model.Forward(x, false).shape(), core::Shape({2, 10}));
+}
+
+TEST(ModelZooTest, SplitPreservesEndToEndFunction) {
+  slim::FluidNetConfig cfg;
+  core::Rng rng(2);
+  nn::Sequential full = BuildConvNet(cfg, 16, rng);
+  core::Tensor x = core::Tensor::UniformRandom({2, 1, 28, 28}, rng, 0, 1);
+  core::Tensor expected = full.Forward(x, false);
+
+  for (const std::int64_t cut : {1, 2}) {
+    PipelineHalves halves = SplitConvNet(cfg, 16, full, cut);
+    core::Tensor mid = halves.front.Forward(x, false);
+    core::Tensor got = halves.back.Forward(mid, false);
+    EXPECT_EQ(core::MaxAbsDiff(got, expected), 0.0F) << "cut=" << cut;
+  }
+}
+
+TEST(ModelZooTest, CutBytesMatchActivationSize) {
+  slim::FluidNetConfig cfg;
+  core::Rng rng(3);
+  nn::Sequential full = BuildConvNet(cfg, 16, rng);
+  // Cut after stage 2: activation is 16 × 7 × 7 floats.
+  PipelineHalves halves = SplitConvNet(cfg, 16, full, 2);
+  EXPECT_EQ(halves.cut_bytes_per_sample, 16 * 7 * 7 * 4);
+  core::Tensor x({1, 1, 28, 28});
+  core::Tensor mid = halves.front.Forward(x, false);
+  EXPECT_EQ(mid.numel() * static_cast<std::int64_t>(sizeof(float)),
+            halves.cut_bytes_per_sample);
+}
+
+TEST(ModelZooTest, InvalidCutThrows) {
+  slim::FluidNetConfig cfg;
+  core::Rng rng(4);
+  nn::Sequential full = BuildConvNet(cfg, 8, rng);
+  EXPECT_THROW(SplitConvNet(cfg, 8, full, 0), core::Error);
+  EXPECT_THROW(SplitConvNet(cfg, 8, full, 3), core::Error);
+}
+
+TEST(ModelZooTest, SplitCopiesNotAliases) {
+  slim::FluidNetConfig cfg;
+  core::Rng rng(5);
+  nn::Sequential full = BuildConvNet(cfg, 8, rng);
+  PipelineHalves halves = SplitConvNet(cfg, 8, full, 1);
+  core::Tensor x = core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+  const core::Tensor before = halves.front.Forward(x, false);
+  // Mutating the original must not affect the split halves.
+  for (auto& p : full.Params()) p.value->Fill(0.0F);
+  const core::Tensor after = halves.front.Forward(x, false);
+  EXPECT_EQ(core::MaxAbsDiff(before, after), 0.0F);
+}
+
+}  // namespace
+}  // namespace fluid::train
