@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Builds Release and records the GEMM / conv microbenchmark baseline at the
+# repo root (BENCH_gemm.json) so the perf trajectory is tracked PR over PR.
+#
+# Usage: scripts/run_bench.sh [extra google-benchmark args...]
+# Honours FLUID_NUM_THREADS; by default records a single-thread run plus a
+# FLUID_NUM_THREADS=4 run in one file.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)" --target micro_ops
+
+filter='BM_Gemm|BM_Conv2dForward'
+tmp1="$(mktemp)" tmp4="$(mktemp)"
+trap 'rm -f "${tmp1}" "${tmp4}"' EXIT
+
+FLUID_NUM_THREADS=1 "${build_dir}/micro_ops" \
+  --benchmark_filter="${filter}" --benchmark_format=json "$@" > "${tmp1}"
+FLUID_NUM_THREADS=4 "${build_dir}/micro_ops" \
+  --benchmark_filter="${filter}" --benchmark_format=json "$@" > "${tmp4}"
+
+python3 - "${tmp1}" "${tmp4}" > "${repo_root}/BENCH_gemm.json" <<'EOF'
+import json, sys
+one, four = (json.load(open(p)) for p in sys.argv[1:3])
+json.dump({
+    "context": one["context"],
+    "threads_1": one["benchmarks"],
+    "threads_4": four["benchmarks"],
+}, sys.stdout, indent=1)
+EOF
+
+echo "wrote ${repo_root}/BENCH_gemm.json"

@@ -1,17 +1,117 @@
 #include "core/gemm.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "core/error.h"
+#include "core/parallel.h"
 
 namespace fluid::core {
 
 namespace {
 
+// BLIS-style blocking parameters, sized for the L1/L2 of a typical
+// desktop/server core (see docs/perf.md for the derivation):
+//   * the microkernel updates an MR×NR tile of C held in registers;
+//   * a KC×NR panel of packed B (~16 KB) stays L1-resident;
+//   * an MC×KC block of packed A (~48 KB) stays L2-resident;
+//   * NC bounds the packed-B working set (~NC×KC floats) to L3.
+constexpr std::int64_t MR = 6;
+constexpr std::int64_t NR = 16;
+constexpr std::int64_t KC = 256;
+constexpr std::int64_t MC = 48;
+constexpr std::int64_t NC = 1024;
+
 // Reads element (i, j) of op(M) given storage pointer/stride.
 inline float At(const float* m, std::int64_t ld, bool trans, std::int64_t i,
                 std::int64_t j) {
   return trans ? m[j * ld + i] : m[i * ld + j];
+}
+
+// Packs the mc×kc block of op(A) at (row0, p0) into MR-row panels:
+// panel r holds rows [r*MR, r*MR+MR), laid out k-major so the microkernel
+// streams it contiguously: apack[r][p*MR + mr]. Rows beyond mc are
+// zero-padded (they are computed and discarded, never written back).
+void PackA(const float* a, std::int64_t lda, bool trans, std::int64_t row0,
+           std::int64_t p0, std::int64_t mc, std::int64_t kc, float* apack) {
+  for (std::int64_t r = 0; r < mc; r += MR) {
+    const std::int64_t rows = std::min(MR, mc - r);
+    float* panel = apack + r * kc;
+    for (std::int64_t p = 0; p < kc; ++p) {
+      float* dst = panel + p * MR;
+      for (std::int64_t mr = 0; mr < rows; ++mr) {
+        dst[mr] = At(a, lda, trans, row0 + r + mr, p0 + p);
+      }
+      for (std::int64_t mr = rows; mr < MR; ++mr) dst[mr] = 0.0F;
+    }
+  }
+}
+
+// Packs the kc×nc block of op(B) at (p0, col0) into NR-column panels,
+// k-major: bpack[c][p*NR + nr]. Columns beyond nc are zero-padded.
+void PackB(const float* b, std::int64_t ldb, bool trans, std::int64_t p0,
+           std::int64_t col0, std::int64_t kc, std::int64_t nc, float* bpack) {
+  for (std::int64_t c = 0; c < nc; c += NR) {
+    const std::int64_t cols = std::min(NR, nc - c);
+    float* panel = bpack + c * kc;
+    if (!trans && cols == NR) {
+      // Hot case: contiguous row segments of B.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = b + (p0 + p) * ldb + col0 + c;
+        float* dst = panel + p * NR;
+        for (std::int64_t nr = 0; nr < NR; ++nr) dst[nr] = src[nr];
+      }
+      continue;
+    }
+    for (std::int64_t p = 0; p < kc; ++p) {
+      float* dst = panel + p * NR;
+      for (std::int64_t nr = 0; nr < cols; ++nr) {
+        dst[nr] = At(b, ldb, trans, p0 + p, col0 + c + nr);
+      }
+      for (std::int64_t nr = cols; nr < NR; ++nr) dst[nr] = 0.0F;
+    }
+  }
+}
+
+// Register-tiled microkernel: acc[MR][NR] = Apanel × Bpanel over kc steps.
+// Fixed trip counts so the compiler keeps the tile in vector registers;
+// the k-loop runs in strictly increasing p order, which (together with the
+// fixed KC block boundaries) is what makes results independent of the
+// thread count. No zero-skip branches: 0 × NaN must stay NaN.
+inline void MicroKernel(std::int64_t kc, const float* ap, const float* bp,
+                        float* acc) {
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    const float* b = bp + p * NR;
+    for (std::int64_t mr = 0; mr < MR; ++mr) {
+      const float av = a[mr];
+      float* row = acc + mr * NR;
+      for (std::int64_t nr = 0; nr < NR; ++nr) row[nr] += av * b[nr];
+    }
+  }
+}
+
+// Accumulates alpha·acc into the rows×cols corner of C at (i0, j0).
+inline void WriteBack(const float* acc, float alpha, std::int64_t rows,
+                      std::int64_t cols, float* c, std::int64_t ldc) {
+  for (std::int64_t mr = 0; mr < rows; ++mr) {
+    float* crow = c + mr * ldc;
+    const float* arow = acc + mr * NR;
+    for (std::int64_t nr = 0; nr < cols; ++nr) {
+      crow[nr] += alpha * arow[nr];
+    }
+  }
+}
+
+// Per-thread packing scratch; reused across calls so small GEMMs (the
+// library's common case: 16×144-ish conv lowerings) never allocate.
+thread_local std::vector<float> tl_apack;
+thread_local std::vector<float> tl_bpack;
+
+void EnsureSize(std::vector<float>& buf, std::int64_t n) {
+  if (buf.size() < static_cast<std::size_t>(n)) {
+    buf.resize(static_cast<std::size_t>(n));
+  }
 }
 
 }  // namespace
@@ -23,63 +123,63 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
   FLUID_CHECK_MSG(m >= 0 && n >= 0 && k >= 0, "Gemm: negative dimension");
   if (m == 0 || n == 0) return;
 
-  // Scale / clear C first so the accumulation loop is pure adds.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* row = c + i * ldc;
-    if (beta == 0.0F) {
-      for (std::int64_t j = 0; j < n; ++j) row[j] = 0.0F;
-    } else if (beta != 1.0F) {
-      for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
-    }
+  // Scale / clear C first so the accumulation passes are pure adds.
+  // (beta == 0 overwrites C even if it holds garbage or NaN; beta == 1
+  // skips the pass — accumulate-GEMMs shouldn't pay a pool dispatch for
+  // an empty loop.)
+  if (beta != 1.0F) {
+    ParallelFor(0, m, 16, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        float* row = c + i * ldc;
+        if (beta == 0.0F) {
+          for (std::int64_t j = 0; j < n; ++j) row[j] = 0.0F;
+        } else {
+          for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
+        }
+      }
+    });
   }
   if (k == 0 || alpha == 0.0F) return;
 
-  // Fast path: no transposes — i,p,j loop order streams B and C rows.
-  if (!trans_a && !trans_b) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float* arow = a + i * lda;
-      float* crow = c + i * ldc;
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float av = alpha * arow[p];
-        if (av == 0.0F) continue;
-        const float* brow = b + p * ldb;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-    return;
-  }
+  // Shared packed-B block, sized to the actual problem (not the blocking
+  // maxima). The buffer is only read inside the parallel region below, and
+  // each (jc, pc) block finishes before the next is packed, so sharing the
+  // caller's thread-local buffer is safe.
+  auto& bpack = tl_bpack;
+  EnsureSize(bpack, std::min(KC, k) * ((std::min(NC, n) + NR - 1) / NR * NR));
+  const std::int64_t m_blocks = (m + MC - 1) / MC;
 
-  // Transposed paths: pack op(A) rows / access op(B) via At().
-  // Pack Bᵀ columns once when B is transposed and reasonably small; this
-  // turns the inner loop into a contiguous stream.
-  if (trans_b) {
-    std::vector<float> bpack(static_cast<std::size_t>(k) *
-                             static_cast<std::size_t>(n));
-    for (std::int64_t p = 0; p < k; ++p) {
-      for (std::int64_t j = 0; j < n; ++j) {
-        bpack[static_cast<std::size_t>(p * n + j)] = b[j * ldb + p];
-      }
-    }
-    for (std::int64_t i = 0; i < m; ++i) {
-      float* crow = c + i * ldc;
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float av = alpha * At(a, lda, trans_a, i, p);
-        if (av == 0.0F) continue;
-        const float* brow = bpack.data() + p * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-    return;
-  }
+  for (std::int64_t jc = 0; jc < n; jc += NC) {
+    const std::int64_t nc = std::min(NC, n - jc);
+    const std::int64_t nc_padded = (nc + NR - 1) / NR * NR;
+    for (std::int64_t pc = 0; pc < k; pc += KC) {
+      const std::int64_t kc = std::min(KC, k - pc);
+      PackB(b, ldb, trans_b, pc, jc, kc, nc, bpack.data());
 
-  // trans_a only.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * ldc;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = alpha * a[p * lda + i];
-      if (av == 0.0F) continue;
-      const float* brow = b + p * ldb;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      // Threads own disjoint MC row blocks of C; packed B is shared
+      // read-only. Block boundaries are fixed by MC, so the floating-point
+      // order per C element never depends on the thread count.
+      ParallelForEach(0, m_blocks, 1, [&](std::int64_t blk) {
+        const std::int64_t ic = blk * MC;
+        const std::int64_t mc = std::min(MC, m - ic);
+        const std::int64_t mc_padded = (mc + MR - 1) / MR * MR;
+        auto& apack = tl_apack;
+        EnsureSize(apack, mc_padded * kc);
+        PackA(a, lda, trans_a, ic, pc, mc, kc, apack.data());
+
+        alignas(64) float acc[MR * NR];
+        for (std::int64_t jr = 0; jr < nc_padded; jr += NR) {
+          const float* bp = bpack.data() + jr * kc;
+          const std::int64_t cols = std::min(NR, nc - jr);
+          for (std::int64_t ir = 0; ir < mc; ir += MR) {
+            const std::int64_t rows = std::min(MR, mc - ir);
+            std::fill(acc, acc + MR * NR, 0.0F);
+            MicroKernel(kc, apack.data() + ir * kc, bp, acc);
+            WriteBack(acc, alpha, rows, cols, c + (ic + ir) * ldc + jc + jr,
+                      ldc);
+          }
+        }
+      });
     }
   }
 }

@@ -1,0 +1,243 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+
+namespace fluid::core {
+
+namespace {
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("FLUID_NUM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// The task a parallel region broadcasts to the pool: workers grab chunk
+// indices from a shared counter until the range is drained.
+struct Region {
+  std::int64_t begin = 0;
+  std::int64_t grain = 1;
+  std::int64_t num_chunks = 0;
+  const std::function<void(std::int64_t, std::int64_t, std::int64_t)>* body =
+      nullptr;
+  std::atomic<std::int64_t> next_chunk{0};
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  void RunChunks(std::int64_t end) {
+    for (;;) {
+      const std::int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const std::int64_t lo = begin + c * grain;
+      const std::int64_t hi = std::min(end, lo + grain);
+      try {
+        (*body)(c, lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+};
+
+// True while the current thread is executing region chunks (caller or
+// worker); nested ParallelFor calls from such a thread run inline — both
+// to avoid oversubscription and because re-entering Run() from a worker
+// would deadlock on the region-in-progress serialization.
+thread_local bool in_parallel_region = false;
+
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool* pool = new ThreadPool();  // leaked: outlives statics
+    return *pool;
+  }
+
+  int num_threads() const { return num_threads_; }
+
+  void set_num_threads(int n) {
+    if (n < 1) n = 1;
+    if (n == num_threads_) return;
+    StopWorkers();
+    num_threads_ = n;
+    // Workers restart lazily on the next Run().
+  }
+
+  // Executes `region` (its chunk range vs `end`), with the calling thread
+  // participating. Returns only after every chunk has finished AND no
+  // worker still holds a pointer to `region` — workers check in/out under
+  // mu_, so the caller can safely destroy the (stack-allocated) Region
+  // the moment this returns.
+  void Run(Region& region, std::int64_t end) {
+    // One broadcast region at a time; concurrent top-level callers
+    // serialize here (nested regions never reach Run — they run inline).
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    EnsureWorkers();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_region_ = &region;
+      region_end_ = end;
+      ++generation_;
+    }
+    cv_.notify_all();
+
+    region.RunChunks(end);
+    {
+      // No new workers may enter once active_region_ is cleared; wait for
+      // the ones already checked in to finish their in-flight chunks.
+      std::unique_lock<std::mutex> lock(mu_);
+      active_region_ = nullptr;
+      idle_cv_.wait(lock, [&] { return workers_in_region_ == 0; });
+    }
+    if (region.error) std::rethrow_exception(region.error);
+  }
+
+ private:
+  ThreadPool() : num_threads_(DefaultNumThreads()) {}
+
+  void EnsureWorkers() {
+    const std::size_t want =
+        static_cast<std::size_t>(num_threads_ > 0 ? num_threads_ - 1 : 0);
+    if (workers_.size() == want) return;
+    StopWorkers();
+    stop_ = false;
+    workers_.reserve(want);
+    for (std::size_t i = 0; i < want; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void StopWorkers() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  void WorkerLoop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      Region* region = nullptr;
+      std::int64_t end = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+        seen_generation = generation_;
+        if (stop_) return;
+        region = active_region_;
+        end = region_end_;
+        // Check in under the same lock acquisition that read the pointer:
+        // Run() cannot observe workers_in_region_ == 0 and destroy the
+        // region while we hold a reference to it.
+        if (region != nullptr) ++workers_in_region_;
+      }
+      if (region != nullptr) {
+        in_parallel_region = true;
+        region->RunChunks(end);
+        in_parallel_region = false;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          --workers_in_region_;
+        }
+        idle_cv_.notify_all();
+      }
+    }
+  }
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex run_mu_;  // serializes top-level parallel regions
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  int workers_in_region_ = 0;
+  Region* active_region_ = nullptr;
+  std::int64_t region_end_ = 0;
+};
+
+void RunRegion(std::int64_t begin, std::int64_t end, std::int64_t grain,
+               const std::function<void(std::int64_t, std::int64_t,
+                                        std::int64_t)>& body) {
+  FLUID_CHECK_MSG(grain >= 1, "ParallelFor: grain must be >= 1");
+  if (end <= begin) return;
+  const std::int64_t range = end - begin;
+  const std::int64_t num_chunks = (range + grain - 1) / grain;
+
+  ThreadPool& pool = ThreadPool::Instance();
+  if (in_parallel_region || pool.num_threads() == 1 || num_chunks == 1) {
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      const std::int64_t lo = begin + c * grain;
+      body(c, lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  Region region;
+  region.begin = begin;
+  region.grain = grain;
+  region.num_chunks = num_chunks;
+  region.body = &body;
+
+  in_parallel_region = true;
+  try {
+    pool.Run(region, end);
+  } catch (...) {
+    in_parallel_region = false;
+    throw;
+  }
+  in_parallel_region = false;
+}
+
+}  // namespace
+
+int NumThreads() { return ThreadPool::Instance().num_threads(); }
+
+void SetNumThreads(int n) { ThreadPool::Instance().set_num_threads(n); }
+
+std::int64_t NumChunks(std::int64_t begin, std::int64_t end,
+                       std::int64_t grain) {
+  FLUID_CHECK_MSG(grain >= 1, "NumChunks: grain must be >= 1");
+  return end <= begin ? 0 : (end - begin + grain - 1) / grain;
+}
+
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& body) {
+  RunRegion(begin, end, grain,
+            [&body](std::int64_t, std::int64_t lo, std::int64_t hi) {
+              body(lo, hi);
+            });
+}
+
+void ParallelForEach(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                     const std::function<void(std::int64_t)>& body) {
+  RunRegion(begin, end, grain,
+            [&body](std::int64_t, std::int64_t lo, std::int64_t hi) {
+              for (std::int64_t i = lo; i < hi; ++i) body(i);
+            });
+}
+
+void ParallelForChunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>&
+        body) {
+  RunRegion(begin, end, grain, body);
+}
+
+}  // namespace fluid::core

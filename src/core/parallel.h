@@ -1,0 +1,66 @@
+#pragma once
+// Persistent thread-pool runtime for the compute hot path.
+//
+// Design (what callers may rely on):
+//  * One process-wide pool, lazily started on first use. Worker count
+//    defaults to the hardware concurrency and can be overridden by the
+//    FLUID_NUM_THREADS environment variable or SetNumThreads().
+//  * ParallelFor splits [begin, end) into contiguous chunks at fixed
+//    `grain` granularity. Chunk boundaries depend only on the range and
+//    the grain — never on the thread count — so a caller that does
+//    per-chunk accumulation and reduces the chunks in order gets
+//    bit-identical results at any thread count. Kernels that write
+//    disjoint outputs (GEMM row panels, per-sample conv work, elementwise
+//    ops) are deterministic for free.
+//  * The calling thread participates in the work, so ParallelFor with one
+//    thread (or a range smaller than the grain) runs inline with zero
+//    synchronisation — small tensors never pay for the pool.
+//  * Exceptions thrown by the body are captured; the first one is
+//    rethrown on the calling thread after all chunks finish.
+//  * Nested ParallelFor calls from inside a worker run sequentially
+//    inline (no deadlock, no oversubscription).
+
+#include <cstdint>
+#include <functional>
+
+namespace fluid::core {
+
+/// Worker count the pool will use (≥ 1). Resolution order:
+/// SetNumThreads() override, then FLUID_NUM_THREADS, then
+/// std::thread::hardware_concurrency().
+int NumThreads();
+
+/// Override the pool size (clamped to ≥ 1). Takes effect on the next
+/// ParallelFor; safe to call between parallel regions (tests use this to
+/// compare 1-thread vs N-thread runs). Not thread-safe against concurrent
+/// ParallelFor calls.
+void SetNumThreads(int n);
+
+/// Invoke body(chunk_begin, chunk_end) over contiguous chunks that cover
+/// [begin, end). The range is cut at fixed `grain` boundaries (last chunk
+/// ragged) and chunks are handed to workers dynamically, so load balances
+/// while chunk boundaries stay thread-count-independent. Ranges with
+/// end - begin <= grain run inline on the caller.
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// ParallelFor over single indices: body(i) for i in [begin, end).
+void ParallelForEach(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                     const std::function<void(std::int64_t)>& body);
+
+/// Number of fixed-size chunks ParallelFor-style chunking produces for a
+/// range; callers allocating per-chunk accumulators use this together with
+/// ParallelForChunks.
+std::int64_t NumChunks(std::int64_t begin, std::int64_t end,
+                       std::int64_t grain);
+
+/// Deterministic-reduction variant: the range is cut into exactly
+/// NumChunks(...) chunks of `grain` (last one ragged) and body receives
+/// (chunk_index, chunk_begin, chunk_end). Chunk indices are stable across
+/// thread counts, so reducing per-chunk partials in index order is
+/// bit-reproducible.
+void ParallelForChunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& body);
+
+}  // namespace fluid::core

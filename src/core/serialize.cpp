@@ -94,6 +94,12 @@ Status ByteReader::TryReadBytes(std::vector<std::uint8_t>& out) {
 Status ByteReader::TryReadFloats(std::vector<float>& out) {
   std::uint64_t count = 0;
   FLUID_RETURN_IF_ERROR(TryReadU64(count));
+  // Bound the count before multiplying: count * sizeof(float) can wrap
+  // size_t for a hostile frame, sneaking past Take's remaining() check and
+  // into a throwing resize.
+  if (count > remaining() / sizeof(float)) {
+    return Status::DataLoss("float block larger than remaining input");
+  }
   const std::uint8_t* p = nullptr;
   FLUID_RETURN_IF_ERROR(Take(static_cast<std::size_t>(count) * sizeof(float), p));
   out.resize(static_cast<std::size_t>(count));

@@ -5,6 +5,7 @@
 
 #include "core/error.h"
 #include "core/gemm.h"
+#include "core/parallel.h"
 
 namespace fluid::core {
 
@@ -14,6 +15,10 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
                   std::string(op) + ": shape mismatch " +
                       a.shape().ToString() + " vs " + b.shape().ToString());
 }
+
+// Elementwise kernels below this size run inline; the pool only pays off
+// once a tensor spans several cache lines per worker.
+constexpr std::int64_t kElementGrain = 16384;
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
@@ -22,7 +27,10 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   auto oa = a.data();
   auto ob = b.data();
   auto oo = out.data();
-  for (std::size_t i = 0; i < oo.size(); ++i) oo[i] = oa[i] + ob[i];
+  ParallelFor(0, out.numel(), kElementGrain,
+              [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i) oo[i] = oa[i] + ob[i];
+              });
   return out;
 }
 
@@ -32,7 +40,10 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   auto oa = a.data();
   auto ob = b.data();
   auto oo = out.data();
-  for (std::size_t i = 0; i < oo.size(); ++i) oo[i] = oa[i] - ob[i];
+  ParallelFor(0, out.numel(), kElementGrain,
+              [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i) oo[i] = oa[i] - ob[i];
+              });
   return out;
 }
 
@@ -42,7 +53,10 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   auto oa = a.data();
   auto ob = b.data();
   auto oo = out.data();
-  for (std::size_t i = 0; i < oo.size(); ++i) oo[i] = oa[i] * ob[i];
+  ParallelFor(0, out.numel(), kElementGrain,
+              [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i) oo[i] = oa[i] * ob[i];
+              });
   return out;
 }
 
@@ -50,7 +64,10 @@ Tensor Scale(const Tensor& a, float scalar) {
   Tensor out(a.shape());
   auto oa = a.data();
   auto oo = out.data();
-  for (std::size_t i = 0; i < oo.size(); ++i) oo[i] = oa[i] * scalar;
+  ParallelFor(0, out.numel(), kElementGrain,
+              [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i) oo[i] = oa[i] * scalar;
+              });
   return out;
 }
 
@@ -58,7 +75,10 @@ void Axpy(float alpha, const Tensor& b, Tensor& a) {
   CheckSameShape(a, b, "Axpy");
   auto oa = a.data();
   auto ob = b.data();
-  for (std::size_t i = 0; i < oa.size(); ++i) oa[i] += alpha * ob[i];
+  ParallelFor(0, a.numel(), kElementGrain,
+              [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i) oa[i] += alpha * ob[i];
+              });
 }
 
 double Sum(const Tensor& a) {

@@ -1,0 +1,111 @@
+#include "dist/message.h"
+
+#include "core/serialize.h"
+
+namespace fluid::dist {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x534D4C46;  // "FLMS" little-endian
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kMaxType = static_cast<std::uint8_t>(MsgType::kHeartbeat);
+
+}  // namespace
+
+std::string_view MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "HELLO";
+    case MsgType::kDeploy: return "DEPLOY";
+    case MsgType::kInfer: return "INFER";
+    case MsgType::kResult: return "RESULT";
+    case MsgType::kAck: return "ACK";
+    case MsgType::kError: return "ERROR";
+    case MsgType::kHeartbeat: return "HEARTBEAT";
+  }
+  return "UNKNOWN";
+}
+
+Message Message::WithTensor(MsgType type, std::int64_t seq, std::string tag,
+                            core::Tensor payload) {
+  Message m;
+  m.type = type;
+  m.seq = seq;
+  m.tag = std::move(tag);
+  m.payload = std::move(payload);
+  return m;
+}
+
+Message Message::HeaderOnly(MsgType type, std::int64_t seq, std::string tag) {
+  Message m;
+  m.type = type;
+  m.seq = seq;
+  m.tag = std::move(tag);
+  return m;
+}
+
+std::vector<std::uint8_t> EncodeMessage(const Message& msg) {
+  core::ByteWriter body;
+  body.WriteU8(kVersion);
+  body.WriteU8(static_cast<std::uint8_t>(msg.type));
+  body.WriteI64(msg.seq);
+  body.WriteString(msg.tag);
+  body.WriteU8(msg.has_payload() ? 1 : 0);
+  if (msg.has_payload()) body.WriteTensor(msg.payload);
+
+  core::ByteWriter frame;
+  frame.WriteU32(kMagic);
+  frame.WriteU32(static_cast<std::uint32_t>(body.size()));
+  auto out = frame.TakeBuffer();
+  const auto& b = body.buffer();
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out) {
+  core::ByteReader r(bytes);
+  std::uint32_t magic = 0, body_len = 0;
+  FLUID_RETURN_IF_ERROR(r.TryReadU32(magic));
+  if (magic != kMagic) {
+    return core::Status::DataLoss("Message: bad frame magic");
+  }
+  FLUID_RETURN_IF_ERROR(r.TryReadU32(body_len));
+  if (r.remaining() < body_len) {
+    return core::Status::DataLoss("Message: truncated frame body");
+  }
+
+  std::uint8_t version = 0, type = 0, has_tensor = 0;
+  FLUID_RETURN_IF_ERROR(r.TryReadU8(version));
+  if (version != kVersion) {
+    return core::Status::DataLoss("Message: unsupported version " +
+                                  std::to_string(version));
+  }
+  FLUID_RETURN_IF_ERROR(r.TryReadU8(type));
+  if (type > kMaxType) {
+    return core::Status::InvalidArgument("Message: unknown type " +
+                                         std::to_string(type));
+  }
+
+  Message msg;
+  msg.type = static_cast<MsgType>(type);
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(msg.seq));
+  FLUID_RETURN_IF_ERROR(r.TryReadString(msg.tag));
+  FLUID_RETURN_IF_ERROR(r.TryReadU8(has_tensor));
+  if (has_tensor != 0) {
+    FLUID_RETURN_IF_ERROR(r.TryReadTensor(msg.payload));
+  }
+  out = std::move(msg);
+  return core::Status::Ok();
+}
+
+std::int64_t EncodedSize(const Message& msg) {
+  // frame header (magic + body_len) + fixed body fields.
+  std::int64_t n = 4 + 4 + 1 + 1 + 8 + 4 +
+                   static_cast<std::int64_t>(msg.tag.size()) + 1;
+  if (msg.has_payload()) {
+    // rank + dims + float count + data.
+    n += 4 + 8 * msg.payload.shape().rank() + 8 + 4 * msg.payload.numel();
+  }
+  return n;
+}
+
+}  // namespace fluid::dist

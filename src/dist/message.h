@@ -1,0 +1,68 @@
+#pragma once
+// Wire codec for master↔worker frames.
+//
+// A Message is the unit every transport (in-memory pair, TCP) carries:
+// a small typed header plus an optional tensor payload. Encoding is the
+// library-wide little-endian format of core/serialize.h wrapped in a
+// length-prefixed frame, so a stream reader can split frames without
+// understanding their contents:
+//
+//   [u32 magic "FLMS"] [u32 body_len] [body]
+//   body = [u8 version] [u8 type] [i64 seq] [string tag] [u8 has_tensor]
+//          [tensor?]
+//
+// Decode never throws: corrupt or truncated frames come back as
+// Status::DataLoss so a transport can drop the connection instead of
+// unwinding through the serving loop.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/tensor.h"
+
+namespace fluid::dist {
+
+/// Frame type. Values are wire-stable; append only.
+enum class MsgType : std::uint8_t {
+  kHello = 0,    // worker → master: name + capabilities
+  kDeploy = 1,   // master → worker: model blueprint / weights
+  kInfer = 2,    // master → worker: activation tensor to run
+  kResult = 3,   // worker → master: logits / partial products
+  kAck = 4,      // bare acknowledgement
+  kError = 5,    // peer-side failure, tag carries the reason
+  kHeartbeat = 6,
+};
+
+/// Stable name of a message type (logs, tests).
+std::string_view MsgTypeName(MsgType type);
+
+struct Message {
+  MsgType type = MsgType::kAck;
+  std::int64_t seq = 0;   // correlation id chosen by the sender
+  std::string tag;        // route / model name / error text
+  core::Tensor payload;   // empty when the frame carries no tensor
+
+  bool has_payload() const { return !payload.empty(); }
+
+  static Message WithTensor(MsgType type, std::int64_t seq, std::string tag,
+                            core::Tensor payload);
+  /// Header-only frame (kAck, kHeartbeat, kError, ...).
+  static Message HeaderOnly(MsgType type, std::int64_t seq,
+                            std::string tag = {});
+};
+
+/// Serialize one frame (header + body) into a fresh buffer.
+std::vector<std::uint8_t> EncodeMessage(const Message& msg);
+
+/// Parse one complete frame. Returns DataLoss on bad magic / truncation /
+/// unknown version, InvalidArgument on an out-of-range message type.
+core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out);
+
+/// Bytes EncodeMessage would produce for `msg` without building the buffer
+/// (header + body). Used by the comm-cost accounting in sim/ and bench/.
+std::int64_t EncodedSize(const Message& msg);
+
+}  // namespace fluid::dist

@@ -1,6 +1,7 @@
 #include "nn/im2col.h"
 
 #include "core/error.h"
+#include "core/parallel.h"
 
 namespace fluid::nn {
 
@@ -88,6 +89,51 @@ void Col2Im(std::span<const float> cols, std::int64_t channels,
       }
     }
   }
+}
+
+void Im2ColBatched(std::span<const float> input, std::int64_t batch,
+                   std::int64_t channels, std::int64_t height,
+                   std::int64_t width, std::int64_t c_lo, std::int64_t c_hi,
+                   std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                   std::span<float> cols) {
+  const std::int64_t plane = channels * height * width;
+  const std::int64_t out_h = ConvOutExtent(height, kernel, stride, pad);
+  const std::int64_t out_w = ConvOutExtent(width, kernel, stride, pad);
+  const std::int64_t per_sample = (c_hi - c_lo) * kernel * kernel * out_h * out_w;
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(input.size()) == batch * plane,
+                  "Im2ColBatched input size mismatch");
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(cols.size()) == batch * per_sample,
+                  "Im2ColBatched cols size mismatch");
+  core::ParallelForEach(0, batch, 1, [&](std::int64_t n) {
+    Im2Col(input.subspan(static_cast<std::size_t>(n * plane),
+                         static_cast<std::size_t>(plane)),
+           channels, height, width, c_lo, c_hi, kernel, stride, pad,
+           cols.subspan(static_cast<std::size_t>(n * per_sample),
+                        static_cast<std::size_t>(per_sample)));
+  });
+}
+
+void Col2ImBatched(std::span<const float> cols, std::int64_t batch,
+                   std::int64_t channels, std::int64_t height,
+                   std::int64_t width, std::int64_t c_lo, std::int64_t c_hi,
+                   std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                   std::span<float> grad_input) {
+  const std::int64_t plane = channels * height * width;
+  const std::int64_t out_h = ConvOutExtent(height, kernel, stride, pad);
+  const std::int64_t out_w = ConvOutExtent(width, kernel, stride, pad);
+  const std::int64_t per_sample = (c_hi - c_lo) * kernel * kernel * out_h * out_w;
+  FLUID_CHECK_MSG(
+      static_cast<std::int64_t>(grad_input.size()) == batch * plane,
+      "Col2ImBatched grad_input size mismatch");
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(cols.size()) == batch * per_sample,
+                  "Col2ImBatched cols size mismatch");
+  core::ParallelForEach(0, batch, 1, [&](std::int64_t n) {
+    Col2Im(cols.subspan(static_cast<std::size_t>(n * per_sample),
+                        static_cast<std::size_t>(per_sample)),
+           channels, height, width, c_lo, c_hi, kernel, stride, pad,
+           grad_input.subspan(static_cast<std::size_t>(n * plane),
+                              static_cast<std::size_t>(plane)));
+  });
 }
 
 }  // namespace fluid::nn

@@ -31,4 +31,23 @@ void Col2Im(std::span<const float> cols, std::int64_t channels,
             std::int64_t c_hi, std::int64_t kernel, std::int64_t stride,
             std::int64_t pad, std::span<float> grad_input);
 
+/// Batched Im2Col over `batch` samples, parallelized across the batch via
+/// the core thread pool. `input` is [batch, channels, H, W] contiguous;
+/// `cols` receives one Im2Col block per sample back-to-back:
+/// [batch, (c_hi-c_lo)*k*k * out_h*out_w].
+void Im2ColBatched(std::span<const float> input, std::int64_t batch,
+                   std::int64_t channels, std::int64_t height,
+                   std::int64_t width, std::int64_t c_lo, std::int64_t c_hi,
+                   std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                   std::span<float> cols);
+
+/// Batched Col2Im: scatter-adds each sample's column gradients into its
+/// image-gradient slice, parallelized across the batch (samples are
+/// disjoint, so this is deterministic).
+void Col2ImBatched(std::span<const float> cols, std::int64_t batch,
+                   std::int64_t channels, std::int64_t height,
+                   std::int64_t width, std::int64_t c_lo, std::int64_t c_hi,
+                   std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                   std::span<float> grad_input);
+
 }  // namespace fluid::nn

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/error.h"
+#include "core/parallel.h"
 
 namespace fluid::nn {
 
@@ -13,19 +14,23 @@ core::Tensor Softmax(const core::Tensor& logits) {
   core::Tensor out(logits.shape());
   auto in = logits.data();
   auto o = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* src = in.data() + r * cols;
-    float* dst = o.data() + r * cols;
-    float mx = src[0];
-    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, src[c]);
-    double sum = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      dst[c] = std::exp(src[c] - mx);
-      sum += dst[c];
+  // Rows are independent; each is normalised entirely by one worker, so
+  // the result is identical at any thread count.
+  core::ParallelFor(0, rows, 64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      const float* src = in.data() + r * cols;
+      float* dst = o.data() + r * cols;
+      float mx = src[0];
+      for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, src[c]);
+      double sum = 0.0;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        dst[c] = std::exp(src[c] - mx);
+        sum += dst[c];
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (std::int64_t c = 0; c < cols; ++c) dst[c] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (std::int64_t c = 0; c < cols; ++c) dst[c] *= inv;
-  }
+  });
   return out;
 }
 

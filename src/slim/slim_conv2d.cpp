@@ -5,9 +5,23 @@
 
 #include "core/error.h"
 #include "core/gemm.h"
+#include "core/parallel.h"
 #include "nn/im2col.h"
 
 namespace fluid::slim {
+
+namespace {
+// Same deterministic batch-chunking scheme as nn::Conv2d (see the note
+// there): fixed chunk boundaries + ordered reduction + bounded im2col
+// working set.
+constexpr std::int64_t kBatchChunk = 4;
+
+void EnsureSize(std::vector<float>& buf, std::int64_t n) {
+  if (buf.size() < static_cast<std::size_t>(n)) {
+    buf.resize(static_cast<std::size_t>(n));
+  }
+}
+}  // namespace
 
 SlimConv2d::SlimConv2d(std::int64_t max_in, std::int64_t max_out,
                        std::int64_t kernel, std::int64_t stride,
@@ -55,24 +69,34 @@ core::Tensor SlimConv2d::Forward(const core::Tensor& input,
   }
 
   core::Tensor output({batch, out_ch, out_h, out_w});
-  std::vector<float> cols(static_cast<std::size_t>(patch * area));
   const std::int64_t in_plane = in_w * height * width;
-  for (std::int64_t n = 0; n < batch; ++n) {
-    const auto in_sample = input.data().subspan(
-        static_cast<std::size_t>(n * in_plane),
-        static_cast<std::size_t>(in_plane));
-    // Packed input: lower full channel slice [0, in_w) of the packed tensor.
-    nn::Im2Col(in_sample, in_w, height, width, 0, in_w, kernel_, stride_,
-               pad_, cols);
-    float* out_sample = output.data().data() + n * out_ch * area;
-    core::Gemm(false, false, out_ch, area, patch, 1.0F, wpack.data(), patch,
-               cols.data(), area, 0.0F, out_sample, area);
-    for (std::int64_t o = 0; o < out_ch; ++o) {
-      const float b = bias_.data()[static_cast<std::size_t>(out.lo + o)];
-      float* row = out_sample + o * area;
-      for (std::int64_t i = 0; i < area; ++i) row[i] += b;
-    }
-  }
+  const std::int64_t per_sample = patch * area;
+  // Packed input: lower the full channel slice [0, in_w) of each chunk's
+  // samples into a thread-local buffer, then GEMM per sample.
+  core::ParallelForChunks(
+      0, batch, kBatchChunk,
+      [&](std::int64_t, std::int64_t lo, std::int64_t hi) {
+        const std::int64_t cnt = hi - lo;
+        thread_local std::vector<float> cols;
+        EnsureSize(cols, cnt * per_sample);
+        nn::Im2ColBatched(
+            input.data().subspan(static_cast<std::size_t>(lo * in_plane),
+                                 static_cast<std::size_t>(cnt * in_plane)),
+            cnt, in_w, height, width, 0, in_w, kernel_, stride_, pad_,
+            std::span<float>(cols.data(),
+                             static_cast<std::size_t>(cnt * per_sample)));
+        for (std::int64_t n = lo; n < hi; ++n) {
+          float* out_sample = output.data().data() + n * out_ch * area;
+          core::Gemm(false, false, out_ch, area, patch, 1.0F, wpack.data(),
+                     patch, cols.data() + (n - lo) * per_sample, area, 0.0F,
+                     out_sample, area);
+          for (std::int64_t o = 0; o < out_ch; ++o) {
+            const float b = bias_.data()[static_cast<std::size_t>(out.lo + o)];
+            float* row = out_sample + o * area;
+            for (std::int64_t i = 0; i < area; ++i) row[i] += b;
+          }
+        }
+      });
   if (training) {
     cached_input_ = input;
     cached_in_ = in;
@@ -104,44 +128,70 @@ core::Tensor SlimConv2d::Backward(const core::Tensor& grad_output) {
                 static_cast<std::size_t>(patch) * sizeof(float));
   }
 
-  std::vector<float> gw(static_cast<std::size_t>(out_ch * patch), 0.0F);
   core::Tensor grad_input(is);
-  std::vector<float> cols(static_cast<std::size_t>(patch * area));
-  std::vector<float> grad_cols(static_cast<std::size_t>(patch * area));
   const std::int64_t in_plane = in_w * height * width;
+  const std::int64_t per_sample = patch * area;
 
-  for (std::int64_t n = 0; n < batch; ++n) {
-    const auto in_sample = cached_input_.data().subspan(
-        static_cast<std::size_t>(n * in_plane),
-        static_cast<std::size_t>(in_plane));
-    nn::Im2Col(in_sample, in_w, height, width, 0, in_w, kernel_, stride_,
-               pad_, cols);
-    const float* go_sample = grad_output.data().data() + n * out_ch * area;
+  // Chunked batch accumulation with an ordered reduction, exactly like
+  // nn::Conv2d::Backward — deterministic at any thread count.
+  const std::int64_t chunks = core::NumChunks(0, batch, kBatchChunk);
+  std::vector<float> gw(static_cast<std::size_t>(chunks * out_ch * patch));
+  std::vector<double> gb(static_cast<std::size_t>(chunks * out_ch));
 
-    core::Gemm(false, true, out_ch, patch, area, 1.0F, go_sample, area,
-               cols.data(), area, 1.0F, gw.data(), patch);
+  core::ParallelForChunks(
+      0, batch, kBatchChunk,
+      [&](std::int64_t chunk, std::int64_t lo, std::int64_t hi) {
+        const std::int64_t cnt = hi - lo;
+        float* gw_chunk = gw.data() + chunk * out_ch * patch;
+        double* gb_chunk = gb.data() + chunk * out_ch;
+        thread_local std::vector<float> cols;
+        thread_local std::vector<float> grad_cols;
+        EnsureSize(cols, cnt * per_sample);
+        EnsureSize(grad_cols, cnt * per_sample);
+        nn::Im2ColBatched(
+            cached_input_.data().subspan(
+                static_cast<std::size_t>(lo * in_plane),
+                static_cast<std::size_t>(cnt * in_plane)),
+            cnt, in_w, height, width, 0, in_w, kernel_, stride_, pad_,
+            std::span<float>(cols.data(),
+                             static_cast<std::size_t>(cnt * per_sample)));
+        for (std::int64_t n = lo; n < hi; ++n) {
+          const float* sample_cols = cols.data() + (n - lo) * per_sample;
+          const float* go_sample =
+              grad_output.data().data() + n * out_ch * area;
+          core::Gemm(false, true, out_ch, patch, area, 1.0F, go_sample, area,
+                     sample_cols, area, n == lo ? 0.0F : 1.0F, gw_chunk,
+                     patch);
+          for (std::int64_t o = 0; o < out_ch; ++o) {
+            double s = 0.0;
+            const float* row = go_sample + o * area;
+            for (std::int64_t i = 0; i < area; ++i) s += row[i];
+            gb_chunk[o] += s;
+          }
+          core::Gemm(true, false, patch, area, out_ch, 1.0F, wpack.data(),
+                     patch, go_sample, area, 0.0F,
+                     grad_cols.data() + (n - lo) * per_sample, area);
+        }
+        nn::Col2ImBatched(
+            std::span<const float>(grad_cols.data(),
+                                   static_cast<std::size_t>(cnt * per_sample)),
+            cnt, in_w, height, width, 0, in_w, kernel_, stride_, pad_,
+            grad_input.data().subspan(
+                static_cast<std::size_t>(lo * in_plane),
+                static_cast<std::size_t>(cnt * in_plane)));
+      });
+
+  // Ordered reduction, scattering the packed blocks into the full-width
+  // accumulators.
+  for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
     for (std::int64_t o = 0; o < out_ch; ++o) {
-      double s = 0.0;
-      const float* row = go_sample + o * area;
-      for (std::int64_t i = 0; i < area; ++i) s += row[i];
+      float* dst =
+          weight_grad_.data().data() + ((out.lo + o) * max_in_ + in.lo) * kk;
+      const float* src = gw.data() + (chunk * out_ch + o) * patch;
+      for (std::int64_t j = 0; j < patch; ++j) dst[j] += src[j];
       bias_grad_.data()[static_cast<std::size_t>(out.lo + o)] +=
-          static_cast<float>(s);
+          static_cast<float>(gb[static_cast<std::size_t>(chunk * out_ch + o)]);
     }
-    core::Gemm(true, false, patch, area, out_ch, 1.0F, wpack.data(), patch,
-               go_sample, area, 0.0F, grad_cols.data(), area);
-    auto gi_sample = grad_input.data().subspan(
-        static_cast<std::size_t>(n * in_plane),
-        static_cast<std::size_t>(in_plane));
-    nn::Col2Im(grad_cols, in_w, height, width, 0, in_w, kernel_, stride_,
-               pad_, gi_sample);
-  }
-
-  // Scatter the packed weight-grad block into the full-width accumulator.
-  for (std::int64_t o = 0; o < out_ch; ++o) {
-    float* dst =
-        weight_grad_.data().data() + ((out.lo + o) * max_in_ + in.lo) * kk;
-    const float* src = gw.data() + o * patch;
-    for (std::int64_t j = 0; j < patch; ++j) dst[j] += src[j];
   }
   return grad_input;
 }

@@ -1,9 +1,13 @@
 #include "core/gemm.h"
 
+#include <cmath>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 
 namespace fluid::core {
@@ -74,6 +78,134 @@ INSTANTIATE_TEST_SUITE_P(
         GemmCase{true, false, 8, 2, 9, -1.0F, 0.5F},
         GemmCase{false, true, 1, 1, 32, 1.0F, 0.0F},
         GemmCase{false, false, 1, 64, 1, 1.0F, 0.0F}));
+
+// Property sweep: every transpose combination × shapes from degenerate to
+// multi-block (129 > MC=48 and > 2·NR), × alpha/beta edge cases, with
+// padded (non-trivial) leading dimensions. The padding bytes are seeded
+// with a sentinel and checked untouched afterwards.
+TEST(GemmPropertyTest, AllTransposesShapesTailsAndStrides) {
+  const std::int64_t sizes[] = {1, 3, 17, 64, 129};
+  const struct {
+    float alpha, beta;
+  } scales[] = {{1.0F, 0.0F}, {1.0F, 1.0F}, {-0.5F, 2.5F}, {0.0F, 0.5F}};
+  constexpr float kSentinel = 1234.5F;
+
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      for (const std::int64_t m : sizes) {
+        for (const std::int64_t n : sizes) {
+          for (const std::int64_t k : sizes) {
+            // Skip some of the grid to keep runtime sane; keep every case
+            // where any dimension is a tail (1, 3, 17) plus the big ones.
+            if (m == 64 && n == 64 && k == 17) continue;
+            const auto& sc = scales[static_cast<std::size_t>(
+                (m + 3 * n + 7 * k + (ta ? 1 : 0) + 2 * (tb ? 1 : 0)) % 4)];
+            Rng rng(m * 1000003 + n * 1009 + k + (ta ? 7 : 0) + (tb ? 13 : 0));
+            const std::int64_t pad = (m + n + k) % 5;  // 0..4 extra columns
+            const std::int64_t lda = (ta ? m : k) + pad;
+            const std::int64_t ldb = (tb ? k : n) + pad;
+            const std::int64_t ldc = n + pad;
+            const std::int64_t rows_a = ta ? k : m;
+            const std::int64_t rows_b = tb ? n : k;
+            std::vector<float> a(static_cast<std::size_t>(rows_a * lda),
+                                 kSentinel);
+            std::vector<float> b(static_cast<std::size_t>(rows_b * ldb),
+                                 kSentinel);
+            std::vector<float> c(static_cast<std::size_t>(m * ldc), kSentinel);
+            for (std::int64_t i = 0; i < rows_a; ++i) {
+              for (std::int64_t j = 0; j < (ta ? m : k); ++j) {
+                a[static_cast<std::size_t>(i * lda + j)] =
+                    static_cast<float>(rng.Uniform(-1, 1));
+              }
+            }
+            for (std::int64_t i = 0; i < rows_b; ++i) {
+              for (std::int64_t j = 0; j < (tb ? k : n); ++j) {
+                b[static_cast<std::size_t>(i * ldb + j)] =
+                    static_cast<float>(rng.Uniform(-1, 1));
+              }
+            }
+            for (std::int64_t i = 0; i < m; ++i) {
+              for (std::int64_t j = 0; j < n; ++j) {
+                c[static_cast<std::size_t>(i * ldc + j)] =
+                    static_cast<float>(rng.Uniform(-1, 1));
+              }
+            }
+            std::vector<float> expected = c;
+
+            Gemm(ta, tb, m, n, k, sc.alpha, a.data(), lda, b.data(), ldb,
+                 sc.beta, c.data(), ldc);
+            NaiveGemm(ta, tb, m, n, k, sc.alpha, a, lda, b, ldb, sc.beta,
+                      expected, ldc);
+
+            const std::string where =
+                "ta=" + std::to_string(ta) + " tb=" + std::to_string(tb) +
+                " m=" + std::to_string(m) + " n=" + std::to_string(n) +
+                " k=" + std::to_string(k);
+            float max_err = 0.0F;
+            for (std::int64_t i = 0; i < m; ++i) {
+              for (std::int64_t j = 0; j < n; ++j) {
+                const auto idx = static_cast<std::size_t>(i * ldc + j);
+                max_err = std::max(max_err, std::abs(c[idx] - expected[idx]));
+              }
+              // Stride padding must be untouched.
+              for (std::int64_t j = n; j < ldc; ++j) {
+                ASSERT_EQ(c[static_cast<std::size_t>(i * ldc + j)], kSentinel)
+                    << where << " clobbered C padding at row " << i;
+              }
+            }
+            ASSERT_LE(max_err, 2e-3F) << where;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The old kernel skipped k-steps where alpha*A(i,p) == 0, silently eating
+// NaN/Inf from B (IEEE 754: 0 × NaN = NaN). The blocked kernel must
+// propagate them.
+TEST(GemmTest, ZeroTimesNanPropagates) {
+  const float a[2] = {0.0F, 0.0F};  // row of zeros
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float b[2] = {nan, nan};  // column with NaN
+  float c[1] = {7.0F};
+  Gemm(false, false, 1, 1, 2, 1.0F, a, 2, b, 1, 0.0F, c, 1);
+  EXPECT_TRUE(std::isnan(c[0])) << "0 x NaN must stay NaN, got " << c[0];
+}
+
+TEST(GemmTest, ZeroTimesInfPropagatesNan) {
+  const float a[1] = {0.0F};
+  const float b[1] = {std::numeric_limits<float>::infinity()};
+  float c[1] = {0.0F};
+  Gemm(false, false, 1, 1, 1, 1.0F, a, 1, b, 1, 0.0F, c, 1);
+  EXPECT_TRUE(std::isnan(c[0])) << "0 x Inf must be NaN, got " << c[0];
+}
+
+// Thread-count independence: the kernel partitions work so each C element
+// is accumulated in the same floating-point order at any pool size.
+TEST(GemmDeterminismTest, OneAndFourThreadsAgreeBitwise) {
+  const std::int64_t m = 129, n = 65, k = 200;  // spans several MC/KC blocks
+  Rng rng(99);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.Uniform(-1, 1));
+  std::vector<float> c1(static_cast<std::size_t>(m * n), 0.5F);
+  std::vector<float> c4 = c1;
+
+  const int saved = NumThreads();
+  SetNumThreads(1);
+  Gemm(false, false, m, n, k, 1.25F, a.data(), k, b.data(), n, 0.75F,
+       c1.data(), n);
+  SetNumThreads(4);
+  Gemm(false, false, m, n, k, 1.25F, a.data(), k, b.data(), n, 0.75F,
+       c4.data(), n);
+  SetNumThreads(saved);
+
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    ASSERT_EQ(c1[i], c4[i]) << "thread-count-dependent result at " << i;
+  }
+}
 
 TEST(GemmTest, ZeroSizedDimensionsAreNoOps) {
   float c[4] = {1, 2, 3, 4};

@@ -1,0 +1,140 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace fluid::core {
+namespace {
+
+class ParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = NumThreads(); }
+  void TearDown() override { SetNumThreads(saved_threads_); }
+  int saved_threads_ = 1;
+};
+
+TEST_F(ParallelTest, CoversRangeExactlyOnce) {
+  for (const int threads : {1, 2, 4}) {
+    SetNumThreads(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    ParallelFor(0, 1000, 7, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " @" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelTest, EmptyAndSingleElementRanges) {
+  int calls = 0;
+  ParallelFor(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(3, 4, 10, [&](std::int64_t lo, std::int64_t hi) {
+    EXPECT_EQ(lo, 3);
+    EXPECT_EQ(hi, 4);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ParallelTest, ChunkBoundariesIndependentOfThreadCount) {
+  auto collect = [](int threads) {
+    SetNumThreads(threads);
+    std::vector<std::pair<std::int64_t, std::int64_t>> chunks(
+        static_cast<std::size_t>(NumChunks(0, 103, 10)));
+    ParallelForChunks(0, 103, 10,
+                      [&](std::int64_t c, std::int64_t lo, std::int64_t hi) {
+                        chunks[static_cast<std::size_t>(c)] = {lo, hi};
+                      });
+    return chunks;
+  };
+  const auto one = collect(1);
+  const auto four = collect(4);
+  ASSERT_EQ(one.size(), 11u);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one.front(), (std::pair<std::int64_t, std::int64_t>{0, 10}));
+  EXPECT_EQ(one.back(), (std::pair<std::int64_t, std::int64_t>{100, 103}));
+}
+
+TEST_F(ParallelTest, OrderedChunkReductionIsBitReproducible) {
+  std::vector<float> values(10000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0F / static_cast<float>(i + 1);
+  }
+  auto reduce = [&](int threads) {
+    SetNumThreads(threads);
+    const std::int64_t n = static_cast<std::int64_t>(values.size());
+    std::vector<float> partial(static_cast<std::size_t>(NumChunks(0, n, 128)));
+    ParallelForChunks(0, n, 128,
+                      [&](std::int64_t c, std::int64_t lo, std::int64_t hi) {
+                        float s = 0.0F;
+                        for (std::int64_t i = lo; i < hi; ++i) {
+                          s += values[static_cast<std::size_t>(i)];
+                        }
+                        partial[static_cast<std::size_t>(c)] = s;
+                      });
+    float total = 0.0F;
+    for (const float p : partial) total += p;
+    return total;
+  };
+  const float t1 = reduce(1);
+  const float t4 = reduce(4);
+  EXPECT_EQ(t1, t4);  // bitwise: same chunking, same reduction order
+}
+
+TEST_F(ParallelTest, PropagatesBodyException) {
+  SetNumThreads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 100, 1,
+                  [&](std::int64_t lo, std::int64_t) {
+                    if (lo == 57) throw Error("boom");
+                  }),
+      Error);
+  // The pool must stay usable after an exception.
+  std::atomic<std::int64_t> sum{0};
+  ParallelForEach(0, 10, 1, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInline) {
+  SetNumThreads(4);
+  std::atomic<int> total{0};
+  ParallelForEach(0, 8, 1, [&](std::int64_t) {
+    // Nested region: must not deadlock, must still cover its range.
+    ParallelFor(0, 10, 2, [&](std::int64_t lo, std::int64_t hi) {
+      total.fetch_add(static_cast<int>(hi - lo));
+    });
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST_F(ParallelTest, SetNumThreadsClampsToOne) {
+  SetNumThreads(0);
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(-3);
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+}
+
+TEST_F(ParallelTest, ParallelForEachVisitsEveryIndex) {
+  SetNumThreads(2);
+  std::vector<std::atomic<int>> hits(57);
+  ParallelForEach(0, 57, 5, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+}  // namespace
+}  // namespace fluid::core

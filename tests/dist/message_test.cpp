@@ -1,0 +1,76 @@
+#include "dist/message.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace fluid::dist {
+namespace {
+
+TEST(MessageTest, RoundTripsTensorPayload) {
+  core::Rng rng(1);
+  const core::Tensor t = core::Tensor::UniformRandom({2, 3, 4}, rng, -1, 1);
+  const Message msg = Message::WithTensor(MsgType::kInfer, 42, "stage1", t);
+
+  const auto bytes = EncodeMessage(msg);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), EncodedSize(msg));
+
+  Message out;
+  ASSERT_TRUE(DecodeMessage(bytes, out).ok());
+  EXPECT_EQ(out.type, MsgType::kInfer);
+  EXPECT_EQ(out.seq, 42);
+  EXPECT_EQ(out.tag, "stage1");
+  ASSERT_EQ(out.payload.shape(), t.shape());
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(out.payload.at(i), t.at(i));
+  }
+}
+
+TEST(MessageTest, RoundTripsHeaderOnly) {
+  const Message msg = Message::HeaderOnly(MsgType::kHeartbeat, 7);
+  const auto bytes = EncodeMessage(msg);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), EncodedSize(msg));
+  Message out;
+  ASSERT_TRUE(DecodeMessage(bytes, out).ok());
+  EXPECT_EQ(out.type, MsgType::kHeartbeat);
+  EXPECT_EQ(out.seq, 7);
+  EXPECT_TRUE(out.tag.empty());
+  EXPECT_FALSE(out.has_payload());
+}
+
+TEST(MessageTest, RejectsBadMagic) {
+  auto bytes = EncodeMessage(Message::HeaderOnly(MsgType::kAck, 1));
+  bytes[0] ^= 0xFF;
+  Message out;
+  const auto st = DecodeMessage(bytes, out);
+  EXPECT_EQ(st.code(), core::StatusCode::kDataLoss);
+}
+
+TEST(MessageTest, RejectsTruncatedFrame) {
+  core::Rng rng(2);
+  const auto bytes = EncodeMessage(Message::WithTensor(
+      MsgType::kResult, 3, "x", core::Tensor::UniformRandom({8}, rng, 0, 1)));
+  for (const std::size_t cut : {std::size_t{3}, std::size_t{9},
+                                bytes.size() - 1}) {
+    Message out;
+    const auto st = DecodeMessage(
+        std::span<const std::uint8_t>(bytes.data(), cut), out);
+    EXPECT_FALSE(st.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(MessageTest, RejectsUnknownType) {
+  auto bytes = EncodeMessage(Message::HeaderOnly(MsgType::kAck, 1));
+  bytes[9] = 0x7F;  // type byte: magic(4) + len(4) + version(1)
+  Message out;
+  const auto st = DecodeMessage(bytes, out);
+  EXPECT_EQ(st.code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(MessageTest, MsgTypeNamesAreStable) {
+  EXPECT_EQ(MsgTypeName(MsgType::kInfer), "INFER");
+  EXPECT_EQ(MsgTypeName(MsgType::kHeartbeat), "HEARTBEAT");
+}
+
+}  // namespace
+}  // namespace fluid::dist

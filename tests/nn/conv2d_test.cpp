@@ -1,8 +1,11 @@
 #include "nn/conv2d.h"
 
+#include <tuple>
+
 #include <gtest/gtest.h>
 
 #include "core/error.h"
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "core/tensor_ops.h"
 #include "nn/im2col.h"
@@ -143,6 +146,27 @@ TEST(Conv2dTest, ParamsAreNamedAndShaped) {
   EXPECT_EQ(params[0].value->shape(), core::Shape({4, 2, 3, 3}));
   EXPECT_EQ(params[1].name, "conv7.bias");
   EXPECT_EQ(params[1].value->shape(), core::Shape({4}));
+}
+
+TEST(Conv2dTest, ForwardAndBackwardBitwiseStableAcrossThreadCounts) {
+  const int saved = core::NumThreads();
+  auto run = [](int threads) {
+    core::SetNumThreads(threads);
+    core::Rng rng(11);
+    Conv2d conv(3, 5, 3, 1, 1, rng, "c");
+    core::Tensor input = core::Tensor::UniformRandom({9, 3, 8, 8}, rng, -1, 1);
+    core::Tensor out = conv.Forward(input, true);
+    core::Tensor gin =
+        conv.Backward(core::Tensor::Ones({9, 5, 8, 8}));
+    return std::tuple<core::Tensor, core::Tensor, core::Tensor>(
+        std::move(out), std::move(gin), conv.Params()[0].grad->Clone());
+  };
+  const auto [out1, gin1, gw1] = run(1);
+  const auto [out4, gin4, gw4] = run(4);
+  core::SetNumThreads(saved);
+  EXPECT_EQ(core::MaxAbsDiff(out1, out4), 0.0F);
+  EXPECT_EQ(core::MaxAbsDiff(gin1, gin4), 0.0F);
+  EXPECT_EQ(core::MaxAbsDiff(gw1, gw4), 0.0F);
 }
 
 TEST(Conv2dTest, GradAccumulatesAcrossBackwards) {
