@@ -10,19 +10,34 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
 
+# Fail loudly when the benchmark target is missing or broken (e.g.
+# google-benchmark not found at configure time, or micro_ops.cpp does not
+# compile) instead of silently recording nothing — or worse, silently
+# benchmarking a stale binary from an earlier build.
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-cmake --build "${build_dir}" -j "$(nproc)" --target micro_ops
+if ! cmake --build "${build_dir}" -j "$(nproc)" --target micro_ops; then
+  echo "error: building micro_ops failed." >&2
+  echo "       Is google-benchmark installed? (find_package(benchmark))" >&2
+  exit 1
+fi
+if [[ ! -x "${build_dir}/micro_ops" ]]; then
+  echo "error: ${build_dir}/micro_ops was not produced by the build." >&2
+  exit 1
+fi
 
 filter='BM_Gemm|BM_Conv2dForward'
-tmp1="$(mktemp)" tmp4="$(mktemp)"
-trap 'rm -f "${tmp1}" "${tmp4}"' EXIT
+tmp1="$(mktemp)" tmp4="$(mktemp)" merged=""
+trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"}' EXIT
 
 FLUID_NUM_THREADS=1 "${build_dir}/micro_ops" \
   --benchmark_filter="${filter}" --benchmark_format=json "$@" > "${tmp1}"
 FLUID_NUM_THREADS=4 "${build_dir}/micro_ops" \
   --benchmark_filter="${filter}" --benchmark_format=json "$@" > "${tmp4}"
 
-python3 - "${tmp1}" "${tmp4}" > "${repo_root}/BENCH_gemm.json" <<'EOF'
+# Merge into a temp file and move into place only on success, so a failed
+# run never truncates the tracked baseline.
+merged="$(mktemp)"
+python3 - "${tmp1}" "${tmp4}" > "${merged}" <<'EOF'
 import json, sys
 one, four = (json.load(open(p)) for p in sys.argv[1:3])
 json.dump({
@@ -31,5 +46,6 @@ json.dump({
     "threads_4": four["benchmarks"],
 }, sys.stdout, indent=1)
 EOF
+mv "${merged}" "${repo_root}/BENCH_gemm.json"
 
 echo "wrote ${repo_root}/BENCH_gemm.json"

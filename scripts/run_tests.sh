@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, run every test. Exits non-zero on any
+# configure/build/test failure so CI and the PR driver can gate on it.
+#
+# Usage: scripts/run_tests.sh [ctest args...]
+#   e.g. scripts/run_tests.sh -R MasterWorker
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j "$(nproc)"
+
+if ! ls "${build_dir}"/fluid_*_tests >/dev/null 2>&1; then
+  echo "error: no test binaries were built (GTest missing?)" >&2
+  exit 1
+fi
+
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"

@@ -108,11 +108,6 @@ inline void WriteBack(const float* acc, float alpha, std::int64_t rows,
 thread_local std::vector<float> tl_apack;
 thread_local std::vector<float> tl_bpack;
 
-void EnsureSize(std::vector<float>& buf, std::int64_t n) {
-  if (buf.size() < static_cast<std::size_t>(n)) {
-    buf.resize(static_cast<std::size_t>(n));
-  }
-}
 
 }  // namespace
 
@@ -146,7 +141,7 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
   // each (jc, pc) block finishes before the next is packed, so sharing the
   // caller's thread-local buffer is safe.
   auto& bpack = tl_bpack;
-  EnsureSize(bpack, std::min(KC, k) * ((std::min(NC, n) + NR - 1) / NR * NR));
+  core::EnsureScratch(bpack, std::min(KC, k) * ((std::min(NC, n) + NR - 1) / NR * NR));
   const std::int64_t m_blocks = (m + MC - 1) / MC;
 
   for (std::int64_t jc = 0; jc < n; jc += NC) {
@@ -164,7 +159,7 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
         const std::int64_t mc = std::min(MC, m - ic);
         const std::int64_t mc_padded = (mc + MR - 1) / MR * MR;
         auto& apack = tl_apack;
-        EnsureSize(apack, mc_padded * kc);
+        core::EnsureScratch(apack, mc_padded * kc);
         PackA(a, lda, trans_a, ic, pc, mc, kc, apack.data());
 
         alignas(64) float acc[MR * NR];

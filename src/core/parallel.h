@@ -22,8 +22,18 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace fluid::core {
+
+/// Grow-only resize for the thread_local scratch buffers of the blocked
+/// kernels (GEMM packing, im2col columns): never shrinks, so a steady-state
+/// serving loop stops allocating after the first batch of each shape.
+inline void EnsureScratch(std::vector<float>& buf, std::int64_t n) {
+  if (buf.size() < static_cast<std::size_t>(n)) {
+    buf.resize(static_cast<std::size_t>(n));
+  }
+}
 
 /// Worker count the pool will use (≥ 1). Resolution order:
 /// SetNumThreads() override, then FLUID_NUM_THREADS, then

@@ -1,0 +1,143 @@
+#include "dist/blueprint.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/pooling.h"
+
+namespace fluid::dist {
+
+namespace {
+constexpr std::uint8_t kBlueprintVersion = 1;
+}  // namespace
+
+ModelBlueprint ModelBlueprint::Standalone(const slim::FluidNetConfig& config,
+                                          std::int64_t width) {
+  ModelBlueprint bp;
+  bp.kind = Kind::kStandalone;
+  bp.config = config;
+  bp.width = width;
+  return bp;
+}
+
+ModelBlueprint ModelBlueprint::PipelineBack(const slim::FluidNetConfig& config,
+                                            std::int64_t width,
+                                            std::int64_t cut_stage) {
+  ModelBlueprint bp;
+  bp.kind = Kind::kPipelineBack;
+  bp.config = config;
+  bp.width = width;
+  bp.cut_stage = cut_stage;
+  return bp;
+}
+
+nn::Sequential ModelBlueprint::Build() const {
+  FLUID_CHECK_MSG(width > 0, "ModelBlueprint: width must be positive");
+  const std::int64_t first =
+      (kind == Kind::kStandalone) ? 0 : cut_stage;
+  FLUID_CHECK_MSG(first >= 0 && first < config.num_conv_layers,
+                  "ModelBlueprint: cut_stage out of range");
+  core::Rng dummy(0);  // weights arrive via LoadState
+  nn::Sequential model;
+  for (std::int64_t i = first; i < config.num_conv_layers; ++i) {
+    const std::int64_t in_ch =
+        (kind == Kind::kStandalone && i == 0) ? config.image_channels : width;
+    model.Emplace<nn::Conv2d>(in_ch, width, config.kernel, config.stride,
+                              config.pad, dummy, "conv" + std::to_string(i + 1));
+    model.Emplace<nn::LeakyReLU>(config.relu_leak);
+    model.Emplace<nn::MaxPool2d>(config.pool);
+  }
+  model.Emplace<nn::Flatten>();
+  model.Emplace<nn::Dense>(width * config.FeaturesPerChannel(),
+                           config.num_classes, dummy, "fc");
+  return model;
+}
+
+void ModelBlueprint::Encode(core::ByteWriter& w) const {
+  w.WriteU8(kBlueprintVersion);
+  w.WriteU8(static_cast<std::uint8_t>(kind));
+  w.WriteI64(config.image_channels);
+  w.WriteI64(config.image_size);
+  w.WriteI64(config.num_classes);
+  w.WriteI64(config.kernel);
+  w.WriteI64(config.stride);
+  w.WriteI64(config.pad);
+  w.WriteI64(config.pool);
+  w.WriteI64(config.num_conv_layers);
+  w.WriteF32(config.relu_leak);
+  w.WriteI64(width);
+  w.WriteI64(cut_stage);
+}
+
+core::Status ModelBlueprint::Decode(core::ByteReader& r, ModelBlueprint& out) {
+  std::uint8_t version = 0, kind = 0;
+  FLUID_RETURN_IF_ERROR(r.TryReadU8(version));
+  if (version != kBlueprintVersion) {
+    return core::Status::DataLoss("ModelBlueprint: unsupported version " +
+                                  std::to_string(version));
+  }
+  FLUID_RETURN_IF_ERROR(r.TryReadU8(kind));
+  if (kind > static_cast<std::uint8_t>(Kind::kPipelineBack)) {
+    return core::Status::DataLoss("ModelBlueprint: unknown kind " +
+                                  std::to_string(kind));
+  }
+  ModelBlueprint bp;
+  bp.kind = static_cast<Kind>(kind);
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(bp.config.image_channels));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(bp.config.image_size));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(bp.config.num_classes));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(bp.config.kernel));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(bp.config.stride));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(bp.config.pad));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(bp.config.pool));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(bp.config.num_conv_layers));
+  FLUID_RETURN_IF_ERROR(r.TryReadF32(bp.config.relu_leak));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(bp.width));
+  FLUID_RETURN_IF_ERROR(r.TryReadI64(bp.cut_stage));
+  // Bound magnitudes as well as signs: a corrupt-but-positive width must
+  // be rejected here, not discovered as std::bad_alloc inside Build().
+  constexpr std::int64_t kMaxExtent = 1 << 16;
+  if (bp.width <= 0 || bp.width > kMaxExtent ||
+      bp.config.num_conv_layers <= 0 || bp.config.num_conv_layers > 64 ||
+      bp.config.num_classes <= 0 || bp.config.num_classes > kMaxExtent ||
+      bp.config.image_channels <= 0 || bp.config.image_channels > kMaxExtent ||
+      bp.config.image_size <= 0 || bp.config.image_size > kMaxExtent ||
+      bp.config.kernel <= 0 || bp.config.kernel > 1024 ||
+      bp.config.stride <= 0 || bp.config.pad < 0 || bp.config.pool <= 0 ||
+      bp.cut_stage < 0 ||
+      (bp.kind == Kind::kPipelineBack &&
+       bp.cut_stage >= bp.config.num_conv_layers)) {
+    return core::Status::DataLoss("ModelBlueprint: implausible geometry");
+  }
+  out = bp;
+  return core::Status::Ok();
+}
+
+std::string DeployRequest::EncodeToTag() const {
+  core::ByteWriter w;
+  w.WriteString(name);
+  blueprint.Encode(w);
+  const auto state_bytes = nn::SerializeState(state);
+  w.WriteBytes(state_bytes);
+  const auto& buf = w.buffer();
+  return std::string(reinterpret_cast<const char*>(buf.data()), buf.size());
+}
+
+core::Status DeployRequest::DecodeFromTag(const std::string& tag,
+                                          DeployRequest& out) {
+  core::ByteReader r(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(tag.data()), tag.size()));
+  DeployRequest req;
+  FLUID_RETURN_IF_ERROR(r.TryReadString(req.name));
+  FLUID_RETURN_IF_ERROR(ModelBlueprint::Decode(r, req.blueprint));
+  std::vector<std::uint8_t> state_bytes;
+  FLUID_RETURN_IF_ERROR(r.TryReadBytes(state_bytes));
+  auto state = nn::ParseState(state_bytes);
+  if (!state.ok()) return state.status();
+  req.state = std::move(*state);
+  out = std::move(req);
+  return core::Status::Ok();
+}
+
+}  // namespace fluid::dist

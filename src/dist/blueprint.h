@@ -1,0 +1,63 @@
+#pragma once
+// ModelBlueprint: the architecture half of a deployment.
+//
+// A deploy ships two things to a worker: a recipe for *building* the model
+// (this blueprint — pure architecture, a few integers) and the weights (an
+// nn::StateDict). Shipping the recipe instead of code keeps the worker
+// generic: it can host any slice the master extracts — a standalone
+// sub-network of any width, or the back half of the Static pipeline —
+// without knowing about slimmable stores at all.
+
+#include <cstdint>
+#include <string>
+
+#include "core/error.h"
+#include "core/serialize.h"
+#include "nn/checkpoint.h"
+#include "nn/sequential.h"
+#include "slim/fluid_model.h"
+
+namespace fluid::dist {
+
+struct ModelBlueprint {
+  enum class Kind : std::uint8_t {
+    kStandalone = 0,    // full net input → logits at a fixed width
+    kPipelineBack = 1,  // conv stages [cut_stage, n) + classifier
+  };
+
+  Kind kind = Kind::kStandalone;
+  slim::FluidNetConfig config;
+  std::int64_t width = 0;
+  std::int64_t cut_stage = 0;  // meaningful for kPipelineBack only
+
+  /// A standalone model at `width` channels (e.g. the upper-50 % slice a
+  /// worker keeps serving after the master dies — paper Fig. 1c).
+  static ModelBlueprint Standalone(const slim::FluidNetConfig& config,
+                                   std::int64_t width);
+
+  /// The worker half of the Static pipeline: conv stages [cut_stage, n)
+  /// plus the classifier, consuming the front half's activation.
+  static ModelBlueprint PipelineBack(const slim::FluidNetConfig& config,
+                                     std::int64_t width, std::int64_t cut_stage);
+
+  /// Instantiate the architecture (weights uninitialised — LoadState next).
+  /// Layer names match train::BuildConvNet / train::SplitConvNet so the
+  /// master's ExtractState dict loads strictly, catching layout drift.
+  nn::Sequential Build() const;
+
+  void Encode(core::ByteWriter& w) const;
+  static core::Status Decode(core::ByteReader& r, ModelBlueprint& out);
+};
+
+/// Everything one kDeploy frame carries, packed into the frame tag (the
+/// tag is length-prefixed and binary-safe end to end).
+struct DeployRequest {
+  std::string name;  // deployment name the master will route by
+  ModelBlueprint blueprint;
+  nn::StateDict state;
+
+  std::string EncodeToTag() const;
+  static core::Status DecodeFromTag(const std::string& tag, DeployRequest& out);
+};
+
+}  // namespace fluid::dist

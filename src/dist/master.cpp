@@ -1,0 +1,244 @@
+#include "dist/master.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace fluid::dist {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+MasterNode::MasterNode(slim::FluidNetConfig config) : config_(config) {}
+
+std::size_t MasterNode::AttachWorker(TransportPtr transport) {
+  FLUID_CHECK_MSG(transport != nullptr, "AttachWorker: null transport");
+  WorkerHandle handle;
+  handle.transport = std::move(transport);
+  workers_.push_back(std::move(handle));
+  return workers_.size() - 1;
+}
+
+std::size_t MasterNode::AliveWorkers() const {
+  std::size_t n = 0;
+  for (const auto& w : workers_) n += w.alive ? 1 : 0;
+  return n;
+}
+
+bool MasterNode::WorkerAlive(std::size_t index) const {
+  return index < workers_.size() && workers_[index].alive;
+}
+
+void MasterNode::DeployLocal(std::string name, nn::Sequential model) {
+  local_[std::move(name)] = std::move(model);
+}
+
+core::Status MasterNode::DeployToWorker(const std::string& name,
+                                        const ModelBlueprint& blueprint,
+                                        const nn::StateDict& state,
+                                        std::chrono::milliseconds timeout,
+                                        std::size_t worker) {
+  if (worker >= workers_.size()) {
+    return core::Status::InvalidArgument("DeployToWorker: no worker " +
+                                         std::to_string(worker));
+  }
+  DeployRequest req;
+  req.name = name;
+  req.blueprint = blueprint;
+  req.state = state;
+  auto reply = Rpc(worker,
+                   Message::HeaderOnly(MsgType::kDeploy, 0, req.EncodeToTag()),
+                   timeout);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == MsgType::kError) {
+    return core::Status::Internal("DeployToWorker: worker rejected '" + name +
+                                  "': " + reply->tag);
+  }
+  if (reply->type != MsgType::kAck) {
+    return core::Status::Internal("DeployToWorker: unexpected reply " +
+                                  std::string(MsgTypeName(reply->type)));
+  }
+  workers_[worker].deployments.push_back(name);
+  return core::Status::Ok();
+}
+
+bool MasterNode::WorkerHasDeployment(std::size_t w,
+                                     const std::string& name) const {
+  const auto& d = workers_[w].deployments;
+  return std::find(d.begin(), d.end(), name) != d.end();
+}
+
+void MasterNode::MarkDead(std::size_t w, const core::Status& why) {
+  if (!workers_[w].alive) return;
+  workers_[w].alive = false;
+  FLUID_LOG(Warn) << "master: worker[" << w << "] ("
+                  << workers_[w].transport->Describe()
+                  << ") marked dead: " << why.ToString();
+}
+
+core::StatusOr<Message> MasterNode::Rpc(std::size_t w, Message msg,
+                                        std::chrono::milliseconds timeout) {
+  auto& handle = workers_[w];
+  if (!handle.alive) {
+    return core::Status::Unavailable("worker[" + std::to_string(w) + "] dead");
+  }
+  const auto deadline = Clock::now() + timeout;
+  msg.seq = next_seq_++;
+  auto st = handle.transport->Send(msg);
+  if (!st.ok()) {
+    MarkDead(w, st);
+    return st;
+  }
+  for (;;) {
+    Message reply;
+    st = handle.transport->Recv(reply, RemainingMs(deadline));
+    if (!st.ok()) {
+      // Timeout, peer death and stream corruption all mean this worker
+      // cannot be trusted to answer: fail over rather than wait.
+      MarkDead(w, st);
+      return st;
+    }
+    if (reply.type == MsgType::kHello) {
+      handle.name = reply.tag;
+      continue;
+    }
+    if (reply.seq != msg.seq) continue;  // stale reply from an abandoned RPC
+    return reply;
+  }
+}
+
+core::StatusOr<InferReply> MasterNode::ServeLocal(const std::string& name,
+                                                  const core::Tensor& input) {
+  const auto it = local_.find(name);
+  if (it == local_.end()) {
+    return core::Status::NotFound("master has no local deployment '" + name +
+                                  "'");
+  }
+  InferReply reply;
+  reply.logits = it->second.Forward(input, false);
+  reply.served_by = "master:" + name;
+  ++stats_.served_local;
+  return reply;
+}
+
+core::StatusOr<InferReply> MasterNode::ServeRemote(
+    std::size_t w, const std::string& name, const core::Tensor& input,
+    std::chrono::milliseconds timeout) {
+  auto reply =
+      Rpc(w, Message::WithTensor(MsgType::kInfer, 0, name, input), timeout);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == MsgType::kError) {
+    return core::Status::Internal("worker[" + std::to_string(w) +
+                                  "] failed '" + name + "': " + reply->tag);
+  }
+  if (reply->type != MsgType::kResult || !reply->has_payload()) {
+    return core::Status::Internal("worker[" + std::to_string(w) +
+                                  "]: malformed result");
+  }
+  InferReply out;
+  out.logits = std::move(reply->payload);
+  out.served_by = "worker[" + std::to_string(w) + "]:" + name;
+  ++stats_.served_remote;
+  return out;
+}
+
+core::StatusOr<InferReply> MasterNode::Infer(const core::Tensor& input,
+                                             std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+
+  // HighAccuracy: the full-width pipeline, while its back worker lives.
+  if (mode_ == sim::Mode::kHighAccuracy && !plan_.pipeline_front.empty() &&
+      !plan_.pipeline_back.empty() && WorkerAlive(plan_.back_worker) &&
+      local_.count(plan_.pipeline_front) != 0) {
+    core::Tensor cut = local_[plan_.pipeline_front].Forward(input, false);
+    auto reply = Rpc(plan_.back_worker,
+                     Message::WithTensor(MsgType::kInfer, 0,
+                                         plan_.pipeline_back, std::move(cut)),
+                     RemainingMs(deadline));
+    if (reply.ok() && reply->type == MsgType::kResult && reply->has_payload()) {
+      InferReply out;
+      out.logits = std::move(reply->payload);
+      out.served_by = "pipeline:" + plan_.pipeline_front + "+" +
+                      plan_.pipeline_back + "@worker[" +
+                      std::to_string(plan_.back_worker) + "]";
+      ++stats_.served_pipeline;
+      return out;
+    }
+    // The back half is gone (or answered garbage): this request fails over
+    // to the master's own resident slice below.
+    ++stats_.failovers;
+    FLUID_LOG(Warn) << "master: pipeline failed ("
+                    << (reply.ok() ? "bad reply" : reply.status().ToString())
+                    << "), failing over to standalone";
+  }
+
+  // HighThroughput fan-out (and the failover target for every other path):
+  // round-robin over the master's resident slice and every live worker
+  // that hosts the worker-resident slice.
+  struct Target {
+    bool remote;
+    std::size_t worker;
+  };
+  std::vector<Target> targets;
+  if (!plan_.master_standalone.empty() &&
+      local_.count(plan_.master_standalone) != 0) {
+    targets.push_back({false, 0});
+  }
+  if (!plan_.worker_standalone.empty()) {
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (workers_[w].alive && WorkerHasDeployment(w, plan_.worker_standalone)) {
+        targets.push_back({true, w});
+      }
+    }
+  }
+  if (targets.empty()) {
+    return core::Status::Unavailable(
+        "master: no live deployment can serve (plan empty or every device "
+        "dead)");
+  }
+
+  // Serve from the round-robin target; if a remote dies mid-request, fail
+  // over through every remaining candidate (paper Fig. 1b, "no request
+  // dropped") — the local slice if present, else the other live workers.
+  const std::size_t start = round_robin_++;
+  core::Status last = core::Status::Unavailable("master: no target tried");
+  for (std::size_t attempt = 0; attempt < targets.size(); ++attempt) {
+    const Target t = targets[(start + attempt) % targets.size()];
+    if (!t.remote) {
+      // Local compute needs no link budget; serving late beats dropping.
+      return ServeLocal(plan_.master_standalone, input);
+    }
+    if (!workers_[t.worker].alive) continue;  // died earlier this request
+    if (RemainingMs(deadline).count() == 0) {
+      // The caller's budget is spent: attempting an RPC now would time out
+      // instantly and wrongly condemn a healthy worker. Skip remotes (a
+      // local target later in the rotation may still serve).
+      last = core::Status::DeadlineExceeded(
+          "master: Infer deadline exhausted before a remote could serve");
+      continue;
+    }
+    auto remote = ServeRemote(t.worker, plan_.worker_standalone, input,
+                              RemainingMs(deadline));
+    if (remote.ok()) return remote;
+    ++stats_.failovers;
+    last = remote.status();
+  }
+  return last;
+}
+
+std::size_t MasterNode::ProbeWorkers(std::chrono::milliseconds timeout) {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!workers_[w].alive) continue;
+    auto reply =
+        Rpc(w, Message::HeaderOnly(MsgType::kHeartbeat, 0), timeout);
+    if (!reply.ok()) continue;  // Rpc already marked it dead
+    if (reply->type != MsgType::kAck) {
+      MarkDead(w, core::Status::Internal("heartbeat answered with " +
+                                         std::string(MsgTypeName(reply->type))));
+    }
+  }
+  return AliveWorkers();
+}
+
+}  // namespace fluid::dist

@@ -1,0 +1,130 @@
+#pragma once
+// MasterNode: the device that owns the trained Fluid store, deploys slices,
+// and serves inference requests with failover.
+//
+// The master holds local deployments (its own resident sub-networks plus
+// the pipeline front) and talks to one or more WorkerNodes over Transports.
+// Request routing implements the paper's two modes:
+//
+//   HighAccuracy  — pipeline: run the front half locally, ship the cut
+//                   activation to the worker hosting the back half, return
+//                   its logits. Full-width accuracy, link-bound throughput.
+//   HighThroughput — fan-out: every device serves a self-sufficient
+//                   standalone slice; requests round-robin across the
+//                   master's resident model and every live worker.
+//
+// Failover (paper Fig. 1b): any transport-level failure marks that worker
+// dead and the request is re-served from the master's resident slice in
+// the same Infer call — the caller never sees the failure. The master is
+// driven from a single serving thread; it is not internally locked.
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "dist/blueprint.h"
+#include "dist/transport.h"
+#include "nn/checkpoint.h"
+#include "nn/sequential.h"
+#include "sim/scenario.h"
+#include "slim/fluid_model.h"
+
+namespace fluid::dist {
+
+/// Which deployment serves which role. Names refer to deployments made via
+/// DeployLocal / DeployToWorker; empty names disable that role.
+struct Plan {
+  std::string master_standalone;  // master-resident self-sufficient slice
+  std::string worker_standalone;  // worker-resident self-sufficient slice
+  std::string pipeline_front;     // local front half (HighAccuracy mode)
+  std::string pipeline_back;      // remote back half (HighAccuracy mode)
+  std::size_t back_worker = 0;    // which worker hosts pipeline_back
+};
+
+struct InferReply {
+  core::Tensor logits;
+  std::string served_by;  // e.g. "master:lower50", "worker[1]:upper50"
+};
+
+struct MasterStats {
+  std::int64_t served_local = 0;     // master-resident standalone
+  std::int64_t served_remote = 0;    // worker-resident standalone
+  std::int64_t served_pipeline = 0;  // HA front+back pipeline
+  std::int64_t failovers = 0;        // requests re-served after a worker died
+};
+
+class MasterNode {
+ public:
+  explicit MasterNode(slim::FluidNetConfig config);
+
+  /// Adopt a connected transport as the next worker. Returns its index.
+  std::size_t AttachWorker(TransportPtr transport);
+
+  std::size_t num_workers() const { return workers_.size(); }
+  /// Workers currently believed alive (updated lazily by failed RPCs and
+  /// eagerly by ProbeWorkers).
+  std::size_t AliveWorkers() const;
+  bool WorkerAlive(std::size_t index) const;
+
+  /// Host a model on the master itself.
+  void DeployLocal(std::string name, nn::Sequential model);
+
+  /// Ship blueprint + weights to worker `worker` and wait for its ack.
+  core::Status DeployToWorker(
+      const std::string& name, const ModelBlueprint& blueprint,
+      const nn::StateDict& state,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(2000),
+      std::size_t worker = 0);
+
+  void SetPlan(Plan plan) { plan_ = std::move(plan); }
+  const Plan& plan() const { return plan_; }
+
+  void SetMode(sim::Mode mode) { mode_ = mode; }
+  sim::Mode mode() const { return mode_; }
+
+  /// Serve one input ([N, C, S, S]) under the current mode with failover.
+  /// Fails only when no deployment anywhere can answer within `timeout`.
+  core::StatusOr<InferReply> Infer(const core::Tensor& input,
+                                   std::chrono::milliseconds timeout);
+
+  /// Heartbeat every believed-alive worker; mark non-responders dead.
+  /// Returns the number still alive. Used by the Orchestrator tick.
+  std::size_t ProbeWorkers(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(250));
+
+  const MasterStats& stats() const { return stats_; }
+  const slim::FluidNetConfig& config() const { return config_; }
+
+ private:
+  struct WorkerHandle {
+    TransportPtr transport;
+    std::string name;  // from its kHello, if seen
+    bool alive = true;
+    std::vector<std::string> deployments;
+  };
+
+  /// Send `msg` to worker `w` and wait for the reply matching its seq.
+  /// Any transport failure or timeout marks the worker dead.
+  core::StatusOr<Message> Rpc(std::size_t w, Message msg,
+                              std::chrono::milliseconds timeout);
+  bool WorkerHasDeployment(std::size_t w, const std::string& name) const;
+  core::StatusOr<InferReply> ServeLocal(const std::string& name,
+                                        const core::Tensor& input);
+  core::StatusOr<InferReply> ServeRemote(std::size_t w, const std::string& name,
+                                         const core::Tensor& input,
+                                         std::chrono::milliseconds timeout);
+  void MarkDead(std::size_t w, const core::Status& why);
+
+  slim::FluidNetConfig config_;
+  std::vector<WorkerHandle> workers_;
+  std::map<std::string, nn::Sequential> local_;
+  Plan plan_;
+  sim::Mode mode_ = sim::Mode::kHighAccuracy;
+  MasterStats stats_;
+  std::int64_t next_seq_ = 1;
+  std::size_t round_robin_ = 0;
+};
+
+}  // namespace fluid::dist

@@ -6,7 +6,7 @@ namespace fluid::dist {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x534D4C46;  // "FLMS" little-endian
+constexpr std::uint32_t kMagic = kFrameMagic;
 constexpr std::uint8_t kVersion = 1;
 constexpr std::uint8_t kMaxType = static_cast<std::uint8_t>(MsgType::kHeartbeat);
 
@@ -54,6 +54,12 @@ std::vector<std::uint8_t> EncodeMessage(const Message& msg) {
 
   core::ByteWriter frame;
   frame.WriteU32(kMagic);
+  // The length prefix is u32 by wire format; a body that would wrap it is
+  // a programmer error (nothing legitimate ships multi-GiB frames — deploy
+  // payloads are MBs), and silently truncating would desynchronise the
+  // peer's stream reader.
+  FLUID_CHECK_MSG(body.size() < (1ull << 32),
+                  "EncodeMessage: frame body exceeds the u32 length prefix");
   frame.WriteU32(static_cast<std::uint32_t>(body.size()));
   auto out = frame.TakeBuffer();
   const auto& b = body.buffer();

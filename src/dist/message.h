@@ -25,6 +25,15 @@
 
 namespace fluid::dist {
 
+/// Leading frame magic, "FLMS" little-endian. Exported so transports can
+/// resynchronise/reject without re-parsing — one definition, no drift.
+inline constexpr std::uint32_t kFrameMagic = 0x534D4C46;
+
+/// Hard upper bound on one frame's body, enforced by senders and
+/// receivers alike (deploy payloads are ~MBs at most; anything larger is
+/// a bug or a corrupt length field).
+inline constexpr std::uint32_t kMaxFrameBody = 64u << 20;  // 64 MiB
+
 /// Frame type. Values are wire-stable; append only.
 enum class MsgType : std::uint8_t {
   kHello = 0,    // worker → master: name + capabilities
@@ -45,6 +54,8 @@ struct Message {
   std::string tag;        // route / model name / error text
   core::Tensor payload;   // empty when the frame carries no tensor
 
+  /// Note: a zero-element tensor counts as "no payload" — its shape is not
+  /// preserved on the wire. Frames that need data ship non-empty tensors.
   bool has_payload() const { return !payload.empty(); }
 
   static Message WithTensor(MsgType type, std::int64_t seq, std::string tag,

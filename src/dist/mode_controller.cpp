@@ -1,0 +1,53 @@
+#include "dist/mode_controller.h"
+
+#include "core/error.h"
+
+namespace fluid::dist {
+
+ModeController::ModeController(double ha_capacity, double ht_capacity,
+                               double hysteresis)
+    : ha_capacity_(ha_capacity),
+      ht_capacity_(ht_capacity),
+      hysteresis_(hysteresis) {
+  FLUID_CHECK_MSG(ha_capacity > 0 && ht_capacity > 0,
+                  "ModeController: capacities must be positive");
+  FLUID_CHECK_MSG(hysteresis >= 0 && hysteresis < 1,
+                  "ModeController: hysteresis must be in [0, 1)");
+}
+
+sim::Mode ModeController::Decide(double demand) {
+  if (mode_ == sim::Mode::kHighAccuracy) {
+    // Flip only when HT actually adds headroom: on a deployment where the
+    // fan-out point is no faster than the pipeline, trading accuracy for
+    // nothing is never right.
+    if (demand > ha_capacity_ && ht_capacity_ > ha_capacity_) {
+      mode_ = sim::Mode::kHighThroughput;
+      ++switches_;
+    }
+  } else {
+    if (demand < ha_capacity_ * (1.0 - hysteresis_)) {
+      mode_ = sim::Mode::kHighAccuracy;
+      ++switches_;
+    }
+  }
+  return mode_;
+}
+
+bool SurvivesFailure(sim::DnnType type, sim::Availability availability) {
+  if (availability == sim::Availability::kBothOnline) return true;
+  switch (type) {
+    case sim::DnnType::kStatic:
+      // Layer-split halves: neither classifies alone.
+      return false;
+    case sim::DnnType::kDynamic:
+      // The master's lower slice is self-sufficient; the worker's upper
+      // weights depend on the master's.
+      return availability == sim::Availability::kOnlyMaster;
+    case sim::DnnType::kFluid:
+      // Both resident slices are self-sufficient.
+      return true;
+  }
+  return false;
+}
+
+}  // namespace fluid::dist

@@ -1,0 +1,51 @@
+#pragma once
+// ModeController: the HA ↔ HT adaptation policy of paper §II-B, plus the
+// survival matrix of Fig. 1 that motivates it.
+//
+// The controller is a deliberately small hysteresis loop: prefer
+// HighAccuracy (the full-width pipeline) while it can keep up with demand,
+// flip to HighThroughput (standalone slices fanned out over every device)
+// when demand exceeds the HA operating point, and only flip back once
+// demand has fallen clearly below it — the hysteresis band prevents mode
+// thrash at the boundary, where every switch costs a deployment's warmup.
+
+#include <cstdint>
+
+#include "sim/scenario.h"
+
+namespace fluid::dist {
+
+class ModeController {
+ public:
+  /// `ha_capacity` / `ht_capacity`: sustainable img/s at each operating
+  /// point (from sim::Fig2Evaluator or measurement). `hysteresis` is the
+  /// fraction below ha_capacity demand must fall before returning to HA.
+  ModeController(double ha_capacity, double ht_capacity,
+                 double hysteresis = 0.1);
+
+  /// Feed the current demand (img/s); returns the mode to run.
+  sim::Mode Decide(double demand);
+
+  sim::Mode mode() const { return mode_; }
+  std::int64_t switches() const { return switches_; }
+  double ha_capacity() const { return ha_capacity_; }
+  double ht_capacity() const { return ht_capacity_; }
+
+ private:
+  double ha_capacity_;
+  double ht_capacity_;
+  double hysteresis_;
+  sim::Mode mode_ = sim::Mode::kHighAccuracy;
+  std::int64_t switches_ = 0;
+};
+
+/// The reliability matrix of paper Fig. 1(b)/(c): which model families
+/// still serve under a given availability. Static's halves are useless
+/// alone (survives nothing); Dynamic's master holds the self-sufficient
+/// lower slice (survives a worker failure only); Fluid adds the
+/// self-sufficient upper slice on the worker (survives either single
+/// failure). This is the ground truth the live runtime is tested against;
+/// sim::Fig2Evaluator derives the same matrix from its operating points.
+bool SurvivesFailure(sim::DnnType type, sim::Availability availability);
+
+}  // namespace fluid::dist

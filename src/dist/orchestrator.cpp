@@ -1,0 +1,55 @@
+#include "dist/orchestrator.h"
+
+#include "core/logging.h"
+
+namespace fluid::dist {
+
+Orchestrator::Orchestrator(MasterNode& master, OrchestratorConfig config)
+    : master_(master),
+      config_(config),
+      controller_(config.ha_capacity, config.ht_capacity, config.hysteresis) {}
+
+Orchestrator::Report Orchestrator::Tick(double demand) {
+  ++ticks_;
+  Report report;
+  report.demand = demand;
+  report.alive_workers = master_.ProbeWorkers(config_.probe_timeout);
+  report.mode = controller_.Decide(demand);
+
+  // The controller expresses a preference; the fleet may not be able to
+  // honour it. HA means the full-width pipeline, which needs its back
+  // worker — if the plan has a pipeline and that worker is dead, the
+  // system actually serves standalone slices (the master's Infer skips the
+  // dead pipeline), so report and deploy HT rather than pretending the HA
+  // operating point exists.
+  const Plan& plan = master_.plan();
+  const bool pipeline_planned =
+      !plan.pipeline_front.empty() && !plan.pipeline_back.empty();
+  if (report.mode == sim::Mode::kHighAccuracy && pipeline_planned &&
+      !master_.WorkerAlive(plan.back_worker)) {
+    report.mode = sim::Mode::kHighThroughput;
+  }
+  master_.SetMode(report.mode);
+  report.degraded = report.alive_workers == 0;
+
+  // Capacity estimate: HA is the fixed pipeline operating point (needs its
+  // back worker); HT scales with the surviving fleet, the master counting
+  // as one device. Both collapse to the master's own share once every
+  // worker is gone.
+  const std::size_t fleet = master_.num_workers() + 1;
+  const double per_device = config_.ht_capacity / static_cast<double>(fleet);
+  if (report.degraded) {
+    report.capacity = per_device;
+  } else if (report.mode == sim::Mode::kHighAccuracy) {
+    report.capacity = config_.ha_capacity;
+  } else {
+    report.capacity =
+        per_device * static_cast<double>(report.alive_workers + 1);
+  }
+  FLUID_LOG(Debug) << "orchestrator tick " << ticks_ << ": demand " << demand
+                   << " mode " << sim::ModeName(report.mode) << " alive "
+                   << report.alive_workers << " capacity " << report.capacity;
+  return report;
+}
+
+}  // namespace fluid::dist

@@ -1,0 +1,54 @@
+#pragma once
+// Orchestrator: the control loop closing the master over demand and
+// device health.
+//
+// Once per tick it (1) heartbeats every believed-alive worker through the
+// master, (2) feeds the demand estimate to the ModeController, and
+// (3) pushes the decided mode onto the MasterNode, which routes each
+// request across the master-resident and worker-resident slices
+// accordingly. The request path stays in MasterNode::Infer; the
+// orchestrator is pure control plane, so a stalled tick can never stall
+// serving. Modelled on the scheduler/orchestrator split in heterogeneous
+// serving systems (cf. the NeuPIMs request orchestrator).
+
+#include <chrono>
+#include <cstdint>
+
+#include "dist/master.h"
+#include "dist/mode_controller.h"
+
+namespace fluid::dist {
+
+struct OrchestratorConfig {
+  double ha_capacity = 0.0;  // img/s of the HA pipeline operating point
+  double ht_capacity = 0.0;  // img/s of the full-fleet HT operating point
+  double hysteresis = 0.1;
+  std::chrono::milliseconds probe_timeout{250};
+};
+
+class Orchestrator {
+ public:
+  struct Report {
+    sim::Mode mode = sim::Mode::kHighAccuracy;
+    std::size_t alive_workers = 0;
+    bool degraded = false;     // no worker left: the master serves alone
+    double demand = 0.0;       // what this tick was asked to plan for
+    double capacity = 0.0;     // estimated sustainable img/s right now
+  };
+
+  Orchestrator(MasterNode& master, OrchestratorConfig config);
+
+  /// One control iteration for the given demand estimate (img/s).
+  Report Tick(double demand);
+
+  std::int64_t ticks() const { return ticks_; }
+  const ModeController& controller() const { return controller_; }
+
+ private:
+  MasterNode& master_;
+  OrchestratorConfig config_;
+  ModeController controller_;
+  std::int64_t ticks_ = 0;
+};
+
+}  // namespace fluid::dist

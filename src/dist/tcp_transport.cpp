@@ -1,0 +1,286 @@
+#include "dist/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/serialize.h"
+
+namespace fluid::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string ErrnoText(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Bound Send: a wedged (not closed) peer whose receive window fills
+    // must surface as a failure, not block the serving thread forever.
+    // This makes the EAGAIN branch in Send() live.
+    struct timeval send_timeout {2, 0};  // 2 s
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+  }
+
+  ~TcpTransport() override {
+    Close();
+    ::close(fd_);
+  }
+
+  core::Status Send(const Message& msg) override {
+    if (closed_) {
+      return core::Status::Unavailable("tcp: endpoint closed");
+    }
+    const auto bytes = EncodeMessage(msg);
+    if (bytes.size() > std::size_t{kMaxFrameBody} + 8) {
+      // Enforce the receiver's frame limit on the sender too: an oversized
+      // frame would be rejected as corruption over there and cost us the
+      // connection; failing fast here keeps a healthy link healthy.
+      return core::Status::InvalidArgument(
+          "tcp: frame of " + std::to_string(bytes.size()) +
+          " bytes exceeds the " + std::to_string(kMaxFrameBody) +
+          "-byte wire limit");
+    }
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      // MSG_NOSIGNAL: a peer that died mid-write must produce EPIPE, not
+      // kill the process with SIGPIPE.
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EINTR)) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Blocking socket: only reachable via SO_SNDTIMEO; treat a stalled
+        // peer like a dead one.
+        Close();
+        return core::Status::Unavailable("tcp: send stalled");
+      }
+      Close();
+      return core::Status::Unavailable(ErrnoText("tcp: send failed"));
+    }
+    return core::Status::Ok();
+  }
+
+  core::Status Recv(Message& out, std::chrono::milliseconds timeout) override {
+    if (closed_) {
+      return core::Status::Unavailable("tcp: endpoint closed");
+    }
+    const auto deadline = Clock::now() + timeout;
+    // Frame header: u32 magic + u32 body_len.
+    constexpr std::size_t kHeader = 8;
+    for (;;) {
+      // Check the magic as soon as 4 bytes exist — before trusting the
+      // length field. A desynced peer is cut off immediately instead of
+      // stalling Recv on a garbage-derived body_len that never fills.
+      if (rx_.size() >= 4) {
+        std::uint32_t magic = 0;
+        std::memcpy(&magic, rx_.data(), sizeof(magic));
+        if (magic != kFrameMagic) {
+          Close();
+          return core::Status::DataLoss("tcp: bad frame magic");
+        }
+      }
+      if (rx_.size() >= kHeader) {
+        std::uint32_t body_len = 0;
+        std::memcpy(&body_len, rx_.data() + 4, sizeof(body_len));
+        if (body_len > kMaxFrameBody) {
+          Close();
+          return core::Status::DataLoss("tcp: frame length " +
+                                        std::to_string(body_len) +
+                                        " exceeds limit");
+        }
+        const std::size_t frame = kHeader + body_len;
+        if (rx_.size() >= frame) {
+          const auto st = DecodeMessage(
+              std::span<const std::uint8_t>(rx_.data(), frame), out);
+          rx_.erase(rx_.begin(),
+                    rx_.begin() + static_cast<std::ptrdiff_t>(frame));
+          if (!st.ok()) {
+            // Bogus body: the stream cannot be trusted to be
+            // frame-aligned any more. Drop the connection.
+            Close();
+          }
+          return st;
+        }
+      }
+
+      const auto left = RemainingMs(deadline);
+      struct pollfd pfd {fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (pr == 0) {
+        return core::Status::DeadlineExceeded("tcp: Recv timeout");
+      }
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        Close();
+        return core::Status::Unavailable(ErrnoText("tcp: poll failed"));
+      }
+      std::uint8_t buf[16384];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n > 0) {
+        rx_.insert(rx_.end(), buf, buf + n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+      // EOF or reset. EOF mid-frame is data loss: the peer vanished with a
+      // frame half-sent and the remainder will never arrive.
+      const bool mid_frame = !rx_.empty();
+      Close();
+      if (n == 0 && !mid_frame) {
+        return core::Status::Unavailable("tcp: peer closed");
+      }
+      if (n == 0) {
+        return core::Status::DataLoss("tcp: EOF inside a frame");
+      }
+      return core::Status::Unavailable(ErrnoText("tcp: recv failed"));
+    }
+  }
+
+  void Close() override {
+    // Close may race with a Recv poll on another thread (WorkerNode::Crash
+    // closes the transport out from under the serving loop), so only
+    // shutdown() here — it wakes the poller with EOF — and leave the fd
+    // open until destruction to avoid fd-reuse races.
+    if (!closed_.exchange(true)) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+  bool closed() const override { return closed_; }
+
+  std::string Describe() const override { return "tcp:" + peer_; }
+
+ private:
+  const int fd_;
+  std::string peer_;
+  std::atomic<bool> closed_{false};
+  std::vector<std::uint8_t> rx_;  // partial-frame accumulator
+};
+
+}  // namespace
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  FLUID_CHECK_MSG(fd_ >= 0, "TcpListener: socket() failed");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  FLUID_CHECK_MSG(
+      ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      ErrnoText("TcpListener: bind failed"));
+  FLUID_CHECK_MSG(::listen(fd_, 16) == 0, ErrnoText("TcpListener: listen failed"));
+  socklen_t len = sizeof(addr);
+  FLUID_CHECK_MSG(
+      ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+      ErrnoText("TcpListener: getsockname failed"));
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+core::StatusOr<TransportPtr> TcpListener::Accept(
+    std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  for (;;) {
+    struct pollfd pfd {fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(RemainingMs(deadline).count()));
+    if (pr == 0) {
+      return core::Status::DeadlineExceeded("TcpListener: Accept timeout");
+    }
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return core::Status::Unavailable(ErrnoText("TcpListener: poll failed"));
+    }
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return core::Status::Unavailable(ErrnoText("TcpListener: accept failed"));
+    }
+    char ip[INET_ADDRSTRLEN] = "?";
+    ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
+    return TransportPtr(std::make_unique<TcpTransport>(
+        fd, std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port))));
+  }
+}
+
+core::StatusOr<TransportPtr> TcpConnect(const std::string& host,
+                                        std::uint16_t port,
+                                        std::chrono::milliseconds timeout) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return core::Status::InvalidArgument("TcpConnect: bad IPv4 address " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return core::Status::Unavailable(ErrnoText("TcpConnect: socket failed"));
+  }
+  // Non-blocking connect so the timeout is enforceable, then back to
+  // blocking for the transport's send path.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const auto deadline = Clock::now() + timeout;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    const auto st = core::Status::Unavailable(ErrnoText("TcpConnect: connect"));
+    ::close(fd);
+    return st;
+  }
+  for (;;) {
+    struct pollfd pfd {fd, POLLOUT, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(RemainingMs(deadline).count()));
+    if (pr == 0) {
+      ::close(fd);
+      return core::Status::DeadlineExceeded("TcpConnect: timeout");
+    }
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      const auto st = core::Status::Unavailable(ErrnoText("TcpConnect: poll"));
+      ::close(fd);
+      return st;
+    }
+    break;
+  }
+  int err = 0;
+  socklen_t errlen = sizeof(err);
+  ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen);
+  if (err != 0) {
+    ::close(fd);
+    return core::Status::Unavailable(std::string("TcpConnect: ") +
+                                     std::strerror(err));
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return TransportPtr(std::make_unique<TcpTransport>(
+      fd, host + ":" + std::to_string(port)));
+}
+
+}  // namespace fluid::dist

@@ -1,0 +1,49 @@
+#pragma once
+// TCP transport: dist::Message frames over a real socket — the paper's
+// master↔worker wire.
+//
+// Framing is exactly the dist/message codec ([magic][body_len][body]); the
+// receive path accumulates bytes across calls, so slow or bursty peers
+// never desynchronise a reader. All stream corruption (bad magic, absurd
+// frame length, EOF mid-frame) surfaces as Status::DataLoss and closes the
+// connection — decode never throws, which is what lets the failover path
+// in dist::MasterNode treat a flaky link like a dead device instead of
+// unwinding through the serving loop.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "core/error.h"
+#include "dist/transport.h"
+
+namespace fluid::dist {
+
+/// Listening socket. Construction throws core::Error on bind failure
+/// (construction errors are bugs); Accept failures are recoverable
+/// Statuses. Pass port 0 for an ephemeral port and read it back.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Wait up to `timeout` for one inbound connection.
+  core::StatusOr<TransportPtr> Accept(std::chrono::milliseconds timeout);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to `host:port` within `timeout`. Loopback connects complete
+/// without a matching Accept (the kernel backlog holds them), so a
+/// single-threaded "connect then accept" setup does not deadlock.
+core::StatusOr<TransportPtr> TcpConnect(const std::string& host,
+                                        std::uint16_t port,
+                                        std::chrono::milliseconds timeout);
+
+}  // namespace fluid::dist

@@ -1,0 +1,94 @@
+#include "dist/transport.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace fluid::dist {
+
+namespace {
+
+// Shared state of one connected pair. Two byte-frame queues (one per
+// direction) under a single lock; each endpoint owns a "closed" flag.
+// Closing either side wakes every waiter on both directions.
+struct PairState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::vector<std::uint8_t>> queue[2];  // queue[i]: frames for end i
+  bool end_closed[2] = {false, false};
+};
+
+class InMemoryTransport final : public Transport {
+ public:
+  InMemoryTransport(std::shared_ptr<PairState> state, int side)
+      : state_(std::move(state)), side_(side) {}
+
+  ~InMemoryTransport() override { Close(); }
+
+  core::Status Send(const Message& msg) override {
+    auto bytes = EncodeMessage(msg);
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->end_closed[side_]) {
+      return core::Status::Unavailable("in-memory transport: endpoint closed");
+    }
+    if (state_->end_closed[1 - side_]) {
+      return core::Status::Unavailable("in-memory transport: peer closed");
+    }
+    state_->queue[1 - side_].push_back(std::move(bytes));
+    state_->cv.notify_all();
+    return core::Status::Ok();
+  }
+
+  core::Status Recv(Message& out, std::chrono::milliseconds timeout) override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    auto& inbox = state_->queue[side_];
+    const bool got = state_->cv.wait_for(lock, timeout, [&] {
+      return !inbox.empty() || state_->end_closed[side_] ||
+             state_->end_closed[1 - side_];
+    });
+    // Buffered frames still deliver after the peer closed — a graceful
+    // close must not drop in-flight replies.
+    if (!inbox.empty()) {
+      const auto bytes = std::move(inbox.front());
+      inbox.pop_front();
+      lock.unlock();
+      return DecodeMessage(bytes, out);
+    }
+    if (state_->end_closed[side_] || state_->end_closed[1 - side_]) {
+      return core::Status::Unavailable("in-memory transport: peer closed");
+    }
+    (void)got;
+    return core::Status::DeadlineExceeded("in-memory transport: Recv timeout");
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->end_closed[side_] = true;
+    state_->cv.notify_all();
+  }
+
+  bool closed() const override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->end_closed[side_] ||
+           (state_->end_closed[1 - side_] && state_->queue[side_].empty());
+  }
+
+  std::string Describe() const override {
+    return side_ == 0 ? "mem:a" : "mem:b";
+  }
+
+ private:
+  std::shared_ptr<PairState> state_;
+  int side_;
+};
+
+}  // namespace
+
+std::pair<TransportPtr, TransportPtr> MakeInMemoryPair() {
+  auto state = std::make_shared<PairState>();
+  return {std::make_unique<InMemoryTransport>(state, 0),
+          std::make_unique<InMemoryTransport>(state, 1)};
+}
+
+}  // namespace fluid::dist

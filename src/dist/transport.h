@@ -1,0 +1,70 @@
+#pragma once
+// Transport: the byte-level channel a master and a worker talk over.
+//
+// A Transport endpoint carries whole dist::Message frames in both
+// directions. Implementations are duplex and connection-oriented; once
+// either side closes (or the process behind it dies) every subsequent
+// Send/Recv fails with a Status instead of throwing, so the serving loops
+// can treat peer death as data, not control flow. The two implementations
+// are the in-memory pair below (tests, single-process benches) and the
+// TCP transport in dist/tcp_transport.h (real deployments).
+//
+// Failure taxonomy every implementation honours:
+//   kDeadlineExceeded — nothing arrived within the Recv timeout;
+//                       the connection is still usable.
+//   kUnavailable      — the peer is gone (closed, crashed, reset);
+//                       terminal for this endpoint.
+//   kDataLoss         — the byte stream desynchronised (bad magic, bogus
+//                       length, truncated frame); terminal: the endpoint
+//                       closes itself because framing cannot recover.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/error.h"
+#include "dist/message.h"
+
+namespace fluid::dist {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Enqueue one frame to the peer. Never throws; never blocks on the
+  /// peer's application (only on flow control).
+  virtual core::Status Send(const Message& msg) = 0;
+
+  /// Wait up to `timeout` for one complete frame.
+  virtual core::Status Recv(Message& out, std::chrono::milliseconds timeout) = 0;
+
+  /// Idempotent. After Close, the peer's Recv drains buffered frames and
+  /// then reports kUnavailable.
+  virtual void Close() = 0;
+
+  /// True once this endpoint can no longer exchange frames.
+  virtual bool closed() const = 0;
+
+  /// Human-readable endpoint description for logs ("mem", "tcp:127.0.0.1:...").
+  virtual std::string Describe() const = 0;
+};
+
+using TransportPtr = std::unique_ptr<Transport>;
+
+/// Time left until `deadline`, clamped at zero — the shared idiom for
+/// threading one caller timeout through a sequence of blocking calls.
+inline std::chrono::milliseconds RemainingMs(
+    std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return left.count() > 0 ? left : std::chrono::milliseconds(0);
+}
+
+/// A connected pair of in-process endpoints. Frames are encoded to bytes
+/// and decoded on receipt — the codec is exercised exactly as on a real
+/// wire, so byte-level accounting (EncodedSize) and decode-never-throws
+/// semantics hold here too.
+std::pair<TransportPtr, TransportPtr> MakeInMemoryPair();
+
+}  // namespace fluid::dist

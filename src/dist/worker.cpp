@@ -1,0 +1,149 @@
+#include "dist/worker.h"
+
+#include "core/logging.h"
+
+namespace fluid::dist {
+
+namespace {
+// Short poll so Stop()/Crash() are honoured promptly even on an idle link.
+constexpr std::chrono::milliseconds kPollInterval{50};
+}  // namespace
+
+WorkerNode::WorkerNode(std::string name, slim::FluidNetConfig config,
+                       TransportPtr transport)
+    : name_(std::move(name)), config_(config), transport_(std::move(transport)) {
+  FLUID_CHECK_MSG(transport_ != nullptr, "WorkerNode: null transport");
+}
+
+WorkerNode::~WorkerNode() { Stop(); }
+
+void WorkerNode::Start() {
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  // Best-effort announcement; the master learns the name when it drains.
+  (void)transport_->Send(Message::HeaderOnly(MsgType::kHello, 0, name_));
+  thread_ = std::thread(&WorkerNode::ServeLoop, this);
+}
+
+void WorkerNode::Stop() {
+  stop_ = true;
+  transport_->Close();
+  if (thread_.joinable()) thread_.join();
+  running_ = false;
+}
+
+void WorkerNode::Crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  FLUID_LOG(Info) << "worker '" << name_ << "': simulated power failure";
+  Stop();
+}
+
+void WorkerNode::ServeLoop() {
+  while (!stop_) {
+    Message msg;
+    const auto st = transport_->Recv(msg, kPollInterval);
+    if (st.code() == core::StatusCode::kDeadlineExceeded) continue;
+    if (!st.ok()) {
+      // Peer gone (kUnavailable) or stream corrupt (kDataLoss, transport
+      // already closed itself). Either way this connection is done — note
+      // it and retire; decode errors never unwind the loop.
+      if (!stop_) {
+        FLUID_LOG(Warn) << "worker '" << name_
+                        << "': link down: " << st.ToString();
+      }
+      break;
+    }
+    Message reply = Handle(msg);
+    if (!transport_->Send(reply).ok()) break;
+  }
+  running_ = false;
+}
+
+Message WorkerNode::Handle(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kDeploy:
+      return HandleDeploy(msg);
+    case MsgType::kInfer:
+      return HandleInfer(msg);
+    case MsgType::kHeartbeat:
+      return Message::HeaderOnly(MsgType::kAck, msg.seq);
+    case MsgType::kHello:
+      return Message::HeaderOnly(MsgType::kAck, msg.seq);
+    default:
+      return Message::HeaderOnly(MsgType::kError, msg.seq,
+                                 "unexpected frame " +
+                                     std::string(MsgTypeName(msg.type)));
+  }
+}
+
+Message WorkerNode::HandleDeploy(const Message& msg) {
+  DeployRequest req;
+  const auto st = DeployRequest::DecodeFromTag(msg.tag, req);
+  if (!st.ok()) {
+    return Message::HeaderOnly(MsgType::kError, msg.seq,
+                               "deploy decode: " + st.ToString());
+  }
+  try {
+    nn::Sequential model = req.blueprint.Build();
+    const auto load = nn::LoadState(model, req.state, /*allow_partial=*/false);
+    if (!load.ok()) {
+      return Message::HeaderOnly(MsgType::kError, msg.seq,
+                                 "deploy load: " + load.ToString());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      deployments_[req.name] = std::move(model);
+    }
+    FLUID_LOG(Info) << "worker '" << name_ << "': deployed '" << req.name
+                    << "'";
+    return Message::HeaderOnly(MsgType::kAck, msg.seq);
+  } catch (const std::exception& e) {
+    // A hostile/buggy blueprint must not take the serving loop down —
+    // including std::bad_alloc/std::length_error from absurd dimensions,
+    // not just the library's own core::Error.
+    return Message::HeaderOnly(MsgType::kError, msg.seq,
+                               std::string("deploy build: ") + e.what());
+  }
+}
+
+Message WorkerNode::HandleInfer(const Message& msg) {
+  if (!msg.has_payload()) {
+    return Message::HeaderOnly(MsgType::kError, msg.seq, "infer: no payload");
+  }
+  auto logits = LocalInfer(msg.tag, msg.payload);
+  if (!logits.ok()) {
+    return Message::HeaderOnly(MsgType::kError, msg.seq,
+                               logits.status().ToString());
+  }
+  ++served_;
+  return Message::WithTensor(MsgType::kResult, msg.seq, msg.tag,
+                             std::move(*logits));
+}
+
+core::StatusOr<core::Tensor> WorkerNode::LocalInfer(const std::string& model,
+                                                    const core::Tensor& input) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = deployments_.find(model);
+  if (it == deployments_.end()) {
+    return core::Status::NotFound("worker '" + name_ + "' has no model '" +
+                                  model + "'");
+  }
+  try {
+    return it->second.Forward(input, false);
+  } catch (const std::exception& e) {
+    return core::Status::InvalidArgument("worker '" + name_ + "' infer '" +
+                                         model + "': " + e.what());
+  }
+}
+
+std::vector<std::string> WorkerNode::DeploymentNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(deployments_.size());
+  for (const auto& [name, model] : deployments_) names.push_back(name);
+  return names;
+}
+
+}  // namespace fluid::dist

@@ -1,0 +1,82 @@
+#pragma once
+// WorkerNode: an edge device serving deployed sub-networks.
+//
+// A worker owns nothing but what the master ships it: each kDeploy frame
+// carries a blueprint (architecture) plus a weight dict, which the worker
+// instantiates and serves by name. Because the deployed weights live on
+// the worker, they keep serving after the master dies — that ownership is
+// exactly the paper's Fig. 1(c) argument for the Fluid upper slice, and
+// LocalInfer is the surviving entry point.
+//
+// The serving loop runs on one background thread. Stop() is a graceful
+// shutdown; Crash() simulates a power failure (the transport drops with no
+// goodbye), which is what the failover benches use to kill a device
+// mid-stream.
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+#include "dist/blueprint.h"
+#include "dist/transport.h"
+#include "nn/sequential.h"
+#include "slim/fluid_model.h"
+
+namespace fluid::dist {
+
+class WorkerNode {
+ public:
+  WorkerNode(std::string name, slim::FluidNetConfig config,
+             TransportPtr transport);
+  ~WorkerNode();
+  WorkerNode(const WorkerNode&) = delete;
+  WorkerNode& operator=(const WorkerNode&) = delete;
+
+  /// Announce (kHello) and start the serving loop.
+  void Start();
+
+  /// Graceful shutdown: stop serving, close the transport. Idempotent.
+  void Stop();
+
+  /// Simulated power failure: the serving loop dies and the transport
+  /// closes without a goodbye — the master finds out the hard way.
+  void Crash();
+
+  bool running() const { return running_; }
+  const std::string& name() const { return name_; }
+
+  /// Run a deployed model directly (no master involved) — the Fig. 1(c)
+  /// master-failure path.
+  core::StatusOr<core::Tensor> LocalInfer(const std::string& model,
+                                          const core::Tensor& input);
+
+  std::vector<std::string> DeploymentNames() const;
+
+  /// Requests served over the transport since Start().
+  std::int64_t served() const { return served_; }
+
+ private:
+  void ServeLoop();
+  Message Handle(const Message& msg);
+  Message HandleDeploy(const Message& msg);
+  Message HandleInfer(const Message& msg);
+
+  std::string name_;
+  slim::FluidNetConfig config_;
+  TransportPtr transport_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<std::int64_t> served_{0};
+
+  mutable std::mutex mu_;  // guards deployments_
+  std::map<std::string, nn::Sequential> deployments_;
+};
+
+}  // namespace fluid::dist

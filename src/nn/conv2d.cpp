@@ -18,11 +18,6 @@ namespace {
 // O(threads · kBatchChunk · patch · area) instead of O(batch · ...).
 constexpr std::int64_t kBatchChunk = 4;
 
-void EnsureSize(std::vector<float>& buf, std::int64_t n) {
-  if (buf.size() < static_cast<std::size_t>(n)) {
-    buf.resize(static_cast<std::size_t>(n));
-  }
-}
 }  // namespace
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
@@ -66,7 +61,7 @@ core::Tensor Conv2d::Forward(const core::Tensor& input, bool training) {
       [&](std::int64_t, std::int64_t lo, std::int64_t hi) {
         const std::int64_t cnt = hi - lo;
         thread_local std::vector<float> cols;
-        EnsureSize(cols, cnt * per_sample);
+        core::EnsureScratch(cols, cnt * per_sample);
         Im2ColBatched(
             input.data().subspan(static_cast<std::size_t>(lo * in_plane),
                                  static_cast<std::size_t>(cnt * in_plane)),
@@ -127,8 +122,8 @@ core::Tensor Conv2d::Backward(const core::Tensor& grad_output) {
         double* gb_chunk = gb.data() + chunk * out_channels_;
         thread_local std::vector<float> cols;
         thread_local std::vector<float> grad_cols;
-        EnsureSize(cols, cnt * per_sample);
-        EnsureSize(grad_cols, cnt * per_sample);
+        core::EnsureScratch(cols, cnt * per_sample);
+        core::EnsureScratch(grad_cols, cnt * per_sample);
         Im2ColBatched(
             cached_input_.data().subspan(
                 static_cast<std::size_t>(lo * in_plane),

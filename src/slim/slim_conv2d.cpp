@@ -16,11 +16,6 @@ namespace {
 // working set.
 constexpr std::int64_t kBatchChunk = 4;
 
-void EnsureSize(std::vector<float>& buf, std::int64_t n) {
-  if (buf.size() < static_cast<std::size_t>(n)) {
-    buf.resize(static_cast<std::size_t>(n));
-  }
-}
 }  // namespace
 
 SlimConv2d::SlimConv2d(std::int64_t max_in, std::int64_t max_out,
@@ -78,7 +73,7 @@ core::Tensor SlimConv2d::Forward(const core::Tensor& input,
       [&](std::int64_t, std::int64_t lo, std::int64_t hi) {
         const std::int64_t cnt = hi - lo;
         thread_local std::vector<float> cols;
-        EnsureSize(cols, cnt * per_sample);
+        core::EnsureScratch(cols, cnt * per_sample);
         nn::Im2ColBatched(
             input.data().subspan(static_cast<std::size_t>(lo * in_plane),
                                  static_cast<std::size_t>(cnt * in_plane)),
@@ -146,8 +141,8 @@ core::Tensor SlimConv2d::Backward(const core::Tensor& grad_output) {
         double* gb_chunk = gb.data() + chunk * out_ch;
         thread_local std::vector<float> cols;
         thread_local std::vector<float> grad_cols;
-        EnsureSize(cols, cnt * per_sample);
-        EnsureSize(grad_cols, cnt * per_sample);
+        core::EnsureScratch(cols, cnt * per_sample);
+        core::EnsureScratch(grad_cols, cnt * per_sample);
         nn::Im2ColBatched(
             cached_input_.data().subspan(
                 static_cast<std::size_t>(lo * in_plane),

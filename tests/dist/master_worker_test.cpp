@@ -1,0 +1,287 @@
+#include "dist/master.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "dist/worker.h"
+#include "nn/checkpoint.h"
+#include "train/model_zoo.h"
+
+namespace fluid::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+// One master + one worker over the in-memory pair, deployed with the
+// paper's plan from a real FluidModel — the live counterpart of the
+// simulator's Fig. 1/2 rows.
+class MasterWorkerTest : public ::testing::Test {
+ protected:
+  MasterWorkerTest()
+      : fluid_(slim::FluidModel::PaperDefault(7)), master_(cfg_), rng_(99) {
+    auto [master_end, worker_end] = MakeInMemoryPair();
+    worker_ = std::make_unique<WorkerNode>("w0", cfg_, std::move(worker_end));
+    worker_->Start();
+    master_.AttachWorker(std::move(master_end));
+  }
+
+  // The full deployment of the paper: resident slices on both devices plus
+  // the combined model split as an HA pipeline.
+  void DeployPaperPlan() {
+    const auto& family = fluid_.family();
+    master_.DeployLocal("lower50",
+                        fluid_.ExtractSubnet(family.MasterResident()));
+    nn::Sequential combined = fluid_.ExtractSubnet(family.Combined());
+    auto halves = train::SplitConvNet(cfg_, family.max_width(), combined, 2);
+    master_.DeployLocal("front", std::move(halves.front));
+    nn::Sequential upper = fluid_.ExtractSubnet(family.WorkerResident());
+    ASSERT_TRUE(master_
+                    .DeployToWorker("upper50",
+                                    ModelBlueprint::Standalone(
+                                        cfg_, family.WorkerResident().range.width()),
+                                    nn::ExtractState(upper))
+                    .ok());
+    ASSERT_TRUE(master_
+                    .DeployToWorker("back",
+                                    ModelBlueprint::PipelineBack(
+                                        cfg_, family.max_width(), 2),
+                                    nn::ExtractState(halves.back))
+                    .ok());
+    master_.SetPlan({"lower50", "upper50", "front", "back"});
+  }
+
+  core::Tensor Input(std::int64_t n = 1) {
+    return core::Tensor::UniformRandom({n, 1, 28, 28}, rng_, 0, 1);
+  }
+
+  slim::FluidNetConfig cfg_;
+  slim::FluidModel fluid_;
+  MasterNode master_;
+  std::unique_ptr<WorkerNode> worker_;
+  core::Rng rng_;
+};
+
+TEST_F(MasterWorkerTest, DeployRoundTripsThroughTheWire) {
+  DeployPaperPlan();
+  const auto names = worker_->DeploymentNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "back");
+  EXPECT_EQ(names[1], "upper50");
+}
+
+TEST_F(MasterWorkerTest, RemoteInferenceMatchesTheExtractedSubnetBitExactly) {
+  DeployPaperPlan();
+  master_.SetMode(sim::Mode::kHighThroughput);
+  const core::Tensor x = Input();
+  nn::Sequential reference =
+      fluid_.ExtractSubnet(fluid_.family().WorkerResident());
+  const core::Tensor want = reference.Forward(x, false);
+
+  // Round-robin alternates master/worker; collect until both have served.
+  bool saw_remote = false, saw_local = false;
+  for (int i = 0; i < 4; ++i) {
+    auto reply = master_.Infer(x, 2000ms);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    if (reply->served_by == "worker[0]:upper50") {
+      saw_remote = true;
+      EXPECT_EQ(core::MaxAbsDiff(reply->logits, want), 0.0F)
+          << "remote slice diverged from the extracted subnet";
+    } else {
+      saw_local = true;
+    }
+  }
+  EXPECT_TRUE(saw_remote);
+  EXPECT_TRUE(saw_local);
+  EXPECT_GT(master_.stats().served_remote, 0);
+  EXPECT_GT(master_.stats().served_local, 0);
+}
+
+TEST_F(MasterWorkerTest, PipelineModeMatchesTheCombinedModel) {
+  DeployPaperPlan();
+  master_.SetMode(sim::Mode::kHighAccuracy);
+  const core::Tensor x = Input();
+  nn::Sequential combined = fluid_.ExtractSubnet(fluid_.family().Combined());
+  const core::Tensor want = combined.Forward(x, false);
+
+  auto reply = master_.Infer(x, 2000ms);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->served_by, "pipeline:front+back@worker[0]");
+  EXPECT_LT(core::MaxAbsDiff(reply->logits, want), 1e-5F);
+  EXPECT_EQ(master_.stats().served_pipeline, 1);
+}
+
+TEST_F(MasterWorkerTest, WorkerCrashFailsOverWithoutDroppingARequest) {
+  DeployPaperPlan();
+  master_.SetMode(sim::Mode::kHighThroughput);
+  const core::Tensor x = Input();
+  worker_->Crash();
+
+  // Every request after the crash must still be answered — by the master.
+  for (int i = 0; i < 4; ++i) {
+    auto reply = master_.Infer(x, 2000ms);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->served_by, "master:lower50");
+  }
+  EXPECT_EQ(master_.AliveWorkers(), 0u);
+  EXPECT_GE(master_.stats().failovers, 1);
+  EXPECT_EQ(master_.stats().served_local, 4);
+}
+
+TEST_F(MasterWorkerTest, PipelineFailsOverToResidentSliceInHighAccuracyMode) {
+  DeployPaperPlan();
+  master_.SetMode(sim::Mode::kHighAccuracy);
+  worker_->Crash();
+  auto reply = master_.Infer(Input(), 2000ms);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->served_by, "master:lower50");
+  EXPECT_GE(master_.stats().failovers, 1);
+}
+
+TEST_F(MasterWorkerTest, WorkerServesItsDeploymentsAfterTheMasterIsGone) {
+  DeployPaperPlan();
+  const core::Tensor x = Input();
+  nn::Sequential reference =
+      fluid_.ExtractSubnet(fluid_.family().WorkerResident());
+  const core::Tensor want = reference.Forward(x, false);
+  // "Master failure": nobody drives the transport any more; the worker's
+  // own copy of the weights still answers (paper Fig. 1c).
+  auto logits = worker_->LocalInfer("upper50", x);
+  ASSERT_TRUE(logits.ok());
+  EXPECT_EQ(core::MaxAbsDiff(*logits, want), 0.0F);
+}
+
+TEST_F(MasterWorkerTest, UnknownModelIsAnErrorButNotADeath) {
+  DeployPaperPlan();
+  master_.SetMode(sim::Mode::kHighThroughput);
+  EXPECT_FALSE(worker_->LocalInfer("nope", Input()).ok());
+  // The worker answered the error; it is still alive and serving.
+  EXPECT_EQ(master_.ProbeWorkers(), 1u);
+  auto reply = master_.Infer(Input(), 2000ms);
+  EXPECT_TRUE(reply.ok());
+}
+
+TEST_F(MasterWorkerTest, DeployToMissingWorkerIndexFails) {
+  nn::Sequential upper = fluid_.ExtractSubnet(fluid_.family().WorkerResident());
+  const auto st = master_.DeployToWorker(
+      "upper50", ModelBlueprint::Standalone(cfg_, 8), nn::ExtractState(upper),
+      500ms, /*worker=*/7);
+  EXPECT_EQ(st.code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST_F(MasterWorkerTest, InferWithNoPlanReportsUnavailable) {
+  auto reply = master_.Infer(Input(), 100ms);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), core::StatusCode::kUnavailable);
+}
+
+TEST_F(MasterWorkerTest, ProbeDetectsACrashedWorker) {
+  DeployPaperPlan();
+  EXPECT_EQ(master_.ProbeWorkers(), 1u);
+  worker_->Crash();
+  EXPECT_EQ(master_.ProbeWorkers(), 0u);
+  EXPECT_FALSE(master_.WorkerAlive(0));
+}
+
+TEST(MultiWorkerTest, FailoverChainsToTheNextLiveWorkerWithoutALocalSlice) {
+  // Plan with NO master-resident slice: when the round-robin worker dies
+  // mid-request, the master must retry the other live worker instead of
+  // dropping the request.
+  slim::FluidNetConfig cfg;
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  MasterNode master(cfg);
+  std::vector<std::unique_ptr<WorkerNode>> workers;
+  for (int i = 0; i < 2; ++i) {
+    auto [m_end, w_end] = MakeInMemoryPair();
+    workers.push_back(std::make_unique<WorkerNode>("w" + std::to_string(i),
+                                                   cfg, std::move(w_end)));
+    workers.back()->Start();
+    master.AttachWorker(std::move(m_end));
+  }
+  nn::Sequential upper = fluid.ExtractSubnet(fluid.family().WorkerResident());
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(master
+                    .DeployToWorker("upper50",
+                                    ModelBlueprint::Standalone(cfg, 8),
+                                    nn::ExtractState(upper), 2000ms, i)
+                    .ok());
+  }
+  Plan plan;
+  plan.worker_standalone = "upper50";
+  master.SetPlan(plan);
+  master.SetMode(sim::Mode::kHighThroughput);
+
+  core::Rng rng(4);
+  const core::Tensor x = core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+  workers[0]->Crash();
+  workers[1]->Crash();
+  // Both dead: the request must fail with a Status, never throw.
+  EXPECT_FALSE(master.Infer(x, 500ms).ok());
+
+  // Fresh fleet, kill only one: every request must be answered by the
+  // survivor no matter where the round-robin pointer sits.
+  MasterNode master2(cfg);
+  std::vector<std::unique_ptr<WorkerNode>> workers2;
+  for (int i = 0; i < 2; ++i) {
+    auto [m_end, w_end] = MakeInMemoryPair();
+    workers2.push_back(std::make_unique<WorkerNode>("v" + std::to_string(i),
+                                                    cfg, std::move(w_end)));
+    workers2.back()->Start();
+    master2.AttachWorker(std::move(m_end));
+    ASSERT_TRUE(master2
+                    .DeployToWorker("upper50",
+                                    ModelBlueprint::Standalone(cfg, 8),
+                                    nn::ExtractState(upper), 2000ms,
+                                    static_cast<std::size_t>(i))
+                    .ok());
+  }
+  master2.SetPlan(plan);
+  master2.SetMode(sim::Mode::kHighThroughput);
+  workers2[0]->Crash();
+  for (int i = 0; i < 3; ++i) {
+    auto reply = master2.Infer(x, 2000ms);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->served_by, "worker[1]:upper50");
+  }
+  EXPECT_GE(master2.stats().failovers, 1);
+  for (auto& w : workers2) w->Stop();
+  for (auto& w : workers) w->Stop();
+}
+
+TEST(ModelBlueprintTest, EncodeDecodeRoundTrips) {
+  slim::FluidNetConfig cfg;
+  const auto bp = ModelBlueprint::PipelineBack(cfg, 16, 2);
+  core::ByteWriter w;
+  bp.Encode(w);
+  core::ByteReader r(w.buffer());
+  ModelBlueprint out;
+  ASSERT_TRUE(ModelBlueprint::Decode(r, out).ok());
+  EXPECT_EQ(out.kind, ModelBlueprint::Kind::kPipelineBack);
+  EXPECT_EQ(out.width, 16);
+  EXPECT_EQ(out.cut_stage, 2);
+  EXPECT_EQ(out.config.num_conv_layers, cfg.num_conv_layers);
+}
+
+TEST(ModelBlueprintTest, StandaloneBuildMatchesBuildConvNetLayout) {
+  slim::FluidNetConfig cfg;
+  core::Rng rng(3);
+  nn::Sequential want = train::BuildConvNet(cfg, 8, rng);
+  nn::Sequential got = ModelBlueprint::Standalone(cfg, 8).Build();
+  ASSERT_EQ(got.size(), want.size());
+  const auto wp = want.Params();
+  const auto gp = got.Params();
+  ASSERT_EQ(gp.size(), wp.size());
+  for (std::size_t i = 0; i < wp.size(); ++i) {
+    EXPECT_EQ(gp[i].name, wp[i].name);
+    EXPECT_EQ(gp[i].value->shape(), wp[i].value->shape());
+  }
+}
+
+TEST(ModelBlueprintTest, DecodeRejectsGarbageWithoutThrowing) {
+  const std::string garbage = "\x01\x07not a blueprint";
+  DeployRequest req;
+  EXPECT_FALSE(DeployRequest::DecodeFromTag(garbage, req).ok());
+}
+
+}  // namespace
+}  // namespace fluid::dist

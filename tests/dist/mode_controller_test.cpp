@@ -1,0 +1,212 @@
+#include "dist/mode_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "dist/orchestrator.h"
+#include "dist/worker.h"
+#include "nn/checkpoint.h"
+#include "sim/scenario.h"
+#include "train/model_zoo.h"
+
+namespace fluid::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ModeControllerTest, PrefersHighAccuracyWhileItKeepsUp) {
+  ModeController c(10.0, 30.0);
+  EXPECT_EQ(c.mode(), sim::Mode::kHighAccuracy);
+  EXPECT_EQ(c.Decide(5.0), sim::Mode::kHighAccuracy);
+  EXPECT_EQ(c.Decide(9.9), sim::Mode::kHighAccuracy);
+  EXPECT_EQ(c.switches(), 0);
+}
+
+TEST(ModeControllerTest, FlipsToHighThroughputAboveHaCapacity) {
+  ModeController c(10.0, 30.0);
+  EXPECT_EQ(c.Decide(12.0), sim::Mode::kHighThroughput);
+  EXPECT_EQ(c.switches(), 1);
+}
+
+TEST(ModeControllerTest, HysteresisPreventsThrashAtTheBoundary) {
+  ModeController c(10.0, 30.0, 0.2);
+  EXPECT_EQ(c.Decide(12.0), sim::Mode::kHighThroughput);
+  // Demand hovers just under HA capacity: inside the hysteresis band, the
+  // controller must hold HT.
+  EXPECT_EQ(c.Decide(9.5), sim::Mode::kHighThroughput);
+  EXPECT_EQ(c.Decide(8.5), sim::Mode::kHighThroughput);
+  EXPECT_EQ(c.switches(), 1);
+  // Clearly below the band: back to HA.
+  EXPECT_EQ(c.Decide(7.9), sim::Mode::kHighAccuracy);
+  EXPECT_EQ(c.switches(), 2);
+}
+
+TEST(ModeControllerTest, CountsEverySwitch) {
+  ModeController c(10.0, 30.0, 0.1);
+  c.Decide(15.0);  // -> HT
+  c.Decide(5.0);   // -> HA
+  c.Decide(15.0);  // -> HT
+  c.Decide(5.0);   // -> HA
+  EXPECT_EQ(c.switches(), 4);
+}
+
+TEST(ModeControllerTest, RejectsBadConstruction) {
+  EXPECT_THROW(ModeController(0.0, 30.0), core::Error);
+  EXPECT_THROW(ModeController(10.0, 30.0, 1.5), core::Error);
+}
+
+// The survival matrix is the paper's Fig. 1 ground truth; the simulator
+// must agree cell by cell (operational ⇔ survives).
+TEST(SurvivalMatrixTest, MatchesFig2EvaluatorOperationalFlags) {
+  sim::SystemProfile p;
+  p.static_front_latency_s = 0.04;
+  p.static_back_latency_s = 0.03;
+  p.static_cut_bytes = 3136;
+  p.w50_latency_s = 0.07;
+  p.upper50_latency_s = 0.07;
+  p.acc_static = 0.99;
+  p.acc_dynamic_full = 0.99;
+  p.acc_dynamic_w50 = 0.97;
+  p.acc_fluid_full = 0.99;
+  p.acc_fluid_lower50 = 0.98;
+  p.acc_fluid_upper50 = 0.98;
+  p.link.latency_s = 0.01;
+  p.link.bandwidth_bytes_per_s = 1e7;
+  const sim::Fig2Evaluator eval(p);
+  for (const auto type : {sim::DnnType::kStatic, sim::DnnType::kDynamic,
+                          sim::DnnType::kFluid}) {
+    for (const auto a :
+         {sim::Availability::kBothOnline, sim::Availability::kOnlyMaster,
+          sim::Availability::kOnlyWorker}) {
+      const auto r = eval.Evaluate(type, a, sim::Mode::kHighThroughput);
+      EXPECT_EQ(r.operational, SurvivesFailure(type, a))
+          << sim::DnnTypeName(type) << " / " << sim::AvailabilityName(a);
+    }
+  }
+}
+
+TEST(SurvivalMatrixTest, EncodesThePaperRow) {
+  // Static survives nothing; Dynamic survives only a worker failure
+  // (= only the master left); Fluid survives either single failure.
+  EXPECT_FALSE(SurvivesFailure(sim::DnnType::kStatic,
+                               sim::Availability::kOnlyMaster));
+  EXPECT_FALSE(SurvivesFailure(sim::DnnType::kStatic,
+                               sim::Availability::kOnlyWorker));
+  EXPECT_TRUE(SurvivesFailure(sim::DnnType::kDynamic,
+                              sim::Availability::kOnlyMaster));
+  EXPECT_FALSE(SurvivesFailure(sim::DnnType::kDynamic,
+                               sim::Availability::kOnlyWorker));
+  EXPECT_TRUE(SurvivesFailure(sim::DnnType::kFluid,
+                              sim::Availability::kOnlyMaster));
+  EXPECT_TRUE(SurvivesFailure(sim::DnnType::kFluid,
+                              sim::Availability::kOnlyWorker));
+}
+
+// ---- Orchestrator over a live master/worker pair ---------------------------
+
+class OrchestratorTest : public ::testing::Test {
+ protected:
+  OrchestratorTest() : fluid_(slim::FluidModel::PaperDefault(7)), master_(cfg_) {
+    auto [master_end, worker_end] = MakeInMemoryPair();
+    worker_ = std::make_unique<WorkerNode>("w0", cfg_, std::move(worker_end));
+    worker_->Start();
+    master_.AttachWorker(std::move(master_end));
+    master_.DeployLocal("lower50",
+                        fluid_.ExtractSubnet(fluid_.family().MasterResident()));
+    nn::Sequential upper =
+        fluid_.ExtractSubnet(fluid_.family().WorkerResident());
+    EXPECT_TRUE(master_
+                    .DeployToWorker("upper50",
+                                    ModelBlueprint::Standalone(cfg_, 8),
+                                    nn::ExtractState(upper))
+                    .ok());
+    Plan plan;
+    plan.master_standalone = "lower50";
+    plan.worker_standalone = "upper50";
+    master_.SetPlan(plan);
+  }
+
+  slim::FluidNetConfig cfg_;
+  slim::FluidModel fluid_;
+  MasterNode master_;
+  std::unique_ptr<WorkerNode> worker_;
+};
+
+TEST_F(OrchestratorTest, QuietDemandStaysHighAccuracy) {
+  Orchestrator orch(master_, {.ha_capacity = 10.0, .ht_capacity = 30.0});
+  const auto report = orch.Tick(4.0);
+  EXPECT_EQ(report.mode, sim::Mode::kHighAccuracy);
+  EXPECT_EQ(report.alive_workers, 1u);
+  EXPECT_FALSE(report.degraded);
+  EXPECT_EQ(master_.mode(), sim::Mode::kHighAccuracy);
+  EXPECT_EQ(orch.ticks(), 1);
+}
+
+TEST_F(OrchestratorTest, BurstFlipsTheMasterToHighThroughput) {
+  Orchestrator orch(master_, {.ha_capacity = 10.0, .ht_capacity = 30.0});
+  orch.Tick(4.0);
+  const auto report = orch.Tick(25.0);
+  EXPECT_EQ(report.mode, sim::Mode::kHighThroughput);
+  EXPECT_EQ(master_.mode(), sim::Mode::kHighThroughput);
+  EXPECT_EQ(orch.controller().switches(), 1);
+}
+
+TEST_F(OrchestratorTest, ProbeSpotsACrashedWorkerAndReportsDegraded) {
+  Orchestrator orch(master_, {.ha_capacity = 10.0, .ht_capacity = 30.0});
+  EXPECT_EQ(orch.Tick(4.0).alive_workers, 1u);
+  worker_->Crash();
+  const auto report = orch.Tick(4.0);
+  EXPECT_EQ(report.alive_workers, 0u);
+  EXPECT_TRUE(report.degraded);
+  // Capacity collapses to the master's own share of the fleet.
+  EXPECT_LT(report.capacity, 30.0 / 2 + 1e-9);
+}
+
+TEST_F(OrchestratorTest, DeadBackWorkerMakesHighAccuracyInfeasible) {
+  // Give the plan a pipeline hosted on worker 0, then kill it: even at
+  // quiet demand the orchestrator must report/deploy HT, because the HA
+  // operating point no longer exists.
+  nn::Sequential combined = fluid_.ExtractSubnet(fluid_.family().Combined());
+  auto halves = train::SplitConvNet(cfg_, 16, combined, 2);
+  master_.DeployLocal("front", std::move(halves.front));
+  ASSERT_TRUE(master_
+                  .DeployToWorker("back",
+                                  ModelBlueprint::PipelineBack(cfg_, 16, 2),
+                                  nn::ExtractState(halves.back))
+                  .ok());
+  Plan plan = master_.plan();
+  plan.pipeline_front = "front";
+  plan.pipeline_back = "back";
+  master_.SetPlan(plan);
+
+  Orchestrator orch(master_, {.ha_capacity = 10.0, .ht_capacity = 30.0});
+  EXPECT_EQ(orch.Tick(4.0).mode, sim::Mode::kHighAccuracy);
+  worker_->Crash();
+  const auto report = orch.Tick(4.0);
+  EXPECT_EQ(report.mode, sim::Mode::kHighThroughput);
+  EXPECT_EQ(master_.mode(), sim::Mode::kHighThroughput);
+  EXPECT_LT(report.capacity, 30.0 / 2 + 1e-9);
+}
+
+TEST(ModeControllerNoHeadroomTest, NeverTradesAccuracyForNothing) {
+  // HT no faster than HA: flipping would pay accuracy for zero capacity.
+  ModeController c(10.0, 10.0);
+  EXPECT_EQ(c.Decide(50.0), sim::Mode::kHighAccuracy);
+  EXPECT_EQ(c.switches(), 0);
+}
+
+TEST_F(OrchestratorTest, ServingContinuesAcrossTheWholeDegradation) {
+  Orchestrator orch(master_, {.ha_capacity = 10.0, .ht_capacity = 30.0});
+  core::Rng rng(5);
+  const core::Tensor x = core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+  orch.Tick(25.0);  // HT fan-out
+  ASSERT_TRUE(master_.Infer(x, 2000ms).ok());
+  worker_->Crash();
+  orch.Tick(25.0);  // probe notices, stays HT, degraded
+  auto reply = master_.Infer(x, 2000ms);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->served_by, "master:lower50");
+}
+
+}  // namespace
+}  // namespace fluid::dist

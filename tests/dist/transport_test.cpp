@@ -1,0 +1,265 @@
+#include "dist/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "dist/tcp_transport.h"
+
+namespace fluid::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::Tensor SomeTensor(std::uint64_t seed) {
+  core::Rng rng(seed);
+  return core::Tensor::UniformRandom({2, 3, 4}, rng, -1, 1);
+}
+
+TEST(InMemoryTransportTest, RoundTripsBothDirections) {
+  auto [a, b] = MakeInMemoryPair();
+  const core::Tensor t = SomeTensor(1);
+  ASSERT_TRUE(a->Send(Message::WithTensor(MsgType::kInfer, 5, "m", t)).ok());
+  ASSERT_TRUE(b->Send(Message::HeaderOnly(MsgType::kAck, 5)).ok());
+
+  Message got;
+  ASSERT_TRUE(b->Recv(got, 100ms).ok());
+  EXPECT_EQ(got.type, MsgType::kInfer);
+  EXPECT_EQ(got.seq, 5);
+  EXPECT_EQ(got.tag, "m");
+  EXPECT_EQ(core::MaxAbsDiff(got.payload, t), 0.0F);
+
+  ASSERT_TRUE(a->Recv(got, 100ms).ok());
+  EXPECT_EQ(got.type, MsgType::kAck);
+}
+
+TEST(InMemoryTransportTest, RecvTimesOutOnIdleLink) {
+  auto [a, b] = MakeInMemoryPair();
+  Message got;
+  const auto st = a->Recv(got, 10ms);
+  EXPECT_EQ(st.code(), core::StatusCode::kDeadlineExceeded);
+  // The link still works afterwards.
+  ASSERT_TRUE(b->Send(Message::HeaderOnly(MsgType::kHeartbeat, 1)).ok());
+  EXPECT_TRUE(a->Recv(got, 100ms).ok());
+}
+
+TEST(InMemoryTransportTest, PeerCloseFailsSendAndRecvWithoutThrowing) {
+  auto [a, b] = MakeInMemoryPair();
+  b->Close();
+  EXPECT_EQ(a->Send(Message::HeaderOnly(MsgType::kAck, 1)).code(),
+            core::StatusCode::kUnavailable);
+  Message got;
+  EXPECT_EQ(a->Recv(got, 10ms).code(), core::StatusCode::kUnavailable);
+}
+
+TEST(InMemoryTransportTest, BufferedFramesDeliverAfterPeerClose) {
+  auto [a, b] = MakeInMemoryPair();
+  ASSERT_TRUE(b->Send(Message::HeaderOnly(MsgType::kResult, 9, "last")).ok());
+  b->Close();
+  Message got;
+  ASSERT_TRUE(a->Recv(got, 100ms).ok());
+  EXPECT_EQ(got.seq, 9);
+  EXPECT_EQ(a->Recv(got, 10ms).code(), core::StatusCode::kUnavailable);
+}
+
+TEST(InMemoryTransportTest, CloseUnblocksAConcurrentRecv) {
+  auto [a, b] = MakeInMemoryPair();
+  std::thread closer([&b] {
+    std::this_thread::sleep_for(20ms);
+    b->Close();
+  });
+  Message got;
+  const auto st = a->Recv(got, 5s);
+  EXPECT_EQ(st.code(), core::StatusCode::kUnavailable);
+  closer.join();
+}
+
+// ---- TCP ------------------------------------------------------------------
+
+struct TcpPair {
+  TransportPtr client;
+  TransportPtr server;
+};
+
+TcpPair MakeTcpPair() {
+  TcpListener listener(0);
+  auto client = TcpConnect("127.0.0.1", listener.port(), 2000ms);
+  auto server = listener.Accept(2000ms);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return {std::move(*client), std::move(*server)};
+}
+
+// A *raw* client socket (not a Transport) accepted by the listener — the
+// hostile-peer harness for the corruption tests.
+struct RawPeer {
+  int fd = -1;
+  TransportPtr server;
+  RawPeer() = default;
+  RawPeer(RawPeer&& other) noexcept
+      : fd(std::exchange(other.fd, -1)), server(std::move(other.server)) {}
+  ~RawPeer() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+RawPeer ConnectRaw(TcpListener& listener) {
+  RawPeer peer;
+  peer.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(peer.fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(listener.port());
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(peer.fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  auto server = listener.Accept(2000ms);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  if (server.ok()) peer.server = std::move(*server);
+  return peer;
+}
+
+TEST(TcpTransportTest, RoundTripsTensorFrames) {
+  auto pair = MakeTcpPair();
+  const core::Tensor t = SomeTensor(2);
+  ASSERT_TRUE(
+      pair.client->Send(Message::WithTensor(MsgType::kResult, 3, "r", t)).ok());
+  Message got;
+  ASSERT_TRUE(pair.server->Recv(got, 2000ms).ok());
+  EXPECT_EQ(got.type, MsgType::kResult);
+  EXPECT_EQ(core::MaxAbsDiff(got.payload, t), 0.0F);
+
+  ASSERT_TRUE(pair.server->Send(Message::HeaderOnly(MsgType::kAck, 3)).ok());
+  ASSERT_TRUE(pair.client->Recv(got, 2000ms).ok());
+  EXPECT_EQ(got.type, MsgType::kAck);
+}
+
+TEST(TcpTransportTest, ManyFramesInOneBurstStayFrameAligned) {
+  auto pair = MakeTcpPair();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pair.client
+                    ->Send(Message::HeaderOnly(MsgType::kHeartbeat, i,
+                                               "tag" + std::to_string(i)))
+                    .ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    Message got;
+    ASSERT_TRUE(pair.server->Recv(got, 2000ms).ok()) << "frame " << i;
+    EXPECT_EQ(got.seq, i);
+    EXPECT_EQ(got.tag, "tag" + std::to_string(i));
+  }
+}
+
+TEST(TcpTransportTest, GarbageBytesReturnDataLossNotThrow) {
+  TcpListener listener(0);
+  RawPeer peer = ConnectRaw(listener);
+
+  const char garbage[] = "this is not a FLMS frame at all ...............";
+  ASSERT_GT(::send(peer.fd, garbage, sizeof(garbage), 0), 0);
+
+  Message got;
+  const auto st = peer.server->Recv(got, 2000ms);
+  EXPECT_EQ(st.code(), core::StatusCode::kDataLoss);
+  EXPECT_TRUE(peer.server->closed());
+}
+
+TEST(TcpTransportTest, GarbageBurstWithPlausibleLengthIsStillDataLoss) {
+  // Regression: >= 8 garbage bytes arriving in one recv used to skip the
+  // early magic check; if the garbage-derived length field was small the
+  // reader stalled forever in kDeadlineExceeded instead of kDataLoss.
+  TcpListener listener(0);
+  RawPeer peer = ConnectRaw(listener);
+
+  std::uint8_t burst[16];
+  std::memset(burst, 0xAB, sizeof(burst));   // bad magic
+  const std::uint32_t small_len = 4;         // innocent-looking length
+  std::memcpy(burst + 4, &small_len, 4);
+  ASSERT_EQ(::send(peer.fd, burst, sizeof(burst), 0), 16);
+
+  Message got;
+  const auto st = peer.server->Recv(got, 2000ms);
+  EXPECT_EQ(st.code(), core::StatusCode::kDataLoss);
+}
+
+TEST(TcpTransportTest, TruncatedFrameIsDataLossOnPeerDeath) {
+  TcpListener listener(0);
+  RawPeer peer = ConnectRaw(listener);
+
+  // First half of a legitimate frame, then the peer "loses power".
+  const auto bytes = EncodeMessage(
+      Message::WithTensor(MsgType::kInfer, 1, "x", SomeTensor(3)));
+  ASSERT_GT(::send(peer.fd, bytes.data(), bytes.size() / 2, 0), 0);
+  ::close(peer.fd);
+  peer.fd = -1;
+
+  Message got;
+  const auto st = peer.server->Recv(got, 2000ms);
+  EXPECT_EQ(st.code(), core::StatusCode::kDataLoss);
+}
+
+TEST(TcpTransportTest, AbsurdFrameLengthIsDataLoss) {
+  TcpListener listener(0);
+  RawPeer peer = ConnectRaw(listener);
+
+  // Valid magic, hostile length.
+  std::uint8_t hdr[8];
+  const std::uint32_t len = 0xFFFFFFFFu;
+  std::memcpy(hdr, &kFrameMagic, 4);
+  std::memcpy(hdr + 4, &len, 4);
+  ASSERT_EQ(::send(peer.fd, hdr, sizeof(hdr), 0), 8);
+
+  Message got;
+  const auto st = peer.server->Recv(got, 2000ms);
+  EXPECT_EQ(st.code(), core::StatusCode::kDataLoss);
+}
+
+TEST(TcpTransportTest, OversizedFrameIsRejectedBySenderWithoutClosing) {
+  auto pair = MakeTcpPair();
+  // A payload whose encoded frame exceeds the wire limit must fail fast
+  // on the sender and leave the connection healthy.
+  core::Tensor huge({(64 << 20) / 4 + 1024});
+  const auto st =
+      pair.client->Send(Message::WithTensor(MsgType::kDeploy, 1, "big",
+                                            std::move(huge)));
+  EXPECT_EQ(st.code(), core::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(pair.client->closed());
+  ASSERT_TRUE(pair.client->Send(Message::HeaderOnly(MsgType::kAck, 2)).ok());
+  Message got;
+  ASSERT_TRUE(pair.server->Recv(got, 2000ms).ok());
+  EXPECT_EQ(got.seq, 2);
+}
+
+TEST(TcpTransportTest, ConnectToDeadPortFailsWithStatus) {
+  // Grab an ephemeral port, then close the listener so nobody listens.
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }
+  auto client = TcpConnect("127.0.0.1", dead_port, 500ms);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(TcpTransportTest, AcceptTimesOutWithStatus) {
+  TcpListener listener(0);
+  auto server = listener.Accept(30ms);
+  EXPECT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), core::StatusCode::kDeadlineExceeded);
+}
+
+TEST(TcpTransportTest, BadAddressIsInvalidArgument) {
+  auto client = TcpConnect("not-an-ip", 1, 100ms);
+  EXPECT_EQ(client.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fluid::dist
