@@ -32,7 +32,7 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(16)->Arg(64)->Arg(144);
+BENCHMARK(BM_Gemm)->Arg(16)->Arg(64)->Arg(144)->Arg(256)->Arg(512);
 
 void BM_Conv2dForward(benchmark::State& state) {
   const std::int64_t width = state.range(0);
@@ -45,6 +45,22 @@ void BM_Conv2dForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2dForward)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_Conv2dForwardBatched(benchmark::State& state) {
+  // Batched serving path: the fused lowering turns each fusion group into
+  // one [Cout, group·area] GEMM, so throughput/sample should rise with
+  // batch until the group size caps it. items == samples.
+  const std::int64_t batch = state.range(0);
+  core::Rng rng(2);
+  nn::Conv2d conv(16, 16, 3, 1, 1, rng);
+  core::Tensor x =
+      core::Tensor::UniformRandom({batch, 16, 14, 14}, rng, -1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, false));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_Conv2dForwardBatched)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_Conv2dBackward(benchmark::State& state) {
   const std::int64_t width = state.range(0);

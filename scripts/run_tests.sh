@@ -2,6 +2,10 @@
 # Tier-1 verify: configure, build, run every test. Exits non-zero on any
 # configure/build/test failure so CI and the PR driver can gate on it.
 #
+# The suite runs twice: once with the auto-detected SIMD GEMM kernel and
+# once pinned to FLUID_SIMD=scalar, so the portable fallback tier stays
+# correct on hosts where CPUID would never select it.
+#
 # Usage: scripts/run_tests.sh [ctest args...]
 #   e.g. scripts/run_tests.sh -R MasterWorker
 set -euo pipefail
@@ -17,4 +21,9 @@ if ! ls "${build_dir}"/fluid_*_tests >/dev/null 2>&1; then
   exit 1
 fi
 
+echo "== ctest (auto-detected SIMD tier) =="
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
+
+echo "== ctest (FLUID_SIMD=scalar) =="
+FLUID_SIMD=scalar \
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"

@@ -1,102 +1,26 @@
 #include "core/gemm.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "core/error.h"
 #include "core/parallel.h"
+#include "core/simd/gemm_kernel.h"
 
 namespace fluid::core {
 
 namespace {
 
-// BLIS-style blocking parameters, sized for the L1/L2 of a typical
-// desktop/server core (see docs/perf.md for the derivation):
-//   * the microkernel updates an MR×NR tile of C held in registers;
-//   * a KC×NR panel of packed B (~16 KB) stays L1-resident;
-//   * an MC×KC block of packed A (~48 KB) stays L2-resident;
-//   * NC bounds the packed-B working set (~NC×KC floats) to L3.
-constexpr std::int64_t MR = 6;
-constexpr std::int64_t NR = 16;
-constexpr std::int64_t KC = 256;
-constexpr std::int64_t MC = 48;
-constexpr std::int64_t NC = 1024;
-
-// Reads element (i, j) of op(M) given storage pointer/stride.
-inline float At(const float* m, std::int64_t ld, bool trans, std::int64_t i,
-                std::int64_t j) {
-  return trans ? m[j * ld + i] : m[i * ld + j];
-}
-
-// Packs the mc×kc block of op(A) at (row0, p0) into MR-row panels:
-// panel r holds rows [r*MR, r*MR+MR), laid out k-major so the microkernel
-// streams it contiguously: apack[r][p*MR + mr]. Rows beyond mc are
-// zero-padded (they are computed and discarded, never written back).
-void PackA(const float* a, std::int64_t lda, bool trans, std::int64_t row0,
-           std::int64_t p0, std::int64_t mc, std::int64_t kc, float* apack) {
-  for (std::int64_t r = 0; r < mc; r += MR) {
-    const std::int64_t rows = std::min(MR, mc - r);
-    float* panel = apack + r * kc;
-    for (std::int64_t p = 0; p < kc; ++p) {
-      float* dst = panel + p * MR;
-      for (std::int64_t mr = 0; mr < rows; ++mr) {
-        dst[mr] = At(a, lda, trans, row0 + r + mr, p0 + p);
-      }
-      for (std::int64_t mr = rows; mr < MR; ++mr) dst[mr] = 0.0F;
-    }
-  }
-}
-
-// Packs the kc×nc block of op(B) at (p0, col0) into NR-column panels,
-// k-major: bpack[c][p*NR + nr]. Columns beyond nc are zero-padded.
-void PackB(const float* b, std::int64_t ldb, bool trans, std::int64_t p0,
-           std::int64_t col0, std::int64_t kc, std::int64_t nc, float* bpack) {
-  for (std::int64_t c = 0; c < nc; c += NR) {
-    const std::int64_t cols = std::min(NR, nc - c);
-    float* panel = bpack + c * kc;
-    if (!trans && cols == NR) {
-      // Hot case: contiguous row segments of B.
-      for (std::int64_t p = 0; p < kc; ++p) {
-        const float* src = b + (p0 + p) * ldb + col0 + c;
-        float* dst = panel + p * NR;
-        for (std::int64_t nr = 0; nr < NR; ++nr) dst[nr] = src[nr];
-      }
-      continue;
-    }
-    for (std::int64_t p = 0; p < kc; ++p) {
-      float* dst = panel + p * NR;
-      for (std::int64_t nr = 0; nr < cols; ++nr) {
-        dst[nr] = At(b, ldb, trans, p0 + p, col0 + c + nr);
-      }
-      for (std::int64_t nr = cols; nr < NR; ++nr) dst[nr] = 0.0F;
-    }
-  }
-}
-
-// Register-tiled microkernel: acc[MR][NR] = Apanel × Bpanel over kc steps.
-// Fixed trip counts so the compiler keeps the tile in vector registers;
-// the k-loop runs in strictly increasing p order, which (together with the
-// fixed KC block boundaries) is what makes results independent of the
-// thread count. No zero-skip branches: 0 × NaN must stay NaN.
-inline void MicroKernel(std::int64_t kc, const float* ap, const float* bp,
-                        float* acc) {
-  for (std::int64_t p = 0; p < kc; ++p) {
-    const float* a = ap + p * MR;
-    const float* b = bp + p * NR;
-    for (std::int64_t mr = 0; mr < MR; ++mr) {
-      const float av = a[mr];
-      float* row = acc + mr * NR;
-      for (std::int64_t nr = 0; nr < NR; ++nr) row[nr] += av * b[nr];
-    }
-  }
-}
-
-// Accumulates alpha·acc into the rows×cols corner of C at (i0, j0).
-inline void WriteBack(const float* acc, float alpha, std::int64_t rows,
-                      std::int64_t cols, float* c, std::int64_t ldc) {
+// Accumulates alpha·acc into the rows×cols corner of C at the given
+// pointer. `acc_ld` is the kernel's NR (the packed accumulator stride).
+inline void WriteBack(const float* acc, std::int64_t acc_ld, float alpha,
+                      std::int64_t rows, std::int64_t cols, float* c,
+                      std::int64_t ldc) {
   for (std::int64_t mr = 0; mr < rows; ++mr) {
     float* crow = c + mr * ldc;
-    const float* arow = acc + mr * NR;
+    const float* arow = acc + mr * acc_ld;
     for (std::int64_t nr = 0; nr < cols; ++nr) {
       crow[nr] += alpha * arow[nr];
     }
@@ -108,6 +32,16 @@ inline void WriteBack(const float* acc, float alpha, std::int64_t rows,
 thread_local std::vector<float> tl_apack;
 thread_local std::vector<float> tl_bpack;
 
+// Tags for the packed-A cache: parallel tasks are (row block × jr group)
+// pairs, so several tasks on one thread may share a row block. Each
+// (jc, pc) iteration gets a fresh epoch; a task repacks A only when its
+// thread's scratch holds a different (epoch, block). Task indices are
+// blk-major, so consecutive tasks on a thread usually hit the cache and a
+// single-threaded run packs each A block exactly once, like the pure
+// M-partitioned driver did.
+std::atomic<std::uint64_t> g_pack_epoch{0};
+thread_local std::uint64_t tl_apack_epoch = 0;
+thread_local std::int64_t tl_apack_blk = -1;
 
 }  // namespace
 
@@ -136,42 +70,69 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
   }
   if (k == 0 || alpha == 0.0F) return;
 
+  // Blocking parameters, pack formats, and the microkernel all come from
+  // the dispatch entry (CPUID-selected once, FLUID_SIMD override); the
+  // driver below is tier-agnostic. Within a tier the blocking constants
+  // are fixed, so every C element's accumulation order — and therefore
+  // the result — is bitwise independent of the thread count.
+  const simd::GemmKernel& kern = simd::ActiveGemmKernel();
+  const std::int64_t MR = kern.mr, NR = kern.nr;
+  const std::int64_t KC = kern.kc, MC = kern.mc, NC = kern.nc;
+
   // Shared packed-B block, sized to the actual problem (not the blocking
   // maxima). The buffer is only read inside the parallel region below, and
   // each (jc, pc) block finishes before the next is packed, so sharing the
   // caller's thread-local buffer is safe.
   auto& bpack = tl_bpack;
-  core::EnsureScratch(bpack, std::min(KC, k) * ((std::min(NC, n) + NR - 1) / NR * NR));
+  core::EnsureScratch(bpack, std::min(KC, k) *
+                                 ((std::min(NC, n) + NR - 1) / NR * NR));
   const std::int64_t m_blocks = (m + MC - 1) / MC;
+  // Parallel tasks are (MC row block × jr panel group) pairs, so short,
+  // wide GEMMs — the fused conv lowerings have only Cout ≤ MC rows —
+  // still spread across cores. Group extent is a fixed multiple of NR,
+  // so task boundaries never depend on the thread count.
+  const std::int64_t jr_task_cols = 4 * NR;
 
   for (std::int64_t jc = 0; jc < n; jc += NC) {
     const std::int64_t nc = std::min(NC, n - jc);
     const std::int64_t nc_padded = (nc + NR - 1) / NR * NR;
     for (std::int64_t pc = 0; pc < k; pc += KC) {
       const std::int64_t kc = std::min(KC, k - pc);
-      PackB(b, ldb, trans_b, pc, jc, kc, nc, bpack.data());
+      kern.pack_b(b, ldb, trans_b, pc, jc, kc, nc, bpack.data());
 
-      // Threads own disjoint MC row blocks of C; packed B is shared
-      // read-only. Block boundaries are fixed by MC, so the floating-point
-      // order per C element never depends on the thread count.
-      ParallelForEach(0, m_blocks, 1, [&](std::int64_t blk) {
+      // Tasks own disjoint (row block, column group) tiles of C; packed B
+      // is shared read-only. Every C element is accumulated by exactly
+      // one task, in strictly increasing k order, so the floating-point
+      // order per element never depends on the thread count.
+      const std::uint64_t epoch =
+          g_pack_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+      const std::int64_t jr_tasks =
+          (nc_padded + jr_task_cols - 1) / jr_task_cols;
+      ParallelForEach(0, m_blocks * jr_tasks, 1, [&](std::int64_t task) {
+        const std::int64_t blk = task / jr_tasks;
+        const std::int64_t jt = task % jr_tasks;
         const std::int64_t ic = blk * MC;
         const std::int64_t mc = std::min(MC, m - ic);
         const std::int64_t mc_padded = (mc + MR - 1) / MR * MR;
         auto& apack = tl_apack;
-        core::EnsureScratch(apack, mc_padded * kc);
-        PackA(a, lda, trans_a, ic, pc, mc, kc, apack.data());
+        if (tl_apack_epoch != epoch || tl_apack_blk != blk) {
+          core::EnsureScratch(apack, mc_padded * kc);
+          kern.pack_a(a, lda, trans_a, ic, pc, mc, kc, apack.data());
+          tl_apack_epoch = epoch;
+          tl_apack_blk = blk;
+        }
 
-        alignas(64) float acc[MR * NR];
-        for (std::int64_t jr = 0; jr < nc_padded; jr += NR) {
+        alignas(64) float acc[simd::kMaxMr * simd::kMaxNr];
+        const std::int64_t jr_end =
+            std::min(jr_task_cols * (jt + 1), nc_padded);
+        for (std::int64_t jr = jt * jr_task_cols; jr < jr_end; jr += NR) {
           const float* bp = bpack.data() + jr * kc;
           const std::int64_t cols = std::min(NR, nc - jr);
           for (std::int64_t ir = 0; ir < mc; ir += MR) {
             const std::int64_t rows = std::min(MR, mc - ir);
-            std::fill(acc, acc + MR * NR, 0.0F);
-            MicroKernel(kc, apack.data() + ir * kc, bp, acc);
-            WriteBack(acc, alpha, rows, cols, c + (ic + ir) * ldc + jc + jr,
-                      ldc);
+            kern.micro(kc, apack.data() + ir * kc, bp, acc);
+            WriteBack(acc, NR, alpha, rows, cols,
+                      c + (ic + ir) * ldc + jc + jr, ldc);
           }
         }
       });

@@ -1,9 +1,10 @@
 #pragma once
 // Single-precision GEMM: C = alpha * op(A) * op(B) + beta * C.
 //
-// A portable cache-blocked kernel — no BLAS dependency so the library
-// builds offline on any box. Good enough for the paper's kernels (the
-// biggest GEMM in the 100 % model is 16×144 by 144×batch).
+// A cache-blocked, packed driver over hand-written FMA microkernels with
+// runtime CPUID dispatch (AVX-512 / AVX2 / portable scalar — see
+// core/simd/gemm_kernel.h and FLUID_SIMD). No BLAS dependency, so the
+// library builds offline on any box.
 
 #include <cstdint>
 

@@ -1,0 +1,98 @@
+// Runtime kernel selection: CPUID-probed once at first Gemm, overridable
+// with FLUID_SIMD=avx512|avx2|scalar (unknown/unsupported values warn and
+// fall back to auto-detection).
+
+#include "core/simd/gemm_kernel.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "core/error.h"
+#include "core/logging.h"
+
+namespace fluid::core::simd {
+
+extern const GemmKernel kGemmKernelScalar;
+#if defined(__x86_64__) || defined(__i386__)
+extern const GemmKernel kGemmKernelAvx2;
+extern const GemmKernel kGemmKernelAvx512;
+#endif
+
+namespace {
+
+// Best first; resolution walks the table in order.
+const GemmKernel* const kTable[] = {
+#if defined(__x86_64__) || defined(__i386__)
+    &kGemmKernelAvx512,
+    &kGemmKernelAvx2,
+#endif
+    &kGemmKernelScalar,
+};
+
+// The kernel entries live in other translation units, so the tile/blocking
+// invariants the driver relies on are checked once at first resolution
+// rather than via static_assert.
+void CheckTableInvariants() {
+  [[maybe_unused]] static const bool checked = [] {
+    for (const GemmKernel* k : kTable) {
+      FLUID_CHECK_MSG(k->mr <= kMaxMr && k->nr <= kMaxNr,
+                      "GemmKernel tile exceeds kMaxMr×kMaxNr");
+      FLUID_CHECK_MSG(k->mc % k->mr == 0,
+                      "GemmKernel MC must be a multiple of MR");
+    }
+    return true;
+  }();
+}
+
+std::atomic<const GemmKernel*> g_active{nullptr};
+
+const GemmKernel* ResolveFromEnvironment() {
+  const char* env = std::getenv("FLUID_SIMD");
+  if (env != nullptr && *env != '\0') {
+    if (const GemmKernel* k = ResolveGemmKernel(env)) return k;
+    FLUID_LOG(Warn) << "FLUID_SIMD=" << env
+                    << " is unknown or unsupported on this CPU; "
+                       "auto-detecting";
+  }
+  return ResolveGemmKernel(nullptr);
+}
+
+}  // namespace
+
+std::span<const GemmKernel* const> AllGemmKernels() { return kTable; }
+
+const GemmKernel* GemmKernelByName(std::string_view name) {
+  for (const GemmKernel* k : kTable) {
+    if (name == k->name) return k;
+  }
+  return nullptr;
+}
+
+const GemmKernel* ResolveGemmKernel(const char* override_name) {
+  if (override_name != nullptr && *override_name != '\0') {
+    const GemmKernel* k = GemmKernelByName(override_name);
+    return (k != nullptr && k->supported()) ? k : nullptr;
+  }
+  for (const GemmKernel* k : kTable) {
+    if (k->supported()) return k;
+  }
+  return &kGemmKernelScalar;  // unreachable: scalar is always supported
+}
+
+const GemmKernel& ActiveGemmKernel() {
+  const GemmKernel* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    // Benign race: resolution is idempotent, so concurrent first calls
+    // agree on the result.
+    CheckTableInvariants();
+    k = ResolveFromEnvironment();
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+void SetGemmKernelForTesting(const GemmKernel* kernel) {
+  g_active.store(kernel, std::memory_order_release);
+}
+
+}  // namespace fluid::core::simd

@@ -1,0 +1,80 @@
+#pragma once
+// GEMM microkernel dispatch: hand-written FMA kernels selected once at
+// startup by CPUID, overridable with FLUID_SIMD=avx512|avx2|scalar.
+//
+// Each kernel entry carries its own register-tile shape (MR×NR), its
+// blocking parameters (KC/MC/NC), and pack routines specialised to that
+// tile, so `core::Gemm` is a single generic driver: it packs with the
+// kernel's routines, calls the kernel's microkernel on zero-padded panels,
+// and clips ragged edges at write-back. Results are bitwise deterministic
+// across thread counts *within* a dispatch tier (the blocking constants --
+// and therefore every C element's accumulation order -- are fixed per
+// tier); different tiers may round differently and are compared with a
+// tolerance in tests.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace fluid::core::simd {
+
+/// One dispatch-table entry. All function pointers are non-null.
+struct GemmKernel {
+  const char* name;  // "avx512" | "avx2" | "scalar"; FLUID_SIMD values.
+
+  // Register tile: the microkernel updates an mr×nr accumulator block.
+  std::int64_t mr, nr;
+  // Cache blocking: kc×nr B panel L1-resident, mc×kc A block L2-resident,
+  // nc bounds the packed-B working set. mc is a multiple of mr.
+  std::int64_t kc, mc, nc;
+
+  /// acc[mr*nr] (row-major, nr stride) = Apanel × Bpanel over `kc` steps;
+  /// overwrites acc. Panels are k-major, zero-padded: ap[p*mr + i],
+  /// bp[p*nr + j].
+  void (*micro)(std::int64_t kc, const float* ap, const float* bp,
+                float* acc);
+
+  /// Packs the mc×kc block of op(A) at (row0, p0) into mr-row, k-major,
+  /// zero-padded panels: apack[(r/mr)*mr*kc + p*mr + i].
+  void (*pack_a)(const float* a, std::int64_t lda, bool trans,
+                 std::int64_t row0, std::int64_t p0, std::int64_t mc,
+                 std::int64_t kc, float* apack);
+
+  /// Packs the kc×nc block of op(B) at (p0, col0) into nr-column, k-major,
+  /// zero-padded panels: bpack[(c/nr)*nr*kc + p*nr + j].
+  void (*pack_b)(const float* b, std::int64_t ldb, bool trans,
+                 std::int64_t p0, std::int64_t col0, std::int64_t kc,
+                 std::int64_t nc, float* bpack);
+
+  /// True when this host's CPU (and OS) can run the kernel.
+  bool (*supported)();
+};
+
+/// Largest mr×nr accumulator any registered kernel uses; the driver's
+/// stack tile is sized with this.
+inline constexpr std::int64_t kMaxMr = 8;
+inline constexpr std::int64_t kMaxNr = 48;
+
+/// All registered kernels, best first (avx512, avx2, scalar). Entries are
+/// present even when not supported on this host; check supported().
+std::span<const GemmKernel* const> AllGemmKernels();
+
+/// Kernel with the given FLUID_SIMD name, or nullptr if unknown.
+const GemmKernel* GemmKernelByName(std::string_view name);
+
+/// Selection logic, exposed for tests. `override_name` mirrors FLUID_SIMD:
+/// nullptr/empty selects the best supported kernel; a known, supported
+/// name selects that kernel; an unknown or unsupported name returns
+/// nullptr (the env path logs a warning and falls back to auto).
+const GemmKernel* ResolveGemmKernel(const char* override_name);
+
+/// The kernel `core::Gemm` uses. Resolved once (CPUID + FLUID_SIMD) on
+/// first use and cached.
+const GemmKernel& ActiveGemmKernel();
+
+/// Test hook: force a specific kernel (nullptr re-resolves from the
+/// environment on next use). Not thread-safe against concurrent Gemm
+/// calls; tests restore the previous state.
+void SetGemmKernelForTesting(const GemmKernel* kernel);
+
+}  // namespace fluid::core::simd

@@ -1,0 +1,68 @@
+// AVX2+FMA tier: 6×16 register tile — 12 ymm accumulators, 2 ymm B loads
+// and one broadcast per k-step (15 of the 16 ymm registers live). Compiled
+// with a per-function target attribute so the object builds at any -march;
+// dispatch only selects it when CPUID reports AVX2+FMA.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "core/simd/gemm_kernel.h"
+#include "core/simd/pack.h"
+
+namespace fluid::core::simd {
+
+namespace {
+
+constexpr std::int64_t MR = 6;
+constexpr std::int64_t NR = 16;
+
+__attribute__((target("avx2,fma"))) void MicroAvx2(std::int64_t kc,
+                                                   const float* ap,
+                                                   const float* bp,
+                                                   float* acc) {
+  __m256 c[MR][2];
+  for (int i = 0; i < MR; ++i) {
+    c[i][0] = _mm256_setzero_ps();
+    c[i][1] = _mm256_setzero_ps();
+  }
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    const float* b = bp + p * NR;
+    const __m256 b0 = _mm256_loadu_ps(b);
+    const __m256 b1 = _mm256_loadu_ps(b + 8);
+#pragma GCC unroll 6
+    for (int i = 0; i < MR; ++i) {
+      const __m256 ai = _mm256_broadcast_ss(a + i);
+      c[i][0] = _mm256_fmadd_ps(ai, b0, c[i][0]);
+      c[i][1] = _mm256_fmadd_ps(ai, b1, c[i][1]);
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    _mm256_storeu_ps(acc + i * NR, c[i][0]);
+    _mm256_storeu_ps(acc + i * NR + 8, c[i][1]);
+  }
+}
+
+bool Avx2Supported() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+}  // namespace
+
+extern const GemmKernel kGemmKernelAvx2 = {
+    .name = "avx2",
+    .mr = MR,
+    .nr = NR,
+    .kc = 256,  // KC×NR B panel ≈ 16 KB, L1-resident
+    .mc = 48,   // MC×KC A block ≈ 48 KB, L2-resident
+    .nc = 1024,
+    .micro = MicroAvx2,
+    .pack_a = PackA<MR>,
+    .pack_b = PackB<NR>,
+    .supported = Avx2Supported,
+};
+
+}  // namespace fluid::core::simd
+
+#endif  // x86

@@ -1,0 +1,76 @@
+// AVX-512 tier: 8×48 register tile — 24 zmm accumulators, 3 zmm B loads
+// and one broadcast per k-step (28 of the 32 zmm registers live). The
+// tile shape is chosen for this library's GEMMs: Cout ∈ {8, 16} conv
+// lowerings and the n=144 class dimension divide 8 and 48 exactly, so the
+// hot shapes run at full tile utilisation. 24 independent FMA chains cover
+// the 2-port × 4-cycle FMA latency×throughput product with room to spare.
+//
+// Compiled with a per-function target attribute so the object builds at
+// any -march; dispatch only selects it when CPUID (incl. OS XSAVE state)
+// reports AVX-512F.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "core/simd/gemm_kernel.h"
+#include "core/simd/pack.h"
+
+namespace fluid::core::simd {
+
+namespace {
+
+constexpr std::int64_t MR = 8;
+constexpr std::int64_t NR = 48;
+
+__attribute__((target("avx512f"))) void MicroAvx512(std::int64_t kc,
+                                                    const float* ap,
+                                                    const float* bp,
+                                                    float* acc) {
+  __m512 c[MR][3];
+  for (int i = 0; i < MR; ++i) {
+    c[i][0] = _mm512_setzero_ps();
+    c[i][1] = _mm512_setzero_ps();
+    c[i][2] = _mm512_setzero_ps();
+  }
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    const float* b = bp + p * NR;
+    const __m512 b0 = _mm512_loadu_ps(b);
+    const __m512 b1 = _mm512_loadu_ps(b + 16);
+    const __m512 b2 = _mm512_loadu_ps(b + 32);
+#pragma GCC unroll 8
+    for (int i = 0; i < MR; ++i) {
+      const __m512 ai = _mm512_set1_ps(a[i]);
+      c[i][0] = _mm512_fmadd_ps(ai, b0, c[i][0]);
+      c[i][1] = _mm512_fmadd_ps(ai, b1, c[i][1]);
+      c[i][2] = _mm512_fmadd_ps(ai, b2, c[i][2]);
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    _mm512_storeu_ps(acc + i * NR, c[i][0]);
+    _mm512_storeu_ps(acc + i * NR + 16, c[i][1]);
+    _mm512_storeu_ps(acc + i * NR + 32, c[i][2]);
+  }
+}
+
+bool Avx512Supported() { return __builtin_cpu_supports("avx512f"); }
+
+}  // namespace
+
+extern const GemmKernel kGemmKernelAvx512 = {
+    .name = "avx512",
+    .mr = MR,
+    .nr = NR,
+    .kc = 192,   // KC×NR B panel ≈ 36 KB, fits a 48 KB L1d
+    .mc = 96,    // MC×KC A block ≈ 72 KB, L2-resident (12 MR-panels)
+    .nc = 1920,  // packed-B working set ≈ 1.4 MB, L3-resident
+    .micro = MicroAvx512,
+    .pack_a = PackA<MR>,
+    .pack_b = PackB<NR>,
+    .supported = Avx512Supported,
+};
+
+}  // namespace fluid::core::simd
+
+#endif  // x86

@@ -1,0 +1,52 @@
+// Portable fallback tier: the PR 1 autovectorised 6×16 register tile.
+// Fixed trip counts so the compiler keeps the accumulator block in vector
+// registers on whatever ISA it targets; on hosts with AVX this tier still
+// vectorises, it just leaves FMA scheduling to the compiler. No zero-skip
+// branches: 0 × NaN must stay NaN.
+
+#include "core/simd/gemm_kernel.h"
+#include "core/simd/pack.h"
+
+namespace fluid::core::simd {
+
+namespace {
+
+constexpr std::int64_t MR = 6;
+constexpr std::int64_t NR = 16;
+
+// __restrict__ matters here: behind the dispatch function pointer the
+// compiler can no longer see the caller's disjoint buffers, and assumed
+// aliasing between acc and the panels blocks autovectorisation entirely
+// (~10× slower without it).
+void MicroScalar(std::int64_t kc, const float* __restrict__ ap,
+                 const float* __restrict__ bp, float* __restrict__ acc) {
+  for (std::int64_t i = 0; i < MR * NR; ++i) acc[i] = 0.0F;
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    const float* b = bp + p * NR;
+    for (std::int64_t mr = 0; mr < MR; ++mr) {
+      const float av = a[mr];
+      float* row = acc + mr * NR;
+      for (std::int64_t nr = 0; nr < NR; ++nr) row[nr] += av * b[nr];
+    }
+  }
+}
+
+bool AlwaysSupported() { return true; }
+
+}  // namespace
+
+extern const GemmKernel kGemmKernelScalar = {
+    .name = "scalar",
+    .mr = MR,
+    .nr = NR,
+    .kc = 256,  // KC×NR B panel ≈ 16 KB, L1-resident
+    .mc = 48,   // MC×KC A block ≈ 48 KB, L2-resident
+    .nc = 1024,
+    .micro = MicroScalar,
+    .pack_a = PackA<MR>,
+    .pack_b = PackB<NR>,
+    .supported = AlwaysSupported,
+};
+
+}  // namespace fluid::core::simd

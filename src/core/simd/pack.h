@@ -1,0 +1,75 @@
+#pragma once
+// Panel packing for the GEMM microkernels, templated on the register-tile
+// extent so each dispatch tier gets fully-unrolled copy loops for its own
+// MR/NR. All four transpose combinations are resolved here, so every tier
+// has exactly one microkernel; ragged edges are zero-padded in the packed
+// panels (computed and discarded, never written back).
+
+#include <algorithm>
+#include <cstdint>
+
+namespace fluid::core::simd {
+
+/// Reads element (i, j) of op(M) given storage pointer/stride.
+inline float At(const float* m, std::int64_t ld, bool trans, std::int64_t i,
+                std::int64_t j) {
+  return trans ? m[j * ld + i] : m[i * ld + j];
+}
+
+/// Packs the mc×kc block of op(A) at (row0, p0) into MR-row panels:
+/// panel r holds rows [r*MR, r*MR+MR), laid out k-major so the microkernel
+/// streams it contiguously: apack[r][p*MR + mr]. Rows beyond mc are
+/// zero-padded.
+template <std::int64_t MR>
+void PackA(const float* a, std::int64_t lda, bool trans, std::int64_t row0,
+           std::int64_t p0, std::int64_t mc, std::int64_t kc, float* apack) {
+  for (std::int64_t r = 0; r < mc; r += MR) {
+    const std::int64_t rows = std::min(MR, mc - r);
+    float* panel = apack + r * kc;
+    if (trans && rows == MR) {
+      // Hot case for op(A) = Aᵀ: a k-step reads MR contiguous floats.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = a + (p0 + p) * lda + row0 + r;
+        float* dst = panel + p * MR;
+        for (std::int64_t mr = 0; mr < MR; ++mr) dst[mr] = src[mr];
+      }
+      continue;
+    }
+    for (std::int64_t p = 0; p < kc; ++p) {
+      float* dst = panel + p * MR;
+      for (std::int64_t mr = 0; mr < rows; ++mr) {
+        dst[mr] = At(a, lda, trans, row0 + r + mr, p0 + p);
+      }
+      for (std::int64_t mr = rows; mr < MR; ++mr) dst[mr] = 0.0F;
+    }
+  }
+}
+
+/// Packs the kc×nc block of op(B) at (p0, col0) into NR-column panels,
+/// k-major: bpack[c][p*NR + nr]. Columns beyond nc are zero-padded.
+template <std::int64_t NR>
+void PackB(const float* b, std::int64_t ldb, bool trans, std::int64_t p0,
+           std::int64_t col0, std::int64_t kc, std::int64_t nc, float* bpack) {
+  for (std::int64_t c = 0; c < nc; c += NR) {
+    const std::int64_t cols = std::min(NR, nc - c);
+    float* panel = bpack + c * kc;
+    if (!trans && cols == NR) {
+      // Hot case: contiguous row segments of B.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = b + (p0 + p) * ldb + col0 + c;
+        float* dst = panel + p * NR;
+        for (std::int64_t nr = 0; nr < NR; ++nr) dst[nr] = src[nr];
+      }
+      continue;
+    }
+    for (std::int64_t p = 0; p < kc; ++p) {
+      float* dst = panel + p * NR;
+      for (std::int64_t nr = 0; nr < cols; ++nr) {
+        dst[nr] = At(b, ldb, trans, p0 + p, col0 + c + nr);
+      }
+      for (std::int64_t nr = cols; nr < NR; ++nr) dst[nr] = 0.0F;
+    }
+  }
+}
+
+}  // namespace fluid::core::simd

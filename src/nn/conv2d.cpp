@@ -1,24 +1,12 @@
 #include "nn/conv2d.h"
 
 #include <sstream>
-#include <vector>
 
 #include "core/error.h"
-#include "core/gemm.h"
-#include "core/parallel.h"
+#include "nn/conv_gemm.h"
 #include "nn/im2col.h"
 
 namespace fluid::nn {
-
-namespace {
-// Samples per batch chunk in Forward/Backward. Chunk boundaries are fixed
-// (independent of thread count) and Backward reduces chunk partials in
-// index order, so results are reproducible at any FLUID_NUM_THREADS.
-// Chunking also bounds the im2col working set to
-// O(threads · kBatchChunk · patch · area) instead of O(batch · ...).
-constexpr std::int64_t kBatchChunk = 4;
-
-}  // namespace
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t kernel, std::int64_t stride, std::int64_t pad,
@@ -47,42 +35,13 @@ core::Tensor Conv2d::Forward(const core::Tensor& input, bool training) {
   const std::int64_t batch = s[0], height = s[2], width = s[3];
   const std::int64_t out_h = ConvOutExtent(height, kernel_, stride_, pad_);
   const std::int64_t out_w = ConvOutExtent(width, kernel_, stride_, pad_);
-  const std::int64_t patch = in_channels_ * kernel_ * kernel_;
-  const std::int64_t area = out_h * out_w;
 
   core::Tensor output({batch, out_channels_, out_h, out_w});
-  const std::int64_t in_plane = in_channels_ * height * width;
-  const std::int64_t per_sample = patch * area;
-
-  // Chunks of the batch lower into a thread-local cols buffer and write
-  // disjoint output planes; deterministic at any thread count.
-  core::ParallelForChunks(
-      0, batch, kBatchChunk,
-      [&](std::int64_t, std::int64_t lo, std::int64_t hi) {
-        const std::int64_t cnt = hi - lo;
-        thread_local std::vector<float> cols;
-        core::EnsureScratch(cols, cnt * per_sample);
-        Im2ColBatched(
-            input.data().subspan(static_cast<std::size_t>(lo * in_plane),
-                                 static_cast<std::size_t>(cnt * in_plane)),
-            cnt, in_channels_, height, width, 0, in_channels_, kernel_,
-            stride_, pad_,
-            std::span<float>(cols.data(),
-                             static_cast<std::size_t>(cnt * per_sample)));
-        for (std::int64_t n = lo; n < hi; ++n) {
-          float* out_sample = output.data().data() + n * out_channels_ * area;
-          // out [Cout, area] = W [Cout, patch] × cols [patch, area]
-          core::Gemm(false, false, out_channels_, area, patch, 1.0F,
-                     weight_.data().data(), patch,
-                     cols.data() + (n - lo) * per_sample, area, 0.0F,
-                     out_sample, area);
-          for (std::int64_t c = 0; c < out_channels_; ++c) {
-            const float b = bias_.data()[static_cast<std::size_t>(c)];
-            float* row = out_sample + c * area;
-            for (std::int64_t i = 0; i < area; ++i) row[i] += b;
-          }
-        }
-      });
+  // Fused-batch lowering: one [Cout, group·area] GEMM per fusion group
+  // (see conv_gemm.h); deterministic at any thread count.
+  ConvForwardFused(input.data(), batch, in_channels_, height, width, kernel_,
+                   stride_, pad_, out_channels_, weight_.data().data(),
+                   bias_.data().data(), output.data());
   if (training) cached_input_ = input;
   return output;
 }
@@ -96,85 +55,28 @@ core::Tensor Conv2d::Backward(const core::Tensor& grad_output) {
   const std::int64_t out_h = ConvOutExtent(height, kernel_, stride_, pad_);
   const std::int64_t out_w = ConvOutExtent(width, kernel_, stride_, pad_);
   const std::int64_t patch = in_channels_ * kernel_ * kernel_;
-  const std::int64_t area = out_h * out_w;
   FLUID_CHECK_MSG(grad_output.shape() ==
                       core::Shape({batch, out_channels_, out_h, out_w}),
                   "Conv2d::Backward grad shape mismatch");
 
   core::Tensor grad_input(in_shape);
-  const std::int64_t in_plane = in_channels_ * height * width;
-  const std::int64_t per_sample = patch * area;
-
-  // Weight/bias gradients accumulate across samples, so chunks of the
-  // batch get private partial accumulators that are reduced in chunk
-  // order afterwards (fixed chunking → thread-count-independent sums).
-  // The grad_input planes are per-sample disjoint and written in place.
-  const std::int64_t chunks = core::NumChunks(0, batch, kBatchChunk);
-  std::vector<float> gw(static_cast<std::size_t>(chunks * out_channels_ *
-                                                 patch));
-  std::vector<double> gb(static_cast<std::size_t>(chunks * out_channels_));
-
-  core::ParallelForChunks(
-      0, batch, kBatchChunk,
-      [&](std::int64_t chunk, std::int64_t lo, std::int64_t hi) {
-        const std::int64_t cnt = hi - lo;
-        float* gw_chunk = gw.data() + chunk * out_channels_ * patch;
-        double* gb_chunk = gb.data() + chunk * out_channels_;
-        thread_local std::vector<float> cols;
-        thread_local std::vector<float> grad_cols;
-        core::EnsureScratch(cols, cnt * per_sample);
-        core::EnsureScratch(grad_cols, cnt * per_sample);
-        Im2ColBatched(
-            cached_input_.data().subspan(
-                static_cast<std::size_t>(lo * in_plane),
-                static_cast<std::size_t>(cnt * in_plane)),
-            cnt, in_channels_, height, width, 0, in_channels_, kernel_,
-            stride_, pad_,
-            std::span<float>(cols.data(),
-                             static_cast<std::size_t>(cnt * per_sample)));
-        for (std::int64_t n = lo; n < hi; ++n) {
-          const float* sample_cols = cols.data() + (n - lo) * per_sample;
-          const float* go_sample =
-              grad_output.data().data() + n * out_channels_ * area;
-          // dW_chunk [Cout, patch] += gO [Cout, area] × colsᵀ [area, patch]
-          core::Gemm(false, true, out_channels_, patch, area, 1.0F, go_sample,
-                     area, sample_cols, area, n == lo ? 0.0F : 1.0F, gw_chunk,
-                     patch);
-          // db_chunk += row sums of gO
-          for (std::int64_t c = 0; c < out_channels_; ++c) {
-            double s = 0.0;
-            const float* row = go_sample + c * area;
-            for (std::int64_t i = 0; i < area; ++i) s += row[i];
-            gb_chunk[c] += s;
-          }
-          // gCols [patch, area] = Wᵀ [patch, Cout] × gO [Cout, area]
-          core::Gemm(true, false, patch, area, out_channels_, 1.0F,
-                     weight_.data().data(), patch, go_sample, area, 0.0F,
-                     grad_cols.data() + (n - lo) * per_sample, area);
+  // Shared deterministic chunked-accumulation scaffolding (conv_gemm.h);
+  // the reduce callback folds each chunk's partials into the dense
+  // gradient accumulators in chunk order.
+  ConvBackwardChunked(
+      cached_input_.data(), grad_output.data(), batch, in_channels_, height,
+      width, kernel_, stride_, pad_, out_channels_, weight_.data().data(),
+      grad_input.data(),
+      [&](const float* gw_chunk, const double* gb_chunk) {
+        float* dst = weight_grad_.data().data();
+        for (std::int64_t j = 0; j < out_channels_ * patch; ++j) {
+          dst[j] += gw_chunk[j];
         }
-        Col2ImBatched(
-            std::span<const float>(grad_cols.data(),
-                                   static_cast<std::size_t>(cnt * per_sample)),
-            cnt, in_channels_, height, width, 0, in_channels_, kernel_,
-            stride_, pad_,
-            grad_input.data().subspan(
-                static_cast<std::size_t>(lo * in_plane),
-                static_cast<std::size_t>(cnt * in_plane)));
+        for (std::int64_t c = 0; c < out_channels_; ++c) {
+          bias_grad_.data()[static_cast<std::size_t>(c)] +=
+              static_cast<float>(gb_chunk[c]);
+        }
       });
-
-  // Ordered reduction of the chunk partials.
-  for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
-    const float* gw_chunk = gw.data() + chunk * out_channels_ * patch;
-    float* dst = weight_grad_.data().data();
-    for (std::int64_t j = 0; j < out_channels_ * patch; ++j) {
-      dst[j] += gw_chunk[j];
-    }
-    const double* gb_chunk = gb.data() + chunk * out_channels_;
-    for (std::int64_t c = 0; c < out_channels_; ++c) {
-      bias_grad_.data()[static_cast<std::size_t>(c)] +=
-          static_cast<float>(gb_chunk[c]);
-    }
-  }
   return grad_input;
 }
 

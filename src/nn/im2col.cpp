@@ -13,29 +13,23 @@ std::int64_t ConvOutExtent(std::int64_t in, std::int64_t kernel,
   return padded / stride + 1;
 }
 
-void Im2Col(std::span<const float> input, std::int64_t channels,
-            std::int64_t height, std::int64_t width, std::int64_t c_lo,
-            std::int64_t c_hi, std::int64_t kernel, std::int64_t stride,
-            std::int64_t pad, std::span<float> cols) {
-  FLUID_CHECK_MSG(0 <= c_lo && c_lo < c_hi && c_hi <= channels,
-                  "Im2Col channel slice out of range");
-  FLUID_CHECK_MSG(static_cast<std::int64_t>(input.size()) ==
-                      channels * height * width,
-                  "Im2Col input size mismatch");
-  const std::int64_t out_h = ConvOutExtent(height, kernel, stride, pad);
-  const std::int64_t out_w = ConvOutExtent(width, kernel, stride, pad);
-  const std::int64_t slice = c_hi - c_lo;
-  FLUID_CHECK_MSG(static_cast<std::int64_t>(cols.size()) ==
-                      slice * kernel * kernel * out_h * out_w,
-                  "Im2Col cols size mismatch");
+namespace {
 
-  const std::int64_t patch_area = out_h * out_w;
+// Core lowering with an explicit output row stride: patch row r of the
+// sample lands at cols_out + r * row_stride. The per-sample layout uses
+// row_stride == area; the fused layout uses row_stride == batch * area
+// with a per-sample column offset already applied to cols_out.
+void Im2ColStrided(const float* input, std::int64_t height, std::int64_t width,
+                   std::int64_t c_lo, std::int64_t c_hi, std::int64_t kernel,
+                   std::int64_t stride, std::int64_t pad, std::int64_t out_h,
+                   std::int64_t out_w, float* cols_out,
+                   std::int64_t row_stride) {
   std::int64_t row = 0;
   for (std::int64_t c = c_lo; c < c_hi; ++c) {
-    const float* chan = input.data() + c * height * width;
+    const float* chan = input + c * height * width;
     for (std::int64_t ky = 0; ky < kernel; ++ky) {
       for (std::int64_t kx = 0; kx < kernel; ++kx, ++row) {
-        float* dst = cols.data() + row * patch_area;
+        float* dst = cols_out + row * row_stride;
         for (std::int64_t oy = 0; oy < out_h; ++oy) {
           const std::int64_t iy = oy * stride + ky - pad;
           if (iy < 0 || iy >= height) {
@@ -52,6 +46,27 @@ void Im2Col(std::span<const float> input, std::int64_t channels,
       }
     }
   }
+}
+
+}  // namespace
+
+void Im2Col(std::span<const float> input, std::int64_t channels,
+            std::int64_t height, std::int64_t width, std::int64_t c_lo,
+            std::int64_t c_hi, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, std::span<float> cols) {
+  FLUID_CHECK_MSG(0 <= c_lo && c_lo < c_hi && c_hi <= channels,
+                  "Im2Col channel slice out of range");
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(input.size()) ==
+                      channels * height * width,
+                  "Im2Col input size mismatch");
+  const std::int64_t out_h = ConvOutExtent(height, kernel, stride, pad);
+  const std::int64_t out_w = ConvOutExtent(width, kernel, stride, pad);
+  const std::int64_t slice = c_hi - c_lo;
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(cols.size()) ==
+                      slice * kernel * kernel * out_h * out_w,
+                  "Im2Col cols size mismatch");
+  Im2ColStrided(input.data(), height, width, c_lo, c_hi, kernel, stride, pad,
+                out_h, out_w, cols.data(), out_h * out_w);
 }
 
 void Col2Im(std::span<const float> cols, std::int64_t channels,
@@ -110,6 +125,31 @@ void Im2ColBatched(std::span<const float> input, std::int64_t batch,
            channels, height, width, c_lo, c_hi, kernel, stride, pad,
            cols.subspan(static_cast<std::size_t>(n * per_sample),
                         static_cast<std::size_t>(per_sample)));
+  });
+}
+
+void Im2ColFused(std::span<const float> input, std::int64_t batch,
+                 std::int64_t channels, std::int64_t height,
+                 std::int64_t width, std::int64_t c_lo, std::int64_t c_hi,
+                 std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                 std::span<float> cols) {
+  FLUID_CHECK_MSG(0 <= c_lo && c_lo < c_hi && c_hi <= channels,
+                  "Im2ColFused channel slice out of range");
+  const std::int64_t plane = channels * height * width;
+  const std::int64_t out_h = ConvOutExtent(height, kernel, stride, pad);
+  const std::int64_t out_w = ConvOutExtent(width, kernel, stride, pad);
+  const std::int64_t area = out_h * out_w;
+  const std::int64_t patch = (c_hi - c_lo) * kernel * kernel;
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(input.size()) == batch * plane,
+                  "Im2ColFused input size mismatch");
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(cols.size()) ==
+                      patch * batch * area,
+                  "Im2ColFused cols size mismatch");
+  const std::int64_t row_stride = batch * area;
+  core::ParallelForEach(0, batch, 1, [&](std::int64_t n) {
+    Im2ColStrided(input.data() + n * plane, height, width, c_lo, c_hi, kernel,
+                  stride, pad, out_h, out_w, cols.data() + n * area,
+                  row_stride);
   });
 }
 

@@ -41,6 +41,18 @@ void Im2ColBatched(std::span<const float> input, std::int64_t batch,
                    std::int64_t kernel, std::int64_t stride, std::int64_t pad,
                    std::span<float> cols);
 
+/// Batched Im2Col into the *fused* layout: `cols` is one
+/// ((c_hi-c_lo)*k*k) × (batch*out_h*out_w) row-major matrix, with sample
+/// n's lowering occupying the column block [n*area, (n+1)*area). A single
+/// GEMM against this buffer computes the whole batch:
+///   out [Cout, batch·area] = W [Cout, patch] × cols [patch, batch·area].
+/// Parallelized across the batch (samples own disjoint column blocks).
+void Im2ColFused(std::span<const float> input, std::int64_t batch,
+                 std::int64_t channels, std::int64_t height,
+                 std::int64_t width, std::int64_t c_lo, std::int64_t c_hi,
+                 std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                 std::span<float> cols);
+
 /// Batched Col2Im: scatter-adds each sample's column gradients into its
 /// image-gradient slice, parallelized across the batch (samples are
 /// disjoint, so this is deterministic).

@@ -4,19 +4,10 @@
 #include <vector>
 
 #include "core/error.h"
-#include "core/gemm.h"
-#include "core/parallel.h"
+#include "nn/conv_gemm.h"
 #include "nn/im2col.h"
 
 namespace fluid::slim {
-
-namespace {
-// Same deterministic batch-chunking scheme as nn::Conv2d (see the note
-// there): fixed chunk boundaries + ordered reduction + bounded im2col
-// working set.
-constexpr std::int64_t kBatchChunk = 4;
-
-}  // namespace
 
 SlimConv2d::SlimConv2d(std::int64_t max_in, std::int64_t max_out,
                        std::int64_t kernel, std::int64_t stride,
@@ -50,7 +41,6 @@ core::Tensor SlimConv2d::Forward(const core::Tensor& input,
   const std::int64_t out_w = nn::ConvOutExtent(width, kernel_, stride_, pad_);
   const std::int64_t in_w = in.width(), out_ch = out.width();
   const std::int64_t patch = in_w * kernel_ * kernel_;
-  const std::int64_t area = out_h * out_w;
   const std::int64_t kk = kernel_ * kernel_;
 
   // Pack the weight slice: rows = out channels of the slice, each row the
@@ -64,34 +54,13 @@ core::Tensor SlimConv2d::Forward(const core::Tensor& input,
   }
 
   core::Tensor output({batch, out_ch, out_h, out_w});
-  const std::int64_t in_plane = in_w * height * width;
-  const std::int64_t per_sample = patch * area;
-  // Packed input: lower the full channel slice [0, in_w) of each chunk's
-  // samples into a thread-local buffer, then GEMM per sample.
-  core::ParallelForChunks(
-      0, batch, kBatchChunk,
-      [&](std::int64_t, std::int64_t lo, std::int64_t hi) {
-        const std::int64_t cnt = hi - lo;
-        thread_local std::vector<float> cols;
-        core::EnsureScratch(cols, cnt * per_sample);
-        nn::Im2ColBatched(
-            input.data().subspan(static_cast<std::size_t>(lo * in_plane),
-                                 static_cast<std::size_t>(cnt * in_plane)),
-            cnt, in_w, height, width, 0, in_w, kernel_, stride_, pad_,
-            std::span<float>(cols.data(),
-                             static_cast<std::size_t>(cnt * per_sample)));
-        for (std::int64_t n = lo; n < hi; ++n) {
-          float* out_sample = output.data().data() + n * out_ch * area;
-          core::Gemm(false, false, out_ch, area, patch, 1.0F, wpack.data(),
-                     patch, cols.data() + (n - lo) * per_sample, area, 0.0F,
-                     out_sample, area);
-          for (std::int64_t o = 0; o < out_ch; ++o) {
-            const float b = bias_.data()[static_cast<std::size_t>(out.lo + o)];
-            float* row = out_sample + o * area;
-            for (std::int64_t i = 0; i < area; ++i) row[i] += b;
-          }
-        }
-      });
+  // Packed input covers exactly the slice [0, in_w); the fused-batch
+  // lowering (one [out_ch, group·area] GEMM per fusion group, see
+  // conv_gemm.h) runs on the packed weight slice, with the bias pointer
+  // offset to the slice's first output channel.
+  nn::ConvForwardFused(input.data(), batch, in_w, height, width, kernel_,
+                       stride_, pad_, out_ch, wpack.data(),
+                       bias_.data().data() + out.lo, output.data());
   if (training) {
     cached_input_ = input;
     cached_in_ = in;
@@ -110,7 +79,6 @@ core::Tensor SlimConv2d::Backward(const core::Tensor& grad_output) {
   const std::int64_t out_w = nn::ConvOutExtent(width, kernel_, stride_, pad_);
   const std::int64_t in_w = in.width(), out_ch = out.width();
   const std::int64_t patch = in_w * kernel_ * kernel_;
-  const std::int64_t area = out_h * out_w;
   const std::int64_t kk = kernel_ * kernel_;
   FLUID_CHECK_MSG(grad_output.shape() ==
                       core::Shape({batch, out_ch, out_h, out_w}),
@@ -124,70 +92,22 @@ core::Tensor SlimConv2d::Backward(const core::Tensor& grad_output) {
   }
 
   core::Tensor grad_input(is);
-  const std::int64_t in_plane = in_w * height * width;
-  const std::int64_t per_sample = patch * area;
-
-  // Chunked batch accumulation with an ordered reduction, exactly like
-  // nn::Conv2d::Backward — deterministic at any thread count.
-  const std::int64_t chunks = core::NumChunks(0, batch, kBatchChunk);
-  std::vector<float> gw(static_cast<std::size_t>(chunks * out_ch * patch));
-  std::vector<double> gb(static_cast<std::size_t>(chunks * out_ch));
-
-  core::ParallelForChunks(
-      0, batch, kBatchChunk,
-      [&](std::int64_t chunk, std::int64_t lo, std::int64_t hi) {
-        const std::int64_t cnt = hi - lo;
-        float* gw_chunk = gw.data() + chunk * out_ch * patch;
-        double* gb_chunk = gb.data() + chunk * out_ch;
-        thread_local std::vector<float> cols;
-        thread_local std::vector<float> grad_cols;
-        core::EnsureScratch(cols, cnt * per_sample);
-        core::EnsureScratch(grad_cols, cnt * per_sample);
-        nn::Im2ColBatched(
-            cached_input_.data().subspan(
-                static_cast<std::size_t>(lo * in_plane),
-                static_cast<std::size_t>(cnt * in_plane)),
-            cnt, in_w, height, width, 0, in_w, kernel_, stride_, pad_,
-            std::span<float>(cols.data(),
-                             static_cast<std::size_t>(cnt * per_sample)));
-        for (std::int64_t n = lo; n < hi; ++n) {
-          const float* sample_cols = cols.data() + (n - lo) * per_sample;
-          const float* go_sample =
-              grad_output.data().data() + n * out_ch * area;
-          core::Gemm(false, true, out_ch, patch, area, 1.0F, go_sample, area,
-                     sample_cols, area, n == lo ? 0.0F : 1.0F, gw_chunk,
-                     patch);
-          for (std::int64_t o = 0; o < out_ch; ++o) {
-            double s = 0.0;
-            const float* row = go_sample + o * area;
-            for (std::int64_t i = 0; i < area; ++i) s += row[i];
-            gb_chunk[o] += s;
-          }
-          core::Gemm(true, false, patch, area, out_ch, 1.0F, wpack.data(),
-                     patch, go_sample, area, 0.0F,
-                     grad_cols.data() + (n - lo) * per_sample, area);
+  // Shared deterministic chunked-accumulation scaffolding (conv_gemm.h);
+  // the reduce callback scatters each chunk's packed partials into the
+  // full-width sliced accumulators in chunk order.
+  nn::ConvBackwardChunked(
+      cached_input_.data(), grad_output.data(), batch, in_w, height, width,
+      kernel_, stride_, pad_, out_ch, wpack.data(), grad_input.data(),
+      [&](const float* gw_chunk, const double* gb_chunk) {
+        for (std::int64_t o = 0; o < out_ch; ++o) {
+          float* dst = weight_grad_.data().data() +
+                       ((out.lo + o) * max_in_ + in.lo) * kk;
+          const float* src = gw_chunk + o * patch;
+          for (std::int64_t j = 0; j < patch; ++j) dst[j] += src[j];
+          bias_grad_.data()[static_cast<std::size_t>(out.lo + o)] +=
+              static_cast<float>(gb_chunk[o]);
         }
-        nn::Col2ImBatched(
-            std::span<const float>(grad_cols.data(),
-                                   static_cast<std::size_t>(cnt * per_sample)),
-            cnt, in_w, height, width, 0, in_w, kernel_, stride_, pad_,
-            grad_input.data().subspan(
-                static_cast<std::size_t>(lo * in_plane),
-                static_cast<std::size_t>(cnt * in_plane)));
       });
-
-  // Ordered reduction, scattering the packed blocks into the full-width
-  // accumulators.
-  for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
-    for (std::int64_t o = 0; o < out_ch; ++o) {
-      float* dst =
-          weight_grad_.data().data() + ((out.lo + o) * max_in_ + in.lo) * kk;
-      const float* src = gw.data() + (chunk * out_ch + o) * patch;
-      for (std::int64_t j = 0; j < patch; ++j) dst[j] += src[j];
-      bias_grad_.data()[static_cast<std::size_t>(out.lo + o)] +=
-          static_cast<float>(gb[static_cast<std::size_t>(chunk * out_ch + o)]);
-    }
-  }
   return grad_input;
 }
 

@@ -1,0 +1,202 @@
+// Tests for the SIMD microkernel dispatch layer: table well-formedness,
+// FLUID_SIMD override resolution, per-tier parity against the scalar tier
+// over the all-transpose-combo + ragged-edge grid, and per-tier bitwise
+// determinism across thread counts.
+
+#include "core/simd/gemm_kernel.h"
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gemm.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+
+namespace fluid::core::simd {
+namespace {
+
+// Forces a kernel for the scope of a test and restores the previously
+// active one on exit.
+class KernelGuard {
+ public:
+  explicit KernelGuard(const GemmKernel* k) : prev_(&ActiveGemmKernel()) {
+    SetGemmKernelForTesting(k);
+  }
+  ~KernelGuard() { SetGemmKernelForTesting(prev_); }
+  KernelGuard(const KernelGuard&) = delete;
+  KernelGuard& operator=(const KernelGuard&) = delete;
+
+ private:
+  const GemmKernel* prev_;
+};
+
+TEST(SimdDispatchTest, TableIsWellFormed) {
+  const auto kernels = AllGemmKernels();
+  ASSERT_FALSE(kernels.empty());
+  std::set<std::string> names;
+  for (const GemmKernel* k : kernels) {
+    ASSERT_NE(k, nullptr);
+    EXPECT_TRUE(names.insert(k->name).second) << "duplicate " << k->name;
+    EXPECT_GT(k->mr, 0);
+    EXPECT_GT(k->nr, 0);
+    EXPECT_LE(k->mr, kMaxMr);
+    EXPECT_LE(k->nr, kMaxNr);
+    EXPECT_EQ(k->mc % k->mr, 0) << k->name << ": MC must be a multiple of MR";
+    EXPECT_GT(k->kc, 0);
+    EXPECT_GE(k->nc, k->nr);
+    EXPECT_NE(k->micro, nullptr);
+    EXPECT_NE(k->pack_a, nullptr);
+    EXPECT_NE(k->pack_b, nullptr);
+    EXPECT_NE(k->supported, nullptr);
+  }
+  // The portable fallback is always present and always runnable.
+  ASSERT_EQ(names.count("scalar"), 1U);
+  EXPECT_TRUE(GemmKernelByName("scalar")->supported());
+}
+
+TEST(SimdDispatchTest, LookupByName) {
+  for (const GemmKernel* k : AllGemmKernels()) {
+    EXPECT_EQ(GemmKernelByName(k->name), k);
+  }
+  EXPECT_EQ(GemmKernelByName("neon"), nullptr);
+  EXPECT_EQ(GemmKernelByName(""), nullptr);
+}
+
+TEST(SimdDispatchTest, ResolveHonoursOverrideAndFallsBackToBest) {
+  // Auto selection picks the first supported entry (the table is ordered
+  // best first).
+  const GemmKernel* best = nullptr;
+  for (const GemmKernel* k : AllGemmKernels()) {
+    if (k->supported()) {
+      best = k;
+      break;
+    }
+  }
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(ResolveGemmKernel(nullptr), best);
+  EXPECT_EQ(ResolveGemmKernel(""), best);
+
+  // A known, supported name selects exactly that kernel; unsupported and
+  // unknown names report failure so the env path can warn and fall back.
+  for (const GemmKernel* k : AllGemmKernels()) {
+    EXPECT_EQ(ResolveGemmKernel(k->name), k->supported() ? k : nullptr);
+  }
+  EXPECT_EQ(ResolveGemmKernel("bogus"), nullptr);
+}
+
+TEST(SimdDispatchTest, FluidSimdEnvironmentOverrideIsHonoured) {
+  const GemmKernel* active_before = &ActiveGemmKernel();
+  const char* saved = std::getenv("FLUID_SIMD");
+  const std::string saved_value = saved ? saved : "";
+
+  ::setenv("FLUID_SIMD", "scalar", /*overwrite=*/1);
+  SetGemmKernelForTesting(nullptr);  // force re-resolution from the env
+  EXPECT_STREQ(ActiveGemmKernel().name, "scalar");
+
+  // Unknown values warn and fall back to auto-detection.
+  ::setenv("FLUID_SIMD", "definitely-not-a-kernel", 1);
+  SetGemmKernelForTesting(nullptr);
+  EXPECT_EQ(&ActiveGemmKernel(), ResolveGemmKernel(nullptr));
+
+  if (saved != nullptr) {
+    ::setenv("FLUID_SIMD", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("FLUID_SIMD");
+  }
+  SetGemmKernelForTesting(active_before);
+}
+
+// Runs C = alpha·op(A)op(B) + beta·C through core::Gemm with the given
+// kernel forced, over the full transpose grid with ragged edges spanning
+// every tier's MR/NR (and k crossing every tier's KC). Returns all case
+// results concatenated.
+std::vector<float> RunGrid(const GemmKernel* kernel) {
+  KernelGuard guard(kernel);
+  std::vector<float> all;
+  const std::int64_t ms[] = {1, 5, 8, 9, 17};
+  const std::int64_t ns[] = {1, 15, 16, 47, 48, 49};
+  const std::int64_t ks[] = {1, 9, 100, 200};  // 200 crosses KC for all tiers
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      for (const std::int64_t m : ms) {
+        for (const std::int64_t n : ns) {
+          for (const std::int64_t k : ks) {
+            const float alpha = ((m + n) % 2 == 0) ? 1.0F : -0.75F;
+            const float beta = ((m + k) % 2 == 0) ? 0.0F : 0.5F;
+            Rng rng(m * 7919 + n * 131 + k * 7 + (ta ? 3 : 0) + (tb ? 5 : 0));
+            const std::int64_t lda = ta ? m : k;
+            const std::int64_t ldb = tb ? k : n;
+            std::vector<float> a(static_cast<std::size_t>((ta ? k : m) * lda));
+            std::vector<float> b(static_cast<std::size_t>((tb ? n : k) * ldb));
+            std::vector<float> c(static_cast<std::size_t>(m * n));
+            for (auto& v : a) v = static_cast<float>(rng.Uniform(-1, 1));
+            for (auto& v : b) v = static_cast<float>(rng.Uniform(-1, 1));
+            for (auto& v : c) v = static_cast<float>(rng.Uniform(-1, 1));
+            Gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+                 c.data(), n);
+            all.insert(all.end(), c.begin(), c.end());
+          }
+        }
+      }
+    }
+  }
+  return all;
+}
+
+TEST(SimdKernelParityTest, EveryTierMatchesScalarOnTransposeAndRaggedGrid) {
+  const GemmKernel* scalar = GemmKernelByName("scalar");
+  ASSERT_NE(scalar, nullptr);
+  const std::vector<float> ref = RunGrid(scalar);
+  for (const GemmKernel* k : AllGemmKernels()) {
+    if (k == scalar || !k->supported()) continue;
+    SCOPED_TRACE(k->name);
+    const std::vector<float> got = RunGrid(k);
+    ASSERT_EQ(got.size(), ref.size());
+    // Every tier accumulates each C element in the same strictly-increasing
+    // k order with FMA, so tiers agree to rounding noise; the bound is a
+    // few ULP of the k<=200 dot products exercised here.
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_NEAR(got[i], ref[i], 5e-5F)
+          << k->name << " diverges from scalar at " << i;
+    }
+  }
+}
+
+TEST(SimdKernelDeterminismTest, EveryTierIsBitwiseStableAcrossThreadCounts) {
+  // Spans several MC/KC blocks for every tier, with ragged edges.
+  const std::int64_t m = 129, n = 65, k = 300;
+  Rng rng(7);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.Uniform(-1, 1));
+
+  for (const GemmKernel* kern : AllGemmKernels()) {
+    if (!kern->supported()) continue;
+    SCOPED_TRACE(kern->name);
+    KernelGuard guard(kern);
+    std::vector<float> c1(static_cast<std::size_t>(m * n), 0.25F);
+    std::vector<float> c4 = c1;
+
+    const int saved = NumThreads();
+    SetNumThreads(1);
+    Gemm(false, false, m, n, k, 1.5F, a.data(), k, b.data(), n, 0.5F,
+         c1.data(), n);
+    SetNumThreads(4);
+    Gemm(false, false, m, n, k, 1.5F, a.data(), k, b.data(), n, 0.5F,
+         c4.data(), n);
+    SetNumThreads(saved);
+
+    for (std::size_t i = 0; i < c1.size(); ++i) {
+      ASSERT_EQ(c1[i], c4[i])
+          << kern->name << ": thread-count-dependent result at " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fluid::core::simd

@@ -148,6 +148,28 @@ TEST(Conv2dTest, ParamsAreNamedAndShaped) {
   EXPECT_EQ(params[1].value->shape(), core::Shape({4}));
 }
 
+TEST(Conv2dTest, BatchedForwardStressedAtFourThreadsStaysBitwiseStable) {
+  // Repeats the 4-thread batched forward many times and compares every
+  // run against the 1-thread result. One pass is not enough: on a busy
+  // or single-core host the calling thread can drain a small parallel
+  // region before any pool worker wakes, hiding worker-only bugs (this
+  // caught a lambda that named a thread_local — which is NOT captured and
+  // resolves to the worker's own empty instance — in the fused forward's
+  // bias scatter).
+  const int saved = core::NumThreads();
+  core::Rng rng(23);
+  Conv2d conv(3, 5, 3, 1, 1, rng, "c");
+  core::Tensor input = core::Tensor::UniformRandom({9, 3, 8, 8}, rng, -1, 1);
+  core::SetNumThreads(1);
+  const core::Tensor ref = conv.Forward(input, false);
+  core::SetNumThreads(4);
+  for (int i = 0; i < 200; ++i) {
+    const core::Tensor out = conv.Forward(input, false);
+    ASSERT_EQ(core::MaxAbsDiff(ref, out), 0.0F) << "iteration " << i;
+  }
+  core::SetNumThreads(saved);
+}
+
 TEST(Conv2dTest, ForwardAndBackwardBitwiseStableAcrossThreadCounts) {
   const int saved = core::NumThreads();
   auto run = [](int threads) {

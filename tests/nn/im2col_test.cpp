@@ -86,5 +86,39 @@ TEST(Im2ColTest, StrideTwoDownsamples) {
   EXPECT_EQ(cols, (std::vector<float>{1, 3, 7, 9}));
 }
 
+TEST(Im2ColTest, FusedLayoutIsPerSampleColumnsInterleavedByPatchRow) {
+  // The fused buffer must hold, for each patch row p, every sample's area
+  // segment back to back: fused[p][n*area + a] == batched[n][p][a].
+  const std::int64_t batch = 5, channels = 3, h = 6, w = 4;
+  const std::int64_t kernel = 3, stride = 2, pad = 1;
+  core::Rng rng(42);
+  std::vector<float> input(
+      static_cast<std::size_t>(batch * channels * h * w));
+  for (auto& v : input) v = static_cast<float>(rng.Uniform(-1, 1));
+
+  const std::int64_t out_h = ConvOutExtent(h, kernel, stride, pad);
+  const std::int64_t out_w = ConvOutExtent(w, kernel, stride, pad);
+  const std::int64_t area = out_h * out_w;
+  const std::int64_t patch = channels * kernel * kernel;
+
+  std::vector<float> batched(static_cast<std::size_t>(batch * patch * area));
+  std::vector<float> fused(static_cast<std::size_t>(patch * batch * area));
+  Im2ColBatched(input, batch, channels, h, w, 0, channels, kernel, stride,
+                pad, batched);
+  Im2ColFused(input, batch, channels, h, w, 0, channels, kernel, stride, pad,
+              fused);
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t p = 0; p < patch; ++p) {
+      for (std::int64_t i = 0; i < area; ++i) {
+        ASSERT_EQ(
+            fused[static_cast<std::size_t>(p * batch * area + n * area + i)],
+            batched[static_cast<std::size_t>((n * patch + p) * area + i)])
+            << "n=" << n << " p=" << p << " i=" << i;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fluid::nn
