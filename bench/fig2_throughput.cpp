@@ -15,18 +15,228 @@
 // Expected shape (paper): Static 11.1 img/s both-online and 0 under any
 // failure; Dynamic 14.4 HT / survives only Master; Fluid 28.3 HT
 // (~2.5× Static, ~2× Dynamic), survives either failure.
+//
+// Extension — closed-loop serving mode (`closed_loop=1`): instead of the
+// simulated panels, spin up a LIVE master + workers fleet in-process and
+// measure requests/sec end to end with N concurrent closed-loop clients,
+// first over the synchronous one-request-per-RPC path, then over the
+// async batched runtime (request queue + coalesced fused batches sharded
+// across the fleet). Knobs: clients=N per_client=N workers=N max_batch=N
+// max_delay_ms=N json=PATH (writes the numbers for BENCH_serving.json).
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/rng.h"
+#include "dist/master.h"
+#include "dist/worker.h"
 #include "harness_common.h"
+#include "nn/checkpoint.h"
 #include "sim/latency.h"
 #include "sim/pipeline_sim.h"
 #include "train/model_zoo.h"
 
 using namespace fluid;
+using namespace std::chrono_literals;
+
+namespace {
+
+// Drive `clients` closed-loop threads for `per_client` requests each and
+// return aggregate requests/sec. `infer` must be thread-safe.
+template <typename InferFn>
+double RunClosedLoop(int clients, int per_client, const InferFn& infer) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      core::Rng rng(1000 + static_cast<std::uint64_t>(c));
+      const core::Tensor x =
+          core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+      for (int i = 0; i < per_client; ++i) {
+        auto reply = infer(x);
+        if (!reply.ok()) {
+          std::fprintf(stderr, "closed-loop request failed: %s\n",
+                       reply.status().ToString().c_str());
+          std::abort();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(clients) * per_client / secs;
+}
+
+int RunClosedLoopServing(int argc, char** argv) {
+  // key=value knobs (same convention as HarnessOptions).
+  std::int64_t clients = 8, per_client = 200, num_workers = 2;
+  std::int64_t max_batch = 16, max_delay_ms = 0;
+  double link_ms = 12.0, bandwidth_mbps = 100.0;  // the paper's measured link
+  std::string json_path, model = "full";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = arg.substr(0, eq), val = arg.substr(eq + 1);
+    if (key == "clients") clients = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "per_client") per_client = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "workers") num_workers = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "max_batch") max_batch = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "max_delay_ms")
+      max_delay_ms = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "link_ms") link_ms = std::strtod(val.c_str(), nullptr);
+    if (key == "bandwidth_mbps")
+      bandwidth_mbps = std::strtod(val.c_str(), nullptr);
+    if (key == "json") json_path = val;
+    if (key == "model") model = val;  // full | slice
+  }
+
+  // The serving fleet talks over the paper's link: per-frame latency plus
+  // payload at the measured bandwidth (the same offline-measured TCP model
+  // the sim panels charge). link_ms=0 degrades to a zero-cost in-process
+  // wire — useful to isolate pure scheduling overhead.
+  auto make_pair = [&] {
+    return link_ms > 0
+               ? dist::MakeEmulatedLinkPair(
+                     std::chrono::duration<double>(link_ms * 1e-3),
+                     bandwidth_mbps * 1e6 / 8.0)
+               : dist::MakeInMemoryPair();
+  };
+
+  std::printf("== closed-loop serving: sync RPC path vs async batched "
+              "runtime ==\n");
+  std::printf("# fleet: master + %lld workers (in-process, framed "
+              "transports); %lld clients x %lld requests\n",
+              static_cast<long long>(num_workers),
+              static_cast<long long>(clients),
+              static_cast<long long>(per_client));
+  std::printf("# link: %.1f ms/frame + payload at %.0f Mbit/s (paper: "
+              "measured offline on TCP; 0 = free in-process wire)\n\n",
+              link_ms, bandwidth_mbps);
+
+  // Same self-sufficient model on every device: routing never changes
+  // logits, so the comparison is pure serving-path mechanics. `model=full`
+  // (default) serves the full-width net — the compute-bound regime where
+  // batching matters; `model=slice` serves the thin upper-50% slice —
+  // the overhead-bound regime.
+  const slim::FluidNetConfig cfg;
+  core::Rng rng(7);
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  const auto range = model == "slice" ? fluid.family().WorkerResident()
+                                      : fluid.family().Combined();
+  nn::Sequential slice = fluid.ExtractSubnet(range);
+  std::printf("# model: %s (width %lld)\n", model.c_str(),
+              static_cast<long long>(range.range.width()));
+
+  dist::MasterNode master(cfg);
+  std::vector<std::unique_ptr<dist::WorkerNode>> workers;
+  for (std::int64_t i = 0; i < num_workers; ++i) {
+    auto [master_end, worker_end] = make_pair();
+    workers.push_back(std::make_unique<dist::WorkerNode>(
+        "w" + std::to_string(i), cfg, std::move(worker_end)));
+    workers.back()->Start();
+    master.AttachWorker(std::move(master_end));
+    master
+        .DeployToWorker("slice",
+                        dist::ModelBlueprint::Standalone(cfg, range.range.width()),
+                        nn::ExtractState(slice), 5000ms,
+                        static_cast<std::size_t>(i))
+        .ThrowIfError();
+  }
+  master.DeployLocal("slice", fluid.ExtractSubnet(range));
+  dist::Plan plan;
+  plan.master_standalone = "slice";
+  plan.worker_standalone = "slice";
+  master.SetPlan(plan);
+  master.SetMode(sim::Mode::kHighThroughput);
+
+  // Phase 1: the synchronous path — one request per RPC, no coalescing.
+  const double sync_rps = RunClosedLoop(
+      static_cast<int>(clients), static_cast<int>(per_client),
+      [&](const core::Tensor& x) { return master.Infer(x, 10000ms); });
+  std::printf("sync  one-request-per-RPC : %8.1f req/s\n", sync_rps);
+
+  // Phase 2: the async batched runtime — queue, coalesce, shard, scatter.
+  dist::BatchOptions bopts;
+  bopts.max_batch = static_cast<std::size_t>(max_batch);
+  bopts.max_delay = std::chrono::milliseconds(max_delay_ms);
+  master.StartServing(bopts);
+  const double async_rps = RunClosedLoop(
+      static_cast<int>(clients), static_cast<int>(per_client),
+      [&](const core::Tensor& x) {
+        return master.InferAsync(x.Clone(), 10000ms).get();
+      });
+  const auto serving = master.scheduler_stats();
+  master.StopServing();
+  std::printf("async batched (max_batch=%lld, max_delay=%lldms): %8.1f "
+              "req/s\n",
+              static_cast<long long>(max_batch),
+              static_cast<long long>(max_delay_ms), async_rps);
+  std::printf("speedup: %.2fx   (avg coalesced batch %.1f, occupancy %.0f%%, "
+              "%lld batches)\n",
+              async_rps / sync_rps, serving.avg_batch,
+              serving.occupancy * 100.0,
+              static_cast<long long>(serving.batches));
+
+  const auto stats = master.stats();
+  std::printf("served: local=%lld remote=%lld failovers=%lld "
+              "stale_replies=%lld\n",
+              static_cast<long long>(stats.served_local),
+              static_cast<long long>(stats.served_remote),
+              static_cast<long long>(stats.failovers),
+              static_cast<long long>(stats.stale_replies));
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        " \"clients\": %lld,\n"
+        " \"per_client\": %lld,\n"
+        " \"workers\": %lld,\n"
+        " \"max_batch\": %lld,\n"
+        " \"max_delay_ms\": %lld,\n"
+        " \"link_ms\": %.1f,\n"
+        " \"bandwidth_mbps\": %.1f,\n"
+        " \"sync_req_per_s\": %.1f,\n"
+        " \"async_req_per_s\": %.1f,\n"
+        " \"speedup\": %.2f,\n"
+        " \"avg_coalesced_batch\": %.2f,\n"
+        " \"batch_occupancy\": %.3f\n"
+        "}\n",
+        static_cast<long long>(clients), static_cast<long long>(per_client),
+        static_cast<long long>(num_workers), static_cast<long long>(max_batch),
+        static_cast<long long>(max_delay_ms), link_ms, bandwidth_mbps,
+        sync_rps, async_rps,
+        async_rps / sync_rps, serving.avg_batch, serving.occupancy);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  for (auto& w : workers) w->Stop();
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "closed_loop=1") {
+      return RunClosedLoopServing(argc, argv);
+    }
+  }
   const auto opts = bench::HarnessOptions::FromArgs(argc, argv);
   const slim::FluidNetConfig cfg;
   core::Rng rng(opts.seed);

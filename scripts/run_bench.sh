@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
-# Builds Release and records the GEMM / conv microbenchmark baseline at the
-# repo root (BENCH_gemm.json) so the perf trajectory is tracked PR over PR.
+# Builds Release and records the perf baselines at the repo root so the
+# trajectory is tracked PR over PR:
+#   BENCH_gemm.json    — GEMM / conv microbenchmarks (google-benchmark)
+#   BENCH_serving.json — closed-loop serving: sync RPC path vs the async
+#                        batched runtime over the paper's emulated link
+#                        (fig2_throughput closed_loop=1)
 #
 # Usage: scripts/run_bench.sh [extra google-benchmark args...]
 # Honours FLUID_NUM_THREADS; by default records a single-thread run plus a
@@ -49,3 +53,15 @@ EOF
 mv "${merged}" "${repo_root}/BENCH_gemm.json"
 
 echo "wrote ${repo_root}/BENCH_gemm.json"
+
+# ---- closed-loop serving baseline -----------------------------------------
+if ! cmake --build "${build_dir}" -j "$(nproc)" --target fig2_throughput; then
+  echo "error: building fig2_throughput failed." >&2
+  exit 1
+fi
+serving_tmp="$(mktemp)"
+trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}"' EXIT
+"${build_dir}/fig2_throughput" closed_loop=1 clients=8 per_client=100 \
+  json="${serving_tmp}"
+mv "${serving_tmp}" "${repo_root}/BENCH_serving.json"
+echo "wrote ${repo_root}/BENCH_serving.json"

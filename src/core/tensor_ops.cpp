@@ -158,4 +158,46 @@ bool AllClose(const Tensor& a, const Tensor& b, float atol) {
   return MaxAbsDiff(a, b) <= atol;
 }
 
+Tensor ConcatAxis0(const std::vector<const Tensor*>& parts) {
+  FLUID_CHECK_MSG(!parts.empty(), "ConcatAxis0: no parts");
+  const Shape& first = parts[0]->shape();
+  FLUID_CHECK_MSG(first.rank() >= 1, "ConcatAxis0: parts must have rank >= 1");
+  std::int64_t rows = 0;
+  for (const Tensor* p : parts) {
+    FLUID_CHECK_MSG(p != nullptr && !p->empty(), "ConcatAxis0: empty part");
+    const Shape& s = p->shape();
+    FLUID_CHECK_MSG(s.rank() == first.rank(), "ConcatAxis0: rank mismatch");
+    for (std::size_t a = 1; a < first.rank(); ++a) {
+      FLUID_CHECK_MSG(s[a] == first[a], "ConcatAxis0: trailing dim mismatch");
+    }
+    rows += s[0];
+  }
+  std::vector<std::int64_t> dims = first.dims();
+  dims[0] = rows;
+  Tensor out{Shape(std::move(dims))};
+  float* dst = out.data().data();
+  for (const Tensor* p : parts) {
+    const auto src = p->data();
+    std::copy(src.begin(), src.end(), dst);
+    dst += src.size();
+  }
+  return out;
+}
+
+Tensor SliceAxis0(const Tensor& t, std::int64_t start, std::int64_t count) {
+  FLUID_CHECK_MSG(t.shape().rank() >= 1, "SliceAxis0: rank must be >= 1");
+  const std::int64_t rows = t.shape()[0];
+  FLUID_CHECK_MSG(start >= 0 && count >= 0 && start + count <= rows,
+                  "SliceAxis0: slice out of range");
+  const std::int64_t row_elems = rows == 0 ? 0 : t.numel() / rows;
+  std::vector<std::int64_t> dims = t.shape().dims();
+  dims[0] = count;
+  Tensor out{Shape(std::move(dims))};
+  const auto src = t.data().subspan(
+      static_cast<std::size_t>(start * row_elems),
+      static_cast<std::size_t>(count * row_elems));
+  std::copy(src.begin(), src.end(), out.data().begin());
+  return out;
+}
+
 }  // namespace fluid::core

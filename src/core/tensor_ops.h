@@ -44,6 +44,14 @@ float MaxAbsDiff(const Tensor& a, const Tensor& b);
 /// Matrix multiply of rank-2 tensors: [m,k] × [k,n] → [m,n].
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
+/// Concatenate along axis 0. All parts must be non-empty, share rank and
+/// trailing dims. Used by the serving path to coalesce per-request inputs
+/// into one fused batch (and the inverse, SliceAxis0, to scatter results).
+Tensor ConcatAxis0(const std::vector<const Tensor*>& parts);
+
+/// Copy rows [start, start+count) along axis 0 into a fresh tensor.
+Tensor SliceAxis0(const Tensor& t, std::int64_t start, std::int64_t count);
+
 /// True if shapes match and all elements within atol.
 bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5F);
 

@@ -1,8 +1,10 @@
 #include "dist/master.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/logging.h"
+#include "core/tensor_ops.h"
 
 namespace fluid::dist {
 
@@ -12,25 +14,81 @@ using Clock = std::chrono::steady_clock;
 
 MasterNode::MasterNode(slim::FluidNetConfig config) : config_(config) {}
 
+MasterNode::~MasterNode() { StopServing(); }
+
 std::size_t MasterNode::AttachWorker(TransportPtr transport) {
   FLUID_CHECK_MSG(transport != nullptr, "AttachWorker: null transport");
+  std::lock_guard<std::mutex> lock(mu_);
   WorkerHandle handle;
   handle.transport = std::move(transport);
   workers_.push_back(std::move(handle));
   return workers_.size() - 1;
 }
 
+core::Status MasterNode::ReattachWorker(std::size_t index,
+                                        TransportPtr transport,
+                                        std::chrono::milliseconds timeout) {
+  if (transport == nullptr) {
+    return core::Status::InvalidArgument("ReattachWorker: null transport");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= workers_.size()) {
+    return core::Status::InvalidArgument("ReattachWorker: no worker " +
+                                         std::to_string(index));
+  }
+  WorkerHandle& handle = workers_[index];
+  if (handle.alive) {
+    return core::Status::FailedPrecondition(
+        "ReattachWorker: worker[" + std::to_string(index) +
+        "] is still alive");
+  }
+  handle.transport = std::move(transport);
+  handle.alive = true;
+  handle.name.clear();
+  handle.pending.clear();
+  handle.reply_buffer.clear();
+
+  // Replay the slot's deploy history so the fresh process serves exactly
+  // what the dead one did. Any failure re-kills the slot: a half-deployed
+  // worker must not rejoin routing.
+  for (const auto& [name, tag] : handle.deployments) {
+    auto reply =
+        RpcLocked(index, Message::HeaderOnly(MsgType::kDeploy, 0, tag),
+                  timeout);
+    if (!reply.ok()) return reply.status();  // RpcLocked marked it dead
+    if (reply->type != MsgType::kAck) {
+      auto st = core::Status::Internal("ReattachWorker: redeploy '" + name +
+                                       "' rejected: " + reply->tag);
+      MarkDeadLocked(index, st);
+      return st;
+    }
+  }
+  ++stats_.reattaches;
+  FLUID_LOG(Info) << "master: worker[" << index << "] reattached ("
+                  << handle.transport->Describe() << "), "
+                  << handle.deployments.size() << " deployments replayed";
+  return core::Status::Ok();
+}
+
+std::size_t MasterNode::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
 std::size_t MasterNode::AliveWorkers() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const auto& w : workers_) n += w.alive ? 1 : 0;
   return n;
 }
 
 bool MasterNode::WorkerAlive(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return index < workers_.size() && workers_[index].alive;
 }
 
 void MasterNode::DeployLocal(std::string name, nn::Sequential model) {
+  std::lock_guard<std::mutex> lock(mu_);
   local_[std::move(name)] = std::move(model);
 }
 
@@ -39,17 +97,19 @@ core::Status MasterNode::DeployToWorker(const std::string& name,
                                         const nn::StateDict& state,
                                         std::chrono::milliseconds timeout,
                                         std::size_t worker) {
-  if (worker >= workers_.size()) {
-    return core::Status::InvalidArgument("DeployToWorker: no worker " +
-                                         std::to_string(worker));
-  }
   DeployRequest req;
   req.name = name;
   req.blueprint = blueprint;
   req.state = state;
-  auto reply = Rpc(worker,
-                   Message::HeaderOnly(MsgType::kDeploy, 0, req.EncodeToTag()),
-                   timeout);
+  std::string tag = req.EncodeToTag();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker >= workers_.size()) {
+    return core::Status::InvalidArgument("DeployToWorker: no worker " +
+                                         std::to_string(worker));
+  }
+  auto reply = RpcLocked(
+      worker, Message::HeaderOnly(MsgType::kDeploy, 0, tag), timeout);
   if (!reply.ok()) return reply.status();
   if (reply->type == MsgType::kError) {
     return core::Status::Internal("DeployToWorker: worker rejected '" + name +
@@ -59,135 +119,305 @@ core::Status MasterNode::DeployToWorker(const std::string& name,
     return core::Status::Internal("DeployToWorker: unexpected reply " +
                                   std::string(MsgTypeName(reply->type)));
   }
-  workers_[worker].deployments.push_back(name);
+  auto& deployments = workers_[worker].deployments;
+  const auto it = std::find_if(
+      deployments.begin(), deployments.end(),
+      [&](const auto& d) { return d.first == name; });
+  if (it != deployments.end()) {
+    it->second = std::move(tag);  // redeploy under the same name
+  } else {
+    deployments.emplace_back(name, std::move(tag));
+  }
   return core::Status::Ok();
 }
 
-bool MasterNode::WorkerHasDeployment(std::size_t w,
-                                     const std::string& name) const {
-  const auto& d = workers_[w].deployments;
-  return std::find(d.begin(), d.end(), name) != d.end();
+void MasterNode::SetPlan(Plan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
 }
 
-void MasterNode::MarkDead(std::size_t w, const core::Status& why) {
-  if (!workers_[w].alive) return;
-  workers_[w].alive = false;
-  FLUID_LOG(Warn) << "master: worker[" << w << "] ("
-                  << workers_[w].transport->Describe()
-                  << ") marked dead: " << why.ToString();
+Plan MasterNode::plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_;
 }
 
-core::StatusOr<Message> MasterNode::Rpc(std::size_t w, Message msg,
-                                        std::chrono::milliseconds timeout) {
-  auto& handle = workers_[w];
-  if (!handle.alive) {
-    return core::Status::Unavailable("worker[" + std::to_string(w) + "] dead");
-  }
-  const auto deadline = Clock::now() + timeout;
-  msg.seq = next_seq_++;
-  auto st = handle.transport->Send(msg);
-  if (!st.ok()) {
-    MarkDead(w, st);
-    return st;
-  }
-  for (;;) {
-    Message reply;
-    st = handle.transport->Recv(reply, RemainingMs(deadline));
-    if (!st.ok()) {
-      // Timeout, peer death and stream corruption all mean this worker
-      // cannot be trusted to answer: fail over rather than wait.
-      MarkDead(w, st);
-      return st;
-    }
-    if (reply.type == MsgType::kHello) {
-      handle.name = reply.tag;
-      continue;
-    }
-    if (reply.seq != msg.seq) continue;  // stale reply from an abandoned RPC
-    return reply;
-  }
+void MasterNode::SetMode(sim::Mode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = mode;
 }
 
-core::StatusOr<InferReply> MasterNode::ServeLocal(const std::string& name,
-                                                  const core::Tensor& input) {
-  const auto it = local_.find(name);
-  if (it == local_.end()) {
-    return core::Status::NotFound("master has no local deployment '" + name +
-                                  "'");
-  }
-  InferReply reply;
-  reply.logits = it->second.Forward(input, false);
-  reply.served_by = "master:" + name;
-  ++stats_.served_local;
-  return reply;
+sim::Mode MasterNode::mode() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mode_;
 }
 
-core::StatusOr<InferReply> MasterNode::ServeRemote(
-    std::size_t w, const std::string& name, const core::Tensor& input,
-    std::chrono::milliseconds timeout) {
-  auto reply =
-      Rpc(w, Message::WithTensor(MsgType::kInfer, 0, name, input), timeout);
-  if (!reply.ok()) return reply.status();
-  if (reply->type == MsgType::kError) {
-    return core::Status::Internal("worker[" + std::to_string(w) +
-                                  "] failed '" + name + "': " + reply->tag);
+MasterStats MasterNode::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+SchedulerStats MasterNode::scheduler_stats() const {
+  std::lock_guard<std::mutex> lock(serving_mu_);
+  return scheduler_ ? scheduler_->stats() : SchedulerStats{};
+}
+
+void MasterNode::StartServing(BatchOptions options) {
+  std::lock_guard<std::mutex> lock(serving_mu_);
+  StartServingLocked(options);
+}
+
+void MasterNode::StartServingLocked(BatchOptions options) {
+  if (scheduler_) return;
+  {
+    std::lock_guard<std::mutex> inner(mu_);
+    batch_options_ = options;
   }
-  if (reply->type != MsgType::kResult || !reply->has_payload()) {
-    return core::Status::Internal("worker[" + std::to_string(w) +
-                                  "]: malformed result");
+  scheduler_ = std::make_unique<BatchScheduler>(
+      options, [this](std::vector<BatchScheduler::Request>&& batch) {
+        ServeBatch(std::move(batch));
+      });
+}
+
+void MasterNode::StopServing() {
+  std::unique_ptr<BatchScheduler> scheduler;
+  {
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    scheduler = std::move(scheduler_);
   }
-  InferReply out;
-  out.logits = std::move(reply->payload);
-  out.served_by = "worker[" + std::to_string(w) + "]:" + name;
-  ++stats_.served_remote;
-  return out;
+  if (scheduler) scheduler->Stop();
+}
+
+bool MasterNode::serving() const {
+  std::lock_guard<std::mutex> lock(serving_mu_);
+  return scheduler_ != nullptr;
+}
+
+std::future<core::StatusOr<InferReply>> MasterNode::InferAsync(
+    core::Tensor input, std::chrono::milliseconds timeout) {
+  std::lock_guard<std::mutex> lock(serving_mu_);
+  StartServingLocked(BatchOptions{});
+  return scheduler_->Submit(std::move(input), timeout);
 }
 
 core::StatusOr<InferReply> MasterNode::Infer(const core::Tensor& input,
                                              std::chrono::milliseconds timeout) {
-  const auto deadline = Clock::now() + timeout;
+  std::future<core::StatusOr<InferReply>> future;
+  {
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    if (scheduler_) future = scheduler_->Submit(input.Clone(), timeout);
+  }
+  if (future.valid()) return future.get();
 
+  // Scheduler off: serve inline as a batch of one request.
+  const auto deadline = Clock::now() + timeout;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto result = ServeBatchLocked(input, deadline);
+  if (!result.ok()) return result.status();
+  InferReply reply;
+  reply.logits = std::move(result->logits);
+  reply.served_by =
+      result->served_by.empty() ? std::string() : result->served_by.front();
+  return reply;
+}
+
+void MasterNode::ServeBatch(std::vector<BatchScheduler::Request>&& batch) {
+  if (batch.empty()) return;
+  try {
+    // The batch serves under its most patient member's budget: an
+    // impatient request coalesced with patient ones gets its answer late
+    // rather than dragging everyone to its deadline and failing requests
+    // that still had time (serving late beats dropping).
+    auto deadline = batch.front().deadline;
+    for (const auto& req : batch) deadline = std::max(deadline, req.deadline);
+
+    core::Tensor stacked;
+    if (batch.size() == 1) {
+      stacked = std::move(batch.front().input);
+    } else {
+      std::vector<const core::Tensor*> parts;
+      parts.reserve(batch.size());
+      for (const auto& req : batch) parts.push_back(&req.input);
+      stacked = core::ConcatAxis0(parts);
+    }
+
+    core::StatusOr<BatchResult> result = [&]() -> core::StatusOr<BatchResult> {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.batches;
+      stats_.coalesced_samples += stacked.shape()[0];
+      return ServeBatchLocked(stacked, deadline);
+    }();
+
+    if (!result.ok()) {
+      for (auto& req : batch) req.promise.set_value(result.status());
+      return;
+    }
+    // Scatter per-sample logits rows back to their futures.
+    std::int64_t row = 0;
+    for (auto& req : batch) {
+      InferReply reply;
+      reply.served_by = result->served_by[static_cast<std::size_t>(row)];
+      reply.logits = batch.size() == 1
+                         ? std::move(result->logits)
+                         : core::SliceAxis0(result->logits, row, req.samples);
+      row += req.samples;
+      req.promise.set_value(std::move(reply));
+    }
+  } catch (const std::exception& e) {
+    // A model-layer throw (bad input shape, hostile payload) must fail the
+    // requests, never the drain thread. Promises already satisfied during
+    // scatter are skipped.
+    for (auto& req : batch) {
+      try {
+        req.promise.set_value(core::Status::Internal(
+            std::string("master: batch serve threw: ") + e.what()));
+      } catch (const std::future_error&) {
+      }
+    }
+  }
+}
+
+core::StatusOr<MasterNode::BatchResult> MasterNode::ServeBatchLocked(
+    const core::Tensor& input, Clock::time_point deadline) {
   // HighAccuracy: the full-width pipeline, while its back worker lives.
   if (mode_ == sim::Mode::kHighAccuracy && !plan_.pipeline_front.empty() &&
-      !plan_.pipeline_back.empty() && WorkerAlive(plan_.back_worker) &&
+      !plan_.pipeline_back.empty() && plan_.back_worker < workers_.size() &&
+      workers_[plan_.back_worker].alive &&
       local_.count(plan_.pipeline_front) != 0) {
-    core::Tensor cut = local_[plan_.pipeline_front].Forward(input, false);
-    auto reply = Rpc(plan_.back_worker,
-                     Message::WithTensor(MsgType::kInfer, 0,
-                                         plan_.pipeline_back, std::move(cut)),
-                     RemainingMs(deadline));
-    if (reply.ok() && reply->type == MsgType::kResult && reply->has_payload()) {
-      InferReply out;
-      out.logits = std::move(reply->payload);
-      out.served_by = "pipeline:" + plan_.pipeline_front + "+" +
-                      plan_.pipeline_back + "@worker[" +
-                      std::to_string(plan_.back_worker) + "]";
-      ++stats_.served_pipeline;
-      return out;
-    }
-    // The back half is gone (or answered garbage): this request fails over
-    // to the master's own resident slice below.
+    auto piped = ServePipelineBatchLocked(input, deadline);
+    if (piped.ok()) return piped;
+    // The back half is gone (or answered garbage): the whole batch fails
+    // over to the standalone fan-out below.
     ++stats_.failovers;
     FLUID_LOG(Warn) << "master: pipeline failed ("
-                    << (reply.ok() ? "bad reply" : reply.status().ToString())
+                    << piped.status().ToString()
                     << "), failing over to standalone";
   }
+  return ServeShardedLocked(input, deadline);
+}
+
+core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
+    const core::Tensor& input, Clock::time_point deadline) {
+  const std::size_t w = plan_.back_worker;
+  if (RemainingMs(deadline).count() == 0) {
+    // A pre-expired budget (the request sat out its timeout in the queue)
+    // must not start an RPC that times out instantly and wrongly condemns
+    // a healthy back worker; the standalone fallback may still serve.
+    return core::Status::DeadlineExceeded(
+        "master: batch deadline exhausted before the pipeline could ship");
+  }
+  nn::Sequential& front = local_[plan_.pipeline_front];
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t chunk =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(batch_options_.ha_chunk));
+  const std::size_t window = std::max<std::size_t>(1, batch_options_.ha_window);
+
+  struct InFlight {
+    std::int64_t seq;
+    std::int64_t row0;
+    std::int64_t rows;
+  };
+  std::vector<InFlight> inflight;
+  BatchResult out;
+  std::int64_t filled = 0;
+
+  // On any error exit, the seqs still in flight must not stay pending:
+  // their replies would be parked in the reply buffer with no awaiter,
+  // forever. Deregistering them routes late replies to the (bounded,
+  // logged) stale-drop path instead.
+  auto abandon_inflight = [&] {
+    for (const InFlight& fl : inflight) {
+      workers_[w].pending.erase(fl.seq);
+      workers_[w].reply_buffer.erase(fl.seq);
+    }
+    inflight.clear();
+  };
+
+  // Collect the oldest in-flight chunk's logits into `out`.
+  auto await_oldest = [&]() -> core::Status {
+    const InFlight fl = inflight.front();
+    inflight.erase(inflight.begin());
+    auto reply = AwaitReplyLocked(w, fl.seq, deadline);
+    if (!reply.ok()) return reply.status();
+    if (reply->type != MsgType::kResult || !reply->has_payload() ||
+        reply->payload.shape().rank() < 2 ||
+        reply->payload.shape()[0] != fl.rows ||
+        (reply->batch != 0 && reply->batch != fl.rows)) {
+      return core::Status::Internal(
+          "worker[" + std::to_string(w) + "]: " +
+          (reply->type == MsgType::kError ? "back half failed: " + reply->tag
+                                          : "malformed pipeline result"));
+    }
+    if (out.logits.empty()) {
+      const std::int64_t classes = reply->payload.shape()[1];
+      out.logits = core::Tensor({n, classes});
+    }
+    const auto src = reply->payload.data();
+    std::copy(src.begin(), src.end(),
+              out.logits.data().begin() +
+                  fl.row0 * (out.logits.numel() / n));
+    filled += fl.rows;
+    return core::Status::Ok();
+  };
+
+  // Windowed send/recv queue: front compute of chunk k+1 overlaps the link
+  // transfer and the worker's back compute of chunk k.
+  for (std::int64_t row0 = 0; row0 < n; row0 += chunk) {
+    const std::int64_t rows = std::min(chunk, n - row0);
+    core::Tensor piece =
+        rows == n ? input.Clone() : core::SliceAxis0(input, row0, rows);
+    core::Tensor cut = front.Forward(piece, false);
+    const std::int64_t seq = next_seq_++;
+    workers_[w].pending.insert(seq);
+    auto st = SendLocked(
+        w, Message::WithBatch(MsgType::kInfer, seq, plan_.pipeline_back,
+                              std::move(cut)));
+    if (!st.ok()) {
+      abandon_inflight();
+      return st;
+    }
+    inflight.push_back({seq, row0, rows});
+    while (inflight.size() >= window) {
+      if (auto st2 = await_oldest(); !st2.ok()) {
+        abandon_inflight();
+        return st2;
+      }
+    }
+  }
+  while (!inflight.empty()) {
+    if (auto st2 = await_oldest(); !st2.ok()) {
+      abandon_inflight();
+      return st2;
+    }
+  }
+  FLUID_CHECK_MSG(filled == n, "pipeline batch: rows lost");
+
+  out.served_by.assign(
+      static_cast<std::size_t>(n),
+      "pipeline:" + plan_.pipeline_front + "+" + plan_.pipeline_back +
+          "@worker[" + std::to_string(w) + "]");
+  stats_.served_pipeline += n;
+  return out;
+}
+
+core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
+    const core::Tensor& input, Clock::time_point deadline) {
+  const std::int64_t n = input.shape()[0];
 
   // HighThroughput fan-out (and the failover target for every other path):
-  // round-robin over the master's resident slice and every live worker
-  // that hosts the worker-resident slice.
+  // shard the batch across the master's resident slice and every live
+  // worker that hosts the worker-resident slice.
   struct Target {
     bool remote;
     std::size_t worker;
   };
   std::vector<Target> targets;
-  if (!plan_.master_standalone.empty() &&
-      local_.count(plan_.master_standalone) != 0) {
-    targets.push_back({false, 0});
-  }
+  const bool has_local = !plan_.master_standalone.empty() &&
+                         local_.count(plan_.master_standalone) != 0;
+  if (has_local) targets.push_back({false, 0});
   if (!plan_.worker_standalone.empty()) {
     for (std::size_t w = 0; w < workers_.size(); ++w) {
-      if (workers_[w].alive && WorkerHasDeployment(w, plan_.worker_standalone)) {
+      if (workers_[w].alive &&
+          WorkerHasDeploymentLocked(w, plan_.worker_standalone)) {
         targets.push_back({true, w});
       }
     }
@@ -198,47 +428,291 @@ core::StatusOr<InferReply> MasterNode::Infer(const core::Tensor& input,
         "dead)");
   }
 
-  // Serve from the round-robin target; if a remote dies mid-request, fail
-  // over through every remaining candidate (paper Fig. 1b, "no request
-  // dropped") — the local slice if present, else the other live workers.
+  // Contiguous shards, one per target, rotated so a stream of small
+  // batches still round-robins the fleet. Remote shards ship first so the
+  // workers compute while the master serves its own shard.
+  struct Shard {
+    std::int64_t row0 = 0;
+    std::int64_t rows = 0;
+    Target target{false, 0};
+    std::int64_t seq = 0;
+    bool sent = false;
+    bool done = false;
+    core::Status error = core::Status::Ok();
+  };
   const std::size_t start = round_robin_++;
-  core::Status last = core::Status::Unavailable("master: no target tried");
-  for (std::size_t attempt = 0; attempt < targets.size(); ++attempt) {
-    const Target t = targets[(start + attempt) % targets.size()];
-    if (!t.remote) {
-      // Local compute needs no link budget; serving late beats dropping.
-      return ServeLocal(plan_.master_standalone, input);
+  const std::size_t num_shards =
+      std::min(targets.size(), static_cast<std::size_t>(n));
+  std::vector<Shard> shards(num_shards);
+  {
+    const std::int64_t base = n / static_cast<std::int64_t>(num_shards);
+    const std::int64_t rem = n % static_cast<std::int64_t>(num_shards);
+    std::int64_t row = 0;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      shards[s].row0 = row;
+      shards[s].rows = base + (static_cast<std::int64_t>(s) < rem ? 1 : 0);
+      shards[s].target = targets[(start + s) % targets.size()];
+      row += shards[s].rows;
     }
-    if (!workers_[t.worker].alive) continue;  // died earlier this request
+  }
+  auto shard_input = [&](const Shard& shard) {
+    return shard.rows == n ? input.Clone()
+                           : core::SliceAxis0(input, shard.row0, shard.rows);
+  };
+
+  BatchResult out;
+  out.served_by.assign(static_cast<std::size_t>(n), "");
+  auto place = [&](const Shard& shard, const core::Tensor& logits,
+                   const std::string& served_by) {
+    if (out.logits.empty()) {
+      const std::int64_t classes = logits.numel() / shard.rows;
+      out.logits = core::Tensor({n, classes});
+    }
+    const auto src = logits.data();
+    std::copy(src.begin(), src.end(),
+              out.logits.data().begin() +
+                  shard.row0 * (out.logits.numel() / n));
+    for (std::int64_t r = 0; r < shard.rows; ++r) {
+      out.served_by[static_cast<std::size_t>(shard.row0 + r)] = served_by;
+    }
+  };
+
+  // Phase 1: ship every remote shard (no waiting).
+  for (auto& shard : shards) {
+    if (!shard.target.remote) continue;
+    const std::size_t w = shard.target.worker;
+    if (!workers_[w].alive) {
+      shard.error = core::Status::Unavailable(
+          "worker[" + std::to_string(w) + "] died earlier this batch");
+      continue;
+    }
     if (RemainingMs(deadline).count() == 0) {
       // The caller's budget is spent: attempting an RPC now would time out
-      // instantly and wrongly condemn a healthy worker. Skip remotes (a
-      // local target later in the rotation may still serve).
-      last = core::Status::DeadlineExceeded(
+      // instantly and wrongly condemn a healthy worker.
+      shard.error = core::Status::DeadlineExceeded(
           "master: Infer deadline exhausted before a remote could serve");
       continue;
     }
-    auto remote = ServeRemote(t.worker, plan_.worker_standalone, input,
-                              RemainingMs(deadline));
-    if (remote.ok()) return remote;
-    ++stats_.failovers;
-    last = remote.status();
+    shard.seq = next_seq_++;
+    workers_[w].pending.insert(shard.seq);
+    auto st = SendLocked(
+        w, Message::WithBatch(MsgType::kInfer, shard.seq,
+                              plan_.worker_standalone, shard_input(shard)));
+    if (!st.ok()) {
+      shard.error = st;
+      continue;
+    }
+    shard.sent = true;
   }
-  return last;
+
+  // Phase 2: the master's own shard(s) compute while workers run theirs.
+  for (auto& shard : shards) {
+    if (shard.target.remote) continue;
+    core::Tensor logits =
+        local_[plan_.master_standalone].Forward(shard_input(shard), false);
+    place(shard, logits, "master:" + plan_.master_standalone);
+    stats_.served_local += shard.rows;
+    shard.done = true;
+  }
+
+  // Phase 3: collect remote shard results.
+  for (auto& shard : shards) {
+    if (!shard.sent) continue;
+    const std::size_t w = shard.target.worker;
+    auto reply = AwaitReplyLocked(w, shard.seq, deadline);
+    if (!reply.ok()) {
+      shard.error = reply.status();
+      continue;
+    }
+    if (reply->type != MsgType::kResult || !reply->has_payload() ||
+        reply->payload.shape().rank() < 2 ||
+        reply->payload.shape()[0] != shard.rows ||
+        (reply->batch != 0 && reply->batch != shard.rows)) {
+      shard.error = core::Status::Internal(
+          "worker[" + std::to_string(w) + "]" +
+          (reply->type == MsgType::kError
+               ? " failed '" + plan_.worker_standalone + "': " + reply->tag
+               : ": malformed result"));
+      continue;
+    }
+    place(shard, reply->payload,
+          "worker[" + std::to_string(w) + "]:" + plan_.worker_standalone);
+    stats_.served_remote += shard.rows;
+    shard.done = true;
+  }
+
+  // Phase 4: failover — re-serve each failed shard whole, local slice
+  // first, then the surviving workers (paper Fig. 1b: no request dropped).
+  core::Status last = core::Status::Ok();
+  for (auto& shard : shards) {
+    if (shard.done) continue;
+    ++stats_.failovers;
+    last = shard.error;
+    FLUID_LOG(Warn) << "master: shard [" << shard.row0 << ", "
+                    << shard.row0 + shard.rows << ") failed ("
+                    << shard.error.ToString() << "), re-serving";
+    if (has_local) {
+      core::Tensor logits =
+          local_[plan_.master_standalone].Forward(shard_input(shard), false);
+      place(shard, logits, "master:" + plan_.master_standalone);
+      stats_.served_local += shard.rows;
+      shard.done = true;
+      continue;
+    }
+    for (std::size_t w = 0; w < workers_.size() && !shard.done; ++w) {
+      if (!workers_[w].alive ||
+          !WorkerHasDeploymentLocked(w, plan_.worker_standalone)) {
+        continue;
+      }
+      if (RemainingMs(deadline).count() == 0) {
+        last = core::Status::DeadlineExceeded(
+            "master: Infer deadline exhausted before a remote could serve");
+        continue;
+      }
+      auto retried = ServeShardRemoteLocked(w, plan_.worker_standalone,
+                                            shard_input(shard), deadline);
+      if (!retried.ok()) {
+        last = retried.status();
+        continue;
+      }
+      place(shard, *retried,
+            "worker[" + std::to_string(w) + "]:" + plan_.worker_standalone);
+      stats_.served_remote += shard.rows;
+      shard.done = true;
+    }
+    if (!shard.done) {
+      return last.ok() ? core::Status::Unavailable(
+                             "master: no live deployment could re-serve a "
+                             "failed shard")
+                       : last;
+    }
+  }
+  return out;
+}
+
+core::StatusOr<core::Tensor> MasterNode::ServeShardRemoteLocked(
+    std::size_t w, const std::string& name, core::Tensor shard,
+    Clock::time_point deadline) {
+  const std::int64_t rows = shard.shape()[0];
+  auto reply = RpcLocked(
+      w, Message::WithBatch(MsgType::kInfer, 0, name, std::move(shard)),
+      RemainingMs(deadline));
+  if (!reply.ok()) return reply.status();
+  if (reply->type != MsgType::kResult || !reply->has_payload() ||
+      reply->payload.shape().rank() < 2 ||
+      reply->payload.shape()[0] != rows) {
+    return core::Status::Internal(
+        "worker[" + std::to_string(w) + "]" +
+        (reply->type == MsgType::kError ? " failed '" + name + "': " + reply->tag
+                                        : ": malformed result"));
+  }
+  return std::move(reply->payload);
+}
+
+bool MasterNode::WorkerHasDeploymentLocked(std::size_t w,
+                                           const std::string& name) const {
+  const auto& deployments = workers_[w].deployments;
+  return std::find_if(deployments.begin(), deployments.end(),
+                      [&](const auto& d) { return d.first == name; }) !=
+         deployments.end();
+}
+
+void MasterNode::MarkDeadLocked(std::size_t w, const core::Status& why) {
+  if (!workers_[w].alive) return;
+  workers_[w].alive = false;
+  workers_[w].pending.clear();
+  workers_[w].reply_buffer.clear();
+  FLUID_LOG(Warn) << "master: worker[" << w << "] ("
+                  << workers_[w].transport->Describe()
+                  << ") marked dead: " << why.ToString();
+}
+
+core::Status MasterNode::SendLocked(std::size_t w, Message msg) {
+  auto st = workers_[w].transport->Send(msg);
+  if (!st.ok()) MarkDeadLocked(w, st);
+  return st;
+}
+
+core::StatusOr<Message> MasterNode::RpcLocked(std::size_t w, Message msg,
+                                              std::chrono::milliseconds timeout) {
+  auto& handle = workers_[w];
+  if (!handle.alive) {
+    return core::Status::Unavailable("worker[" + std::to_string(w) + "] dead");
+  }
+  const auto deadline = Clock::now() + timeout;
+  msg.seq = next_seq_++;
+  handle.pending.insert(msg.seq);
+  auto st = handle.transport->Send(msg);
+  if (!st.ok()) {
+    MarkDeadLocked(w, st);
+    return st;
+  }
+  return AwaitReplyLocked(w, msg.seq, deadline);
+}
+
+core::StatusOr<Message> MasterNode::AwaitReplyLocked(
+    std::size_t w, std::int64_t seq, Clock::time_point deadline) {
+  WorkerHandle& handle = workers_[w];
+  // A windowed peer may already have delivered it out of order.
+  if (const auto it = handle.reply_buffer.find(seq);
+      it != handle.reply_buffer.end()) {
+    Message reply = std::move(it->second);
+    handle.reply_buffer.erase(it);
+    handle.pending.erase(seq);
+    return reply;
+  }
+  if (!handle.alive) {
+    return core::Status::Unavailable("worker[" + std::to_string(w) + "] dead");
+  }
+  for (;;) {
+    Message reply;
+    auto st = handle.transport->Recv(reply, RemainingMs(deadline));
+    if (!st.ok()) {
+      // Timeout, peer death and stream corruption all mean this worker
+      // cannot be trusted to answer: fail over rather than wait.
+      MarkDeadLocked(w, st);
+      return st;
+    }
+    if (reply.type == MsgType::kHello) {
+      handle.name = reply.tag;
+      continue;
+    }
+    if (reply.seq == seq) {
+      handle.pending.erase(seq);
+      return reply;
+    }
+    if (handle.pending.count(reply.seq) != 0) {
+      // A reply for another in-flight RPC on this link: park it for its
+      // awaiter instead of discarding it.
+      handle.reply_buffer[reply.seq] = std::move(reply);
+      continue;
+    }
+    // Correlation id matches nothing we sent (or an RPC long abandoned):
+    // drop it loudly rather than mis-deliver.
+    ++stats_.stale_replies;
+    FLUID_LOG(Warn) << "master: dropping stale " << MsgTypeName(reply.type)
+                    << " reply seq=" << reply.seq << " from worker[" << w
+                    << "]";
+  }
 }
 
 std::size_t MasterNode::ProbeWorkers(std::chrono::milliseconds timeout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t alive = 0;
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     if (!workers_[w].alive) continue;
     auto reply =
-        Rpc(w, Message::HeaderOnly(MsgType::kHeartbeat, 0), timeout);
-    if (!reply.ok()) continue;  // Rpc already marked it dead
+        RpcLocked(w, Message::HeaderOnly(MsgType::kHeartbeat, 0), timeout);
+    if (!reply.ok()) continue;  // RpcLocked already marked it dead
     if (reply->type != MsgType::kAck) {
-      MarkDead(w, core::Status::Internal("heartbeat answered with " +
-                                         std::string(MsgTypeName(reply->type))));
+      MarkDeadLocked(w, core::Status::Internal(
+                            "heartbeat answered with " +
+                            std::string(MsgTypeName(reply->type))));
+      continue;
     }
+    ++alive;
   }
-  return AliveWorkers();
+  return alive;
 }
 
 }  // namespace fluid::dist

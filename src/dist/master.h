@@ -4,27 +4,49 @@
 //
 // The master holds local deployments (its own resident sub-networks plus
 // the pipeline front) and talks to one or more WorkerNodes over Transports.
-// Request routing implements the paper's two modes:
+// Request routing implements the paper's two modes, batch-first:
 //
-//   HighAccuracy  — pipeline: run the front half locally, ship the cut
-//                   activation to the worker hosting the back half, return
-//                   its logits. Full-width accuracy, link-bound throughput.
-//   HighThroughput — fan-out: every device serves a self-sufficient
-//                   standalone slice; requests round-robin across the
-//                   master's resident model and every live worker.
+//   HighAccuracy  — pipeline: run the front half locally on the coalesced
+//                   batch, ship cut activations to the worker hosting the
+//                   back half in `ha_chunk`-sample frames with up to
+//                   `ha_window` frames in flight — front compute of chunk
+//                   k+1 overlaps the link and the worker's back compute of
+//                   chunk k (the overlapped schedule sim/pipeline_sim
+//                   models). Full-width accuracy, link-bound throughput.
+//   HighThroughput — fan-out: the coalesced batch is sharded across every
+//                   live device hosting a self-sufficient slice (master
+//                   included); remote shards ship first so worker compute
+//                   overlaps the master's own shard.
+//
+// Serving is asynchronous: InferAsync enqueues onto a BatchScheduler
+// (bounded MPSC queue + coalescing policy, see dist/serving_queue.h) and
+// returns a future; the scheduler's drain thread stacks waiting requests
+// into one batch tensor, routes it as above, and scatters per-sample
+// logits back to each future. The blocking Infer shim rides the same path.
 //
 // Failover (paper Fig. 1b): any transport-level failure marks that worker
-// dead and the request is re-served from the master's resident slice in
-// the same Infer call — the caller never sees the failure. The master is
-// driven from a single serving thread; it is not internally locked.
+// dead and its whole shard (HT) or the whole batch (HA pipeline) is
+// re-served from the surviving devices in the same serve pass — callers
+// never see a worker death. A crashed worker can later be revived with
+// ReattachWorker, which re-deploys everything it hosted.
+//
+// Thread safety: the node is internally locked — InferAsync/Infer may be
+// called from any number of client threads while the orchestrator probes
+// and redeploys. One mutex serializes the serving core; concurrency comes
+// from batching, not from concurrent forwards.
 
 #include <chrono>
+#include <future>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/error.h"
 #include "dist/blueprint.h"
+#include "dist/serving_queue.h"
 #include "dist/transport.h"
 #include "nn/checkpoint.h"
 #include "nn/sequential.h"
@@ -43,26 +65,38 @@ struct Plan {
   std::size_t back_worker = 0;    // which worker hosts pipeline_back
 };
 
-struct InferReply {
-  core::Tensor logits;
-  std::string served_by;  // e.g. "master:lower50", "worker[1]:upper50"
-};
-
+/// Served-sample counters. served_* count samples (one blocking Infer of a
+/// [1,...] input still counts 1); failovers/reattaches count events.
 struct MasterStats {
   std::int64_t served_local = 0;     // master-resident standalone
   std::int64_t served_remote = 0;    // worker-resident standalone
   std::int64_t served_pipeline = 0;  // HA front+back pipeline
-  std::int64_t failovers = 0;        // requests re-served after a worker died
+  std::int64_t failovers = 0;        // shards/batches re-served after a death
+  std::int64_t batches = 0;          // coalesced batches served
+  std::int64_t coalesced_samples = 0;
+  std::int64_t stale_replies = 0;    // replies dropped: seq matched nothing
+  std::int64_t reattaches = 0;       // workers revived via ReattachWorker
 };
 
 class MasterNode {
  public:
   explicit MasterNode(slim::FluidNetConfig config);
+  ~MasterNode();
+  MasterNode(const MasterNode&) = delete;
+  MasterNode& operator=(const MasterNode&) = delete;
 
   /// Adopt a connected transport as the next worker. Returns its index.
   std::size_t AttachWorker(TransportPtr transport);
 
-  std::size_t num_workers() const { return workers_.size(); }
+  /// Revive a dead worker slot with a fresh transport: everything the slot
+  /// ever hosted is re-deployed (blueprint + weights are kept master-side),
+  /// then the slot rejoins routing. Fails — leaving the slot dead — if the
+  /// new link cannot complete the re-deploys within `timeout` each.
+  core::Status ReattachWorker(
+      std::size_t index, TransportPtr transport,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(2000));
+
+  std::size_t num_workers() const;
   /// Workers currently believed alive (updated lazily by failed RPCs and
   /// eagerly by ProbeWorkers).
   std::size_t AliveWorkers() const;
@@ -78,14 +112,32 @@ class MasterNode {
       std::chrono::milliseconds timeout = std::chrono::milliseconds(2000),
       std::size_t worker = 0);
 
-  void SetPlan(Plan plan) { plan_ = std::move(plan); }
-  const Plan& plan() const { return plan_; }
+  void SetPlan(Plan plan);
+  Plan plan() const;
 
-  void SetMode(sim::Mode mode) { mode_ = mode; }
-  sim::Mode mode() const { return mode_; }
+  void SetMode(sim::Mode mode);
+  sim::Mode mode() const;
 
-  /// Serve one input ([N, C, S, S]) under the current mode with failover.
-  /// Fails only when no deployment anywhere can answer within `timeout`.
+  /// Start the async serving runtime with the given coalescing policy.
+  /// Idempotent while running (the options of the first call win).
+  void StartServing(BatchOptions options = {});
+  /// Stop the scheduler; queued-but-unserved requests fail kUnavailable.
+  void StopServing();
+  bool serving() const;
+
+  /// Enqueue one input ([n, C, S, S]) for batched serving; thread-safe.
+  /// Starts the serving runtime with default options if not running. The
+  /// future resolves when the coalesced batch containing this request has
+  /// been served (failover included) — it fails only when no deployment
+  /// anywhere can answer.
+  std::future<core::StatusOr<InferReply>> InferAsync(
+      core::Tensor input, std::chrono::milliseconds timeout);
+
+  /// Blocking shim over the same serving core: when the scheduler runs,
+  /// equivalent to InferAsync(...).get() (the request coalesces with
+  /// concurrent callers'); otherwise the input is served inline as a
+  /// batch of one. For a multi-sample input, `served_by` reports the
+  /// device that served the first sample.
   core::StatusOr<InferReply> Infer(const core::Tensor& input,
                                    std::chrono::milliseconds timeout);
 
@@ -94,7 +146,10 @@ class MasterNode {
   std::size_t ProbeWorkers(
       std::chrono::milliseconds timeout = std::chrono::milliseconds(250));
 
-  const MasterStats& stats() const { return stats_; }
+  MasterStats stats() const;
+  /// Queue/coalescing counters for the control plane (zeros when the
+  /// scheduler is not running).
+  SchedulerStats scheduler_stats() const;
   const slim::FluidNetConfig& config() const { return config_; }
 
  private:
@@ -102,22 +157,52 @@ class MasterNode {
     TransportPtr transport;
     std::string name;  // from its kHello, if seen
     bool alive = true;
-    std::vector<std::string> deployments;
+    /// Deployment name → encoded DeployRequest tag, kept so ReattachWorker
+    /// can replay the full deploy history onto a fresh link.
+    std::vector<std::pair<std::string, std::string>> deployments;
+    /// Correlation ids of RPCs currently in flight on this link.
+    std::set<std::int64_t> pending;
+    /// Replies that arrived for a pending seq other than the one being
+    /// awaited (out-of-order delivery under windowed sends).
+    std::map<std::int64_t, Message> reply_buffer;
   };
 
-  /// Send `msg` to worker `w` and wait for the reply matching its seq.
-  /// Any transport failure or timeout marks the worker dead.
-  core::StatusOr<Message> Rpc(std::size_t w, Message msg,
-                              std::chrono::milliseconds timeout);
-  bool WorkerHasDeployment(std::size_t w, const std::string& name) const;
-  core::StatusOr<InferReply> ServeLocal(const std::string& name,
-                                        const core::Tensor& input);
-  core::StatusOr<InferReply> ServeRemote(std::size_t w, const std::string& name,
-                                         const core::Tensor& input,
-                                         std::chrono::milliseconds timeout);
-  void MarkDead(std::size_t w, const core::Status& why);
+  /// Result of serving one coalesced batch.
+  struct BatchResult {
+    core::Tensor logits;                 // [N, classes]
+    std::vector<std::string> served_by;  // per sample
+  };
+
+  // All *Locked members require mu_ held.
+  core::StatusOr<Message> RpcLocked(std::size_t w, Message msg,
+                                    std::chrono::milliseconds timeout);
+  core::Status SendLocked(std::size_t w, Message msg);
+  /// Wait for the reply correlated to `seq`; replies for other pending
+  /// seqs are buffered, replies matching nothing are dropped and logged.
+  core::StatusOr<Message> AwaitReplyLocked(
+      std::size_t w, std::int64_t seq,
+      std::chrono::steady_clock::time_point deadline);
+  bool WorkerHasDeploymentLocked(std::size_t w, const std::string& name) const;
+  void MarkDeadLocked(std::size_t w, const core::Status& why);
+
+  core::StatusOr<BatchResult> ServeBatchLocked(
+      const core::Tensor& input, std::chrono::steady_clock::time_point deadline);
+  core::StatusOr<BatchResult> ServePipelineBatchLocked(
+      const core::Tensor& input, std::chrono::steady_clock::time_point deadline);
+  core::StatusOr<BatchResult> ServeShardedLocked(
+      const core::Tensor& input, std::chrono::steady_clock::time_point deadline);
+  core::StatusOr<core::Tensor> ServeShardRemoteLocked(
+      std::size_t w, const std::string& name, core::Tensor shard,
+      std::chrono::steady_clock::time_point deadline);
+
+  /// Scheduler drain-thread entry: stack → serve → scatter to promises.
+  void ServeBatch(std::vector<BatchScheduler::Request>&& batch);
+  /// Requires serving_mu_ held. No-op while the scheduler runs.
+  void StartServingLocked(BatchOptions options);
 
   slim::FluidNetConfig config_;
+
+  mutable std::mutex mu_;  // guards everything below
   std::vector<WorkerHandle> workers_;
   std::map<std::string, nn::Sequential> local_;
   Plan plan_;
@@ -125,6 +210,12 @@ class MasterNode {
   MasterStats stats_;
   std::int64_t next_seq_ = 1;
   std::size_t round_robin_ = 0;
+  BatchOptions batch_options_;  // HA chunk/window knobs for the serve core
+
+  /// Guards scheduler start/stop; never held while serving (the scheduler
+  /// thread takes mu_, and StopServing joins that thread).
+  mutable std::mutex serving_mu_;
+  std::unique_ptr<BatchScheduler> scheduler_;
 };
 
 }  // namespace fluid::dist

@@ -7,7 +7,9 @@ namespace fluid::dist {
 namespace {
 
 constexpr std::uint32_t kMagic = kFrameMagic;
-constexpr std::uint8_t kVersion = 1;
+// v1: no batch field. v2 (current): [i64 batch] between seq and tag.
+constexpr std::uint8_t kVersionV1 = 1;
+constexpr std::uint8_t kVersion = 2;
 constexpr std::uint8_t kMaxType = static_cast<std::uint8_t>(MsgType::kHeartbeat);
 
 }  // namespace
@@ -35,6 +37,15 @@ Message Message::WithTensor(MsgType type, std::int64_t seq, std::string tag,
   return m;
 }
 
+Message Message::WithBatch(MsgType type, std::int64_t seq, std::string tag,
+                           core::Tensor payload) {
+  FLUID_CHECK_MSG(payload.shape().rank() >= 1,
+                  "Message::WithBatch: payload must have a batch dim");
+  Message m = WithTensor(type, seq, std::move(tag), std::move(payload));
+  m.batch = m.payload.shape()[0];
+  return m;
+}
+
 Message Message::HeaderOnly(MsgType type, std::int64_t seq, std::string tag) {
   Message m;
   m.type = type;
@@ -48,6 +59,7 @@ std::vector<std::uint8_t> EncodeMessage(const Message& msg) {
   body.WriteU8(kVersion);
   body.WriteU8(static_cast<std::uint8_t>(msg.type));
   body.WriteI64(msg.seq);
+  body.WriteI64(msg.batch);
   body.WriteString(msg.tag);
   body.WriteU8(msg.has_payload() ? 1 : 0);
   if (msg.has_payload()) body.WriteTensor(msg.payload);
@@ -81,7 +93,7 @@ core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out) {
 
   std::uint8_t version = 0, type = 0, has_tensor = 0;
   FLUID_RETURN_IF_ERROR(r.TryReadU8(version));
-  if (version != kVersion) {
+  if (version != kVersionV1 && version != kVersion) {
     return core::Status::DataLoss("Message: unsupported version " +
                                   std::to_string(version));
   }
@@ -94,6 +106,9 @@ core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out) {
   Message msg;
   msg.type = static_cast<MsgType>(type);
   FLUID_RETURN_IF_ERROR(r.TryReadI64(msg.seq));
+  if (version >= kVersion) {
+    FLUID_RETURN_IF_ERROR(r.TryReadI64(msg.batch));
+  }
   FLUID_RETURN_IF_ERROR(r.TryReadString(msg.tag));
   FLUID_RETURN_IF_ERROR(r.TryReadU8(has_tensor));
   if (has_tensor != 0) {
@@ -104,8 +119,8 @@ core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out) {
 }
 
 std::int64_t EncodedSize(const Message& msg) {
-  // frame header (magic + body_len) + fixed body fields.
-  std::int64_t n = 4 + 4 + 1 + 1 + 8 + 4 +
+  // frame header (magic + body_len) + fixed body fields (incl. i64 batch).
+  std::int64_t n = 4 + 4 + 1 + 1 + 8 + 8 + 4 +
                    static_cast<std::int64_t>(msg.tag.size()) + 1;
   if (msg.has_payload()) {
     // rank + dims + float count + data.

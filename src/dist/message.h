@@ -8,8 +8,14 @@
 // understanding their contents:
 //
 //   [u32 magic "FLMS"] [u32 body_len] [body]
-//   body = [u8 version] [u8 type] [i64 seq] [string tag] [u8 has_tensor]
-//          [tensor?]
+//   body = [u8 version] [u8 type] [i64 seq] [i64 batch] [string tag]
+//          [u8 has_tensor] [tensor?]
+//
+// Version 2 added the `batch` field: the number of samples a kInfer /
+// kResult frame covers, so the batched serving path can validate that a
+// reply answers the whole shard it shipped (and a worker can reject a
+// payload whose leading dim disagrees with the header). Version-1 frames
+// (no batch field) still decode, with batch = 0 ("unspecified").
 //
 // Decode never throws: corrupt or truncated frames come back as
 // Status::DataLoss so a transport can drop the connection instead of
@@ -51,6 +57,7 @@ std::string_view MsgTypeName(MsgType type);
 struct Message {
   MsgType type = MsgType::kAck;
   std::int64_t seq = 0;   // correlation id chosen by the sender
+  std::int64_t batch = 0; // samples this frame covers (0 = unspecified)
   std::string tag;        // route / model name / error text
   core::Tensor payload;   // empty when the frame carries no tensor
 
@@ -60,6 +67,10 @@ struct Message {
 
   static Message WithTensor(MsgType type, std::int64_t seq, std::string tag,
                             core::Tensor payload);
+  /// A kInfer/kResult frame whose `batch` header mirrors the payload's
+  /// leading dim, letting the receiver validate shard coverage.
+  static Message WithBatch(MsgType type, std::int64_t seq, std::string tag,
+                           core::Tensor payload);
   /// Header-only frame (kAck, kHeartbeat, kError, ...).
   static Message HeaderOnly(MsgType type, std::int64_t seq,
                             std::string tag = {});

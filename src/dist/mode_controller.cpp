@@ -1,5 +1,7 @@
 #include "dist/mode_controller.h"
 
+#include <algorithm>
+
 #include "core/error.h"
 
 namespace fluid::dist {
@@ -13,6 +15,16 @@ ModeController::ModeController(double ha_capacity, double ht_capacity,
                   "ModeController: capacities must be positive");
   FLUID_CHECK_MSG(hysteresis >= 0 && hysteresis < 1,
                   "ModeController: hysteresis must be in [0, 1)");
+}
+
+sim::Mode ModeController::Decide(const DemandSignal& signal) {
+  double effective = signal.demand;
+  if (signal.queue_depth > 0 &&
+      signal.batch_occupancy >= kSaturatedOccupancy) {
+    effective = std::max(
+        effective, ha_capacity_ * (1.0 + kBacklogGain * signal.queue_depth));
+  }
+  return Decide(effective);
 }
 
 sim::Mode ModeController::Decide(double demand) {

@@ -17,6 +17,20 @@ namespace fluid::dist {
 
 class ModeController {
  public:
+  /// What the controller sees each tick, now that serving is queued: the
+  /// external demand estimate plus the scheduler's own backlog telemetry.
+  struct DemandSignal {
+    double demand = 0.0;           // img/s estimate
+    double queue_depth = 0.0;      // samples waiting in the serving queue
+    double batch_occupancy = 0.0;  // avg coalesced batch / max_batch, [0,1]
+  };
+
+  /// Occupancy at or above which a standing queue is read as saturation.
+  static constexpr double kSaturatedOccupancy = 0.5;
+  /// How strongly each queued sample inflates effective demand past the
+  /// HA operating point once the batches run saturated.
+  static constexpr double kBacklogGain = 0.05;
+
   /// `ha_capacity` / `ht_capacity`: sustainable img/s at each operating
   /// point (from sim::Fig2Evaluator or measurement). `hysteresis` is the
   /// fraction below ha_capacity demand must fall before returning to HA.
@@ -25,6 +39,13 @@ class ModeController {
 
   /// Feed the current demand (img/s); returns the mode to run.
   sim::Mode Decide(double demand);
+
+  /// Backlog-aware decision: a standing queue with saturated batches is
+  /// direct evidence the current operating point cannot keep up, whatever
+  /// the demand estimate claims — effective demand is lifted above
+  /// ha_capacity proportionally to the backlog so the hysteresis loop
+  /// reacts, then the scalar policy runs unchanged.
+  sim::Mode Decide(const DemandSignal& signal);
 
   sim::Mode mode() const { return mode_; }
   std::int64_t switches() const { return switches_; }

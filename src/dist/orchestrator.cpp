@@ -14,7 +14,18 @@ Orchestrator::Report Orchestrator::Tick(double demand) {
   Report report;
   report.demand = demand;
   report.alive_workers = master_.ProbeWorkers(config_.probe_timeout);
-  report.mode = controller_.Decide(demand);
+
+  // Join the external demand estimate with the serving queue's own
+  // telemetry: a standing backlog of saturated batches means the current
+  // operating point is too slow even if the estimate disagrees.
+  const SchedulerStats serving = master_.scheduler_stats();
+  report.queue_depth = static_cast<double>(serving.queue_depth);
+  report.batch_occupancy = serving.occupancy;
+  ModeController::DemandSignal signal;
+  signal.demand = demand;
+  signal.queue_depth = report.queue_depth;
+  signal.batch_occupancy = report.batch_occupancy;
+  report.mode = controller_.Decide(signal);
 
   // The controller expresses a preference; the fleet may not be able to
   // honour it. HA means the full-width pipeline, which needs its back

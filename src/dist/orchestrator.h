@@ -3,13 +3,15 @@
 // device health.
 //
 // Once per tick it (1) heartbeats every believed-alive worker through the
-// master, (2) feeds the demand estimate to the ModeController, and
+// master, (2) feeds the demand estimate — joined with the serving queue's
+// depth and batch-occupancy telemetry, the direct evidence of whether the
+// current operating point keeps up — to the ModeController, and
 // (3) pushes the decided mode onto the MasterNode, which routes each
-// request across the master-resident and worker-resident slices
-// accordingly. The request path stays in MasterNode::Infer; the
-// orchestrator is pure control plane, so a stalled tick can never stall
-// serving. Modelled on the scheduler/orchestrator split in heterogeneous
-// serving systems (cf. the NeuPIMs request orchestrator).
+// coalesced batch across the master-resident and worker-resident slices
+// accordingly. The request path stays in the MasterNode's serving core;
+// the orchestrator is pure control plane, so a stalled tick can never
+// stall serving. Modelled on the scheduler/orchestrator split in
+// heterogeneous serving systems (cf. the NeuPIMs request orchestrator).
 
 #include <chrono>
 #include <cstdint>
@@ -34,6 +36,8 @@ class Orchestrator {
     bool degraded = false;     // no worker left: the master serves alone
     double demand = 0.0;       // what this tick was asked to plan for
     double capacity = 0.0;     // estimated sustainable img/s right now
+    double queue_depth = 0.0;  // samples waiting in the serving queue
+    double batch_occupancy = 0.0;  // how full the coalesced batches run
   };
 
   Orchestrator(MasterNode& master, OrchestratorConfig config);

@@ -1,0 +1,157 @@
+#include "dist/serving_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/logging.h"
+
+namespace fluid::dist {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+// Weight of the newest batch in the occupancy moving average: the signal
+// crosses ModeController's saturation threshold within a handful of
+// batches after a traffic shift.
+constexpr double kOccupancyEmaAlpha = 0.25;
+
+std::future<core::StatusOr<InferReply>> ReadyError(core::Status status) {
+  std::promise<core::StatusOr<InferReply>> p;
+  p.set_value(std::move(status));
+  return p.get_future();
+}
+}  // namespace
+
+BatchScheduler::BatchScheduler(BatchOptions options, ServeFn serve)
+    : options_(options), serve_(std::move(serve)) {
+  FLUID_CHECK_MSG(options_.max_batch >= 1, "BatchScheduler: max_batch < 1");
+  FLUID_CHECK_MSG(options_.queue_capacity >= options_.max_batch,
+                  "BatchScheduler: queue_capacity < max_batch");
+  FLUID_CHECK_MSG(options_.ha_chunk >= 1 && options_.ha_window >= 1,
+                  "BatchScheduler: ha_chunk/ha_window < 1");
+  FLUID_CHECK_MSG(serve_ != nullptr, "BatchScheduler: null serve callback");
+  running_ = true;
+  thread_ = std::thread(&BatchScheduler::DrainLoop, this);
+}
+
+BatchScheduler::~BatchScheduler() { Stop(); }
+
+std::future<core::StatusOr<InferReply>> BatchScheduler::Submit(
+    core::Tensor input, std::chrono::milliseconds timeout) {
+  if (input.empty() || input.shape().rank() < 1 || input.shape()[0] < 1) {
+    return ReadyError(core::Status::InvalidArgument(
+        "BatchScheduler::Submit: input needs a non-empty batch dim"));
+  }
+  Request req;
+  req.samples = input.shape()[0];
+  req.input = std::move(input);
+  req.deadline = Clock::now() + timeout;
+  auto future = req.promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // Backpressure: a bounded queue turns overload into caller-visible
+  // latency instead of unbounded memory growth.
+  space_cv_.wait(lock, [&] {
+    return stop_ ||
+           queued_samples_ + req.samples <=
+               static_cast<std::int64_t>(options_.queue_capacity) ||
+           queue_.empty();  // one oversized request may always enter
+  });
+  if (stop_) {
+    return ReadyError(
+        core::Status::Unavailable("BatchScheduler stopped before Submit"));
+  }
+  queued_samples_ += req.samples;
+  ++submitted_;
+  queue_.push_back(std::move(req));
+  cv_.notify_one();
+  return future;
+}
+
+void BatchScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  space_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+
+  // Fail whatever the drain loop left behind.
+  std::deque<Request> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphans.swap(queue_);
+    queued_samples_ = 0;
+  }
+  for (auto& req : orphans) {
+    req.promise.set_value(
+        core::Status::Unavailable("BatchScheduler stopped with the request "
+                                  "still queued"));
+  }
+  running_ = false;
+}
+
+SchedulerStats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerStats s;
+  s.submitted = submitted_;
+  s.batches = batches_;
+  s.coalesced_samples = coalesced_samples_;
+  s.max_batch_seen = max_batch_seen_;
+  s.queue_depth = queued_samples_;
+  s.avg_batch = batches_ > 0 ? static_cast<double>(coalesced_samples_) /
+                                   static_cast<double>(batches_)
+                             : 0.0;
+  s.occupancy = ema_batch_ / static_cast<double>(options_.max_batch);
+  return s;
+}
+
+void BatchScheduler::DrainLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    std::int64_t batch_samples = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;  // Stop() fails the queued remainder
+
+      // First request in hand: coalesce until max_batch or max_delay.
+      const auto coalesce_deadline = Clock::now() + options_.max_delay;
+      for (;;) {
+        while (!queue_.empty() &&
+               (batch.empty() ||
+                batch_samples + queue_.front().samples <=
+                    static_cast<std::int64_t>(options_.max_batch))) {
+          batch_samples += queue_.front().samples;
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        if (stop_ ||
+            batch_samples >= static_cast<std::int64_t>(options_.max_batch) ||
+            (!queue_.empty()))  // next request would overflow: serve now
+          break;
+        if (cv_.wait_until(lock, coalesce_deadline, [&] {
+              return stop_ || !queue_.empty();
+            })) {
+          continue;  // more arrived (or stopping): take them / bail above
+        }
+        break;  // max_delay elapsed with nothing new
+      }
+      queued_samples_ -= batch_samples;
+      ++batches_;
+      coalesced_samples_ += batch_samples;
+      max_batch_seen_ = std::max(max_batch_seen_, batch_samples);
+      ema_batch_ = batches_ == 1
+                       ? static_cast<double>(batch_samples)
+                       : kOccupancyEmaAlpha * static_cast<double>(batch_samples) +
+                             (1.0 - kOccupancyEmaAlpha) * ema_batch_;
+    }
+    space_cv_.notify_all();
+    // Serve outside the lock so Submit never waits on model compute.
+    serve_(std::move(batch));
+  }
+}
+
+}  // namespace fluid::dist

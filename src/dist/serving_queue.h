@@ -1,0 +1,132 @@
+#pragma once
+// BatchScheduler: the async request queue in front of MasterNode.
+//
+// The compute layer is batch-native (one fused [Cout, batch·area] GEMM per
+// conv stage), but a request arrives one tensor at a time. The scheduler
+// closes that gap: callers Submit() from any thread and get a future; a
+// single drain thread pops the bounded MPSC queue, coalesces waiting
+// requests into one batch tensor (up to `max_batch` samples, waiting at
+// most `max_delay` for stragglers once the first request is in hand), and
+// hands the batch to a serve callback — MasterNode::ServeBatch — which
+// routes the fused batch and scatters per-sample logits back to each
+// request's promise. This is the request-coalescing lever batched serving
+// systems (cf. NeuPIMs' batched scheduling) treat as the core throughput
+// knob; here it is what lets PR 3's fused conv-GEMM reach the wire.
+//
+// Contract with the serve callback: it receives ownership of the requests
+// and MUST resolve every promise (success or Status) — the scheduler never
+// touches a request again after handing it over. The scheduler itself
+// resolves promises only for requests still queued at Stop().
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+#include "core/tensor.h"
+
+namespace fluid::dist {
+
+/// One answered inference request.
+struct InferReply {
+  core::Tensor logits;
+  std::string served_by;  // e.g. "master:lower50", "worker[1]:upper50"
+};
+
+/// Knobs of the coalescing policy and the HA pipeline schedule.
+struct BatchOptions {
+  /// Coalesce at most this many samples into one fused batch.
+  std::size_t max_batch = 16;
+  /// Once the first request of a batch is in hand, wait at most this long
+  /// for more before serving what we have.
+  std::chrono::milliseconds max_delay{2};
+  /// Bound on queued samples; Submit blocks (backpressure) when reached.
+  std::size_t queue_capacity = 1024;
+  /// HighAccuracy pipeline: samples per cut-activation frame. Smaller
+  /// chunks overlap more front compute with the link at more per-frame
+  /// overhead.
+  std::size_t ha_chunk = 8;
+  /// HighAccuracy pipeline: cut-activation frames in flight on the link
+  /// before the sender waits for a result. 1 = store-and-forward.
+  std::size_t ha_window = 2;
+};
+
+/// Counters the control plane consumes (ModeController backlog signal).
+struct SchedulerStats {
+  std::int64_t submitted = 0;         // requests ever accepted
+  std::int64_t batches = 0;           // coalesced batches handed to serve
+  std::int64_t coalesced_samples = 0; // samples across those batches
+  std::int64_t max_batch_seen = 0;
+  std::int64_t queue_depth = 0;       // samples waiting right now
+  /// Lifetime mean samples per served batch (0 before the first batch).
+  double avg_batch = 0.0;
+  /// How full the coalesced batches run *lately*, in [0, 1]: an
+  /// exponential moving average of batch size over max_batch, so the
+  /// saturation signal tracks a traffic shift within a few batches
+  /// instead of being diluted by hours of history. ~1 with a standing
+  /// queue means the serving path is saturated.
+  double occupancy = 0.0;
+};
+
+class BatchScheduler {
+ public:
+  struct Request {
+    core::Tensor input;        // [n, C, S, S]; n >= 1
+    std::int64_t samples = 0;  // input.shape()[0]
+    std::chrono::steady_clock::time_point deadline;
+    std::promise<core::StatusOr<InferReply>> promise;
+  };
+  /// Receives ownership of a coalesced batch; must resolve every promise.
+  using ServeFn = std::function<void(std::vector<Request>&&)>;
+
+  BatchScheduler(BatchOptions options, ServeFn serve);
+  ~BatchScheduler();
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Enqueue one input ([n, C, S, S]) from any thread. Blocks only on
+  /// backpressure (queue at capacity). The future resolves when the batch
+  /// containing this request is served, or with kUnavailable at Stop().
+  std::future<core::StatusOr<InferReply>> Submit(
+      core::Tensor input, std::chrono::milliseconds timeout);
+
+  /// Stop the drain thread and fail everything still queued. Idempotent.
+  void Stop();
+
+  bool running() const { return running_; }
+  SchedulerStats stats() const;
+  const BatchOptions& options() const { return options_; }
+
+ private:
+  void DrainLoop();
+
+  BatchOptions options_;
+  ServeFn serve_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // queue became non-empty / stopped
+  std::condition_variable space_cv_;  // queue has room again
+  std::deque<Request> queue_;
+  std::int64_t queued_samples_ = 0;
+  bool stop_ = false;
+  std::atomic<bool> running_{false};
+
+  // Stats (guarded by mu_).
+  std::int64_t submitted_ = 0;
+  std::int64_t batches_ = 0;
+  std::int64_t coalesced_samples_ = 0;
+  std::int64_t max_batch_seen_ = 0;
+  double ema_batch_ = 0.0;  // recent batch size; seeds on the first batch
+
+  std::thread thread_;
+};
+
+}  // namespace fluid::dist

@@ -1,5 +1,6 @@
 #include "dist/transport.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -9,14 +10,27 @@ namespace fluid::dist {
 
 namespace {
 
+using SteadyClock = std::chrono::steady_clock;
+
 // Shared state of one connected pair. Two byte-frame queues (one per
 // direction) under a single lock; each endpoint owns a "closed" flag.
 // Closing either side wakes every waiter on both directions.
+// Each queued frame carries the time it becomes deliverable (`ready`):
+// the plain in-memory pair delivers immediately; the emulated-link pair
+// charges latency + serialisation onto a per-direction serial link.
 struct PairState {
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<std::vector<std::uint8_t>> queue[2];  // queue[i]: frames for end i
+  struct Frame {
+    std::vector<std::uint8_t> bytes;
+    SteadyClock::time_point ready;
+  };
+  std::deque<Frame> queue[2];  // queue[i]: frames for end i
+  SteadyClock::time_point link_free[2] = {};  // direction busy until
   bool end_closed[2] = {false, false};
+  // Link model (zero-cost for the plain pair).
+  std::chrono::duration<double> latency{0.0};
+  double bandwidth_bytes_per_s = 0.0;  // <= 0: infinite
 };
 
 class InMemoryTransport final : public Transport {
@@ -35,7 +49,26 @@ class InMemoryTransport final : public Transport {
     if (state_->end_closed[1 - side_]) {
       return core::Status::Unavailable("in-memory transport: peer closed");
     }
-    state_->queue[1 - side_].push_back(std::move(bytes));
+    // Deliverable once the direction's serial link has carried it:
+    // latency head start, then the payload at the link's bandwidth,
+    // queued behind whatever this direction is still transmitting.
+    // Zero-cost link model: ready immediately.
+    auto ready = SteadyClock::now();
+    if (state_->latency.count() > 0 || state_->bandwidth_bytes_per_s > 0) {
+      const int dir = 1 - side_;
+      auto start = std::max(ready, state_->link_free[dir]);
+      auto transfer = std::chrono::duration<double>(
+          state_->bandwidth_bytes_per_s > 0
+              ? static_cast<double>(bytes.size()) /
+                    state_->bandwidth_bytes_per_s
+              : 0.0);
+      ready = start +
+              std::chrono::duration_cast<SteadyClock::duration>(
+                  state_->latency + transfer);
+      state_->link_free[dir] =
+          start + std::chrono::duration_cast<SteadyClock::duration>(transfer);
+    }
+    state_->queue[1 - side_].push_back({std::move(bytes), ready});
     state_->cv.notify_all();
     return core::Status::Ok();
   }
@@ -43,23 +76,43 @@ class InMemoryTransport final : public Transport {
   core::Status Recv(Message& out, std::chrono::milliseconds timeout) override {
     std::unique_lock<std::mutex> lock(state_->mu);
     auto& inbox = state_->queue[side_];
-    const bool got = state_->cv.wait_for(lock, timeout, [&] {
-      return !inbox.empty() || state_->end_closed[side_] ||
-             state_->end_closed[1 - side_];
-    });
-    // Buffered frames still deliver after the peer closed — a graceful
-    // close must not drop in-flight replies.
-    if (!inbox.empty()) {
-      const auto bytes = std::move(inbox.front());
-      inbox.pop_front();
-      lock.unlock();
-      return DecodeMessage(bytes, out);
+    const auto deadline = SteadyClock::now() + timeout;
+    for (;;) {
+      state_->cv.wait_until(lock, deadline, [&] {
+        return !inbox.empty() || state_->end_closed[side_] ||
+               state_->end_closed[1 - side_];
+      });
+      // Buffered frames still deliver after the peer closed — a graceful
+      // close must not drop in-flight replies. A frame still "on the
+      // link" (ready in the future) is not visible yet; wait for it, but
+      // never past the caller's deadline.
+      if (!inbox.empty()) {
+        const auto now = SteadyClock::now();
+        if (inbox.front().ready > now) {
+          if (inbox.front().ready >= deadline) {
+            if (now >= deadline) {
+              return core::Status::DeadlineExceeded(
+                  "in-memory transport: Recv timeout");
+            }
+            state_->cv.wait_until(lock, deadline, [] { return false; });
+            continue;
+          }
+          state_->cv.wait_until(lock, inbox.front().ready, [] { return false; });
+          continue;
+        }
+        const auto bytes = std::move(inbox.front().bytes);
+        inbox.pop_front();
+        lock.unlock();
+        return DecodeMessage(bytes, out);
+      }
+      if (state_->end_closed[side_] || state_->end_closed[1 - side_]) {
+        return core::Status::Unavailable("in-memory transport: peer closed");
+      }
+      if (SteadyClock::now() >= deadline) {
+        return core::Status::DeadlineExceeded(
+            "in-memory transport: Recv timeout");
+      }
     }
-    if (state_->end_closed[side_] || state_->end_closed[1 - side_]) {
-      return core::Status::Unavailable("in-memory transport: peer closed");
-    }
-    (void)got;
-    return core::Status::DeadlineExceeded("in-memory transport: Recv timeout");
   }
 
   void Close() override {
@@ -75,7 +128,10 @@ class InMemoryTransport final : public Transport {
   }
 
   std::string Describe() const override {
-    return side_ == 0 ? "mem:a" : "mem:b";
+    const bool emulated = state_->latency.count() > 0 ||
+                          state_->bandwidth_bytes_per_s > 0;
+    return std::string(emulated ? "memlink" : "mem") +
+           (side_ == 0 ? ":a" : ":b");
   }
 
  private:
@@ -87,6 +143,17 @@ class InMemoryTransport final : public Transport {
 
 std::pair<TransportPtr, TransportPtr> MakeInMemoryPair() {
   auto state = std::make_shared<PairState>();
+  return {std::make_unique<InMemoryTransport>(state, 0),
+          std::make_unique<InMemoryTransport>(state, 1)};
+}
+
+std::pair<TransportPtr, TransportPtr> MakeEmulatedLinkPair(
+    std::chrono::duration<double> latency, double bandwidth_bytes_per_s) {
+  auto state = std::make_shared<PairState>();
+  if (latency.count() > 0) state->latency = latency;
+  if (bandwidth_bytes_per_s > 0) {
+    state->bandwidth_bytes_per_s = bandwidth_bytes_per_s;
+  }
   return {std::make_unique<InMemoryTransport>(state, 0),
           std::make_unique<InMemoryTransport>(state, 1)};
 }

@@ -67,4 +67,16 @@ inline std::chrono::milliseconds RemainingMs(
 /// semantics hold here too.
 std::pair<TransportPtr, TransportPtr> MakeInMemoryPair();
 
+/// An in-process pair whose frames pay a link cost before delivery:
+/// each direction is a serial link with per-frame `latency` plus
+/// bytes / `bandwidth_bytes_per_s` of transfer time, frames queueing
+/// behind each other exactly like sim::LinkModel charges them. This is
+/// the live counterpart of the paper's offline-measured TCP link (the
+/// DESIGN.md §3 substitution): benches and tests get wire-realistic
+/// serving behaviour — coalescing amortises per-frame latency, windowed
+/// sends overlap it — without a real radio in the loop. latency <= 0 and
+/// infinite bandwidth degrade to MakeInMemoryPair behaviour.
+std::pair<TransportPtr, TransportPtr> MakeEmulatedLinkPair(
+    std::chrono::duration<double> latency, double bandwidth_bytes_per_s);
+
 }  // namespace fluid::dist

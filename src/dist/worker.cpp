@@ -112,14 +112,28 @@ Message WorkerNode::HandleInfer(const Message& msg) {
   if (!msg.has_payload()) {
     return Message::HeaderOnly(MsgType::kError, msg.seq, "infer: no payload");
   }
+  // Batch-aware frames: when the master declares how many samples the
+  // shard covers, a disagreeing payload is a framing bug — reject it
+  // before the model can mis-scatter results across requests.
+  const std::int64_t samples =
+      msg.payload.shape().rank() >= 1 ? msg.payload.shape()[0] : 1;
+  if (msg.batch != 0 && msg.batch != samples) {
+    return Message::HeaderOnly(
+        MsgType::kError, msg.seq,
+        "infer: batch header says " + std::to_string(msg.batch) +
+            " samples but payload carries " + std::to_string(samples));
+  }
+  // The whole coalesced batch runs through one fused forward — this is
+  // where the conv layers' batched [Cout, batch·area] GEMM earns its keep.
   auto logits = LocalInfer(msg.tag, msg.payload);
   if (!logits.ok()) {
     return Message::HeaderOnly(MsgType::kError, msg.seq,
                                logits.status().ToString());
   }
   ++served_;
-  return Message::WithTensor(MsgType::kResult, msg.seq, msg.tag,
-                             std::move(*logits));
+  samples_served_ += samples;
+  return Message::WithBatch(MsgType::kResult, msg.seq, msg.tag,
+                            std::move(*logits));
 }
 
 core::StatusOr<core::Tensor> WorkerNode::LocalInfer(const std::string& model,

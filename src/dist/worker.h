@@ -57,8 +57,11 @@ class WorkerNode {
 
   std::vector<std::string> DeploymentNames() const;
 
-  /// Requests served over the transport since Start().
+  /// Infer frames served over the transport since Start().
   std::int64_t served() const { return served_; }
+  /// Samples served across those frames (a coalesced [N,...] batch frame
+  /// counts N — the master's batched serving path ships these).
+  std::int64_t samples_served() const { return samples_served_; }
 
  private:
   void ServeLoop();
@@ -74,6 +77,7 @@ class WorkerNode {
   std::atomic<bool> stop_{false};
   std::atomic<bool> crashed_{false};
   std::atomic<std::int64_t> served_{0};
+  std::atomic<std::int64_t> samples_served_{0};
 
   mutable std::mutex mu_;  // guards deployments_
   std::map<std::string, nn::Sequential> deployments_;

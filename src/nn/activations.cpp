@@ -1,5 +1,7 @@
 #include "nn/activations.h"
+
 #include <sstream>
+#include <utility>
 
 #include "core/error.h"
 
@@ -14,6 +16,13 @@ core::Tensor ReLU::Forward(const core::Tensor& input, bool training) {
   }
   if (training) cached_input_ = input;
   return output;
+}
+
+core::Tensor ReLU::ForwardInference(core::Tensor&& input) {
+  for (float& v : input.data()) {
+    v = v > 0.0F ? v : 0.0F;
+  }
+  return std::move(input);
 }
 
 core::Tensor ReLU::Backward(const core::Tensor& grad_output) {
@@ -45,6 +54,13 @@ core::Tensor LeakyReLU::Forward(const core::Tensor& input, bool training) {
   }
   if (training) cached_input_ = input;
   return output;
+}
+
+core::Tensor LeakyReLU::ForwardInference(core::Tensor&& input) {
+  for (float& v : input.data()) {
+    v = v > 0.0F ? v : slope_ * v;
+  }
+  return std::move(input);
 }
 
 core::Tensor LeakyReLU::Backward(const core::Tensor& grad_output) {

@@ -8,6 +8,7 @@ namespace fluid::nn {
 class ReLU : public Layer {
  public:
   core::Tensor Forward(const core::Tensor& input, bool training) override;
+  core::Tensor ForwardInference(core::Tensor&& input) override;
   core::Tensor Backward(const core::Tensor& grad_output) override;
   std::string Kind() const override { return "ReLU"; }
 
@@ -27,6 +28,7 @@ class LeakyReLU : public Layer {
   explicit LeakyReLU(float slope = 0.01F);
 
   core::Tensor Forward(const core::Tensor& input, bool training) override;
+  core::Tensor ForwardInference(core::Tensor&& input) override;
   core::Tensor Backward(const core::Tensor& grad_output) override;
   std::string Kind() const override { return "LeakyReLU"; }
   std::string ToString() const override;

@@ -34,6 +34,17 @@ class Layer {
   /// memory traffic.
   virtual core::Tensor Forward(const core::Tensor& input, bool training) = 0;
 
+  /// Inference-only forward that owns `input` and may mutate it. The
+  /// default delegates to Forward(…, false); elementwise layers override
+  /// to transform the buffer in place. On the batched serving path the
+  /// out-of-place activation is pure memory traffic — allocate + zero +
+  /// rewrite of a batch-sized tensor per layer — and large-batch buffers
+  /// fall into the allocator's mmap regime, so serving Forward calls cut
+  /// this out (see Sequential::Forward).
+  virtual core::Tensor ForwardInference(core::Tensor&& input) {
+    return Forward(input, false);
+  }
+
   /// Given ∂L/∂output, accumulate parameter gradients (+=) and return
   /// ∂L/∂input. Only valid after a Forward(…, training=true).
   virtual core::Tensor Backward(const core::Tensor& grad_output) = 0;

@@ -1,6 +1,7 @@
 #include "nn/sequential.h"
 
 #include <sstream>
+#include <utility>
 
 #include "core/error.h"
 
@@ -13,8 +14,25 @@ Sequential& Sequential::Add(LayerPtr layer) {
 }
 
 core::Tensor Sequential::Forward(const core::Tensor& input, bool training) {
-  core::Tensor x = input;
-  for (auto& l : layers_) x = l->Forward(x, training);
+  if (training) {
+    core::Tensor x = input;
+    for (auto& l : layers_) x = l->Forward(x, training);
+    return x;
+  }
+  // Inference: the first layer reads the caller's tensor directly (no
+  // defensive copy), and every intermediate is owned by this frame, so
+  // elementwise layers may consume it in place via ForwardInference.
+  if (layers_.empty()) return input;
+  core::Tensor x = layers_.front()->Forward(input, false);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    x = layers_[i]->ForwardInference(std::move(x));
+  }
+  return x;
+}
+
+core::Tensor Sequential::ForwardInference(core::Tensor&& input) {
+  core::Tensor x = std::move(input);
+  for (auto& l : layers_) x = l->ForwardInference(std::move(x));
   return x;
 }
 

@@ -23,6 +23,7 @@ class Sequential : public Layer {
   }
 
   core::Tensor Forward(const core::Tensor& input, bool training) override;
+  core::Tensor ForwardInference(core::Tensor&& input) override;
   core::Tensor Backward(const core::Tensor& grad_output) override;
   std::vector<ParamRef> Params() override;
   std::string Kind() const override { return "Sequential"; }

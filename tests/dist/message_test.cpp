@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/rng.h"
+#include "core/serialize.h"
 
 namespace fluid::dist {
 namespace {
@@ -70,6 +71,45 @@ TEST(MessageTest, RejectsUnknownType) {
 TEST(MessageTest, MsgTypeNamesAreStable) {
   EXPECT_EQ(MsgTypeName(MsgType::kInfer), "INFER");
   EXPECT_EQ(MsgTypeName(MsgType::kHeartbeat), "HEARTBEAT");
+}
+
+TEST(MessageTest, BatchHeaderRoundTripsAndMirrorsThePayload) {
+  core::Rng rng(3);
+  const Message msg = Message::WithBatch(
+      MsgType::kInfer, 11, "slice",
+      core::Tensor::UniformRandom({5, 1, 28, 28}, rng, 0, 1));
+  EXPECT_EQ(msg.batch, 5);
+  const auto bytes = EncodeMessage(msg);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), EncodedSize(msg));
+  Message out;
+  ASSERT_TRUE(DecodeMessage(bytes, out).ok());
+  EXPECT_EQ(out.batch, 5);
+  EXPECT_EQ(out.seq, 11);
+  EXPECT_EQ(out.payload.shape(), msg.payload.shape());
+}
+
+TEST(MessageTest, DecodesVersion1FramesWithoutABatchField) {
+  // Hand-build a v1 body (no [i64 batch] between seq and tag) and check it
+  // still decodes, with batch defaulting to 0 — wire compat with peers
+  // running the pre-batching codec.
+  core::ByteWriter body;
+  body.WriteU8(1);  // version 1
+  body.WriteU8(static_cast<std::uint8_t>(MsgType::kAck));
+  body.WriteI64(21);
+  body.WriteString("ok");
+  body.WriteU8(0);  // no tensor
+  core::ByteWriter frame;
+  frame.WriteU32(kFrameMagic);
+  frame.WriteU32(static_cast<std::uint32_t>(body.size()));
+  auto bytes = frame.TakeBuffer();
+  bytes.insert(bytes.end(), body.buffer().begin(), body.buffer().end());
+
+  Message out;
+  ASSERT_TRUE(DecodeMessage(bytes, out).ok());
+  EXPECT_EQ(out.type, MsgType::kAck);
+  EXPECT_EQ(out.seq, 21);
+  EXPECT_EQ(out.batch, 0);
+  EXPECT_EQ(out.tag, "ok");
 }
 
 }  // namespace

@@ -195,6 +195,37 @@ TEST(ModeControllerNoHeadroomTest, NeverTradesAccuracyForNothing) {
   EXPECT_EQ(c.switches(), 0);
 }
 
+TEST(ModeControllerBacklogTest, SaturatedQueueFlipsToHtEvenWhenDemandLies) {
+  // The demand estimate claims all is well, but the serving queue has a
+  // standing backlog of full batches — direct evidence the HA operating
+  // point cannot keep up. The backlog signal must force the flip.
+  ModeController c(10.0, 30.0);
+  ModeController::DemandSignal signal;
+  signal.demand = 5.0;  // nominally well under ha_capacity
+  signal.queue_depth = 32.0;
+  signal.batch_occupancy = 0.95;
+  EXPECT_EQ(c.Decide(signal), sim::Mode::kHighThroughput);
+  EXPECT_EQ(c.switches(), 1);
+}
+
+TEST(ModeControllerBacklogTest, UnderOccupiedBatchesDoNotForceTheFlip) {
+  // Depth without occupancy (a transient burst that coalesces into small
+  // batches) is not saturation; the scalar policy governs.
+  ModeController c(10.0, 30.0);
+  ModeController::DemandSignal signal;
+  signal.demand = 5.0;
+  signal.queue_depth = 32.0;
+  signal.batch_occupancy = 0.2;
+  EXPECT_EQ(c.Decide(signal), sim::Mode::kHighAccuracy);
+  EXPECT_EQ(c.switches(), 0);
+
+  // And an empty queue never inflates demand, whatever the occupancy.
+  signal.queue_depth = 0.0;
+  signal.batch_occupancy = 1.0;
+  EXPECT_EQ(c.Decide(signal), sim::Mode::kHighAccuracy);
+  EXPECT_EQ(c.switches(), 0);
+}
+
 TEST_F(OrchestratorTest, ServingContinuesAcrossTheWholeDegradation) {
   Orchestrator orch(master_, {.ha_capacity = 10.0, .ht_capacity = 30.0});
   core::Rng rng(5);

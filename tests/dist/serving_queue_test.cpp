@@ -1,0 +1,600 @@
+#include "dist/serving_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "dist/master.h"
+#include "dist/worker.h"
+#include "nn/checkpoint.h"
+#include "train/model_zoo.h"
+
+namespace fluid::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::Tensor Sample(core::Rng& rng, std::int64_t n = 1) {
+  return core::Tensor::UniformRandom({n, 1, 28, 28}, rng, 0, 1);
+}
+
+// ---------------------------------------------------------------------------
+// BatchScheduler unit tests (stub serve callback, no master involved).
+// ---------------------------------------------------------------------------
+
+struct GatedServe {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::vector<std::int64_t> batch_sizes;
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+
+  BatchScheduler::ServeFn Fn() {
+    return [this](std::vector<BatchScheduler::Request>&& batch) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return open; });
+      std::int64_t samples = 0;
+      for (auto& req : batch) samples += req.samples;
+      batch_sizes.push_back(samples);
+      lock.unlock();
+      for (auto& req : batch) {
+        InferReply reply;
+        reply.logits = core::Tensor({req.samples, 1});
+        reply.served_by = "stub";
+        req.promise.set_value(std::move(reply));
+      }
+    };
+  }
+};
+
+TEST(BatchSchedulerTest, CoalescesQueuedRequestsIntoOneBatch) {
+  core::Rng rng(1);
+  GatedServe serve;
+  BatchOptions opts;
+  opts.max_batch = 8;
+  opts.max_delay = 5ms;
+  BatchScheduler scheduler(opts, serve.Fn());
+
+  // First submit is grabbed alone while the gate holds the drain thread;
+  // the next four queue up behind it and must coalesce into ONE batch.
+  auto first = scheduler.Submit(Sample(rng), 2000ms);
+  std::vector<std::future<core::StatusOr<InferReply>>> rest;
+  // Wait until the drain thread has the first request in hand (depth 0).
+  for (int spin = 0; spin < 200 && scheduler.stats().queue_depth > 0; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  for (int i = 0; i < 4; ++i) rest.push_back(scheduler.Submit(Sample(rng), 2000ms));
+  serve.Release();
+
+  ASSERT_TRUE(first.get().ok());
+  for (auto& f : rest) ASSERT_TRUE(f.get().ok());
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 5);
+  EXPECT_EQ(stats.coalesced_samples, 5);
+  ASSERT_EQ(serve.batch_sizes.size(), 2u);
+  EXPECT_EQ(serve.batch_sizes[0], 1);
+  EXPECT_EQ(serve.batch_sizes[1], 4);
+  EXPECT_EQ(stats.max_batch_seen, 4);
+  EXPECT_NEAR(stats.avg_batch, 2.5, 1e-9);
+  // Occupancy is an EMA (alpha 0.25) seeded on the first batch:
+  // 1, then 0.25·4 + 0.75·1 = 1.75 — over max_batch 8.
+  EXPECT_NEAR(stats.occupancy, 1.75 / 8.0, 1e-9);
+}
+
+TEST(BatchSchedulerTest, BoundedQueueBlocksSubmitUntilSpace) {
+  core::Rng rng(2);
+  GatedServe serve;
+  BatchOptions opts;
+  opts.max_batch = 4;
+  opts.queue_capacity = 4;
+  opts.max_delay = 1ms;
+  BatchScheduler scheduler(opts, serve.Fn());
+
+  auto first = scheduler.Submit(Sample(rng), 2000ms);
+  for (int spin = 0; spin < 200 && scheduler.stats().queue_depth > 0; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  std::vector<std::future<core::StatusOr<InferReply>>> queued;
+  for (int i = 0; i < 4; ++i) {
+    queued.push_back(scheduler.Submit(Sample(rng), 2000ms));
+  }
+  // Queue is at capacity: the 6th submit must block (backpressure), then
+  // complete once the drain thread frees space.
+  std::atomic<bool> submitted{false};
+  std::thread blocked([&] {
+    auto f = scheduler.Submit(Sample(rng), 2000ms);
+    submitted = true;
+    ASSERT_TRUE(f.get().ok());
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(submitted.load());
+  serve.Release();
+  blocked.join();
+  EXPECT_TRUE(submitted.load());
+  ASSERT_TRUE(first.get().ok());
+  for (auto& f : queued) ASSERT_TRUE(f.get().ok());
+}
+
+TEST(BatchSchedulerTest, StopFailsEverythingStillQueued) {
+  core::Rng rng(3);
+  GatedServe serve;
+  BatchOptions opts;
+  opts.max_batch = 2;
+  opts.max_delay = 1ms;
+  BatchScheduler scheduler(opts, serve.Fn());
+
+  auto in_flight = scheduler.Submit(Sample(rng), 2000ms);
+  for (int spin = 0; spin < 200 && scheduler.stats().queue_depth > 0; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  auto orphan1 = scheduler.Submit(Sample(rng), 2000ms);
+  auto orphan2 = scheduler.Submit(Sample(rng), 2000ms);
+
+  std::thread stopper([&] { scheduler.Stop(); });
+  std::this_thread::sleep_for(10ms);
+  serve.Release();  // let the in-flight batch finish so Stop can join
+  stopper.join();
+
+  EXPECT_TRUE(in_flight.get().ok());
+  auto r1 = orphan1.get();
+  auto r2 = orphan2.get();
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), core::StatusCode::kUnavailable);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), core::StatusCode::kUnavailable);
+  EXPECT_FALSE(scheduler.running());
+
+  auto late = scheduler.Submit(Sample(rng), 100ms);
+  EXPECT_EQ(late.get().status().code(), core::StatusCode::kUnavailable);
+}
+
+TEST(BatchSchedulerTest, RejectsInputWithoutABatchDim) {
+  GatedServe serve;
+  serve.Release();
+  BatchScheduler scheduler(BatchOptions{}, serve.Fn());
+  auto result = scheduler.Submit(core::Tensor(), 100ms).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Batched serving through a real master + workers fleet.
+// ---------------------------------------------------------------------------
+
+// Fleet where EVERY device (master + each worker) hosts the same slice
+// weights, so routing cannot change logits — exactly what the coalescing /
+// sharding / scatter equality tests need.
+class BatchedServingTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kWorkers = 2;
+
+  BatchedServingTest()
+      : fluid_(slim::FluidModel::PaperDefault(7)), master_(cfg_), rng_(99) {
+    slice_ = std::make_unique<nn::Sequential>(
+        fluid_.ExtractSubnet(fluid_.family().WorkerResident()));
+    for (std::size_t i = 0; i < kWorkers; ++i) {
+      auto [master_end, worker_end] = MakeInMemoryPair();
+      workers_.push_back(std::make_unique<WorkerNode>(
+          "w" + std::to_string(i), cfg_, std::move(worker_end)));
+      workers_.back()->Start();
+      master_.AttachWorker(std::move(master_end));
+    }
+  }
+
+  ~BatchedServingTest() override {
+    master_.StopServing();
+    for (auto& w : workers_) w->Stop();
+  }
+
+  void DeploySameSliceEverywhere() {
+    const auto range = fluid_.family().WorkerResident();
+    master_.DeployLocal("slice", fluid_.ExtractSubnet(range));
+    for (std::size_t i = 0; i < kWorkers; ++i) {
+      ASSERT_TRUE(master_
+                      .DeployToWorker("slice",
+                                      ModelBlueprint::Standalone(
+                                          cfg_, range.range.width()),
+                                      nn::ExtractState(*slice_), 2000ms, i)
+                      .ok());
+    }
+    Plan plan;
+    plan.master_standalone = "slice";
+    plan.worker_standalone = "slice";
+    master_.SetPlan(plan);
+    master_.SetMode(sim::Mode::kHighThroughput);
+  }
+
+  slim::FluidNetConfig cfg_;
+  slim::FluidModel fluid_;
+  MasterNode master_;
+  std::vector<std::unique_ptr<WorkerNode>> workers_;
+  std::unique_ptr<nn::Sequential> slice_;
+  core::Rng rng_;
+};
+
+TEST_F(BatchedServingTest, CoalescedBatchMatchesSequentialInfersBitwise) {
+  DeploySameSliceEverywhere();
+  constexpr int kN = 6;
+  std::vector<core::Tensor> inputs;
+  for (int i = 0; i < kN; ++i) inputs.push_back(Sample(rng_));
+
+  // Sequential ground truth: one blocking Infer per sample, scheduler off.
+  std::vector<core::Tensor> sequential;
+  for (const auto& x : inputs) {
+    auto reply = master_.Infer(x, 2000ms);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    sequential.push_back(std::move(reply->logits));
+  }
+
+  // Async batched: all six submitted before the coalescing window closes,
+  // served as fused batches sharded across the three devices.
+  BatchOptions opts;
+  opts.max_batch = kN;
+  opts.max_delay = 100ms;
+  master_.StartServing(opts);
+  std::vector<std::future<core::StatusOr<InferReply>>> futures;
+  for (const auto& x : inputs) {
+    futures.push_back(master_.InferAsync(x.Clone(), 2000ms));
+  }
+  for (int i = 0; i < kN; ++i) {
+    auto reply = futures[i].get();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_EQ(reply->logits.shape(), sequential[i].shape());
+    EXPECT_EQ(core::MaxAbsDiff(reply->logits, sequential[i]), 0.0F)
+        << "sample " << i << " diverged (served by " << reply->served_by
+        << ")";
+  }
+  const auto stats = master_.stats();
+  EXPECT_GE(stats.batches, 1);
+  EXPECT_EQ(stats.coalesced_samples, kN);
+  // At least one coalesced batch actually formed (not six singletons).
+  EXPECT_LT(stats.batches, kN);
+  const auto serving = master_.scheduler_stats();
+  EXPECT_EQ(serving.submitted, kN);
+  EXPECT_GT(serving.max_batch_seen, 1);
+}
+
+TEST_F(BatchedServingTest, BatchedPipelineMatchesSequentialInfersBitwise) {
+  // HA pipeline with chunked, windowed cut-activation shipping: the
+  // coalesced batch must produce logits identical to one-at-a-time Infer.
+  const auto& family = fluid_.family();
+  master_.DeployLocal("lower50", fluid_.ExtractSubnet(family.MasterResident()));
+  nn::Sequential combined = fluid_.ExtractSubnet(family.Combined());
+  auto halves = train::SplitConvNet(cfg_, family.max_width(), combined, 2);
+  master_.DeployLocal("front", std::move(halves.front));
+  ASSERT_TRUE(master_
+                  .DeployToWorker("back",
+                                  ModelBlueprint::PipelineBack(
+                                      cfg_, family.max_width(), 2),
+                                  nn::ExtractState(halves.back), 2000ms, 0)
+                  .ok());
+  master_.SetPlan({"lower50", "", "front", "back", 0});
+  master_.SetMode(sim::Mode::kHighAccuracy);
+
+  constexpr int kN = 5;
+  std::vector<core::Tensor> inputs;
+  for (int i = 0; i < kN; ++i) inputs.push_back(Sample(rng_));
+  std::vector<core::Tensor> sequential;
+  for (const auto& x : inputs) {
+    auto reply = master_.Infer(x, 2000ms);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->served_by, "pipeline:front+back@worker[0]");
+    sequential.push_back(std::move(reply->logits));
+  }
+
+  BatchOptions opts;
+  opts.max_batch = kN;
+  opts.max_delay = 100ms;
+  opts.ha_chunk = 2;   // force chunking: 5 samples -> frames of 2,2,1
+  opts.ha_window = 2;  // two cut activations in flight on the link
+  master_.StartServing(opts);
+  std::vector<std::future<core::StatusOr<InferReply>>> futures;
+  for (const auto& x : inputs) {
+    futures.push_back(master_.InferAsync(x.Clone(), 2000ms));
+  }
+  for (int i = 0; i < kN; ++i) {
+    auto reply = futures[i].get();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->served_by, "pipeline:front+back@worker[0]");
+    EXPECT_EQ(core::MaxAbsDiff(reply->logits, sequential[i]), 0.0F)
+        << "sample " << i;
+  }
+  EXPECT_EQ(master_.stats().stale_replies, 0);
+  EXPECT_GE(workers_[0]->samples_served(), kN);
+}
+
+TEST_F(BatchedServingTest, MultiClientStressSurvivesAWorkerCrashMidBatch) {
+  DeploySameSliceEverywhere();
+  BatchOptions opts;
+  opts.max_batch = 8;
+  opts.max_delay = 1ms;
+  master_.StartServing(opts);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 24;
+  const core::Tensor x = Sample(rng_);
+  const core::Tensor want = slice_->Forward(x, false);
+
+  std::atomic<int> failures{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerClient; ++i) {
+        auto reply = master_.InferAsync(x.Clone(), 5000ms).get();
+        if (!reply.ok()) {
+          ++failures;
+          continue;
+        }
+        if (core::MaxAbsDiff(reply->logits, want) != 0.0F) ++mismatches;
+      }
+    });
+  }
+  // Kill a worker while the clients are mid-stream: every future must
+  // still resolve, correctly, via failover.
+  std::this_thread::sleep_for(30ms);
+  workers_[0]->Crash();
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto stats = master_.stats();
+  EXPECT_EQ(stats.served_local + stats.served_remote,
+            kClients * kPerClient);
+  EXPECT_GT(stats.coalesced_samples, 0);
+}
+
+TEST_F(BatchedServingTest, ReattachWorkerRevivesADeadSlotWithItsDeployments) {
+  DeploySameSliceEverywhere();
+  workers_[0]->Crash();
+  ASSERT_EQ(master_.ProbeWorkers(), kWorkers - 1);
+  ASSERT_FALSE(master_.WorkerAlive(0));
+
+  // A fresh process takes over the dead slot; the master replays the
+  // slot's deploy history onto the new link.
+  auto [master_end, worker_end] = MakeInMemoryPair();
+  auto revived =
+      std::make_unique<WorkerNode>("w0-revived", cfg_, std::move(worker_end));
+  revived->Start();
+  ASSERT_TRUE(master_.ReattachWorker(0, std::move(master_end)).ok());
+  EXPECT_TRUE(master_.WorkerAlive(0));
+  EXPECT_EQ(master_.stats().reattaches, 1);
+  const auto names = revived->DeploymentNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "slice");
+
+  // The revived slot serves again: drive enough singles through the
+  // rotation that worker[0] must take one, bit-exactly.
+  const core::Tensor x = Sample(rng_);
+  const core::Tensor want = slice_->Forward(x, false);
+  bool saw_revived = false;
+  for (int i = 0; i < 6; ++i) {
+    auto reply = master_.Infer(x, 2000ms);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(core::MaxAbsDiff(reply->logits, want), 0.0F);
+    if (reply->served_by == "worker[0]:slice") saw_revived = true;
+  }
+  EXPECT_TRUE(saw_revived);
+  workers_[0] = std::move(revived);  // keep it alive until teardown
+
+  // Guard rails: bad index, live slot, null transport.
+  EXPECT_EQ(master_.ReattachWorker(7, nullptr).code(),
+            core::StatusCode::kInvalidArgument);
+  auto [unused_a, unused_b] = MakeInMemoryPair();
+  EXPECT_EQ(master_.ReattachWorker(1, std::move(unused_a)).code(),
+            core::StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Correlation-id hygiene against a scripted (misbehaving) worker.
+// ---------------------------------------------------------------------------
+
+TEST(SeqCorrelationTest, StaleRepliesAreDroppedAndLoggedNotMisdelivered) {
+  slim::FluidNetConfig cfg;
+  MasterNode master(cfg);
+  auto [master_end, worker_end] = MakeInMemoryPair();
+  master.AttachWorker(std::move(master_end));
+
+  // Scripted worker: acks deploys; answers each infer with a stale RESULT
+  // (bogus seq) first, then the real one.
+  std::atomic<bool> stop{false};
+  std::thread scripted([&, end = std::move(worker_end)]() mutable {
+    while (!stop) {
+      Message msg;
+      if (!end->Recv(msg, 50ms).ok()) continue;
+      if (msg.type == MsgType::kDeploy) {
+        (void)end->Send(Message::HeaderOnly(MsgType::kAck, msg.seq));
+        continue;
+      }
+      if (msg.type == MsgType::kInfer) {
+        const std::int64_t rows = msg.payload.shape()[0];
+        (void)end->Send(Message::WithBatch(MsgType::kResult, msg.seq + 9999,
+                                           msg.tag,
+                                           core::Tensor({rows, 10})));
+        (void)end->Send(Message::WithBatch(MsgType::kResult, msg.seq, msg.tag,
+                                           core::Tensor({rows, 10})));
+      }
+    }
+    end->Close();
+  });
+
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  nn::Sequential upper = fluid.ExtractSubnet(fluid.family().WorkerResident());
+  ASSERT_TRUE(master
+                  .DeployToWorker("m", ModelBlueprint::Standalone(cfg, 8),
+                                  nn::ExtractState(upper))
+                  .ok());
+  Plan plan;
+  plan.worker_standalone = "m";
+  master.SetPlan(plan);
+  master.SetMode(sim::Mode::kHighThroughput);
+
+  core::Rng rng(5);
+  for (int i = 0; i < 3; ++i) {
+    auto reply = master.Infer(Sample(rng), 2000ms);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->served_by, "worker[0]:m");
+  }
+  EXPECT_EQ(master.stats().stale_replies, 3);
+  EXPECT_TRUE(master.WorkerAlive(0));
+  stop = true;
+  scripted.join();
+}
+
+TEST(SeqCorrelationTest, OutOfOrderWindowedRepliesAreBufferedPerSeq) {
+  // Scripted pipeline back half that answers two in-flight cut frames in
+  // REVERSE order: the master must park the early reply and deliver both
+  // to their awaiters (no stale drops, no misdelivery).
+  slim::FluidNetConfig cfg;
+  MasterNode master(cfg);
+  auto [master_end, worker_end] = MakeInMemoryPair();
+  master.AttachWorker(std::move(master_end));
+
+  std::atomic<bool> stop{false};
+  std::thread scripted([&, end = std::move(worker_end)]() mutable {
+    std::vector<Message> held;
+    while (!stop) {
+      Message msg;
+      if (!end->Recv(msg, 50ms).ok()) continue;
+      if (msg.type == MsgType::kDeploy) {
+        (void)end->Send(Message::HeaderOnly(MsgType::kAck, msg.seq));
+        continue;
+      }
+      if (msg.type != MsgType::kInfer) continue;
+      held.push_back(msg);
+      if (held.size() == 2) {
+        for (auto it = held.rbegin(); it != held.rend(); ++it) {
+          const std::int64_t rows = it->payload.shape()[0];
+          (void)end->Send(Message::WithBatch(MsgType::kResult, it->seq,
+                                             it->tag,
+                                             core::Tensor({rows, 10})));
+        }
+        held.clear();
+      }
+    }
+    end->Close();
+  });
+
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  nn::Sequential combined = fluid.ExtractSubnet(fluid.family().Combined());
+  auto halves = train::SplitConvNet(cfg, fluid.family().max_width(), combined, 2);
+  master.DeployLocal("front", std::move(halves.front));
+  ASSERT_TRUE(master
+                  .DeployToWorker("back",
+                                  ModelBlueprint::PipelineBack(
+                                      cfg, fluid.family().max_width(), 2),
+                                  nn::ExtractState(halves.back))
+                  .ok());
+  master.SetPlan({"", "", "front", "back", 0});
+  master.SetMode(sim::Mode::kHighAccuracy);
+
+  BatchOptions opts;
+  opts.max_batch = 4;
+  opts.max_delay = 50ms;
+  opts.ha_chunk = 2;   // 4 samples -> exactly two frames...
+  opts.ha_window = 2;  // ...both in flight before the first await
+  master.StartServing(opts);
+
+  core::Rng rng(6);
+  auto future = master.InferAsync(Sample(rng, 4), 2000ms);
+  auto reply = future.get();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->logits.shape(), core::Shape({4, 10}));
+  EXPECT_EQ(master.stats().stale_replies, 0);
+  EXPECT_TRUE(master.WorkerAlive(0));
+  master.StopServing();
+  stop = true;
+  scripted.join();
+}
+
+TEST(SeqCorrelationTest, AbandonedPipelineChunksAreDeregisteredNotLeaked) {
+  // Back half errors chunk 0 while chunk 1 is still in flight: the
+  // pipeline fails over, and chunk 1's seq must be DEREGISTERED — its
+  // late reply gets the (bounded, counted) stale-drop, not a permanent
+  // slot in the reply buffer — while the worker stays alive and
+  // heartbeats keep working on the same link.
+  slim::FluidNetConfig cfg;
+  MasterNode master(cfg);
+  auto [master_end, worker_end] = MakeInMemoryPair();
+  master.AttachWorker(std::move(master_end));
+
+  std::atomic<bool> stop{false};
+  std::thread scripted([&, end = std::move(worker_end)]() mutable {
+    std::vector<Message> held;
+    while (!stop) {
+      Message msg;
+      if (!end->Recv(msg, 50ms).ok()) continue;
+      if (msg.type == MsgType::kDeploy) {
+        (void)end->Send(Message::HeaderOnly(MsgType::kAck, msg.seq));
+      } else if (msg.type == MsgType::kHeartbeat) {
+        (void)end->Send(Message::HeaderOnly(MsgType::kAck, msg.seq));
+      } else if (msg.type == MsgType::kInfer) {
+        held.push_back(msg);
+        if (held.size() == 2) {
+          (void)end->Send(Message::HeaderOnly(MsgType::kError, held[0].seq,
+                                              "injected back-half failure"));
+          const std::int64_t rows = held[1].payload.shape()[0];
+          (void)end->Send(Message::WithBatch(MsgType::kResult, held[1].seq,
+                                             held[1].tag,
+                                             core::Tensor({rows, 10})));
+          held.clear();
+        }
+      }
+    }
+    end->Close();
+  });
+
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  nn::Sequential combined = fluid.ExtractSubnet(fluid.family().Combined());
+  auto halves =
+      train::SplitConvNet(cfg, fluid.family().max_width(), combined, 2);
+  master.DeployLocal("front", std::move(halves.front));
+  master.DeployLocal("lower50",
+                     fluid.ExtractSubnet(fluid.family().MasterResident()));
+  ASSERT_TRUE(master
+                  .DeployToWorker("back",
+                                  ModelBlueprint::PipelineBack(
+                                      cfg, fluid.family().max_width(), 2),
+                                  nn::ExtractState(halves.back))
+                  .ok());
+  master.SetPlan({"lower50", "", "front", "back", 0});
+  master.SetMode(sim::Mode::kHighAccuracy);
+
+  BatchOptions opts;
+  opts.max_batch = 4;
+  opts.ha_chunk = 2;
+  opts.ha_window = 2;
+  master.StartServing(opts);
+
+  core::Rng rng(8);
+  auto reply = master.InferAsync(Sample(rng, 4), 2000ms).get();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->served_by, "master:lower50");  // failed over whole
+  EXPECT_GE(master.stats().failovers, 1);
+
+  // The link is still healthy: the heartbeat drains chunk 1's orphaned
+  // reply as a stale drop on the way to its ack.
+  EXPECT_EQ(master.ProbeWorkers(), 1u);
+  EXPECT_TRUE(master.WorkerAlive(0));
+  EXPECT_GE(master.stats().stale_replies, 1);
+  master.StopServing();
+  stop = true;
+  scripted.join();
+}
+
+}  // namespace
+}  // namespace fluid::dist

@@ -41,6 +41,47 @@ TEST(InMemoryTransportTest, RoundTripsBothDirections) {
   EXPECT_EQ(got.type, MsgType::kAck);
 }
 
+TEST(EmulatedLinkTest, FramesPayLatencyBeforeDelivery) {
+  auto [a, b] = MakeEmulatedLinkPair(std::chrono::duration<double>(0.030),
+                                     /*bandwidth_bytes_per_s=*/0);
+  ASSERT_TRUE(a->Send(Message::HeaderOnly(MsgType::kAck, 1)).ok());
+
+  // Not deliverable before the 30 ms link latency has elapsed...
+  Message got;
+  const auto early = b->Recv(got, 5ms);
+  EXPECT_EQ(early.code(), core::StatusCode::kDeadlineExceeded);
+  // ...but arrives intact once it has (generous budget for slow CI).
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(b->Recv(got, 2000ms).ok());
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(waited, 10ms);  // most of the latency is paid inside Recv
+  EXPECT_EQ(got.type, MsgType::kAck);
+  EXPECT_EQ(got.seq, 1);
+}
+
+TEST(EmulatedLinkTest, FramesQueueBehindEachOtherAndKeepOrder) {
+  // Serial link: the second frame's payload transfers after the first's,
+  // and delivery order matches send order.
+  auto [a, b] = MakeEmulatedLinkPair(std::chrono::duration<double>(0.005),
+                                     /*bandwidth_bytes_per_s=*/1e6);
+  const core::Tensor t = SomeTensor(3);
+  ASSERT_TRUE(a->Send(Message::WithTensor(MsgType::kInfer, 1, "x", t)).ok());
+  ASSERT_TRUE(a->Send(Message::WithTensor(MsgType::kInfer, 2, "y", t)).ok());
+  Message got;
+  ASSERT_TRUE(b->Recv(got, 2000ms).ok());
+  EXPECT_EQ(got.seq, 1);
+  ASSERT_TRUE(b->Recv(got, 2000ms).ok());
+  EXPECT_EQ(got.seq, 2);
+}
+
+TEST(EmulatedLinkTest, ZeroCostLinkBehavesLikeThePlainPair) {
+  auto [a, b] = MakeEmulatedLinkPair(std::chrono::duration<double>(0.0), 0);
+  ASSERT_TRUE(a->Send(Message::HeaderOnly(MsgType::kHeartbeat, 9)).ok());
+  Message got;
+  ASSERT_TRUE(b->Recv(got, 100ms).ok());
+  EXPECT_EQ(got.type, MsgType::kHeartbeat);
+}
+
 TEST(InMemoryTransportTest, RecvTimesOutOnIdleLink) {
   auto [a, b] = MakeInMemoryPair();
   Message got;
