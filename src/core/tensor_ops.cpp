@@ -160,6 +160,7 @@ bool AllClose(const Tensor& a, const Tensor& b, float atol) {
 
 Tensor ConcatAxis0(const std::vector<const Tensor*>& parts) {
   FLUID_CHECK_MSG(!parts.empty(), "ConcatAxis0: no parts");
+  FLUID_CHECK_MSG(parts[0] != nullptr, "ConcatAxis0: empty part");
   const Shape& first = parts[0]->shape();
   FLUID_CHECK_MSG(first.rank() >= 1, "ConcatAxis0: parts must have rank >= 1");
   std::int64_t rows = 0;

@@ -10,6 +10,16 @@ namespace fluid::dist {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+/// A structurally valid kResult for `rows` samples: payload present with a
+/// batch dim of `rows`, and the v2 batch header (when set) agreeing. The
+/// per-element size check against config num_classes happens at placement.
+bool WellFormedResult(const Message& reply, std::int64_t rows) {
+  return reply.type == MsgType::kResult && reply.has_payload() &&
+         reply.payload.shape().rank() >= 2 &&
+         reply.payload.shape()[0] == rows &&
+         (reply.batch == 0 || reply.batch == rows);
+}
 }  // namespace
 
 MasterNode::MasterNode(slim::FluidNetConfig config) : config_(config) {}
@@ -172,14 +182,14 @@ void MasterNode::StartServingLocked(BatchOptions options) {
     std::lock_guard<std::mutex> inner(mu_);
     batch_options_ = options;
   }
-  scheduler_ = std::make_unique<BatchScheduler>(
+  scheduler_ = std::make_shared<BatchScheduler>(
       options, [this](std::vector<BatchScheduler::Request>&& batch) {
         ServeBatch(std::move(batch));
       });
 }
 
 void MasterNode::StopServing() {
-  std::unique_ptr<BatchScheduler> scheduler;
+  std::shared_ptr<BatchScheduler> scheduler;
   {
     std::lock_guard<std::mutex> lock(serving_mu_);
     scheduler = std::move(scheduler_);
@@ -194,19 +204,26 @@ bool MasterNode::serving() const {
 
 std::future<core::StatusOr<InferReply>> MasterNode::InferAsync(
     core::Tensor input, std::chrono::milliseconds timeout) {
-  std::lock_guard<std::mutex> lock(serving_mu_);
-  StartServingLocked(BatchOptions{});
-  return scheduler_->Submit(std::move(input), timeout);
+  std::shared_ptr<BatchScheduler> scheduler;
+  {
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    StartServingLocked(BatchOptions{});
+    scheduler = scheduler_;
+  }
+  // Submit outside serving_mu_: its backpressure wait may block for the
+  // request's whole budget, and StopServing / scheduler_stats must not
+  // stall behind it. A racing StopServing fails this request cleanly.
+  return scheduler->Submit(std::move(input), timeout);
 }
 
 core::StatusOr<InferReply> MasterNode::Infer(const core::Tensor& input,
                                              std::chrono::milliseconds timeout) {
-  std::future<core::StatusOr<InferReply>> future;
+  std::shared_ptr<BatchScheduler> scheduler;
   {
     std::lock_guard<std::mutex> lock(serving_mu_);
-    if (scheduler_) future = scheduler_->Submit(input.Clone(), timeout);
+    scheduler = scheduler_;
   }
-  if (future.valid()) return future.get();
+  if (scheduler) return scheduler->Submit(input.Clone(), timeout).get();
 
   // Scheduler off: serve inline as a batch of one request.
   const auto deadline = Clock::now() + timeout;
@@ -278,6 +295,13 @@ void MasterNode::ServeBatch(std::vector<BatchScheduler::Request>&& batch) {
 
 core::StatusOr<MasterNode::BatchResult> MasterNode::ServeBatchLocked(
     const core::Tensor& input, Clock::time_point deadline) {
+  // Scheduler-fed batches were validated at Submit, but the inline (no
+  // scheduler) Infer path lands here directly; an empty batch dim would
+  // divide by zero in the shard split.
+  if (input.empty() || input.shape().rank() < 1 || input.shape()[0] < 1) {
+    return core::Status::InvalidArgument(
+        "master: Infer input needs a non-empty batch dim");
+  }
   // HighAccuracy: the full-width pipeline, while its back worker lives.
   if (mode_ == sim::Mode::kHighAccuracy && !plan_.pipeline_front.empty() &&
       !plan_.pipeline_back.empty() && plan_.back_worker < workers_.size() &&
@@ -318,6 +342,7 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
   };
   std::vector<InFlight> inflight;
   BatchResult out;
+  out.logits = core::Tensor({n, config_.num_classes});
   std::int64_t filled = 0;
 
   // On any error exit, the seqs still in flight must not stay pending:
@@ -338,23 +363,25 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
     inflight.erase(inflight.begin());
     auto reply = AwaitReplyLocked(w, fl.seq, deadline);
     if (!reply.ok()) return reply.status();
-    if (reply->type != MsgType::kResult || !reply->has_payload() ||
-        reply->payload.shape().rank() < 2 ||
-        reply->payload.shape()[0] != fl.rows ||
-        (reply->batch != 0 && reply->batch != fl.rows)) {
+    if (!WellFormedResult(*reply, fl.rows)) {
       return core::Status::Internal(
           "worker[" + std::to_string(w) + "]: " +
           (reply->type == MsgType::kError ? "back half failed: " + reply->tag
                                           : "malformed pipeline result"));
     }
-    if (out.logits.empty()) {
-      const std::int64_t classes = reply->payload.shape()[1];
-      out.logits = core::Tensor({n, classes});
+    // Size the copy from the wire payload against the config's class
+    // count, never the payload's own dims: a reply with the right row
+    // count but different trailing dims (byzantine or buggy peer) must
+    // fail over, not scribble past the end of out.logits.
+    const std::int64_t classes = config_.num_classes;
+    if (reply->payload.numel() != fl.rows * classes) {
+      return core::Status::Internal(
+          "worker[" + std::to_string(w) +
+          "]: pipeline chunk result size mismatch");
     }
     const auto src = reply->payload.data();
     std::copy(src.begin(), src.end(),
-              out.logits.data().begin() +
-                  fl.row0 * (out.logits.numel() / n));
+              out.logits.data().begin() + fl.row0 * classes);
     filled += fl.rows;
     return core::Status::Ok();
   };
@@ -363,9 +390,9 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
   // transfer and the worker's back compute of chunk k.
   for (std::int64_t row0 = 0; row0 < n; row0 += chunk) {
     const std::int64_t rows = std::min(chunk, n - row0);
-    core::Tensor piece =
-        rows == n ? input.Clone() : core::SliceAxis0(input, row0, rows);
-    core::Tensor cut = front.Forward(piece, false);
+    core::Tensor cut =
+        rows == n ? front.Forward(input, false)
+                  : front.Forward(core::SliceAxis0(input, row0, rows), false);
     const std::int64_t seq = next_seq_++;
     workers_[w].pending.insert(seq);
     auto st = SendLocked(
@@ -455,26 +482,41 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
       row += shards[s].rows;
     }
   }
+  // An owning copy for the wire (Message moves its payload); local
+  // forwards below take `input` by const ref instead — no copy.
   auto shard_input = [&](const Shard& shard) {
     return shard.rows == n ? input.Clone()
                            : core::SliceAxis0(input, shard.row0, shard.rows);
   };
+  auto local_forward = [&](const Shard& shard) {
+    nn::Sequential& model = local_[plan_.master_standalone];
+    return shard.rows == n
+               ? model.Forward(input, false)
+               : model.Forward(core::SliceAxis0(input, shard.row0, shard.rows),
+                               false);
+  };
 
   BatchResult out;
   out.served_by.assign(static_cast<std::size_t>(n), "");
+  out.logits = core::Tensor({n, config_.num_classes});
+  // False when `logits` doesn't hold exactly shard.rows rows of the
+  // config's class count — the caller must treat that as a malformed
+  // result and fail the shard over. Copying unchecked would let a
+  // byzantine reply with the right row count but larger trailing dims
+  // write past the end of out.logits; sizing against the config (not the
+  // first reply) keeps one bad peer from poisoning the whole batch's
+  // validation.
   auto place = [&](const Shard& shard, const core::Tensor& logits,
-                   const std::string& served_by) {
-    if (out.logits.empty()) {
-      const std::int64_t classes = logits.numel() / shard.rows;
-      out.logits = core::Tensor({n, classes});
-    }
+                   const std::string& served_by) -> bool {
+    const std::int64_t classes = config_.num_classes;
+    if (logits.numel() != shard.rows * classes) return false;
     const auto src = logits.data();
     std::copy(src.begin(), src.end(),
-              out.logits.data().begin() +
-                  shard.row0 * (out.logits.numel() / n));
+              out.logits.data().begin() + shard.row0 * classes);
     for (std::int64_t r = 0; r < shard.rows; ++r) {
       out.served_by[static_cast<std::size_t>(shard.row0 + r)] = served_by;
     }
+    return true;
   };
 
   // Phase 1: ship every remote shard (no waiting).
@@ -505,12 +547,29 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
     shard.sent = true;
   }
 
+  // Erroring out of the batch before phase 3 has awaited the shards that
+  // phase 1 shipped must deregister their seqs, or the replies would be
+  // parked in the reply buffer with no awaiter, forever; deregistered,
+  // late replies hit the bounded, logged stale-drop path instead.
+  auto abandon_sent = [&] {
+    for (const auto& shard : shards) {
+      if (!shard.sent || shard.done) continue;
+      workers_[shard.target.worker].pending.erase(shard.seq);
+      workers_[shard.target.worker].reply_buffer.erase(shard.seq);
+    }
+  };
+
   // Phase 2: the master's own shard(s) compute while workers run theirs.
+  // A local mismatch means the deployed local model's head disagrees with
+  // the config — a deployment bug, not something failover can mend.
   for (auto& shard : shards) {
     if (shard.target.remote) continue;
-    core::Tensor logits =
-        local_[plan_.master_standalone].Forward(shard_input(shard), false);
-    place(shard, logits, "master:" + plan_.master_standalone);
+    core::Tensor logits = local_forward(shard);
+    if (!place(shard, logits, "master:" + plan_.master_standalone)) {
+      abandon_sent();
+      return core::Status::Internal(
+          "master: local logits disagree with config num_classes");
+    }
     stats_.served_local += shard.rows;
     shard.done = true;
   }
@@ -524,10 +583,7 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
       shard.error = reply.status();
       continue;
     }
-    if (reply->type != MsgType::kResult || !reply->has_payload() ||
-        reply->payload.shape().rank() < 2 ||
-        reply->payload.shape()[0] != shard.rows ||
-        (reply->batch != 0 && reply->batch != shard.rows)) {
+    if (!WellFormedResult(*reply, shard.rows)) {
       shard.error = core::Status::Internal(
           "worker[" + std::to_string(w) + "]" +
           (reply->type == MsgType::kError
@@ -535,8 +591,12 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
                : ": malformed result"));
       continue;
     }
-    place(shard, reply->payload,
-          "worker[" + std::to_string(w) + "]:" + plan_.worker_standalone);
+    if (!place(shard, reply->payload,
+               "worker[" + std::to_string(w) + "]:" + plan_.worker_standalone)) {
+      shard.error = core::Status::Internal(
+          "worker[" + std::to_string(w) + "]: result size mismatch");
+      continue;
+    }
     stats_.served_remote += shard.rows;
     shard.done = true;
   }
@@ -552,9 +612,12 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
                     << shard.row0 + shard.rows << ") failed ("
                     << shard.error.ToString() << "), re-serving";
     if (has_local) {
-      core::Tensor logits =
-          local_[plan_.master_standalone].Forward(shard_input(shard), false);
-      place(shard, logits, "master:" + plan_.master_standalone);
+      core::Tensor logits = local_forward(shard);
+      if (!place(shard, logits, "master:" + plan_.master_standalone)) {
+        abandon_sent();  // no-op unless phase 3 was skipped
+        return core::Status::Internal(
+            "master: local logits disagree with config num_classes");
+      }
       stats_.served_local += shard.rows;
       shard.done = true;
       continue;
@@ -575,8 +638,13 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
         last = retried.status();
         continue;
       }
-      place(shard, *retried,
-            "worker[" + std::to_string(w) + "]:" + plan_.worker_standalone);
+      if (!place(shard, *retried,
+                 "worker[" + std::to_string(w) + "]:" +
+                     plan_.worker_standalone)) {
+        last = core::Status::Internal(
+            "worker[" + std::to_string(w) + "]: result size mismatch");
+        continue;
+      }
       stats_.served_remote += shard.rows;
       shard.done = true;
     }
@@ -598,9 +666,7 @@ core::StatusOr<core::Tensor> MasterNode::ServeShardRemoteLocked(
       w, Message::WithBatch(MsgType::kInfer, 0, name, std::move(shard)),
       RemainingMs(deadline));
   if (!reply.ok()) return reply.status();
-  if (reply->type != MsgType::kResult || !reply->has_payload() ||
-      reply->payload.shape().rank() < 2 ||
-      reply->payload.shape()[0] != rows) {
+  if (!WellFormedResult(*reply, rows)) {
     return core::Status::Internal(
         "worker[" + std::to_string(w) + "]" +
         (reply->type == MsgType::kError ? " failed '" + name + "': " + reply->tag
@@ -666,10 +732,25 @@ core::StatusOr<Message> MasterNode::AwaitReplyLocked(
   }
   for (;;) {
     Message reply;
-    auto st = handle.transport->Recv(reply, RemainingMs(deadline));
+    const auto wait = RemainingMs(deadline);
+    auto st = handle.transport->Recv(reply, wait);
     if (!st.ok()) {
-      // Timeout, peer death and stream corruption all mean this worker
-      // cannot be trusted to answer: fail over rather than wait.
+      if (st.code() == core::StatusCode::kDeadlineExceeded &&
+          wait.count() == 0) {
+        // The shared batch budget was spent before this reply got any
+        // window (an earlier shard consumed it): fail the shard over, but
+        // don't condemn a worker that never had a chance to answer.
+        // Deregistering the seq routes its late reply to the counted
+        // stale-drop path.
+        handle.pending.erase(seq);
+        handle.reply_buffer.erase(seq);
+        return core::Status::DeadlineExceeded(
+            "master: deadline exhausted before worker[" + std::to_string(w) +
+            "]'s reply could be awaited");
+      }
+      // An in-window timeout, peer death and stream corruption all mean
+      // this worker cannot be trusted to answer: fail over rather than
+      // wait.
       MarkDeadLocked(w, st);
       return st;
     }

@@ -213,9 +213,13 @@ class MasterNode {
   BatchOptions batch_options_;  // HA chunk/window knobs for the serve core
 
   /// Guards scheduler start/stop; never held while serving (the scheduler
-  /// thread takes mu_, and StopServing joins that thread).
+  /// thread takes mu_, and StopServing joins that thread) nor across
+  /// Submit (backpressure can block there; the control plane — StopServing,
+  /// scheduler_stats — must stay reachable meanwhile). Shared ownership
+  /// lets Infer/InferAsync keep the scheduler alive across a Submit that
+  /// races StopServing.
   mutable std::mutex serving_mu_;
-  std::unique_ptr<BatchScheduler> scheduler_;
+  std::shared_ptr<BatchScheduler> scheduler_;
 };
 
 }  // namespace fluid::dist

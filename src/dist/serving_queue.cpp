@@ -50,8 +50,10 @@ std::future<core::StatusOr<InferReply>> BatchScheduler::Submit(
 
   std::unique_lock<std::mutex> lock(mu_);
   // Backpressure: a bounded queue turns overload into caller-visible
-  // latency instead of unbounded memory growth.
-  space_cv_.wait(lock, [&] {
+  // latency instead of unbounded memory growth — but only up to the
+  // request's own budget: a deadline it would blow waiting for queue
+  // space fails here instead of blocking its caller indefinitely.
+  const bool admitted = space_cv_.wait_until(lock, req.deadline, [&] {
     return stop_ ||
            queued_samples_ + req.samples <=
                static_cast<std::int64_t>(options_.queue_capacity) ||
@@ -60,6 +62,11 @@ std::future<core::StatusOr<InferReply>> BatchScheduler::Submit(
   if (stop_) {
     return ReadyError(
         core::Status::Unavailable("BatchScheduler stopped before Submit"));
+  }
+  if (!admitted) {
+    return ReadyError(core::Status::DeadlineExceeded(
+        "BatchScheduler::Submit: queue stayed full past the request's "
+        "timeout"));
   }
   queued_samples_ += req.samples;
   ++submitted_;

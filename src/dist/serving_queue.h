@@ -93,8 +93,10 @@ class BatchScheduler {
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
   /// Enqueue one input ([n, C, S, S]) from any thread. Blocks only on
-  /// backpressure (queue at capacity). The future resolves when the batch
-  /// containing this request is served, or with kUnavailable at Stop().
+  /// backpressure (queue at capacity), and never past the request's own
+  /// `timeout` — a queue still full then fails it kDeadlineExceeded. The
+  /// future resolves when the batch containing this request is served, or
+  /// with kUnavailable at Stop().
   std::future<core::StatusOr<InferReply>> Submit(
       core::Tensor input, std::chrono::milliseconds timeout);
 

@@ -169,6 +169,19 @@ TEST_F(MasterWorkerTest, DeployToMissingWorkerIndexFails) {
   EXPECT_EQ(st.code(), core::StatusCode::kInvalidArgument);
 }
 
+TEST_F(MasterWorkerTest, InlineInferRejectsAnEmptyBatchDim) {
+  // The scheduler-off path reaches the shard split directly; an empty
+  // batch dim must come back kInvalidArgument, not divide by zero.
+  DeployPaperPlan();
+  master_.SetMode(sim::Mode::kHighThroughput);
+  auto reply = master_.Infer(core::Tensor({0, 1, 28, 28}), 500ms);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), core::StatusCode::kInvalidArgument);
+  auto rank0 = master_.Infer(core::Tensor(), 500ms);
+  ASSERT_FALSE(rank0.ok());
+  EXPECT_EQ(rank0.status().code(), core::StatusCode::kInvalidArgument);
+}
+
 TEST_F(MasterWorkerTest, InferWithNoPlanReportsUnavailable) {
   auto reply = master_.Infer(Input(), 100ms);
   EXPECT_FALSE(reply.ok());

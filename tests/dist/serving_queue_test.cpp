@@ -161,6 +161,39 @@ TEST(BatchSchedulerTest, StopFailsEverythingStillQueued) {
   EXPECT_EQ(late.get().status().code(), core::StatusCode::kUnavailable);
 }
 
+TEST(BatchSchedulerTest, BackpressureHonorsTheRequestTimeout) {
+  core::Rng rng(7);
+  GatedServe serve;
+  BatchOptions opts;
+  opts.max_batch = 4;
+  opts.queue_capacity = 4;
+  opts.max_delay = 1ms;
+  BatchScheduler scheduler(opts, serve.Fn());
+
+  auto first = scheduler.Submit(Sample(rng), 2000ms);
+  for (int spin = 0; spin < 200 && scheduler.stats().queue_depth > 0; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  std::vector<std::future<core::StatusOr<InferReply>>> queued;
+  for (int i = 0; i < 4; ++i) {
+    queued.push_back(scheduler.Submit(Sample(rng), 2000ms));
+  }
+  // Queue at capacity and the drain thread gated: a short-deadline submit
+  // must fail with kDeadlineExceeded instead of blocking its caller until
+  // Stop() — the caller's budget bounds the backpressure wait.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto rejected = scheduler.Submit(Sample(rng), 50ms).get();
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), core::StatusCode::kDeadlineExceeded);
+  EXPECT_LT(waited, 1500ms);
+
+  serve.Release();
+  ASSERT_TRUE(first.get().ok());
+  for (auto& f : queued) ASSERT_TRUE(f.get().ok());
+  EXPECT_EQ(scheduler.stats().submitted, 5);  // the rejected one never entered
+}
+
 TEST(BatchSchedulerTest, RejectsInputWithoutABatchDim) {
   GatedServe serve;
   serve.Release();
@@ -591,6 +624,279 @@ TEST(SeqCorrelationTest, AbandonedPipelineChunksAreDeregisteredNotLeaked) {
   EXPECT_EQ(master.ProbeWorkers(), 1u);
   EXPECT_TRUE(master.WorkerAlive(0));
   EXPECT_GE(master.stats().stale_replies, 1);
+  master.StopServing();
+  stop = true;
+  scripted.join();
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine result payloads: shape dims come straight off the wire, so a
+// reply with the right row count but wrong trailing dims must fail over —
+// never scatter past the end of the batch's logits allocation.
+// ---------------------------------------------------------------------------
+
+TEST(ByzantineWorkerTest, OversizedShardResultFailsOverInsteadOfCorrupting) {
+  slim::FluidNetConfig cfg;
+  MasterNode master(cfg);
+  auto [master_end, worker_end] = MakeInMemoryPair();
+  master.AttachWorker(std::move(master_end));
+
+  // Scripted worker: acks deploys, answers every infer with the right
+  // number of rows but SEVEN extra classes per row.
+  std::atomic<bool> stop{false};
+  std::thread scripted([&, end = std::move(worker_end)]() mutable {
+    while (!stop) {
+      Message msg;
+      if (!end->Recv(msg, 50ms).ok()) continue;
+      if (msg.type == MsgType::kDeploy) {
+        (void)end->Send(Message::HeaderOnly(MsgType::kAck, msg.seq));
+      } else if (msg.type == MsgType::kInfer) {
+        const std::int64_t rows = msg.payload.shape()[0];
+        (void)end->Send(Message::WithBatch(MsgType::kResult, msg.seq, msg.tag,
+                                           core::Tensor({rows, 17})));
+      }
+    }
+    end->Close();
+  });
+
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  master.DeployLocal("lower50",
+                     fluid.ExtractSubnet(fluid.family().MasterResident()));
+  nn::Sequential upper = fluid.ExtractSubnet(fluid.family().WorkerResident());
+  ASSERT_TRUE(master
+                  .DeployToWorker("m", ModelBlueprint::Standalone(cfg, 8),
+                                  nn::ExtractState(upper))
+                  .ok());
+  Plan plan;
+  plan.master_standalone = "lower50";
+  plan.worker_standalone = "m";
+  master.SetPlan(plan);
+  master.SetMode(sim::Mode::kHighThroughput);
+
+  // Two samples shard across {master, worker}: the local shard seeds the
+  // [2, classes] allocation, the worker's oversized reply must be rejected
+  // and its shard re-served locally, bit-exactly.
+  core::Rng rng(11);
+  nn::Sequential reference =
+      fluid.ExtractSubnet(fluid.family().MasterResident());
+  const core::Tensor x = Sample(rng, 2);
+  const core::Tensor want = reference.Forward(x, false);
+  auto reply = master.Infer(x, 2000ms);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->served_by, "master:lower50");
+  ASSERT_EQ(reply->logits.shape(), want.shape());
+  EXPECT_EQ(core::MaxAbsDiff(reply->logits, want), 0.0F);
+  EXPECT_GE(master.stats().failovers, 1);
+  stop = true;
+  scripted.join();
+}
+
+TEST(ByzantineWorkerTest, HonestWorkerReservesTheShardABadPeerAnswered) {
+  // No master-resident slice: result validation must be anchored to the
+  // config's class count, so one byzantine peer fails only its own shard
+  // (re-served by the honest worker) instead of poisoning the batch.
+  slim::FluidNetConfig cfg;
+  MasterNode master(cfg);
+  auto [m0, w0] = MakeInMemoryPair();
+  auto honest = std::make_unique<WorkerNode>("honest", cfg, std::move(w0));
+  honest->Start();
+  master.AttachWorker(std::move(m0));
+
+  auto [m1, w1] = MakeInMemoryPair();
+  master.AttachWorker(std::move(m1));
+  std::atomic<bool> stop{false};
+  std::thread scripted([&, end = std::move(w1)]() mutable {
+    while (!stop) {
+      Message msg;
+      if (!end->Recv(msg, 50ms).ok()) continue;
+      if (msg.type == MsgType::kDeploy) {
+        (void)end->Send(Message::HeaderOnly(MsgType::kAck, msg.seq));
+      } else if (msg.type == MsgType::kInfer) {
+        const std::int64_t rows = msg.payload.shape()[0];
+        (void)end->Send(Message::WithBatch(MsgType::kResult, msg.seq, msg.tag,
+                                           core::Tensor({rows, 17})));
+      }
+    }
+    end->Close();
+  });
+
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  nn::Sequential upper = fluid.ExtractSubnet(fluid.family().WorkerResident());
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(master
+                    .DeployToWorker("m", ModelBlueprint::Standalone(cfg, 8),
+                                    nn::ExtractState(upper), 2000ms, i)
+                    .ok());
+  }
+  Plan plan;
+  plan.worker_standalone = "m";
+  master.SetPlan(plan);
+  master.SetMode(sim::Mode::kHighThroughput);
+
+  core::Rng rng(13);
+  const core::Tensor x = Sample(rng, 2);
+  const core::Tensor want = upper.Forward(x, false);
+  auto reply = master.Infer(x, 2000ms);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->served_by, "worker[0]:m");
+  ASSERT_EQ(reply->logits.shape(), want.shape());
+  EXPECT_EQ(core::MaxAbsDiff(reply->logits, want), 0.0F);
+  EXPECT_GE(master.stats().failovers, 1);
+  honest->Stop();
+  stop = true;
+  scripted.join();
+}
+
+TEST(ByzantineWorkerTest, ZeroWindowAwaitDoesNotCondemnTheSecondWorker) {
+  // Two silent workers (they ack control messages but never answer a
+  // shard). Awaiting the first shard burns the whole batch deadline in a
+  // real window — that worker is rightly condemned. The second shard is
+  // then awaited with a ZERO window: it must fail over DeadlineExceeded
+  // without marking a worker dead that never had a chance to answer.
+  slim::FluidNetConfig cfg;
+  MasterNode master(cfg);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> silent;
+  for (int i = 0; i < 2; ++i) {
+    auto [m, w] = MakeInMemoryPair();
+    master.AttachWorker(std::move(m));
+    silent.emplace_back([&stop, end = std::move(w)]() mutable {
+      while (!stop) {
+        Message msg;
+        if (!end->Recv(msg, 50ms).ok()) continue;
+        if (msg.type == MsgType::kDeploy || msg.type == MsgType::kHeartbeat) {
+          (void)end->Send(Message::HeaderOnly(MsgType::kAck, msg.seq));
+        }
+        // kInfer is swallowed: no shard is ever answered.
+      }
+      end->Close();
+    });
+  }
+
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  nn::Sequential upper = fluid.ExtractSubnet(fluid.family().WorkerResident());
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(master
+                    .DeployToWorker("m", ModelBlueprint::Standalone(cfg, 8),
+                                    nn::ExtractState(upper), 2000ms, i)
+                    .ok());
+  }
+  Plan plan;
+  plan.worker_standalone = "m";
+  master.SetPlan(plan);
+  master.SetMode(sim::Mode::kHighThroughput);
+
+  core::Rng rng(23);
+  auto reply = master.Infer(Sample(rng, 2), 150ms);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_FALSE(master.WorkerAlive(0));  // in-window timeout: condemned
+  EXPECT_TRUE(master.WorkerAlive(1));   // zero-window await: spared
+  EXPECT_EQ(master.ProbeWorkers(), 1u);
+  stop = true;
+  for (auto& t : silent) t.join();
+}
+
+TEST(ByzantineWorkerTest, MisconfiguredLocalHeadAbandonsInFlightShards) {
+  // A local model whose head disagrees with config num_classes fails the
+  // batch in phase 2, AFTER phase 1 already shipped remote shards. Those
+  // in-flight seqs must be deregistered: the worker's late reply has to
+  // take the bounded stale-drop path, not sit in the reply buffer forever.
+  slim::FluidNetConfig cfg;  // num_classes = 10
+  MasterNode master(cfg);
+  auto [m0, w0] = MakeInMemoryPair();
+  auto worker = std::make_unique<WorkerNode>("w", cfg, std::move(w0));
+  worker->Start();
+  master.AttachWorker(std::move(m0));
+
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  nn::Sequential upper = fluid.ExtractSubnet(fluid.family().WorkerResident());
+  ASSERT_TRUE(master
+                  .DeployToWorker("m", ModelBlueprint::Standalone(cfg, 8),
+                                  nn::ExtractState(upper))
+                  .ok());
+  slim::FluidNetConfig weird_cfg;
+  weird_cfg.num_classes = 7;  // deployment bug: 7-way head, config says 10
+  core::Rng model_rng(21);
+  master.DeployLocal("weird", train::BuildConvNet(weird_cfg, 8, model_rng));
+  Plan plan;
+  plan.master_standalone = "weird";
+  plan.worker_standalone = "m";
+  master.SetPlan(plan);
+  master.SetMode(sim::Mode::kHighThroughput);
+
+  core::Rng rng(22);
+  auto reply = master.Infer(Sample(rng, 2), 2000ms);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), core::StatusCode::kInternal);
+
+  // The link stays healthy; the heartbeat drains the abandoned shard's
+  // reply as a counted stale drop instead of leaking it.
+  EXPECT_EQ(master.ProbeWorkers(), 1u);
+  EXPECT_TRUE(master.WorkerAlive(0));
+  EXPECT_GE(master.stats().stale_replies, 1);
+  worker->Stop();
+}
+
+TEST(ByzantineWorkerTest, PipelineChunkClassMismatchFailsOverToResident) {
+  slim::FluidNetConfig cfg;
+  MasterNode master(cfg);
+  auto [master_end, worker_end] = MakeInMemoryPair();
+  master.AttachWorker(std::move(master_end));
+
+  // Scripted back half: the first chunk's reply is honest-shaped, every
+  // later chunk grows two classes — same row counts throughout, so only
+  // payload-size validation can catch it.
+  std::atomic<bool> stop{false};
+  std::thread scripted([&, end = std::move(worker_end)]() mutable {
+    std::int64_t infers = 0;
+    while (!stop) {
+      Message msg;
+      if (!end->Recv(msg, 50ms).ok()) continue;
+      if (msg.type == MsgType::kDeploy) {
+        (void)end->Send(Message::HeaderOnly(MsgType::kAck, msg.seq));
+      } else if (msg.type == MsgType::kInfer) {
+        const std::int64_t rows = msg.payload.shape()[0];
+        const std::int64_t classes = infers++ == 0 ? 10 : 12;
+        (void)end->Send(Message::WithBatch(MsgType::kResult, msg.seq, msg.tag,
+                                           core::Tensor({rows, classes})));
+      }
+    }
+    end->Close();
+  });
+
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  nn::Sequential combined = fluid.ExtractSubnet(fluid.family().Combined());
+  auto halves =
+      train::SplitConvNet(cfg, fluid.family().max_width(), combined, 2);
+  master.DeployLocal("front", std::move(halves.front));
+  master.DeployLocal("lower50",
+                     fluid.ExtractSubnet(fluid.family().MasterResident()));
+  ASSERT_TRUE(master
+                  .DeployToWorker("back",
+                                  ModelBlueprint::PipelineBack(
+                                      cfg, fluid.family().max_width(), 2),
+                                  nn::ExtractState(halves.back))
+                  .ok());
+  master.SetPlan({"lower50", "", "front", "back", 0});
+  master.SetMode(sim::Mode::kHighAccuracy);
+
+  BatchOptions opts;
+  opts.max_batch = 4;
+  opts.ha_chunk = 2;  // 4 samples -> two frames; the second one is bogus
+  opts.ha_window = 2;
+  master.StartServing(opts);
+
+  core::Rng rng(12);
+  nn::Sequential reference =
+      fluid.ExtractSubnet(fluid.family().MasterResident());
+  const core::Tensor x = Sample(rng, 4);
+  const core::Tensor want = reference.Forward(x, false);
+  auto reply = master.InferAsync(x.Clone(), 2000ms).get();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->served_by, "master:lower50");  // whole batch failed over
+  ASSERT_EQ(reply->logits.shape(), want.shape());
+  EXPECT_EQ(core::MaxAbsDiff(reply->logits, want), 0.0F);
+  EXPECT_GE(master.stats().failovers, 1);
   master.StopServing();
   stop = true;
   scripted.join();
