@@ -12,15 +12,22 @@
 // regularization.
 
 #include <cstdio>
+#include <string>
 
 #include "core/csv.h"
 #include "harness_common.h"
 #include "sim/scenario.h"
+#include "train/trainer_common.h"
 
 using namespace fluid;
 
 int main(int argc, char** argv) {
   const auto opts = bench::HarnessOptions::FromArgs(argc, argv);
+  std::string quant_json;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("quant_json=", 0) == 0) quant_json = arg.substr(11);
+  }
   std::printf("== Fig. 2 (accuracy panel) — Fluid DyDNNs, DATE 2024 ==\n");
 
   auto models = bench::TrainAll(opts);
@@ -74,6 +81,41 @@ int main(int argc, char** argv) {
               fluid_survives_both ? "PASS" : "FAIL",
               static_fails_both ? "PASS" : "FAIL",
               dynamic_master_only ? "PASS" : "FAIL");
+
+  // INT8 deployment accuracy: the quantized serving artifact (per-channel
+  // int8 weights + on-the-fly activation scales, src/quant/) against its
+  // fp32 source, on the same held-out test set. The serve-path criterion
+  // is ≤ 1 pp top-1 delta — this is the number BENCH_serving.json records
+  // next to the quantized-HA throughput win.
+  {
+    const auto& family = models.fluid_model->family();
+    nn::Sequential fp32 = models.fluid_model->ExtractSubnet(family.Combined());
+    nn::Sequential int8 =
+        models.fluid_model->ExtractSubnetQuantized(family.Combined());
+    const double fp32_acc =
+        train::EvaluateModel(fp32, models.test_set).accuracy;
+    const double int8_acc =
+        train::EvaluateModel(int8, models.test_set).accuracy;
+    const double delta_pp = (fp32_acc - int8_acc) * 100.0;
+    std::printf("\nint8 deployment accuracy (fluid 100%% subnet): fp32 "
+                "%.2f%%, int8 %.2f%%, delta %.2f pp (%s)\n",
+                fp32_acc * 100.0, int8_acc * 100.0, delta_pp,
+                delta_pp <= 1.0 ? "PASS <= 1pp" : "FAIL > 1pp");
+    if (!quant_json.empty()) {
+      std::FILE* f = std::fopen(quant_json.c_str(), "w");
+      if (f != nullptr) {
+        std::fprintf(f,
+                     "{\n"
+                     " \"fp32_top1\": %.4f,\n"
+                     " \"int8_top1\": %.4f,\n"
+                     " \"delta_pp\": %.2f\n"
+                     "}\n",
+                     fp32_acc, int8_acc, delta_pp);
+        std::fclose(f);
+        std::printf("wrote %s\n", quant_json.c_str());
+      }
+    }
+  }
 
   // Machine-readable record for EXPERIMENTS.md regeneration.
   core::CsvWriter csv({"model", "devices", "mode", "img_per_s", "accuracy",

@@ -23,11 +23,28 @@
 // async batched runtime (request queue + coalesced fused batches sharded
 // across the fleet). Knobs: clients=N per_client=N workers=N max_batch=N
 // max_delay_ms=N json=PATH (writes the numbers for BENCH_serving.json).
+//
+// Extension — quantized HA serving mode (`ha=1`): a live master + worker
+// pair running the HighAccuracy pipeline over the emulated link, serving
+// the SAME deployment twice — once with fp32 (wire v2) cut-activation
+// frames and once with int8 (wire v3) frames negotiated per-deploy — so
+// the printed speedup isolates exactly the cut-activation wire format.
+// Includes an OPEN-LOOP Poisson arrival generator (rate=R req/s) with
+// p50/p95/p99 latency percentiles next to the closed-loop req/s. Knobs:
+// clients=N per_client=N cut=K ha_chunk=N ha_window=N max_batch=N
+// rate=R open_requests=N quant_compute=0|1 link_ms=F bandwidth_mbps=F
+// json=PATH.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -73,6 +90,281 @@ double RunClosedLoop(int clients, int per_client, const InferFn& infer) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return static_cast<double>(clients) * per_client / secs;
+}
+
+// Latency percentiles of a sorted sample.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                       std::ceil(q * static_cast<double>(sorted.size())) - 1.0));
+  return sorted[idx];
+}
+
+struct OpenLoopResult {
+  double offered_rps = 0;   // the Poisson rate requested
+  double achieved_rps = 0;  // completions over the measured span
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+};
+
+/// Open-loop measurement: arrivals are a Poisson process at `rate` req/s
+/// (exponential inter-arrival gaps from a fixed seed), latency is
+/// scheduled-arrival → completion — so queueing delay counts, which is
+/// the point: an open-loop generator keeps offering load while the
+/// server falls behind, exposing the latency cliff closed-loop clients
+/// (which self-throttle) never show. A collector thread drains futures
+/// in submission order — the batched master completes requests in order,
+/// so per-future completion timestamps are accurate.
+OpenLoopResult RunOpenLoop(dist::MasterNode& master, double rate,
+                           int total_requests) {
+  using Clock = std::chrono::steady_clock;
+  struct Pending {
+    std::future<core::StatusOr<dist::InferReply>> future;
+    Clock::time_point scheduled;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Pending> pending;
+  bool done = false;
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<std::size_t>(total_requests));
+  Clock::time_point last_completion{};
+  std::thread collector([&] {
+    for (;;) {
+      Pending p;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !pending.empty() || done; });
+        if (pending.empty()) return;
+        p = std::move(pending.front());
+        pending.pop_front();
+      }
+      auto reply = p.future.get();
+      const auto now = Clock::now();
+      if (!reply.ok()) {
+        std::fprintf(stderr, "open-loop request failed: %s\n",
+                     reply.status().ToString().c_str());
+        std::abort();
+      }
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(now - p.scheduled).count());
+      last_completion = now;
+    }
+  });
+
+  core::Rng rng(2024);
+  const core::Tensor x =
+      core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+  const auto t0 = Clock::now();
+  double next_s = 0.0;
+  for (int i = 0; i < total_requests; ++i) {
+    next_s += -std::log(1.0 - rng.Uniform()) / rate;
+    const auto at = t0 + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(next_s));
+    std::this_thread::sleep_until(at);
+    auto fut = master.InferAsync(x.Clone(), std::chrono::milliseconds(30000));
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      pending.push_back({std::move(fut), at});
+    }
+    cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  cv.notify_one();
+  collector.join();
+
+  OpenLoopResult r;
+  r.offered_rps = rate;
+  const double span_s =
+      std::chrono::duration<double>(last_completion - t0).count();
+  r.achieved_rps =
+      span_s > 0 ? static_cast<double>(latencies_ms.size()) / span_s : 0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  r.p50_ms = Percentile(latencies_ms, 0.50);
+  r.p95_ms = Percentile(latencies_ms, 0.95);
+  r.p99_ms = Percentile(latencies_ms, 0.99);
+  return r;
+}
+
+// `ha=1`: quantized vs fp32 HighAccuracy serving over the emulated link.
+int RunHaServing(int argc, char** argv) {
+  std::int64_t clients = 32, per_client = 50;
+  std::int64_t max_batch = 32, ha_chunk = 8, ha_window = 16, cut = 1;
+  std::int64_t open_requests = 400, quant_compute = 0;
+  double rate = 0.0;  // open-loop offered load; 0 = skip the open loop
+  double link_ms = 12.0, bandwidth_mbps = 100.0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = arg.substr(0, eq), val = arg.substr(eq + 1);
+    if (key == "clients") clients = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "per_client") per_client = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "max_batch") max_batch = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "ha_chunk") ha_chunk = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "ha_window") ha_window = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "cut") cut = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "open_requests")
+      open_requests = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "quant_compute")
+      quant_compute = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "rate") rate = std::strtod(val.c_str(), nullptr);
+    if (key == "link_ms") link_ms = std::strtod(val.c_str(), nullptr);
+    if (key == "bandwidth_mbps")
+      bandwidth_mbps = std::strtod(val.c_str(), nullptr);
+    if (key == "json") json_path = val;
+  }
+
+  std::printf("== HighAccuracy pipeline: fp32 (wire v2) vs int8 (wire v3) "
+              "cut activations ==\n");
+  std::printf("# link: %.1f ms/frame + payload at %.0f Mbit/s; cut after "
+              "stage %lld; chunk %lld, window %lld, max_batch %lld\n",
+              link_ms, bandwidth_mbps, static_cast<long long>(cut),
+              static_cast<long long>(ha_chunk),
+              static_cast<long long>(ha_window),
+              static_cast<long long>(max_batch));
+
+  const slim::FluidNetConfig cfg;
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  const auto combined = fluid.family().Combined();
+  const std::int64_t width = combined.range.width();
+  nn::Sequential full = fluid.ExtractSubnet(combined);
+  auto halves = train::SplitConvNet(cfg, width, full, cut);
+  const auto back_state = nn::ExtractState(halves.back);
+  std::printf("# cut tensor: %lld floats/sample (%.1f KB fp32, %.1f KB "
+              "int8 per %lld-sample chunk)\n\n",
+              static_cast<long long>(halves.cut_bytes_per_sample / 4),
+              static_cast<double>(halves.cut_bytes_per_sample * ha_chunk) /
+                  1024.0,
+              static_cast<double>(halves.cut_bytes_per_sample * ha_chunk) /
+                  4096.0,
+              static_cast<long long>(ha_chunk));
+
+  dist::MasterNode master(cfg);
+  auto [master_end, worker_end] = dist::MakeEmulatedLinkPair(
+      std::chrono::duration<double>(link_ms * 1e-3),
+      bandwidth_mbps * 1e6 / 8.0);
+  dist::WorkerNode worker("w0", cfg, std::move(worker_end));
+  worker.Start();
+  master.AttachWorker(std::move(master_end));
+
+  master.DeployLocal("front", std::move(halves.front));
+  auto bp_fp32 = dist::ModelBlueprint::PipelineBack(cfg, width, cut);
+  auto bp_int8 = bp_fp32;
+  bp_int8.quant.int8_wire = true;
+  bp_int8.quant.int8_compute = quant_compute != 0;
+  master.DeployToWorker("back_fp32", bp_fp32, back_state, 10000ms)
+      .ThrowIfError();
+  master.DeployToWorker("back_int8", bp_int8, back_state, 10000ms)
+      .ThrowIfError();
+
+  dist::Plan plan;
+  plan.pipeline_front = "front";
+  plan.pipeline_back = "back_fp32";
+  plan.back_worker = 0;
+  master.SetPlan(plan);
+  master.SetMode(sim::Mode::kHighAccuracy);
+
+  dist::BatchOptions bopts;
+  bopts.max_batch = static_cast<std::size_t>(max_batch);
+  bopts.max_delay = std::chrono::milliseconds(0);
+  bopts.ha_chunk = static_cast<std::size_t>(ha_chunk);
+  bopts.ha_window = static_cast<std::size_t>(ha_window);
+  bopts.queue_capacity = 8192;
+  master.StartServing(bopts);
+
+  auto closed_loop = [&] {
+    return RunClosedLoop(
+        static_cast<int>(clients), static_cast<int>(per_client),
+        [&](const core::Tensor& x) {
+          return master.InferAsync(x.Clone(), 30000ms).get();
+        });
+  };
+
+  const double fp32_rps = closed_loop();
+  std::printf("closed-loop fp32 HA  : %8.1f req/s\n", fp32_rps);
+  OpenLoopResult fp32_open;
+  if (rate > 0) {
+    fp32_open = RunOpenLoop(master, rate, static_cast<int>(open_requests));
+    std::printf("open-loop  fp32 HA  : offered %.0f, achieved %6.1f req/s, "
+                "latency p50 %.1f / p95 %.1f / p99 %.1f ms\n",
+                fp32_open.offered_rps, fp32_open.achieved_rps,
+                fp32_open.p50_ms, fp32_open.p95_ms, fp32_open.p99_ms);
+  }
+
+  plan.pipeline_back = "back_int8";
+  master.SetPlan(plan);
+
+  const double int8_rps = closed_loop();
+  std::printf("closed-loop int8 HA  : %8.1f req/s   (wire v3%s)\n", int8_rps,
+              quant_compute != 0 ? " + int8 compute" : "");
+  OpenLoopResult int8_open;
+  if (rate > 0) {
+    int8_open = RunOpenLoop(master, rate, static_cast<int>(open_requests));
+    std::printf("open-loop  int8 HA  : offered %.0f, achieved %6.1f req/s, "
+                "latency p50 %.1f / p95 %.1f / p99 %.1f ms\n",
+                int8_open.offered_rps, int8_open.achieved_rps,
+                int8_open.p50_ms, int8_open.p95_ms, int8_open.p99_ms);
+  }
+
+  const auto stats = master.stats();
+  master.StopServing();
+  std::printf("speedup: %.2fx   (quant cut frames %lld, pipeline samples "
+              "%lld, failovers %lld)\n",
+              int8_rps / fp32_rps,
+              static_cast<long long>(stats.quant_cut_frames),
+              static_cast<long long>(stats.served_pipeline),
+              static_cast<long long>(stats.failovers));
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        " \"mode\": \"ha_quant\",\n"
+        " \"clients\": %lld,\n"
+        " \"per_client\": %lld,\n"
+        " \"cut_stage\": %lld,\n"
+        " \"ha_chunk\": %lld,\n"
+        " \"ha_window\": %lld,\n"
+        " \"max_batch\": %lld,\n"
+        " \"quant_compute\": %lld,\n"
+        " \"link_ms\": %.1f,\n"
+        " \"bandwidth_mbps\": %.1f,\n"
+        " \"cut_floats_per_sample\": %lld,\n"
+        " \"fp32_req_per_s\": %.1f,\n"
+        " \"int8_req_per_s\": %.1f,\n"
+        " \"speedup\": %.2f,\n"
+        " \"open_loop_rate\": %.1f,\n"
+        " \"fp32_open\": {\"achieved_req_per_s\": %.1f, \"p50_ms\": %.1f, "
+        "\"p95_ms\": %.1f, \"p99_ms\": %.1f},\n"
+        " \"int8_open\": {\"achieved_req_per_s\": %.1f, \"p50_ms\": %.1f, "
+        "\"p95_ms\": %.1f, \"p99_ms\": %.1f}\n"
+        "}\n",
+        static_cast<long long>(clients), static_cast<long long>(per_client),
+        static_cast<long long>(cut), static_cast<long long>(ha_chunk),
+        static_cast<long long>(ha_window), static_cast<long long>(max_batch),
+        static_cast<long long>(quant_compute), link_ms, bandwidth_mbps,
+        static_cast<long long>(halves.cut_bytes_per_sample / 4), fp32_rps,
+        int8_rps, int8_rps / fp32_rps, rate, fp32_open.achieved_rps,
+        fp32_open.p50_ms, fp32_open.p95_ms, fp32_open.p99_ms,
+        int8_open.achieved_rps, int8_open.p50_ms, int8_open.p95_ms,
+        int8_open.p99_ms);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  worker.Stop();
+  return 0;
 }
 
 int RunClosedLoopServing(int argc, char** argv) {
@@ -233,6 +525,9 @@ int RunClosedLoopServing(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "ha=1") {
+      return RunHaServing(argc, argv);
+    }
     if (std::string(argv[i]) == "closed_loop=1") {
       return RunClosedLoopServing(argc, argv);
     }

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/gemm.h"
+#include "core/qgemm.h"
 #include "core/rng.h"
 #include "dist/message.h"
 #include "nn/checkpoint.h"
@@ -33,6 +34,30 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(16)->Arg(64)->Arg(144)->Arg(256)->Arg(512);
+
+void BM_QGemmInt8(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  core::Rng rng(1);
+  std::vector<std::int8_t> a(static_cast<std::size_t>(n * n));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(n * n));
+  std::vector<std::int32_t> c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) {
+    v = static_cast<std::int8_t>(
+        static_cast<std::int64_t>(rng.UniformInt(255)) - 127);
+  }
+  for (auto& v : b) {
+    v = static_cast<std::int8_t>(
+        static_cast<std::int64_t>(rng.UniformInt(255)) - 127);
+  }
+  for (auto _ : state) {
+    core::QGemmInt8(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  // "FLOP"-equivalent ops (one multiply + one add per k step) so the
+  // reported rate compares directly against BM_Gemm's GF/s.
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_QGemmInt8)->Arg(16)->Arg(64)->Arg(144)->Arg(256)->Arg(512);
 
 void BM_Conv2dForward(benchmark::State& state) {
   const std::int64_t width = state.range(0);

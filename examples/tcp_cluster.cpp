@@ -6,6 +6,11 @@
 // input stream fans out over all four devices), then workers are killed
 // one by one; the system sheds capacity but never stops serving until the
 // master itself is the only survivor.
+//
+// The HA pipeline back half is deployed with int8_wire negotiated, so the
+// quiet phase serves QUANTIZED (wire v3) cut-activation frames over real
+// TCP while the standalone slices keep speaking fp32 v2 — this example
+// doubles as CI's quantized-HA smoke run.
 
 #include <cstdio>
 #include <vector>
@@ -74,9 +79,11 @@ int main() {
   nn::Sequential combined = fluid.ExtractSubnet(fluid.family().Combined());
   auto halves = train::SplitConvNet(cfg, 16, combined, 2);
   master.DeployLocal("front", std::move(halves.front));
+  auto back_bp = dist::ModelBlueprint::PipelineBack(cfg, 16, 2);
+  back_bp.quant.int8_wire = true;  // HA cut activations cross TCP as int8
   master
-      .DeployToWorker("back", dist::ModelBlueprint::PipelineBack(cfg, 16, 2),
-                      nn::ExtractState(halves.back), 2000ms, 0)
+      .DeployToWorker("back", back_bp, nn::ExtractState(halves.back), 2000ms,
+                      0)
       .ThrowIfError();
   master.SetPlan({"lower50", "upper50", "front", "back", 0});
 
@@ -127,11 +134,18 @@ int main() {
 
   std::printf("\n[result] %lld/%lld correct across the whole degradation "
               "sequence; %lld failovers, %lld orchestrator ticks, %lld mode "
-              "switches\n",
+              "switches, %lld int8 cut frames over TCP\n",
               static_cast<long long>(correct), static_cast<long long>(total),
               static_cast<long long>(master.stats().failovers),
               static_cast<long long>(orchestrator.ticks()),
-              static_cast<long long>(orchestrator.controller().switches()));
+              static_cast<long long>(orchestrator.controller().switches()),
+              static_cast<long long>(master.stats().quant_cut_frames));
   for (auto& w : workers) w->Stop();
+  if (master.stats().quant_cut_frames <= 0) {
+    std::fprintf(stderr,
+                 "error: HA phase never shipped a quantized cut frame — the "
+                 "int8_wire negotiation is broken\n");
+    return 1;
+  }
   return 0;
 }

@@ -2,9 +2,18 @@
 # Builds Release and records the perf baselines at the repo root so the
 # trajectory is tracked PR over PR:
 #   BENCH_gemm.json    — GEMM / conv microbenchmarks (google-benchmark)
-#   BENCH_serving.json — closed-loop serving: sync RPC path vs the async
-#                        batched runtime over the paper's emulated link
-#                        (fig2_throughput closed_loop=1)
+#   BENCH_serving.json — live serving baselines, three sections:
+#                          closed_loop — sync RPC path vs the async batched
+#                            runtime over the paper's emulated link
+#                            (fig2_throughput closed_loop=1)
+#                          ha_quant    — HighAccuracy pipeline, fp32 (v2)
+#                            vs int8 (v3) cut-activation frames, closed- and
+#                            open-loop with latency percentiles
+#                            (fig2_throughput ha=1)
+#                          int8_accuracy — top-1 of the int8 deployment vs
+#                            its fp32 source (fig2_accuracy quant_json=…;
+#                            skipped when FLUID_BENCH_SKIP_ACCURACY=1 — it
+#                            trains the three model families)
 #
 # Usage: scripts/run_bench.sh [extra google-benchmark args...]
 # Honours FLUID_NUM_THREADS; by default records a single-thread run plus a
@@ -29,7 +38,7 @@ if [[ ! -x "${build_dir}/micro_ops" ]]; then
   exit 1
 fi
 
-filter='BM_Gemm|BM_Conv2dForward'
+filter='BM_Gemm|BM_QGemmInt8|BM_Conv2dForward'
 tmp1="$(mktemp)" tmp4="$(mktemp)" merged=""
 trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"}' EXIT
 
@@ -54,14 +63,40 @@ mv "${merged}" "${repo_root}/BENCH_gemm.json"
 
 echo "wrote ${repo_root}/BENCH_gemm.json"
 
-# ---- closed-loop serving baseline -----------------------------------------
+# ---- serving baselines ------------------------------------------------------
 if ! cmake --build "${build_dir}" -j "$(nproc)" --target fig2_throughput; then
   echo "error: building fig2_throughput failed." >&2
   exit 1
 fi
-serving_tmp="$(mktemp)"
-trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}"' EXIT
+serving_tmp="$(mktemp)" ha_tmp="$(mktemp)" acc_tmp="$(mktemp)"
+trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}" "${ha_tmp}" "${acc_tmp}"' EXIT
 "${build_dir}/fig2_throughput" closed_loop=1 clients=8 per_client=100 \
   json="${serving_tmp}"
-mv "${serving_tmp}" "${repo_root}/BENCH_serving.json"
+# Quantized HA: the 12 ms / 100 Mbit/s paper link, deep cut (stage 1 —
+# the regime where the cut-activation stream saturates the serial link),
+# open-loop Poisson at 900 req/s (between the fp32 and int8 capacities,
+# so the percentile gap shows the saturation cliff).
+"${build_dir}/fig2_throughput" ha=1 clients=64 per_client=50 max_batch=64 \
+  ha_window=32 cut=1 rate=900 open_requests=500 json="${ha_tmp}"
+
+if [[ "${FLUID_BENCH_SKIP_ACCURACY:-0}" != "1" ]]; then
+  if ! cmake --build "${build_dir}" -j "$(nproc)" --target fig2_accuracy; then
+    echo "error: building fig2_accuracy failed." >&2
+    exit 1
+  fi
+  "${build_dir}/fig2_accuracy" quant_json="${acc_tmp}"
+else
+  echo '{}' > "${acc_tmp}"
+fi
+
+serving_merged="$(mktemp)"
+python3 - "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" > "${serving_merged}" <<'EOF'
+import json, sys
+closed, ha, acc = (json.load(open(p)) for p in sys.argv[1:4])
+out = {"closed_loop": closed, "ha_quant": ha}
+if acc:
+    out["int8_accuracy"] = acc
+json.dump(out, sys.stdout, indent=1)
+EOF
+mv "${serving_merged}" "${repo_root}/BENCH_serving.json"
 echo "wrote ${repo_root}/BENCH_serving.json"

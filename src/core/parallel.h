@@ -27,9 +27,11 @@
 namespace fluid::core {
 
 /// Grow-only resize for the thread_local scratch buffers of the blocked
-/// kernels (GEMM packing, im2col columns): never shrinks, so a steady-state
-/// serving loop stops allocating after the first batch of each shape.
-inline void EnsureScratch(std::vector<float>& buf, std::int64_t n) {
+/// kernels (GEMM packing, im2col columns, int8 panels): never shrinks, so
+/// a steady-state serving loop stops allocating after the first batch of
+/// each shape.
+template <typename T>
+inline void EnsureScratch(std::vector<T>& buf, std::int64_t n) {
   if (buf.size() < static_cast<std::size_t>(n)) {
     buf.resize(static_cast<std::size_t>(n));
   }

@@ -1,0 +1,24 @@
+#pragma once
+// Integer GEMM for the INT8 inference path: C[int32] = A[int8] × B[int8].
+//
+// The cache-blocked, packed driver mirrors core::Gemm but is integer-
+// exact: int32 accumulation has no rounding, so results are bitwise
+// identical across SIMD tiers AND thread counts (tests assert equality,
+// not tolerance). Scaling back to float (dequantization) is the caller's
+// job — quant/quant_layers.cpp folds it into the bias pass.
+//
+// No transpose parameters: the quantization sites control both operand
+// layouts (weights are packed at quantization time), so op(A)/op(B)
+// plumbing would be dead weight.
+
+#include <cstdint>
+
+namespace fluid::core {
+
+/// Row-major integer GEMM, overwrite semantics:
+///   C [m×n, int32, ldc] = A [m×k, int8, lda] × B [k×n, int8, ldb].
+void QGemmInt8(std::int64_t m, std::int64_t n, std::int64_t k,
+               const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+               std::int64_t ldb, std::int32_t* c, std::int64_t ldc);
+
+}  // namespace fluid::core

@@ -1,0 +1,46 @@
+// int8 kernel selection: tied to the fp32 tier so CPUID probing and the
+// FLUID_SIMD override live in exactly one place (simd/dispatch.cpp).
+
+#include "core/simd/qgemm_kernel.h"
+
+#include "core/simd/gemm_kernel.h"
+
+namespace fluid::core::simd {
+
+extern const QGemmKernel kQGemmKernelScalar;
+#if defined(__x86_64__) || defined(__i386__)
+extern const QGemmKernel kQGemmKernelAvx2;
+extern const QGemmKernel kQGemmKernelAvx512;
+#endif
+
+namespace {
+
+const QGemmKernel* const kQTable[] = {
+#if defined(__x86_64__) || defined(__i386__)
+    &kQGemmKernelAvx512,
+    &kQGemmKernelAvx2,
+#endif
+    &kQGemmKernelScalar,
+};
+
+}  // namespace
+
+std::span<const QGemmKernel* const> AllQGemmKernels() { return kQTable; }
+
+const QGemmKernel* QGemmKernelByName(std::string_view name) {
+  for (const QGemmKernel* k : kQTable) {
+    if (name == k->name) return k;
+  }
+  return nullptr;
+}
+
+const QGemmKernel& ActiveQGemmKernel() {
+  // Follow the fp32 tier every call (it is one atomic load there). Tests
+  // that pin the fp32 kernel via SetGemmKernelForTesting pin this path
+  // with it, so the two GEMMs can never run split across tiers.
+  const QGemmKernel* k = QGemmKernelByName(ActiveGemmKernel().name);
+  if (k != nullptr && k->supported()) return *k;
+  return kQGemmKernelScalar;
+}
+
+}  // namespace fluid::core::simd

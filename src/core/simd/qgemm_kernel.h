@@ -1,0 +1,68 @@
+#pragma once
+// int8×int8→int32 GEMM microkernel dispatch — the integer sibling of
+// gemm_kernel.h, selected by the *same* tier resolution (CPUID once,
+// FLUID_SIMD=avx512|avx2|scalar override honored): the active int8 kernel
+// is the one whose name matches the active fp32 kernel, so one knob pins
+// both paths to a tier.
+//
+// Kernel contract: operands are packed into int16 panels with adjacent k
+// steps interleaved in pairs (see qpack.h) so the x86 tiers can feed
+// pmaddwd — each madd instruction multiplies two (a, b) int16 pairs and
+// adds both products into an int32 lane, i.e. two k steps per
+// instruction. int8 values widened to int16 cannot overflow the madd
+// (|a·b| ≤ 127² and the pair sum ≤ 2·127² « 2³¹), and int32 accumulation
+// is exact, so every tier — and every thread count — produces bitwise
+// identical results; tests compare tiers with equality, not tolerance.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace fluid::core::simd {
+
+/// One int8-GEMM dispatch entry. All function pointers are non-null.
+struct QGemmKernel {
+  const char* name;  // matches the fp32 GemmKernel tier names
+
+  // Register tile (MR×NR int32 accumulators) and cache blocking, same
+  // roles as GemmKernel. mc is a multiple of mr; kc is even (k pairs).
+  std::int64_t mr, nr;
+  std::int64_t kc, mc, nc;
+
+  /// acc[mr*nr] (row-major int32, nr stride) = Apanel × Bpanel over
+  /// `kp` k-PAIRS; overwrites acc. Panels per qpack.h:
+  /// ap[p2*mr*2 + i*2 + lo/hi], bp[p2*nr*2 + j*2 + lo/hi].
+  void (*micro)(std::int64_t kp, const std::int16_t* ap,
+                const std::int16_t* bp, std::int32_t* acc);
+
+  /// Packs the mc×kc block of A (row-major int8, no transpose) at
+  /// (row0, p0) into widened mr-row k-pair panels, zero-padded.
+  void (*pack_a)(const std::int8_t* a, std::int64_t lda, std::int64_t row0,
+                 std::int64_t p0, std::int64_t mc, std::int64_t kc,
+                 std::int16_t* apack);
+
+  /// Packs the kc×nc block of B (row-major int8) at (p0, col0) into
+  /// widened nr-column k-pair panels, zero-padded.
+  void (*pack_b)(const std::int8_t* b, std::int64_t ldb, std::int64_t p0,
+                 std::int64_t col0, std::int64_t kc, std::int64_t nc,
+                 std::int16_t* bpack);
+
+  bool (*supported)();
+};
+
+/// Largest int8 accumulator tile any registered kernel uses.
+inline constexpr std::int64_t kMaxQMr = 6;
+inline constexpr std::int64_t kMaxQNr = 32;
+
+/// All registered int8 kernels, best first (avx512, avx2, scalar).
+std::span<const QGemmKernel* const> AllQGemmKernels();
+
+/// Kernel with the given tier name, or nullptr if unknown.
+const QGemmKernel* QGemmKernelByName(std::string_view name);
+
+/// The kernel QGemmInt8 uses: the entry named like the active fp32 GEMM
+/// kernel (which already folded CPUID + FLUID_SIMD), falling back to
+/// scalar if a tier ever lacks an int8 sibling.
+const QGemmKernel& ActiveQGemmKernel();
+
+}  // namespace fluid::core::simd

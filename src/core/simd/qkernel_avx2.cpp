@@ -1,0 +1,73 @@
+// AVX2 int8 tier: 6×16 int32 tile — 12 ymm accumulators, 2 ymm B loads
+// and one 32-bit broadcast per k-PAIR step; pmaddwd retires two k steps
+// per instruction. Per-function target attribute so the object builds at
+// any -march; dispatch selects it only when CPUID reports AVX2.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "core/simd/qgemm_kernel.h"
+#include "core/simd/qpack.h"
+
+namespace fluid::core::simd {
+
+namespace {
+
+constexpr std::int64_t MR = 6;
+constexpr std::int64_t NR = 16;
+
+__attribute__((target("avx2"))) void QMicroAvx2(std::int64_t kp,
+                                                const std::int16_t* ap,
+                                                const std::int16_t* bp,
+                                                std::int32_t* acc) {
+  __m256i c[MR][2];
+  for (int i = 0; i < MR; ++i) {
+    c[i][0] = _mm256_setzero_si256();
+    c[i][1] = _mm256_setzero_si256();
+  }
+  for (std::int64_t p2 = 0; p2 < kp; ++p2) {
+    const std::int16_t* a = ap + p2 * MR * 2;
+    const std::int16_t* b = bp + p2 * NR * 2;
+    // 16 int16 = 8 column pairs per register: b0 covers columns 0-7,
+    // b1 columns 8-15, each lane holding (b[k], b[k+1]) for one column.
+    const __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + NR));
+#pragma GCC unroll 6
+    for (int i = 0; i < MR; ++i) {
+      std::int32_t pair;  // (a[k], a[k+1]) as one 32-bit broadcast
+      std::memcpy(&pair, a + i * 2, sizeof(pair));
+      const __m256i ai = _mm256_set1_epi32(pair);
+      c[i][0] = _mm256_add_epi32(c[i][0], _mm256_madd_epi16(ai, b0));
+      c[i][1] = _mm256_add_epi32(c[i][1], _mm256_madd_epi16(ai, b1));
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i * NR), c[i][0]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i * NR + 8), c[i][1]);
+  }
+}
+
+bool Avx2Supported() { return __builtin_cpu_supports("avx2"); }
+
+}  // namespace
+
+extern const QGemmKernel kQGemmKernelAvx2 = {
+    .name = "avx2",
+    .mr = MR,
+    .nr = NR,
+    .kc = 256,
+    .mc = 48,
+    .nc = 1024,
+    .micro = QMicroAvx2,
+    .pack_a = QPackA<MR>,
+    .pack_b = QPackB<NR>,
+    .supported = Avx2Supported,
+};
+
+}  // namespace fluid::core::simd
+
+#endif  // x86

@@ -1,0 +1,71 @@
+// AVX-512BW int8 tier: 6×32 int32 tile — 12 zmm accumulators, 2 zmm B
+// loads (32 int16 = 16 column pairs each) and one 32-bit broadcast per
+// k-pair step. Requires AVX512BW for the 512-bit pmaddwd.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "core/simd/qgemm_kernel.h"
+#include "core/simd/qpack.h"
+
+namespace fluid::core::simd {
+
+namespace {
+
+constexpr std::int64_t MR = 6;
+constexpr std::int64_t NR = 32;
+
+__attribute__((target("avx512f,avx512bw"))) void QMicroAvx512(
+    std::int64_t kp, const std::int16_t* ap, const std::int16_t* bp,
+    std::int32_t* acc) {
+  __m512i c[MR][2];
+  for (int i = 0; i < MR; ++i) {
+    c[i][0] = _mm512_setzero_si512();
+    c[i][1] = _mm512_setzero_si512();
+  }
+  for (std::int64_t p2 = 0; p2 < kp; ++p2) {
+    const std::int16_t* a = ap + p2 * MR * 2;
+    const std::int16_t* b = bp + p2 * NR * 2;
+    const __m512i b0 = _mm512_loadu_si512(b);
+    const __m512i b1 = _mm512_loadu_si512(b + NR);
+#pragma GCC unroll 6
+    for (int i = 0; i < MR; ++i) {
+      std::int32_t pair;
+      std::memcpy(&pair, a + i * 2, sizeof(pair));
+      const __m512i ai = _mm512_set1_epi32(pair);
+      c[i][0] = _mm512_add_epi32(c[i][0], _mm512_madd_epi16(ai, b0));
+      c[i][1] = _mm512_add_epi32(c[i][1], _mm512_madd_epi16(ai, b1));
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    _mm512_storeu_si512(acc + i * NR, c[i][0]);
+    _mm512_storeu_si512(acc + i * NR + 16, c[i][1]);
+  }
+}
+
+bool Avx512Supported() {
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw");
+}
+
+}  // namespace
+
+extern const QGemmKernel kQGemmKernelAvx512 = {
+    .name = "avx512",
+    .mr = MR,
+    .nr = NR,
+    .kc = 256,
+    .mc = 48,
+    .nc = 1024,
+    .micro = QMicroAvx512,
+    .pack_a = QPackA<MR>,
+    .pack_b = QPackB<NR>,
+    .supported = Avx512Supported,
+};
+
+}  // namespace fluid::core::simd
+
+#endif  // x86

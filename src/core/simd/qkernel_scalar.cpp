@@ -1,0 +1,50 @@
+// Portable int8 fallback tier: 6×16 int32 accumulator tile over the
+// pair-interleaved int16 panels. Integer arithmetic is exact, so this
+// kernel defines the result every SIMD tier must reproduce bitwise.
+
+#include "core/simd/qgemm_kernel.h"
+#include "core/simd/qpack.h"
+
+namespace fluid::core::simd {
+
+namespace {
+
+constexpr std::int64_t MR = 6;
+constexpr std::int64_t NR = 16;
+
+void QMicroScalar(std::int64_t kp, const std::int16_t* __restrict__ ap,
+                  const std::int16_t* __restrict__ bp,
+                  std::int32_t* __restrict__ acc) {
+  for (std::int64_t i = 0; i < MR * NR; ++i) acc[i] = 0;
+  for (std::int64_t p2 = 0; p2 < kp; ++p2) {
+    const std::int16_t* a = ap + p2 * MR * 2;
+    const std::int16_t* b = bp + p2 * NR * 2;
+    for (std::int64_t mr = 0; mr < MR; ++mr) {
+      const std::int32_t a0 = a[mr * 2];
+      const std::int32_t a1 = a[mr * 2 + 1];
+      std::int32_t* row = acc + mr * NR;
+      for (std::int64_t nr = 0; nr < NR; ++nr) {
+        row[nr] += a0 * b[nr * 2] + a1 * b[nr * 2 + 1];
+      }
+    }
+  }
+}
+
+bool AlwaysSupported() { return true; }
+
+}  // namespace
+
+extern const QGemmKernel kQGemmKernelScalar = {
+    .name = "scalar",
+    .mr = MR,
+    .nr = NR,
+    .kc = 256,  // KC×NR int16 B panel ≈ 8 KB, L1-resident
+    .mc = 48,
+    .nc = 1024,
+    .micro = QMicroScalar,
+    .pack_a = QPackA<MR>,
+    .pack_b = QPackB<NR>,
+    .supported = AlwaysSupported,
+};
+
+}  // namespace fluid::core::simd

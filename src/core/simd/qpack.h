@@ -1,0 +1,66 @@
+#pragma once
+// Panel packing for the int8 GEMM microkernels. Operands are widened to
+// int16 at pack time and adjacent k steps are interleaved in pairs, so a
+// microkernel k-pair step is one contiguous load per operand and the x86
+// tiers can feed pmaddwd directly:
+//
+//   A panel r (rows [r·MR, r·MR+MR)):  ap[p2·MR·2 + i·2 + s]
+//   B panel c (cols [c·NR, c·NR+NR)):  bp[p2·NR·2 + j·2 + s]
+//
+// with p2 = k/2 the pair index and s ∈ {0,1} the step within the pair.
+// Rows/columns beyond the block and the odd trailing k step are
+// zero-padded (0 contributes 0 to an integer dot product — exact).
+
+#include <algorithm>
+#include <cstdint>
+
+namespace fluid::core::simd {
+
+template <std::int64_t MR>
+void QPackA(const std::int8_t* a, std::int64_t lda, std::int64_t row0,
+            std::int64_t p0, std::int64_t mc, std::int64_t kc,
+            std::int16_t* apack) {
+  const std::int64_t kp = (kc + 1) / 2;
+  for (std::int64_t r = 0; r < mc; r += MR) {
+    const std::int64_t rows = std::min(MR, mc - r);
+    std::int16_t* panel = apack + r * kp * 2;
+    for (std::int64_t p2 = 0; p2 < kp; ++p2) {
+      const std::int64_t p = 2 * p2;
+      std::int16_t* dst = panel + p2 * MR * 2;
+      for (std::int64_t mr = 0; mr < MR; ++mr) {
+        const bool live = mr < rows;
+        const std::int8_t* src = a + (row0 + r + mr) * lda + p0 + p;
+        dst[mr * 2] = live ? src[0] : std::int16_t{0};
+        dst[mr * 2 + 1] = (live && p + 1 < kc) ? src[1] : std::int16_t{0};
+      }
+    }
+  }
+}
+
+template <std::int64_t NR>
+void QPackB(const std::int8_t* b, std::int64_t ldb, std::int64_t p0,
+            std::int64_t col0, std::int64_t kc, std::int64_t nc,
+            std::int16_t* bpack) {
+  const std::int64_t kp = (kc + 1) / 2;
+  for (std::int64_t c = 0; c < nc; c += NR) {
+    const std::int64_t cols = std::min(NR, nc - c);
+    std::int16_t* panel = bpack + c * kp * 2;
+    for (std::int64_t p2 = 0; p2 < kp; ++p2) {
+      const std::int64_t p = 2 * p2;
+      const std::int8_t* src0 = b + (p0 + p) * ldb + col0 + c;
+      const std::int8_t* src1 = src0 + ldb;
+      const bool has_hi = p + 1 < kc;
+      std::int16_t* dst = panel + p2 * NR * 2;
+      for (std::int64_t nr = 0; nr < cols; ++nr) {
+        dst[nr * 2] = src0[nr];
+        dst[nr * 2 + 1] = has_hi ? src1[nr] : std::int16_t{0};
+      }
+      for (std::int64_t nr = cols; nr < NR; ++nr) {
+        dst[nr * 2] = 0;
+        dst[nr * 2 + 1] = 0;
+      }
+    }
+  }
+}
+
+}  // namespace fluid::core::simd

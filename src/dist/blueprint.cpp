@@ -9,7 +9,13 @@
 namespace fluid::dist {
 
 namespace {
+// v1: no quant options. v2: trailing [u8 quant_flags] — emitted only when
+// a flag is set, so fp32 deploys stay byte-identical to v1 and old peers
+// keep decoding them.
 constexpr std::uint8_t kBlueprintVersion = 1;
+constexpr std::uint8_t kBlueprintVersionV2 = 2;
+constexpr std::uint8_t kQuantInt8Wire = 1u << 0;
+constexpr std::uint8_t kQuantInt8Compute = 1u << 1;
 }  // namespace
 
 ModelBlueprint ModelBlueprint::Standalone(const slim::FluidNetConfig& config,
@@ -55,7 +61,7 @@ nn::Sequential ModelBlueprint::Build() const {
 }
 
 void ModelBlueprint::Encode(core::ByteWriter& w) const {
-  w.WriteU8(kBlueprintVersion);
+  w.WriteU8(quant.any() ? kBlueprintVersionV2 : kBlueprintVersion);
   w.WriteU8(static_cast<std::uint8_t>(kind));
   w.WriteI64(config.image_channels);
   w.WriteI64(config.image_size);
@@ -68,12 +74,18 @@ void ModelBlueprint::Encode(core::ByteWriter& w) const {
   w.WriteF32(config.relu_leak);
   w.WriteI64(width);
   w.WriteI64(cut_stage);
+  if (quant.any()) {
+    std::uint8_t flags = 0;
+    if (quant.int8_wire) flags |= kQuantInt8Wire;
+    if (quant.int8_compute) flags |= kQuantInt8Compute;
+    w.WriteU8(flags);
+  }
 }
 
 core::Status ModelBlueprint::Decode(core::ByteReader& r, ModelBlueprint& out) {
   std::uint8_t version = 0, kind = 0;
   FLUID_RETURN_IF_ERROR(r.TryReadU8(version));
-  if (version != kBlueprintVersion) {
+  if (version != kBlueprintVersion && version != kBlueprintVersionV2) {
     return core::Status::DataLoss("ModelBlueprint: unsupported version " +
                                   std::to_string(version));
   }
@@ -95,6 +107,16 @@ core::Status ModelBlueprint::Decode(core::ByteReader& r, ModelBlueprint& out) {
   FLUID_RETURN_IF_ERROR(r.TryReadF32(bp.config.relu_leak));
   FLUID_RETURN_IF_ERROR(r.TryReadI64(bp.width));
   FLUID_RETURN_IF_ERROR(r.TryReadI64(bp.cut_stage));
+  if (version >= kBlueprintVersionV2) {
+    std::uint8_t flags = 0;
+    FLUID_RETURN_IF_ERROR(r.TryReadU8(flags));
+    if ((flags & ~(kQuantInt8Wire | kQuantInt8Compute)) != 0) {
+      return core::Status::DataLoss("ModelBlueprint: unknown quant flags " +
+                                    std::to_string(flags));
+    }
+    bp.quant.int8_wire = (flags & kQuantInt8Wire) != 0;
+    bp.quant.int8_compute = (flags & kQuantInt8Compute) != 0;
+  }
   // Bound magnitudes as well as signs: a corrupt-but-positive width must
   // be rejected here, not discovered as std::bad_alloc inside Build().
   constexpr std::int64_t kMaxExtent = 1 << 16;

@@ -19,6 +19,24 @@
 
 namespace fluid::dist {
 
+/// Per-deploy INT8 options — the quant negotiation the wire format keys
+/// on. Shipping them in the blueprint makes the contract per-deployment:
+/// a worker that ACKs a deploy with `int8_wire` set has decoded a v2
+/// blueprint and therefore speaks wire v3, so the master may ship that
+/// deployment quantized cut-activation frames; every other deployment
+/// keeps receiving v2 fp32 frames, and an all-default QuantOptions
+/// encodes as the v1 blueprint bytes so fp32-only peers are untouched.
+struct QuantOptions {
+  /// Cut activations cross the link as int8 (wire v3) for this deploy.
+  bool int8_wire = false;
+  /// The worker serves this deploy through the int8 layer path
+  /// (quant::QuantizeModel after LoadState): per-channel int8 weights +
+  /// on-the-fly activation quantization.
+  bool int8_compute = false;
+
+  bool any() const { return int8_wire || int8_compute; }
+};
+
 struct ModelBlueprint {
   enum class Kind : std::uint8_t {
     kStandalone = 0,    // full net input → logits at a fixed width
@@ -29,6 +47,7 @@ struct ModelBlueprint {
   slim::FluidNetConfig config;
   std::int64_t width = 0;
   std::int64_t cut_stage = 0;  // meaningful for kPipelineBack only
+  QuantOptions quant;          // per-deploy INT8 negotiation
 
   /// A standalone model at `width` channels (e.g. the upper-50 % slice a
   /// worker keeps serving after the master dies — paper Fig. 1c).

@@ -61,14 +61,14 @@ core::Status MasterNode::ReattachWorker(std::size_t index,
   // Replay the slot's deploy history so the fresh process serves exactly
   // what the dead one did. Any failure re-kills the slot: a half-deployed
   // worker must not rejoin routing.
-  for (const auto& [name, tag] : handle.deployments) {
+  for (const auto& dep : handle.deployments) {
     auto reply =
-        RpcLocked(index, Message::HeaderOnly(MsgType::kDeploy, 0, tag),
+        RpcLocked(index, Message::HeaderOnly(MsgType::kDeploy, 0, dep.tag),
                   timeout);
     if (!reply.ok()) return reply.status();  // RpcLocked marked it dead
     if (reply->type != MsgType::kAck) {
-      auto st = core::Status::Internal("ReattachWorker: redeploy '" + name +
-                                       "' rejected: " + reply->tag);
+      auto st = core::Status::Internal("ReattachWorker: redeploy '" +
+                                       dep.name + "' rejected: " + reply->tag);
       MarkDeadLocked(index, st);
       return st;
     }
@@ -132,11 +132,12 @@ core::Status MasterNode::DeployToWorker(const std::string& name,
   auto& deployments = workers_[worker].deployments;
   const auto it = std::find_if(
       deployments.begin(), deployments.end(),
-      [&](const auto& d) { return d.first == name; });
+      [&](const auto& d) { return d.name == name; });
   if (it != deployments.end()) {
-    it->second = std::move(tag);  // redeploy under the same name
+    it->tag = std::move(tag);  // redeploy under the same name
+    it->quant = blueprint.quant;
   } else {
-    deployments.emplace_back(name, std::move(tag));
+    deployments.push_back({name, std::move(tag), blueprint.quant});
   }
   return core::Status::Ok();
 }
@@ -334,6 +335,13 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
   const std::int64_t chunk =
       std::max<std::int64_t>(1, static_cast<std::int64_t>(batch_options_.ha_chunk));
   const std::size_t window = std::max<std::size_t>(1, batch_options_.ha_window);
+  // The negotiated wire format of this deployment's cut frames: a back
+  // half deployed with int8_wire ACKed a v2 blueprint, so it speaks wire
+  // v3 and the cut activations cross the link as int8 (4× fewer bytes on
+  // the serial link — the HA throughput lever). Everything else about the
+  // pipeline (chunking, windowing, failover) is format-agnostic.
+  const Deployment* back_dep = FindDeploymentLocked(w, plan_.pipeline_back);
+  const bool quant_cut = back_dep != nullptr && back_dep->quant.int8_wire;
 
   struct InFlight {
     std::int64_t seq;
@@ -395,9 +403,15 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
                   : front.Forward(core::SliceAxis0(input, row0, rows), false);
     const std::int64_t seq = next_seq_++;
     workers_[w].pending.insert(seq);
-    auto st = SendLocked(
-        w, Message::WithBatch(MsgType::kInfer, seq, plan_.pipeline_back,
-                              std::move(cut)));
+    Message frame =
+        quant_cut
+            ? Message::WithQuantBatch(MsgType::kInfer, seq,
+                                      plan_.pipeline_back,
+                                      quant::QuantizeTensor(cut))
+            : Message::WithBatch(MsgType::kInfer, seq, plan_.pipeline_back,
+                                 std::move(cut));
+    if (quant_cut) ++stats_.quant_cut_frames;
+    auto st = SendLocked(w, std::move(frame));
     if (!st.ok()) {
       abandon_inflight();
       return st;
@@ -677,10 +691,16 @@ core::StatusOr<core::Tensor> MasterNode::ServeShardRemoteLocked(
 
 bool MasterNode::WorkerHasDeploymentLocked(std::size_t w,
                                            const std::string& name) const {
+  return FindDeploymentLocked(w, name) != nullptr;
+}
+
+const MasterNode::Deployment* MasterNode::FindDeploymentLocked(
+    std::size_t w, const std::string& name) const {
   const auto& deployments = workers_[w].deployments;
-  return std::find_if(deployments.begin(), deployments.end(),
-                      [&](const auto& d) { return d.first == name; }) !=
-         deployments.end();
+  const auto it =
+      std::find_if(deployments.begin(), deployments.end(),
+                   [&](const auto& d) { return d.name == name; });
+  return it != deployments.end() ? &*it : nullptr;
 }
 
 void MasterNode::MarkDeadLocked(std::size_t w, const core::Status& why) {

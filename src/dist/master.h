@@ -76,6 +76,7 @@ struct MasterStats {
   std::int64_t coalesced_samples = 0;
   std::int64_t stale_replies = 0;    // replies dropped: seq matched nothing
   std::int64_t reattaches = 0;       // workers revived via ReattachWorker
+  std::int64_t quant_cut_frames = 0; // HA cut frames shipped int8 (wire v3)
 };
 
 class MasterNode {
@@ -153,13 +154,21 @@ class MasterNode {
   const slim::FluidNetConfig& config() const { return config_; }
 
  private:
+  /// One deployment a worker ACKed: the encoded DeployRequest tag is kept
+  /// so ReattachWorker can replay the full deploy history onto a fresh
+  /// link, and the negotiated quant options decide the wire format of
+  /// this deployment's activation frames (int8_wire ⇒ v3 cut frames).
+  struct Deployment {
+    std::string name;
+    std::string tag;
+    QuantOptions quant;
+  };
+
   struct WorkerHandle {
     TransportPtr transport;
     std::string name;  // from its kHello, if seen
     bool alive = true;
-    /// Deployment name → encoded DeployRequest tag, kept so ReattachWorker
-    /// can replay the full deploy history onto a fresh link.
-    std::vector<std::pair<std::string, std::string>> deployments;
+    std::vector<Deployment> deployments;
     /// Correlation ids of RPCs currently in flight on this link.
     std::set<std::int64_t> pending;
     /// Replies that arrived for a pending seq other than the one being
@@ -183,6 +192,8 @@ class MasterNode {
       std::size_t w, std::int64_t seq,
       std::chrono::steady_clock::time_point deadline);
   bool WorkerHasDeploymentLocked(std::size_t w, const std::string& name) const;
+  const Deployment* FindDeploymentLocked(std::size_t w,
+                                         const std::string& name) const;
   void MarkDeadLocked(std::size_t w, const core::Status& why);
 
   core::StatusOr<BatchResult> ServeBatchLocked(

@@ -7,9 +7,12 @@ namespace fluid::dist {
 namespace {
 
 constexpr std::uint32_t kMagic = kFrameMagic;
-// v1: no batch field. v2 (current): [i64 batch] between seq and tag.
+// v1: no batch field. v2: [i64 batch] between seq and tag. v3: trailing
+// [u8 has_qtensor][qtensor?] — emitted only when a quantized payload is
+// present, so fp32 frames stay byte-identical to v2.
 constexpr std::uint8_t kVersionV1 = 1;
 constexpr std::uint8_t kVersion = 2;
+constexpr std::uint8_t kVersionV3 = 3;
 constexpr std::uint8_t kMaxType = static_cast<std::uint8_t>(MsgType::kHeartbeat);
 
 }  // namespace
@@ -46,6 +49,19 @@ Message Message::WithBatch(MsgType type, std::int64_t seq, std::string tag,
   return m;
 }
 
+Message Message::WithQuantBatch(MsgType type, std::int64_t seq,
+                                std::string tag, quant::QuantizedTensor q) {
+  FLUID_CHECK_MSG(q.shape.rank() >= 1,
+                  "Message::WithQuantBatch: payload must have a batch dim");
+  Message m;
+  m.type = type;
+  m.seq = seq;
+  m.tag = std::move(tag);
+  m.qpayload = std::move(q);
+  m.batch = m.qpayload.shape[0];
+  return m;
+}
+
 Message Message::HeaderOnly(MsgType type, std::int64_t seq, std::string tag) {
   Message m;
   m.type = type;
@@ -56,13 +72,17 @@ Message Message::HeaderOnly(MsgType type, std::int64_t seq, std::string tag) {
 
 std::vector<std::uint8_t> EncodeMessage(const Message& msg) {
   core::ByteWriter body;
-  body.WriteU8(kVersion);
+  body.WriteU8(msg.has_qpayload() ? kVersionV3 : kVersion);
   body.WriteU8(static_cast<std::uint8_t>(msg.type));
   body.WriteI64(msg.seq);
   body.WriteI64(msg.batch);
   body.WriteString(msg.tag);
   body.WriteU8(msg.has_payload() ? 1 : 0);
   if (msg.has_payload()) body.WriteTensor(msg.payload);
+  if (msg.has_qpayload()) {
+    body.WriteU8(1);
+    msg.qpayload.Encode(body);
+  }
 
   core::ByteWriter frame;
   frame.WriteU32(kMagic);
@@ -93,7 +113,7 @@ core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out) {
 
   std::uint8_t version = 0, type = 0, has_tensor = 0;
   FLUID_RETURN_IF_ERROR(r.TryReadU8(version));
-  if (version != kVersionV1 && version != kVersion) {
+  if (version != kVersionV1 && version != kVersion && version != kVersionV3) {
     return core::Status::DataLoss("Message: unsupported version " +
                                   std::to_string(version));
   }
@@ -114,6 +134,13 @@ core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out) {
   if (has_tensor != 0) {
     FLUID_RETURN_IF_ERROR(r.TryReadTensor(msg.payload));
   }
+  if (version >= kVersionV3) {
+    std::uint8_t has_qtensor = 0;
+    FLUID_RETURN_IF_ERROR(r.TryReadU8(has_qtensor));
+    if (has_qtensor != 0) {
+      FLUID_RETURN_IF_ERROR(quant::QuantizedTensor::Decode(r, msg.qpayload));
+    }
+  }
   out = std::move(msg);
   return core::Status::Ok();
 }
@@ -125,6 +152,11 @@ std::int64_t EncodedSize(const Message& msg) {
   if (msg.has_payload()) {
     // rank + dims + float count + data.
     n += 4 + 8 * msg.payload.shape().rank() + 8 + 4 * msg.payload.numel();
+  }
+  if (msg.has_qpayload()) {
+    // v3 trailing has_qtensor flag + the quantized block.
+    n += 1 + quant::QuantizedWireBytes(msg.qpayload.shape.rank(),
+                                       msg.qpayload.numel());
   }
   return n;
 }

@@ -9,13 +9,22 @@
 //
 //   [u32 magic "FLMS"] [u32 body_len] [body]
 //   body = [u8 version] [u8 type] [i64 seq] [i64 batch] [string tag]
-//          [u8 has_tensor] [tensor?]
+//          [u8 has_tensor] [tensor?] [u8 has_qtensor] [qtensor?]    (v3)
 //
 // Version 2 added the `batch` field: the number of samples a kInfer /
 // kResult frame covers, so the batched serving path can validate that a
 // reply answers the whole shard it shipped (and a worker can reject a
 // payload whose leading dim disagrees with the header). Version-1 frames
 // (no batch field) still decode, with batch = 0 ("unspecified").
+//
+// Version 3 adds an optional INT8 payload (quant::QuantizedTensor: one
+// f32 scale + shape + int8 data — 4× fewer wire bytes than the fp32
+// tensor) used for the HighAccuracy cut-activation frames. The encoder
+// only emits version 3 when a quantized payload is present, so every
+// frame without one stays byte-identical to v2 and fp32-only peers
+// interoperate untouched; sending quantized frames to a peer is
+// negotiated per-deploy via the blueprint's quant options (a peer that
+// acked a quant deploy demonstrably speaks v3).
 //
 // Decode never throws: corrupt or truncated frames come back as
 // Status::DataLoss so a transport can drop the connection instead of
@@ -28,6 +37,7 @@
 
 #include "core/error.h"
 #include "core/tensor.h"
+#include "quant/quantize.h"
 
 namespace fluid::dist {
 
@@ -60,10 +70,14 @@ struct Message {
   std::int64_t batch = 0; // samples this frame covers (0 = unspecified)
   std::string tag;        // route / model name / error text
   core::Tensor payload;   // empty when the frame carries no tensor
+  /// INT8 payload (v3): quantized cut activations. A frame carries the
+  /// fp32 payload or the quantized one, never both.
+  quant::QuantizedTensor qpayload;
 
   /// Note: a zero-element tensor counts as "no payload" — its shape is not
   /// preserved on the wire. Frames that need data ship non-empty tensors.
   bool has_payload() const { return !payload.empty(); }
+  bool has_qpayload() const { return !qpayload.empty(); }
 
   static Message WithTensor(MsgType type, std::int64_t seq, std::string tag,
                             core::Tensor payload);
@@ -71,6 +85,11 @@ struct Message {
   /// leading dim, letting the receiver validate shard coverage.
   static Message WithBatch(MsgType type, std::int64_t seq, std::string tag,
                            core::Tensor payload);
+  /// A kInfer frame carrying quantized activations; `batch` mirrors the
+  /// quantized shape's leading dim. Encodes as wire version 3 — send only
+  /// to peers that negotiated quant at deploy time.
+  static Message WithQuantBatch(MsgType type, std::int64_t seq,
+                                std::string tag, quant::QuantizedTensor q);
   /// Header-only frame (kAck, kHeartbeat, kError, ...).
   static Message HeaderOnly(MsgType type, std::int64_t seq,
                             std::string tag = {});

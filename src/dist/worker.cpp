@@ -1,6 +1,7 @@
 #include "dist/worker.h"
 
 #include "core/logging.h"
+#include "quant/quant_layers.h"
 
 namespace fluid::dist {
 
@@ -92,12 +93,19 @@ Message WorkerNode::HandleDeploy(const Message& msg) {
       return Message::HeaderOnly(MsgType::kError, msg.seq,
                                  "deploy load: " + load.ToString());
     }
+    // Weights always ship fp32 (the StateDict format); an int8_compute
+    // deploy quantizes them *here*, per output channel, so the wire
+    // payload stays checkpoint-compatible and the worker owns its own
+    // quantization error.
+    if (req.blueprint.quant.int8_compute) {
+      model = quant::QuantizeModel(model);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       deployments_[req.name] = std::move(model);
     }
     FLUID_LOG(Info) << "worker '" << name_ << "': deployed '" << req.name
-                    << "'";
+                    << (req.blueprint.quant.int8_compute ? "' (int8)" : "'");
     return Message::HeaderOnly(MsgType::kAck, msg.seq);
   } catch (const std::exception& e) {
     // A hostile/buggy blueprint must not take the serving loop down —
@@ -109,14 +117,29 @@ Message WorkerNode::HandleDeploy(const Message& msg) {
 }
 
 Message WorkerNode::HandleInfer(const Message& msg) {
-  if (!msg.has_payload()) {
+  if (!msg.has_payload() && !msg.has_qpayload()) {
     return Message::HeaderOnly(MsgType::kError, msg.seq, "infer: no payload");
   }
+  // A v3 frame carries the activations quantized: reconstruct the fp32
+  // tensor at the cut (scale · q) and serve it like any other frame.
+  // Replies stay fp32 v2 — logits are a few dozen bytes, the cut tensor
+  // was the wire cost worth quantizing.
+  core::Tensor dequantized;
+  const bool quantized = msg.has_qpayload();
+  if (quantized) {
+    if (msg.has_payload()) {
+      return Message::HeaderOnly(MsgType::kError, msg.seq,
+                                 "infer: frame carries fp32 AND int8 payloads");
+    }
+    dequantized = quant::DequantizeTensor(msg.qpayload);
+    ++quant_frames_;
+  }
+  const core::Tensor& input = quantized ? dequantized : msg.payload;
   // Batch-aware frames: when the master declares how many samples the
   // shard covers, a disagreeing payload is a framing bug — reject it
   // before the model can mis-scatter results across requests.
   const std::int64_t samples =
-      msg.payload.shape().rank() >= 1 ? msg.payload.shape()[0] : 1;
+      input.shape().rank() >= 1 ? input.shape()[0] : 1;
   if (msg.batch != 0 && msg.batch != samples) {
     return Message::HeaderOnly(
         MsgType::kError, msg.seq,
@@ -125,7 +148,7 @@ Message WorkerNode::HandleInfer(const Message& msg) {
   }
   // The whole coalesced batch runs through one fused forward — this is
   // where the conv layers' batched [Cout, batch·area] GEMM earns its keep.
-  auto logits = LocalInfer(msg.tag, msg.payload);
+  auto logits = LocalInfer(msg.tag, input);
   if (!logits.ok()) {
     return Message::HeaderOnly(MsgType::kError, msg.seq,
                                logits.status().ToString());

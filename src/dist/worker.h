@@ -62,6 +62,9 @@ class WorkerNode {
   /// Samples served across those frames (a coalesced [N,...] batch frame
   /// counts N — the master's batched serving path ships these).
   std::int64_t samples_served() const { return samples_served_; }
+  /// Infer frames that arrived with an int8 (wire v3) payload — the
+  /// negotiation tests key on this to prove quantized frames really flow.
+  std::int64_t quant_frames() const { return quant_frames_; }
 
  private:
   void ServeLoop();
@@ -78,6 +81,7 @@ class WorkerNode {
   std::atomic<bool> crashed_{false};
   std::atomic<std::int64_t> served_{0};
   std::atomic<std::int64_t> samples_served_{0};
+  std::atomic<std::int64_t> quant_frames_{0};
 
   mutable std::mutex mu_;  // guards deployments_
   std::map<std::string, nn::Sequential> deployments_;

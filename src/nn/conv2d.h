@@ -27,6 +27,14 @@ class Conv2d : public Layer {
   std::int64_t in_channels() const { return in_channels_; }
   std::int64_t out_channels() const { return out_channels_; }
   std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
+
+  /// Inference forward with the following LeakyReLU folded into the
+  /// fused bias scatter (bitwise identical to Forward + LeakyReLU — the
+  /// scatter applies exactly max(v, slope·v) after the bias add). Used by
+  /// Sequential's serve-path peephole; never caches.
+  core::Tensor ForwardFusedLeaky(const core::Tensor& input, float slope);
 
   core::Tensor& weight() { return weight_; }
   core::Tensor& bias() { return bias_; }

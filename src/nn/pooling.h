@@ -17,6 +17,7 @@ class MaxPool2d : public Layer {
   core::Tensor Backward(const core::Tensor& grad_output) override;
   std::string Kind() const override { return "MaxPool2d"; }
   std::string ToString() const override;
+  std::int64_t window() const { return window_; }
 
  private:
   std::int64_t window_;

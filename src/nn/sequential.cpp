@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "core/error.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
 
 namespace fluid::nn {
 
@@ -23,17 +25,42 @@ core::Tensor Sequential::Forward(const core::Tensor& input, bool training) {
   // defensive copy), and every intermediate is owned by this frame, so
   // elementwise layers may consume it in place via ForwardInference.
   if (layers_.empty()) return input;
-  core::Tensor x = layers_.front()->Forward(input, false);
-  for (std::size_t i = 1; i < layers_.size(); ++i) {
-    x = layers_[i]->ForwardInference(std::move(x));
+  if (Layer* leaky = FusableLeakyAfter(0)) {
+    auto& conv = static_cast<Conv2d&>(*layers_.front());
+    return RunInferenceFrom(
+        conv.ForwardFusedLeaky(input,
+                               static_cast<LeakyReLU*>(leaky)->slope()),
+        2);
   }
-  return x;
+  return RunInferenceFrom(layers_.front()->Forward(input, false), 1);
 }
 
 core::Tensor Sequential::ForwardInference(core::Tensor&& input) {
-  core::Tensor x = std::move(input);
-  for (auto& l : layers_) x = l->ForwardInference(std::move(x));
-  return x;
+  return RunInferenceFrom(std::move(input), 0);
+}
+
+Layer* Sequential::FusableLeakyAfter(std::size_t i) const {
+  // The fold is exact (the scatter computes the same v > 0 ? v : slope·v
+  // a separate LeakyReLU would), so the peephole is always safe on the
+  // inference path; dynamic_cast keeps it honest against subclasses that
+  // merely reuse the Kind() string.
+  if (i + 1 >= layers_.size()) return nullptr;
+  if (dynamic_cast<Conv2d*>(layers_[i].get()) == nullptr) return nullptr;
+  return dynamic_cast<LeakyReLU*>(layers_[i + 1].get());
+}
+
+core::Tensor Sequential::RunInferenceFrom(core::Tensor&& x, std::size_t i) {
+  core::Tensor t = std::move(x);
+  for (; i < layers_.size(); ++i) {
+    if (Layer* leaky = FusableLeakyAfter(i)) {
+      auto& conv = static_cast<Conv2d&>(*layers_[i]);
+      t = conv.ForwardFusedLeaky(t, static_cast<LeakyReLU*>(leaky)->slope());
+      ++i;  // the activation ran inside the conv's scatter
+      continue;
+    }
+    t = layers_[i]->ForwardInference(std::move(t));
+  }
+  return t;
 }
 
 core::Tensor Sequential::Backward(const core::Tensor& grad_output) {

@@ -1,0 +1,245 @@
+#include "quant/quant_layers.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/error.h"
+#include "core/parallel.h"
+#include "core/qgemm.h"
+#include "nn/activations.h"
+#include "nn/conv_gemm.h"
+#include "nn/flatten.h"
+#include "nn/im2col.h"
+#include "nn/pooling.h"
+
+namespace fluid::quant {
+
+QuantDense::QuantDense(nn::Dense& dense)
+    : in_(dense.in_features()),
+      out_(dense.out_features()),
+      bias_(dense.bias().Clone()) {
+  // Quantize per output feature (per weight row), then store transposed
+  // [in, out] so the forward GEMM needs no transpose plumbing.
+  const QuantizedMatrix rows =
+      QuantizeRowsPerChannel(dense.weight().data().data(), out_, in_);
+  scales_ = rows.scales;
+  wq_t_.resize(static_cast<std::size_t>(in_ * out_));
+  for (std::int64_t o = 0; o < out_; ++o) {
+    const std::int8_t* src = rows.data.data() + o * in_;
+    for (std::int64_t i = 0; i < in_; ++i) {
+      wq_t_[static_cast<std::size_t>(i * out_ + o)] = src[i];
+    }
+  }
+}
+
+core::Tensor QuantDense::Forward(const core::Tensor& input, bool training) {
+  FLUID_CHECK_MSG(!training, "QuantDense is inference-only");
+  const auto& s = input.shape();
+  FLUID_CHECK_MSG(s.rank() == 2 && s[1] == in_,
+                  "QuantDense: expected [N," + std::to_string(in_) +
+                      "], got " + s.ToString());
+  const std::int64_t n = s[0];
+
+  const float in_scale = AbsMaxScale(input.data());
+  // Bound to local references before any parallel region: a thread_local
+  // NAME inside a lambda is not captured — it resolves to the executing
+  // pool worker's (empty) instance — while a local reference is captured
+  // and keeps pointing at the caller's buffer (see conv_gemm.cpp).
+  thread_local std::vector<std::int8_t> tl_xq;
+  thread_local std::vector<std::int32_t> tl_acc;
+  auto& xq = tl_xq;
+  auto& acc = tl_acc;
+  core::EnsureScratch(xq, n * in_);
+  core::EnsureScratch(acc, n * out_);
+  QuantizeSpan(input.data(), in_scale,
+               std::span<std::int8_t>(xq.data(),
+                                      static_cast<std::size_t>(n * in_)));
+
+  core::QGemmInt8(n, out_, in_, xq.data(), in_, wq_t_.data(), out_,
+                  acc.data(), out_);
+
+  core::Tensor output({n, out_});
+  auto out = output.data();
+  const auto bias = bias_.data();
+  core::ParallelForEach(0, n, 1, [&](std::int64_t r) {
+    const std::int32_t* row = acc.data() + r * out_;
+    float* dst = out.data() + r * out_;
+    for (std::int64_t o = 0; o < out_; ++o) {
+      dst[o] = static_cast<float>(row[o]) * (in_scale * scales_[o]) +
+               bias[static_cast<std::size_t>(o)];
+    }
+  });
+  return output;
+}
+
+core::Tensor QuantDense::Backward(const core::Tensor&) {
+  FLUID_CHECK_MSG(false, "QuantDense has no backward (inference-only)");
+  return {};
+}
+
+std::string QuantDense::ToString() const {
+  std::ostringstream os;
+  os << "QuantDense(" << in_ << "->" << out_ << ", int8 per-channel)";
+  return os.str();
+}
+
+QuantConv2d::QuantConv2d(nn::Conv2d& conv, float fused_leaky)
+    : in_ch_(conv.in_channels()),
+      kernel_(conv.kernel()),
+      stride_(conv.stride()),
+      pad_(conv.pad()),
+      leaky_(fused_leaky),
+      weight_(QuantizeRowsPerChannel(conv.weight().data().data(),
+                                     conv.out_channels(),
+                                     conv.in_channels() * conv.kernel() *
+                                         conv.kernel())),
+      bias_(conv.bias().Clone()) {}
+
+core::Tensor QuantConv2d::Forward(const core::Tensor& input, bool training) {
+  FLUID_CHECK_MSG(!training, "QuantConv2d is inference-only");
+  const auto& s = input.shape();
+  FLUID_CHECK_MSG(s.rank() == 4 && s[1] == in_ch_,
+                  "QuantConv2d: expected input [N," + std::to_string(in_ch_) +
+                      ",H,W], got " + s.ToString());
+  const std::int64_t batch = s[0], height = s[2], width = s[3];
+  const std::int64_t out_h = nn::ConvOutExtent(height, kernel_, stride_, pad_);
+  const std::int64_t out_w = nn::ConvOutExtent(width, kernel_, stride_, pad_);
+  const std::int64_t out_ch = weight_.rows;
+  const std::int64_t patch = weight_.cols;
+  const std::int64_t area = out_h * out_w;
+  const std::int64_t in_plane = in_ch_ * height * width;
+
+  core::Tensor output({batch, out_ch, out_h, out_w});
+
+  // One per-tensor activation scale for the whole forward: im2col only
+  // copies input values (plus zero padding), so absmax(input) covers every
+  // lowered column and the scale is independent of the fusion grouping.
+  const float in_scale = AbsMaxScale(input.data());
+  const float inv_in_scale = 1.0F / in_scale;
+
+  const std::int64_t per_sample_floats = (patch + out_ch) * area;
+  const std::int64_t group =
+      std::clamp(nn::kConvFusedBudgetFloats / per_sample_floats,
+                 std::int64_t{1}, nn::kConvFusedBatch);
+
+  thread_local std::vector<float> tl_cols;
+  thread_local std::vector<std::int8_t> tl_qcols;
+  thread_local std::vector<std::int32_t> tl_acc;
+  auto& cols = tl_cols;
+  auto& qcols = tl_qcols;
+  auto& acc = tl_acc;
+
+  for (std::int64_t lo = 0; lo < batch; lo += group) {
+    const std::int64_t hi = std::min(lo + group, batch);
+    const std::int64_t cnt = hi - lo;
+    const std::int64_t ncols = cnt * area;
+    core::EnsureScratch(cols, patch * ncols);
+    core::EnsureScratch(qcols, patch * ncols);
+    core::EnsureScratch(acc, out_ch * ncols);
+    nn::Im2ColFused(input.data().subspan(static_cast<std::size_t>(lo * in_plane),
+                                         static_cast<std::size_t>(cnt * in_plane)),
+                    cnt, in_ch_, height, width, 0, in_ch_, kernel_, stride_,
+                    pad_,
+                    std::span<float>(cols.data(),
+                                     static_cast<std::size_t>(patch * ncols)));
+    // Quantize the lowered columns against the whole-input scale, then
+    // run the group as one int8 GEMM:
+    //   acc [out_ch, cnt·area] = Wq [out_ch, patch] × Xq [patch, cnt·area]
+    core::ParallelFor(0, patch * ncols, 4096,
+                      [&](std::int64_t qlo, std::int64_t qhi) {
+                        for (std::int64_t i = qlo; i < qhi; ++i) {
+                          qcols[static_cast<std::size_t>(i)] = QuantizeValue(
+                              cols[static_cast<std::size_t>(i)], inv_in_scale);
+                        }
+                      });
+    core::QGemmInt8(out_ch, ncols, patch, weight_.data.data(), patch,
+                    qcols.data(), ncols, acc.data(), ncols);
+
+    // Dequantize + bias (+ folded LeakyReLU) scatter back into per-sample
+    // [out_ch, area] planes — the same pass the fp32 fused conv runs.
+    const float slope = leaky_;
+    const auto bias = bias_.data();
+    core::ParallelForEach(0, cnt, 1, [&](std::int64_t i) {
+      float* out_sample = output.data().data() + (lo + i) * out_ch * area;
+      for (std::int64_t c = 0; c < out_ch; ++c) {
+        const float scale = in_scale * weight_.scales[static_cast<std::size_t>(c)];
+        const float b = bias[static_cast<std::size_t>(c)];
+        const std::int32_t* src = acc.data() + c * ncols + i * area;
+        float* dst = out_sample + c * area;
+        if (slope == 1.0F) {
+          for (std::int64_t j = 0; j < area; ++j) {
+            dst[j] = static_cast<float>(src[j]) * scale + b;
+          }
+        } else {
+          for (std::int64_t j = 0; j < area; ++j) {
+            const float v = static_cast<float>(src[j]) * scale + b;
+            dst[j] = v > 0.0F ? v : slope * v;
+          }
+        }
+      }
+    });
+  }
+  return output;
+}
+
+core::Tensor QuantConv2d::Backward(const core::Tensor&) {
+  FLUID_CHECK_MSG(false, "QuantConv2d has no backward (inference-only)");
+  return {};
+}
+
+std::string QuantConv2d::ToString() const {
+  std::ostringstream os;
+  os << "QuantConv2d(" << in_ch_ << "->" << weight_.rows << ", k=" << kernel_
+     << ", s=" << stride_ << ", p=" << pad_ << ", int8 per-channel";
+  if (leaky_ != 1.0F) os << ", leaky=" << leaky_;
+  os << ")";
+  return os.str();
+}
+
+nn::Sequential QuantizeModel(nn::Sequential& model) {
+  nn::Sequential q;
+  const std::size_t n = model.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    nn::Layer& layer = model.layer(i);
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      // Peephole: absorb a directly following LeakyReLU into the
+      // dequantizing scatter (same fold the fp32 serve path does).
+      if (i + 1 < n) {
+        if (auto* leaky = dynamic_cast<nn::LeakyReLU*>(&model.layer(i + 1))) {
+          q.Emplace<QuantConv2d>(*conv, leaky->slope());
+          ++i;
+          continue;
+        }
+      }
+      q.Emplace<QuantConv2d>(*conv);
+      continue;
+    }
+    if (auto* dense = dynamic_cast<nn::Dense*>(&layer)) {
+      q.Emplace<QuantDense>(*dense);
+      continue;
+    }
+    if (auto* leaky = dynamic_cast<nn::LeakyReLU*>(&layer)) {
+      q.Emplace<nn::LeakyReLU>(leaky->slope());
+      continue;
+    }
+    if (dynamic_cast<nn::ReLU*>(&layer) != nullptr) {
+      q.Emplace<nn::ReLU>();
+      continue;
+    }
+    if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&layer)) {
+      q.Emplace<nn::MaxPool2d>(pool->window());
+      continue;
+    }
+    if (dynamic_cast<nn::Flatten*>(&layer) != nullptr) {
+      q.Emplace<nn::Flatten>();
+      continue;
+    }
+    FLUID_CHECK_MSG(false,
+                    "QuantizeModel: no int8 mapping for layer " +
+                        layer.ToString());
+  }
+  return q;
+}
+
+}  // namespace fluid::quant

@@ -1,0 +1,77 @@
+#pragma once
+// INT8 inference layers: the quantized counterparts of nn::Dense and
+// nn::Conv2d, plus QuantizeModel to convert a deployed fp32 Sequential.
+//
+// Both layers snapshot per-output-channel int8 weights at construction
+// (the fp32 layer is left untouched) and quantize activations on the fly
+// with one per-tensor absmax scale, so the hot loop is the int8×int8→int32
+// GEMM of core/qgemm.h; dequantization (scale_x · scale_w[channel]) folds
+// into the bias pass that already touches every output element. They are
+// inference-only: Forward(training=true) and Backward throw — the paper's
+// training schedules stay fp32, quantization is a deployment transform.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/layer.h"
+#include "nn/sequential.h"
+#include "quant/quantize.h"
+
+namespace fluid::quant {
+
+class QuantDense : public nn::Layer {
+ public:
+  /// Snapshot `dense`'s weights as int8 (one scale per output feature).
+  explicit QuantDense(nn::Dense& dense);
+
+  core::Tensor Forward(const core::Tensor& input, bool training) override;
+  core::Tensor Backward(const core::Tensor& grad_output) override;
+  std::string Kind() const override { return "QuantDense"; }
+  std::string ToString() const override;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_, out_;
+  /// Weight transposed to [in, out] at quantization time so the forward
+  /// is one straight [N,in]×[in,out] GEMM; scales_ stay per out feature
+  /// (per column of the stored matrix).
+  std::vector<std::int8_t> wq_t_;
+  std::vector<float> scales_;
+  core::Tensor bias_;
+};
+
+class QuantConv2d : public nn::Layer {
+ public:
+  /// Snapshot `conv`'s packed [out_ch, patch] weight as int8 (one scale
+  /// per output channel). `fused_leaky` != 1 folds a LeakyReLU of that
+  /// slope into the dequantizing bias scatter (QuantizeModel's peephole).
+  explicit QuantConv2d(nn::Conv2d& conv, float fused_leaky = 1.0F);
+
+  core::Tensor Forward(const core::Tensor& input, bool training) override;
+  core::Tensor Backward(const core::Tensor& grad_output) override;
+  std::string Kind() const override { return "QuantConv2d"; }
+  std::string ToString() const override;
+
+  std::int64_t out_channels() const { return weight_.rows; }
+
+ private:
+  std::int64_t in_ch_, kernel_, stride_, pad_;
+  float leaky_;
+  QuantizedMatrix weight_;  // [out_ch, patch]
+  core::Tensor bias_;
+};
+
+/// Convert a deployed fp32 model into its int8 serving form: Conv2d →
+/// QuantConv2d (absorbing a directly following LeakyReLU), Dense →
+/// QuantDense; ReLU/LeakyReLU/MaxPool2d/Flatten are rebuilt as-is. Throws
+/// core::Error on a layer kind it cannot map, so a hostile blueprint
+/// fails the deploy instead of silently serving fp32.
+nn::Sequential QuantizeModel(nn::Sequential& model);
+
+}  // namespace fluid::quant

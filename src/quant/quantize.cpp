@@ -1,0 +1,139 @@
+#include "quant/quantize.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/parallel.h"
+
+namespace fluid::quant {
+
+float AbsMaxScale(std::span<const float> values) {
+  float m = 0.0F;
+  for (const float v : values) {
+    const float a = std::fabs(v);
+    if (a > m) m = a;  // NaN fails the compare and is ignored
+  }
+  if (m == 0.0F) return 1.0F;
+  // A denormal absmax would make the scale itself denormal (or flush to
+  // zero under -ffast-math-style FTZ), turning x/scale into inf; the
+  // smallest normal float keeps the division finite and the round-trip
+  // error below anything representable.
+  return std::max(m / kQMax, std::numeric_limits<float>::min());
+}
+
+std::int8_t QuantizeValue(float x, float inv_scale) {
+  const float r = x * inv_scale;
+  if (!(r > -kQMax)) {
+    // NaN fails both this compare and the next: map it to 0, not to a
+    // clamp rail (lrintf(NaN) is unspecified).
+    return std::isnan(r) ? std::int8_t{0} : std::int8_t{-127};
+  }
+  if (r > kQMax) return std::int8_t{127};
+  return static_cast<std::int8_t>(std::lrintf(r));
+}
+
+void QuantizeSpan(std::span<const float> src, float scale,
+                  std::span<std::int8_t> dst) {
+  FLUID_CHECK_MSG(src.size() == dst.size(), "QuantizeSpan: size mismatch");
+  FLUID_CHECK_MSG(scale > 0.0F, "QuantizeSpan: scale must be positive");
+  const float inv = 1.0F / scale;
+  core::ParallelFor(0, static_cast<std::int64_t>(src.size()), 4096,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) {
+                        dst[static_cast<std::size_t>(i)] =
+                            QuantizeValue(src[static_cast<std::size_t>(i)], inv);
+                      }
+                    });
+}
+
+QuantizedTensor QuantizeTensor(const core::Tensor& t, float scale) {
+  QuantizedTensor q;
+  q.shape = t.shape();
+  q.scale = scale > 0.0F ? scale : AbsMaxScale(t.data());
+  q.data.resize(static_cast<std::size_t>(t.numel()));
+  QuantizeSpan(t.data(), q.scale, q.data);
+  return q;
+}
+
+core::Tensor DequantizeTensor(const QuantizedTensor& q) {
+  FLUID_CHECK_MSG(q.shape.numel() == q.numel(),
+                  "DequantizeTensor: shape / payload mismatch");
+  core::Tensor t(q.shape);
+  auto out = t.data();
+  const float scale = q.scale;
+  core::ParallelFor(0, q.numel(), 4096, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          scale * static_cast<float>(q.data[static_cast<std::size_t>(i)]);
+    }
+  });
+  return t;
+}
+
+void QuantizedTensor::Encode(core::ByteWriter& w) const {
+  w.WriteF32(scale);
+  w.WriteU32(static_cast<std::uint32_t>(shape.rank()));
+  for (const auto d : shape.dims()) w.WriteI64(d);
+  w.WriteBytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+core::Status QuantizedTensor::Decode(core::ByteReader& r, QuantizedTensor& out) {
+  QuantizedTensor q;
+  FLUID_RETURN_IF_ERROR(r.TryReadF32(q.scale));
+  if (!std::isfinite(q.scale) || q.scale <= 0.0F) {
+    return core::Status::DataLoss("QuantizedTensor: implausible scale");
+  }
+  std::uint32_t rank = 0;
+  FLUID_RETURN_IF_ERROR(r.TryReadU32(rank));
+  if (rank > 8) {
+    return core::Status::DataLoss("QuantizedTensor: rank implausibly large");
+  }
+  std::vector<std::int64_t> dims(rank);
+  for (auto& d : dims) {
+    FLUID_RETURN_IF_ERROR(r.TryReadI64(d));
+    if (d < 0) return core::Status::DataLoss("QuantizedTensor: negative dim");
+  }
+  std::vector<std::uint8_t> raw;
+  FLUID_RETURN_IF_ERROR(r.TryReadBytes(raw));  // length bounded by remaining()
+  core::Shape shape(std::move(dims));
+  if (shape.numel() != static_cast<std::int64_t>(raw.size())) {
+    return core::Status::DataLoss(
+        "QuantizedTensor: payload size does not match shape");
+  }
+  q.shape = std::move(shape);
+  q.data.assign(reinterpret_cast<const std::int8_t*>(raw.data()),
+                reinterpret_cast<const std::int8_t*>(raw.data()) + raw.size());
+  out = std::move(q);
+  return core::Status::Ok();
+}
+
+QuantizedMatrix QuantizeRowsPerChannel(const float* w, std::int64_t rows,
+                                       std::int64_t cols) {
+  FLUID_CHECK_MSG(rows >= 0 && cols >= 0,
+                  "QuantizeRowsPerChannel: negative dimension");
+  QuantizedMatrix q;
+  q.rows = rows;
+  q.cols = cols;
+  q.data.resize(static_cast<std::size_t>(rows * cols));
+  q.scales.resize(static_cast<std::size_t>(rows));
+  core::ParallelForEach(0, rows, 1, [&](std::int64_t r) {
+    const float* row = w + r * cols;
+    const float scale =
+        AbsMaxScale(std::span<const float>(row, static_cast<std::size_t>(cols)));
+    q.scales[static_cast<std::size_t>(r)] = scale;
+    const float inv = 1.0F / scale;
+    std::int8_t* dst = q.data.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      dst[c] = QuantizeValue(row[c], inv);
+    }
+  });
+  return q;
+}
+
+std::int64_t QuantizedWireBytes(std::size_t rank, std::int64_t n) {
+  // scale + rank + dims + u64 byte count + int8 payload.
+  return 4 + 4 + 8 * static_cast<std::int64_t>(rank) + 8 + n;
+}
+
+}  // namespace fluid::quant

@@ -1,0 +1,93 @@
+#pragma once
+// INT8 quantization primitives: symmetric per-tensor activation
+// quantization and per-output-channel weight quantization.
+//
+// Scheme (docs/quant.md has the full story):
+//  * Activations: one float scale per tensor, x ≈ scale · q with
+//    q ∈ [-127, 127] (symmetric — the -128 code is unused so negation
+//    round-trips). The scale is absmax/127, computed on the fly at the
+//    quantization site or supplied from calibration. All-zero tensors get
+//    scale 1 (so they round-trip exactly); a denormal absmax clamps the
+//    scale to the smallest normal float so q = x/scale never divides by
+//    a flushed-to-zero denominator.
+//  * Weights: one scale per output channel (matrix row), which is what
+//    keeps per-channel dynamic-range differences — the classifier rows
+//    and conv filters of a trained net vary by an order of magnitude —
+//    from eating the 8-bit budget of every other channel.
+//
+// QuantizedTensor also carries the wire format of the v3 quantized
+// cut-activation frames (dist/message.h): [f32 scale][u32 rank]
+// [i64 dims…][u64 count][int8 bytes], little-endian like everything in
+// core/serialize.h. Decode never throws and bounds every length against
+// the remaining input, so hostile frames fail as Status, not bad_alloc.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/error.h"
+#include "core/serialize.h"
+#include "core/shape.h"
+#include "core/tensor.h"
+
+namespace fluid::quant {
+
+/// Largest magnitude an int8 code represents (symmetric: [-127, 127]).
+inline constexpr float kQMax = 127.0F;
+
+/// Symmetric per-tensor scale: absmax(values)/127, clamped to the
+/// smallest normal float (all-zero input gets scale 1 so zeros round-trip
+/// exactly; NaNs are ignored — quantizing them yields 0).
+float AbsMaxScale(std::span<const float> values);
+
+/// Quantize one value against a scale: round(x/scale) clamped to
+/// [-127, 127]; NaN maps to 0.
+std::int8_t QuantizeValue(float x, float inv_scale);
+
+/// A tensor quantized symmetrically with one scale: x ≈ scale · q.
+struct QuantizedTensor {
+  core::Shape shape;
+  float scale = 1.0F;
+  std::vector<std::int8_t> data;
+
+  std::int64_t numel() const { return static_cast<std::int64_t>(data.size()); }
+  bool empty() const { return data.empty(); }
+
+  void Encode(core::ByteWriter& w) const;
+  static core::Status Decode(core::ByteReader& r, QuantizedTensor& out);
+};
+
+/// Quantize a tensor with the given scale, or (scale <= 0) an on-the-fly
+/// AbsMaxScale of its contents.
+QuantizedTensor QuantizeTensor(const core::Tensor& t, float scale = 0.0F);
+
+/// Reconstruct the float tensor: x = scale · q.
+core::Tensor DequantizeTensor(const QuantizedTensor& q);
+
+/// Quantize a span in place against a caller-chosen scale (the batched
+/// int8 conv path quantizes its im2col buffer group by group with one
+/// whole-input scale).
+void QuantizeSpan(std::span<const float> src, float scale,
+                  std::span<std::int8_t> dst);
+
+/// A [rows, cols] int8 matrix with one scale per row:
+/// w[r][c] ≈ scales[r] · data[r*cols + c]. This is the per-output-channel
+/// weight format: rows are output channels for conv patch matrices and
+/// output features for dense weights.
+struct QuantizedMatrix {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<std::int8_t> data;  // row-major [rows, cols]
+  std::vector<float> scales;      // [rows]
+};
+
+/// Per-row symmetric quantization of a row-major [rows, cols] matrix.
+QuantizedMatrix QuantizeRowsPerChannel(const float* w, std::int64_t rows,
+                                       std::int64_t cols);
+
+/// Bytes the quantized form of an `n`-element tensor occupies on the wire
+/// (scale + rank/dims + count + int8 payload) — the comm-cost accounting
+/// counterpart of the fp32 tensor encoding.
+std::int64_t QuantizedWireBytes(std::size_t rank, std::int64_t n);
+
+}  // namespace fluid::quant

@@ -3,6 +3,7 @@
 #include "core/error.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
+#include "quant/quant_layers.h"
 
 namespace fluid::slim {
 
@@ -168,6 +169,11 @@ nn::Sequential FluidModel::ExtractSubnet(const SubnetSpec& spec) const {
   head->bias() = fc_->PackBias({0, config_.num_classes});
   model.Add(std::move(head));
   return model;
+}
+
+nn::Sequential FluidModel::ExtractSubnetQuantized(const SubnetSpec& spec) const {
+  nn::Sequential fp32 = ExtractSubnet(spec);
+  return quant::QuantizeModel(fp32);
 }
 
 void FluidModel::ImportSubnet(const SubnetSpec& spec, nn::Sequential& model) {

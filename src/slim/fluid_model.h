@@ -94,6 +94,12 @@ class FluidModel {
   /// model is bit-identical to Forward(spec, ...) on this store.
   nn::Sequential ExtractSubnet(const SubnetSpec& spec) const;
 
+  /// The INT8 serving form of the slice: ExtractSubnet run through
+  /// quant::QuantizeModel (per-output-channel int8 weights, on-the-fly
+  /// activation scales, LeakyReLU folded into the conv scatter). This is
+  /// what a device serves when its deploy negotiated int8_compute.
+  nn::Sequential ExtractSubnetQuantized(const SubnetSpec& spec) const;
+
   /// Write a standalone model's weights back into the slice (inverse of
   /// ExtractSubnet; the literal Algorithm-1 "copy back" step).
   void ImportSubnet(const SubnetSpec& spec, nn::Sequential& model);

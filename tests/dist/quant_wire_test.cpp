@@ -1,0 +1,249 @@
+// Wire v3 (quantized cut activations) and the per-deploy quant
+// negotiation: codec round-trip + fuzz, blueprint flag compatibility,
+// quantized-HA end-to-end drift, v3-quant / v2-fp32 peer interop in one
+// cluster, and the int8-compute deploy path.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "dist/master.h"
+#include "dist/message.h"
+#include "dist/worker.h"
+#include "nn/checkpoint.h"
+#include "train/model_zoo.h"
+
+namespace fluid::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(QuantWireTest, QuantFrameRoundTripsAsVersion3) {
+  core::Rng rng(1);
+  core::Tensor cut = core::Tensor::UniformRandom({4, 16, 7, 7}, rng, -2, 2);
+  Message msg = Message::WithQuantBatch(MsgType::kInfer, 42, "back",
+                                        quant::QuantizeTensor(cut));
+  EXPECT_EQ(msg.batch, 4);
+  const auto bytes = EncodeMessage(msg);
+  // Body starts after [magic][len]; byte 0 of the body is the version.
+  ASSERT_GT(bytes.size(), 9u);
+  EXPECT_EQ(bytes[8], 3) << "quantized frames must be wire v3";
+
+  Message back;
+  ASSERT_TRUE(DecodeMessage(bytes, back).ok());
+  EXPECT_EQ(back.type, MsgType::kInfer);
+  EXPECT_EQ(back.seq, 42);
+  EXPECT_EQ(back.batch, 4);
+  EXPECT_EQ(back.tag, "back");
+  EXPECT_FALSE(back.has_payload());
+  ASSERT_TRUE(back.has_qpayload());
+  EXPECT_EQ(back.qpayload.shape, msg.qpayload.shape);
+  EXPECT_EQ(back.qpayload.scale, msg.qpayload.scale);
+  EXPECT_EQ(back.qpayload.data, msg.qpayload.data);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), EncodedSize(msg));
+}
+
+TEST(QuantWireTest, Fp32FramesStayVersion2ByteIdentical) {
+  core::Rng rng(2);
+  core::Tensor x = core::Tensor::UniformRandom({2, 3}, rng, -1, 1);
+  const auto bytes =
+      EncodeMessage(Message::WithBatch(MsgType::kInfer, 7, "m", x.Clone()));
+  ASSERT_GT(bytes.size(), 9u);
+  EXPECT_EQ(bytes[8], 2) << "frames without a quant payload must stay v2";
+}
+
+TEST(QuantWireTest, QuantFrameIsRoughlyFourTimesSmaller) {
+  core::Rng rng(3);
+  core::Tensor cut = core::Tensor::UniformRandom({8, 16, 14, 14}, rng, -1, 1);
+  const auto fp32 = EncodedSize(
+      Message::WithBatch(MsgType::kInfer, 1, "back", cut.Clone()));
+  const auto int8 = EncodedSize(Message::WithQuantBatch(
+      MsgType::kInfer, 1, "back", quant::QuantizeTensor(cut)));
+  EXPECT_GT(static_cast<double>(fp32) / static_cast<double>(int8), 3.8);
+}
+
+TEST(QuantWireTest, V3DecodeFuzzNeverThrows) {
+  core::Rng rng(4);
+  core::Tensor cut = core::Tensor::UniformRandom({2, 4, 5, 5}, rng, -1, 1);
+  const auto bytes = EncodeMessage(Message::WithQuantBatch(
+      MsgType::kInfer, 9, "back", quant::QuantizeTensor(cut)));
+  // Truncation at every byte boundary fails as Status, never throws.
+  for (std::size_t cut_at = 0; cut_at < bytes.size(); ++cut_at) {
+    Message out;
+    EXPECT_NO_THROW({
+      const auto st = DecodeMessage(
+          std::span<const std::uint8_t>(bytes.data(), cut_at), out);
+      EXPECT_FALSE(st.ok()) << "cut=" << cut_at;
+    });
+  }
+  // Single-byte corruption anywhere must decode or fail cleanly.
+  for (std::size_t i = 8; i < bytes.size(); ++i) {
+    auto bad = bytes;
+    bad[i] ^= 0xA5;
+    Message out;
+    EXPECT_NO_THROW({ (void)DecodeMessage(bad, out); }) << "i=" << i;
+  }
+}
+
+TEST(QuantWireTest, BlueprintQuantFlagsRoundTripAndStayV1WhenOff) {
+  slim::FluidNetConfig cfg;
+  auto bp = ModelBlueprint::PipelineBack(cfg, 16, 2);
+  {
+    core::ByteWriter w;
+    bp.Encode(w);
+    EXPECT_EQ(w.buffer()[0], 1) << "quant-free blueprints must stay v1";
+    core::ByteReader r(w.buffer());
+    ModelBlueprint out;
+    ASSERT_TRUE(ModelBlueprint::Decode(r, out).ok());
+    EXPECT_FALSE(out.quant.any());
+  }
+  bp.quant.int8_wire = true;
+  bp.quant.int8_compute = true;
+  {
+    core::ByteWriter w;
+    bp.Encode(w);
+    EXPECT_EQ(w.buffer()[0], 2);
+    core::ByteReader r(w.buffer());
+    ModelBlueprint out;
+    ASSERT_TRUE(ModelBlueprint::Decode(r, out).ok());
+    EXPECT_TRUE(out.quant.int8_wire);
+    EXPECT_TRUE(out.quant.int8_compute);
+  }
+}
+
+// One master + two workers: worker 0 hosts the quantized (v3) pipeline
+// back half, worker 1 a plain fp32 (v2) standalone slice.
+class QuantClusterTest : public ::testing::Test {
+ protected:
+  QuantClusterTest()
+      : fluid_(slim::FluidModel::PaperDefault(7)), master_(cfg_), rng_(99) {
+    for (int i = 0; i < 2; ++i) {
+      auto [master_end, worker_end] = MakeInMemoryPair();
+      workers_.push_back(std::make_unique<WorkerNode>(
+          "w" + std::to_string(i), cfg_, std::move(worker_end)));
+      workers_.back()->Start();
+      master_.AttachWorker(std::move(master_end));
+    }
+  }
+
+  void DeployQuantPlan(bool back_int8_compute = false) {
+    const auto& family = fluid_.family();
+    master_.DeployLocal("lower50",
+                        fluid_.ExtractSubnet(family.MasterResident()));
+    nn::Sequential combined = fluid_.ExtractSubnet(family.Combined());
+    auto halves = train::SplitConvNet(cfg_, family.max_width(), combined, 2);
+    master_.DeployLocal("front", std::move(halves.front));
+
+    auto back_bp = ModelBlueprint::PipelineBack(cfg_, family.max_width(), 2);
+    back_bp.quant.int8_wire = true;  // worker 0 negotiates v3 cut frames
+    back_bp.quant.int8_compute = back_int8_compute;
+    ASSERT_TRUE(master_
+                    .DeployToWorker("back", back_bp,
+                                    nn::ExtractState(halves.back), 2000ms, 0)
+                    .ok());
+
+    nn::Sequential upper = fluid_.ExtractSubnet(family.WorkerResident());
+    ASSERT_TRUE(master_
+                    .DeployToWorker(
+                        "upper50",
+                        ModelBlueprint::Standalone(
+                            cfg_, family.WorkerResident().range.width()),
+                        nn::ExtractState(upper), 2000ms, 1)
+                    .ok());
+    Plan plan;
+    plan.master_standalone = "lower50";
+    plan.worker_standalone = "upper50";
+    plan.pipeline_front = "front";
+    plan.pipeline_back = "back";
+    plan.back_worker = 0;
+    master_.SetPlan(plan);
+  }
+
+  core::Tensor Input(std::int64_t n = 1) {
+    return core::Tensor::UniformRandom({n, 1, 28, 28}, rng_, 0, 1);
+  }
+
+  slim::FluidNetConfig cfg_;
+  slim::FluidModel fluid_;
+  MasterNode master_;
+  std::vector<std::unique_ptr<WorkerNode>> workers_;
+  core::Rng rng_;
+};
+
+TEST_F(QuantClusterTest, QuantizedHaTracksFp32HaWithinDriftBound) {
+  DeployQuantPlan();
+  master_.SetMode(sim::Mode::kHighAccuracy);
+  const core::Tensor x = Input(8);
+  nn::Sequential combined = fluid_.ExtractSubnet(fluid_.family().Combined());
+  const core::Tensor want = combined.Forward(x, false);
+
+  auto reply = master_.Infer(x, 5000ms);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->served_by, "pipeline:front+back@worker[0]");
+
+  // int8 cut quantization bounds the end-to-end logit drift: one
+  // half-step of the cut scale propagated through the (Lipschitz ≤ 1 per
+  // unit weight) back half — 5 % of the logit range is generous and
+  // still catches a wrong scale or byte order immediately.
+  float logit_range = 0.0F;
+  for (const float v : want.data()) {
+    logit_range = std::max(logit_range, std::fabs(v));
+  }
+  EXPECT_LE(core::MaxAbsDiff(reply->logits, want),
+            0.05F * std::max(1.0F, logit_range));
+
+  // Prove the negotiation really changed the wire: the master shipped v3
+  // cut frames and worker 0 decoded them as such.
+  EXPECT_GT(master_.stats().quant_cut_frames, 0);
+  EXPECT_GT(workers_[0]->quant_frames(), 0);
+  EXPECT_EQ(workers_[1]->quant_frames(), 0);
+}
+
+TEST_F(QuantClusterTest, V3AndV2PeersInteroperateInOneCluster) {
+  DeployQuantPlan();
+  master_.SetMode(sim::Mode::kHighAccuracy);
+
+  // Quantized HA pipeline serves through worker 0 (v3 frames)...
+  auto reply = master_.Infer(Input(4), 5000ms);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_GT(workers_[0]->quant_frames(), 0);
+
+  // ...then worker 0 dies and the same cluster fails over to the fp32
+  // fan-out: worker 1 serves plain v2 frames, never having seen v3.
+  workers_[0]->Crash();
+  bool saw_w1 = false;
+  for (int i = 0; i < 4; ++i) {
+    auto r2 = master_.Infer(Input(), 5000ms);
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    saw_w1 |= r2->served_by == "worker[1]:upper50";
+  }
+  EXPECT_TRUE(saw_w1);
+  EXPECT_GT(workers_[1]->samples_served(), 0);
+  EXPECT_EQ(workers_[1]->quant_frames(), 0);
+  EXPECT_GT(master_.stats().failovers, 0);
+}
+
+TEST_F(QuantClusterTest, Int8ComputeDeployServesThroughTheQuantLayers) {
+  DeployQuantPlan(/*back_int8_compute=*/true);
+  master_.SetMode(sim::Mode::kHighAccuracy);
+  const core::Tensor x = Input(4);
+  nn::Sequential combined = fluid_.ExtractSubnet(fluid_.family().Combined());
+  const core::Tensor want = combined.Forward(x, false);
+
+  auto reply = master_.Infer(x, 5000ms);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  float logit_range = 0.0F;
+  for (const float v : want.data()) {
+    logit_range = std::max(logit_range, std::fabs(v));
+  }
+  // int8 wire AND int8 weights/activations on the back half: a larger
+  // but still small budget.
+  EXPECT_LE(core::MaxAbsDiff(reply->logits, want),
+            0.08F * std::max(1.0F, logit_range));
+  EXPECT_GT(workers_[0]->quant_frames(), 0);
+}
+
+}  // namespace
+}  // namespace fluid::dist

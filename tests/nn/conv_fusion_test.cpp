@@ -1,0 +1,77 @@
+// The serve-path Conv2d + LeakyReLU fold: the activation runs inside the
+// fused conv's bias scatter (which already touches every output element),
+// and must be BITWISE identical to the separate activation layer — the
+// scatter computes exactly the same v > 0 ? v : slope·v after the same
+// bias add, so any difference is a bug, not rounding.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/flatten.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+
+namespace fluid::nn {
+namespace {
+
+TEST(ConvFusionTest, ForwardFusedLeakyMatchesSeparateLayerBitwise) {
+  core::Rng rng(31);
+  Conv2d conv(3, 8, 3, 1, 1, rng, "conv");
+  LeakyReLU leaky(0.01F);
+  core::Tensor x = core::Tensor::UniformRandom({5, 3, 11, 11}, rng, -1, 1);
+
+  core::Tensor ref = leaky.Forward(conv.Forward(x, false), false);
+  core::Tensor got = conv.ForwardFusedLeaky(x, 0.01F);
+  EXPECT_EQ(core::MaxAbsDiff(ref, got), 0.0F);
+}
+
+TEST(ConvFusionTest, SequentialInferencePeepholeIsBitwiseTransparent) {
+  core::Rng rng(32);
+  Sequential model;
+  model.Emplace<Conv2d>(1, 6, 3, 1, 1, rng, "conv1");
+  model.Emplace<LeakyReLU>(0.01F);
+  model.Emplace<MaxPool2d>(2);
+  model.Emplace<Conv2d>(6, 6, 3, 1, 1, rng, "conv2");
+  model.Emplace<LeakyReLU>(0.01F);
+  model.Emplace<MaxPool2d>(2);
+  model.Emplace<Flatten>();
+  model.Emplace<Dense>(6 * 7 * 7, 10, rng, "fc");
+
+  core::Tensor x = core::Tensor::UniformRandom({4, 1, 28, 28}, rng, 0, 1);
+  // Training path runs every layer separately (no peephole); the
+  // inference path folds both activations. They must agree bitwise.
+  core::Tensor ref = model.Forward(x, true);
+  core::Tensor inf = model.Forward(x, false);
+  EXPECT_EQ(core::MaxAbsDiff(ref, inf), 0.0F);
+
+  core::Tensor moved = model.ForwardInference(x.Clone());
+  EXPECT_EQ(core::MaxAbsDiff(ref, moved), 0.0F);
+}
+
+TEST(ConvFusionTest, PeepholeAppliesAtTheFirstLayerToo) {
+  core::Rng rng(33);
+  Sequential model;
+  model.Emplace<Conv2d>(2, 4, 3, 1, 1, rng, "conv");
+  model.Emplace<LeakyReLU>(0.05F);
+  core::Tensor x = core::Tensor::UniformRandom({2, 2, 9, 9}, rng, -1, 1);
+  core::Tensor ref = model.Forward(x, true);
+  core::Tensor got = model.Forward(x, false);
+  EXPECT_EQ(core::MaxAbsDiff(ref, got), 0.0F);
+}
+
+TEST(ConvFusionTest, TrailingConvWithoutActivationIsUntouched) {
+  core::Rng rng(34);
+  Sequential model;
+  model.Emplace<Conv2d>(1, 3, 3, 1, 1, rng, "conv");  // no activation after
+  core::Tensor x = core::Tensor::UniformRandom({1, 1, 7, 7}, rng, -1, 1);
+  core::Tensor ref = model.Forward(x, true);
+  core::Tensor got = model.Forward(x, false);
+  EXPECT_EQ(core::MaxAbsDiff(ref, got), 0.0F);
+}
+
+}  // namespace
+}  // namespace fluid::nn

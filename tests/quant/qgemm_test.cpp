@@ -1,0 +1,137 @@
+// int8 GEMM tests: exact agreement with a naive int32 reference over a
+// shape grid, exact agreement across SIMD tiers (integer accumulation has
+// no rounding, so this is equality, not tolerance), thread-count
+// invariance, and saturation inputs.
+
+#include "core/qgemm.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/simd/gemm_kernel.h"
+#include "core/simd/qgemm_kernel.h"
+
+namespace fluid::core {
+namespace {
+
+std::vector<std::int8_t> RandomInt8(Rng& rng, std::int64_t n) {
+  std::vector<std::int8_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    x = static_cast<std::int8_t>(
+        static_cast<std::int64_t>(rng.UniformInt(255)) - 127);
+  }
+  return v;
+}
+
+std::vector<std::int32_t> NaiveQGemm(std::int64_t m, std::int64_t n,
+                                     std::int64_t k,
+                                     const std::vector<std::int8_t>& a,
+                                     const std::vector<std::int8_t>& b) {
+  std::vector<std::int32_t> c(static_cast<std::size_t>(m * n), 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const std::int32_t av = a[static_cast<std::size_t>(i * k + p)];
+      for (std::int64_t j = 0; j < n; ++j) {
+        c[static_cast<std::size_t>(i * n + j)] +=
+            av * b[static_cast<std::size_t>(p * n + j)];
+      }
+    }
+  }
+  return c;
+}
+
+class QGemmTierTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    const simd::GemmKernel* k = simd::GemmKernelByName(GetParam());
+    ASSERT_NE(k, nullptr);
+    if (!k->supported()) {
+      GTEST_SKIP() << GetParam() << " not supported on this host";
+    }
+    simd::SetGemmKernelForTesting(k);
+    ASSERT_STREQ(simd::ActiveQGemmKernel().name, GetParam());
+  }
+  void TearDown() override { simd::SetGemmKernelForTesting(nullptr); }
+};
+
+TEST_P(QGemmTierTest, MatchesNaiveReferenceOverShapeGrid) {
+  Rng rng(42);
+  // Ragged shapes straddle every blocking boundary: the register tile
+  // (6/16/32), KC=256 (k=300 crosses it), and oddball primes.
+  const std::int64_t shapes[][3] = {
+      {1, 1, 1},   {1, 16, 7},   {3, 5, 2},    {6, 16, 16}, {7, 17, 19},
+      {13, 33, 9}, {16, 144, 9}, {10, 50, 300}, {48, 64, 31}, {65, 97, 13},
+  };
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0], n = s[1], k = s[2];
+    const auto a = RandomInt8(rng, m * k);
+    const auto b = RandomInt8(rng, k * n);
+    std::vector<std::int32_t> c(static_cast<std::size_t>(m * n), -777);
+    QGemmInt8(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+    const auto ref = NaiveQGemm(m, n, k, a, b);
+    ASSERT_EQ(c, ref) << "shape " << m << "x" << n << "x" << k << " tier "
+                      << GetParam();
+  }
+}
+
+TEST_P(QGemmTierTest, SaturationInputsAccumulateExactly) {
+  // All-rail inputs maximise every product (127·127); k=512 spans two KC
+  // blocks. The exact expected value catches silent int16 overflow.
+  const std::int64_t m = 7, n = 18, k = 512;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(m * k), 127);
+  std::vector<std::int8_t> b(static_cast<std::size_t>(k * n), -127);
+  std::vector<std::int32_t> c(static_cast<std::size_t>(m * n), 0);
+  QGemmInt8(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  for (const auto v : c) {
+    EXPECT_EQ(v, -127 * 127 * k);
+  }
+}
+
+TEST_P(QGemmTierTest, ThreadCountDoesNotChangeResults) {
+  Rng rng(7);
+  const std::int64_t m = 33, n = 70, k = 90;
+  const auto a = RandomInt8(rng, m * k);
+  const auto b = RandomInt8(rng, k * n);
+  std::vector<std::int32_t> c1(static_cast<std::size_t>(m * n));
+  std::vector<std::int32_t> c4(static_cast<std::size_t>(m * n));
+  const int saved = NumThreads();
+  SetNumThreads(1);
+  QGemmInt8(m, n, k, a.data(), k, b.data(), n, c1.data(), n);
+  SetNumThreads(4);
+  QGemmInt8(m, n, k, a.data(), k, b.data(), n, c4.data(), n);
+  SetNumThreads(saved);
+  EXPECT_EQ(c1, c4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiers, QGemmTierTest,
+                         ::testing::Values("scalar", "avx2", "avx512"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(QGemmDispatchTest, FollowsActiveFp32Tier) {
+  for (const simd::GemmKernel* k : simd::AllGemmKernels()) {
+    if (!k->supported()) continue;
+    simd::SetGemmKernelForTesting(k);
+    EXPECT_STREQ(simd::ActiveQGemmKernel().name, k->name);
+  }
+  simd::SetGemmKernelForTesting(nullptr);
+}
+
+TEST(QGemmDispatchTest, EveryTierPairsAnInt8Kernel) {
+  for (const simd::GemmKernel* k : simd::AllGemmKernels()) {
+    EXPECT_NE(simd::QGemmKernelByName(k->name), nullptr) << k->name;
+  }
+}
+
+TEST(QGemmTest, ZeroKZeroesC) {
+  std::vector<std::int32_t> c(6, 1234);
+  QGemmInt8(2, 3, 0, nullptr, 0, nullptr, 0, c.data(), 3);
+  for (const auto v : c) EXPECT_EQ(v, 0);
+}
+
+}  // namespace
+}  // namespace fluid::core

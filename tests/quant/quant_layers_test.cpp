@@ -1,0 +1,147 @@
+// QuantDense / QuantConv2d / QuantizeModel tests: int8 layer outputs
+// track their fp32 counterparts within the quantization error budget,
+// the model converter maps every deployable layer (and folds LeakyReLU),
+// and end-to-end logit drift on an extracted subnet stays bounded.
+
+#include "quant/quant_layers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "nn/activations.h"
+#include "nn/flatten.h"
+#include "nn/pooling.h"
+#include "slim/fluid_model.h"
+
+namespace fluid::quant {
+namespace {
+
+float MaxAbs(const core::Tensor& t) {
+  float m = 0.0F;
+  for (const float v : t.data()) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float MaxAbsDiff(const core::Tensor& a, const core::Tensor& b) {
+  EXPECT_EQ(a.shape(), b.shape());
+  float m = 0.0F;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(a.at(i) - b.at(i)));
+  }
+  return m;
+}
+
+TEST(QuantDenseTest, TracksFp32WithinQuantizationBudget) {
+  core::Rng rng(3);
+  nn::Dense dense(64, 10, rng, "fc");
+  QuantDense qdense(dense);
+  core::Tensor x = core::Tensor::UniformRandom({5, 64}, rng, -1.0F, 1.0F);
+  core::Tensor ref = dense.Forward(x, false);
+  core::Tensor got = qdense.Forward(x, false);
+  // Error budget: both operands carry ≤ half-step error; relative to the
+  // output magnitude 2 % is loose enough to be robust and tight enough to
+  // catch a broken scale.
+  EXPECT_LE(MaxAbsDiff(ref, got), 0.02F * std::max(1.0F, MaxAbs(ref)));
+}
+
+TEST(QuantDenseTest, LargeBatchMultiThreadMatchesSingleThread) {
+  // Regression: the dequantizing scatter runs under ParallelForEach, and a
+  // thread_local named inside the lambda would resolve to a pool worker's
+  // EMPTY scratch (thread_locals are not captured) — a segfault at any
+  // batch large enough for workers to win chunks. Large batch + 4 threads
+  // forces worker participation; results must also be identical to the
+  // 1-thread run (int8 GEMM + per-row scatter are thread-count-exact).
+  core::Rng rng(13);
+  nn::Dense dense(64, 10, rng, "fc");
+  QuantDense qdense(dense);
+  core::Tensor x = core::Tensor::UniformRandom({4096, 64}, rng, -1.0F, 1.0F);
+  const int saved = core::NumThreads();
+  core::SetNumThreads(1);
+  core::Tensor one = qdense.Forward(x, false);
+  core::SetNumThreads(4);
+  core::Tensor four = qdense.Forward(x, false);
+  core::SetNumThreads(saved);
+  EXPECT_EQ(MaxAbsDiff(one, four), 0.0F);
+}
+
+TEST(QuantConv2dTest, TracksFp32WithinQuantizationBudget) {
+  core::Rng rng(4);
+  nn::Conv2d conv(3, 8, 3, 1, 1, rng, "conv");
+  QuantConv2d qconv(conv);
+  core::Tensor x = core::Tensor::UniformRandom({4, 3, 12, 12}, rng, -1, 1);
+  core::Tensor ref = conv.Forward(x, false);
+  core::Tensor got = qconv.Forward(x, false);
+  EXPECT_LE(MaxAbsDiff(ref, got), 0.02F * std::max(1.0F, MaxAbs(ref)));
+}
+
+TEST(QuantConv2dTest, FusedLeakyMatchesSeparateActivation) {
+  core::Rng rng(5);
+  nn::Conv2d conv(2, 6, 3, 1, 1, rng, "conv");
+  nn::LeakyReLU leaky(0.01F);
+  QuantConv2d fused(conv, 0.01F);
+  QuantConv2d plain(conv);
+  core::Tensor x = core::Tensor::UniformRandom({2, 2, 9, 9}, rng, -1, 1);
+  core::Tensor ref = leaky.Forward(plain.Forward(x, false), false);
+  core::Tensor got = fused.Forward(x, false);
+  // Same int8 conv result, same activation formula: bitwise equal.
+  EXPECT_EQ(ref.data().size(), got.data().size());
+  for (std::int64_t i = 0; i < ref.numel(); ++i) {
+    EXPECT_EQ(ref.at(i), got.at(i)) << "element " << i;
+  }
+}
+
+TEST(QuantConv2dTest, InferenceOnlyGuards) {
+  core::Rng rng(6);
+  nn::Conv2d conv(1, 2, 3, 1, 1, rng, "conv");
+  QuantConv2d qconv(conv);
+  core::Tensor x({1, 1, 5, 5});
+  EXPECT_THROW(qconv.Forward(x, /*training=*/true), core::Error);
+  EXPECT_THROW(qconv.Backward(x), core::Error);
+}
+
+TEST(QuantizeModelTest, MapsEveryDeployableLayerAndFoldsLeaky) {
+  core::Rng rng(7);
+  nn::Sequential model;
+  model.Emplace<nn::Conv2d>(1, 4, 3, 1, 1, rng, "conv1");
+  model.Emplace<nn::LeakyReLU>(0.01F);
+  model.Emplace<nn::MaxPool2d>(2);
+  model.Emplace<nn::Flatten>();
+  model.Emplace<nn::Dense>(4 * 14 * 14, 10, rng, "fc");
+
+  nn::Sequential q = QuantizeModel(model);
+  // Conv + LeakyReLU fused into one QuantConv2d.
+  ASSERT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.layer(0).Kind(), "QuantConv2d");
+  EXPECT_EQ(q.layer(1).Kind(), "MaxPool2d");
+  EXPECT_EQ(q.layer(2).Kind(), "Flatten");
+  EXPECT_EQ(q.layer(3).Kind(), "QuantDense");
+
+  core::Tensor x = core::Tensor::UniformRandom({3, 1, 28, 28}, rng, 0, 1);
+  core::Tensor ref = model.Forward(x, false);
+  core::Tensor got = q.Forward(x, false);
+  EXPECT_LE(MaxAbsDiff(ref, got), 0.05F * std::max(1.0F, MaxAbs(ref)));
+}
+
+TEST(QuantizeModelTest, ExtractedSubnetLogitDriftBounded) {
+  // The deployment artifact the HA/HT paths actually serve: a subnet
+  // extracted from the paper-default fluid store, int8 end to end.
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(21);
+  const auto spec = fluid.family().Combined();
+  nn::Sequential fp32 = fluid.ExtractSubnet(spec);
+  nn::Sequential int8 = fluid.ExtractSubnetQuantized(spec);
+
+  core::Rng rng(22);
+  core::Tensor x = core::Tensor::UniformRandom({8, 1, 28, 28}, rng, 0, 1);
+  core::Tensor ref = fp32.Forward(x, false);
+  core::Tensor got = int8.Forward(x, false);
+  // Three quantized convs + the head compound; 5 % of the logit range is
+  // the drift budget the accuracy delta criterion implies.
+  EXPECT_LE(MaxAbsDiff(ref, got), 0.05F * std::max(1.0F, MaxAbs(ref)));
+}
+
+}  // namespace
+}  // namespace fluid::quant
