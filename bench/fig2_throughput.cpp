@@ -49,6 +49,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/alloc_count.h"
+#include "core/buffer_pool.h"
 #include "core/rng.h"
 #include "dist/master.h"
 #include "dist/worker.h"
@@ -63,33 +65,76 @@ using namespace std::chrono_literals;
 
 namespace {
 
+// A request input drawn from the float pool (the client half of the
+// recycling cycle: the serve path consumes it and the client recycles the
+// reply's logits below, so steady state circulates pooled storage).
+core::Tensor PooledInput(const core::Tensor& x) {
+  return core::AcquireTensorCopy(x);
+}
+
+struct ClosedLoopResult {
+  double rps = 0;
+  // Steady-state heap discipline, measured as operator-new deltas across
+  // the timed pass (a short warmup pass first fills pools and grow-only
+  // scratch, so these are the per-request figures a long-running server
+  // would see).
+  double allocs_per_req = 0;
+  double bytes_per_req = 0;
+};
+
 // Drive `clients` closed-loop threads for `per_client` requests each and
-// return aggregate requests/sec. `infer` must be thread-safe.
+// return aggregate requests/sec plus steady-state allocations/request.
+// `infer` must be thread-safe.
 template <typename InferFn>
-double RunClosedLoop(int clients, int per_client, const InferFn& infer) {
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(clients));
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int c = 0; c < clients; ++c) {
-    threads.emplace_back([&, c] {
-      core::Rng rng(1000 + static_cast<std::uint64_t>(c));
-      const core::Tensor x =
-          core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
-      for (int i = 0; i < per_client; ++i) {
-        auto reply = infer(x);
-        if (!reply.ok()) {
-          std::fprintf(stderr, "closed-loop request failed: %s\n",
-                       reply.status().ToString().c_str());
-          std::abort();
+ClosedLoopResult RunClosedLoop(int clients, int per_client,
+                               const InferFn& infer) {
+  const auto run_pass = [&](int requests_per_client) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        core::Rng rng(1000 + static_cast<std::uint64_t>(c));
+        const core::Tensor x =
+            core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+        for (int i = 0; i < requests_per_client; ++i) {
+          auto reply = infer(x);
+          if (!reply.ok()) {
+            std::fprintf(stderr, "closed-loop request failed: %s\n",
+                         reply.status().ToString().c_str());
+            std::abort();
+          }
+          // Close the pool cycle: the logits' storage feeds the next
+          // request's batch instead of going back to the heap.
+          core::RecycleTensor(std::move(reply->logits));
         }
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
+      });
+    }
+    for (auto& t : threads) t.join();
+  };
+
+  run_pass(std::min(per_client, 8));  // warm pools / scratch / scheduler
+  const core::PoolStats pool0 = core::PoolStatsSnapshot();
+  const std::uint64_t allocs0 = core::AllocCount();
+  const std::uint64_t bytes0 = core::AllocBytes();
+  const auto t0 = std::chrono::steady_clock::now();
+  run_pass(per_client);
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  return static_cast<double>(clients) * per_client / secs;
+  const double n = static_cast<double>(clients) * per_client;
+  ClosedLoopResult r;
+  r.rps = n / secs;
+  r.allocs_per_req = static_cast<double>(core::AllocCount() - allocs0) / n;
+  r.bytes_per_req = static_cast<double>(core::AllocBytes() - bytes0) / n;
+  const core::PoolStats pool1 = core::PoolStatsSnapshot();
+  std::printf("  [pool: %.1f gets/req, %.0f%% hit, %.2f discards/req]\n",
+              static_cast<double>(pool1.gets - pool0.gets) / n,
+              pool1.gets == pool0.gets
+                  ? 100.0
+                  : 100.0 * static_cast<double>(pool1.hits - pool0.hits) /
+                        static_cast<double>(pool1.gets - pool0.gets),
+              static_cast<double>(pool1.discards - pool0.discards) / n);
+  return r;
 }
 
 // Latency percentiles of a sorted sample.
@@ -105,6 +150,8 @@ struct OpenLoopResult {
   double offered_rps = 0;   // the Poisson rate requested
   double achieved_rps = 0;  // completions over the measured span
   double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  double allocs_per_req = 0;  // heap allocations per request over the run
+  double bytes_per_req = 0;
 };
 
 /// Open-loop measurement: arrivals are a Poisson process at `rate` req/s
@@ -147,6 +194,7 @@ OpenLoopResult RunOpenLoop(dist::MasterNode& master, double rate,
                      reply.status().ToString().c_str());
         std::abort();
       }
+      core::RecycleTensor(std::move(reply->logits));
       latencies_ms.push_back(
           std::chrono::duration<double, std::milli>(now - p.scheduled).count());
       last_completion = now;
@@ -156,6 +204,8 @@ OpenLoopResult RunOpenLoop(dist::MasterNode& master, double rate,
   core::Rng rng(2024);
   const core::Tensor x =
       core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+  const std::uint64_t allocs0 = core::AllocCount();
+  const std::uint64_t bytes0 = core::AllocBytes();
   const auto t0 = Clock::now();
   double next_s = 0.0;
   for (int i = 0; i < total_requests; ++i) {
@@ -163,7 +213,7 @@ OpenLoopResult RunOpenLoop(dist::MasterNode& master, double rate,
     const auto at = t0 + std::chrono::duration_cast<Clock::duration>(
                              std::chrono::duration<double>(next_s));
     std::this_thread::sleep_until(at);
-    auto fut = master.InferAsync(x.Clone(), std::chrono::milliseconds(30000));
+    auto fut = master.InferAsync(PooledInput(x), std::chrono::milliseconds(30000));
     {
       std::lock_guard<std::mutex> lock(mu);
       pending.push_back({std::move(fut), at});
@@ -179,6 +229,10 @@ OpenLoopResult RunOpenLoop(dist::MasterNode& master, double rate,
 
   OpenLoopResult r;
   r.offered_rps = rate;
+  r.allocs_per_req = static_cast<double>(core::AllocCount() - allocs0) /
+                     total_requests;
+  r.bytes_per_req = static_cast<double>(core::AllocBytes() - bytes0) /
+                    total_requests;
   const double span_s =
       std::chrono::duration<double>(last_completion - t0).count();
   r.achieved_rps =
@@ -282,41 +336,49 @@ int RunHaServing(int argc, char** argv) {
     return RunClosedLoop(
         static_cast<int>(clients), static_cast<int>(per_client),
         [&](const core::Tensor& x) {
-          return master.InferAsync(x.Clone(), 30000ms).get();
+          return master.InferAsync(PooledInput(x), 30000ms).get();
         });
   };
 
-  const double fp32_rps = closed_loop();
-  std::printf("closed-loop fp32 HA  : %8.1f req/s\n", fp32_rps);
+  const ClosedLoopResult fp32 = closed_loop();
+  std::printf("closed-loop fp32 HA  : %8.1f req/s   (%.1f allocs, %.0f B "
+              "heap/req)\n",
+              fp32.rps, fp32.allocs_per_req, fp32.bytes_per_req);
   OpenLoopResult fp32_open;
   if (rate > 0) {
     fp32_open = RunOpenLoop(master, rate, static_cast<int>(open_requests));
     std::printf("open-loop  fp32 HA  : offered %.0f, achieved %6.1f req/s, "
-                "latency p50 %.1f / p95 %.1f / p99 %.1f ms\n",
+                "latency p50 %.1f / p95 %.1f / p99 %.1f ms, %.1f allocs / "
+                "%.0f B heap per req\n",
                 fp32_open.offered_rps, fp32_open.achieved_rps,
-                fp32_open.p50_ms, fp32_open.p95_ms, fp32_open.p99_ms);
+                fp32_open.p50_ms, fp32_open.p95_ms, fp32_open.p99_ms,
+                fp32_open.allocs_per_req, fp32_open.bytes_per_req);
   }
 
   plan.pipeline_back = "back_int8";
   master.SetPlan(plan);
 
-  const double int8_rps = closed_loop();
-  std::printf("closed-loop int8 HA  : %8.1f req/s   (wire v3%s)\n", int8_rps,
-              quant_compute != 0 ? " + int8 compute" : "");
+  const ClosedLoopResult int8 = closed_loop();
+  std::printf("closed-loop int8 HA  : %8.1f req/s   (wire v3%s; %.1f allocs, "
+              "%.0f B heap/req)\n",
+              int8.rps, quant_compute != 0 ? " + int8 compute" : "",
+              int8.allocs_per_req, int8.bytes_per_req);
   OpenLoopResult int8_open;
   if (rate > 0) {
     int8_open = RunOpenLoop(master, rate, static_cast<int>(open_requests));
     std::printf("open-loop  int8 HA  : offered %.0f, achieved %6.1f req/s, "
-                "latency p50 %.1f / p95 %.1f / p99 %.1f ms\n",
+                "latency p50 %.1f / p95 %.1f / p99 %.1f ms, %.1f allocs / "
+                "%.0f B heap per req\n",
                 int8_open.offered_rps, int8_open.achieved_rps,
-                int8_open.p50_ms, int8_open.p95_ms, int8_open.p99_ms);
+                int8_open.p50_ms, int8_open.p95_ms, int8_open.p99_ms,
+                int8_open.allocs_per_req, int8_open.bytes_per_req);
   }
 
   const auto stats = master.stats();
   master.StopServing();
   std::printf("speedup: %.2fx   (quant cut frames %lld, pipeline samples "
               "%lld, failovers %lld)\n",
-              int8_rps / fp32_rps,
+              int8.rps / fp32.rps,
               static_cast<long long>(stats.quant_cut_frames),
               static_cast<long long>(stats.served_pipeline),
               static_cast<long long>(stats.failovers));
@@ -344,21 +406,29 @@ int RunHaServing(int argc, char** argv) {
         " \"fp32_req_per_s\": %.1f,\n"
         " \"int8_req_per_s\": %.1f,\n"
         " \"speedup\": %.2f,\n"
+        " \"fp32_allocs_per_req\": %.2f,\n"
+        " \"fp32_bytes_per_req\": %.0f,\n"
+        " \"int8_allocs_per_req\": %.2f,\n"
+        " \"int8_bytes_per_req\": %.0f,\n"
         " \"open_loop_rate\": %.1f,\n"
         " \"fp32_open\": {\"achieved_req_per_s\": %.1f, \"p50_ms\": %.1f, "
-        "\"p95_ms\": %.1f, \"p99_ms\": %.1f},\n"
+        "\"p95_ms\": %.1f, \"p99_ms\": %.1f, \"allocs_per_req\": %.2f, "
+        "\"bytes_per_req\": %.0f},\n"
         " \"int8_open\": {\"achieved_req_per_s\": %.1f, \"p50_ms\": %.1f, "
-        "\"p95_ms\": %.1f, \"p99_ms\": %.1f}\n"
+        "\"p95_ms\": %.1f, \"p99_ms\": %.1f, \"allocs_per_req\": %.2f, "
+        "\"bytes_per_req\": %.0f}\n"
         "}\n",
         static_cast<long long>(clients), static_cast<long long>(per_client),
         static_cast<long long>(cut), static_cast<long long>(ha_chunk),
         static_cast<long long>(ha_window), static_cast<long long>(max_batch),
         static_cast<long long>(quant_compute), link_ms, bandwidth_mbps,
-        static_cast<long long>(halves.cut_bytes_per_sample / 4), fp32_rps,
-        int8_rps, int8_rps / fp32_rps, rate, fp32_open.achieved_rps,
-        fp32_open.p50_ms, fp32_open.p95_ms, fp32_open.p99_ms,
+        static_cast<long long>(halves.cut_bytes_per_sample / 4), fp32.rps,
+        int8.rps, int8.rps / fp32.rps, fp32.allocs_per_req,
+        fp32.bytes_per_req, int8.allocs_per_req, int8.bytes_per_req, rate,
+        fp32_open.achieved_rps, fp32_open.p50_ms, fp32_open.p95_ms,
+        fp32_open.p99_ms, fp32_open.allocs_per_req, fp32_open.bytes_per_req,
         int8_open.achieved_rps, int8_open.p50_ms, int8_open.p95_ms,
-        int8_open.p99_ms);
+        int8_open.p99_ms, int8_open.allocs_per_req, int8_open.bytes_per_req);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
@@ -451,30 +521,33 @@ int RunClosedLoopServing(int argc, char** argv) {
   master.SetMode(sim::Mode::kHighThroughput);
 
   // Phase 1: the synchronous path — one request per RPC, no coalescing.
-  const double sync_rps = RunClosedLoop(
+  const ClosedLoopResult sync = RunClosedLoop(
       static_cast<int>(clients), static_cast<int>(per_client),
       [&](const core::Tensor& x) { return master.Infer(x, 10000ms); });
-  std::printf("sync  one-request-per-RPC : %8.1f req/s\n", sync_rps);
+  std::printf("sync  one-request-per-RPC : %8.1f req/s   (%.1f allocs, %.0f "
+              "B heap/req)\n",
+              sync.rps, sync.allocs_per_req, sync.bytes_per_req);
 
   // Phase 2: the async batched runtime — queue, coalesce, shard, scatter.
   dist::BatchOptions bopts;
   bopts.max_batch = static_cast<std::size_t>(max_batch);
   bopts.max_delay = std::chrono::milliseconds(max_delay_ms);
   master.StartServing(bopts);
-  const double async_rps = RunClosedLoop(
+  const ClosedLoopResult async = RunClosedLoop(
       static_cast<int>(clients), static_cast<int>(per_client),
       [&](const core::Tensor& x) {
-        return master.InferAsync(x.Clone(), 10000ms).get();
+        return master.InferAsync(PooledInput(x), 10000ms).get();
       });
   const auto serving = master.scheduler_stats();
   master.StopServing();
   std::printf("async batched (max_batch=%lld, max_delay=%lldms): %8.1f "
-              "req/s\n",
+              "req/s   (%.1f allocs, %.0f B heap/req)\n",
               static_cast<long long>(max_batch),
-              static_cast<long long>(max_delay_ms), async_rps);
+              static_cast<long long>(max_delay_ms), async.rps,
+              async.allocs_per_req, async.bytes_per_req);
   std::printf("speedup: %.2fx   (avg coalesced batch %.1f, occupancy %.0f%%, "
               "%lld batches)\n",
-              async_rps / sync_rps, serving.avg_batch,
+              async.rps / sync.rps, serving.avg_batch,
               serving.occupancy * 100.0,
               static_cast<long long>(serving.batches));
 
@@ -506,13 +579,18 @@ int RunClosedLoopServing(int argc, char** argv) {
         " \"async_req_per_s\": %.1f,\n"
         " \"speedup\": %.2f,\n"
         " \"avg_coalesced_batch\": %.2f,\n"
-        " \"batch_occupancy\": %.3f\n"
+        " \"batch_occupancy\": %.3f,\n"
+        " \"sync_allocs_per_req\": %.2f,\n"
+        " \"sync_bytes_per_req\": %.0f,\n"
+        " \"async_allocs_per_req\": %.2f,\n"
+        " \"async_bytes_per_req\": %.0f\n"
         "}\n",
         static_cast<long long>(clients), static_cast<long long>(per_client),
         static_cast<long long>(num_workers), static_cast<long long>(max_batch),
         static_cast<long long>(max_delay_ms), link_ms, bandwidth_mbps,
-        sync_rps, async_rps,
-        async_rps / sync_rps, serving.avg_batch, serving.occupancy);
+        sync.rps, async.rps, async.rps / sync.rps, serving.avg_batch,
+        serving.occupancy, sync.allocs_per_req, sync.bytes_per_req,
+        async.allocs_per_req, async.bytes_per_req);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }

@@ -94,6 +94,28 @@ python3 - "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" > "${serving_merged}" <<'EOF
 import json, sys
 closed, ha, acc = (json.load(open(p)) for p in sys.argv[1:4])
 out = {"closed_loop": closed, "ha_quant": ha}
+# Steady-state heap discipline per scenario, gathered in one place so the
+# alloc/request trajectory is tracked PR over PR next to the latencies.
+out["mem_discipline"] = {
+    "closed_loop": {
+        k: closed[k]
+        for k in ("sync_allocs_per_req", "sync_bytes_per_req",
+                  "async_allocs_per_req", "async_bytes_per_req")
+        if k in closed
+    },
+    "ha_quant": {
+        k: ha[k]
+        for k in ("fp32_allocs_per_req", "fp32_bytes_per_req",
+                  "int8_allocs_per_req", "int8_bytes_per_req")
+        if k in ha
+    },
+    "ha_quant_open_loop": {
+        f"{tier}_{k}": ha[tier + "_open"][k]
+        for tier in ("fp32", "int8") if tier + "_open" in ha
+        for k in ("allocs_per_req", "bytes_per_req")
+        if k in ha[tier + "_open"]
+    },
+}
 if acc:
     out["int8_accuracy"] = acc
 json.dump(out, sys.stdout, indent=1)

@@ -1,0 +1,24 @@
+#pragma once
+// Heap-allocation counters for the memory-discipline tests and benches.
+//
+// Referencing any symbol from this header pulls alloc_count.cpp into the
+// link, which REPLACES the global operator new/delete with counting
+// wrappers over malloc/free. Binaries that never include it keep the
+// toolchain's default allocator — the counting layer is opt-in per
+// executable, not a property of libfluid.
+//
+// Counters are process-wide, monotonically increasing, and relaxed:
+// the intended use is delta measurement around a steady-state loop
+// (allocs-per-request), not exact attribution.
+
+#include <cstdint>
+
+namespace fluid::core {
+
+/// Total operator-new calls (all forms) since process start.
+std::uint64_t AllocCount();
+
+/// Total bytes requested from operator new since process start.
+std::uint64_t AllocBytes();
+
+}  // namespace fluid::core

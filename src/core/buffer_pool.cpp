@@ -1,0 +1,231 @@
+#include "core/buffer_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace fluid::core {
+
+namespace {
+
+// Classes are 2^8 .. 2^26 elements; smaller requests round up to the
+// smallest class, larger ones bypass the pool entirely.
+constexpr int kMinClassLog = 8;
+constexpr int kMaxClassLog = 26;
+constexpr int kNumClasses = kMaxClassLog - kMinClassLog + 1;
+
+// Per-thread buffers kept per class before spilling to the global list,
+// and the global bound per class (beyond which puts free the storage).
+constexpr std::size_t kLocalCap = 8;
+constexpr std::size_t kGlobalCap = 64;
+
+constexpr std::size_t ClassSize(int c) {
+  return std::size_t{1} << (kMinClassLog + c);
+}
+
+// Smallest class holding `n` elements, or -1 when `n` is beyond the
+// largest class (unpooled).
+int ClassForRequest(std::size_t n) {
+  int log = std::bit_width(n - 1);  // callers guarantee n >= 1
+  if (log < kMinClassLog) log = kMinClassLog;
+  if (log > kMaxClassLog) return -1;
+  return log - kMinClassLog;
+}
+
+// Largest class a buffer of `capacity` elements can serve, or -1 when it
+// is smaller than the smallest class. Oversized capacities bin at the top
+// class (capacity >= class size still holds).
+int ClassForCapacity(std::size_t capacity) {
+  if (capacity < ClassSize(0)) return -1;
+  int log = std::bit_width(capacity) - 1;  // floor log2
+  if (log > kMaxClassLog) log = kMaxClassLog;
+  return log - kMinClassLog;
+}
+
+std::atomic<std::uint64_t> g_gets{0};
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_puts{0};
+std::atomic<std::uint64_t> g_discards{0};
+
+template <typename T>
+struct GlobalPool {
+  std::mutex mu;
+  std::vector<std::vector<T>> lists[kNumClasses];
+
+  static GlobalPool& Instance() {
+    static GlobalPool* pool = new GlobalPool();  // leaked: outlives
+    return *pool;                                // thread_local caches
+  }
+};
+
+template <typename T>
+struct LocalCache {
+  std::vector<std::vector<T>> slots[kNumClasses];
+
+  // Thread exit spills to the global lists so storage keeps circulating
+  // (a short-lived client thread's buffers serve the next thread).
+  ~LocalCache() { Flush(); }
+
+  void Flush() {
+    auto& global = GlobalPool<T>::Instance();
+    std::lock_guard<std::mutex> lock(global.mu);
+    for (int c = 0; c < kNumClasses; ++c) {
+      for (auto& v : slots[c]) {
+        if (global.lists[c].size() < kGlobalCap) {
+          global.lists[c].push_back(std::move(v));
+        }
+      }
+      slots[c].clear();
+    }
+  }
+};
+
+template <typename T>
+LocalCache<T>& Local() {
+  thread_local LocalCache<T> cache;
+  return cache;
+}
+
+}  // namespace
+
+bool PoolingEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("FLUID_POOL");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+  }();
+  return enabled;
+}
+
+template <typename T>
+std::vector<T> PoolGet(std::size_t n) {
+  if (n == 0) return {};
+  g_gets.fetch_add(1, std::memory_order_relaxed);
+  const int c = PoolingEnabled() ? ClassForRequest(n) : -1;
+  if (c < 0) return std::vector<T>(n);
+
+  std::vector<T> v;
+  auto& slot = Local<T>().slots[c];
+  if (!slot.empty()) {
+    v = std::move(slot.back());
+    slot.pop_back();
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    auto& global = GlobalPool<T>::Instance();
+    std::lock_guard<std::mutex> lock(global.mu);
+    if (!global.lists[c].empty()) {
+      v = std::move(global.lists[c].back());
+      global.lists[c].pop_back();
+      g_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (v.capacity() < ClassSize(c)) v.reserve(ClassSize(c));
+  // Shrinking is free for the trivially-destructible element types the
+  // pool serves; only growing past the recycled size value-initialises
+  // the tail. Contents stay unspecified either way.
+  v.resize(n);
+  return v;
+}
+
+template <typename T>
+void PoolPut(std::vector<T>&& v) {
+  std::vector<T> victim = std::move(v);
+  const int c =
+      PoolingEnabled() ? ClassForCapacity(victim.capacity()) : -1;
+  if (c < 0) {
+    g_discards.fetch_add(1, std::memory_order_relaxed);
+    return;  // victim's destructor frees the storage
+  }
+#ifndef NDEBUG
+  // Poison recycled contents so a use-after-recycle reads garbage, not
+  // stale-but-plausible data. Release builds skip this (it is O(n) on
+  // the hot path); the ASan CI job runs the pools with poisoning on.
+  if (!victim.empty()) {
+    std::memset(victim.data(), 0xAB, victim.size() * sizeof(T));
+  }
+#endif
+  auto& slot = Local<T>().slots[c];
+  if (slot.size() < kLocalCap) {
+    slot.push_back(std::move(victim));
+    g_puts.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto& global = GlobalPool<T>::Instance();
+  std::lock_guard<std::mutex> lock(global.mu);
+  if (global.lists[c].size() < kGlobalCap) {
+    global.lists[c].push_back(std::move(victim));
+    g_puts.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_discards.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+template std::vector<float> PoolGet<float>(std::size_t);
+template std::vector<std::int8_t> PoolGet<std::int8_t>(std::size_t);
+template std::vector<std::uint8_t> PoolGet<std::uint8_t>(std::size_t);
+template std::vector<std::int16_t> PoolGet<std::int16_t>(std::size_t);
+template std::vector<std::int32_t> PoolGet<std::int32_t>(std::size_t);
+template void PoolPut<float>(std::vector<float>&&);
+template void PoolPut<std::int8_t>(std::vector<std::int8_t>&&);
+template void PoolPut<std::uint8_t>(std::vector<std::uint8_t>&&);
+template void PoolPut<std::int16_t>(std::vector<std::int16_t>&&);
+template void PoolPut<std::int32_t>(std::vector<std::int32_t>&&);
+
+PoolStats PoolStatsSnapshot() {
+  PoolStats s;
+  s.gets = g_gets.load(std::memory_order_relaxed);
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.puts = g_puts.load(std::memory_order_relaxed);
+  s.discards = g_discards.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PoolFlushThisThread() {
+  Local<float>().Flush();
+  Local<std::int8_t>().Flush();
+  Local<std::uint8_t>().Flush();
+  Local<std::int16_t>().Flush();
+  Local<std::int32_t>().Flush();
+}
+
+namespace {
+template <typename T>
+void TrimGlobal() {
+  auto& global = GlobalPool<T>::Instance();
+  std::lock_guard<std::mutex> lock(global.mu);
+  for (auto& list : global.lists) list.clear();
+}
+}  // namespace
+
+void PoolTrimGlobal() {
+  TrimGlobal<float>();
+  TrimGlobal<std::int8_t>();
+  TrimGlobal<std::uint8_t>();
+  TrimGlobal<std::int16_t>();
+  TrimGlobal<std::int32_t>();
+}
+
+Tensor AcquireTensor(Shape shape) {
+  const auto n = static_cast<std::size_t>(shape.numel());
+  return Tensor(std::move(shape), PoolGet<float>(n));
+}
+
+Tensor AcquireZeroedTensor(Shape shape) {
+  Tensor t = AcquireTensor(std::move(shape));
+  auto d = t.data();
+  std::memset(d.data(), 0, d.size() * sizeof(float));
+  return t;
+}
+
+Tensor AcquireTensorCopy(const Tensor& src) {
+  Tensor t = AcquireTensor(src.shape());
+  const auto s = src.data();
+  std::copy(s.begin(), s.end(), t.data().begin());
+  return t;
+}
+
+void RecycleTensor(Tensor&& t) { PoolPut(std::move(t).TakeData()); }
+
+}  // namespace fluid::core

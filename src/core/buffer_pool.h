@@ -1,0 +1,137 @@
+#pragma once
+// Size-class buffer pools for the serve path.
+//
+// The steady-state serving loop churns the same handful of buffer shapes
+// per request (activations, im2col columns, wire frames, int8 staging);
+// allocating them fresh each time puts the allocator and page-zeroing on
+// the latency tail. This pool keeps freed storage on per-thread free
+// lists, bucketed by size class, so a buffer released by one request is
+// handed — still warm, already committed — to the next.
+//
+// Design (what callers may rely on):
+//  * Size classes are powers of two in element count, so `PoolGet<T>(n)`
+//    always returns a vector whose capacity is the full class size. A
+//    caller that resizes within the class (the "reuse after resize" case:
+//    get 300, recycle, get 500) never triggers a reallocation.
+//  * Each thread has a small local cache per class (fast path, no locks).
+//    Overflow — and every buffer a thread still holds when it exits —
+//    spills to a shared global free list, so storage circulates between
+//    threads: a client thread's request buffer, released by the scheduler
+//    drain thread, comes back to the client on its next acquire.
+//  * Pools are storage-only: contents of an acquired buffer are
+//    UNSPECIFIED (only its size is set). Callers must fully overwrite.
+//    Debug builds (#ifndef NDEBUG) poison recycled bytes with 0xAB so a
+//    read-before-write or use-after-recycle shows up as garbage instead
+//    of stale-but-plausible data, and ASan still sees every pooled byte
+//    as live vector storage (the pool never hands out raw memory).
+//  * FLUID_POOL=0 disables pooling (acquire allocates, recycle frees) —
+//    the escape hatch for leak hunting with valgrind/massif.
+//  * Oversized requests (beyond the largest class) bypass the pool.
+//
+// AcquireTensor/RecycleTensor layer tensor recycling on the float pool;
+// PooledTensor is the RAII handle. Layer::ForwardInference implementations
+// acquire their output and recycle their input, which in steady state
+// ping-pongs every activation between the two hot free-list entries
+// instead of allocating per layer.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/shape.h"
+#include "core/tensor.h"
+
+namespace fluid::core {
+
+/// False when FLUID_POOL=0 (resolved once, cached): every pool becomes a
+/// plain allocate/free shim.
+bool PoolingEnabled();
+
+/// A vector of `n` elements with capacity rounded up to the size class
+/// (unless pooling is disabled or `n` exceeds the largest class).
+/// CONTENTS UNSPECIFIED — the caller must overwrite before reading.
+template <typename T>
+std::vector<T> PoolGet(std::size_t n);
+
+/// Return a buffer's storage to the pool. The vector is consumed; its
+/// capacity is binned by the largest class that fits, so grown buffers
+/// keep serving the class they actually fit.
+template <typename T>
+void PoolPut(std::vector<T>&& v);
+
+struct PoolStats {
+  std::uint64_t gets = 0;      // PoolGet calls
+  std::uint64_t hits = 0;      // gets satisfied from a free list
+  std::uint64_t puts = 0;      // PoolPut calls that kept the storage
+  std::uint64_t discards = 0;  // puts dropped (unpooled size / disabled)
+};
+
+/// Process-wide counters (relaxed; for tests and the bench report).
+PoolStats PoolStatsSnapshot();
+
+/// Spill the calling thread's local caches (all element types) to the
+/// global lists — tests use this to hand buffers across threads
+/// deterministically; thread exit does the same automatically.
+void PoolFlushThisThread();
+
+/// Drop every globally pooled buffer (local caches are untouched).
+void PoolTrimGlobal();
+
+// -- tensor recycling ----------------------------------------------------
+
+/// Tensor whose storage comes from the float pool. CONTENTS UNSPECIFIED —
+/// only for outputs that are fully overwritten before being read.
+Tensor AcquireTensor(Shape shape);
+
+/// Pooled tensor cleared to zero (for accumulator-style outputs).
+Tensor AcquireZeroedTensor(Shape shape);
+
+/// Pooled deep copy of `src` — what Tensor::Clone would produce, but with
+/// storage from the float pool. The owning-copy of choice on the serve
+/// path (wire submissions, shard fan-out).
+Tensor AcquireTensorCopy(const Tensor& src);
+
+/// Return a tensor's storage to the float pool. The tensor is consumed.
+void RecycleTensor(Tensor&& t);
+
+/// RAII handle: a pooled tensor that recycles itself on destruction.
+/// Move-only; `release()` detaches the tensor (e.g. to return it).
+class PooledTensor {
+ public:
+  explicit PooledTensor(Shape shape) : t_(AcquireTensor(std::move(shape))) {}
+  explicit PooledTensor(Tensor&& t) : t_(std::move(t)) {}
+  PooledTensor(PooledTensor&& other) noexcept : t_(std::move(other.t_)) {
+    other.t_ = Tensor();
+  }
+  PooledTensor& operator=(PooledTensor&& other) noexcept {
+    if (this != &other) {
+      Recycle();
+      t_ = std::move(other.t_);
+      other.t_ = Tensor();
+    }
+    return *this;
+  }
+  PooledTensor(const PooledTensor&) = delete;
+  PooledTensor& operator=(const PooledTensor&) = delete;
+  ~PooledTensor() { Recycle(); }
+
+  Tensor& get() { return t_; }
+  const Tensor& get() const { return t_; }
+  Tensor* operator->() { return &t_; }
+
+  /// Detach: the caller now owns the tensor; the handle recycles nothing.
+  Tensor release() {
+    Tensor out = std::move(t_);
+    t_ = Tensor();
+    return out;
+  }
+
+ private:
+  void Recycle() {
+    if (!t_.empty()) RecycleTensor(std::move(t_));
+  }
+  Tensor t_;
+};
+
+}  // namespace fluid::core

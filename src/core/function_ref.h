@@ -1,0 +1,45 @@
+#pragma once
+// Non-owning callable reference (two raw pointers, trivially copyable).
+//
+// std::function type-erases by COPYING the callable, and any capture
+// state past its small-buffer limit (16 bytes on libstdc++) heap-
+// allocates on every conversion — which put one or two allocations on
+// every ParallelFor call in the serve path. FunctionRef just points at
+// the caller's callable; it is only safe while that callable outlives
+// the call, which blocking APIs like ParallelFor guarantee by
+// construction (they return only after every chunk ran).
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace fluid::core {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace fluid::core

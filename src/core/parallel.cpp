@@ -23,14 +23,20 @@ int DefaultNumThreads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+// No-op callable Region's FunctionRef member is initialised with before
+// RunRegion points it at the real body.
+constexpr auto kNoopBody = [](std::int64_t, std::int64_t, std::int64_t) {};
+
 // The task a parallel region broadcasts to the pool: workers grab chunk
 // indices from a shared counter until the range is drained.
 struct Region {
   std::int64_t begin = 0;
   std::int64_t grain = 1;
   std::int64_t num_chunks = 0;
-  const std::function<void(std::int64_t, std::int64_t, std::int64_t)>* body =
-      nullptr;
+  // Non-owning: points at the caller's callable, which outlives the
+  // region because RunRegion blocks until every chunk ran.
+  FunctionRef<void(std::int64_t, std::int64_t, std::int64_t)> body =
+      kNoopBody;
   std::atomic<std::int64_t> next_chunk{0};
   std::mutex error_mu;
   std::exception_ptr error;
@@ -42,7 +48,7 @@ struct Region {
       const std::int64_t lo = begin + c * grain;
       const std::int64_t hi = std::min(end, lo + grain);
       try {
-        (*body)(c, lo, hi);
+        body(c, lo, hi);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!error) error = std::current_exception();
@@ -173,8 +179,8 @@ class ThreadPool {
 };
 
 void RunRegion(std::int64_t begin, std::int64_t end, std::int64_t grain,
-               const std::function<void(std::int64_t, std::int64_t,
-                                        std::int64_t)>& body) {
+               FunctionRef<void(std::int64_t, std::int64_t, std::int64_t)>
+                   body) {
   FLUID_CHECK_MSG(grain >= 1, "ParallelFor: grain must be >= 1");
   if (end <= begin) return;
   const std::int64_t range = end - begin;
@@ -193,7 +199,7 @@ void RunRegion(std::int64_t begin, std::int64_t end, std::int64_t grain,
   region.begin = begin;
   region.grain = grain;
   region.num_chunks = num_chunks;
-  region.body = &body;
+  region.body = body;
 
   in_parallel_region = true;
   try {
@@ -218,25 +224,24 @@ std::int64_t NumChunks(std::int64_t begin, std::int64_t end,
 }
 
 void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                 const std::function<void(std::int64_t, std::int64_t)>& body) {
-  RunRegion(begin, end, grain,
-            [&body](std::int64_t, std::int64_t lo, std::int64_t hi) {
-              body(lo, hi);
-            });
+                 FunctionRef<void(std::int64_t, std::int64_t)> body) {
+  const auto adapter = [body](std::int64_t, std::int64_t lo,
+                              std::int64_t hi) { body(lo, hi); };
+  RunRegion(begin, end, grain, adapter);
 }
 
 void ParallelForEach(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                     const std::function<void(std::int64_t)>& body) {
-  RunRegion(begin, end, grain,
-            [&body](std::int64_t, std::int64_t lo, std::int64_t hi) {
-              for (std::int64_t i = lo; i < hi; ++i) body(i);
-            });
+                     FunctionRef<void(std::int64_t)> body) {
+  const auto adapter = [body](std::int64_t, std::int64_t lo,
+                              std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) body(i);
+  };
+  RunRegion(begin, end, grain, adapter);
 }
 
 void ParallelForChunks(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>&
-        body) {
+    FunctionRef<void(std::int64_t, std::int64_t, std::int64_t)> body) {
   RunRegion(begin, end, grain, body);
 }
 

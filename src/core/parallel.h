@@ -21,8 +21,9 @@
 //    inline (no deadlock, no oversubscription).
 
 #include <cstdint>
-#include <functional>
 #include <vector>
+
+#include "core/function_ref.h"
 
 namespace fluid::core {
 
@@ -53,12 +54,18 @@ void SetNumThreads(int n);
 /// ragged) and chunks are handed to workers dynamically, so load balances
 /// while chunk boundaries stay thread-count-independent. Ranges with
 /// end - begin <= grain run inline on the caller.
+///
+/// The body is taken by non-owning FunctionRef (ParallelFor blocks until
+/// every chunk ran, so the caller's callable always outlives the region).
+/// This keeps the dispatch allocation-free: std::function would heap-
+/// allocate for any capture list past its small-buffer limit, which on
+/// the serve path meant allocations per layer per request.
 void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                 const std::function<void(std::int64_t, std::int64_t)>& body);
+                 FunctionRef<void(std::int64_t, std::int64_t)> body);
 
 /// ParallelFor over single indices: body(i) for i in [begin, end).
 void ParallelForEach(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                     const std::function<void(std::int64_t)>& body);
+                     FunctionRef<void(std::int64_t)> body);
 
 /// Number of fixed-size chunks ParallelFor-style chunking produces for a
 /// range; callers allocating per-chunk accumulators use this together with
@@ -73,6 +80,6 @@ std::int64_t NumChunks(std::int64_t begin, std::int64_t end,
 /// bit-reproducible.
 void ParallelForChunks(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& body);
+    FunctionRef<void(std::int64_t, std::int64_t, std::int64_t)> body);
 
 }  // namespace fluid::core

@@ -28,9 +28,12 @@ inline void QWriteBack(const std::int32_t* acc, std::int64_t acc_ld,
   }
 }
 
-// Per-thread packing scratch, grow-only like the fp32 driver's.
-thread_local std::vector<std::int16_t> tl_qapack;
-thread_local std::vector<std::int16_t> tl_qbpack;
+// Per-thread packing scratch, grow-only like the fp32 driver's. Byte
+// vectors: panel layout is the kernel's own (int16 pairs for the pmaddwd
+// tiers, biased u8/s8 quads + comp row for vnni); the driver only strides
+// between panels using the kernel's *_panel_bytes.
+thread_local std::vector<std::uint8_t> tl_qapack;
+thread_local std::vector<std::uint8_t> tl_qbpack;
 
 // Packed-A reuse tags (see gemm.cpp): several (row block × jr group)
 // tasks on one thread share a row block; repack only on a block change.
@@ -60,9 +63,11 @@ void QGemmInt8(std::int64_t m, std::int64_t n, std::int64_t k,
 
   auto& bpack = tl_qbpack;
   {
+    // kc/nc only shrink on tail blocks, so the first block's panel count
+    // and stride bound every later one.
     const std::int64_t kc0 = std::min(KC, k);
     const std::int64_t nc0 = (std::min(NC, n) + NR - 1) / NR * NR;
-    EnsureScratch(bpack, ((kc0 + 1) / 2) * 2 * nc0);
+    EnsureScratch(bpack, (nc0 / NR) * kern.b_panel_bytes(kc0));
   }
   const std::int64_t m_blocks = (m + MC - 1) / MC;
   const std::int64_t jr_task_cols = 4 * NR;
@@ -72,7 +77,8 @@ void QGemmInt8(std::int64_t m, std::int64_t n, std::int64_t k,
     const std::int64_t nc_padded = (nc + NR - 1) / NR * NR;
     for (std::int64_t pc = 0; pc < k; pc += KC) {
       const std::int64_t kc = std::min(KC, k - pc);
-      const std::int64_t kp = (kc + 1) / 2;
+      const std::int64_t a_panel = kern.a_panel_bytes(kc);
+      const std::int64_t b_panel = kern.b_panel_bytes(kc);
       kern.pack_b(b, ldb, pc, jc, kc, nc, bpack.data());
 
       const std::uint64_t epoch =
@@ -88,7 +94,7 @@ void QGemmInt8(std::int64_t m, std::int64_t n, std::int64_t k,
         const std::int64_t mc_padded = (mc + MR - 1) / MR * MR;
         auto& apack = tl_qapack;
         if (tl_qapack_epoch != epoch || tl_qapack_blk != blk) {
-          EnsureScratch(apack, mc_padded * kp * 2);
+          EnsureScratch(apack, (mc_padded / MR) * a_panel);
           kern.pack_a(a, lda, ic, pc, mc, kc, apack.data());
           tl_qapack_epoch = epoch;
           tl_qapack_blk = blk;
@@ -98,11 +104,11 @@ void QGemmInt8(std::int64_t m, std::int64_t n, std::int64_t k,
         const std::int64_t jr_end =
             std::min(jr_task_cols * (jt + 1), nc_padded);
         for (std::int64_t jr = jt * jr_task_cols; jr < jr_end; jr += NR) {
-          const std::int16_t* bp = bpack.data() + jr * kp * 2;
+          const std::uint8_t* bp = bpack.data() + (jr / NR) * b_panel;
           const std::int64_t cols = std::min(NR, nc - jr);
           for (std::int64_t ir = 0; ir < mc; ir += MR) {
             const std::int64_t rows = std::min(MR, mc - ir);
-            kern.micro(kp, apack.data() + ir * kp * 2, bp, acc);
+            kern.micro(kc, apack.data() + (ir / MR) * a_panel, bp, acc);
             QWriteBack(acc, NR, overwrite, rows, cols,
                        c + (ic + ir) * ldc + jc + jr, ldc);
           }

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "core/buffer_pool.h"
+
 namespace fluid::core {
 
 namespace {
@@ -82,12 +84,40 @@ Status ByteReader::TryReadString(std::string& out) {
   return Status::Ok();
 }
 
+namespace {
+
+// Fill `out` with `len` elements copied from `p`, pulling pooled storage
+// when the current capacity cannot hold them. The length is already
+// bounds-checked against the input by the caller's Take, so pool sizing
+// here cannot be driven past the frame size by a hostile length.
+template <typename T>
+void FillFromPool(std::vector<T>& out, const std::uint8_t* p,
+                  std::size_t len) {
+  if (out.capacity() < len) {
+    out = PoolGet<T>(len);
+  } else {
+    out.resize(len);
+  }
+  std::memcpy(out.data(), p, len * sizeof(T));
+}
+
+}  // namespace
+
 Status ByteReader::TryReadBytes(std::vector<std::uint8_t>& out) {
   std::uint64_t len = 0;
   FLUID_RETURN_IF_ERROR(TryReadU64(len));
   const std::uint8_t* p = nullptr;
   FLUID_RETURN_IF_ERROR(Take(static_cast<std::size_t>(len), p));
-  out.assign(p, p + len);
+  FillFromPool(out, p, static_cast<std::size_t>(len));
+  return Status::Ok();
+}
+
+Status ByteReader::TryReadBytes(std::vector<std::int8_t>& out) {
+  std::uint64_t len = 0;
+  FLUID_RETURN_IF_ERROR(TryReadU64(len));
+  const std::uint8_t* p = nullptr;
+  FLUID_RETURN_IF_ERROR(Take(static_cast<std::size_t>(len), p));
+  FillFromPool(out, p, static_cast<std::size_t>(len));
   return Status::Ok();
 }
 
@@ -102,8 +132,7 @@ Status ByteReader::TryReadFloats(std::vector<float>& out) {
   }
   const std::uint8_t* p = nullptr;
   FLUID_RETURN_IF_ERROR(Take(static_cast<std::size_t>(count) * sizeof(float), p));
-  out.resize(static_cast<std::size_t>(count));
-  std::memcpy(out.data(), p, out.size() * sizeof(float));
+  FillFromPool(out, p, static_cast<std::size_t>(count));
   return Status::Ok();
 }
 

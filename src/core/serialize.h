@@ -15,6 +15,15 @@ namespace fluid::core {
 /// Append-only little-endian byte sink.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Adopt an existing buffer's storage: the contents are cleared but the
+  /// capacity is kept, so encode paths that recycle frame buffers (the
+  /// pooled wire path) append without reallocating.
+  explicit ByteWriter(std::vector<std::uint8_t> buffer)
+      : buffer_(std::move(buffer)) {
+    buffer_.clear();
+  }
+
   void WriteU8(std::uint8_t v);
   void WriteU32(std::uint32_t v);
   void WriteU64(std::uint64_t v);
@@ -56,7 +65,11 @@ class ByteReader {
   Status TryReadF32(float& out);
   Status TryReadF64(double& out);
   Status TryReadString(std::string& out);
+  /// Byte/float block readers fill `out` from the buffer pool when it has
+  /// no usable capacity, so steady-state decode paths stop allocating;
+  /// int8 overload decodes quantized payloads without a staging copy.
   Status TryReadBytes(std::vector<std::uint8_t>& out);
+  Status TryReadBytes(std::vector<std::int8_t>& out);
   Status TryReadFloats(std::vector<float>& out);
   Status TryReadTensor(Tensor& out);
 

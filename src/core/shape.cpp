@@ -6,17 +6,22 @@
 
 namespace fluid::core {
 
-Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
-  for (const auto d : dims_) {
-    FLUID_CHECK_MSG(d >= 0, "Shape extents must be non-negative");
+void Shape::Init(std::span<const std::int64_t> dims) {
+  FLUID_CHECK_MSG(dims.size() <= kMaxRank, "Shape rank exceeds kMaxRank");
+  rank_ = dims.size();
+  for (std::size_t i = 0; i < rank_; ++i) {
+    FLUID_CHECK_MSG(dims[i] >= 0, "Shape extents must be non-negative");
+    dims_[i] = dims[i];
   }
 }
 
-Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
-  for (const auto d : dims_) {
-    FLUID_CHECK_MSG(d >= 0, "Shape extents must be non-negative");
-  }
+Shape::Shape(std::initializer_list<std::int64_t> dims) {
+  Init({dims.begin(), dims.size()});
 }
+
+Shape::Shape(const std::vector<std::int64_t>& dims) { Init(dims); }
+
+Shape::Shape(std::span<const std::int64_t> dims) { Init(dims); }
 
 std::int64_t Shape::dim(std::int64_t axis) const {
   const auto r = static_cast<std::int64_t>(rank());
@@ -27,7 +32,7 @@ std::int64_t Shape::dim(std::int64_t axis) const {
 
 std::int64_t Shape::numel() const {
   std::int64_t n = 1;
-  for (const auto d : dims_) n *= d;
+  for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
   return n;
 }
 
@@ -55,7 +60,7 @@ std::int64_t Shape::Offset(const std::vector<std::int64_t>& index) const {
 std::string Shape::ToString() const {
   std::ostringstream os;
   os << "[";
-  for (std::size_t i = 0; i < dims_.size(); ++i) {
+  for (std::size_t i = 0; i < rank_; ++i) {
     if (i) os << ", ";
     os << dims_[i];
   }

@@ -1,7 +1,13 @@
 // int8 kernel selection: tied to the fp32 tier so CPUID probing and the
-// FLUID_SIMD override live in exactly one place (simd/dispatch.cpp).
+// FLUID_SIMD override live in exactly one place (simd/dispatch.cpp). The
+// one divergence is deliberate: an fp32 "avx512" tier upgrades the int8
+// path to "avx512vnni" when the CPU has VNNI — there is no fp32 VNNI
+// kernel to pair with, and vpdpbusd doubles int8 GEMM throughput while
+// staying bitwise identical (integer-exact) to every other tier.
 
 #include "core/simd/qgemm_kernel.h"
+
+#include <atomic>
 
 #include "core/simd/gemm_kernel.h"
 
@@ -11,17 +17,21 @@ extern const QGemmKernel kQGemmKernelScalar;
 #if defined(__x86_64__) || defined(__i386__)
 extern const QGemmKernel kQGemmKernelAvx2;
 extern const QGemmKernel kQGemmKernelAvx512;
+extern const QGemmKernel kQGemmKernelAvx512Vnni;
 #endif
 
 namespace {
 
 const QGemmKernel* const kQTable[] = {
 #if defined(__x86_64__) || defined(__i386__)
+    &kQGemmKernelAvx512Vnni,
     &kQGemmKernelAvx512,
     &kQGemmKernelAvx2,
 #endif
     &kQGemmKernelScalar,
 };
+
+std::atomic<const QGemmKernel*> g_qoverride{nullptr};
 
 }  // namespace
 
@@ -34,11 +44,23 @@ const QGemmKernel* QGemmKernelByName(std::string_view name) {
   return nullptr;
 }
 
+void SetQGemmKernelForTesting(const QGemmKernel* kernel) {
+  g_qoverride.store(kernel, std::memory_order_release);
+}
+
 const QGemmKernel& ActiveQGemmKernel() {
+  if (const QGemmKernel* forced = g_qoverride.load(std::memory_order_acquire)) {
+    return *forced;
+  }
   // Follow the fp32 tier every call (it is one atomic load there). Tests
   // that pin the fp32 kernel via SetGemmKernelForTesting pin this path
   // with it, so the two GEMMs can never run split across tiers.
-  const QGemmKernel* k = QGemmKernelByName(ActiveGemmKernel().name);
+  const std::string_view tier = ActiveGemmKernel().name;
+  if (tier == "avx512") {
+    const QGemmKernel* vnni = QGemmKernelByName("avx512vnni");
+    if (vnni != nullptr && vnni->supported()) return *vnni;
+  }
+  const QGemmKernel* k = QGemmKernelByName(tier);
   if (k != nullptr && k->supported()) return *k;
   return kQGemmKernelScalar;
 }

@@ -2,17 +2,29 @@
 // int8×int8→int32 GEMM microkernel dispatch — the integer sibling of
 // gemm_kernel.h, selected by the *same* tier resolution (CPUID once,
 // FLUID_SIMD=avx512|avx2|scalar override honored): the active int8 kernel
-// is the one whose name matches the active fp32 kernel, so one knob pins
-// both paths to a tier.
+// is the one whose name matches the active fp32 kernel — except that the
+// "avx512" fp32 tier upgrades to "avx512vnni" when the CPU has AVX-512
+// VNNI, so one knob still pins both paths to a tier.
 //
-// Kernel contract: operands are packed into int16 panels with adjacent k
-// steps interleaved in pairs (see qpack.h) so the x86 tiers can feed
-// pmaddwd — each madd instruction multiplies two (a, b) int16 pairs and
-// adds both products into an int32 lane, i.e. two k steps per
-// instruction. int8 values widened to int16 cannot overflow the madd
-// (|a·b| ≤ 127² and the pair sum ≤ 2·127² « 2³¹), and int32 accumulation
-// is exact, so every tier — and every thread count — produces bitwise
-// identical results; tests compare tiers with equality, not tolerance.
+// Kernel contract: pack_a/pack_b lower int8 operands into kernel-private
+// byte panels whose per-panel stride the kernel reports via
+// a_panel_bytes/b_panel_bytes — the driver treats panels as opaque bytes.
+// Two panel families exist today:
+//
+//   pmaddwd tiers (scalar/avx2/avx512): operands widened to int16 with
+//   adjacent k steps interleaved in pairs (see qpack.h) so each madd
+//   instruction retires two k steps. int8 widened to int16 cannot
+//   overflow the madd (pair sum ≤ 2·127² « 2³¹).
+//
+//   vnni tier (avx512vnni): A re-biased to u8 (a+128) and quad-interleaved,
+//   B kept s8 and quad-interleaved with a per-panel int32 column-sum
+//   compensation row; vpdpbusd retires four k steps per instruction and
+//   the micro subtracts 128·Σb to undo the bias (see qkernel_avx512vnni.cpp
+//   for the exactness argument).
+//
+// Every family accumulates exactly in int32, so every tier — and every
+// thread count — produces bitwise identical results; tests compare tiers
+// with equality, not tolerance.
 
 #include <cstdint>
 #include <span>
@@ -22,30 +34,36 @@ namespace fluid::core::simd {
 
 /// One int8-GEMM dispatch entry. All function pointers are non-null.
 struct QGemmKernel {
-  const char* name;  // matches the fp32 GemmKernel tier names
+  const char* name;  // fp32 tier names, plus upgrade tiers like "avx512vnni"
 
   // Register tile (MR×NR int32 accumulators) and cache blocking, same
-  // roles as GemmKernel. mc is a multiple of mr; kc is even (k pairs).
+  // roles as GemmKernel. mc is a multiple of mr.
   std::int64_t mr, nr;
   std::int64_t kc, mc, nc;
 
-  /// acc[mr*nr] (row-major int32, nr stride) = Apanel × Bpanel over
-  /// `kp` k-PAIRS; overwrites acc. Panels per qpack.h:
-  /// ap[p2*mr*2 + i*2 + lo/hi], bp[p2*nr*2 + j*2 + lo/hi].
-  void (*micro)(std::int64_t kp, const std::int16_t* ap,
-                const std::int16_t* bp, std::int32_t* acc);
+  /// Bytes of one packed mr-row A panel / nr-column B panel for a block
+  /// of depth `kc`. The driver sizes scratch and strides between panels
+  /// with these; the panel interior is the kernel's own business.
+  std::int64_t (*a_panel_bytes)(std::int64_t kc);
+  std::int64_t (*b_panel_bytes)(std::int64_t kc);
+
+  /// acc[mr*nr] (row-major int32, nr stride) = Apanel × Bpanel over `kc`
+  /// k steps; overwrites acc. ap/bp point at one packed panel each.
+  void (*micro)(std::int64_t kc, const void* ap, const void* bp,
+                std::int32_t* acc);
 
   /// Packs the mc×kc block of A (row-major int8, no transpose) at
-  /// (row0, p0) into widened mr-row k-pair panels, zero-padded.
+  /// (row0, p0) into consecutive mr-row panels, padded so dead rows and
+  /// k tails contribute exactly zero.
   void (*pack_a)(const std::int8_t* a, std::int64_t lda, std::int64_t row0,
                  std::int64_t p0, std::int64_t mc, std::int64_t kc,
-                 std::int16_t* apack);
+                 void* apack);
 
   /// Packs the kc×nc block of B (row-major int8) at (p0, col0) into
-  /// widened nr-column k-pair panels, zero-padded.
+  /// consecutive nr-column panels, padded likewise.
   void (*pack_b)(const std::int8_t* b, std::int64_t ldb, std::int64_t p0,
                  std::int64_t col0, std::int64_t kc, std::int64_t nc,
-                 std::int16_t* bpack);
+                 void* bpack);
 
   bool (*supported)();
 };
@@ -54,15 +72,23 @@ struct QGemmKernel {
 inline constexpr std::int64_t kMaxQMr = 6;
 inline constexpr std::int64_t kMaxQNr = 32;
 
-/// All registered int8 kernels, best first (avx512, avx2, scalar).
+/// All registered int8 kernels, best first (avx512vnni, avx512, avx2,
+/// scalar).
 std::span<const QGemmKernel* const> AllQGemmKernels();
 
 /// Kernel with the given tier name, or nullptr if unknown.
 const QGemmKernel* QGemmKernelByName(std::string_view name);
 
 /// The kernel QGemmInt8 uses: the entry named like the active fp32 GEMM
-/// kernel (which already folded CPUID + FLUID_SIMD), falling back to
-/// scalar if a tier ever lacks an int8 sibling.
+/// kernel (which already folded CPUID + FLUID_SIMD) — upgraded to
+/// "avx512vnni" when the fp32 tier is "avx512" and the CPU has VNNI —
+/// falling back to scalar if a tier ever lacks an int8 sibling.
 const QGemmKernel& ActiveQGemmKernel();
+
+/// Test-only: pin the int8 kernel directly (nullptr resumes following the
+/// fp32 tier). Lets tests exercise tiers the auto upgrade would shadow
+/// (plain "avx512" on a VNNI host). Not thread-safe against concurrent
+/// QGemmInt8 callers, like its fp32 sibling.
+void SetQGemmKernelForTesting(const QGemmKernel* kernel);
 
 }  // namespace fluid::core::simd

@@ -19,8 +19,10 @@ constexpr std::int64_t MR = 6;
 constexpr std::int64_t NR = 32;
 
 __attribute__((target("avx512f,avx512bw"))) void QMicroAvx512(
-    std::int64_t kp, const std::int16_t* ap, const std::int16_t* bp,
-    std::int32_t* acc) {
+    std::int64_t kc, const void* ap_, const void* bp_, std::int32_t* acc) {
+  const std::int64_t kp = (kc + 1) / 2;
+  const std::int16_t* ap = static_cast<const std::int16_t*>(ap_);
+  const std::int16_t* bp = static_cast<const std::int16_t*>(bp_);
   __m512i c[MR][2];
   for (int i = 0; i < MR; ++i) {
     c[i][0] = _mm512_setzero_si512();
@@ -60,6 +62,8 @@ extern const QGemmKernel kQGemmKernelAvx512 = {
     .kc = 256,
     .mc = 48,
     .nc = 1024,
+    .a_panel_bytes = QPairPanelBytes<MR>,
+    .b_panel_bytes = QPairPanelBytes<NR>,
     .micro = QMicroAvx512,
     .pack_a = QPackA<MR>,
     .pack_b = QPackB<NR>,

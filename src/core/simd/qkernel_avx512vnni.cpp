@@ -1,0 +1,174 @@
+// AVX-512 VNNI int8 tier: 6×32 int32 tile fed by vpdpbusd, which retires
+// FOUR k steps per instruction (vs pmaddwd's two) — u8×s8 byte products
+// summed pairwise in int16 and accumulated non-saturating into int32.
+//
+// vpdpbusd wants an unsigned left operand, so A is re-biased at pack time:
+// each a is stored as u8 a+128 (= a XOR 0x80) and quad-interleaved; B
+// stays s8, quad-interleaved, with a per-panel int32 compensation row
+// comp[j] = Σ_k b[k][j] appended after the quads. The micro computes
+//
+//   Σ_k (a+128)·b  −  128·Σ_k b  =  Σ_k a·b        (exactly)
+//
+// Exactness: each u8·s8 byte product fits int16 (≤ 255·127 = 32385 <
+// 2¹⁵−1), vpdpbusd sign-extends the four products to int32 before its
+// non-saturating dword accumulate (VPDPBUSDS is the saturating variant;
+// we use the plain one), and over a KC=256 block |Σ(a+128)b| ≤
+// 256·255·127 ≈ 8.3e6 and 128·|Σb| ≤ 256·128·127 ≈ 4.2e6 both sit far
+// below 2³¹ — so int32 accumulation is exact and the result is bitwise
+// identical to the scalar tier.
+//
+// Padding: dead A rows and k-tail bytes store 0x80 (the biased encoding
+// of 0); dead B columns and k tails store 0 with comp = Σ over real k
+// only — every padding combination then contributes exactly zero after
+// the compensation subtract.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/simd/qgemm_kernel.h"
+
+namespace fluid::core::simd {
+
+namespace {
+
+constexpr std::int64_t MR = 6;
+constexpr std::int64_t NR = 32;
+
+std::int64_t APanelBytesVnni(std::int64_t kc) {
+  return MR * ((kc + 3) / 4) * 4;  // kq quads × MR rows × 4 u8
+}
+
+std::int64_t BPanelBytesVnni(std::int64_t kc) {
+  // kq quads × NR cols × 4 s8, then the int32 comp[NR] row.
+  return NR * ((kc + 3) / 4) * 4 + NR * 4;
+}
+
+// A panel r (rows [r·MR, r·MR+MR)): ap[q·MR·4 + i·4 + s] = u8(a + 128),
+// padding 0x80.
+void QPackAVnni(const std::int8_t* a, std::int64_t lda, std::int64_t row0,
+                std::int64_t p0, std::int64_t mc, std::int64_t kc,
+                void* apack_) {
+  std::uint8_t* apack = static_cast<std::uint8_t*>(apack_);
+  const std::int64_t kq = (kc + 3) / 4;
+  for (std::int64_t r = 0; r < mc; r += MR) {
+    const std::int64_t rows = std::min(MR, mc - r);
+    std::uint8_t* panel = apack + (r / MR) * kq * MR * 4;
+    for (std::int64_t q = 0; q < kq; ++q) {
+      std::uint8_t* dst = panel + q * MR * 4;
+      for (std::int64_t mr = 0; mr < MR; ++mr) {
+        const std::int8_t* src = a + (row0 + r + mr) * lda + p0 + q * 4;
+        for (std::int64_t s = 0; s < 4; ++s) {
+          const bool live = mr < rows && q * 4 + s < kc;
+          dst[mr * 4 + s] =
+              live ? static_cast<std::uint8_t>(
+                         static_cast<std::uint8_t>(src[s]) ^ 0x80U)
+                   : std::uint8_t{0x80};
+        }
+      }
+    }
+  }
+}
+
+// B panel c (cols [c·NR, c·NR+NR)): bp[q·NR·4 + j·4 + s] = s8 b, padding
+// 0, followed at offset kq·NR·4 by int32 comp[NR] (column sums over the
+// real kc steps; 0 for dead columns).
+void QPackBVnni(const std::int8_t* b, std::int64_t ldb, std::int64_t p0,
+                std::int64_t col0, std::int64_t kc, std::int64_t nc,
+                void* bpack_) {
+  std::uint8_t* bpack = static_cast<std::uint8_t*>(bpack_);
+  const std::int64_t kq = (kc + 3) / 4;
+  const std::int64_t panel_bytes = BPanelBytesVnni(kc);
+  for (std::int64_t c = 0; c < nc; c += NR) {
+    const std::int64_t cols = std::min(NR, nc - c);
+    std::uint8_t* panel = bpack + (c / NR) * panel_bytes;
+    std::int32_t comp[NR] = {};
+    for (std::int64_t q = 0; q < kq; ++q) {
+      std::int8_t* dst = reinterpret_cast<std::int8_t*>(panel + q * NR * 4);
+      for (std::int64_t s = 0; s < 4; ++s) {
+        const std::int64_t p = q * 4 + s;
+        if (p < kc) {
+          const std::int8_t* src = b + (p0 + p) * ldb + col0 + c;
+          for (std::int64_t nr = 0; nr < cols; ++nr) {
+            dst[nr * 4 + s] = src[nr];
+            comp[nr] += src[nr];
+          }
+          for (std::int64_t nr = cols; nr < NR; ++nr) dst[nr * 4 + s] = 0;
+        } else {
+          for (std::int64_t nr = 0; nr < NR; ++nr) dst[nr * 4 + s] = 0;
+        }
+      }
+    }
+    std::memcpy(panel + kq * NR * 4, comp, sizeof(comp));
+  }
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void QMicroAvx512Vnni(
+    std::int64_t kc, const void* ap_, const void* bp_, std::int32_t* acc) {
+  const std::int64_t kq = (kc + 3) / 4;
+  const std::uint8_t* ap = static_cast<const std::uint8_t*>(ap_);
+  const std::uint8_t* bp = static_cast<const std::uint8_t*>(bp_);
+  __m512i c[MR][2];
+  for (int i = 0; i < MR; ++i) {
+    c[i][0] = _mm512_setzero_si512();
+    c[i][1] = _mm512_setzero_si512();
+  }
+  for (std::int64_t q = 0; q < kq; ++q) {
+    const std::uint8_t* a = ap + q * MR * 4;
+    const std::uint8_t* b = bp + q * NR * 4;
+    // 64 bytes = 16 column quads per register: b0 covers columns 0-15,
+    // b1 columns 16-31, each 32-bit lane holding (b[k..k+3]) for one
+    // column.
+    const __m512i b0 = _mm512_loadu_si512(b);
+    const __m512i b1 = _mm512_loadu_si512(b + 16 * 4);
+#pragma GCC unroll 6
+    for (int i = 0; i < MR; ++i) {
+      std::uint32_t quad;  // (a[k..k+3] + 128) as one 32-bit broadcast
+      std::memcpy(&quad, a + i * 4, sizeof(quad));
+      const __m512i ai = _mm512_set1_epi32(static_cast<int>(quad));
+      c[i][0] = _mm512_dpbusd_epi32(c[i][0], ai, b0);
+      c[i][1] = _mm512_dpbusd_epi32(c[i][1], ai, b1);
+    }
+  }
+  // Undo the +128 bias: acc = Σ(a+128)b − 128·Σb = Σab, exactly.
+  const std::uint8_t* comp_row = bp + kq * NR * 4;
+  const __m512i comp0 = _mm512_loadu_si512(comp_row);
+  const __m512i comp1 = _mm512_loadu_si512(comp_row + 16 * 4);
+  for (int i = 0; i < MR; ++i) {
+    _mm512_storeu_si512(
+        acc + i * NR, _mm512_sub_epi32(c[i][0], _mm512_slli_epi32(comp0, 7)));
+    _mm512_storeu_si512(
+        acc + i * NR + 16,
+        _mm512_sub_epi32(c[i][1], _mm512_slli_epi32(comp1, 7)));
+  }
+}
+
+bool Avx512VnniSupported() {
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vnni");
+}
+
+}  // namespace
+
+extern const QGemmKernel kQGemmKernelAvx512Vnni = {
+    .name = "avx512vnni",
+    .mr = MR,
+    .nr = NR,
+    .kc = 256,  // kq=64; KC×NR s8 B panel ≈ 8 KB + 128 B comp, L1-resident
+    .mc = 48,
+    .nc = 1024,
+    .a_panel_bytes = APanelBytesVnni,
+    .b_panel_bytes = BPanelBytesVnni,
+    .micro = QMicroAvx512Vnni,
+    .pack_a = QPackAVnni,
+    .pack_b = QPackBVnni,
+    .supported = Avx512VnniSupported,
+};
+
+}  // namespace fluid::core::simd
+
+#endif  // x86

@@ -12,9 +12,11 @@ namespace {
 constexpr std::int64_t MR = 6;
 constexpr std::int64_t NR = 16;
 
-void QMicroScalar(std::int64_t kp, const std::int16_t* __restrict__ ap,
-                  const std::int16_t* __restrict__ bp,
+void QMicroScalar(std::int64_t kc, const void* ap_, const void* bp_,
                   std::int32_t* __restrict__ acc) {
+  const std::int64_t kp = (kc + 1) / 2;
+  const std::int16_t* __restrict__ ap = static_cast<const std::int16_t*>(ap_);
+  const std::int16_t* __restrict__ bp = static_cast<const std::int16_t*>(bp_);
   for (std::int64_t i = 0; i < MR * NR; ++i) acc[i] = 0;
   for (std::int64_t p2 = 0; p2 < kp; ++p2) {
     const std::int16_t* a = ap + p2 * MR * 2;
@@ -41,6 +43,8 @@ extern const QGemmKernel kQGemmKernelScalar = {
     .kc = 256,  // KC×NR int16 B panel ≈ 8 KB, L1-resident
     .mc = 48,
     .nc = 1024,
+    .a_panel_bytes = QPairPanelBytes<MR>,
+    .b_panel_bytes = QPairPanelBytes<NR>,
     .micro = QMicroScalar,
     .pack_a = QPackA<MR>,
     .pack_b = QPackB<NR>,

@@ -1,8 +1,8 @@
 #pragma once
-// Panel packing for the int8 GEMM microkernels. Operands are widened to
-// int16 at pack time and adjacent k steps are interleaved in pairs, so a
-// microkernel k-pair step is one contiguous load per operand and the x86
-// tiers can feed pmaddwd directly:
+// Panel packing for the pmaddwd-family int8 GEMM microkernels. Operands
+// are widened to int16 at pack time and adjacent k steps are interleaved
+// in pairs, so a microkernel k-pair step is one contiguous load per
+// operand and the x86 tiers can feed pmaddwd directly:
 //
 //   A panel r (rows [r·MR, r·MR+MR)):  ap[p2·MR·2 + i·2 + s]
 //   B panel c (cols [c·NR, c·NR+NR)):  bp[p2·NR·2 + j·2 + s]
@@ -10,20 +10,32 @@
 // with p2 = k/2 the pair index and s ∈ {0,1} the step within the pair.
 // Rows/columns beyond the block and the odd trailing k step are
 // zero-padded (0 contributes 0 to an integer dot product — exact).
+//
+// The dispatch contract passes panels as opaque bytes; one TILE-row panel
+// for a kc-deep block occupies QPairPanelBytes<TILE>(kc) bytes. The VNNI
+// tier packs a different (quad-interleaved) family and lives entirely in
+// qkernel_avx512vnni.cpp.
 
 #include <algorithm>
 #include <cstdint>
 
 namespace fluid::core::simd {
 
+/// Bytes of one pair-interleaved int16 panel covering TILE rows/columns:
+/// (kc+1)/2 pairs × TILE lanes × 2 int16 × 2 bytes.
+template <std::int64_t TILE>
+std::int64_t QPairPanelBytes(std::int64_t kc) {
+  return TILE * ((kc + 1) / 2) * 2 * 2;
+}
+
 template <std::int64_t MR>
 void QPackA(const std::int8_t* a, std::int64_t lda, std::int64_t row0,
-            std::int64_t p0, std::int64_t mc, std::int64_t kc,
-            std::int16_t* apack) {
+            std::int64_t p0, std::int64_t mc, std::int64_t kc, void* apack_) {
+  std::int16_t* apack = static_cast<std::int16_t*>(apack_);
   const std::int64_t kp = (kc + 1) / 2;
   for (std::int64_t r = 0; r < mc; r += MR) {
     const std::int64_t rows = std::min(MR, mc - r);
-    std::int16_t* panel = apack + r * kp * 2;
+    std::int16_t* panel = apack + (r / MR) * kp * MR * 2;
     for (std::int64_t p2 = 0; p2 < kp; ++p2) {
       const std::int64_t p = 2 * p2;
       std::int16_t* dst = panel + p2 * MR * 2;
@@ -40,11 +52,12 @@ void QPackA(const std::int8_t* a, std::int64_t lda, std::int64_t row0,
 template <std::int64_t NR>
 void QPackB(const std::int8_t* b, std::int64_t ldb, std::int64_t p0,
             std::int64_t col0, std::int64_t kc, std::int64_t nc,
-            std::int16_t* bpack) {
+            void* bpack_) {
+  std::int16_t* bpack = static_cast<std::int16_t*>(bpack_);
   const std::int64_t kp = (kc + 1) / 2;
   for (std::int64_t c = 0; c < nc; c += NR) {
     const std::int64_t cols = std::min(NR, nc - c);
-    std::int16_t* panel = bpack + c * kp * 2;
+    std::int16_t* panel = bpack + (c / NR) * kp * NR * 2;
     for (std::int64_t p2 = 0; p2 < kp; ++p2) {
       const std::int64_t p = 2 * p2;
       const std::int8_t* src0 = b + (p0 + p) * ldb + col0 + c;

@@ -71,11 +71,25 @@ void Tensor::Fill(float value) {
   for (auto& v : data_) v = value;
 }
 
-Tensor Tensor::Reshaped(Shape new_shape) const {
+Tensor Tensor::Reshaped(Shape new_shape) const& {
   FLUID_CHECK_MSG(new_shape.numel() == shape_.numel(),
                   "Reshaped: numel mismatch " + shape_.ToString() + " -> " +
                       new_shape.ToString());
   return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) && {
+  FLUID_CHECK_MSG(new_shape.numel() == shape_.numel(),
+                  "Reshaped: numel mismatch " + shape_.ToString() + " -> " +
+                      new_shape.ToString());
+  return Tensor(std::move(new_shape), std::move(data_));
+}
+
+std::vector<float> Tensor::TakeData() && {
+  std::vector<float> out = std::move(data_);
+  data_.clear();
+  shape_ = Shape({0});
+  return out;
 }
 
 std::string Tensor::ToString(std::int64_t max_elements) const {

@@ -65,8 +65,16 @@ class Tensor {
   void Fill(float value);
   void Zero() { Fill(0.0F); }
 
-  /// Reinterpret with a new shape of identical numel (no data movement).
-  Tensor Reshaped(Shape new_shape) const;
+  /// Reinterpret with a new shape of identical numel. The const overload
+  /// copies; the rvalue overload moves the storage (serve-path reshapes
+  /// like Flatten use it to stay allocation-free).
+  Tensor Reshaped(Shape new_shape) const&;
+  Tensor Reshaped(Shape new_shape) &&;
+
+  /// Steal the flat storage, leaving the tensor empty (shape [0]). The
+  /// buffer-pool recycling path uses this to return activation storage
+  /// without a copy.
+  std::vector<float> TakeData() &&;
 
   /// Deep copy (explicit, so accidental copies are grep-able).
   Tensor Clone() const { return *this; }

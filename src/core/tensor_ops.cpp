@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/buffer_pool.h"
 #include "core/error.h"
 #include "core/gemm.h"
 #include "core/parallel.h"
@@ -173,9 +174,12 @@ Tensor ConcatAxis0(const std::vector<const Tensor*>& parts) {
     }
     rows += s[0];
   }
-  std::vector<std::int64_t> dims = first.dims();
+  std::int64_t dims[Shape::kMaxRank];
+  std::copy(first.dims().begin(), first.dims().end(), dims);
   dims[0] = rows;
-  Tensor out{Shape(std::move(dims))};
+  // Pooled: the copy loop below writes every element.
+  Tensor out =
+      AcquireTensor(Shape(std::span<const std::int64_t>(dims, first.rank())));
   float* dst = out.data().data();
   for (const Tensor* p : parts) {
     const auto src = p->data();
@@ -191,9 +195,12 @@ Tensor SliceAxis0(const Tensor& t, std::int64_t start, std::int64_t count) {
   FLUID_CHECK_MSG(start >= 0 && count >= 0 && start + count <= rows,
                   "SliceAxis0: slice out of range");
   const std::int64_t row_elems = rows == 0 ? 0 : t.numel() / rows;
-  std::vector<std::int64_t> dims = t.shape().dims();
+  std::int64_t dims[Shape::kMaxRank];
+  std::copy(t.shape().dims().begin(), t.shape().dims().end(), dims);
   dims[0] = count;
-  Tensor out{Shape(std::move(dims))};
+  // Pooled: fully overwritten by the row copy.
+  Tensor out = AcquireTensor(
+      Shape(std::span<const std::int64_t>(dims, t.shape().rank())));
   const auto src = t.data().subspan(
       static_cast<std::size_t>(start * row_elems),
       static_cast<std::size_t>(count * row_elems));

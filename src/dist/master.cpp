@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/buffer_pool.h"
 #include "core/logging.h"
 #include "core/tensor_ops.h"
 
@@ -184,8 +185,8 @@ void MasterNode::StartServingLocked(BatchOptions options) {
     batch_options_ = options;
   }
   scheduler_ = std::make_shared<BatchScheduler>(
-      options, [this](std::vector<BatchScheduler::Request>&& batch) {
-        ServeBatch(std::move(batch));
+      options, [this](std::vector<BatchScheduler::Request>& batch) {
+        ServeBatch(batch);
       });
 }
 
@@ -224,7 +225,9 @@ core::StatusOr<InferReply> MasterNode::Infer(const core::Tensor& input,
     std::lock_guard<std::mutex> lock(serving_mu_);
     scheduler = scheduler_;
   }
-  if (scheduler) return scheduler->Submit(input.Clone(), timeout).get();
+  if (scheduler) {
+    return scheduler->Submit(core::AcquireTensorCopy(input), timeout).get();
+  }
 
   // Scheduler off: serve inline as a batch of one request.
   const auto deadline = Clock::now() + timeout;
@@ -233,12 +236,13 @@ core::StatusOr<InferReply> MasterNode::Infer(const core::Tensor& input,
   if (!result.ok()) return result.status();
   InferReply reply;
   reply.logits = std::move(result->logits);
-  reply.served_by =
-      result->served_by.empty() ? std::string() : result->served_by.front();
+  reply.served_by = result->served_by.empty()
+                        ? std::string()
+                        : result->served_by.front().label;
   return reply;
 }
 
-void MasterNode::ServeBatch(std::vector<BatchScheduler::Request>&& batch) {
+void MasterNode::ServeBatch(std::vector<BatchScheduler::Request>& batch) {
   if (batch.empty()) return;
   try {
     // The batch serves under its most patient member's budget: an
@@ -252,10 +256,16 @@ void MasterNode::ServeBatch(std::vector<BatchScheduler::Request>&& batch) {
     if (batch.size() == 1) {
       stacked = std::move(batch.front().input);
     } else {
-      std::vector<const core::Tensor*> parts;
-      parts.reserve(batch.size());
-      for (const auto& req : batch) parts.push_back(&req.input);
-      stacked = core::ConcatAxis0(parts);
+      // Reused across batches (only the scheduler's drain thread runs
+      // ServeBatch); clear() keeps the capacity.
+      thread_local std::vector<const core::Tensor*> tl_parts;
+      tl_parts.clear();
+      tl_parts.reserve(batch.size());
+      for (const auto& req : batch) tl_parts.push_back(&req.input);
+      stacked = core::ConcatAxis0(tl_parts);
+      // Request inputs are consumed by the stack; recycle them so client
+      // threads acquiring fresh inputs hit the pool.
+      for (auto& req : batch) core::RecycleTensor(std::move(req.input));
     }
 
     core::StatusOr<BatchResult> result = [&]() -> core::StatusOr<BatchResult> {
@@ -264,22 +274,33 @@ void MasterNode::ServeBatch(std::vector<BatchScheduler::Request>&& batch) {
       stats_.coalesced_samples += stacked.shape()[0];
       return ServeBatchLocked(stacked, deadline);
     }();
+    // The stacked batch is fully consumed; its storage feeds the next one.
+    core::RecycleTensor(std::move(stacked));
 
     if (!result.ok()) {
       for (auto& req : batch) req.promise.set_value(result.status());
       return;
     }
-    // Scatter per-sample logits rows back to their futures.
+    // Scatter per-sample logits rows back to their futures. Attribution
+    // ranges are sorted and disjoint; each request reports the device that
+    // served its first sample.
     std::int64_t row = 0;
+    std::size_t range = 0;
     for (auto& req : batch) {
+      while (range + 1 < result->served_by.size() &&
+             result->served_by[range].row0 + result->served_by[range].rows <=
+                 row) {
+        ++range;
+      }
       InferReply reply;
-      reply.served_by = result->served_by[static_cast<std::size_t>(row)];
+      reply.served_by = result->served_by[range].label;
       reply.logits = batch.size() == 1
                          ? std::move(result->logits)
                          : core::SliceAxis0(result->logits, row, req.samples);
       row += req.samples;
       req.promise.set_value(std::move(reply));
     }
+    if (batch.size() > 1) core::RecycleTensor(std::move(result->logits));
   } catch (const std::exception& e) {
     // A model-layer throw (bad input shape, hostile payload) must fail the
     // requests, never the drain thread. Promises already satisfied during
@@ -350,7 +371,9 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
   };
   std::vector<InFlight> inflight;
   BatchResult out;
-  out.logits = core::Tensor({n, config_.num_classes});
+  // Pooled: every row is filled by a chunk reply (the `filled == n` CHECK
+  // below guards it) before the tensor leaves this function.
+  out.logits = core::AcquireTensor({n, config_.num_classes});
   std::int64_t filled = 0;
 
   // On any error exit, the seqs still in flight must not stay pending:
@@ -391,6 +414,8 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
     std::copy(src.begin(), src.end(),
               out.logits.data().begin() + fl.row0 * classes);
     filled += fl.rows;
+    // The reply's logits are copied out; its storage feeds the next decode.
+    RecycleMessage(std::move(*reply));
     return core::Status::Ok();
   };
 
@@ -403,15 +428,22 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
                   : front.Forward(core::SliceAxis0(input, row0, rows), false);
     const std::int64_t seq = next_seq_++;
     workers_[w].pending.insert(seq);
-    Message frame =
-        quant_cut
-            ? Message::WithQuantBatch(MsgType::kInfer, seq,
+    Message frame;
+    if (quant_cut) {
+      frame = Message::WithQuantBatch(MsgType::kInfer, seq,
                                       plan_.pipeline_back,
-                                      quant::QuantizeTensor(cut))
-            : Message::WithBatch(MsgType::kInfer, seq, plan_.pipeline_back,
+                                      quant::QuantizeTensor(cut));
+      // The fp32 cut staging is done with once quantized.
+      core::RecycleTensor(std::move(cut));
+      ++stats_.quant_cut_frames;
+    } else {
+      frame = Message::WithBatch(MsgType::kInfer, seq, plan_.pipeline_back,
                                  std::move(cut));
-    if (quant_cut) ++stats_.quant_cut_frames;
-    auto st = SendLocked(w, std::move(frame));
+    }
+    auto st = SendLocked(w, frame);
+    // Send encoded the frame into its own (pooled) wire buffer; the
+    // payload staging cycles back for the next chunk.
+    RecycleMessage(std::move(frame));
     if (!st.ok()) {
       abandon_inflight();
       return st;
@@ -432,10 +464,10 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
   }
   FLUID_CHECK_MSG(filled == n, "pipeline batch: rows lost");
 
-  out.served_by.assign(
-      static_cast<std::size_t>(n),
-      "pipeline:" + plan_.pipeline_front + "+" + plan_.pipeline_back +
-          "@worker[" + std::to_string(w) + "]");
+  out.served_by.push_back(
+      {0, n,
+       "pipeline:" + plan_.pipeline_front + "+" + plan_.pipeline_back +
+           "@worker[" + std::to_string(w) + "]"});
   stats_.served_pipeline += n;
   return out;
 }
@@ -451,7 +483,11 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
     bool remote;
     std::size_t worker;
   };
-  std::vector<Target> targets;
+  // Per-request bookkeeping reuses per-thread storage: the serve path runs
+  // under mu_, but each client thread may drive it inline (scheduler off),
+  // so thread_local rather than a member keeps it race-free for free.
+  thread_local std::vector<Target> targets;
+  targets.clear();
   const bool has_local = !plan_.master_standalone.empty() &&
                          local_.count(plan_.master_standalone) != 0;
   if (has_local) targets.push_back({false, 0});
@@ -484,7 +520,9 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
   const std::size_t start = round_robin_++;
   const std::size_t num_shards =
       std::min(targets.size(), static_cast<std::size_t>(n));
-  std::vector<Shard> shards(num_shards);
+  thread_local std::vector<Shard> shards;
+  shards.clear();
+  shards.resize(num_shards);
   {
     const std::int64_t base = n / static_cast<std::int64_t>(num_shards);
     const std::int64_t rem = n % static_cast<std::int64_t>(num_shards);
@@ -497,9 +535,10 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
     }
   }
   // An owning copy for the wire (Message moves its payload); local
-  // forwards below take `input` by const ref instead — no copy.
+  // forwards below take `input` by const ref instead — no copy. Pooled:
+  // the frame encode consumes it and recycles the storage.
   auto shard_input = [&](const Shard& shard) {
-    return shard.rows == n ? input.Clone()
+    return shard.rows == n ? core::AcquireTensorCopy(input)
                            : core::SliceAxis0(input, shard.row0, shard.rows);
   };
   auto local_forward = [&](const Shard& shard) {
@@ -511,25 +550,26 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
   };
 
   BatchResult out;
-  out.served_by.assign(static_cast<std::size_t>(n), "");
-  out.logits = core::Tensor({n, config_.num_classes});
+  out.served_by.reserve(num_shards);
+  // Pooled: every shard either places its rows or the whole batch errors
+  // out before `out` escapes, so no row is ever read unwritten.
+  out.logits = core::AcquireTensor({n, config_.num_classes});
   // False when `logits` doesn't hold exactly shard.rows rows of the
   // config's class count — the caller must treat that as a malformed
   // result and fail the shard over. Copying unchecked would let a
   // byzantine reply with the right row count but larger trailing dims
   // write past the end of out.logits; sizing against the config (not the
   // first reply) keeps one bad peer from poisoning the whole batch's
-  // validation.
+  // validation. On success the shard's attribution range is recorded —
+  // one range (one string) per shard, not per sample.
   auto place = [&](const Shard& shard, const core::Tensor& logits,
-                   const std::string& served_by) -> bool {
+                   std::string served_by) -> bool {
     const std::int64_t classes = config_.num_classes;
     if (logits.numel() != shard.rows * classes) return false;
     const auto src = logits.data();
     std::copy(src.begin(), src.end(),
               out.logits.data().begin() + shard.row0 * classes);
-    for (std::int64_t r = 0; r < shard.rows; ++r) {
-      out.served_by[static_cast<std::size_t>(shard.row0 + r)] = served_by;
-    }
+    out.served_by.push_back({shard.row0, shard.rows, std::move(served_by)});
     return true;
   };
 
@@ -551,9 +591,11 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
     }
     shard.seq = next_seq_++;
     workers_[w].pending.insert(shard.seq);
-    auto st = SendLocked(
-        w, Message::WithBatch(MsgType::kInfer, shard.seq,
-                              plan_.worker_standalone, shard_input(shard)));
+    Message frame = Message::WithBatch(MsgType::kInfer, shard.seq,
+                                       plan_.worker_standalone,
+                                       shard_input(shard));
+    auto st = SendLocked(w, frame);
+    RecycleMessage(std::move(frame));
     if (!st.ok()) {
       shard.error = st;
       continue;
@@ -584,6 +626,7 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
       return core::Status::Internal(
           "master: local logits disagree with config num_classes");
     }
+    core::RecycleTensor(std::move(logits));
     stats_.served_local += shard.rows;
     shard.done = true;
   }
@@ -611,6 +654,7 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
           "worker[" + std::to_string(w) + "]: result size mismatch");
       continue;
     }
+    RecycleMessage(std::move(*reply));
     stats_.served_remote += shard.rows;
     shard.done = true;
   }
@@ -632,6 +676,7 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
         return core::Status::Internal(
             "master: local logits disagree with config num_classes");
       }
+      core::RecycleTensor(std::move(logits));
       stats_.served_local += shard.rows;
       shard.done = true;
       continue;
@@ -659,6 +704,7 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
             "worker[" + std::to_string(w) + "]: result size mismatch");
         continue;
       }
+      core::RecycleTensor(std::move(*retried));
       stats_.served_remote += shard.rows;
       shard.done = true;
     }
@@ -669,6 +715,12 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
                        : last;
     }
   }
+  // Ranges were recorded in completion order (local shards, then remote
+  // replies, then failovers); the scatter walks them by row.
+  std::sort(out.served_by.begin(), out.served_by.end(),
+            [](const Attribution& a, const Attribution& b) {
+              return a.row0 < b.row0;
+            });
   return out;
 }
 
@@ -713,7 +765,7 @@ void MasterNode::MarkDeadLocked(std::size_t w, const core::Status& why) {
                   << ") marked dead: " << why.ToString();
 }
 
-core::Status MasterNode::SendLocked(std::size_t w, Message msg) {
+core::Status MasterNode::SendLocked(std::size_t w, const Message& msg) {
   auto st = workers_[w].transport->Send(msg);
   if (!st.ok()) MarkDeadLocked(w, st);
   return st;
@@ -726,14 +778,18 @@ core::StatusOr<Message> MasterNode::RpcLocked(std::size_t w, Message msg,
     return core::Status::Unavailable("worker[" + std::to_string(w) + "] dead");
   }
   const auto deadline = Clock::now() + timeout;
-  msg.seq = next_seq_++;
-  handle.pending.insert(msg.seq);
+  const std::int64_t seq = next_seq_++;
+  msg.seq = seq;
+  handle.pending.insert(seq);
   auto st = handle.transport->Send(msg);
+  // The frame is on the wire; its bulk payloads (e.g. a failover shard's
+  // activations) cycle back to the pool before the reply wait.
+  RecycleMessage(std::move(msg));
   if (!st.ok()) {
     MarkDeadLocked(w, st);
     return st;
   }
-  return AwaitReplyLocked(w, msg.seq, deadline);
+  return AwaitReplyLocked(w, seq, deadline);
 }
 
 core::StatusOr<Message> MasterNode::AwaitReplyLocked(

@@ -176,16 +176,27 @@ class MasterNode {
     std::map<std::int64_t, Message> reply_buffer;
   };
 
+  /// Attribution for one contiguous run of a batch's rows: every sample
+  /// in [row0, row0+rows) was served by `label`. A batch yields one range
+  /// per shard (or one for the whole pipeline) instead of one string per
+  /// sample, so attribution costs O(devices) allocations, not O(samples).
+  struct Attribution {
+    std::int64_t row0 = 0;
+    std::int64_t rows = 0;
+    std::string label;
+  };
+
   /// Result of serving one coalesced batch.
   struct BatchResult {
-    core::Tensor logits;                 // [N, classes]
-    std::vector<std::string> served_by;  // per sample
+    core::Tensor logits;  // [N, classes]
+    /// Sorted by row0, disjoint, covering every row of `logits`.
+    std::vector<Attribution> served_by;
   };
 
   // All *Locked members require mu_ held.
   core::StatusOr<Message> RpcLocked(std::size_t w, Message msg,
                                     std::chrono::milliseconds timeout);
-  core::Status SendLocked(std::size_t w, Message msg);
+  core::Status SendLocked(std::size_t w, const Message& msg);
   /// Wait for the reply correlated to `seq`; replies for other pending
   /// seqs are buffered, replies matching nothing are dropped and logged.
   core::StatusOr<Message> AwaitReplyLocked(
@@ -207,7 +218,9 @@ class MasterNode {
       std::chrono::steady_clock::time_point deadline);
 
   /// Scheduler drain-thread entry: stack → serve → scatter to promises.
-  void ServeBatch(std::vector<BatchScheduler::Request>&& batch);
+  /// The batch vector is the scheduler's (recycled across batches); its
+  /// requests are consumed here.
+  void ServeBatch(std::vector<BatchScheduler::Request>& batch);
   /// Requires serving_mu_ held. No-op while the scheduler runs.
   void StartServingLocked(BatchOptions options);
 

@@ -1,5 +1,6 @@
 #include "dist/message.h"
 
+#include "core/buffer_pool.h"
 #include "core/serialize.h"
 
 namespace fluid::dist {
@@ -70,33 +71,48 @@ Message Message::HeaderOnly(MsgType type, std::int64_t seq, std::string tag) {
   return m;
 }
 
-std::vector<std::uint8_t> EncodeMessage(const Message& msg) {
-  core::ByteWriter body;
-  body.WriteU8(msg.has_qpayload() ? kVersionV3 : kVersion);
-  body.WriteU8(static_cast<std::uint8_t>(msg.type));
-  body.WriteI64(msg.seq);
-  body.WriteI64(msg.batch);
-  body.WriteString(msg.tag);
-  body.WriteU8(msg.has_payload() ? 1 : 0);
-  if (msg.has_payload()) body.WriteTensor(msg.payload);
-  if (msg.has_qpayload()) {
-    body.WriteU8(1);
-    msg.qpayload.Encode(body);
-  }
-
-  core::ByteWriter frame;
-  frame.WriteU32(kMagic);
+void EncodeMessageInto(const Message& msg, std::vector<std::uint8_t>& out) {
+  // EncodedSize is exact (guarded by the trailing CHECK), so the length
+  // prefix can be written up front and the body appended directly behind
+  // it — one buffer, no header/body stitch, and a recycled `out` with
+  // enough capacity makes the whole encode allocation-free.
+  const std::int64_t total = EncodedSize(msg);
+  const std::int64_t body_len = total - 8;
   // The length prefix is u32 by wire format; a body that would wrap it is
   // a programmer error (nothing legitimate ships multi-GiB frames — deploy
   // payloads are MBs), and silently truncating would desynchronise the
   // peer's stream reader.
-  FLUID_CHECK_MSG(body.size() < (1ull << 32),
+  FLUID_CHECK_MSG(body_len < (1ll << 32),
                   "EncodeMessage: frame body exceeds the u32 length prefix");
-  frame.WriteU32(static_cast<std::uint32_t>(body.size()));
-  auto out = frame.TakeBuffer();
-  const auto& b = body.buffer();
-  out.insert(out.end(), b.begin(), b.end());
+  core::ByteWriter w(std::move(out));
+  w.WriteU32(kMagic);
+  w.WriteU32(static_cast<std::uint32_t>(body_len));
+  w.WriteU8(msg.has_qpayload() ? kVersionV3 : kVersion);
+  w.WriteU8(static_cast<std::uint8_t>(msg.type));
+  w.WriteI64(msg.seq);
+  w.WriteI64(msg.batch);
+  w.WriteString(msg.tag);
+  w.WriteU8(msg.has_payload() ? 1 : 0);
+  if (msg.has_payload()) w.WriteTensor(msg.payload);
+  if (msg.has_qpayload()) {
+    w.WriteU8(1);
+    msg.qpayload.Encode(w);
+  }
+  out = w.TakeBuffer();
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(out.size()) == total,
+                  "EncodeMessageInto: encoder drifted from EncodedSize");
+}
+
+std::vector<std::uint8_t> EncodeMessage(const Message& msg) {
+  std::vector<std::uint8_t> out;
+  EncodeMessageInto(msg, out);
   return out;
+}
+
+void RecycleMessage(Message&& msg) {
+  if (msg.has_payload()) core::RecycleTensor(std::move(msg.payload));
+  if (!msg.qpayload.data.empty()) core::PoolPut(std::move(msg.qpayload.data));
+  msg.qpayload = {};
 }
 
 core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out) {

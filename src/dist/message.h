@@ -98,6 +98,18 @@ struct Message {
 /// Serialize one frame (header + body) into a fresh buffer.
 std::vector<std::uint8_t> EncodeMessage(const Message& msg);
 
+/// Serialize one frame into `out`, reusing its capacity (contents are
+/// replaced). Byte-identical to EncodeMessage; the pooled wire path keys
+/// a recycled frame buffer per connection so steady-state sends stop
+/// allocating.
+void EncodeMessageInto(const Message& msg, std::vector<std::uint8_t>& out);
+
+/// Return a message's bulk storage (fp32 payload, int8 qpayload) to the
+/// buffer pools and leave the message empty. Call once the frame's data
+/// has been shipped or copied out; the next encode/decode on this
+/// connection reuses the storage.
+void RecycleMessage(Message&& msg);
+
 /// Parse one complete frame. Returns DataLoss on bad magic / truncation /
 /// unknown version, InvalidArgument on an out-of-range message type.
 core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out);

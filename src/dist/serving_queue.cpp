@@ -116,8 +116,11 @@ SchedulerStats BatchScheduler::stats() const {
 }
 
 void BatchScheduler::DrainLoop() {
+  // One batch vector for the thread's lifetime: clear() keeps its capacity,
+  // so steady-state coalescing stops allocating after the first batch.
+  std::vector<Request> batch;
   for (;;) {
-    std::vector<Request> batch;
+    batch.clear();
     std::int64_t batch_samples = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -157,7 +160,7 @@ void BatchScheduler::DrainLoop() {
     }
     space_cv_.notify_all();
     // Serve outside the lock so Submit never waits on model compute.
-    serve_(std::move(batch));
+    serve_(batch);
   }
 }
 

@@ -84,8 +84,12 @@ class BatchScheduler {
     std::chrono::steady_clock::time_point deadline;
     std::promise<core::StatusOr<InferReply>> promise;
   };
-  /// Receives ownership of a coalesced batch; must resolve every promise.
-  using ServeFn = std::function<void(std::vector<Request>&&)>;
+  /// Receives ownership of a coalesced batch's requests; must resolve
+  /// every promise. The vector itself stays with the drain loop (passed by
+  /// reference so one batch vector is recycled across batches); the
+  /// callback may move individual requests out but must not hold the
+  /// vector past its return.
+  using ServeFn = std::function<void(std::vector<Request>&)>;
 
   BatchScheduler(BatchOptions options, ServeFn serve);
   ~BatchScheduler();

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <vector>
 
+#include "core/buffer_pool.h"
 #include "core/logging.h"
 #include "core/serialize.h"
 
@@ -48,16 +49,21 @@ class TcpTransport final : public Transport {
     if (closed_) {
       return core::Status::Unavailable("tcp: endpoint closed");
     }
-    const auto bytes = EncodeMessage(msg);
-    if (bytes.size() > std::size_t{kMaxFrameBody} + 8) {
-      // Enforce the receiver's frame limit on the sender too: an oversized
-      // frame would be rejected as corruption over there and cost us the
-      // connection; failing fast here keeps a healthy link healthy.
+    // Enforce the receiver's frame limit on the sender too: an oversized
+    // frame would be rejected as corruption over there and cost us the
+    // connection; failing fast here keeps a healthy link healthy.
+    // EncodedSize is exact, so the check runs before any buffer exists.
+    const std::int64_t total = EncodedSize(msg);
+    if (total > static_cast<std::int64_t>(kMaxFrameBody) + 8) {
       return core::Status::InvalidArgument(
-          "tcp: frame of " + std::to_string(bytes.size()) +
-          " bytes exceeds the " + std::to_string(kMaxFrameBody) +
-          "-byte wire limit");
+          "tcp: frame of " + std::to_string(total) + " bytes exceeds the " +
+          std::to_string(kMaxFrameBody) + "-byte wire limit");
     }
+    // Pooled frame buffer: encoded, shipped, recycled — repeat sends on a
+    // connection stop allocating once the pool is warm.
+    auto bytes = core::PoolGet<std::uint8_t>(static_cast<std::size_t>(total));
+    EncodeMessageInto(msg, bytes);
+    core::Status st = core::Status::Ok();
     std::size_t off = 0;
     while (off < bytes.size()) {
       // MSG_NOSIGNAL: a peer that died mid-write must produce EPIPE, not
@@ -73,12 +79,15 @@ class TcpTransport final : public Transport {
         // Blocking socket: only reachable via SO_SNDTIMEO; treat a stalled
         // peer like a dead one.
         Close();
-        return core::Status::Unavailable("tcp: send stalled");
+        st = core::Status::Unavailable("tcp: send stalled");
+        break;
       }
       Close();
-      return core::Status::Unavailable(ErrnoText("tcp: send failed"));
+      st = core::Status::Unavailable(ErrnoText("tcp: send failed"));
+      break;
     }
-    return core::Status::Ok();
+    core::PoolPut(std::move(bytes));
+    return st;
   }
 
   core::Status Recv(Message& out, std::chrono::milliseconds timeout) override {

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <vector>
 
+#include "core/buffer_pool.h"
+
 namespace fluid::dist {
 
 namespace {
@@ -41,7 +43,12 @@ class InMemoryTransport final : public Transport {
   ~InMemoryTransport() override { Close(); }
 
   core::Status Send(const Message& msg) override {
-    auto bytes = EncodeMessage(msg);
+    // Pooled frame buffer, encoded before taking the pair lock. The
+    // matching PoolPut happens on the receiving side after decode, so a
+    // steady send/recv loop cycles the same storage through the pool.
+    auto bytes =
+        core::PoolGet<std::uint8_t>(static_cast<std::size_t>(EncodedSize(msg)));
+    EncodeMessageInto(msg, bytes);
     std::lock_guard<std::mutex> lock(state_->mu);
     if (state_->end_closed[side_]) {
       return core::Status::Unavailable("in-memory transport: endpoint closed");
@@ -100,10 +107,12 @@ class InMemoryTransport final : public Transport {
           state_->cv.wait_until(lock, inbox.front().ready, [] { return false; });
           continue;
         }
-        const auto bytes = std::move(inbox.front().bytes);
+        auto bytes = std::move(inbox.front().bytes);
         inbox.pop_front();
         lock.unlock();
-        return DecodeMessage(bytes, out);
+        const core::Status st = DecodeMessage(bytes, out);
+        core::PoolPut(std::move(bytes));
+        return st;
       }
       if (state_->end_closed[side_] || state_->end_closed[1 - side_]) {
         return core::Status::Unavailable("in-memory transport: peer closed");

@@ -57,12 +57,18 @@ void WorkerNode::ServeLoop() {
       break;
     }
     Message reply = Handle(msg);
-    if (!transport_->Send(reply).ok()) break;
+    // Recycle the request's remaining bulk storage (handlers move what
+    // they consume) and, after the frame is on the wire, the reply's —
+    // the next decode/forward on this connection reuses it.
+    RecycleMessage(std::move(msg));
+    const auto send_st = transport_->Send(reply);
+    RecycleMessage(std::move(reply));
+    if (!send_st.ok()) break;
   }
   running_ = false;
 }
 
-Message WorkerNode::Handle(const Message& msg) {
+Message WorkerNode::Handle(Message& msg) {
   switch (msg.type) {
     case MsgType::kDeploy:
       return HandleDeploy(msg);
@@ -116,7 +122,7 @@ Message WorkerNode::HandleDeploy(const Message& msg) {
   }
 }
 
-Message WorkerNode::HandleInfer(const Message& msg) {
+Message WorkerNode::HandleInfer(Message& msg) {
   if (!msg.has_payload() && !msg.has_qpayload()) {
     return Message::HeaderOnly(MsgType::kError, msg.seq, "infer: no payload");
   }
@@ -124,17 +130,20 @@ Message WorkerNode::HandleInfer(const Message& msg) {
   // tensor at the cut (scale · q) and serve it like any other frame.
   // Replies stay fp32 v2 — logits are a few dozen bytes, the cut tensor
   // was the wire cost worth quantizing.
-  core::Tensor dequantized;
   const bool quantized = msg.has_qpayload();
+  core::Tensor input;
   if (quantized) {
     if (msg.has_payload()) {
       return Message::HeaderOnly(MsgType::kError, msg.seq,
                                  "infer: frame carries fp32 AND int8 payloads");
     }
-    dequantized = quant::DequantizeTensor(msg.qpayload);
+    input = quant::DequantizeTensor(msg.qpayload);
     ++quant_frames_;
+  } else {
+    // Take the decoded tensor: the forward pass consumes it and its
+    // (pooled) storage is recycled by the first layer.
+    input = std::move(msg.payload);
   }
-  const core::Tensor& input = quantized ? dequantized : msg.payload;
   // Batch-aware frames: when the master declares how many samples the
   // shard covers, a disagreeing payload is a framing bug — reject it
   // before the model can mis-scatter results across requests.
@@ -148,7 +157,7 @@ Message WorkerNode::HandleInfer(const Message& msg) {
   }
   // The whole coalesced batch runs through one fused forward — this is
   // where the conv layers' batched [Cout, batch·area] GEMM earns its keep.
-  auto logits = LocalInfer(msg.tag, input);
+  auto logits = LocalInfer(msg.tag, std::move(input));
   if (!logits.ok()) {
     return Message::HeaderOnly(MsgType::kError, msg.seq,
                                logits.status().ToString());
@@ -169,6 +178,24 @@ core::StatusOr<core::Tensor> WorkerNode::LocalInfer(const std::string& model,
   }
   try {
     return it->second.Forward(input, false);
+  } catch (const std::exception& e) {
+    return core::Status::InvalidArgument("worker '" + name_ + "' infer '" +
+                                         model + "': " + e.what());
+  }
+}
+
+core::StatusOr<core::Tensor> WorkerNode::LocalInfer(const std::string& model,
+                                                    core::Tensor&& input) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = deployments_.find(model);
+  if (it == deployments_.end()) {
+    return core::Status::NotFound("worker '" + name_ + "' has no model '" +
+                                  model + "'");
+  }
+  try {
+    // Same layers, same order as the const-ref path (RunInferenceFrom),
+    // just consuming the input so every intermediate cycles the pool.
+    return it->second.ForwardInference(std::move(input));
   } catch (const std::exception& e) {
     return core::Status::InvalidArgument("worker '" + name_ + "' infer '" +
                                          model + "': " + e.what());

@@ -54,6 +54,11 @@ class WorkerNode {
   /// master-failure path.
   core::StatusOr<core::Tensor> LocalInfer(const std::string& model,
                                           const core::Tensor& input);
+  /// Serving-path variant: consumes the input so the whole forward can
+  /// ping-pong activations through the buffer pool (the input's storage
+  /// is recycled by the first layer). Bitwise-identical results.
+  core::StatusOr<core::Tensor> LocalInfer(const std::string& model,
+                                          core::Tensor&& input);
 
   std::vector<std::string> DeploymentNames() const;
 
@@ -68,9 +73,11 @@ class WorkerNode {
 
  private:
   void ServeLoop();
-  Message Handle(const Message& msg);
+  // Handlers may strip the request's bulk payloads (move them into the
+  // forward pass); ServeLoop recycles whatever storage remains afterwards.
+  Message Handle(Message& msg);
   Message HandleDeploy(const Message& msg);
-  Message HandleInfer(const Message& msg);
+  Message HandleInfer(Message& msg);
 
   std::string name_;
   slim::FluidNetConfig config_;

@@ -36,7 +36,9 @@ core::Tensor Conv2d::Forward(const core::Tensor& input, bool training) {
   const std::int64_t out_h = ConvOutExtent(height, kernel_, stride_, pad_);
   const std::int64_t out_w = ConvOutExtent(width, kernel_, stride_, pad_);
 
-  core::Tensor output({batch, out_channels_, out_h, out_w});
+  // Pooled output (the fused kernel's bias scatter writes every element).
+  core::Tensor output =
+      core::AcquireTensor({batch, out_channels_, out_h, out_w});
   // Fused-batch lowering: one [Cout, group·area] GEMM per fusion group
   // (see conv_gemm.h); deterministic at any thread count.
   ConvForwardFused(input.data(), batch, in_channels_, height, width, kernel_,
@@ -56,7 +58,8 @@ core::Tensor Conv2d::ForwardFusedLeaky(const core::Tensor& input,
   const std::int64_t out_h = ConvOutExtent(height, kernel_, stride_, pad_);
   const std::int64_t out_w = ConvOutExtent(width, kernel_, stride_, pad_);
 
-  core::Tensor output({batch, out_channels_, out_h, out_w});
+  core::Tensor output =
+      core::AcquireTensor({batch, out_channels_, out_h, out_w});
   ConvForwardFused(input.data(), batch, in_channels_, height, width, kernel_,
                    stride_, pad_, out_channels_, weight_.data().data(),
                    bias_.data().data(), output.data(), slope);

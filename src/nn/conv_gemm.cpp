@@ -28,7 +28,7 @@ void ConvForwardFused(std::span<const float> input, std::int64_t batch,
                       std::int64_t stride, std::int64_t pad,
                       std::int64_t out_ch, const float* weight,
                       const float* bias, std::span<float> output,
-                      float leaky_slope) {
+                      float leaky_slope, ConvScratch* scratch) {
   const std::int64_t out_h = ConvOutExtent(height, kernel, stride, pad);
   const std::int64_t out_w = ConvOutExtent(width, kernel, stride, pad);
   const std::int64_t patch = in_ch * kernel * kernel;
@@ -55,8 +55,8 @@ void ConvForwardFused(std::span<const float> input, std::int64_t batch,
       std::clamp(kConvFusedBudgetFloats / per_sample_floats,
                  std::int64_t{1}, kConvFusedBatch);
 
-  auto& cols = tl_fused_cols;
-  auto& fused = tl_fused_out;
+  auto& cols = scratch != nullptr ? scratch->cols : tl_fused_cols;
+  auto& fused = scratch != nullptr ? scratch->fused : tl_fused_out;
   for (std::int64_t lo = 0; lo < batch; lo += group) {
     const std::int64_t hi = std::min(lo + group, batch);
     const std::int64_t cnt = hi - lo;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <vector>
 
 namespace fluid::nn {
 
@@ -36,6 +37,17 @@ inline constexpr std::int64_t kConvFusedBudgetFloats = std::int64_t{8} << 20;
 /// Samples per backward accumulation chunk (see ConvBackwardChunked).
 inline constexpr std::int64_t kConvBackwardChunk = 4;
 
+/// Caller-owned scratch for ConvForwardFused: the fused im2col buffer and
+/// the pre-scatter GEMM output. Both are grown on demand (grow-only, like
+/// the thread-local default) so a reused ConvScratch stops allocating
+/// after the first group of each shape. Callers that want explicit
+/// lifetime control (e.g. to bound scratch to a request instead of a
+/// thread) pass one; passing nullptr uses the per-thread default.
+struct ConvScratch {
+  std::vector<float> cols;   // [patch, group·area] lowered columns
+  std::vector<float> fused;  // [out_ch, group·area] pre-scatter output
+};
+
 /// Fused-batch conv forward over a packed channel slice.
 ///   input:  [batch, in_ch, height, width] contiguous.
 ///   weight: packed [out_ch, in_ch·kernel²] row-major.
@@ -49,13 +61,17 @@ inline constexpr std::int64_t kConvBackwardChunk = 4;
 ///           LeakyReLU layer, which computes exactly v > 0 ? v : slope·v
 ///           after the same bias add). 1 means "no activation": the fold
 ///           is skipped entirely, not computed as max(v, v).
+///   scratch: caller-owned working buffers, or nullptr for the reusable
+///           per-thread default (either way, steady-state repeat shapes
+///           allocate nothing).
 void ConvForwardFused(std::span<const float> input, std::int64_t batch,
                       std::int64_t in_ch, std::int64_t height,
                       std::int64_t width, std::int64_t kernel,
                       std::int64_t stride, std::int64_t pad,
                       std::int64_t out_ch, const float* weight,
                       const float* bias, std::span<float> output,
-                      float leaky_slope = 1.0F);
+                      float leaky_slope = 1.0F,
+                      ConvScratch* scratch = nullptr);
 
 /// Deterministic chunked conv backward, shared by both conv layers: the
 /// batch is cut into fixed kConvBackwardChunk-sample chunks, each chunk

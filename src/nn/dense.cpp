@@ -27,7 +27,8 @@ core::Tensor Dense::Forward(const core::Tensor& input, bool training) {
                   "Dense: expected [N," + std::to_string(in_features_) +
                       "], got " + s.ToString());
   const std::int64_t batch = s[0];
-  core::Tensor output({batch, out_features_});
+  // Pooled output: the β=0 GEMM overwrites every element.
+  core::Tensor output = core::AcquireTensor({batch, out_features_});
   // out [N, out] = in [N, in] × Wᵀ [in, out]
   core::Gemm(false, true, batch, out_features_, in_features_, 1.0F,
              input.data().data(), in_features_, weight_.data().data(),

@@ -13,6 +13,14 @@ core::Tensor Flatten::Forward(const core::Tensor& input, bool training) {
   return input.Reshaped({batch, rest});
 }
 
+core::Tensor Flatten::ForwardInference(core::Tensor&& input) {
+  const auto& s = input.shape();
+  FLUID_CHECK_MSG(s.rank() >= 1, "Flatten expects rank >= 1");
+  const std::int64_t batch = s[0];
+  const std::int64_t rest = batch == 0 ? 0 : input.numel() / batch;
+  return std::move(input).Reshaped({batch, rest});
+}
+
 core::Tensor Flatten::Backward(const core::Tensor& grad_output) {
   FLUID_CHECK_MSG(cached_in_shape_.rank() > 0,
                   "Flatten::Backward without training Forward");

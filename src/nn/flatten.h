@@ -8,6 +8,9 @@ namespace fluid::nn {
 class Flatten : public Layer {
  public:
   core::Tensor Forward(const core::Tensor& input, bool training) override;
+  /// Owning reshape: moves the storage instead of copying it (and must
+  /// NOT recycle the input — its buffer lives on as the output).
+  core::Tensor ForwardInference(core::Tensor&& input) override;
   core::Tensor Backward(const core::Tensor& grad_output) override;
   std::string Kind() const override { return "Flatten"; }
 

@@ -19,28 +19,34 @@ namespace {
 // sample lands at cols_out + r * row_stride. The per-sample layout uses
 // row_stride == area; the fused layout uses row_stride == batch * area
 // with a per-sample column offset already applied to cols_out.
-void Im2ColStrided(const float* input, std::int64_t height, std::int64_t width,
+//
+// Templated over the element type: lowering only copies values (plus
+// zero padding), so the same routine serves the fp32 path and the
+// already-quantized int8 path (where the zero code is exactly the
+// quantization of 0.0f).
+template <typename T>
+void Im2ColStrided(const T* input, std::int64_t height, std::int64_t width,
                    std::int64_t c_lo, std::int64_t c_hi, std::int64_t kernel,
                    std::int64_t stride, std::int64_t pad, std::int64_t out_h,
-                   std::int64_t out_w, float* cols_out,
+                   std::int64_t out_w, T* cols_out,
                    std::int64_t row_stride) {
   std::int64_t row = 0;
   for (std::int64_t c = c_lo; c < c_hi; ++c) {
-    const float* chan = input + c * height * width;
+    const T* chan = input + c * height * width;
     for (std::int64_t ky = 0; ky < kernel; ++ky) {
       for (std::int64_t kx = 0; kx < kernel; ++kx, ++row) {
-        float* dst = cols_out + row * row_stride;
+        T* dst = cols_out + row * row_stride;
         for (std::int64_t oy = 0; oy < out_h; ++oy) {
           const std::int64_t iy = oy * stride + ky - pad;
           if (iy < 0 || iy >= height) {
-            for (std::int64_t ox = 0; ox < out_w; ++ox) dst[oy * out_w + ox] = 0.0F;
+            for (std::int64_t ox = 0; ox < out_w; ++ox) dst[oy * out_w + ox] = T{0};
             continue;
           }
-          const float* src_row = chan + iy * width;
+          const T* src_row = chan + iy * width;
           for (std::int64_t ox = 0; ox < out_w; ++ox) {
             const std::int64_t ix = ox * stride + kx - pad;
             dst[oy * out_w + ox] =
-                (ix >= 0 && ix < width) ? src_row[ix] : 0.0F;
+                (ix >= 0 && ix < width) ? src_row[ix] : T{0};
           }
         }
       }
@@ -145,6 +151,31 @@ void Im2ColFused(std::span<const float> input, std::int64_t batch,
   FLUID_CHECK_MSG(static_cast<std::int64_t>(cols.size()) ==
                       patch * batch * area,
                   "Im2ColFused cols size mismatch");
+  const std::int64_t row_stride = batch * area;
+  core::ParallelForEach(0, batch, 1, [&](std::int64_t n) {
+    Im2ColStrided(input.data() + n * plane, height, width, c_lo, c_hi, kernel,
+                  stride, pad, out_h, out_w, cols.data() + n * area,
+                  row_stride);
+  });
+}
+
+void Im2ColFusedInt8(std::span<const std::int8_t> input, std::int64_t batch,
+                     std::int64_t channels, std::int64_t height,
+                     std::int64_t width, std::int64_t c_lo, std::int64_t c_hi,
+                     std::int64_t kernel, std::int64_t stride,
+                     std::int64_t pad, std::span<std::int8_t> cols) {
+  FLUID_CHECK_MSG(0 <= c_lo && c_lo < c_hi && c_hi <= channels,
+                  "Im2ColFusedInt8 channel slice out of range");
+  const std::int64_t plane = channels * height * width;
+  const std::int64_t out_h = ConvOutExtent(height, kernel, stride, pad);
+  const std::int64_t out_w = ConvOutExtent(width, kernel, stride, pad);
+  const std::int64_t area = out_h * out_w;
+  const std::int64_t patch = (c_hi - c_lo) * kernel * kernel;
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(input.size()) == batch * plane,
+                  "Im2ColFusedInt8 input size mismatch");
+  FLUID_CHECK_MSG(static_cast<std::int64_t>(cols.size()) ==
+                      patch * batch * area,
+                  "Im2ColFusedInt8 cols size mismatch");
   const std::int64_t row_stride = batch * area;
   core::ParallelForEach(0, batch, 1, [&](std::int64_t n) {
     Im2ColStrided(input.data() + n * plane, height, width, c_lo, c_hi, kernel,

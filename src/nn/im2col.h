@@ -53,6 +53,19 @@ void Im2ColFused(std::span<const float> input, std::int64_t batch,
                  std::int64_t kernel, std::int64_t stride, std::int64_t pad,
                  std::span<float> cols);
 
+/// Int8 variant of Im2ColFused for the single-quantize int8 conv path:
+/// the input is quantized ONCE (one whole-tensor scale) and lowered
+/// directly into an int8 column buffer — 4× smaller than the fp32
+/// lowering and patch× less quantization work, since lowering replicates
+/// each input element up to kernel² times. Bitwise-identical to
+/// quantize-after-fp32-lowering because lowering only copies values and
+/// the zero-padding code equals QuantizeValue(0) == 0.
+void Im2ColFusedInt8(std::span<const std::int8_t> input, std::int64_t batch,
+                     std::int64_t channels, std::int64_t height,
+                     std::int64_t width, std::int64_t c_lo, std::int64_t c_hi,
+                     std::int64_t kernel, std::int64_t stride,
+                     std::int64_t pad, std::span<std::int8_t> cols);
+
 /// Batched Col2Im: scatter-adds each sample's column gradients into its
 /// image-gradient slice, parallelized across the batch (samples are
 /// disjoint, so this is deterministic).

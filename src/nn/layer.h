@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/buffer_pool.h"
 #include "core/tensor.h"
 
 namespace fluid::nn {
@@ -35,14 +36,17 @@ class Layer {
   virtual core::Tensor Forward(const core::Tensor& input, bool training) = 0;
 
   /// Inference-only forward that owns `input` and may mutate it. The
-  /// default delegates to Forward(…, false); elementwise layers override
-  /// to transform the buffer in place. On the batched serving path the
-  /// out-of-place activation is pure memory traffic — allocate + zero +
-  /// rewrite of a batch-sized tensor per layer — and large-batch buffers
-  /// fall into the allocator's mmap regime, so serving Forward calls cut
-  /// this out (see Sequential::Forward).
+  /// default delegates to Forward(…, false) and then RECYCLES the
+  /// consumed input into the activation buffer pool — layers whose
+  /// Forward allocates its output via core::AcquireTensor thereby
+  /// ping-pong activations between two pooled buffers instead of
+  /// allocating per layer. Elementwise layers override to transform the
+  /// buffer in place; layers that alias or retain the input (reshape
+  /// views) override to move the storage instead.
   virtual core::Tensor ForwardInference(core::Tensor&& input) {
-    return Forward(input, false);
+    core::Tensor output = Forward(input, false);
+    core::RecycleTensor(std::move(input));
+    return output;
   }
 
   /// Given ∂L/∂output, accumulate parameter gradients (+=) and return

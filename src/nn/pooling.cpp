@@ -20,9 +20,13 @@ core::Tensor MaxPool2d::Forward(const core::Tensor& input, bool training) {
   FLUID_CHECK_MSG(out_h > 0 && out_w > 0,
                   "MaxPool2d window larger than input");
 
-  core::Tensor output({batch, channels, out_h, out_w});
-  std::vector<std::int64_t> argmax(
-      static_cast<std::size_t>(output.numel()));
+  core::Tensor output = core::AcquireTensor({batch, channels, out_h, out_w});
+  // The argmax indices exist only for Backward; inference skips the
+  // whole side buffer (it was an allocation per serve-path call).
+  if (training) {
+    cached_in_shape_ = s;
+    cached_argmax_.assign(static_cast<std::size_t>(output.numel()), -1);
+  }
 
   auto in = input.data();
   auto out = output.data();
@@ -47,14 +51,10 @@ core::Tensor MaxPool2d::Forward(const core::Tensor& input, bool training) {
             }
           }
           out[o] = best;
-          argmax[o] = best_idx;
+          if (training) cached_argmax_[o] = best_idx;
         }
       }
     }
-  }
-  if (training) {
-    cached_in_shape_ = s;
-    cached_argmax_ = std::move(argmax);
   }
   return output;
 }

@@ -54,7 +54,10 @@ core::Tensor Sequential::RunInferenceFrom(core::Tensor&& x, std::size_t i) {
   for (; i < layers_.size(); ++i) {
     if (Layer* leaky = FusableLeakyAfter(i)) {
       auto& conv = static_cast<Conv2d&>(*layers_[i]);
-      t = conv.ForwardFusedLeaky(t, static_cast<LeakyReLU*>(leaky)->slope());
+      core::Tensor next =
+          conv.ForwardFusedLeaky(t, static_cast<LeakyReLU*>(leaky)->slope());
+      core::RecycleTensor(std::move(t));
+      t = std::move(next);
       ++i;  // the activation ran inside the conv's scatter
       continue;
     }

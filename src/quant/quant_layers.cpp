@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "core/buffer_pool.h"
 #include "core/error.h"
 #include "core/parallel.h"
 #include "core/qgemm.h"
@@ -59,7 +60,8 @@ core::Tensor QuantDense::Forward(const core::Tensor& input, bool training) {
   core::QGemmInt8(n, out_, in_, xq.data(), in_, wq_t_.data(), out_,
                   acc.data(), out_);
 
-  core::Tensor output({n, out_});
+  // Pooled output: the dequantizing scatter writes every element.
+  core::Tensor output = core::AcquireTensor({n, out_});
   auto out = output.data();
   const auto bias = bias_.data();
   core::ParallelForEach(0, n, 1, [&](std::int64_t r) {
@@ -110,23 +112,32 @@ core::Tensor QuantConv2d::Forward(const core::Tensor& input, bool training) {
   const std::int64_t area = out_h * out_w;
   const std::int64_t in_plane = in_ch_ * height * width;
 
-  core::Tensor output({batch, out_ch, out_h, out_w});
+  // Pooled output: the dequantizing scatter writes every element.
+  core::Tensor output = core::AcquireTensor({batch, out_ch, out_h, out_w});
 
   // One per-tensor activation scale for the whole forward: im2col only
   // copies input values (plus zero padding), so absmax(input) covers every
   // lowered column and the scale is independent of the fusion grouping.
   const float in_scale = AbsMaxScale(input.data());
-  const float inv_in_scale = 1.0F / in_scale;
+
+  // Single-quantize int8 im2col: quantize the whole input ONCE into a
+  // pooled int8 plane, then lower int8 directly into the int8 column
+  // buffer. The lowered buffer is 4× smaller than the old fp32 lowering
+  // and each input element is quantized once instead of the up-to-kernel²
+  // times im2col replicates it. Bitwise-identical to quantizing after
+  // fp32 lowering: lowering only copies values, and the padding code is
+  // exactly QuantizeValue(0) == 0.
+  std::vector<std::int8_t> qinput =
+      core::PoolGet<std::int8_t>(static_cast<std::size_t>(input.numel()));
+  QuantizeSpan(input.data(), in_scale, qinput);
 
   const std::int64_t per_sample_floats = (patch + out_ch) * area;
   const std::int64_t group =
       std::clamp(nn::kConvFusedBudgetFloats / per_sample_floats,
                  std::int64_t{1}, nn::kConvFusedBatch);
 
-  thread_local std::vector<float> tl_cols;
   thread_local std::vector<std::int8_t> tl_qcols;
   thread_local std::vector<std::int32_t> tl_acc;
-  auto& cols = tl_cols;
   auto& qcols = tl_qcols;
   auto& acc = tl_acc;
 
@@ -134,25 +145,16 @@ core::Tensor QuantConv2d::Forward(const core::Tensor& input, bool training) {
     const std::int64_t hi = std::min(lo + group, batch);
     const std::int64_t cnt = hi - lo;
     const std::int64_t ncols = cnt * area;
-    core::EnsureScratch(cols, patch * ncols);
     core::EnsureScratch(qcols, patch * ncols);
     core::EnsureScratch(acc, out_ch * ncols);
-    nn::Im2ColFused(input.data().subspan(static_cast<std::size_t>(lo * in_plane),
-                                         static_cast<std::size_t>(cnt * in_plane)),
-                    cnt, in_ch_, height, width, 0, in_ch_, kernel_, stride_,
-                    pad_,
-                    std::span<float>(cols.data(),
-                                     static_cast<std::size_t>(patch * ncols)));
-    // Quantize the lowered columns against the whole-input scale, then
-    // run the group as one int8 GEMM:
+    nn::Im2ColFusedInt8(
+        std::span<const std::int8_t>(qinput).subspan(
+            static_cast<std::size_t>(lo * in_plane),
+            static_cast<std::size_t>(cnt * in_plane)),
+        cnt, in_ch_, height, width, 0, in_ch_, kernel_, stride_, pad_,
+        std::span<std::int8_t>(qcols.data(),
+                               static_cast<std::size_t>(patch * ncols)));
     //   acc [out_ch, cnt·area] = Wq [out_ch, patch] × Xq [patch, cnt·area]
-    core::ParallelFor(0, patch * ncols, 4096,
-                      [&](std::int64_t qlo, std::int64_t qhi) {
-                        for (std::int64_t i = qlo; i < qhi; ++i) {
-                          qcols[static_cast<std::size_t>(i)] = QuantizeValue(
-                              cols[static_cast<std::size_t>(i)], inv_in_scale);
-                        }
-                      });
     core::QGemmInt8(out_ch, ncols, patch, weight_.data.data(), patch,
                     qcols.data(), ncols, acc.data(), ncols);
 
@@ -180,6 +182,7 @@ core::Tensor QuantConv2d::Forward(const core::Tensor& input, bool training) {
       }
     });
   }
+  core::PoolPut(std::move(qinput));
   return output;
 }
 

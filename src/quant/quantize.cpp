@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/buffer_pool.h"
 #include "core/parallel.h"
 
 namespace fluid::quant {
@@ -50,7 +51,9 @@ QuantizedTensor QuantizeTensor(const core::Tensor& t, float scale) {
   QuantizedTensor q;
   q.shape = t.shape();
   q.scale = scale > 0.0F ? scale : AbsMaxScale(t.data());
-  q.data.resize(static_cast<std::size_t>(t.numel()));
+  // Pooled payload (fully overwritten by QuantizeSpan); the wire path
+  // recycles it via RecycleMessage after the frame is sent.
+  q.data = core::PoolGet<std::int8_t>(static_cast<std::size_t>(t.numel()));
   QuantizeSpan(t.data(), q.scale, q.data);
   return q;
 }
@@ -58,7 +61,7 @@ QuantizedTensor QuantizeTensor(const core::Tensor& t, float scale) {
 core::Tensor DequantizeTensor(const QuantizedTensor& q) {
   FLUID_CHECK_MSG(q.shape.numel() == q.numel(),
                   "DequantizeTensor: shape / payload mismatch");
-  core::Tensor t(q.shape);
+  core::Tensor t = core::AcquireTensor(q.shape);
   auto out = t.data();
   const float scale = q.scale;
   core::ParallelFor(0, q.numel(), 4096, [&](std::int64_t lo, std::int64_t hi) {
@@ -94,16 +97,15 @@ core::Status QuantizedTensor::Decode(core::ByteReader& r, QuantizedTensor& out) 
     FLUID_RETURN_IF_ERROR(r.TryReadI64(d));
     if (d < 0) return core::Status::DataLoss("QuantizedTensor: negative dim");
   }
-  std::vector<std::uint8_t> raw;
-  FLUID_RETURN_IF_ERROR(r.TryReadBytes(raw));  // length bounded by remaining()
+  // Decode straight into the (pooled) int8 payload — no staging copy;
+  // the length is still bounded by the reader's remaining().
+  FLUID_RETURN_IF_ERROR(r.TryReadBytes(q.data));
   core::Shape shape(std::move(dims));
-  if (shape.numel() != static_cast<std::int64_t>(raw.size())) {
+  if (shape.numel() != q.numel()) {
     return core::Status::DataLoss(
         "QuantizedTensor: payload size does not match shape");
   }
   q.shape = std::move(shape);
-  q.data.assign(reinterpret_cast<const std::int8_t*>(raw.data()),
-                reinterpret_cast<const std::int8_t*>(raw.data()) + raw.size());
   out = std::move(q);
   return core::Status::Ok();
 }

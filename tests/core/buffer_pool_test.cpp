@@ -1,0 +1,183 @@
+// Buffer-pool behavior: size-class capacity, reuse-after-resize,
+// cross-thread circulation, discard accounting, tensor recycling RAII,
+// debug poisoning, and the counting allocator the memory-discipline
+// budgets are measured against.
+
+#include "core/buffer_pool.h"
+
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/alloc_count.h"
+#include "core/tensor.h"
+
+namespace fluid::core {
+namespace {
+
+// Empty both tiers (this thread's caches, then the global lists) so
+// pointer-identity assertions see only what the test itself recycled.
+void DrainPools() {
+  PoolFlushThisThread();
+  PoolTrimGlobal();
+}
+
+TEST(BufferPoolTest, GetRoundsCapacityUpToTheSizeClass) {
+  if (!PoolingEnabled()) GTEST_SKIP() << "FLUID_POOL=0";
+  auto v = PoolGet<float>(300);
+  EXPECT_EQ(v.size(), 300u);
+  EXPECT_GE(v.capacity(), 512u) << "capacity must cover the whole class";
+  auto tiny = PoolGet<float>(1);
+  EXPECT_GE(tiny.capacity(), 256u) << "small requests round to the "
+                                      "smallest class";
+  PoolPut(std::move(v));
+  PoolPut(std::move(tiny));
+}
+
+TEST(BufferPoolTest, ReuseAfterResizeServesTheSameStorage) {
+  if (!PoolingEnabled()) GTEST_SKIP() << "FLUID_POOL=0";
+  DrainPools();
+  auto a = PoolGet<float>(300);
+  const float* storage = a.data();
+  PoolPut(std::move(a));
+  // 500 still fits the 512 class: the recycled buffer must come back
+  // as-is, with no reallocation to satisfy the larger size.
+  auto b = PoolGet<float>(500);
+  EXPECT_EQ(b.data(), storage);
+  EXPECT_EQ(b.size(), 500u);
+  PoolPut(std::move(b));
+}
+
+TEST(BufferPoolTest, RecycledBuffersCrossThreads) {
+  if (!PoolingEnabled()) GTEST_SKIP() << "FLUID_POOL=0";
+  DrainPools();
+  // A size class no other machinery touches, so the only buffer in it is
+  // the one the worker thread recycles.
+  constexpr std::size_t kOddSize = 100000;  // class 2^17 floats
+  const float* storage = nullptr;
+  std::thread worker([&] {
+    auto v = PoolGet<float>(kOddSize);
+    storage = v.data();
+    PoolPut(std::move(v));
+    PoolFlushThisThread();  // spill to the global lists (thread exit
+                            // would do the same)
+  });
+  worker.join();
+  auto v = PoolGet<float>(kOddSize);
+  EXPECT_EQ(v.data(), storage)
+      << "a buffer recycled on one thread must serve the next acquire on "
+         "another";
+  PoolPut(std::move(v));
+}
+
+TEST(BufferPoolTest, PutBelowTheSmallestClassDiscards) {
+  const auto before = PoolStatsSnapshot();
+  PoolPut(std::vector<float>(10));  // capacity < 256: unpoolable
+  const auto after = PoolStatsSnapshot();
+  EXPECT_EQ(after.discards, before.discards + 1);
+  EXPECT_EQ(after.puts, before.puts);
+}
+
+TEST(BufferPoolTest, TensorRecyclingRoundTrip) {
+  if (!PoolingEnabled()) GTEST_SKIP() << "FLUID_POOL=0";
+  DrainPools();
+  Tensor t = AcquireTensor({4, 100});
+  const float* storage = t.data().data();
+  RecycleTensor(std::move(t));
+  Tensor again = AcquireTensor({500});  // same 512 class
+  EXPECT_EQ(again.data().data(), storage);
+  RecycleTensor(std::move(again));
+}
+
+TEST(BufferPoolTest, PooledTensorRecyclesOnDestruction) {
+  if (!PoolingEnabled()) GTEST_SKIP() << "FLUID_POOL=0";
+  DrainPools();
+  const float* storage = nullptr;
+  {
+    PooledTensor p(Shape{64});
+    storage = p->data().data();
+  }
+  Tensor t = AcquireTensor({64});
+  EXPECT_EQ(t.data().data(), storage);
+  RecycleTensor(std::move(t));
+}
+
+TEST(BufferPoolTest, PooledTensorReleaseDetachesOwnership) {
+  if (!PoolingEnabled()) GTEST_SKIP() << "FLUID_POOL=0";
+  DrainPools();
+  Tensor kept;
+  {
+    PooledTensor p(Shape{64});
+    kept = p.release();
+  }  // handle dies without recycling
+  Tensor fresh = AcquireTensor({64});
+  EXPECT_NE(fresh.data().data(), kept.data().data());
+  RecycleTensor(std::move(fresh));
+  RecycleTensor(std::move(kept));
+}
+
+TEST(BufferPoolTest, AcquireTensorCopyIsDeepAndPooled) {
+  Tensor src({2, 3});
+  for (std::int64_t i = 0; i < 6; ++i) src.data()[i] = static_cast<float>(i);
+  Tensor copy = AcquireTensorCopy(src);
+  EXPECT_EQ(copy.shape(), src.shape());
+  EXPECT_NE(copy.data().data(), src.data().data());
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(copy.data()[i], static_cast<float>(i));
+  }
+  RecycleTensor(std::move(copy));
+}
+
+TEST(BufferPoolTest, AcquireZeroedTensorClearsRecycledContents) {
+  Tensor dirty = AcquireTensor({256});
+  std::fill(dirty.data().begin(), dirty.data().end(), 7.0F);
+  RecycleTensor(std::move(dirty));
+  Tensor z = AcquireZeroedTensor({256});
+  for (const float v : z.data()) EXPECT_EQ(v, 0.0F);
+  RecycleTensor(std::move(z));
+}
+
+#ifndef NDEBUG
+TEST(BufferPoolTest, DebugBuildsPoisonRecycledBytes) {
+  if (!PoolingEnabled()) GTEST_SKIP() << "FLUID_POOL=0";
+  DrainPools();
+  Tensor t = AcquireTensor({256});
+  std::fill(t.data().begin(), t.data().end(), 1.0F);
+  RecycleTensor(std::move(t));
+  Tensor back = AcquireTensor({256});
+  const auto* bytes =
+      reinterpret_cast<const unsigned char*>(back.data().data());
+  for (std::size_t i = 0; i < 256 * sizeof(float); ++i) {
+    ASSERT_EQ(bytes[i], 0xAB) << "recycled byte " << i << " not poisoned";
+  }
+  RecycleTensor(std::move(back));
+}
+#endif
+
+TEST(BufferPoolTest, AllocCounterSeesHeapTraffic) {
+  const auto count_before = AllocCount();
+  const auto bytes_before = AllocBytes();
+  auto p = std::make_unique<std::uint64_t[]>(1024);
+  p[0] = 1;  // keep the allocation observable
+  EXPECT_GT(AllocCount(), count_before);
+  EXPECT_GE(AllocBytes(), bytes_before + 1024 * sizeof(std::uint64_t));
+}
+
+TEST(BufferPoolTest, SteadyStateGetPutCycleIsAllocFree) {
+  if (!PoolingEnabled()) GTEST_SKIP() << "FLUID_POOL=0";
+  // Warm the class (and the cache's slot array) once...
+  PoolPut(PoolGet<float>(300));
+  // ...then the steady-state cycle must never touch the heap.
+  const auto before = AllocCount();
+  for (int i = 0; i < 100; ++i) {
+    auto v = PoolGet<float>(300);
+    PoolPut(std::move(v));
+  }
+  EXPECT_EQ(AllocCount(), before);
+}
+
+}  // namespace
+}  // namespace fluid::core

@@ -42,7 +42,7 @@ struct GatedServe {
   }
 
   BatchScheduler::ServeFn Fn() {
-    return [this](std::vector<BatchScheduler::Request>&& batch) {
+    return [this](std::vector<BatchScheduler::Request>& batch) {
       std::unique_lock<std::mutex> lock(mu);
       cv.wait(lock, [&] { return open; });
       std::int64_t samples = 0;

@@ -6,6 +6,8 @@
 
 #include "core/error.h"
 #include "core/rng.h"
+#include "core/tensor.h"
+#include "quant/quantize.h"
 
 namespace fluid::nn {
 namespace {
@@ -117,6 +119,46 @@ TEST(Im2ColTest, FusedLayoutIsPerSampleColumnsInterleavedByPatchRow) {
             << "n=" << n << " p=" << p << " i=" << i;
       }
     }
+  }
+}
+
+// The single-quantize int8 conv path lowers an already-quantized input
+// directly into int8 columns. That is only sound if it produces the very
+// codes quantize-after-fp32-lowering would: lowering just copies values
+// (so per-element quantization commutes with it) and the zero padding it
+// writes equals QuantizeValue(0) == 0. Exercise padding, stride and a
+// channel slice, and require bitwise equality.
+TEST(Im2ColTest, Int8FusedLoweringMatchesQuantizeAfterFp32Lowering) {
+  core::Rng rng(7);
+  const std::int64_t batch = 2, channels = 3, h = 5, w = 5;
+  const std::int64_t kernel = 3, stride = 2, pad = 1;
+  const std::int64_t c_lo = 1, c_hi = 3;
+  core::Tensor x =
+      core::Tensor::UniformRandom({batch, channels, h, w}, rng, -2, 2);
+
+  const std::int64_t out_h = ConvOutExtent(h, kernel, stride, pad);
+  const std::int64_t out_w = ConvOutExtent(w, kernel, stride, pad);
+  const std::int64_t patch = (c_hi - c_lo) * kernel * kernel;
+  const std::size_t cols_n =
+      static_cast<std::size_t>(patch * batch * out_h * out_w);
+
+  // Reference: lower in fp32, then quantize every column element with the
+  // whole-input scale.
+  std::vector<float> cols_f(cols_n);
+  Im2ColFused(x.data(), batch, channels, h, w, c_lo, c_hi, kernel, stride,
+              pad, cols_f);
+  const float scale = quant::AbsMaxScale(x.data());
+  const float inv_scale = 1.0F / scale;
+
+  // Under test: quantize the input once, lower the int8 codes directly.
+  const quant::QuantizedTensor qx = quant::QuantizeTensor(x, scale);
+  std::vector<std::int8_t> cols_q(cols_n);
+  Im2ColFusedInt8(qx.data, batch, channels, h, w, c_lo, c_hi, kernel,
+                  stride, pad, cols_q);
+
+  for (std::size_t i = 0; i < cols_n; ++i) {
+    ASSERT_EQ(cols_q[i], quant::QuantizeValue(cols_f[i], inv_scale))
+        << "column element " << i;
   }
 }
 

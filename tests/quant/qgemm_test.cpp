@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -45,18 +46,21 @@ std::vector<std::int32_t> NaiveQGemm(std::int64_t m, std::int64_t n,
   return c;
 }
 
+// Pins the int8 kernel directly (not via the fp32 tier): the dispatch
+// upgrade maps fp32 "avx512" to int8 "avx512vnni" on VNNI hosts, so tier
+// coverage of the shadowed plain-"avx512" kernel needs the direct pin.
 class QGemmTierTest : public ::testing::TestWithParam<const char*> {
  protected:
   void SetUp() override {
-    const simd::GemmKernel* k = simd::GemmKernelByName(GetParam());
+    const simd::QGemmKernel* k = simd::QGemmKernelByName(GetParam());
     ASSERT_NE(k, nullptr);
     if (!k->supported()) {
       GTEST_SKIP() << GetParam() << " not supported on this host";
     }
-    simd::SetGemmKernelForTesting(k);
+    simd::SetQGemmKernelForTesting(k);
     ASSERT_STREQ(simd::ActiveQGemmKernel().name, GetParam());
   }
-  void TearDown() override { simd::SetGemmKernelForTesting(nullptr); }
+  void TearDown() override { simd::SetQGemmKernelForTesting(nullptr); }
 };
 
 TEST_P(QGemmTierTest, MatchesNaiveReferenceOverShapeGrid) {
@@ -109,14 +113,21 @@ TEST_P(QGemmTierTest, ThreadCountDoesNotChangeResults) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTiers, QGemmTierTest,
-                         ::testing::Values("scalar", "avx2", "avx512"),
+                         ::testing::Values("scalar", "avx2", "avx512",
+                                           "avx512vnni"),
                          [](const auto& info) { return std::string(info.param); });
 
 TEST(QGemmDispatchTest, FollowsActiveFp32Tier) {
+  const simd::QGemmKernel* vnni = simd::QGemmKernelByName("avx512vnni");
   for (const simd::GemmKernel* k : simd::AllGemmKernels()) {
     if (!k->supported()) continue;
     simd::SetGemmKernelForTesting(k);
-    EXPECT_STREQ(simd::ActiveQGemmKernel().name, k->name);
+    // The avx512 tier upgrades to vnni when the CPU has it; every other
+    // tier pairs with the int8 kernel of the same name.
+    const bool upgrades = std::string_view(k->name) == "avx512" &&
+                          vnni != nullptr && vnni->supported();
+    EXPECT_STREQ(simd::ActiveQGemmKernel().name,
+                 upgrades ? "avx512vnni" : k->name);
   }
   simd::SetGemmKernelForTesting(nullptr);
 }
@@ -125,6 +136,14 @@ TEST(QGemmDispatchTest, EveryTierPairsAnInt8Kernel) {
   for (const simd::GemmKernel* k : simd::AllGemmKernels()) {
     EXPECT_NE(simd::QGemmKernelByName(k->name), nullptr) << k->name;
   }
+}
+
+TEST(QGemmDispatchTest, TestOverridePinsExactKernel) {
+  for (const simd::QGemmKernel* k : simd::AllQGemmKernels()) {
+    simd::SetQGemmKernelForTesting(k);
+    EXPECT_EQ(&simd::ActiveQGemmKernel(), k);
+  }
+  simd::SetQGemmKernelForTesting(nullptr);
 }
 
 TEST(QGemmTest, ZeroKZeroesC) {
