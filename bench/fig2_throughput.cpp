@@ -34,8 +34,24 @@
 // clients=N per_client=N cut=K ha_chunk=N ha_window=N max_batch=N
 // rate=R open_requests=N quant_compute=0|1 link_ms=F bandwidth_mbps=F
 // json=PATH.
+//
+// Extension — mixed-SLO serving mode (`mixed=1`): the continuous-batching
+// scenario. A live HA pipeline (int8 wire) over the emulated link takes
+// BURSTY open-loop traffic (square-wave-modulated Poisson) mixed across
+// the three priority classes, each with its own deadline; the
+// iteration-level scheduler interleaves requests at ha_chunk granularity,
+// so a high-class arrival's time-to-first-chunk never includes the
+// residual service of the work ahead of it. Reports per-class
+// p50/p95/p99, deadline misses, preemptions, and (orchestrate=1) live
+// ModeController HA/HT flips driven by the pool signals. Knobs: rate=R
+// requests=N burst=F burst_period_ms=N slo_high_ms/slo_normal_ms/
+// slo_low_ms=N max_active=N cut/ha_chunk/ha_window/max_batch link_ms
+// bandwidth_mbps orchestrate=0|1 tick_ms=N ha_cap/ht_cap=F json=PATH
+// smoke=low|overload (CI gates: low asserts zero deadline misses,
+// overload asserts nonzero preemptions).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -53,6 +69,7 @@
 #include "core/buffer_pool.h"
 #include "core/rng.h"
 #include "dist/master.h"
+#include "dist/orchestrator.h"
 #include "dist/worker.h"
 #include "harness_common.h"
 #include "nn/checkpoint.h"
@@ -437,6 +454,428 @@ int RunHaServing(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// `mixed=1`: continuous batching under mixed-priority bursty traffic.
+// ---------------------------------------------------------------------------
+
+// Per-class tallies of the mixed-SLO run. Latencies cover DELIVERED
+// requests only; `expired` are requests the scheduler failed
+// kDeadlineExceeded without service, `late` are delivered past their SLO.
+struct MixedClassTally {
+  std::int64_t offered = 0;
+  std::int64_t delivered = 0;
+  std::int64_t expired = 0;
+  std::int64_t late = 0;
+  std::vector<double> lat_ms;
+  double p50 = 0, p95 = 0, p99 = 0;
+};
+
+int RunMixedSlo(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  std::int64_t requests = 3000, max_batch = 64, ha_chunk = 8, ha_window = 32;
+  std::int64_t cut = 1, max_active = 256, tick_ms = 250, orchestrate = 0;
+  double rate = 950.0, burst = 1.6, burst_period_ms = 400.0;
+  double link_ms = 12.0, bandwidth_mbps = 100.0;
+  double ha_cap = 1300.0, ht_cap = 2600.0;
+  std::int64_t slo_ms[3] = {250, 1000, 4000};  // high / normal / low
+  std::string json_path, smoke;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = arg.substr(0, eq), val = arg.substr(eq + 1);
+    if (key == "requests") requests = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "max_batch") max_batch = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "ha_chunk") ha_chunk = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "ha_window") ha_window = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "cut") cut = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "max_active") max_active = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "tick_ms") tick_ms = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "orchestrate")
+      orchestrate = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "slo_high_ms") slo_ms[0] = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "slo_normal_ms")
+      slo_ms[1] = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "slo_low_ms") slo_ms[2] = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "rate") rate = std::strtod(val.c_str(), nullptr);
+    if (key == "burst") burst = std::strtod(val.c_str(), nullptr);
+    if (key == "burst_period_ms")
+      burst_period_ms = std::strtod(val.c_str(), nullptr);
+    if (key == "link_ms") link_ms = std::strtod(val.c_str(), nullptr);
+    if (key == "bandwidth_mbps")
+      bandwidth_mbps = std::strtod(val.c_str(), nullptr);
+    if (key == "ha_cap") ha_cap = std::strtod(val.c_str(), nullptr);
+    if (key == "ht_cap") ht_cap = std::strtod(val.c_str(), nullptr);
+    if (key == "json") json_path = val;
+    if (key == "smoke") smoke = val;
+  }
+
+  std::printf("== mixed-SLO continuous batching: bursty 3-class traffic on "
+              "the HA pipeline (int8 wire) ==\n");
+  std::printf("# offered %.0f req/s avg (x%.1f burst every %.0f ms), %lld "
+              "requests; SLO high/normal/low = %lld/%lld/%lld ms\n",
+              rate, burst, burst_period_ms, static_cast<long long>(requests),
+              static_cast<long long>(slo_ms[0]),
+              static_cast<long long>(slo_ms[1]),
+              static_cast<long long>(slo_ms[2]));
+  std::printf("# link %.1f ms + %.0f Mbit/s; chunk %lld, window %lld, "
+              "max_batch %lld, max_active_reqs %lld%s\n\n",
+              link_ms, bandwidth_mbps, static_cast<long long>(ha_chunk),
+              static_cast<long long>(ha_window),
+              static_cast<long long>(max_batch),
+              static_cast<long long>(max_active),
+              orchestrate != 0 ? ", orchestrated HA/HT" : "");
+
+  const slim::FluidNetConfig cfg;
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  const auto combined = fluid.family().Combined();
+  const std::int64_t width = combined.range.width();
+  nn::Sequential full = fluid.ExtractSubnet(combined);
+  auto halves = train::SplitConvNet(cfg, width, full, cut);
+
+  dist::MasterNode master(cfg);
+  auto [master_end, worker_end] = dist::MakeEmulatedLinkPair(
+      std::chrono::duration<double>(link_ms * 1e-3),
+      bandwidth_mbps * 1e6 / 8.0);
+  dist::WorkerNode worker("w0", cfg, std::move(worker_end));
+  worker.Start();
+  master.AttachWorker(std::move(master_end));
+
+  // HA pipeline with the int8 wire (the PR 6 operating point), plus
+  // standalone slices on both devices so an orchestrated HT flip has a
+  // real fan-out to route to.
+  master.DeployLocal("front", std::move(halves.front));
+  master.DeployLocal("lower50",
+                     fluid.ExtractSubnet(fluid.family().MasterResident()));
+  auto bp_back = dist::ModelBlueprint::PipelineBack(cfg, width, cut);
+  bp_back.quant.int8_wire = true;
+  master.DeployToWorker("back", bp_back, nn::ExtractState(halves.back), 10000ms)
+      .ThrowIfError();
+  const auto upper = fluid.family().WorkerResident();
+  nn::Sequential upper_net = fluid.ExtractSubnet(upper);
+  master
+      .DeployToWorker("upper",
+                      dist::ModelBlueprint::Standalone(cfg, upper.range.width()),
+                      nn::ExtractState(upper_net), 10000ms)
+      .ThrowIfError();
+  dist::Plan plan;
+  plan.master_standalone = "lower50";
+  plan.worker_standalone = "upper";
+  plan.pipeline_front = "front";
+  plan.pipeline_back = "back";
+  plan.back_worker = 0;
+  master.SetPlan(plan);
+  master.SetMode(sim::Mode::kHighAccuracy);
+
+  dist::BatchOptions bopts;
+  bopts.max_batch = static_cast<std::size_t>(max_batch);
+  bopts.max_delay = std::chrono::milliseconds(0);
+  bopts.ha_chunk = static_cast<std::size_t>(ha_chunk);
+  bopts.ha_window = static_cast<std::size_t>(ha_window);
+  bopts.max_active_reqs = static_cast<std::size_t>(max_active);
+  bopts.queue_capacity = 8192;
+  master.StartServing(bopts);
+
+  // Pre-warm the pool size classes the first burst touches — request
+  // inputs, stacked chunk batches, the chunk's widest activation, int8
+  // staging and wire frames — then spill them to the shared lists where
+  // any serving thread can claim them. Open loop starts cold straight
+  // into a burst, and without this the first chunks pay the allocator
+  // (and page zeroing) exactly when the deadline clock is running.
+  {
+    const std::size_t in_elems = std::size_t{28} * 28;
+    const std::size_t chunk_rows = static_cast<std::size_t>(ha_chunk);
+    const std::size_t act_elems =
+        chunk_rows * static_cast<std::size_t>(width) * in_elems;
+    core::PoolPrewarm<float>(in_elems, 2 * chunk_rows);
+    core::PoolPrewarm<float>(chunk_rows * in_elems, 4);
+    core::PoolPrewarm<float>(act_elems, 4);
+    core::PoolPrewarm<std::int8_t>(act_elems, 4);
+    core::PoolPrewarm<std::uint8_t>(act_elems * sizeof(float), 2);
+    core::PoolFlushThisThread();
+  }
+
+  // Optional control plane: ticks the orchestrator on an arrival-rate
+  // demand estimate; the ModeController reads the pool's occupancy /
+  // miss-rate / class signals and flips HA<->HT live. Off by default —
+  // each heartbeat holds the master for a link RTT, which belongs in the
+  // orchestrated variant, not the scheduler-isolating gate run.
+  std::atomic<std::int64_t> arrivals{0};
+  std::atomic<bool> orch_stop{false};
+  dist::OrchestratorConfig ocfg;
+  ocfg.ha_capacity = ha_cap;
+  ocfg.ht_capacity = ht_cap;
+  ocfg.probe_timeout = std::chrono::milliseconds(100);
+  dist::Orchestrator orch(master, ocfg);
+  std::thread orch_thread;
+  if (orchestrate != 0) {
+    orch_thread = std::thread([&] {
+      std::int64_t last = 0;
+      auto t_last = Clock::now();
+      while (!orch_stop) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(tick_ms));
+        const std::int64_t n = arrivals.load();
+        const auto t = Clock::now();
+        const double dt = std::chrono::duration<double>(t - t_last).count();
+        orch.Tick(dt > 0 ? static_cast<double>(n - last) / dt : 0.0);
+        last = n;
+        t_last = t;
+      }
+    });
+  }
+
+  // Completion collector: priority scheduling reorders completions, so an
+  // in-submission-order drain (RunOpenLoop's) would timestamp a fast
+  // high-class reply with a slow low-class neighbour's finish. Poll every
+  // outstanding future instead and stamp each the moment it turns ready.
+  MixedClassTally tally[3];
+  for (auto& t : tally) t.lat_ms.reserve(static_cast<std::size_t>(requests));
+  struct Pending {
+    std::future<core::StatusOr<dist::InferReply>> future;
+    Clock::time_point scheduled;
+    int cls;
+  };
+  std::mutex mu;
+  std::vector<Pending> incoming;
+  bool done = false;
+  Clock::time_point last_completion{};
+  std::thread collector([&] {
+    std::vector<Pending> open;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto& p : incoming) open.push_back(std::move(p));
+        incoming.clear();
+        if (open.empty() && done) return;
+      }
+      bool progressed = false;
+      for (auto it = open.begin(); it != open.end();) {
+        if (it->future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+          ++it;
+          continue;
+        }
+        const auto now = Clock::now();
+        auto reply = it->future.get();
+        MixedClassTally& t = tally[it->cls];
+        if (reply.ok()) {
+          core::RecycleTensor(std::move(reply->logits));
+          const double ms =
+              std::chrono::duration<double, std::milli>(now - it->scheduled)
+                  .count();
+          t.lat_ms.push_back(ms);
+          ++t.delivered;
+          if (ms > static_cast<double>(slo_ms[it->cls])) ++t.late;
+          last_completion = now;
+        } else if (reply.status().code() ==
+                   core::StatusCode::kDeadlineExceeded) {
+          ++t.expired;  // expired while READY: failed without service
+        } else {
+          std::fprintf(stderr, "mixed-slo request failed: %s\n",
+                       reply.status().ToString().c_str());
+          std::abort();
+        }
+        it = open.erase(it);
+        progressed = true;
+      }
+      if (!progressed) std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Bursty arrivals: Poisson thinned/boosted by a square wave — the first
+  // half of every period runs at burst x rate, the second half at the
+  // complementary trough, so the average offered load stays `rate` while
+  // the instantaneous load swings around it. The class pattern fixes the
+  // mix at 20% high / 50% normal / 30% low, deterministic per index.
+  static constexpr int kClassPattern[10] = {0, 1, 2, 1, 2, 1, 0, 1, 2, 1};
+  core::Rng rng(4242);
+  const core::Tensor x =
+      core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+  const double trough = std::max(0.1, 2.0 - burst);
+  const auto t0 = Clock::now();
+  double next_s = 0.0;
+  for (std::int64_t i = 0; i < requests; ++i) {
+    const double phase = std::fmod(next_s * 1000.0, 2.0 * burst_period_ms);
+    const double mult = phase < burst_period_ms ? burst : trough;
+    next_s += -std::log(1.0 - rng.Uniform()) / (rate * mult);
+    const auto at = t0 + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(next_s));
+    std::this_thread::sleep_until(at);
+    const int cls = kClassPattern[i % 10];
+    dist::SubmitOptions so;
+    so.timeout = std::chrono::milliseconds(slo_ms[cls]);
+    so.priority = static_cast<dist::Priority>(cls);
+    auto fut = master.InferAsync(PooledInput(x), so);
+    ++tally[cls].offered;
+    ++arrivals;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      incoming.push_back({std::move(fut), at, cls});
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  collector.join();
+  orch_stop = true;
+  if (orch_thread.joinable()) orch_thread.join();
+
+  const auto sched = master.scheduler_stats();
+  const auto stats = master.stats();
+  master.StopServing();
+
+  std::int64_t delivered_total = 0;
+  for (int c = 0; c < 3; ++c) {
+    MixedClassTally& t = tally[c];
+    std::sort(t.lat_ms.begin(), t.lat_ms.end());
+    t.p50 = Percentile(t.lat_ms, 0.50);
+    t.p95 = Percentile(t.lat_ms, 0.95);
+    t.p99 = Percentile(t.lat_ms, 0.99);
+    delivered_total += t.delivered;
+  }
+  const double span_s =
+      std::chrono::duration<double>(last_completion - t0).count();
+  const double achieved =
+      span_s > 0 ? static_cast<double>(delivered_total) / span_s : 0.0;
+
+  std::printf("class    offered  delivered  expired  late     p50      p95      p99\n");
+  for (int c = 0; c < 3; ++c) {
+    const MixedClassTally& t = tally[c];
+    std::printf("%-6s %9lld %10lld %8lld %5lld %7.1f %8.1f %8.1f ms\n",
+                std::string(dist::PriorityName(static_cast<dist::Priority>(c)))
+                    .c_str(),
+                static_cast<long long>(t.offered),
+                static_cast<long long>(t.delivered),
+                static_cast<long long>(t.expired),
+                static_cast<long long>(t.late), t.p50, t.p95, t.p99);
+  }
+  std::printf("\nachieved %.1f req/s over %.2f s; scheduler: %lld chunks "
+              "(avg %.1f rows), occupancy %.0f%%, max active %lld, "
+              "deadline misses %lld, preemptions %lld\n",
+              achieved, span_s, static_cast<long long>(sched.batches),
+              sched.avg_batch, sched.occupancy * 100.0,
+              static_cast<long long>(sched.max_active_seen),
+              static_cast<long long>(sched.deadline_misses),
+              static_cast<long long>(sched.preemptions));
+  std::printf("pipeline: %lld samples, %lld int8 cut frames, %lld failovers; "
+              "sharded: local %lld remote %lld; worker SLO frames %lld "
+              "(high/normal/low samples %lld/%lld/%lld)\n",
+              static_cast<long long>(stats.served_pipeline),
+              static_cast<long long>(stats.quant_cut_frames),
+              static_cast<long long>(stats.failovers),
+              static_cast<long long>(stats.served_local),
+              static_cast<long long>(stats.served_remote),
+              static_cast<long long>(worker.slo_frames()),
+              static_cast<long long>(worker.samples_served_class(0)),
+              static_cast<long long>(worker.samples_served_class(1)),
+              static_cast<long long>(worker.samples_served_class(2)));
+  if (orchestrate != 0) {
+    std::printf("orchestrator: %lld ticks, %lld mode switches, final mode "
+                "%s\n",
+                static_cast<long long>(orch.ticks()),
+                static_cast<long long>(orch.controller().switches()),
+                std::string(sim::ModeName(orch.controller().mode())).c_str());
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 " \"mode\": \"mixed_slo\",\n"
+                 " \"offered_req_per_s\": %.1f,\n"
+                 " \"achieved_req_per_s\": %.1f,\n"
+                 " \"requests\": %lld,\n"
+                 " \"burst\": %.2f,\n"
+                 " \"burst_period_ms\": %.0f,\n"
+                 " \"link_ms\": %.1f,\n"
+                 " \"bandwidth_mbps\": %.1f,\n"
+                 " \"cut_stage\": %lld,\n"
+                 " \"ha_chunk\": %lld,\n"
+                 " \"ha_window\": %lld,\n"
+                 " \"max_batch\": %lld,\n"
+                 " \"max_active_reqs\": %lld,\n"
+                 " \"orchestrate\": %lld,\n",
+                 rate, achieved, static_cast<long long>(requests), burst,
+                 burst_period_ms, link_ms, bandwidth_mbps,
+                 static_cast<long long>(cut), static_cast<long long>(ha_chunk),
+                 static_cast<long long>(ha_window),
+                 static_cast<long long>(max_batch),
+                 static_cast<long long>(max_active),
+                 static_cast<long long>(orchestrate));
+    for (int c = 0; c < 3; ++c) {
+      const MixedClassTally& t = tally[c];
+      std::fprintf(
+          f,
+          " \"%s\": {\"slo_ms\": %lld, \"offered\": %lld, \"delivered\": "
+          "%lld, \"expired\": %lld, \"late\": %lld, \"p50_ms\": %.1f, "
+          "\"p95_ms\": %.1f, \"p99_ms\": %.1f},\n",
+          std::string(dist::PriorityName(static_cast<dist::Priority>(c)))
+              .c_str(),
+          static_cast<long long>(slo_ms[c]),
+          static_cast<long long>(t.offered),
+          static_cast<long long>(t.delivered),
+          static_cast<long long>(t.expired), static_cast<long long>(t.late),
+          t.p50, t.p95, t.p99);
+    }
+    std::fprintf(
+        f,
+        " \"scheduler\": {\"chunks\": %lld, \"avg_rows\": %.2f, "
+        "\"pool_occupancy\": %.3f, \"max_active_seen\": %lld, "
+        "\"deadline_misses\": %lld, \"preemptions\": %lld},\n"
+        " \"pipeline\": {\"served_samples\": %lld, \"quant_cut_frames\": "
+        "%lld, \"failovers\": %lld, \"served_local\": %lld, "
+        "\"served_remote\": %lld},\n"
+        " \"mode_switches\": %lld\n"
+        "}\n",
+        static_cast<long long>(sched.batches), sched.avg_batch,
+        sched.occupancy, static_cast<long long>(sched.max_active_seen),
+        static_cast<long long>(sched.deadline_misses),
+        static_cast<long long>(sched.preemptions),
+        static_cast<long long>(stats.served_pipeline),
+        static_cast<long long>(stats.quant_cut_frames),
+        static_cast<long long>(stats.failovers),
+        static_cast<long long>(stats.served_local),
+        static_cast<long long>(stats.served_remote),
+        static_cast<long long>(orch.controller().switches()));
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  worker.Stop();
+
+  // CI smoke gates. `low`: a lightly loaded scheduler must not miss a
+  // single deadline. `overload`: saturation must provably engage the
+  // preemptive path (chunks filling with higher-class rows while lower
+  // classes wait).
+  if (smoke == "low") {
+    const std::int64_t expired =
+        tally[0].expired + tally[1].expired + tally[2].expired;
+    if (sched.deadline_misses != 0 || expired != 0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL (low): %lld deadline misses, %lld expired "
+                   "requests at low load\n",
+                   static_cast<long long>(sched.deadline_misses),
+                   static_cast<long long>(expired));
+      return 1;
+    }
+    std::printf("smoke(low) OK: zero deadline misses\n");
+  } else if (smoke == "overload") {
+    if (sched.preemptions <= 0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL (overload): no preemptions under overload\n");
+      return 1;
+    }
+    std::printf("smoke(overload) OK: %lld preemptions\n",
+                static_cast<long long>(sched.preemptions));
+  }
+  return 0;
+}
+
 int RunClosedLoopServing(int argc, char** argv) {
   // key=value knobs (same convention as HarnessOptions).
   std::int64_t clients = 8, per_client = 200, num_workers = 2;
@@ -579,7 +1018,7 @@ int RunClosedLoopServing(int argc, char** argv) {
         " \"async_req_per_s\": %.1f,\n"
         " \"speedup\": %.2f,\n"
         " \"avg_coalesced_batch\": %.2f,\n"
-        " \"batch_occupancy\": %.3f,\n"
+        " \"pool_occupancy\": %.3f,\n"
         " \"sync_allocs_per_req\": %.2f,\n"
         " \"sync_bytes_per_req\": %.0f,\n"
         " \"async_allocs_per_req\": %.2f,\n"
@@ -605,6 +1044,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "ha=1") {
       return RunHaServing(argc, argv);
+    }
+    if (std::string(argv[i]) == "mixed=1") {
+      return RunMixedSlo(argc, argv);
     }
     if (std::string(argv[i]) == "closed_loop=1") {
       return RunClosedLoopServing(argc, argv);

@@ -10,10 +10,16 @@
 #                            vs int8 (v3) cut-activation frames, closed- and
 #                            open-loop with latency percentiles
 #                            (fig2_throughput ha=1)
+#                          mixed_slo   — continuous batching: bursty
+#                            3-class open-loop traffic on the HA pipeline,
+#                            per-priority-class latency percentiles plus
+#                            deadline-miss/preemption counters
+#                            (fig2_throughput mixed=1)
 #                          int8_accuracy — top-1 of the int8 deployment vs
 #                            its fp32 source (fig2_accuracy quant_json=…;
 #                            skipped when FLUID_BENCH_SKIP_ACCURACY=1 — it
-#                            trains the three model families)
+#                            trains the three model families; the
+#                            previously recorded section carries over)
 #
 # Usage: scripts/run_bench.sh [extra google-benchmark args...]
 # Honours FLUID_NUM_THREADS; by default records a single-thread run plus a
@@ -68,8 +74,8 @@ if ! cmake --build "${build_dir}" -j "$(nproc)" --target fig2_throughput; then
   echo "error: building fig2_throughput failed." >&2
   exit 1
 fi
-serving_tmp="$(mktemp)" ha_tmp="$(mktemp)" acc_tmp="$(mktemp)"
-trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}" "${ha_tmp}" "${acc_tmp}"' EXIT
+serving_tmp="$(mktemp)" ha_tmp="$(mktemp)" acc_tmp="$(mktemp)" mixed_tmp="$(mktemp)"
+trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}"' EXIT
 "${build_dir}/fig2_throughput" closed_loop=1 clients=8 per_client=100 \
   json="${serving_tmp}"
 # Quantized HA: the 12 ms / 100 Mbit/s paper link, deep cut (stage 1 —
@@ -78,6 +84,13 @@ trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}" "${ha_tm
 # so the percentile gap shows the saturation cliff).
 "${build_dir}/fig2_throughput" ha=1 clients=64 per_client=50 max_batch=64 \
   ha_window=32 cut=1 rate=900 open_requests=500 json="${ha_tmp}"
+# Continuous batching under mixed-SLO bursty traffic: same link and HA
+# int8 operating point as ha_quant's open loop, but three priority
+# classes with per-class deadlines and a square-wave burst around the
+# 950 req/s average — the gate is the high class's p99 against the
+# single-class ha_quant baseline.
+"${build_dir}/fig2_throughput" mixed=1 rate=950 requests=3000 \
+  max_batch=64 ha_window=32 cut=1 json="${mixed_tmp}"
 
 if [[ "${FLUID_BENCH_SKIP_ACCURACY:-0}" != "1" ]]; then
   if ! cmake --build "${build_dir}" -j "$(nproc)" --target fig2_accuracy; then
@@ -86,14 +99,23 @@ if [[ "${FLUID_BENCH_SKIP_ACCURACY:-0}" != "1" ]]; then
   fi
   "${build_dir}/fig2_accuracy" quant_json="${acc_tmp}"
 else
-  echo '{}' > "${acc_tmp}"
+  # Skipping the (training-heavy) accuracy run must not erase the last
+  # recorded numbers: carry the previous int8_accuracy section forward.
+  python3 - "${repo_root}/BENCH_serving.json" > "${acc_tmp}" <<'EOF'
+import json, sys
+try:
+    prev = json.load(open(sys.argv[1]))
+except (OSError, ValueError):
+    prev = {}
+json.dump(prev.get("int8_accuracy", {}), sys.stdout)
+EOF
 fi
 
 serving_merged="$(mktemp)"
-python3 - "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" > "${serving_merged}" <<'EOF'
+python3 - "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}" > "${serving_merged}" <<'EOF'
 import json, sys
-closed, ha, acc = (json.load(open(p)) for p in sys.argv[1:4])
-out = {"closed_loop": closed, "ha_quant": ha}
+closed, ha, acc, mixed = (json.load(open(p)) for p in sys.argv[1:5])
+out = {"closed_loop": closed, "ha_quant": ha, "mixed_slo": mixed}
 # Steady-state heap discipline per scenario, gathered in one place so the
 # alloc/request trajectory is tracked PR over PR next to the latencies.
 out["mem_discipline"] = {

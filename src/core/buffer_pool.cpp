@@ -22,6 +22,22 @@ constexpr int kNumClasses = kMaxClassLog - kMinClassLog + 1;
 constexpr std::size_t kLocalCap = 8;
 constexpr std::size_t kGlobalCap = 64;
 
+// Classes whose storage is at least this many bytes are shared-first:
+// puts go straight to the global list so no thread hoards them. The
+// threshold is in bytes, not elements — hoarding cost scales with the
+// storage a thread parks, and a 128 KB float buffer is exactly as
+// expensive to re-fill as a 128 KB int8 one. Below this, the lock-free
+// local cache wins (one mutex hop is noise next to filling a 64 KB+
+// buffer, but not next to a 2 KB one).
+constexpr std::size_t kSharedFirstBytes = std::size_t{1} << 16;  // 64 KiB
+
+constexpr std::size_t ClassSize(int c);
+
+template <typename T>
+constexpr bool SharedFirstClass(int c) {
+  return ClassSize(c) * sizeof(T) >= kSharedFirstBytes;
+}
+
 constexpr std::size_t ClassSize(int c) {
   return std::size_t{1} << (kMinClassLog + c);
 }
@@ -146,11 +162,13 @@ void PoolPut(std::vector<T>&& v) {
     std::memset(victim.data(), 0xAB, victim.size() * sizeof(T));
   }
 #endif
-  auto& slot = Local<T>().slots[c];
-  if (slot.size() < kLocalCap) {
-    slot.push_back(std::move(victim));
-    g_puts.fetch_add(1, std::memory_order_relaxed);
-    return;
+  if (!SharedFirstClass<T>(c)) {
+    auto& slot = Local<T>().slots[c];
+    if (slot.size() < kLocalCap) {
+      slot.push_back(std::move(victim));
+      g_puts.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
   }
   auto& global = GlobalPool<T>::Instance();
   std::lock_guard<std::mutex> lock(global.mu);
@@ -159,6 +177,18 @@ void PoolPut(std::vector<T>&& v) {
     g_puts.fetch_add(1, std::memory_order_relaxed);
   } else {
     g_discards.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+template <typename T>
+void PoolPrewarm(std::size_t n, std::size_t count) {
+  if (n == 0 || !PoolingEnabled()) return;
+  const int c = ClassForRequest(n);
+  if (c < 0) return;  // beyond the largest class: unpooled anyway
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<T> v;
+    v.reserve(ClassSize(c));
+    PoolPut(std::move(v));
   }
 }
 
@@ -172,6 +202,11 @@ template void PoolPut<std::int8_t>(std::vector<std::int8_t>&&);
 template void PoolPut<std::uint8_t>(std::vector<std::uint8_t>&&);
 template void PoolPut<std::int16_t>(std::vector<std::int16_t>&&);
 template void PoolPut<std::int32_t>(std::vector<std::int32_t>&&);
+template void PoolPrewarm<float>(std::size_t, std::size_t);
+template void PoolPrewarm<std::int8_t>(std::size_t, std::size_t);
+template void PoolPrewarm<std::uint8_t>(std::size_t, std::size_t);
+template void PoolPrewarm<std::int16_t>(std::size_t, std::size_t);
+template void PoolPrewarm<std::int32_t>(std::size_t, std::size_t);
 
 PoolStats PoolStatsSnapshot() {
   PoolStats s;

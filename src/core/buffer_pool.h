@@ -18,6 +18,13 @@
 //    spills to a shared global free list, so storage circulates between
 //    threads: a client thread's request buffer, released by the scheduler
 //    drain thread, comes back to the client on its next acquire.
+//  * Large classes (≥ 64 KiB of storage — batch activations, im2col
+//    columns, wire frames) are "shared-first": releases go straight to
+//    the global list instead of the releasing thread's cache. The thread
+//    pool's dynamic chunk assignment means any pool thread may need any
+//    large buffer next; parking them thread-locally made ~1% of acquires
+//    miss (the releasing thread hoarded them), and one mutex hop is
+//    noise next to filling a 64 KB+ buffer.
 //  * Pools are storage-only: contents of an acquired buffer are
 //    UNSPECIFIED (only its size is set). Callers must fully overwrite.
 //    Debug builds (#ifndef NDEBUG) poison recycled bytes with 0xAB so a
@@ -69,6 +76,15 @@ struct PoolStats {
 
 /// Process-wide counters (relaxed; for tests and the bench report).
 PoolStats PoolStatsSnapshot();
+
+/// Pre-fill the size class serving `n`-element requests with `count`
+/// freshly allocated buffers, so the first real acquires hit the pool
+/// instead of the allocator. Large ("shared-first") classes land on the
+/// global list — visible to every thread — and small classes in the
+/// calling thread's local cache. Serving warmup uses this to keep the
+/// first requests after a deploy off the allocator's latency tail.
+template <typename T>
+void PoolPrewarm(std::size_t n, std::size_t count);
 
 /// Spill the calling thread's local caches (all element types) to the
 /// global lists — tests use this to hand buffers across threads

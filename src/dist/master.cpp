@@ -1,6 +1,7 @@
 #include "dist/master.h"
 
 #include <algorithm>
+#include <deque>
 #include <utility>
 
 #include "core/buffer_pool.h"
@@ -33,6 +34,7 @@ std::size_t MasterNode::AttachWorker(TransportPtr transport) {
   WorkerHandle handle;
   handle.transport = std::move(transport);
   workers_.push_back(std::move(handle));
+  RefreshLabelsLocked();
   return workers_.size() - 1;
 }
 
@@ -146,6 +148,19 @@ core::Status MasterNode::DeployToWorker(const std::string& name,
 void MasterNode::SetPlan(Plan plan) {
   std::lock_guard<std::mutex> lock(mu_);
   plan_ = std::move(plan);
+  RefreshLabelsLocked();
+}
+
+void MasterNode::RefreshLabelsLocked() {
+  label_local_ = "master:" + plan_.master_standalone;
+  label_pipeline_ = "pipeline:" + plan_.pipeline_front + "+" +
+                    plan_.pipeline_back + "@worker[" +
+                    std::to_string(plan_.back_worker) + "]";
+  label_worker_.resize(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    label_worker_[w] =
+        "worker[" + std::to_string(w) + "]:" + plan_.worker_standalone;
+  }
 }
 
 Plan MasterNode::plan() const {
@@ -185,9 +200,7 @@ void MasterNode::StartServingLocked(BatchOptions options) {
     batch_options_ = options;
   }
   scheduler_ = std::make_shared<BatchScheduler>(
-      options, [this](std::vector<BatchScheduler::Request>& batch) {
-        ServeBatch(batch);
-      });
+      options, [this](BatchScheduler& sched) { ServeActive(sched); });
 }
 
 void MasterNode::StopServing() {
@@ -206,6 +219,13 @@ bool MasterNode::serving() const {
 
 std::future<core::StatusOr<InferReply>> MasterNode::InferAsync(
     core::Tensor input, std::chrono::milliseconds timeout) {
+  SubmitOptions opts;
+  opts.timeout = timeout;
+  return InferAsync(std::move(input), opts);
+}
+
+std::future<core::StatusOr<InferReply>> MasterNode::InferAsync(
+    core::Tensor input, const SubmitOptions& opts) {
   std::shared_ptr<BatchScheduler> scheduler;
   {
     std::lock_guard<std::mutex> lock(serving_mu_);
@@ -215,7 +235,7 @@ std::future<core::StatusOr<InferReply>> MasterNode::InferAsync(
   // Submit outside serving_mu_: its backpressure wait may block for the
   // request's whole budget, and StopServing / scheduler_stats must not
   // stall behind it. A racing StopServing fails this request cleanly.
-  return scheduler->Submit(std::move(input), timeout);
+  return scheduler->Submit(std::move(input), opts);
 }
 
 core::StatusOr<InferReply> MasterNode::Infer(const core::Tensor& input,
@@ -238,81 +258,271 @@ core::StatusOr<InferReply> MasterNode::Infer(const core::Tensor& input,
   reply.logits = std::move(result->logits);
   reply.served_by = result->served_by.empty()
                         ? std::string()
-                        : result->served_by.front().label;
+                        : *result->served_by.front().label;
   return reply;
 }
 
-void MasterNode::ServeBatch(std::vector<BatchScheduler::Request>& batch) {
-  if (batch.empty()) return;
-  try {
-    // The batch serves under its most patient member's budget: an
-    // impatient request coalesced with patient ones gets its answer late
-    // rather than dragging everyone to its deadline and failing requests
-    // that still had time (serving late beats dropping).
-    auto deadline = batch.front().deadline;
-    for (const auto& req : batch) deadline = std::max(deadline, req.deadline);
-
-    core::Tensor stacked;
-    if (batch.size() == 1) {
-      stacked = std::move(batch.front().input);
-    } else {
-      // Reused across batches (only the scheduler's drain thread runs
-      // ServeBatch); clear() keeps the capacity.
-      thread_local std::vector<const core::Tensor*> tl_parts;
-      tl_parts.clear();
-      tl_parts.reserve(batch.size());
-      for (const auto& req : batch) tl_parts.push_back(&req.input);
-      stacked = core::ConcatAxis0(tl_parts);
-      // Request inputs are consumed by the stack; recycle them so client
-      // threads acquiring fresh inputs hit the pool.
-      for (auto& req : batch) core::RecycleTensor(std::move(req.input));
-    }
-
-    core::StatusOr<BatchResult> result = [&]() -> core::StatusOr<BatchResult> {
+void MasterNode::ServeActive(BatchScheduler& sched) {
+  // Drain-thread entry: the pool has schedulable work. Pull chunks
+  // continuously; the mode is re-checked at every chunk boundary, so an
+  // orchestrator flip (or a pipeline death) re-routes the very next
+  // quantum instead of waiting out a coalesced batch.
+  for (;;) {
+    bool ha = false;
+    {
       std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.batches;
-      stats_.coalesced_samples += stacked.shape()[0];
-      return ServeBatchLocked(stacked, deadline);
-    }();
-    // The stacked batch is fully consumed; its storage feeds the next one.
-    core::RecycleTensor(std::move(stacked));
-
-    if (!result.ok()) {
-      for (auto& req : batch) req.promise.set_value(result.status());
+      ha = HaViableLocked();
+    }
+    if (ha) {
+      if (!ServePipelineContinuous(sched)) return;  // pool drained
+      continue;  // pipeline broke or mode changed: re-check the route
+    }
+    BatchScheduler::WorkChunk chunk;
+    if (!sched.NextChunk(sched.options().max_batch,
+                         std::chrono::milliseconds(1), chunk)) {
       return;
     }
-    // Scatter per-sample logits rows back to their futures. Attribution
-    // ranges are sorted and disjoint; each request reports the device that
-    // served its first sample.
-    std::int64_t row = 0;
-    std::size_t range = 0;
-    for (auto& req : batch) {
-      while (range + 1 < result->served_by.size() &&
-             result->served_by[range].row0 + result->served_by[range].rows <=
-                 row) {
-        ++range;
+    ServeChunkSharded(sched, chunk);
+  }
+}
+
+bool MasterNode::ServePipelineContinuous(BatchScheduler& sched) {
+  // Iteration-level HA serving: each ha_chunk cut-activation frame is one
+  // scheduling quantum, so frames from *different* requests share the
+  // ha_window in-flight window. Between frames the scheduler re-assembles
+  // — a new arrival's rows ride the next frame (its time-to-first-chunk
+  // excludes the residual service of the work ahead), and an expiring
+  // high-class request displaces queued lower-class rows.
+  const BatchOptions& opts = sched.options();
+  const std::size_t window = std::max<std::size_t>(1, opts.ha_window);
+  const std::size_t quantum = std::max<std::size_t>(1, opts.ha_chunk);
+
+  struct Flight {
+    std::int64_t seq = 0;
+    std::size_t worker = 0;
+    BatchScheduler::WorkChunk chunk;
+  };
+  std::deque<Flight> inflight;
+  bool broken = false;   // pipeline failed / mode flipped: stop refilling
+  bool drained = false;  // pool empty: serve out the window, then return
+
+  // Front-half forward + cut-activation send for one chunk. On failure
+  // the chunk's rows are still unserved — they fail over to the sharded
+  // path immediately, and `broken` bails out of the pipeline after the
+  // window drains.
+  auto ship = [&](BatchScheduler::WorkChunk&& chunk) {
+    core::Tensor storage;
+    core::Status st = core::Status::Ok();
+    std::int64_t seq = 0;
+    std::size_t shipped_to = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!HaViableLocked()) {
+        st = core::Status::Unavailable(
+            "master: pipeline no longer viable mid-stream");
+      } else if (RemainingMs(chunk.deadline).count() == 0) {
+        st = core::Status::DeadlineExceeded(
+            "master: chunk deadline exhausted before the pipeline could "
+            "ship");
+      } else {
+        const std::size_t w = shipped_to = plan_.back_worker;
+        const core::Tensor* stacked = StackChunk(chunk, storage);
+        core::Tensor cut = local_[plan_.pipeline_front].Forward(*stacked,
+                                                               false);
+        if (!storage.empty()) core::RecycleTensor(std::move(storage));
+        const Deployment* back_dep =
+            FindDeploymentLocked(w, plan_.pipeline_back);
+        const bool quant_cut =
+            back_dep != nullptr && back_dep->quant.int8_wire;
+        seq = next_seq_++;
+        workers_[w].pending.insert(seq);
+        Message frame;
+        if (quant_cut) {
+          frame = Message::WithQuantBatch(MsgType::kInfer, seq,
+                                          plan_.pipeline_back,
+                                          quant::QuantizeTensor(cut));
+          core::RecycleTensor(std::move(cut));
+          ++stats_.quant_cut_frames;
+        } else {
+          frame = Message::WithBatch(MsgType::kInfer, seq,
+                                     plan_.pipeline_back, std::move(cut));
+        }
+        // v4 SLO block: the frame advertises its most urgent member's
+        // class and remaining budget for per-class accounting downstream.
+        frame.SetSlo(static_cast<std::uint8_t>(chunk.top),
+                     RemainingMs(chunk.urgent_deadline).count());
+        st = SendLocked(w, frame);
+        RecycleMessage(std::move(frame));
+        if (st.ok()) {
+          ++stats_.batches;
+          stats_.coalesced_samples += chunk.rows;
+        } else {
+          workers_[w].pending.erase(seq);
+          ++stats_.failovers;
+        }
       }
-      InferReply reply;
-      reply.served_by = result->served_by[range].label;
-      reply.logits = batch.size() == 1
-                         ? std::move(result->logits)
-                         : core::SliceAxis0(result->logits, row, req.samples);
-      row += req.samples;
-      req.promise.set_value(std::move(reply));
     }
-    if (batch.size() > 1) core::RecycleTensor(std::move(result->logits));
-  } catch (const std::exception& e) {
-    // A model-layer throw (bad input shape, hostile payload) must fail the
-    // requests, never the drain thread. Promises already satisfied during
-    // scatter are skipped.
-    for (auto& req : batch) {
-      try {
-        req.promise.set_value(core::Status::Internal(
-            std::string("master: batch serve threw: ") + e.what()));
-      } catch (const std::future_error&) {
+    if (!st.ok()) {
+      broken = true;
+      ServeChunkSharded(sched, chunk);
+      return;
+    }
+    inflight.push_back({seq, shipped_to, std::move(chunk)});
+  };
+
+  // Await the oldest in-flight frame and resolve its rows; a bad reply
+  // fails the *frame* over to the sharded path — the requests behind it
+  // live on in the pool, untouched.
+  auto await_oldest = [&] {
+    Flight fl = std::move(inflight.front());
+    inflight.pop_front();
+    core::Status st = core::Status::Ok();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const std::size_t w = fl.worker;
+      auto got = AwaitReplyLocked(w, fl.seq, fl.chunk.deadline);
+      if (!got.ok()) {
+        st = got.status();
+      } else if (!WellFormedResult(*got, fl.chunk.rows) ||
+                 got->payload.numel() !=
+                     fl.chunk.rows * config_.num_classes) {
+        st = core::Status::Internal(
+            "worker[" + std::to_string(w) + "]: " +
+            (got->type == MsgType::kError
+                 ? "back half failed: " + got->tag
+                 : "malformed pipeline chunk result"));
+      } else {
+        stats_.served_pipeline += fl.chunk.rows;
+        // Resolve under mu_: the cached pipeline label is guarded by it,
+        // and the scheduler lock only ever nests inside mu_.
+        sched.CompleteChunk(fl.chunk, got->payload, label_pipeline_);
+        RecycleMessage(std::move(*got));
+        return;
       }
+      ++stats_.failovers;
+      FLUID_LOG(Warn) << "master: pipeline chunk failed (" << st.ToString()
+                      << "), failing over to standalone";
+    }
+    broken = true;
+    ServeChunkSharded(sched, fl.chunk);
+  };
+
+  // A frame just failed (send error, bad reply, or the pipeline stopped
+  // being viable): the back half is suspect, so the rest of the window is
+  // not trusted either. Deregister each outstanding seq — a late reply
+  // takes the bounded, counted stale-drop path instead of a permanent
+  // reply-buffer slot — and re-serve those rows through the standalone
+  // fan-out. Failover granularity stays the frame: rows never ride a
+  // reply from a peer that already misbehaved.
+  auto abandon_window = [&] {
+    if (inflight.empty()) return;
+    std::deque<Flight> orphans;
+    orphans.swap(inflight);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const Flight& fl : orphans) {
+        workers_[fl.worker].pending.erase(fl.seq);
+        workers_[fl.worker].reply_buffer.erase(fl.seq);
+      }
+    }
+    for (Flight& fl : orphans) ServeChunkSharded(sched, fl.chunk);
+  };
+
+  for (;;) {
+    // Refill the window: non-blocking grabs while frames are in flight (a
+    // refill must not stall the link), a short blocking grab only when
+    // the link sits idle.
+    while (!broken && !drained && inflight.size() < window) {
+      BatchScheduler::WorkChunk chunk;
+      const auto wait = inflight.empty() ? std::chrono::milliseconds(1)
+                                         : std::chrono::milliseconds(0);
+      if (!sched.NextChunk(quantum, wait, chunk)) {
+        drained = true;
+        break;
+      }
+      ship(std::move(chunk));
+    }
+    if (broken) {
+      abandon_window();
+      return true;
+    }
+    if (inflight.empty()) return false;  // pool drained, window served out
+    await_oldest();
+    if (broken) {
+      abandon_window();
+      return true;
     }
   }
+}
+
+void MasterNode::ServeChunkSharded(BatchScheduler& sched,
+                                   const BatchScheduler::WorkChunk& chunk) {
+  core::Tensor storage;
+  core::Status st = core::Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const core::Tensor* stacked = StackChunk(chunk, storage);
+    ++stats_.batches;
+    stats_.coalesced_samples += chunk.rows;
+    auto result = ServeShardedLocked(*stacked, chunk.deadline, &chunk);
+    if (result.ok()) {
+      // Scatter shard results to the chunk's slices under mu_: the
+      // attribution labels point at the cached strings it guards. Each
+      // slice reports the device that served its first row.
+      const std::int64_t classes = config_.num_classes;
+      const float* data = result->logits.data().data();
+      std::int64_t row = 0;
+      std::size_t range = 0;
+      for (const auto& slice : chunk.slices) {
+        while (range + 1 < result->served_by.size() &&
+               result->served_by[range].row0 +
+                       result->served_by[range].rows <=
+                   row) {
+          ++range;
+        }
+        sched.CompleteRows(slice, 0, slice.rows, data + row * classes,
+                           classes, *result->served_by[range].label);
+        row += slice.rows;
+      }
+      core::RecycleTensor(std::move(result->logits));
+    } else {
+      st = result.status();
+    }
+  }
+  if (!storage.empty()) core::RecycleTensor(std::move(storage));
+  if (!st.ok()) sched.FailChunk(chunk, st);
+}
+
+const core::Tensor* MasterNode::StackChunk(
+    const BatchScheduler::WorkChunk& chunk, core::Tensor& storage) {
+  FLUID_CHECK_MSG(!chunk.slices.empty(), "StackChunk: empty chunk");
+  const BatchScheduler::Request& first = *chunk.slices.front().req;
+  if (chunk.slices.size() == 1 &&
+      chunk.slices.front().rows == first.samples) {
+    // The chunk is exactly one whole request: serve its input in place.
+    // The input is immutable and outlives the chunk (its rows are still
+    // unresolved), so borrowing is copy-free and safe.
+    return &first.input;
+  }
+  const std::int64_t stride = first.input.numel() / first.samples;
+  std::vector<std::int64_t> dims(first.input.shape().dims().begin(),
+                                 first.input.shape().dims().end());
+  dims[0] = chunk.rows;
+  storage = core::AcquireTensor(core::Shape(dims));
+  float* dst = storage.data().data();
+  for (const auto& slice : chunk.slices) {
+    const BatchScheduler::Request& req = *slice.req;
+    // Mixed per-sample shapes in one pool are a caller bug; the throw
+    // fails the in-service requests (drain loop catch), not the thread.
+    FLUID_CHECK_MSG(
+        req.input.shape().rank() == first.input.shape().rank() &&
+            req.input.numel() / req.samples == stride,
+        "master: chunk mixes inputs of different per-sample shapes");
+    const float* src = req.input.data().data() + slice.row0 * stride;
+    std::copy(src, src + slice.rows * stride, dst);
+    dst += slice.rows * stride;
+  }
+  return &storage;
 }
 
 core::StatusOr<MasterNode::BatchResult> MasterNode::ServeBatchLocked(
@@ -325,10 +535,7 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeBatchLocked(
         "master: Infer input needs a non-empty batch dim");
   }
   // HighAccuracy: the full-width pipeline, while its back worker lives.
-  if (mode_ == sim::Mode::kHighAccuracy && !plan_.pipeline_front.empty() &&
-      !plan_.pipeline_back.empty() && plan_.back_worker < workers_.size() &&
-      workers_[plan_.back_worker].alive &&
-      local_.count(plan_.pipeline_front) != 0) {
+  if (HaViableLocked()) {
     auto piped = ServePipelineBatchLocked(input, deadline);
     if (piped.ok()) return piped;
     // The back half is gone (or answered garbage): the whole batch fails
@@ -339,6 +546,13 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeBatchLocked(
                     << "), failing over to standalone";
   }
   return ServeShardedLocked(input, deadline);
+}
+
+bool MasterNode::HaViableLocked() const {
+  return mode_ == sim::Mode::kHighAccuracy && !plan_.pipeline_front.empty() &&
+         !plan_.pipeline_back.empty() && plan_.back_worker < workers_.size() &&
+         workers_[plan_.back_worker].alive &&
+         local_.count(plan_.pipeline_front) != 0;
 }
 
 core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
@@ -464,16 +678,14 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
   }
   FLUID_CHECK_MSG(filled == n, "pipeline batch: rows lost");
 
-  out.served_by.push_back(
-      {0, n,
-       "pipeline:" + plan_.pipeline_front + "+" + plan_.pipeline_back +
-           "@worker[" + std::to_string(w) + "]"});
+  out.served_by.push_back({0, n, &label_pipeline_});
   stats_.served_pipeline += n;
   return out;
 }
 
 core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
-    const core::Tensor& input, Clock::time_point deadline) {
+    const core::Tensor& input, Clock::time_point deadline,
+    const BatchScheduler::WorkChunk* slo) {
   const std::int64_t n = input.shape()[0];
 
   // HighThroughput fan-out (and the failover target for every other path):
@@ -561,15 +773,16 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
   // write past the end of out.logits; sizing against the config (not the
   // first reply) keeps one bad peer from poisoning the whole batch's
   // validation. On success the shard's attribution range is recorded —
-  // one range (one string) per shard, not per sample.
+  // one range pointing at a cached label per shard: no string is built
+  // anywhere on this path.
   auto place = [&](const Shard& shard, const core::Tensor& logits,
-                   std::string served_by) -> bool {
+                   const std::string& served_by) -> bool {
     const std::int64_t classes = config_.num_classes;
     if (logits.numel() != shard.rows * classes) return false;
     const auto src = logits.data();
     std::copy(src.begin(), src.end(),
               out.logits.data().begin() + shard.row0 * classes);
-    out.served_by.push_back({shard.row0, shard.rows, std::move(served_by)});
+    out.served_by.push_back({shard.row0, shard.rows, &served_by});
     return true;
   };
 
@@ -594,6 +807,13 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
     Message frame = Message::WithBatch(MsgType::kInfer, shard.seq,
                                        plan_.worker_standalone,
                                        shard_input(shard));
+    if (slo != nullptr) {
+      // Serving a scheduler chunk: the frame carries the chunk's most
+      // urgent class + remaining budget (wire v4) for per-class
+      // accounting on the worker.
+      frame.SetSlo(static_cast<std::uint8_t>(slo->top),
+                   RemainingMs(slo->urgent_deadline).count());
+    }
     auto st = SendLocked(w, frame);
     RecycleMessage(std::move(frame));
     if (!st.ok()) {
@@ -621,7 +841,7 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
   for (auto& shard : shards) {
     if (shard.target.remote) continue;
     core::Tensor logits = local_forward(shard);
-    if (!place(shard, logits, "master:" + plan_.master_standalone)) {
+    if (!place(shard, logits, label_local_)) {
       abandon_sent();
       return core::Status::Internal(
           "master: local logits disagree with config num_classes");
@@ -648,8 +868,7 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
                : ": malformed result"));
       continue;
     }
-    if (!place(shard, reply->payload,
-               "worker[" + std::to_string(w) + "]:" + plan_.worker_standalone)) {
+    if (!place(shard, reply->payload, label_worker_[w])) {
       shard.error = core::Status::Internal(
           "worker[" + std::to_string(w) + "]: result size mismatch");
       continue;
@@ -671,7 +890,7 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
                     << shard.error.ToString() << "), re-serving";
     if (has_local) {
       core::Tensor logits = local_forward(shard);
-      if (!place(shard, logits, "master:" + plan_.master_standalone)) {
+      if (!place(shard, logits, label_local_)) {
         abandon_sent();  // no-op unless phase 3 was skipped
         return core::Status::Internal(
             "master: local logits disagree with config num_classes");
@@ -697,9 +916,7 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
         last = retried.status();
         continue;
       }
-      if (!place(shard, *retried,
-                 "worker[" + std::to_string(w) + "]:" +
-                     plan_.worker_standalone)) {
+      if (!place(shard, *retried, label_worker_[w])) {
         last = core::Status::Internal(
             "worker[" + std::to_string(w) + "]: result size mismatch");
         continue;

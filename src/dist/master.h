@@ -18,11 +18,20 @@
 //                   included); remote shards ship first so worker compute
 //                   overlaps the master's own shard.
 //
-// Serving is asynchronous: InferAsync enqueues onto a BatchScheduler
-// (bounded MPSC queue + coalescing policy, see dist/serving_queue.h) and
-// returns a future; the scheduler's drain thread stacks waiting requests
-// into one batch tensor, routes it as above, and scatters per-sample
-// logits back to each future. The blocking Infer shim rides the same path.
+// Serving is asynchronous and iteration-level: InferAsync admits the
+// request into a BatchScheduler pool (bounded by max_active_reqs, with
+// per-request deadline + priority class — see dist/serving_queue.h) and
+// returns a future. The drain thread pulls *chunks* — slices assembled
+// across requests by class and deadline — and serves them continuously:
+// in HA mode each `ha_chunk` cut-activation frame is a scheduling
+// quantum, so frames from different requests share the `ha_window`
+// in-flight window, new arrivals splice in at the next frame boundary
+// (their time-to-first-chunk excludes the residual service of whatever
+// was ahead), and an expiring high-class request preempts queued
+// lower-class rows at frame granularity. The fused forward is bitwise
+// deterministic per sample, so any chunk grouping yields results
+// identical to serving each request alone. The blocking Infer shim rides
+// the same path.
 //
 // Failover (paper Fig. 1b): any transport-level failure marks that worker
 // dead and its whole shard (HT) or the whole batch (HA pipeline) is
@@ -71,8 +80,8 @@ struct MasterStats {
   std::int64_t served_local = 0;     // master-resident standalone
   std::int64_t served_remote = 0;    // worker-resident standalone
   std::int64_t served_pipeline = 0;  // HA front+back pipeline
-  std::int64_t failovers = 0;        // shards/batches re-served after a death
-  std::int64_t batches = 0;          // coalesced batches served
+  std::int64_t failovers = 0;        // shards/chunks re-served after a death
+  std::int64_t batches = 0;          // chunks (scheduling quanta) served
   std::int64_t coalesced_samples = 0;
   std::int64_t stale_replies = 0;    // replies dropped: seq matched nothing
   std::int64_t reattaches = 0;       // workers revived via ReattachWorker
@@ -126,13 +135,19 @@ class MasterNode {
   void StopServing();
   bool serving() const;
 
-  /// Enqueue one input ([n, C, S, S]) for batched serving; thread-safe.
-  /// Starts the serving runtime with default options if not running. The
-  /// future resolves when the coalesced batch containing this request has
-  /// been served (failover included) — it fails only when no deployment
-  /// anywhere can answer.
+  /// Enqueue one input ([n, C, S, S]) for continuous serving at kNormal
+  /// priority; thread-safe. Starts the serving runtime with default
+  /// options if not running. The future resolves when every row of this
+  /// request has been served (failover included) — it fails only when no
+  /// deployment anywhere can answer, or the request expired unserved.
   std::future<core::StatusOr<InferReply>> InferAsync(
       core::Tensor input, std::chrono::milliseconds timeout);
+
+  /// Same, with an explicit priority class and deadline. The class rides
+  /// the wire (v4 SLO block) with every frame that carries the request's
+  /// rows; an expiring request preempts lower classes at chunk boundaries.
+  std::future<core::StatusOr<InferReply>> InferAsync(
+      core::Tensor input, const SubmitOptions& opts);
 
   /// Blocking shim over the same serving core: when the scheduler runs,
   /// equivalent to InferAsync(...).get() (the request coalesces with
@@ -177,13 +192,14 @@ class MasterNode {
   };
 
   /// Attribution for one contiguous run of a batch's rows: every sample
-  /// in [row0, row0+rows) was served by `label`. A batch yields one range
-  /// per shard (or one for the whole pipeline) instead of one string per
-  /// sample, so attribution costs O(devices) allocations, not O(samples).
+  /// in [row0, row0+rows) was served by `*label`. The label points at the
+  /// cached per-device strings below (rebuilt on SetPlan/AttachWorker,
+  /// guarded by mu_), so attributing a shard costs a pointer, not a
+  /// string build — zero allocations on the serve path.
   struct Attribution {
     std::int64_t row0 = 0;
     std::int64_t rows = 0;
-    std::string label;
+    const std::string* label = nullptr;
   };
 
   /// Result of serving one coalesced batch.
@@ -207,20 +223,43 @@ class MasterNode {
                                          const std::string& name) const;
   void MarkDeadLocked(std::size_t w, const core::Status& why);
 
+  /// True while the HA pipeline can serve: HA mode, pipeline roles
+  /// planned, the back worker alive and the front resident locally.
+  bool HaViableLocked() const;
+  /// Rebuild the cached attribution labels from plan_ + workers_.
+  void RefreshLabelsLocked();
+
   core::StatusOr<BatchResult> ServeBatchLocked(
       const core::Tensor& input, std::chrono::steady_clock::time_point deadline);
   core::StatusOr<BatchResult> ServePipelineBatchLocked(
       const core::Tensor& input, std::chrono::steady_clock::time_point deadline);
+  /// `slo` (when serving a scheduler chunk) stamps the v4 SLO block —
+  /// class + remaining budget — onto every shard frame shipped.
   core::StatusOr<BatchResult> ServeShardedLocked(
-      const core::Tensor& input, std::chrono::steady_clock::time_point deadline);
+      const core::Tensor& input, std::chrono::steady_clock::time_point deadline,
+      const BatchScheduler::WorkChunk* slo = nullptr);
   core::StatusOr<core::Tensor> ServeShardRemoteLocked(
       std::size_t w, const std::string& name, core::Tensor shard,
       std::chrono::steady_clock::time_point deadline);
 
-  /// Scheduler drain-thread entry: stack → serve → scatter to promises.
-  /// The batch vector is the scheduler's (recycled across batches); its
-  /// requests are consumed here.
-  void ServeBatch(std::vector<BatchScheduler::Request>& batch);
+  /// Scheduler drain-thread entry: pull chunks continuously and route
+  /// each by mode, until the pool has nothing schedulable.
+  void ServeActive(BatchScheduler& sched);
+  /// Iteration-level HA serving: ha_chunk frames as scheduling quanta
+  /// sharing the ha_window in-flight window. Returns false when the pool
+  /// drained (return to the drain loop), true when the pipeline broke or
+  /// the mode changed (caller re-checks and re-routes).
+  bool ServePipelineContinuous(BatchScheduler& sched);
+  /// Serve one chunk via the standalone fan-out (HT mode and the
+  /// failover target for broken pipeline frames) and resolve its rows.
+  void ServeChunkSharded(BatchScheduler& sched,
+                         const BatchScheduler::WorkChunk& chunk);
+  /// Stack a chunk's slices into one contiguous [rows, ...] tensor.
+  /// A chunk that is exactly one whole request borrows that request's
+  /// input (no copy, returns its address); otherwise `storage` is filled
+  /// from the pool and its address returned.
+  const core::Tensor* StackChunk(const BatchScheduler::WorkChunk& chunk,
+                                 core::Tensor& storage);
   /// Requires serving_mu_ held. No-op while the scheduler runs.
   void StartServingLocked(BatchOptions options);
 
@@ -235,6 +274,11 @@ class MasterNode {
   std::int64_t next_seq_ = 1;
   std::size_t round_robin_ = 0;
   BatchOptions batch_options_;  // HA chunk/window knobs for the serve core
+  /// Cached attribution labels (see Attribution): one per device role,
+  /// rebuilt on SetPlan/AttachWorker instead of concatenated per shard.
+  std::string label_local_;
+  std::string label_pipeline_;
+  std::vector<std::string> label_worker_;
 
   /// Guards scheduler start/stop; never held while serving (the scheduler
   /// thread takes mu_, and StopServing joins that thread) nor across

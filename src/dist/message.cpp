@@ -10,10 +10,12 @@ namespace {
 constexpr std::uint32_t kMagic = kFrameMagic;
 // v1: no batch field. v2: [i64 batch] between seq and tag. v3: trailing
 // [u8 has_qtensor][qtensor?] — emitted only when a quantized payload is
-// present, so fp32 frames stay byte-identical to v2.
+// present, so fp32 frames stay byte-identical to v2. v4: trailing
+// [u8 priority][i64 slo_ms] — emitted only when an SLO is attached.
 constexpr std::uint8_t kVersionV1 = 1;
 constexpr std::uint8_t kVersion = 2;
 constexpr std::uint8_t kVersionV3 = 3;
+constexpr std::uint8_t kVersionV4 = 4;
 constexpr std::uint8_t kMaxType = static_cast<std::uint8_t>(MsgType::kHeartbeat);
 
 }  // namespace
@@ -87,16 +89,26 @@ void EncodeMessageInto(const Message& msg, std::vector<std::uint8_t>& out) {
   core::ByteWriter w(std::move(out));
   w.WriteU32(kMagic);
   w.WriteU32(static_cast<std::uint32_t>(body_len));
-  w.WriteU8(msg.has_qpayload() ? kVersionV3 : kVersion);
+  const std::uint8_t version = msg.has_slo() ? kVersionV4
+                               : msg.has_qpayload() ? kVersionV3
+                                                    : kVersion;
+  w.WriteU8(version);
   w.WriteU8(static_cast<std::uint8_t>(msg.type));
   w.WriteI64(msg.seq);
   w.WriteI64(msg.batch);
   w.WriteString(msg.tag);
   w.WriteU8(msg.has_payload() ? 1 : 0);
   if (msg.has_payload()) w.WriteTensor(msg.payload);
-  if (msg.has_qpayload()) {
-    w.WriteU8(1);
-    msg.qpayload.Encode(w);
+  if (version >= kVersionV3) {
+    // A v3+ body always carries the has_qtensor flag, present payload or
+    // not — a v4 frame without a quantized payload still needs it so the
+    // reader can find the SLO block.
+    w.WriteU8(msg.has_qpayload() ? 1 : 0);
+    if (msg.has_qpayload()) msg.qpayload.Encode(w);
+  }
+  if (version >= kVersionV4) {
+    w.WriteU8(msg.priority);
+    w.WriteI64(msg.slo_ms);
   }
   out = w.TakeBuffer();
   FLUID_CHECK_MSG(static_cast<std::int64_t>(out.size()) == total,
@@ -129,7 +141,7 @@ core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out) {
 
   std::uint8_t version = 0, type = 0, has_tensor = 0;
   FLUID_RETURN_IF_ERROR(r.TryReadU8(version));
-  if (version != kVersionV1 && version != kVersion && version != kVersionV3) {
+  if (version < kVersionV1 || version > kVersionV4) {
     return core::Status::DataLoss("Message: unsupported version " +
                                   std::to_string(version));
   }
@@ -157,6 +169,13 @@ core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out) {
       FLUID_RETURN_IF_ERROR(quant::QuantizedTensor::Decode(r, msg.qpayload));
     }
   }
+  if (version >= kVersionV4) {
+    FLUID_RETURN_IF_ERROR(r.TryReadU8(msg.priority));
+    FLUID_RETURN_IF_ERROR(r.TryReadI64(msg.slo_ms));
+    if (msg.slo_ms < 0) {
+      return core::Status::DataLoss("Message: v4 frame with negative slo_ms");
+    }
+  }
   out = std::move(msg);
   return core::Status::Ok();
 }
@@ -173,6 +192,11 @@ std::int64_t EncodedSize(const Message& msg) {
     // v3 trailing has_qtensor flag + the quantized block.
     n += 1 + quant::QuantizedWireBytes(msg.qpayload.shape.rank(),
                                        msg.qpayload.numel());
+  }
+  if (msg.has_slo()) {
+    // v4 SLO block, plus the has_qtensor flag a v3-less v4 body still
+    // carries.
+    n += (msg.has_qpayload() ? 0 : 1) + 1 + 8;
   }
   return n;
 }

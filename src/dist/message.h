@@ -26,6 +26,13 @@
 // negotiated per-deploy via the blueprint's quant options (a peer that
 // acked a quant deploy demonstrably speaks v3).
 //
+// Version 4 adds an optional trailing SLO block — [u8 priority]
+// [i64 slo_ms] — carrying a kInfer frame's scheduling class and remaining
+// deadline budget so a worker can account (and later schedule) per class.
+// Same discipline as v3: the encoder emits version 4 only when an SLO is
+// set, so every frame without one is byte-identical to what v2/v3 peers
+// produced and expect.
+//
 // Decode never throws: corrupt or truncated frames come back as
 // Status::DataLoss so a transport can drop the connection instead of
 // unwinding through the serving loop.
@@ -73,11 +80,24 @@ struct Message {
   /// INT8 payload (v3): quantized cut activations. A frame carries the
   /// fp32 payload or the quantized one, never both.
   quant::QuantizedTensor qpayload;
+  /// SLO block (v4): scheduling class of the samples this frame covers
+  /// (0 = highest) and the remaining deadline budget in ms at send time.
+  /// slo_ms < 0 means "no SLO attached" and the frame encodes ≤ v3.
+  std::uint8_t priority = 0;
+  std::int64_t slo_ms = -1;
 
   /// Note: a zero-element tensor counts as "no payload" — its shape is not
   /// preserved on the wire. Frames that need data ship non-empty tensors.
   bool has_payload() const { return !payload.empty(); }
   bool has_qpayload() const { return !qpayload.empty(); }
+  bool has_slo() const { return slo_ms >= 0; }
+
+  /// Attach a v4 SLO block: scheduling class + remaining budget (clamped
+  /// to >= 0 so setting always takes effect).
+  void SetSlo(std::uint8_t cls, std::int64_t remaining_ms) {
+    priority = cls;
+    slo_ms = remaining_ms < 0 ? 0 : remaining_ms;
+  }
 
   static Message WithTensor(MsgType type, std::int64_t seq, std::string tag,
                             core::Tensor payload);

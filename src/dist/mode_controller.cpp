@@ -20,9 +20,19 @@ ModeController::ModeController(double ha_capacity, double ht_capacity,
 sim::Mode ModeController::Decide(const DemandSignal& signal) {
   double effective = signal.demand;
   if (signal.queue_depth > 0 &&
-      signal.batch_occupancy >= kSaturatedOccupancy) {
+      signal.pool_occupancy >= kSaturatedOccupancy) {
     effective = std::max(
         effective, ha_capacity_ * (1.0 + kBacklogGain * signal.queue_depth));
+  }
+  if (signal.deadline_miss_rate > kMissRateAlarm) {
+    // Requests are provably missing their SLOs: lift effective demand past
+    // the HA operating point (scaled by how hard they miss) so the scalar
+    // policy flips to the faster fan-out if one exists. The high-class
+    // share sharpens the response — misses while urgent work dominates
+    // the pool are the worst case the paper's adaptation targets.
+    const double pressure =
+        1.0 + signal.deadline_miss_rate + signal.high_class_share;
+    effective = std::max(effective, ha_capacity_ * pressure);
   }
   return Decide(effective);
 }

@@ -17,19 +17,32 @@ namespace fluid::dist {
 
 class ModeController {
  public:
-  /// What the controller sees each tick, now that serving is queued: the
-  /// external demand estimate plus the scheduler's own backlog telemetry.
+  /// What the controller sees each tick, now that serving is a continuous
+  /// request pool: the external demand estimate plus the scheduler's own
+  /// admission/backlog/SLO telemetry.
   struct DemandSignal {
-    double demand = 0.0;           // img/s estimate
-    double queue_depth = 0.0;      // samples waiting in the serving queue
-    double batch_occupancy = 0.0;  // avg coalesced batch / max_batch, [0,1]
+    double demand = 0.0;       // img/s estimate
+    double queue_depth = 0.0;  // backlog rows not yet in any chunk
+    /// EMA of active_requests / max_active_reqs ([0,1]); ~1 with a
+    /// standing backlog means admission control is the limiter.
+    double pool_occupancy = 0.0;
+    double active_requests = 0.0;  // ready + running in the pool right now
+    /// Deadline misses per completed request over the last control
+    /// interval — the ground-truth SLO violation signal.
+    double deadline_miss_rate = 0.0;
+    /// Fraction of the active pool in the highest class, [0,1].
+    double high_class_share = 0.0;
   };
 
   /// Occupancy at or above which a standing queue is read as saturation.
   static constexpr double kSaturatedOccupancy = 0.5;
   /// How strongly each queued sample inflates effective demand past the
-  /// HA operating point once the batches run saturated.
+  /// HA operating point once the pool runs saturated.
   static constexpr double kBacklogGain = 0.05;
+  /// Miss rate above which the SLO is considered violated: whatever the
+  /// demand estimate says, requests are provably blowing deadlines, so
+  /// the controller treats the operating point as over capacity.
+  static constexpr double kMissRateAlarm = 0.01;
 
   /// `ha_capacity` / `ht_capacity`: sustainable img/s at each operating
   /// point (from sim::Fig2Evaluator or measurement). `hysteresis` is the
@@ -40,11 +53,12 @@ class ModeController {
   /// Feed the current demand (img/s); returns the mode to run.
   sim::Mode Decide(double demand);
 
-  /// Backlog-aware decision: a standing queue with saturated batches is
-  /// direct evidence the current operating point cannot keep up, whatever
-  /// the demand estimate claims — effective demand is lifted above
-  /// ha_capacity proportionally to the backlog so the hysteresis loop
-  /// reacts, then the scalar policy runs unchanged.
+  /// Pool-aware decision: a standing backlog with a saturated active pool,
+  /// or a nonzero deadline-miss rate, is direct evidence the current
+  /// operating point cannot keep up, whatever the demand estimate claims —
+  /// effective demand is lifted above ha_capacity (proportionally to the
+  /// backlog, resp. past the miss alarm) so the hysteresis loop reacts,
+  /// then the scalar policy runs unchanged.
   sim::Mode Decide(const DemandSignal& signal);
 
   sim::Mode mode() const { return mode_; }

@@ -15,16 +15,36 @@ Orchestrator::Report Orchestrator::Tick(double demand) {
   report.demand = demand;
   report.alive_workers = master_.ProbeWorkers(config_.probe_timeout);
 
-  // Join the external demand estimate with the serving queue's own
-  // telemetry: a standing backlog of saturated batches means the current
-  // operating point is too slow even if the estimate disagrees.
+  // Join the external demand estimate with the request pool's own
+  // telemetry: a standing backlog with a saturated active pool — or
+  // requests provably missing deadlines — means the current operating
+  // point is too slow even if the estimate disagrees.
   const SchedulerStats serving = master_.scheduler_stats();
   report.queue_depth = static_cast<double>(serving.queue_depth);
-  report.batch_occupancy = serving.occupancy;
+  report.pool_occupancy = serving.occupancy;
+  report.active_requests = serving.active_requests;
+  report.running_requests = serving.running_requests;
+  report.deadline_misses = serving.deadline_misses;
+  report.preemptions = serving.preemptions;
+  const std::int64_t miss_delta = serving.deadline_misses - last_misses_;
+  const std::int64_t done_delta = serving.completed - last_completed_;
+  last_misses_ = serving.deadline_misses;
+  last_completed_ = serving.completed;
+  report.deadline_miss_rate =
+      done_delta > 0 ? static_cast<double>(miss_delta) /
+                           static_cast<double>(done_delta)
+                     : (miss_delta > 0 ? 1.0 : 0.0);
   ModeController::DemandSignal signal;
   signal.demand = demand;
   signal.queue_depth = report.queue_depth;
-  signal.batch_occupancy = report.batch_occupancy;
+  signal.pool_occupancy = report.pool_occupancy;
+  signal.active_requests = static_cast<double>(serving.active_requests);
+  signal.deadline_miss_rate = report.deadline_miss_rate;
+  signal.high_class_share =
+      serving.active_requests > 0
+          ? static_cast<double>(serving.class_active[0]) /
+                static_cast<double>(serving.active_requests)
+          : 0.0;
   report.mode = controller_.Decide(signal);
 
   // The controller expresses a preference; the fleet may not be able to

@@ -36,8 +36,16 @@ class Orchestrator {
     bool degraded = false;     // no worker left: the master serves alone
     double demand = 0.0;       // what this tick was asked to plan for
     double capacity = 0.0;     // estimated sustainable img/s right now
-    double queue_depth = 0.0;  // samples waiting in the serving queue
-    double batch_occupancy = 0.0;  // how full the coalesced batches run
+    double queue_depth = 0.0;  // backlog rows not yet in any chunk
+    double pool_occupancy = 0.0;  // EMA active_requests / max_active_reqs
+    /// Snapshot of the request pool this tick.
+    std::int64_t active_requests = 0;
+    std::int64_t running_requests = 0;
+    /// Lifetime counters (monotone across ticks).
+    std::int64_t deadline_misses = 0;
+    std::int64_t preemptions = 0;
+    /// Misses per completed request over the last control interval.
+    double deadline_miss_rate = 0.0;
   };
 
   Orchestrator(MasterNode& master, OrchestratorConfig config);
@@ -53,6 +61,9 @@ class Orchestrator {
   OrchestratorConfig config_;
   ModeController controller_;
   std::int64_t ticks_ = 0;
+  // Last tick's lifetime counters, for per-interval rates.
+  std::int64_t last_misses_ = 0;
+  std::int64_t last_completed_ = 0;
 };
 
 }  // namespace fluid::dist

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/buffer_pool.h"
 #include "core/logging.h"
 
 namespace fluid::dist {
@@ -10,9 +11,9 @@ namespace fluid::dist {
 namespace {
 using Clock = std::chrono::steady_clock;
 
-// Weight of the newest batch in the occupancy moving average: the signal
+// Weight of the newest sample in the occupancy moving average: the signal
 // crosses ModeController's saturation threshold within a handful of
-// batches after a traffic shift.
+// chunks after a traffic shift.
 constexpr double kOccupancyEmaAlpha = 0.25;
 
 std::future<core::StatusOr<InferReply>> ReadyError(core::Status status) {
@@ -22,11 +23,22 @@ std::future<core::StatusOr<InferReply>> ReadyError(core::Status status) {
 }
 }  // namespace
 
+std::string_view PriorityName(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "unknown";
+}
+
 BatchScheduler::BatchScheduler(BatchOptions options, ServeFn serve)
     : options_(options), serve_(std::move(serve)) {
   FLUID_CHECK_MSG(options_.max_batch >= 1, "BatchScheduler: max_batch < 1");
   FLUID_CHECK_MSG(options_.queue_capacity >= options_.max_batch,
                   "BatchScheduler: queue_capacity < max_batch");
+  FLUID_CHECK_MSG(options_.max_active_reqs >= 1,
+                  "BatchScheduler: max_active_reqs < 1");
   FLUID_CHECK_MSG(options_.ha_chunk >= 1 && options_.ha_window >= 1,
                   "BatchScheduler: ha_chunk/ha_window < 1");
   FLUID_CHECK_MSG(serve_ != nullptr, "BatchScheduler: null serve callback");
@@ -38,39 +50,76 @@ BatchScheduler::~BatchScheduler() { Stop(); }
 
 std::future<core::StatusOr<InferReply>> BatchScheduler::Submit(
     core::Tensor input, std::chrono::milliseconds timeout) {
+  SubmitOptions opts;
+  opts.timeout = timeout;
+  return Submit(std::move(input), opts);
+}
+
+std::future<core::StatusOr<InferReply>> BatchScheduler::Submit(
+    core::Tensor input, const SubmitOptions& opts) {
   if (input.empty() || input.shape().rank() < 1 || input.shape()[0] < 1) {
     return ReadyError(core::Status::InvalidArgument(
         "BatchScheduler::Submit: input needs a non-empty batch dim"));
   }
-  Request req;
-  req.samples = input.shape()[0];
-  req.input = std::move(input);
-  req.deadline = Clock::now() + timeout;
-  auto future = req.promise.get_future();
+  const auto cls = static_cast<std::size_t>(opts.priority);
+  if (cls >= kNumPriorityClasses) {
+    return ReadyError(core::Status::InvalidArgument(
+        "BatchScheduler::Submit: unknown priority class"));
+  }
+  const std::int64_t samples = input.shape()[0];
+  const auto deadline = Clock::now() + opts.timeout;
+  auto future = [&] {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Admission control: the active pool (ready + running) is bounded by
+    // max_active_reqs and the backlog by queue_capacity. Overload turns
+    // into caller-visible latency instead of unbounded memory growth —
+    // but only up to the request's own budget: a deadline it would blow
+    // waiting for a slot fails here instead of blocking its caller
+    // indefinitely.
+    const bool admitted = space_cv_.wait_until(lock, deadline, [&] {
+      const bool slot_room =
+          active_requests_ <
+          static_cast<std::int64_t>(options_.max_active_reqs);
+      const bool sample_room =
+          backlog_rows_ + samples <=
+              static_cast<std::int64_t>(options_.queue_capacity) ||
+          backlog_rows_ == 0;  // one oversized request may always enter
+      return stop_ || (slot_room && sample_room);
+    });
+    if (stop_) {
+      return ReadyError(
+          core::Status::Unavailable("BatchScheduler stopped before Submit"));
+    }
+    if (!admitted) {
+      return ReadyError(core::Status::DeadlineExceeded(
+          "BatchScheduler::Submit: admission stayed blocked past the "
+          "request's timeout"));
+    }
+    Request req;
+    req.samples = samples;
+    req.input = std::move(input);
+    req.priority = opts.priority;
+    req.deadline = deadline;
+    auto fut = req.promise.get_future();
 
-  std::unique_lock<std::mutex> lock(mu_);
-  // Backpressure: a bounded queue turns overload into caller-visible
-  // latency instead of unbounded memory growth — but only up to the
-  // request's own budget: a deadline it would blow waiting for queue
-  // space fails here instead of blocking its caller indefinitely.
-  const bool admitted = space_cv_.wait_until(lock, req.deadline, [&] {
-    return stop_ ||
-           queued_samples_ + req.samples <=
-               static_cast<std::int64_t>(options_.queue_capacity) ||
-           queue_.empty();  // one oversized request may always enter
-  });
-  if (stop_) {
-    return ReadyError(
-        core::Status::Unavailable("BatchScheduler stopped before Submit"));
-  }
-  if (!admitted) {
-    return ReadyError(core::Status::DeadlineExceeded(
-        "BatchScheduler::Submit: queue stayed full past the request's "
-        "timeout"));
-  }
-  queued_samples_ += req.samples;
-  ++submitted_;
-  queue_.push_back(std::move(req));
+    // EDF within the class: insert by deadline. Arrivals usually carry the
+    // latest deadline, so the scan from the back is O(1) amortized.
+    auto& list = ready_[cls];
+    auto pos = list.end();
+    while (pos != list.begin() && std::prev(pos)->deadline > req.deadline) {
+      --pos;
+    }
+    auto it = list.insert(pos, std::move(req));
+    it->self = it;
+
+    backlog_rows_ += samples;
+    ++active_requests_;
+    ++class_active_[cls];
+    ++submitted_;
+    ++class_submitted_[cls];
+    max_active_seen_ = std::max(max_active_seen_, active_requests_);
+    return fut;
+  }();
   cv_.notify_one();
   return future;
 }
@@ -85,82 +134,315 @@ void BatchScheduler::Stop() {
   space_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
 
-  // Fail whatever the drain loop left behind.
-  std::deque<Request> orphans;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    orphans.swap(queue_);
-    queued_samples_ = 0;
-  }
-  for (auto& req : orphans) {
-    req.promise.set_value(
-        core::Status::Unavailable("BatchScheduler stopped with the request "
-                                  "still queued"));
-  }
+  // The drain thread is gone; fail whatever it left unresolved (requests
+  // still ready, plus any rows a serve callback dropped on the floor).
+  std::lock_guard<std::mutex> lock(mu_);
+  FailPoolLocked(core::Status::Unavailable(
+      "BatchScheduler stopped with the request still queued"));
   running_ = false;
+}
+
+void BatchScheduler::FailPoolLocked(const core::Status& status) {
+  for (auto& list : ready_) {
+    while (!list.empty()) {
+      Request* req = &list.front();
+      req->failed = true;
+      req->error = status;
+      req->resolved_rows = req->samples;
+      backlog_rows_ -= req->samples;
+      FinalizeLocked(req);
+    }
+  }
+  while (!service_.empty()) {
+    Request* req = &service_.front();
+    req->failed = true;
+    if (req->error.ok()) req->error = status;
+    backlog_rows_ -= req->samples - req->scheduled_rows;
+    req->resolved_rows = req->samples;
+    FinalizeLocked(req);
+  }
 }
 
 SchedulerStats BatchScheduler::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   SchedulerStats s;
   s.submitted = submitted_;
+  s.completed = completed_;
   s.batches = batches_;
   s.coalesced_samples = coalesced_samples_;
-  s.max_batch_seen = max_batch_seen_;
-  s.queue_depth = queued_samples_;
+  s.queue_depth = backlog_rows_;
+  s.active_requests = active_requests_;
+  s.running_requests = static_cast<std::int64_t>(service_.size());
+  s.max_active_seen = max_active_seen_;
   s.avg_batch = batches_ > 0 ? static_cast<double>(coalesced_samples_) /
                                    static_cast<double>(batches_)
                              : 0.0;
-  s.occupancy = ema_batch_ / static_cast<double>(options_.max_batch);
+  s.occupancy = ema_occupancy_;
+  s.deadline_misses = deadline_misses_;
+  s.preemptions = preemptions_;
+  for (std::size_t c = 0; c < kNumPriorityClasses; ++c) {
+    s.class_submitted[c] = class_submitted_[c];
+    s.class_active[c] = class_active_[c];
+  }
   return s;
 }
 
+std::int64_t BatchScheduler::ActiveRequestsLocked() const {
+  return active_requests_;
+}
+
+bool BatchScheduler::NextChunk(std::size_t max_samples,
+                               std::chrono::milliseconds wait,
+                               WorkChunk& chunk) {
+  chunk.slices.clear();
+  chunk.rows = 0;
+  FLUID_CHECK_MSG(max_samples >= 1, "NextChunk: max_samples < 1");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_until(lock, Clock::now() + wait,
+                      [&] { return stop_ || HasBacklogLocked(); })) {
+    return false;  // waited out an empty pool
+  }
+  if (stop_) return false;  // Stop() fails the unresolved remainder
+  // Straggler window (blocking grabs only — a window refill must not
+  // stall the pipeline): with fewer rows on hand than the chunk could
+  // take, wait up to max_delay for more before assembling.
+  if (wait.count() > 0 && options_.max_delay.count() > 0 &&
+      backlog_rows_ < static_cast<std::int64_t>(max_samples)) {
+    const auto coalesce_deadline = Clock::now() + options_.max_delay;
+    cv_.wait_until(lock, coalesce_deadline, [&] {
+      return stop_ ||
+             backlog_rows_ >= static_cast<std::int64_t>(max_samples);
+    });
+    if (stop_) return false;
+  }
+  AssembleLocked(max_samples, chunk);
+  if (chunk.rows == 0) return false;  // everything on hand had expired
+  lock.unlock();
+  space_cv_.notify_all();  // backlog rows moved into the chunk
+  return true;
+}
+
+void BatchScheduler::ExpireReadyLocked(Clock::time_point now) {
+  // READY requests past their deadline fail instead of wasting service;
+  // the lists are deadline-ordered, so expiry is a prefix scan. (A
+  // RUNNING request past its deadline finishes and delivers late — its
+  // miss is counted at completion.)
+  for (auto& list : ready_) {
+    while (!list.empty() && list.front().deadline < now) {
+      Request* req = &list.front();
+      req->failed = true;
+      req->error = core::Status::DeadlineExceeded(
+          "BatchScheduler: request expired before any chunk could serve it");
+      req->resolved_rows = req->samples;
+      backlog_rows_ -= req->samples;
+      ++deadline_misses_;
+      FinalizeLocked(req);
+    }
+  }
+}
+
+void BatchScheduler::AssembleLocked(std::size_t max_samples,
+                                    WorkChunk& chunk) {
+  const auto now = Clock::now();
+  ExpireReadyLocked(now);
+
+  chunk.top = Priority::kLow;
+  int max_cls_included = -1;
+  // Only the drain thread assembles, so one scratch vector serves every
+  // grab without allocating in steady state.
+  thread_local std::vector<Request*> tl_cands;
+
+  const auto max_rows = static_cast<std::int64_t>(max_samples);
+  for (std::size_t cls = 0;
+       cls < kNumPriorityClasses && chunk.rows < max_rows; ++cls) {
+    // Candidates of this class, EDF: partially scheduled RUNNING requests
+    // (mid-service, their remaining rows compete on deadline) merged with
+    // the READY list.
+    tl_cands.clear();
+    for (auto& req : service_) {
+      if (static_cast<std::size_t>(req.priority) == cls &&
+          req.scheduled_rows < req.samples) {
+        tl_cands.push_back(&req);
+      }
+    }
+    for (auto& req : ready_[cls]) tl_cands.push_back(&req);
+    std::stable_sort(tl_cands.begin(), tl_cands.end(),
+                     [](const Request* a, const Request* b) {
+                       return a->deadline < b->deadline;
+                     });
+    for (Request* req : tl_cands) {
+      if (chunk.rows >= max_rows) break;
+      const std::int64_t take =
+          std::min(max_rows - chunk.rows, req->samples - req->scheduled_rows);
+      chunk.slices.push_back({req, req->scheduled_rows, take});
+      if (req->scheduled_rows == 0) {
+        // First rows of a READY request: admit it into RUNNING. splice()
+        // moves the node without invalidating iterators or the pointer.
+        service_.splice(service_.end(), ready_[cls], req->self);
+      }
+      req->scheduled_rows += take;
+      backlog_rows_ -= take;
+      if (chunk.rows == 0) {
+        chunk.top = req->priority;
+        chunk.deadline = req->deadline;
+        chunk.urgent_deadline = req->deadline;
+      } else {
+        chunk.deadline = std::max(chunk.deadline, req->deadline);
+        chunk.urgent_deadline = std::min(chunk.urgent_deadline, req->deadline);
+      }
+      chunk.rows += take;
+      max_cls_included = static_cast<int>(cls);
+    }
+  }
+  if (chunk.rows == 0) return;
+
+  // Preemption accounting: the chunk filled while strictly-lower-class
+  // work waited — an iteration-level scheduling decision the old
+  // serve-to-completion loop could never make.
+  if (chunk.rows >= max_rows && backlog_rows_ > 0) {
+    bool bypassed = false;
+    for (std::size_t cls = static_cast<std::size_t>(max_cls_included) + 1;
+         cls < kNumPriorityClasses && !bypassed; ++cls) {
+      bypassed = !ready_[cls].empty();
+    }
+    if (!bypassed) {
+      for (const auto& req : service_) {
+        if (static_cast<int>(req.priority) > max_cls_included &&
+            req.scheduled_rows < req.samples) {
+          bypassed = true;
+          break;
+        }
+      }
+    }
+    if (bypassed) ++preemptions_;
+  }
+
+  ++batches_;
+  coalesced_samples_ += chunk.rows;
+  const double sample =
+      static_cast<double>(active_requests_) /
+      static_cast<double>(options_.max_active_reqs);
+  ema_occupancy_ = ema_seeded_
+                       ? kOccupancyEmaAlpha * sample +
+                             (1.0 - kOccupancyEmaAlpha) * ema_occupancy_
+                       : sample;
+  ema_seeded_ = true;
+}
+
+void BatchScheduler::CompleteRows(const Slice& slice, std::int64_t offset,
+                                  std::int64_t rows, const float* logits,
+                                  std::int64_t classes,
+                                  const std::string& served_by) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResolveRowsLocked(slice.req, slice.row0 + offset, rows, logits, classes,
+                    served_by);
+}
+
+void BatchScheduler::CompleteChunk(const WorkChunk& chunk,
+                                   const core::Tensor& logits,
+                                   const std::string& served_by) {
+  const std::int64_t classes =
+      chunk.rows > 0 ? logits.numel() / chunk.rows : 0;
+  FLUID_CHECK_MSG(classes * chunk.rows == logits.numel(),
+                  "CompleteChunk: result rows don't divide the chunk");
+  std::lock_guard<std::mutex> lock(mu_);
+  const float* data = logits.data().data();
+  std::int64_t row = 0;
+  for (const Slice& slice : chunk.slices) {
+    ResolveRowsLocked(slice.req, slice.row0, slice.rows, data + row * classes,
+                      classes, served_by);
+    row += slice.rows;
+  }
+}
+
+void BatchScheduler::FailChunk(const WorkChunk& chunk,
+                               const core::Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Slice& slice : chunk.slices) {
+    Request* req = slice.req;
+    req->failed = true;
+    if (req->error.ok()) req->error = status;
+    req->resolved_rows += slice.rows;
+    if (req->resolved_rows >= req->samples) FinalizeLocked(req);
+  }
+}
+
+void BatchScheduler::ResolveRowsLocked(Request* req, std::int64_t row0,
+                                       std::int64_t rows, const float* logits,
+                                       std::int64_t classes,
+                                       const std::string& served_by) {
+  if (!req->failed) {
+    if (req->logits.empty()) {
+      // Pooled: every row is written by a CompleteRows before the tensor
+      // leaves in the reply (resolved_rows accounting guards it).
+      req->logits = core::AcquireTensor({req->samples, classes});
+    }
+    std::copy(logits, logits + rows * classes,
+              req->logits.data().begin() + row0 * classes);
+    if (row0 == 0) req->served_by = served_by;
+  }
+  req->resolved_rows += rows;
+  if (req->resolved_rows >= req->samples) FinalizeLocked(req);
+}
+
+void BatchScheduler::FinalizeLocked(Request* req) {
+  if (Clock::now() > req->deadline && !req->failed) {
+    // Delivered, but late: the compute wasn't wasted, the SLO was.
+    ++deadline_misses_;
+  }
+  if (!req->input.empty()) core::RecycleTensor(std::move(req->input));
+  if (req->failed) {
+    if (!req->logits.empty()) core::RecycleTensor(std::move(req->logits));
+    req->promise.set_value(req->error.ok()
+                               ? core::Status::Internal(
+                                     "BatchScheduler: request failed with no "
+                                     "recorded error")
+                               : req->error);
+  } else {
+    InferReply reply;
+    reply.logits = std::move(req->logits);
+    reply.served_by = std::move(req->served_by);
+    req->promise.set_value(std::move(reply));
+  }
+  --active_requests_;
+  --class_active_[static_cast<std::size_t>(req->priority)];
+  ++completed_;
+  // The request's list node dies here; `self` knows which list owns it
+  // (READY requests finalize only on expiry/stop, RUNNING on resolution).
+  if (req->scheduled_rows > 0) {
+    service_.erase(req->self);
+  } else {
+    ready_[static_cast<std::size_t>(req->priority)].erase(req->self);
+  }
+  space_cv_.notify_all();  // an admission slot freed
+}
+
 void BatchScheduler::DrainLoop() {
-  // One batch vector for the thread's lifetime: clear() keeps its capacity,
-  // so steady-state coalescing stops allocating after the first batch.
-  std::vector<Request> batch;
   for (;;) {
-    batch.clear();
-    std::int64_t batch_samples = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (stop_) return;  // Stop() fails the queued remainder
-
-      // First request in hand: coalesce until max_batch or max_delay.
-      const auto coalesce_deadline = Clock::now() + options_.max_delay;
-      for (;;) {
-        while (!queue_.empty() &&
-               (batch.empty() ||
-                batch_samples + queue_.front().samples <=
-                    static_cast<std::int64_t>(options_.max_batch))) {
-          batch_samples += queue_.front().samples;
-          batch.push_back(std::move(queue_.front()));
-          queue_.pop_front();
-        }
-        if (stop_ ||
-            batch_samples >= static_cast<std::int64_t>(options_.max_batch) ||
-            (!queue_.empty()))  // next request would overflow: serve now
-          break;
-        if (cv_.wait_until(lock, coalesce_deadline, [&] {
-              return stop_ || !queue_.empty();
-            })) {
-          continue;  // more arrived (or stopping): take them / bail above
-        }
-        break;  // max_delay elapsed with nothing new
-      }
-      queued_samples_ -= batch_samples;
-      ++batches_;
-      coalesced_samples_ += batch_samples;
-      max_batch_seen_ = std::max(max_batch_seen_, batch_samples);
-      ema_batch_ = batches_ == 1
-                       ? static_cast<double>(batch_samples)
-                       : kOccupancyEmaAlpha * static_cast<double>(batch_samples) +
-                             (1.0 - kOccupancyEmaAlpha) * ema_batch_;
+      cv_.wait(lock, [&] { return stop_ || HasBacklogLocked(); });
+      if (stop_) return;  // Stop() fails the unresolved remainder
     }
-    space_cv_.notify_all();
-    // Serve outside the lock so Submit never waits on model compute.
-    serve_(batch);
+    try {
+      serve_(*this);
+    } catch (const std::exception& e) {
+      // A serve-callback throw (bad input shape, hostile payload) must
+      // fail the in-service requests, never the drain thread. Rows
+      // already resolved keep their results.
+      FLUID_LOG(Warn) << "BatchScheduler: serve callback threw: " << e.what();
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto status = core::Status::Internal(
+          std::string("master: serve callback threw: ") + e.what());
+      while (!service_.empty()) {
+        Request* req = &service_.front();
+        req->failed = true;
+        if (req->error.ok()) req->error = status;
+        backlog_rows_ -= req->samples - req->scheduled_rows;
+        req->resolved_rows = req->samples;
+        FinalizeLocked(req);
+      }
+    }
   }
 }
 

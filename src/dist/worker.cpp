@@ -164,6 +164,12 @@ Message WorkerNode::HandleInfer(Message& msg) {
   }
   ++served_;
   samples_served_ += samples;
+  // v4 SLO block: per-class accounting. The class is the frame's most
+  // urgent member's (chunks mix classes; the header carries the top).
+  if (msg.has_slo() && msg.priority < 3) {
+    ++slo_frames_;
+    samples_by_class_[msg.priority] += samples;
+  }
   return Message::WithBatch(MsgType::kResult, msg.seq, msg.tag,
                             std::move(*logits));
 }

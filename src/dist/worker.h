@@ -70,6 +70,13 @@ class WorkerNode {
   /// Infer frames that arrived with an int8 (wire v3) payload — the
   /// negotiation tests key on this to prove quantized frames really flow.
   std::int64_t quant_frames() const { return quant_frames_; }
+  /// Infer frames that arrived with a v4 SLO block attached.
+  std::int64_t slo_frames() const { return slo_frames_; }
+  /// Samples served per scheduling class (from v4 SLO blocks; frames
+  /// without one are unclassified and counted nowhere here).
+  std::int64_t samples_served_class(std::size_t cls) const {
+    return cls < 3 ? samples_by_class_[cls].load() : 0;
+  }
 
  private:
   void ServeLoop();
@@ -89,6 +96,8 @@ class WorkerNode {
   std::atomic<std::int64_t> served_{0};
   std::atomic<std::int64_t> samples_served_{0};
   std::atomic<std::int64_t> quant_frames_{0};
+  std::atomic<std::int64_t> slo_frames_{0};
+  std::atomic<std::int64_t> samples_by_class_[3]{};
 
   mutable std::mutex mu_;  // guards deployments_
   std::map<std::string, nn::Sequential> deployments_;

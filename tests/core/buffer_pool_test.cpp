@@ -6,6 +6,7 @@
 #include "core/buffer_pool.h"
 
 #include <cstring>
+#include <future>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -156,6 +157,69 @@ TEST(BufferPoolTest, DebugBuildsPoisonRecycledBytes) {
   RecycleTensor(std::move(back));
 }
 #endif
+
+TEST(BufferPoolTest, PrewarmedClassServesAcquiresWithoutAllocating) {
+  if (!PoolingEnabled()) GTEST_SKIP() << "FLUID_POOL=0";
+  DrainPools();
+  PoolPrewarm<float>(300, 3);
+  const auto before = AllocCount();
+  // All three land in the same 512 class the prewarm filled.
+  auto a = PoolGet<float>(300);
+  auto b = PoolGet<float>(400);
+  auto c = PoolGet<float>(500);
+  EXPECT_EQ(AllocCount(), before)
+      << "acquires from a prewarmed class must not touch the heap";
+  PoolPut(std::move(a));
+  PoolPut(std::move(b));
+  PoolPut(std::move(c));
+}
+
+TEST(BufferPoolTest, PrewarmedLargeClassIsVisibleToOtherThreads) {
+  if (!PoolingEnabled()) GTEST_SKIP() << "FLUID_POOL=0";
+  DrainPools();
+  // 2^16 floats = 256 KB: comfortably shared-first. Prewarming it from
+  // this thread must land the buffers on the global list, where a serving
+  // thread that never prewarmed anything can claim them.
+  constexpr std::size_t kLarge = std::size_t{1} << 16;
+  PoolPrewarm<float>(kLarge, 2);
+  bool hit = false;
+  std::thread worker([&] {
+    const auto before = AllocCount();
+    auto v = PoolGet<float>(kLarge);
+    hit = AllocCount() == before;
+    PoolPut(std::move(v));
+  });
+  worker.join();
+  EXPECT_TRUE(hit) << "a prewarmed shared-first buffer must serve another "
+                      "thread's first acquire";
+}
+
+TEST(BufferPoolTest, LargeClassReleasesGoSharedFirst) {
+  if (!PoolingEnabled()) GTEST_SKIP() << "FLUID_POOL=0";
+  DrainPools();
+  constexpr std::size_t kLarge = std::size_t{1} << 16;
+  const float* storage = nullptr;
+  // The releasing thread must still be alive when the main thread
+  // acquires: thread exit flushes local caches to the global list anyway,
+  // which would mask a broken shared-first route. No explicit flush, and
+  // the thread parks until the buffer has been claimed.
+  std::promise<void> released;
+  std::promise<void> claimed;
+  std::thread worker([&] {
+    auto v = PoolGet<float>(kLarge);
+    storage = v.data();
+    PoolPut(std::move(v));
+    released.set_value();
+    claimed.get_future().wait();
+  });
+  released.get_future().wait();
+  auto v = PoolGet<float>(kLarge);
+  EXPECT_EQ(v.data(), storage)
+      << "large-class puts must bypass the releasing thread's local cache";
+  PoolPut(std::move(v));
+  claimed.set_value();
+  worker.join();
+}
 
 TEST(BufferPoolTest, AllocCounterSeesHeapTraffic) {
   const auto count_before = AllocCount();

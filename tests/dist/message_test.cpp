@@ -112,5 +112,119 @@ TEST(MessageTest, DecodesVersion1FramesWithoutABatchField) {
   EXPECT_EQ(out.tag, "ok");
 }
 
+TEST(MessageTest, SloBlockRoundTripsOnInferFrames) {
+  core::Rng rng(4);
+  Message msg = Message::WithBatch(
+      MsgType::kInfer, 17, "chunk",
+      core::Tensor::UniformRandom({4, 1, 28, 28}, rng, 0, 1));
+  msg.SetSlo(/*cls=*/1, /*remaining_ms=*/730);
+  ASSERT_TRUE(msg.has_slo());
+
+  const auto bytes = EncodeMessage(msg);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), EncodedSize(msg));
+  EXPECT_EQ(bytes[8], 4) << "an SLO-carrying frame must encode as v4";
+
+  Message out;
+  ASSERT_TRUE(DecodeMessage(bytes, out).ok());
+  EXPECT_TRUE(out.has_slo());
+  EXPECT_EQ(out.priority, 1);
+  EXPECT_EQ(out.slo_ms, 730);
+  EXPECT_EQ(out.batch, 4);
+  EXPECT_EQ(out.payload.shape(), msg.payload.shape());
+}
+
+TEST(MessageTest, SloBlockRoundTripsWithQuantizedPayload) {
+  // The HA cut-activation frame of the mixed-SLO path: int8 payload (v3
+  // block) AND an SLO block — both must survive one frame.
+  core::Rng rng(5);
+  const core::Tensor t = core::Tensor::UniformRandom({3, 8}, rng, -1, 1);
+  Message msg = Message::WithQuantBatch(MsgType::kInfer, 23, "cut",
+                                        quant::QuantizeTensor(t));
+  msg.SetSlo(/*cls=*/0, /*remaining_ms=*/42);
+
+  const auto bytes = EncodeMessage(msg);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), EncodedSize(msg));
+  EXPECT_EQ(bytes[8], 4);
+
+  Message out;
+  ASSERT_TRUE(DecodeMessage(bytes, out).ok());
+  EXPECT_TRUE(out.has_qpayload());
+  EXPECT_EQ(out.qpayload.shape, msg.qpayload.shape);
+  EXPECT_EQ(out.qpayload.data, msg.qpayload.data);
+  EXPECT_TRUE(out.has_slo());
+  EXPECT_EQ(out.priority, 0);
+  EXPECT_EQ(out.slo_ms, 42);
+}
+
+TEST(MessageTest, FramesWithoutAnSloStayByteIdenticalToV2) {
+  // The v4 discipline mirrors v3's: no SLO attached → the encoder emits
+  // the old version, so peers that never learned v4 interoperate
+  // untouched. Clearing the SLO must restore the exact v2 bytes.
+  core::Rng rng(6);
+  Message msg = Message::WithBatch(
+      MsgType::kInfer, 9, "plain",
+      core::Tensor::UniformRandom({2, 4}, rng, 0, 1));
+  const auto v2_bytes = EncodeMessage(msg);
+  EXPECT_EQ(v2_bytes[8], 2);
+
+  msg.SetSlo(2, 100);
+  const auto v4_bytes = EncodeMessage(msg);
+  EXPECT_EQ(v4_bytes[8], 4);
+  EXPECT_GT(v4_bytes.size(), v2_bytes.size());
+
+  msg.slo_ms = -1;  // detach the SLO again
+  EXPECT_EQ(EncodeMessage(msg), v2_bytes);
+}
+
+TEST(MessageTest, SetSloClampsNegativeRemainingBudgetToZero) {
+  // A request already past its deadline still ships a valid SLO block
+  // ("0 ms left"), never a negative budget the receiver must reject.
+  Message msg = Message::HeaderOnly(MsgType::kInfer, 1);
+  msg.SetSlo(1, -250);
+  EXPECT_TRUE(msg.has_slo());
+  EXPECT_EQ(msg.slo_ms, 0);
+}
+
+TEST(MessageTest, NegativeSloOnTheWireIsDataLoss) {
+  // Hand-build a v4 body whose slo_ms is negative: the decoder must
+  // refuse it as corrupt rather than admit an impossible deadline into
+  // the scheduler's accounting.
+  core::ByteWriter body;
+  body.WriteU8(4);  // version 4
+  body.WriteU8(static_cast<std::uint8_t>(MsgType::kInfer));
+  body.WriteI64(31);  // seq
+  body.WriteI64(2);   // batch
+  body.WriteString("bad");
+  body.WriteU8(0);  // no tensor
+  body.WriteU8(0);  // no qtensor
+  body.WriteU8(1);  // priority
+  body.WriteI64(-5);
+  core::ByteWriter frame;
+  frame.WriteU32(kFrameMagic);
+  frame.WriteU32(static_cast<std::uint32_t>(body.size()));
+  auto bytes = frame.TakeBuffer();
+  bytes.insert(bytes.end(), body.buffer().begin(), body.buffer().end());
+
+  Message out;
+  const auto st = DecodeMessage(bytes, out);
+  EXPECT_EQ(st.code(), core::StatusCode::kDataLoss);
+}
+
+TEST(MessageTest, TruncatedSloBlockIsDataLoss) {
+  core::Rng rng(7);
+  Message msg = Message::WithBatch(
+      MsgType::kInfer, 13, "cutoff",
+      core::Tensor::UniformRandom({2, 4}, rng, 0, 1));
+  msg.SetSlo(0, 55);
+  const auto bytes = EncodeMessage(msg);
+  // Cut inside the trailing [u8 priority][i64 slo_ms] block.
+  for (std::size_t drop = 1; drop <= 9; ++drop) {
+    Message out;
+    const auto st = DecodeMessage(
+        std::span<const std::uint8_t>(bytes.data(), bytes.size() - drop), out);
+    EXPECT_FALSE(st.ok()) << "drop=" << drop;
+  }
+}
+
 }  // namespace
 }  // namespace fluid::dist

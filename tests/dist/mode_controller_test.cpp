@@ -203,7 +203,7 @@ TEST(ModeControllerBacklogTest, SaturatedQueueFlipsToHtEvenWhenDemandLies) {
   ModeController::DemandSignal signal;
   signal.demand = 5.0;  // nominally well under ha_capacity
   signal.queue_depth = 32.0;
-  signal.batch_occupancy = 0.95;
+  signal.pool_occupancy = 0.95;
   EXPECT_EQ(c.Decide(signal), sim::Mode::kHighThroughput);
   EXPECT_EQ(c.switches(), 1);
 }
@@ -215,15 +215,57 @@ TEST(ModeControllerBacklogTest, UnderOccupiedBatchesDoNotForceTheFlip) {
   ModeController::DemandSignal signal;
   signal.demand = 5.0;
   signal.queue_depth = 32.0;
-  signal.batch_occupancy = 0.2;
+  signal.pool_occupancy = 0.2;
   EXPECT_EQ(c.Decide(signal), sim::Mode::kHighAccuracy);
   EXPECT_EQ(c.switches(), 0);
 
   // And an empty queue never inflates demand, whatever the occupancy.
   signal.queue_depth = 0.0;
-  signal.batch_occupancy = 1.0;
+  signal.pool_occupancy = 1.0;
   EXPECT_EQ(c.Decide(signal), sim::Mode::kHighAccuracy);
   EXPECT_EQ(c.switches(), 0);
+}
+
+TEST(ModeControllerSloTest, DeadlineMissesFlipToHtWhateverDemandClaims) {
+  // No backlog, quiet demand estimate — but requests are provably missing
+  // their deadlines. The miss-rate alarm alone must force the flip.
+  ModeController c(10.0, 30.0);
+  ModeController::DemandSignal signal;
+  signal.demand = 2.0;
+  signal.deadline_miss_rate = 0.05;  // 5% of completions late
+  EXPECT_EQ(c.Decide(signal), sim::Mode::kHighThroughput);
+  EXPECT_EQ(c.switches(), 1);
+}
+
+TEST(ModeControllerSloTest, MissRateBelowTheAlarmDoesNotForceTheFlip) {
+  ModeController c(10.0, 30.0);
+  ModeController::DemandSignal signal;
+  signal.demand = 2.0;
+  signal.deadline_miss_rate = ModeController::kMissRateAlarm;  // at, not above
+  EXPECT_EQ(c.Decide(signal), sim::Mode::kHighAccuracy);
+  EXPECT_EQ(c.switches(), 0);
+}
+
+TEST(ModeControllerSloTest, HighClassShareSharpensTheMissResponse) {
+  // Same miss rate, but the pool is dominated by the highest class: the
+  // pressure term must clear a hysteresis band the class-free signal
+  // would not. With hysteresis 0.1, flipping back requires effective
+  // demand < 9.0; miss pressure (1 + 0.02) * 10 = 10.2 keeps HT pinned
+  // only when the high-class share is counted in.
+  ModeController c(10.0, 30.0);
+  EXPECT_EQ(c.Decide(50.0), sim::Mode::kHighThroughput);
+  ModeController::DemandSignal signal;
+  signal.demand = 1.0;  // demand collapsed: nominally flip back to HA
+  signal.deadline_miss_rate = 0.02;
+  signal.high_class_share = 1.0;
+  // Pressure (1 + 0.02 + 1.0) * ha = 20.2 » band: HT holds.
+  EXPECT_EQ(c.Decide(signal), sim::Mode::kHighThroughput);
+  EXPECT_EQ(c.switches(), 1);
+  // Misses stop: demand governs again and the controller returns to HA.
+  signal.deadline_miss_rate = 0.0;
+  signal.high_class_share = 1.0;
+  EXPECT_EQ(c.Decide(signal), sim::Mode::kHighAccuracy);
+  EXPECT_EQ(c.switches(), 2);
 }
 
 TEST_F(OrchestratorTest, ServingContinuesAcrossTheWholeDegradation) {

@@ -27,11 +27,26 @@ core::Tensor Sample(core::Rng& rng, std::int64_t n = 1) {
 // BatchScheduler unit tests (stub serve callback, no master involved).
 // ---------------------------------------------------------------------------
 
-struct GatedServe {
+// Serve-side stub: pulls chunks like the master's drain loop, with a gate
+// so tests control exactly when each chunk completes. Default gating is
+// post-assembly (the chunk is grabbed, then held in service while more work
+// arrives); `gate_before_grab` holds the *assembly* itself, for tests that
+// stage the pool between chunk boundaries.
+struct StubServe {
   std::mutex mu;
   std::condition_variable cv;
+  bool gate_before_grab = false;
   bool open = false;
-  std::vector<std::int64_t> batch_sizes;
+  int permits = 0;
+
+  struct Rec {
+    std::int64_t rows;
+    std::size_t slices;
+    Priority top;
+    const BatchScheduler::Request* first;
+    std::chrono::steady_clock::time_point urgent;
+  };
+  std::vector<Rec> chunks;
 
   void Release() {
     {
@@ -41,40 +56,66 @@ struct GatedServe {
     cv.notify_all();
   }
 
+  void Allow(int n) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      permits += n;
+    }
+    cv.notify_all();
+  }
+
+  std::size_t Count() {
+    std::lock_guard<std::mutex> lock(mu);
+    return chunks.size();
+  }
+
+  Rec At(std::size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    return chunks.at(i);
+  }
+
+  void Gate() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return open || permits > 0; });
+    if (!open) --permits;
+  }
+
   BatchScheduler::ServeFn Fn() {
-    return [this](std::vector<BatchScheduler::Request>& batch) {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return open; });
-      std::int64_t samples = 0;
-      for (auto& req : batch) samples += req.samples;
-      batch_sizes.push_back(samples);
-      lock.unlock();
-      for (auto& req : batch) {
-        InferReply reply;
-        reply.logits = core::Tensor({req.samples, 1});
-        reply.served_by = "stub";
-        req.promise.set_value(std::move(reply));
+    return [this](BatchScheduler& sched) {
+      BatchScheduler::WorkChunk chunk;
+      for (;;) {
+        if (gate_before_grab) Gate();
+        if (!sched.NextChunk(sched.options().max_batch, 1ms, chunk)) return;
+        if (!gate_before_grab) Gate();
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          chunks.push_back({chunk.rows, chunk.slices.size(), chunk.top,
+                            chunk.slices.front().req, chunk.urgent_deadline});
+        }
+        core::Tensor logits({chunk.rows, 1});
+        sched.CompleteChunk(chunk, logits, "stub");
       }
     };
   }
 };
 
-TEST(BatchSchedulerTest, CoalescesQueuedRequestsIntoOneBatch) {
+TEST(BatchSchedulerTest, CoalescesQueuedRequestsIntoOneChunk) {
   core::Rng rng(1);
-  GatedServe serve;
+  StubServe serve;
   BatchOptions opts;
   opts.max_batch = 8;
   opts.max_delay = 5ms;
   BatchScheduler scheduler(opts, serve.Fn());
 
-  // First submit is grabbed alone while the gate holds the drain thread;
-  // the next four queue up behind it and must coalesce into ONE batch.
+  // First submit is grabbed alone while the gate holds its chunk in
+  // service; the next four pool up behind it and must assemble into ONE
+  // chunk — one slice per request — at the next chunk boundary.
   auto first = scheduler.Submit(Sample(rng), 2000ms);
-  std::vector<std::future<core::StatusOr<InferReply>>> rest;
-  // Wait until the drain thread has the first request in hand (depth 0).
+  // Wait until the drain thread has the first request in a chunk (depth 0).
   for (int spin = 0; spin < 200 && scheduler.stats().queue_depth > 0; ++spin) {
     std::this_thread::sleep_for(1ms);
   }
+  std::vector<std::future<core::StatusOr<InferReply>>> rest;
   for (int i = 0; i < 4; ++i) rest.push_back(scheduler.Submit(Sample(rng), 2000ms));
   serve.Release();
 
@@ -83,20 +124,24 @@ TEST(BatchSchedulerTest, CoalescesQueuedRequestsIntoOneBatch) {
 
   const auto stats = scheduler.stats();
   EXPECT_EQ(stats.submitted, 5);
+  EXPECT_EQ(stats.completed, 5);
   EXPECT_EQ(stats.coalesced_samples, 5);
-  ASSERT_EQ(serve.batch_sizes.size(), 2u);
-  EXPECT_EQ(serve.batch_sizes[0], 1);
-  EXPECT_EQ(serve.batch_sizes[1], 4);
-  EXPECT_EQ(stats.max_batch_seen, 4);
+  ASSERT_EQ(serve.Count(), 2u);
+  EXPECT_EQ(serve.At(0).rows, 1);
+  EXPECT_EQ(serve.At(1).rows, 4);
+  EXPECT_EQ(serve.At(1).slices, 4u);  // four requests rode one chunk
   EXPECT_NEAR(stats.avg_batch, 2.5, 1e-9);
-  // Occupancy is an EMA (alpha 0.25) seeded on the first batch:
-  // 1, then 0.25·4 + 0.75·1 = 1.75 — over max_batch 8.
-  EXPECT_NEAR(stats.occupancy, 1.75 / 8.0, 1e-9);
+  EXPECT_EQ(stats.active_requests, 0);
+  EXPECT_EQ(stats.running_requests, 0);
+  // Occupancy is an EMA over the *active pool* (per-assembly samples of
+  // active_requests / max_active_reqs) — nonzero once anything served.
+  EXPECT_GT(stats.occupancy, 0.0);
+  EXPECT_LE(stats.occupancy, 1.0);
 }
 
 TEST(BatchSchedulerTest, BoundedQueueBlocksSubmitUntilSpace) {
   core::Rng rng(2);
-  GatedServe serve;
+  StubServe serve;
   BatchOptions opts;
   opts.max_batch = 4;
   opts.queue_capacity = 4;
@@ -130,7 +175,7 @@ TEST(BatchSchedulerTest, BoundedQueueBlocksSubmitUntilSpace) {
 
 TEST(BatchSchedulerTest, StopFailsEverythingStillQueued) {
   core::Rng rng(3);
-  GatedServe serve;
+  StubServe serve;
   BatchOptions opts;
   opts.max_batch = 2;
   opts.max_delay = 1ms;
@@ -163,7 +208,7 @@ TEST(BatchSchedulerTest, StopFailsEverythingStillQueued) {
 
 TEST(BatchSchedulerTest, BackpressureHonorsTheRequestTimeout) {
   core::Rng rng(7);
-  GatedServe serve;
+  StubServe serve;
   BatchOptions opts;
   opts.max_batch = 4;
   opts.queue_capacity = 4;
@@ -195,12 +240,240 @@ TEST(BatchSchedulerTest, BackpressureHonorsTheRequestTimeout) {
 }
 
 TEST(BatchSchedulerTest, RejectsInputWithoutABatchDim) {
-  GatedServe serve;
+  StubServe serve;
   serve.Release();
   BatchScheduler scheduler(BatchOptions{}, serve.Fn());
   auto result = scheduler.Submit(core::Tensor(), 100ms).get();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(BatchSchedulerTest, AdmissionCapBoundsTheActivePool) {
+  core::Rng rng(4);
+  StubServe serve;
+  BatchOptions opts;
+  opts.max_batch = 1;
+  opts.max_active_reqs = 2;
+  BatchScheduler scheduler(opts, serve.Fn());
+
+  // r1 is grabbed into a chunk (RUNNING) and gated; r2 fills the second
+  // and last active slot (READY). A third submit must block on admission
+  // even though the backlog is far under queue_capacity.
+  auto r1 = scheduler.Submit(Sample(rng), 2000ms);
+  for (int spin = 0; spin < 200 && scheduler.stats().queue_depth > 0; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  auto r2 = scheduler.Submit(Sample(rng), 2000ms);
+  std::atomic<bool> admitted{false};
+  std::thread burst([&] {
+    auto r3 = scheduler.Submit(Sample(rng), 2000ms);
+    admitted = true;
+    ASSERT_TRUE(r3.get().ok());
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(admitted.load());
+  EXPECT_EQ(scheduler.stats().submitted, 2);  // r3 not yet admitted
+  EXPECT_EQ(scheduler.stats().active_requests, 2);
+
+  serve.Release();  // r1 completes -> a slot frees -> r3 enters
+  burst.join();
+  EXPECT_TRUE(admitted.load());
+  ASSERT_TRUE(r1.get().ok());
+  ASSERT_TRUE(r2.get().ok());
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 3);
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_EQ(stats.max_active_seen, 2);  // the cap really did bound the pool
+  EXPECT_EQ(stats.class_submitted[1], 3);
+}
+
+TEST(BatchSchedulerTest, StrictPriorityPreemptsLowerClassesAtChunkBoundaries) {
+  core::Rng rng(5);
+  StubServe serve;
+  BatchOptions opts;
+  opts.max_batch = 1;  // one-row chunks: the chunk order IS the schedule
+  BatchScheduler scheduler(opts, serve.Fn());
+
+  auto normal = scheduler.Submit(Sample(rng), 2000ms);
+  for (int spin = 0; spin < 200 && scheduler.stats().queue_depth > 0; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  // Low arrives BEFORE high; class order must beat arrival order at the
+  // next chunk boundary.
+  auto low = scheduler.Submit(Sample(rng), SubmitOptions{2000ms, Priority::kLow});
+  auto high =
+      scheduler.Submit(Sample(rng), SubmitOptions{2000ms, Priority::kHigh});
+  serve.Release();
+
+  ASSERT_TRUE(normal.get().ok());
+  ASSERT_TRUE(low.get().ok());
+  ASSERT_TRUE(high.get().ok());
+  ASSERT_EQ(serve.Count(), 3u);
+  EXPECT_EQ(serve.At(0).top, Priority::kNormal);
+  EXPECT_EQ(serve.At(1).top, Priority::kHigh);
+  EXPECT_EQ(serve.At(2).top, Priority::kLow);
+  const auto stats = scheduler.stats();
+  // Exactly one preemptive decision: high's chunk filled while low waited.
+  EXPECT_EQ(stats.preemptions, 1);
+  EXPECT_EQ(stats.class_submitted[0], 1);
+  EXPECT_EQ(stats.class_submitted[1], 1);
+  EXPECT_EQ(stats.class_submitted[2], 1);
+}
+
+TEST(BatchSchedulerTest, EarliestDeadlineFirstWithinAClass) {
+  core::Rng rng(8);
+  StubServe serve;
+  BatchOptions opts;
+  opts.max_batch = 1;
+  BatchScheduler scheduler(opts, serve.Fn());
+
+  auto running = scheduler.Submit(Sample(rng), 2000ms);
+  for (int spin = 0; spin < 200 && scheduler.stats().queue_depth > 0; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  // Same class, tighter budget submitted later: EDF must reorder.
+  auto patient = scheduler.Submit(Sample(rng), 1500ms);
+  auto urgent = scheduler.Submit(Sample(rng), 300ms);
+  serve.Release();
+
+  ASSERT_TRUE(running.get().ok());
+  ASSERT_TRUE(patient.get().ok());
+  ASSERT_TRUE(urgent.get().ok());
+  ASSERT_EQ(serve.Count(), 3u);
+  // Chunk 1 (urgent) carries a tighter deadline than chunk 2 (patient).
+  EXPECT_LT(serve.At(1).urgent, serve.At(2).urgent);
+}
+
+TEST(BatchSchedulerTest, ExpiredReadyRequestFailsWithoutWastingService) {
+  core::Rng rng(6);
+  StubServe serve;
+  BatchOptions opts;
+  opts.max_batch = 1;
+  BatchScheduler scheduler(opts, serve.Fn());
+
+  auto running = scheduler.Submit(Sample(rng), 2000ms);
+  for (int spin = 0; spin < 200 && scheduler.stats().queue_depth > 0; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  // This one expires while READY, behind the gated in-service chunk. At
+  // the next chunk boundary it must fail kDeadlineExceeded — never reach
+  // a chunk, never burn service on a result nobody is waiting for.
+  auto doomed = scheduler.Submit(Sample(rng), 50ms);
+  std::this_thread::sleep_for(80ms);
+  serve.Release();
+
+  ASSERT_TRUE(running.get().ok());
+  auto r = doomed.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), core::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(serve.Count(), 1u);  // only the running request was ever served
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.deadline_misses, 1);
+  EXPECT_EQ(stats.completed, 2);
+}
+
+TEST(BatchSchedulerTest, LateDeliveryStillDeliversAndCountsTheMiss) {
+  core::Rng rng(9);
+  StubServe serve;
+  BatchScheduler scheduler(BatchOptions{}, serve.Fn());
+
+  // The request is RUNNING (chunk in service) when its deadline passes:
+  // serving late beats dropping, but the SLO miss must be counted.
+  auto slow = scheduler.Submit(Sample(rng), 60ms);
+  for (int spin = 0; spin < 200 && scheduler.stats().queue_depth > 0; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  std::this_thread::sleep_for(100ms);
+  serve.Release();
+  auto r = slow.get();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(scheduler.stats().deadline_misses, 1);
+}
+
+TEST(BatchSchedulerTest, NewArrivalSplicesInAtTheNextChunkBoundary) {
+  core::Rng rng(10);
+  StubServe serve;
+  serve.gate_before_grab = true;  // stage the pool between assemblies
+  BatchOptions opts;
+  opts.max_batch = 2;
+  BatchScheduler scheduler(opts, serve.Fn());
+
+  auto big = scheduler.Submit(Sample(rng, 6), 2000ms);
+  serve.Allow(1);  // chunk 1: the big request's first two rows
+  for (int spin = 0; spin < 400 && serve.Count() < 1; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(serve.Count(), 1u);
+  // A high-class request lands mid-service: its first rows must lead the
+  // NEXT chunk — time-to-first-chunk excludes the big request's residual
+  // four rows.
+  auto urgent =
+      scheduler.Submit(Sample(rng), SubmitOptions{2000ms, Priority::kHigh});
+  serve.Release();
+
+  ASSERT_TRUE(urgent.get().ok());
+  ASSERT_TRUE(big.get().ok());
+  ASSERT_EQ(serve.Count(), 4u);  // rows [2], [urgent+1], [2], [1]
+  EXPECT_EQ(serve.At(1).top, Priority::kHigh);
+  EXPECT_EQ(serve.At(1).rows, 2);
+  EXPECT_EQ(serve.At(1).slices, 2u);  // urgent + one resumed big row
+  EXPECT_NE(serve.At(1).first, serve.At(0).first);  // urgent leads the chunk
+  EXPECT_EQ(serve.At(3).rows, 1);
+}
+
+TEST(BatchSchedulerTest, MultiClientPriorityStressResolvesEveryRequest) {
+  StubServe serve;
+  serve.Release();  // no gating: full-speed continuous serving
+  BatchOptions opts;
+  opts.max_batch = 4;
+  opts.max_active_reqs = 8;
+  opts.queue_capacity = 64;
+  opts.max_delay = 0ms;
+  BatchScheduler scheduler(opts, serve.Fn());
+
+  // Six clients, three classes, mixed sample counts, each keeping a small
+  // window of submits in flight — 18 potential concurrent requests over a
+  // pool of 8, so admission, preemption and chunk interleaving all run hot
+  // concurrently. Every future must resolve ok. (The dist suite runs under
+  // TSan in CI; this is the preemption-stress it checks.)
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 30;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      core::Rng rng(100 + c);
+      std::vector<std::future<core::StatusOr<InferReply>>> window;
+      for (int i = 0; i < kPerClient; ++i) {
+        SubmitOptions o;
+        o.timeout = 5000ms;
+        o.priority = static_cast<Priority>((c + i) % 3);
+        window.push_back(scheduler.Submit(Sample(rng, 1 + i % 3), o));
+        if (window.size() == 3) {
+          for (auto& f : window) {
+            if (!f.get().ok()) ++failures;
+          }
+          window.clear();
+        }
+      }
+      for (auto& f : window) {
+        if (!f.get().ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, kClients * kPerClient);
+  EXPECT_EQ(stats.active_requests, 0);
+  EXPECT_EQ(stats.running_requests, 0);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.class_submitted[0] + stats.class_submitted[1] +
+                stats.class_submitted[2],
+            kClients * kPerClient);
+  EXPECT_GT(stats.max_active_seen, 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -297,7 +570,7 @@ TEST_F(BatchedServingTest, CoalescedBatchMatchesSequentialInfersBitwise) {
   EXPECT_LT(stats.batches, kN);
   const auto serving = master_.scheduler_stats();
   EXPECT_EQ(serving.submitted, kN);
-  EXPECT_GT(serving.max_batch_seen, 1);
+  EXPECT_GT(serving.max_active_seen, 1);
 }
 
 TEST_F(BatchedServingTest, BatchedPipelineMatchesSequentialInfersBitwise) {
@@ -347,6 +620,156 @@ TEST_F(BatchedServingTest, BatchedPipelineMatchesSequentialInfersBitwise) {
   }
   EXPECT_EQ(master_.stats().stale_replies, 0);
   EXPECT_GE(workers_[0]->samples_served(), kN);
+}
+
+TEST_F(BatchedServingTest, MixedPriorityChunkInterleavingIsBitwiseExact) {
+  // Three multi-sample requests of different classes share the HA pipeline
+  // window: two-row chunks interleave their rows on the wire, yet every
+  // request's logits must be bitwise what a lone sequential Infer produces
+  // — the fused forward is per-sample deterministic, so the schedule can
+  // never show through in the numbers.
+  const auto& family = fluid_.family();
+  master_.DeployLocal("lower50", fluid_.ExtractSubnet(family.MasterResident()));
+  nn::Sequential combined = fluid_.ExtractSubnet(family.Combined());
+  auto halves = train::SplitConvNet(cfg_, family.max_width(), combined, 2);
+  master_.DeployLocal("front", std::move(halves.front));
+  ASSERT_TRUE(master_
+                  .DeployToWorker("back",
+                                  ModelBlueprint::PipelineBack(
+                                      cfg_, family.max_width(), 2),
+                                  nn::ExtractState(halves.back), 2000ms, 0)
+                  .ok());
+  master_.SetPlan({"lower50", "", "front", "back", 0});
+  master_.SetMode(sim::Mode::kHighAccuracy);
+
+  const std::int64_t sizes[3] = {3, 2, 4};
+  const Priority classes[3] = {Priority::kLow, Priority::kHigh,
+                               Priority::kNormal};
+  std::vector<core::Tensor> inputs;
+  for (int i = 0; i < 3; ++i) inputs.push_back(Sample(rng_, sizes[i]));
+  std::vector<core::Tensor> sequential;
+  for (const auto& x : inputs) {
+    auto reply = master_.Infer(x, 2000ms);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    sequential.push_back(std::move(reply->logits));
+  }
+
+  BatchOptions opts;
+  opts.max_batch = 16;
+  opts.max_delay = 50ms;
+  opts.ha_chunk = 2;
+  opts.ha_window = 2;
+  master_.StartServing(opts);
+  std::vector<std::future<core::StatusOr<InferReply>>> futures;
+  for (int i = 0; i < 3; ++i) {
+    SubmitOptions o;
+    o.timeout = 2000ms;
+    o.priority = classes[i];
+    futures.push_back(master_.InferAsync(inputs[i].Clone(), o));
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto reply = futures[i].get();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->served_by, "pipeline:front+back@worker[0]");
+    EXPECT_EQ(core::MaxAbsDiff(reply->logits, sequential[i]), 0.0F)
+        << "request " << i;
+  }
+  EXPECT_EQ(master_.stats().stale_replies, 0);
+  const auto serving = master_.scheduler_stats();
+  EXPECT_EQ(serving.class_submitted[0], 1);
+  EXPECT_EQ(serving.class_submitted[1], 1);
+  EXPECT_EQ(serving.class_submitted[2], 1);
+  // Scheduled frames carried the v4 SLO block: the worker accounted every
+  // async-path sample to its class (the 9 sequential warm-up samples rode
+  // inline frames without one).
+  EXPECT_GT(workers_[0]->slo_frames(), 0);
+  EXPECT_EQ(workers_[0]->samples_served_class(0) +
+                workers_[0]->samples_served_class(1) +
+                workers_[0]->samples_served_class(2),
+            9);
+}
+
+TEST(PipelineSloTest, ReadyRequestExpiresWhileThePipelineIsMidFlight) {
+  // A scripted back half holds the in-flight chunk's reply hostage while a
+  // short-deadline request waits READY behind it. At the next chunk
+  // boundary the scheduler must expire the waiter (kDeadlineExceeded,
+  // counted) and still deliver the held request — expiry is a scheduling
+  // decision, not a pipeline failure.
+  slim::FluidNetConfig cfg;
+  MasterNode master(cfg);
+  auto [master_end, worker_end] = MakeInMemoryPair();
+  master.AttachWorker(std::move(master_end));
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> got_frame{false};
+  std::atomic<bool> release{false};
+  std::thread scripted([&, end = std::move(worker_end)]() mutable {
+    std::vector<Message> held;
+    while (!stop) {
+      Message msg;
+      const auto st = end->Recv(msg, 10ms);
+      if (st.ok()) {
+        if (msg.type == MsgType::kDeploy || msg.type == MsgType::kHeartbeat) {
+          (void)end->Send(Message::HeaderOnly(MsgType::kAck, msg.seq));
+        } else if (msg.type == MsgType::kInfer) {
+          held.push_back(msg);
+          got_frame = true;
+        }
+      }
+      if (release && !held.empty()) {
+        for (auto& m : held) {
+          const std::int64_t rows = m.payload.shape()[0];
+          (void)end->Send(Message::WithBatch(MsgType::kResult, m.seq, m.tag,
+                                             core::Tensor({rows, 10})));
+        }
+        held.clear();
+      }
+    }
+    end->Close();
+  });
+
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  nn::Sequential combined = fluid.ExtractSubnet(fluid.family().Combined());
+  auto halves =
+      train::SplitConvNet(cfg, fluid.family().max_width(), combined, 2);
+  master.DeployLocal("front", std::move(halves.front));
+  ASSERT_TRUE(master
+                  .DeployToWorker("back",
+                                  ModelBlueprint::PipelineBack(
+                                      cfg, fluid.family().max_width(), 2),
+                                  nn::ExtractState(halves.back))
+                  .ok());
+  master.SetPlan({"", "", "front", "back", 0});
+  master.SetMode(sim::Mode::kHighAccuracy);
+
+  BatchOptions opts;
+  opts.max_batch = 4;
+  opts.max_delay = 0ms;
+  opts.ha_chunk = 4;
+  opts.ha_window = 1;
+  master.StartServing(opts);
+
+  core::Rng rng(31);
+  auto held_req = master.InferAsync(Sample(rng, 2), 2000ms);
+  for (int spin = 0; spin < 400 && !got_frame; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(got_frame.load());
+  auto doomed =
+      master.InferAsync(Sample(rng), SubmitOptions{50ms, Priority::kHigh});
+  std::this_thread::sleep_for(80ms);  // deadline passes mid-pipeline
+  release = true;
+
+  auto ra = held_req.get();
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  auto rd = doomed.get();
+  ASSERT_FALSE(rd.ok());
+  EXPECT_EQ(rd.status().code(), core::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(master.scheduler_stats().deadline_misses, 1);
+  EXPECT_EQ(master.stats().failovers, 0);  // expiry is not a failover
+  master.StopServing();
+  stop = true;
+  scripted.join();
 }
 
 TEST_F(BatchedServingTest, MultiClientStressSurvivesAWorkerCrashMidBatch) {
@@ -843,12 +1266,12 @@ TEST(ByzantineWorkerTest, PipelineChunkClassMismatchFailsOverToResident) {
   auto [master_end, worker_end] = MakeInMemoryPair();
   master.AttachWorker(std::move(master_end));
 
-  // Scripted back half: the first chunk's reply is honest-shaped, every
-  // later chunk grows two classes — same row counts throughout, so only
-  // payload-size validation can catch it.
+  // Scripted back half: every chunk reply keeps the right row count but
+  // grows two classes — only payload-size validation can catch it. The
+  // first bad frame condemns the pipeline, and the already-shipped second
+  // frame must be abandoned (not trusted) along with it.
   std::atomic<bool> stop{false};
   std::thread scripted([&, end = std::move(worker_end)]() mutable {
-    std::int64_t infers = 0;
     while (!stop) {
       Message msg;
       if (!end->Recv(msg, 50ms).ok()) continue;
@@ -856,9 +1279,8 @@ TEST(ByzantineWorkerTest, PipelineChunkClassMismatchFailsOverToResident) {
         (void)end->Send(Message::HeaderOnly(MsgType::kAck, msg.seq));
       } else if (msg.type == MsgType::kInfer) {
         const std::int64_t rows = msg.payload.shape()[0];
-        const std::int64_t classes = infers++ == 0 ? 10 : 12;
         (void)end->Send(Message::WithBatch(MsgType::kResult, msg.seq, msg.tag,
-                                           core::Tensor({rows, classes})));
+                                           core::Tensor({rows, 12})));
       }
     }
     end->Close();
