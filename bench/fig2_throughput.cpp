@@ -49,6 +49,14 @@
 // bandwidth_mbps orchestrate=0|1 tick_ms=N ha_cap/ht_cap=F json=PATH
 // smoke=low|overload (CI gates: low asserts zero deadline misses,
 // overload asserts nonzero preemptions).
+//
+// Extension — wire data-plane mode (`wire=1`): the HT fan-out served
+// twice on one fleet — fp32 input shards (wire v2) vs int8 input shards
+// (wire v5, int8_input_wire negotiated per-deploy) — isolating the input
+// wire format + the vectored batched send path, with per-phase wire
+// byte/frame counters and the input quantization's top-1 fidelity. Knobs:
+// clients=N per_client=N workers=N max_batch=N max_delay_ms=N link_ms=F
+// bandwidth_mbps=F model=slice|full json=PATH.
 
 #include <algorithm>
 #include <atomic>
@@ -73,6 +81,7 @@
 #include "dist/worker.h"
 #include "harness_common.h"
 #include "nn/checkpoint.h"
+#include "quant/quantize.h"
 #include "sim/latency.h"
 #include "sim/pipeline_sim.h"
 #include "train/model_zoo.h"
@@ -876,6 +885,238 @@ int RunMixedSlo(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// `wire=1`: HT fan-out wire data-plane A/B — fp32 input shards (wire v2)
+// vs int8 input shards (wire v5, `int8_input_wire`) on the SAME fleet over
+// the emulated link, so the printed speedup isolates exactly the input
+// wire format + the vectored batched send path underneath it. Also
+// measures the top-1 fidelity of the absmax input quantization directly
+// on the served slice (the ≤1 pp acceptance gate).
+// ---------------------------------------------------------------------------
+int RunWireServing(int argc, char** argv) {
+  std::int64_t clients = 64, per_client = 50, num_workers = 2;
+  std::int64_t max_batch = 64, max_delay_ms = 0;
+  double link_ms = 12.0, bandwidth_mbps = 100.0;  // the paper's measured link
+  std::string json_path, model = "slice";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = arg.substr(0, eq), val = arg.substr(eq + 1);
+    if (key == "clients") clients = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "per_client") per_client = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "workers") num_workers = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "max_batch") max_batch = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "max_delay_ms")
+      max_delay_ms = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "link_ms") link_ms = std::strtod(val.c_str(), nullptr);
+    if (key == "bandwidth_mbps")
+      bandwidth_mbps = std::strtod(val.c_str(), nullptr);
+    if (key == "json") json_path = val;
+    if (key == "model") model = val;  // full | slice
+  }
+
+  std::printf("== HT fan-out wire data plane: fp32 (wire v2) vs int8 input "
+              "shards (wire v5) ==\n");
+  std::printf("# fleet: master + %lld workers; %lld clients x %lld requests; "
+              "link %.1f ms + %.0f Mbit/s; max_batch %lld\n",
+              static_cast<long long>(num_workers),
+              static_cast<long long>(clients),
+              static_cast<long long>(per_client), link_ms, bandwidth_mbps,
+              static_cast<long long>(max_batch));
+
+  const slim::FluidNetConfig cfg;
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  const auto range = model == "slice" ? fluid.family().WorkerResident()
+                                      : fluid.family().Combined();
+  nn::Sequential slice = fluid.ExtractSubnet(range);
+  std::printf("# model: %s (width %lld); input %lld floats/sample\n",
+              model.c_str(), static_cast<long long>(range.range.width()),
+              static_cast<long long>(28 * 28));
+
+  // Top-1 fidelity of the input quantization, measured where it matters:
+  // the served slice's argmax before vs after the input's absmax int8
+  // round trip. This is the bench's accuracy gate (≤ 1 pp delta), cheap
+  // enough to rerun every time instead of carrying a stale number.
+  double top1_agreement = 0.0;
+  {
+    core::Rng arng(123);
+    const std::int64_t batches = 16, rows = 32;
+    std::int64_t same = 0;
+    for (std::int64_t b = 0; b < batches; ++b) {
+      core::Tensor x =
+          core::Tensor::UniformRandom({rows, 1, 28, 28}, arng, 0, 1);
+      const core::Tensor a = slice.Forward(x, false);
+      const core::Tensor q = slice.Forward(
+          quant::DequantizeTensor(quant::QuantizeTensor(x)), false);
+      const std::int64_t classes = a.numel() / rows;
+      const auto da = a.data(), dq = q.data();
+      for (std::int64_t r = 0; r < rows; ++r) {
+        std::int64_t ia = 0, iq = 0;
+        for (std::int64_t c = 1; c < classes; ++c) {
+          if (da[r * classes + c] > da[r * classes + ia]) ia = c;
+          if (dq[r * classes + c] > dq[r * classes + iq]) iq = c;
+        }
+        same += ia == iq ? 1 : 0;
+      }
+    }
+    top1_agreement = static_cast<double>(same) / (batches * 32.0);
+    std::printf("# input-quant top-1 agreement: %.2f%% (delta %.2f pp)\n\n",
+                top1_agreement * 100.0, (1.0 - top1_agreement) * 100.0);
+  }
+
+  auto make_pair = [&] {
+    return link_ms > 0
+               ? dist::MakeEmulatedLinkPair(
+                     std::chrono::duration<double>(link_ms * 1e-3),
+                     bandwidth_mbps * 1e6 / 8.0)
+               : dist::MakeInMemoryPair();
+  };
+
+  // Every worker hosts the slice twice: once plain (fp32 v2 input shards)
+  // and once with int8_input_wire negotiated (v5). Switching the plan's
+  // worker_standalone name flips the whole fan-out's wire format with no
+  // other change — same weights, same routing, same scheduler.
+  dist::MasterNode master(cfg);
+  std::vector<std::unique_ptr<dist::WorkerNode>> workers;
+  for (std::int64_t i = 0; i < num_workers; ++i) {
+    auto [master_end, worker_end] = make_pair();
+    workers.push_back(std::make_unique<dist::WorkerNode>(
+        "w" + std::to_string(i), cfg, std::move(worker_end)));
+    workers.back()->Start();
+    master.AttachWorker(std::move(master_end));
+    auto bp_fp32 = dist::ModelBlueprint::Standalone(cfg, range.range.width());
+    auto bp_int8 = bp_fp32;
+    bp_int8.quant.int8_input_wire = true;
+    master
+        .DeployToWorker("slice_fp32", bp_fp32, nn::ExtractState(slice), 5000ms,
+                        static_cast<std::size_t>(i))
+        .ThrowIfError();
+    master
+        .DeployToWorker("slice_int8", bp_int8, nn::ExtractState(slice), 5000ms,
+                        static_cast<std::size_t>(i))
+        .ThrowIfError();
+  }
+  master.DeployLocal("slice", fluid.ExtractSubnet(range));
+  master.SetMode(sim::Mode::kHighThroughput);
+
+  dist::BatchOptions bopts;
+  bopts.max_batch = static_cast<std::size_t>(max_batch);
+  bopts.max_delay = std::chrono::milliseconds(max_delay_ms);
+  master.StartServing(bopts);
+
+  struct WirePhase {
+    ClosedLoopResult loop;
+    dist::WireStats wire;  // delta across the phase (incl. its warmup)
+    double reqs = 0;       // requests the delta covers
+  };
+  auto run_phase = [&](const std::string& dep) {
+    dist::Plan plan;
+    plan.master_standalone = "slice";
+    plan.worker_standalone = dep;
+    master.SetPlan(plan);
+    const dist::WireStats w0 = master.wire_stats();
+    WirePhase phase;
+    phase.loop = RunClosedLoop(
+        static_cast<int>(clients), static_cast<int>(per_client),
+        [&](const core::Tensor& x) {
+          return master.InferAsync(PooledInput(x), 30000ms).get();
+        });
+    const dist::WireStats w1 = master.wire_stats();
+    phase.wire.bytes_sent = w1.bytes_sent - w0.bytes_sent;
+    phase.wire.bytes_recv = w1.bytes_recv - w0.bytes_recv;
+    phase.wire.frames_sent = w1.frames_sent - w0.frames_sent;
+    phase.wire.frames_recv = w1.frames_recv - w0.frames_recv;
+    phase.wire.batched_sends = w1.batched_sends - w0.batched_sends;
+    // RunClosedLoop's warmup pass also crossed the wire.
+    phase.reqs = static_cast<double>(clients) *
+                 (static_cast<double>(per_client) +
+                  std::min<double>(static_cast<double>(per_client), 8.0));
+    return phase;
+  };
+
+  const WirePhase fp32 = run_phase("slice_fp32");
+  std::printf("fp32  input shards (v2): %8.1f req/s   %.0f wire B/req "
+              "(%lld frames, %lld batched sends)\n",
+              fp32.loop.rps,
+              static_cast<double>(fp32.wire.bytes_sent) / fp32.reqs,
+              static_cast<long long>(fp32.wire.frames_sent),
+              static_cast<long long>(fp32.wire.batched_sends));
+
+  const WirePhase int8 = run_phase("slice_int8");
+  const auto stats = master.stats();
+  master.StopServing();
+  std::printf("int8  input shards (v5): %8.1f req/s   %.0f wire B/req "
+              "(%lld frames, %lld batched sends, %lld v5 frames)\n",
+              int8.loop.rps,
+              static_cast<double>(int8.wire.bytes_sent) / int8.reqs,
+              static_cast<long long>(int8.wire.frames_sent),
+              static_cast<long long>(int8.wire.batched_sends),
+              static_cast<long long>(stats.quant_input_frames));
+  std::printf("speedup: %.2fx req/s, %.2fx fewer fan-out bytes/req\n",
+              int8.loop.rps / fp32.loop.rps,
+              (static_cast<double>(fp32.wire.bytes_sent) / fp32.reqs) /
+                  (static_cast<double>(int8.wire.bytes_sent) / int8.reqs));
+  if (stats.quant_input_frames <= 0) {
+    std::fprintf(stderr, "error: int8 phase shipped no v5 input shards\n");
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        " \"mode\": \"wire\",\n"
+        " \"model\": \"%s\",\n"
+        " \"clients\": %lld,\n"
+        " \"per_client\": %lld,\n"
+        " \"workers\": %lld,\n"
+        " \"max_batch\": %lld,\n"
+        " \"link_ms\": %.1f,\n"
+        " \"bandwidth_mbps\": %.1f,\n"
+        " \"top1_agreement\": %.4f,\n"
+        " \"top1_delta_pp\": %.2f,\n"
+        " \"fp32_req_per_s\": %.1f,\n"
+        " \"int8_req_per_s\": %.1f,\n"
+        " \"speedup\": %.2f,\n"
+        " \"quant_input_frames\": %lld,\n"
+        " \"fp32_wire\": {\"bytes_sent\": %lld, \"bytes_recv\": %lld, "
+        "\"frames_sent\": %lld, \"batched_sends\": %lld, "
+        "\"bytes_sent_per_req\": %.0f},\n"
+        " \"int8_wire\": {\"bytes_sent\": %lld, \"bytes_recv\": %lld, "
+        "\"frames_sent\": %lld, \"batched_sends\": %lld, "
+        "\"bytes_sent_per_req\": %.0f}\n"
+        "}\n",
+        model.c_str(), static_cast<long long>(clients),
+        static_cast<long long>(per_client),
+        static_cast<long long>(num_workers), static_cast<long long>(max_batch),
+        link_ms, bandwidth_mbps, top1_agreement,
+        (1.0 - top1_agreement) * 100.0, fp32.loop.rps, int8.loop.rps,
+        int8.loop.rps / fp32.loop.rps,
+        static_cast<long long>(stats.quant_input_frames),
+        static_cast<long long>(fp32.wire.bytes_sent),
+        static_cast<long long>(fp32.wire.bytes_recv),
+        static_cast<long long>(fp32.wire.frames_sent),
+        static_cast<long long>(fp32.wire.batched_sends),
+        static_cast<double>(fp32.wire.bytes_sent) / fp32.reqs,
+        static_cast<long long>(int8.wire.bytes_sent),
+        static_cast<long long>(int8.wire.bytes_recv),
+        static_cast<long long>(int8.wire.frames_sent),
+        static_cast<long long>(int8.wire.batched_sends),
+        static_cast<double>(int8.wire.bytes_sent) / int8.reqs);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  for (auto& w : workers) w->Stop();
+  return 0;
+}
+
 int RunClosedLoopServing(int argc, char** argv) {
   // key=value knobs (same convention as HarnessOptions).
   std::int64_t clients = 8, per_client = 200, num_workers = 2;
@@ -1050,6 +1291,9 @@ int main(int argc, char** argv) {
     }
     if (std::string(argv[i]) == "closed_loop=1") {
       return RunClosedLoopServing(argc, argv);
+    }
+    if (std::string(argv[i]) == "wire=1") {
+      return RunWireServing(argc, argv);
     }
   }
   const auto opts = bench::HarnessOptions::FromArgs(argc, argv);

@@ -9,8 +9,12 @@
 //
 // The HA pipeline back half is deployed with int8_wire negotiated, so the
 // quiet phase serves QUANTIZED (wire v3) cut-activation frames over real
-// TCP while the standalone slices keep speaking fp32 v2 — this example
-// doubles as CI's quantized-HA smoke run.
+// TCP while the standalone slices fan out with int8_input_wire negotiated
+// and ship QUANTIZED INPUT shards (wire v5) in the burst phase. A
+// multi-sample HA batch additionally groups its cut frames into one
+// vectored SendBatch (a single writev on the socket). This example doubles
+// as CI's wire data-plane smoke run: it exits non-zero if no v3 cut frame,
+// no v5 input frame, or no batched send flowed over the real sockets.
 
 #include <cstdio>
 #include <vector>
@@ -68,10 +72,12 @@ int main() {
   // the lower-50 % plus the combined pipeline front; worker 0 also hosts
   // the pipeline back for HA mode.
   nn::Sequential upper = fluid.ExtractSubnet(fluid.family().WorkerResident());
+  auto upper_bp = dist::ModelBlueprint::Standalone(cfg, 8);
+  upper_bp.quant.int8_input_wire = true;  // HT input shards cross TCP as v5
   for (std::size_t i = 0; i < kWorkers; ++i) {
     master
-        .DeployToWorker("upper50", dist::ModelBlueprint::Standalone(cfg, 8),
-                        nn::ExtractState(upper), 2000ms, i)
+        .DeployToWorker("upper50", upper_bp, nn::ExtractState(upper), 2000ms,
+                        i)
         .ThrowIfError();
   }
   master.DeployLocal("lower50",
@@ -86,6 +92,19 @@ int main() {
                       0)
       .ThrowIfError();
   master.SetPlan({"lower50", "upper50", "front", "back", 0});
+
+  // The serve core's HA chunk/window knobs live in BatchOptions; a
+  // start/stop cycle pins them without leaving the scheduler running, so
+  // the inline (sync) Infer path below runs a 16-frame window. With that,
+  // a 16-sample HA batch spans two 8-sample cut frames which the pipeline
+  // flushes as ONE vectored SendBatch — a single writev on the socket.
+  {
+    dist::BatchOptions bopts;
+    bopts.ha_chunk = 8;
+    bopts.ha_window = 16;
+    master.StartServing(bopts);
+    master.StopServing();
+  }
 
   dist::Orchestrator orchestrator(
       master, {.ha_capacity = 11.1, .ht_capacity = 28.3 * 1.5});
@@ -121,6 +140,22 @@ int main() {
       if (core::ArgmaxRows(reply->logits)[0] == test.Label(idx)) ++correct;
     }
     total += batch;
+    // While the full fleet is up in HA, one multi-sample request: its 16
+    // samples span two cut frames, shipped as a single batched (vectored)
+    // send over the socket — the data plane CI asserts on below.
+    if (report.mode == sim::Mode::kHighAccuracy &&
+        report.alive_workers == kWorkers) {
+      const data::Dataset stacked = test.Slice(0, 16);
+      auto reply = master.Infer(stacked.images, 2000ms);
+      reply.status().ThrowIfError();
+      const auto preds = core::ArgmaxRows(reply->logits);
+      served[reply->served_by] +=
+          static_cast<int>(preds.size());
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i] == stacked.labels[i]) ++correct;
+      }
+      total += static_cast<std::int64_t>(preds.size());
+    }
     std::printf("\n[phase] demand %.0f img/s — %s\n", phase.demand,
                 phase.note);
     std::printf("        mode %s, %zu/%zu workers alive%s\n",
@@ -132,19 +167,40 @@ int main() {
     }
   }
 
+  const dist::WireStats wire = master.wire_stats();
   std::printf("\n[result] %lld/%lld correct across the whole degradation "
               "sequence; %lld failovers, %lld orchestrator ticks, %lld mode "
-              "switches, %lld int8 cut frames over TCP\n",
+              "switches, %lld int8 cut frames + %lld int8 input frames over "
+              "TCP\n",
               static_cast<long long>(correct), static_cast<long long>(total),
               static_cast<long long>(master.stats().failovers),
               static_cast<long long>(orchestrator.ticks()),
               static_cast<long long>(orchestrator.controller().switches()),
-              static_cast<long long>(master.stats().quant_cut_frames));
+              static_cast<long long>(master.stats().quant_cut_frames),
+              static_cast<long long>(master.stats().quant_input_frames));
+  std::printf("[result] wire: %lld B sent / %lld B recv across %lld frames, "
+              "%lld batched sends\n",
+              static_cast<long long>(wire.bytes_sent),
+              static_cast<long long>(wire.bytes_recv),
+              static_cast<long long>(wire.frames_sent),
+              static_cast<long long>(wire.batched_sends));
   for (auto& w : workers) w->Stop();
   if (master.stats().quant_cut_frames <= 0) {
     std::fprintf(stderr,
                  "error: HA phase never shipped a quantized cut frame — the "
                  "int8_wire negotiation is broken\n");
+    return 1;
+  }
+  if (master.stats().quant_input_frames <= 0) {
+    std::fprintf(stderr,
+                 "error: HT fan-out never shipped a quantized input shard "
+                 "(wire v5) — the int8_input_wire negotiation is broken\n");
+    return 1;
+  }
+  if (wire.batched_sends <= 0) {
+    std::fprintf(stderr,
+                 "error: no batched (vectored) send flowed over TCP — the "
+                 "pipeline's SendBatch grouping is broken\n");
     return 1;
   }
   return 0;

@@ -15,6 +15,11 @@
 #                            per-priority-class latency percentiles plus
 #                            deadline-miss/preemption counters
 #                            (fig2_throughput mixed=1)
+#                          wire        — HT fan-out data plane: fp32 (v2)
+#                            vs int8 input shards (wire v5) on one fleet,
+#                            with per-phase wire byte/frame counters and
+#                            the input quantization's top-1 fidelity
+#                            (fig2_throughput wire=1)
 #                          int8_accuracy — top-1 of the int8 deployment vs
 #                            its fp32 source (fig2_accuracy quant_json=…;
 #                            skipped when FLUID_BENCH_SKIP_ACCURACY=1 — it
@@ -34,6 +39,23 @@ build_dir="${repo_root}/build"
 # compile) instead of silently recording nothing — or worse, silently
 # benchmarking a stale binary from an earlier build.
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+
+# Verify the tree really configured Release before recording any rate: a
+# stale cache (or a Debug override on the command line) must fail loudly,
+# not silently stamp debug-build numbers into the tracked baselines.
+# Note: google-benchmark's context.library_build_type describes the
+# SYSTEM libbenchmark package, not this library — the authoritative field
+# for our code is the cmake_build_type recorded below from this check.
+configured_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "${build_dir}/CMakeCache.txt" | head -n1)"
+if [[ "${configured_type}" != "Release" ]]; then
+  echo "error: build tree at ${build_dir} is configured as" \
+       "'${configured_type:-<unset>}', not Release." >&2
+  echo "       Refusing to record benchmark numbers from a non-Release" \
+       "build; delete ${build_dir}/CMakeCache.txt and rerun." >&2
+  exit 1
+fi
+
 if ! cmake --build "${build_dir}" -j "$(nproc)" --target micro_ops; then
   echo "error: building micro_ops failed." >&2
   echo "       Is google-benchmark installed? (find_package(benchmark))" >&2
@@ -56,11 +78,15 @@ FLUID_NUM_THREADS=4 "${build_dir}/micro_ops" \
 # Merge into a temp file and move into place only on success, so a failed
 # run never truncates the tracked baseline.
 merged="$(mktemp)"
-python3 - "${tmp1}" "${tmp4}" > "${merged}" <<'EOF'
+python3 - "${tmp1}" "${tmp4}" "${configured_type}" > "${merged}" <<'EOF'
 import json, sys
 one, four = (json.load(open(p)) for p in sys.argv[1:3])
+ctx = one["context"]
+# The verified build type of THIS library (context.library_build_type is
+# the system google-benchmark package's own, which we don't control).
+ctx["cmake_build_type"] = sys.argv[3]
 json.dump({
-    "context": one["context"],
+    "context": ctx,
     "threads_1": one["benchmarks"],
     "threads_4": four["benchmarks"],
 }, sys.stdout, indent=1)
@@ -74,10 +100,15 @@ if ! cmake --build "${build_dir}" -j "$(nproc)" --target fig2_throughput; then
   echo "error: building fig2_throughput failed." >&2
   exit 1
 fi
-serving_tmp="$(mktemp)" ha_tmp="$(mktemp)" acc_tmp="$(mktemp)" mixed_tmp="$(mktemp)"
-trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}"' EXIT
+serving_tmp="$(mktemp)" ha_tmp="$(mktemp)" acc_tmp="$(mktemp)" mixed_tmp="$(mktemp)" wire_tmp="$(mktemp)"
+trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}" "${wire_tmp}"' EXIT
 "${build_dir}/fig2_throughput" closed_loop=1 clients=8 per_client=100 \
   json="${serving_tmp}"
+# Wire data plane: the HT fan-out served fp32 (v2) vs int8 input shards
+# (v5) on the same fleet and link — the per-phase wire byte counters and
+# the input quantization's top-1 fidelity land in the `wire` section.
+"${build_dir}/fig2_throughput" wire=1 clients=64 per_client=50 max_batch=64 \
+  json="${wire_tmp}"
 # Quantized HA: the 12 ms / 100 Mbit/s paper link, deep cut (stage 1 —
 # the regime where the cut-activation stream saturates the serial link),
 # open-loop Poisson at 900 req/s (between the fp32 and int8 capacities,
@@ -112,10 +143,11 @@ EOF
 fi
 
 serving_merged="$(mktemp)"
-python3 - "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}" > "${serving_merged}" <<'EOF'
+python3 - "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}" "${wire_tmp}" > "${serving_merged}" <<'EOF'
 import json, sys
-closed, ha, acc, mixed = (json.load(open(p)) for p in sys.argv[1:5])
-out = {"closed_loop": closed, "ha_quant": ha, "mixed_slo": mixed}
+closed, ha, acc, mixed, wire = (json.load(open(p)) for p in sys.argv[1:6])
+out = {"closed_loop": closed, "ha_quant": ha, "mixed_slo": mixed,
+       "wire": wire}
 # Steady-state heap discipline per scenario, gathered in one place so the
 # alloc/request trajectory is tracked PR over PR next to the latencies.
 out["mem_discipline"] = {

@@ -16,6 +16,7 @@ constexpr std::uint8_t kBlueprintVersion = 1;
 constexpr std::uint8_t kBlueprintVersionV2 = 2;
 constexpr std::uint8_t kQuantInt8Wire = 1u << 0;
 constexpr std::uint8_t kQuantInt8Compute = 1u << 1;
+constexpr std::uint8_t kQuantInt8InputWire = 1u << 2;
 }  // namespace
 
 ModelBlueprint ModelBlueprint::Standalone(const slim::FluidNetConfig& config,
@@ -78,6 +79,7 @@ void ModelBlueprint::Encode(core::ByteWriter& w) const {
     std::uint8_t flags = 0;
     if (quant.int8_wire) flags |= kQuantInt8Wire;
     if (quant.int8_compute) flags |= kQuantInt8Compute;
+    if (quant.int8_input_wire) flags |= kQuantInt8InputWire;
     w.WriteU8(flags);
   }
 }
@@ -110,12 +112,14 @@ core::Status ModelBlueprint::Decode(core::ByteReader& r, ModelBlueprint& out) {
   if (version >= kBlueprintVersionV2) {
     std::uint8_t flags = 0;
     FLUID_RETURN_IF_ERROR(r.TryReadU8(flags));
-    if ((flags & ~(kQuantInt8Wire | kQuantInt8Compute)) != 0) {
+    if ((flags &
+         ~(kQuantInt8Wire | kQuantInt8Compute | kQuantInt8InputWire)) != 0) {
       return core::Status::DataLoss("ModelBlueprint: unknown quant flags " +
                                     std::to_string(flags));
     }
     bp.quant.int8_wire = (flags & kQuantInt8Wire) != 0;
     bp.quant.int8_compute = (flags & kQuantInt8Compute) != 0;
+    bp.quant.int8_input_wire = (flags & kQuantInt8InputWire) != 0;
   }
   // Bound magnitudes as well as signs: a corrupt-but-positive width must
   // be rejected here, not discovered as std::bad_alloc inside Build().

@@ -33,8 +33,14 @@ struct QuantOptions {
   /// (quant::QuantizeModel after LoadState): per-channel int8 weights +
   /// on-the-fly activation quantization.
   bool int8_compute = false;
+  /// Input shards cross the link as int8 (wire v5) for this deploy: the
+  /// master quantizes each HighThroughput fan-out shard per-frame
+  /// (absmax), the worker dequantizes before the forward — 4× fewer
+  /// bytes on the fan-out's dominant wire cost. A worker that ACKs a
+  /// deploy with this set demonstrably decodes v5 frames.
+  bool int8_input_wire = false;
 
-  bool any() const { return int8_wire || int8_compute; }
+  bool any() const { return int8_wire || int8_compute || int8_input_wire; }
 };
 
 struct ModelBlueprint {

@@ -183,6 +183,15 @@ MasterStats MasterNode::stats() const {
   return stats_;
 }
 
+WireStats MasterNode::wire_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WireStats total;
+  for (const WorkerHandle& handle : workers_) {
+    total += handle.transport->wire_stats();
+  }
+  return total;
+}
+
 SchedulerStats MasterNode::scheduler_stats() const {
   std::lock_guard<std::mutex> lock(serving_mu_);
   return scheduler_ ? scheduler_->stats() : SchedulerStats{};
@@ -306,26 +315,26 @@ bool MasterNode::ServePipelineContinuous(BatchScheduler& sched) {
   bool broken = false;   // pipeline failed / mode flipped: stop refilling
   bool drained = false;  // pool empty: serve out the window, then return
 
-  // Front-half forward + cut-activation send for one chunk. On failure
-  // the chunk's rows are still unserved — they fail over to the sharded
-  // path immediately, and `broken` bails out of the pipeline after the
-  // window drains.
-  auto ship = [&](BatchScheduler::WorkChunk&& chunk) {
-    core::Tensor storage;
-    core::Status st = core::Status::Ok();
-    std::int64_t seq = 0;
-    std::size_t shipped_to = 0;
+  // Front-half forwards + one batched cut-activation send for a group of
+  // chunks: every frame the refill gathered goes out through SendBatch as
+  // one link transaction. A chunk that cannot ship (expired budget,
+  // pipeline no longer viable) fails over to the sharded path alone; a
+  // send failure makes the whole group suspect — all of it fails over,
+  // and `broken` bails out of the pipeline after the window drains.
+  auto ship_group = [&](std::vector<BatchScheduler::WorkChunk>&& chunks) {
+    std::vector<Message> frames;
+    std::vector<Flight> flights;
+    std::vector<BatchScheduler::WorkChunk> rejected;
+    core::Status send_st = core::Status::Ok();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!HaViableLocked()) {
-        st = core::Status::Unavailable(
-            "master: pipeline no longer viable mid-stream");
-      } else if (RemainingMs(chunk.deadline).count() == 0) {
-        st = core::Status::DeadlineExceeded(
-            "master: chunk deadline exhausted before the pipeline could "
-            "ship");
-      } else {
-        const std::size_t w = shipped_to = plan_.back_worker;
+      const std::size_t w = plan_.back_worker;
+      for (BatchScheduler::WorkChunk& chunk : chunks) {
+        if (!HaViableLocked() || RemainingMs(chunk.deadline).count() == 0) {
+          rejected.push_back(std::move(chunk));
+          continue;
+        }
+        core::Tensor storage;
         const core::Tensor* stacked = StackChunk(chunk, storage);
         core::Tensor cut = local_[plan_.pipeline_front].Forward(*stacked,
                                                                false);
@@ -334,7 +343,7 @@ bool MasterNode::ServePipelineContinuous(BatchScheduler& sched) {
             FindDeploymentLocked(w, plan_.pipeline_back);
         const bool quant_cut =
             back_dep != nullptr && back_dep->quant.int8_wire;
-        seq = next_seq_++;
+        const std::int64_t seq = next_seq_++;
         workers_[w].pending.insert(seq);
         Message frame;
         if (quant_cut) {
@@ -351,23 +360,36 @@ bool MasterNode::ServePipelineContinuous(BatchScheduler& sched) {
         // class and remaining budget for per-class accounting downstream.
         frame.SetSlo(static_cast<std::uint8_t>(chunk.top),
                      RemainingMs(chunk.urgent_deadline).count());
-        st = SendLocked(w, frame);
-        RecycleMessage(std::move(frame));
-        if (st.ok()) {
-          ++stats_.batches;
-          stats_.coalesced_samples += chunk.rows;
+        frames.push_back(std::move(frame));
+        flights.push_back({seq, w, std::move(chunk)});
+      }
+      if (!frames.empty()) {
+        send_st = SendBatchLocked(
+            w, std::span<const Message>(frames.data(), frames.size()));
+        for (Message& f : frames) RecycleMessage(std::move(f));
+        if (send_st.ok()) {
+          for (const Flight& fl : flights) {
+            ++stats_.batches;
+            stats_.coalesced_samples += fl.chunk.rows;
+          }
         } else {
-          workers_[w].pending.erase(seq);
-          ++stats_.failovers;
+          for (const Flight& fl : flights) {
+            workers_[w].pending.erase(fl.seq);
+            ++stats_.failovers;
+          }
         }
       }
     }
-    if (!st.ok()) {
+    if (send_st.ok()) {
+      for (Flight& fl : flights) inflight.push_back(std::move(fl));
+    } else {
+      broken = true;
+      for (Flight& fl : flights) ServeChunkSharded(sched, fl.chunk);
+    }
+    for (BatchScheduler::WorkChunk& chunk : rejected) {
       broken = true;
       ServeChunkSharded(sched, chunk);
-      return;
     }
-    inflight.push_back({seq, shipped_to, std::move(chunk)});
   };
 
   // Await the oldest in-flight frame and resolve its rows; a bad reply
@@ -431,17 +453,21 @@ bool MasterNode::ServePipelineContinuous(BatchScheduler& sched) {
   for (;;) {
     // Refill the window: non-blocking grabs while frames are in flight (a
     // refill must not stall the link), a short blocking grab only when
-    // the link sits idle.
-    while (!broken && !drained && inflight.size() < window) {
+    // the link sits idle. Everything gathered in one refill ships as one
+    // batched send — under backlog the whole window goes out together.
+    std::vector<BatchScheduler::WorkChunk> fresh;
+    while (!broken && !drained && inflight.size() + fresh.size() < window) {
       BatchScheduler::WorkChunk chunk;
-      const auto wait = inflight.empty() ? std::chrono::milliseconds(1)
-                                         : std::chrono::milliseconds(0);
+      const auto wait = (inflight.empty() && fresh.empty())
+                            ? std::chrono::milliseconds(1)
+                            : std::chrono::milliseconds(0);
       if (!sched.NextChunk(quantum, wait, chunk)) {
         drained = true;
         break;
       }
-      ship(std::move(chunk));
+      fresh.push_back(std::move(chunk));
     }
+    if (!fresh.empty()) ship_group(std::move(fresh));
     if (broken) {
       abandon_window();
       return true;
@@ -634,7 +660,33 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
   };
 
   // Windowed send/recv queue: front compute of chunk k+1 overlaps the link
-  // transfer and the worker's back compute of chunk k.
+  // transfer and the worker's back compute of chunk k. Frames group into
+  // half-window batches shipped through one SendBatch — one syscall and
+  // one link transaction per group — while the in-flight cap stays
+  // `window`: the link still sees at most `window` unacknowledged frames.
+  const std::size_t group_max = std::max<std::size_t>(1, window / 2);
+  std::vector<Message> group;
+  std::vector<InFlight> group_fl;
+  auto flush_group = [&]() -> core::Status {
+    if (group.empty()) return core::Status::Ok();
+    auto st = SendBatchLocked(
+        w, std::span<const Message>(group.data(), group.size()));
+    // The batch encoded straight out of the frames' payload storage; the
+    // staging cycles back for the next group either way.
+    for (Message& f : group) RecycleMessage(std::move(f));
+    group.clear();
+    if (!st.ok()) {
+      // All-or-prefix: the whole group is suspect, none of it may be
+      // awaited. Deregister before the caller abandons the older window.
+      for (const InFlight& fl : group_fl) workers_[w].pending.erase(fl.seq);
+      group_fl.clear();
+      return st;
+    }
+    inflight.insert(inflight.end(), group_fl.begin(), group_fl.end());
+    group_fl.clear();
+    return core::Status::Ok();
+  };
+
   for (std::int64_t row0 = 0; row0 < n; row0 += chunk) {
     const std::int64_t rows = std::min(chunk, n - row0);
     core::Tensor cut =
@@ -654,17 +706,19 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
       frame = Message::WithBatch(MsgType::kInfer, seq, plan_.pipeline_back,
                                  std::move(cut));
     }
-    auto st = SendLocked(w, frame);
-    // Send encoded the frame into its own (pooled) wire buffer; the
-    // payload staging cycles back for the next chunk.
-    RecycleMessage(std::move(frame));
-    if (!st.ok()) {
-      abandon_inflight();
-      return st;
+    group.push_back(std::move(frame));
+    group_fl.push_back({seq, row0, rows});
+    if (group.size() >= group_max || row0 + rows >= n) {
+      if (auto st = flush_group(); !st.ok()) {
+        abandon_inflight();
+        return st;
+      }
     }
-    inflight.push_back({seq, row0, rows});
     while (inflight.size() >= window) {
       if (auto st2 = await_oldest(); !st2.ok()) {
+        // Unsent group frames must not leave their seqs pending either.
+        for (Message& f : group) RecycleMessage(std::move(f));
+        for (const InFlight& fl : group_fl) workers_[w].pending.erase(fl.seq);
         abandon_inflight();
         return st2;
       }
@@ -804,9 +858,30 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
     }
     shard.seq = next_seq_++;
     workers_[w].pending.insert(shard.seq);
-    Message frame = Message::WithBatch(MsgType::kInfer, shard.seq,
-                                       plan_.worker_standalone,
-                                       shard_input(shard));
+    // The negotiated wire format of this worker's input shards: a
+    // deployment ACKed with int8_input_wire speaks wire v5, so the shard
+    // quantizes per-frame (absmax) and crosses the link at 4× fewer
+    // bytes — the HT fan-out's dominant wire cost. Workers without the
+    // option keep receiving fp32 v2 frames, byte-identical to before.
+    const Deployment* dep = FindDeploymentLocked(w, plan_.worker_standalone);
+    Message frame;
+    if (dep != nullptr && dep->quant.int8_input_wire) {
+      quant::QuantizedTensor q;
+      if (shard.rows == n) {
+        q = quant::QuantizeTensor(input);  // whole batch: no staging copy
+      } else {
+        core::Tensor slice = core::SliceAxis0(input, shard.row0, shard.rows);
+        q = quant::QuantizeTensor(slice);
+        core::RecycleTensor(std::move(slice));
+      }
+      frame = Message::WithQuantInput(MsgType::kInfer, shard.seq,
+                                      plan_.worker_standalone, std::move(q));
+      ++stats_.quant_input_frames;
+    } else {
+      frame = Message::WithBatch(MsgType::kInfer, shard.seq,
+                                 plan_.worker_standalone,
+                                 shard_input(shard));
+    }
     if (slo != nullptr) {
       // Serving a scheduler chunk: the frame carries the chunk's most
       // urgent class + remaining budget (wire v4) for per-class
@@ -984,6 +1059,13 @@ void MasterNode::MarkDeadLocked(std::size_t w, const core::Status& why) {
 
 core::Status MasterNode::SendLocked(std::size_t w, const Message& msg) {
   auto st = workers_[w].transport->Send(msg);
+  if (!st.ok()) MarkDeadLocked(w, st);
+  return st;
+}
+
+core::Status MasterNode::SendBatchLocked(std::size_t w,
+                                         std::span<const Message> msgs) {
+  auto st = workers_[w].transport->SendBatch(msgs);
   if (!st.ok()) MarkDeadLocked(w, st);
   return st;
 }

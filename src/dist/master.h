@@ -86,6 +86,7 @@ struct MasterStats {
   std::int64_t stale_replies = 0;    // replies dropped: seq matched nothing
   std::int64_t reattaches = 0;       // workers revived via ReattachWorker
   std::int64_t quant_cut_frames = 0; // HA cut frames shipped int8 (wire v3)
+  std::int64_t quant_input_frames = 0;  // HT shards shipped int8 (wire v5)
 };
 
 class MasterNode {
@@ -163,6 +164,9 @@ class MasterNode {
       std::chrono::milliseconds timeout = std::chrono::milliseconds(250));
 
   MasterStats stats() const;
+  /// Wire byte/frame counters summed over every attached worker link —
+  /// the master-side half of the serving fleet's wire cost.
+  WireStats wire_stats() const;
   /// Queue/coalescing counters for the control plane (zeros when the
   /// scheduler is not running).
   SchedulerStats scheduler_stats() const;
@@ -213,6 +217,10 @@ class MasterNode {
   core::StatusOr<Message> RpcLocked(std::size_t w, Message msg,
                                     std::chrono::milliseconds timeout);
   core::Status SendLocked(std::size_t w, const Message& msg);
+  /// Ship a group of frames to one worker as a single link transaction
+  /// (Transport::SendBatch). Same failure semantics as SendLocked: any
+  /// error marks the worker dead and the whole group is suspect.
+  core::Status SendBatchLocked(std::size_t w, std::span<const Message> msgs);
   /// Wait for the reply correlated to `seq`; replies for other pending
   /// seqs are buffered, replies matching nothing are dropped and logged.
   core::StatusOr<Message> AwaitReplyLocked(

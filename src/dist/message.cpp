@@ -12,11 +12,27 @@ constexpr std::uint32_t kMagic = kFrameMagic;
 // [u8 has_qtensor][qtensor?] — emitted only when a quantized payload is
 // present, so fp32 frames stay byte-identical to v2. v4: trailing
 // [u8 priority][i64 slo_ms] — emitted only when an SLO is attached.
+// v5: trailing [u8 input_quant] — the qpayload is a quantized input
+// shard; a v5 body always carries the v3 flag and the v4 SLO block
+// (slo_ms = -1 legal, meaning "no SLO").
 constexpr std::uint8_t kVersionV1 = 1;
 constexpr std::uint8_t kVersion = 2;
 constexpr std::uint8_t kVersionV3 = 3;
 constexpr std::uint8_t kVersionV4 = 4;
+constexpr std::uint8_t kVersionV5 = 5;
+static_assert(kVersionV5 == kMaxWireVersion,
+              "message.h kMaxWireVersion drifted from the codec");
 constexpr std::uint8_t kMaxType = static_cast<std::uint8_t>(MsgType::kHeartbeat);
+
+// The one version-selection rule both encoders and EncodedSize share:
+// each optional trailing block forces the version that introduced it,
+// so frames without a feature stay byte-identical to older encoders.
+std::uint8_t WireVersion(const Message& msg) {
+  if (msg.input_quant) return kVersionV5;
+  if (msg.has_slo()) return kVersionV4;
+  if (msg.has_qpayload()) return kVersionV3;
+  return kVersion;
+}
 
 }  // namespace
 
@@ -65,6 +81,13 @@ Message Message::WithQuantBatch(MsgType type, std::int64_t seq,
   return m;
 }
 
+Message Message::WithQuantInput(MsgType type, std::int64_t seq,
+                                std::string tag, quant::QuantizedTensor q) {
+  Message m = WithQuantBatch(type, seq, std::move(tag), std::move(q));
+  m.input_quant = true;
+  return m;
+}
+
 Message Message::HeaderOnly(MsgType type, std::int64_t seq, std::string tag) {
   Message m;
   m.type = type;
@@ -86,12 +109,12 @@ void EncodeMessageInto(const Message& msg, std::vector<std::uint8_t>& out) {
   // peer's stream reader.
   FLUID_CHECK_MSG(body_len < (1ll << 32),
                   "EncodeMessage: frame body exceeds the u32 length prefix");
+  FLUID_CHECK_MSG(!msg.input_quant || msg.has_qpayload(),
+                  "EncodeMessage: input_quant set without a quantized payload");
   core::ByteWriter w(std::move(out));
   w.WriteU32(kMagic);
   w.WriteU32(static_cast<std::uint32_t>(body_len));
-  const std::uint8_t version = msg.has_slo() ? kVersionV4
-                               : msg.has_qpayload() ? kVersionV3
-                                                    : kVersion;
+  const std::uint8_t version = WireVersion(msg);
   w.WriteU8(version);
   w.WriteU8(static_cast<std::uint8_t>(msg.type));
   w.WriteI64(msg.seq);
@@ -107,8 +130,13 @@ void EncodeMessageInto(const Message& msg, std::vector<std::uint8_t>& out) {
     if (msg.has_qpayload()) msg.qpayload.Encode(w);
   }
   if (version >= kVersionV4) {
+    // v5 bodies write the block unconditionally (slo_ms = -1 when unset);
+    // a v4 body only exists because has_slo() held.
     w.WriteU8(msg.priority);
     w.WriteI64(msg.slo_ms);
+  }
+  if (version >= kVersionV5) {
+    w.WriteU8(1);
   }
   out = w.TakeBuffer();
   FLUID_CHECK_MSG(static_cast<std::int64_t>(out.size()) == total,
@@ -119,6 +147,82 @@ std::vector<std::uint8_t> EncodeMessage(const Message& msg) {
   std::vector<std::uint8_t> out;
   EncodeMessageInto(msg, out);
   return out;
+}
+
+std::int64_t EncodeMessageScatter(const Message& msg, core::ByteWriter& scaffold,
+                                  std::vector<WireSegment>& segments) {
+  // Mirrors EncodeMessageInto field for field — the trailing size CHECK
+  // keeps the two encoders from drifting — but routes the two bulk blocks
+  // (fp32 payload bytes, int8 qpayload bytes) around the scaffold: they
+  // are referenced in place, never copied. The scaffold may already hold
+  // earlier frames of the same batch; segments carry offsets into it, so
+  // reallocation while it grows is harmless.
+  const std::int64_t total = EncodedSize(msg);
+  const std::int64_t body_len = total - 8;
+  FLUID_CHECK_MSG(body_len < (1ll << 32),
+                  "EncodeMessage: frame body exceeds the u32 length prefix");
+  FLUID_CHECK_MSG(!msg.input_quant || msg.has_qpayload(),
+                  "EncodeMessage: input_quant set without a quantized payload");
+  std::size_t run_start = scaffold.size();
+  std::int64_t emitted = 0;
+  // Close the current scaffold run (if non-empty) as one segment.
+  auto flush_scaffold = [&] {
+    if (scaffold.size() > run_start) {
+      segments.push_back({run_start, nullptr, scaffold.size() - run_start});
+      emitted += static_cast<std::int64_t>(scaffold.size() - run_start);
+    }
+    run_start = scaffold.size();
+  };
+  auto bulk = [&](const void* data, std::size_t size) {
+    flush_scaffold();
+    if (size == 0) return;
+    segments.push_back(
+        {0, static_cast<const std::uint8_t*>(data), size});
+    emitted += static_cast<std::int64_t>(size);
+  };
+
+  scaffold.WriteU32(kMagic);
+  scaffold.WriteU32(static_cast<std::uint32_t>(body_len));
+  const std::uint8_t version = WireVersion(msg);
+  scaffold.WriteU8(version);
+  scaffold.WriteU8(static_cast<std::uint8_t>(msg.type));
+  scaffold.WriteI64(msg.seq);
+  scaffold.WriteI64(msg.batch);
+  scaffold.WriteString(msg.tag);
+  scaffold.WriteU8(msg.has_payload() ? 1 : 0);
+  if (msg.has_payload()) {
+    // WriteTensor's layout: rank, dims, then WriteFloats (u64 count + raw
+    // bytes) — everything up to the raw bytes is scaffold.
+    const auto& shape = msg.payload.shape();
+    scaffold.WriteU32(static_cast<std::uint32_t>(shape.rank()));
+    for (const auto d : shape.dims()) scaffold.WriteI64(d);
+    const auto data = msg.payload.data();
+    scaffold.WriteU64(static_cast<std::uint64_t>(data.size()));
+    bulk(data.data(), data.size() * sizeof(float));
+  }
+  if (version >= kVersionV3) {
+    scaffold.WriteU8(msg.has_qpayload() ? 1 : 0);
+    if (msg.has_qpayload()) {
+      // QuantizedTensor::Encode's layout: scale, rank, dims, then
+      // WriteBytes (u64 length + raw int8 bytes).
+      scaffold.WriteF32(msg.qpayload.scale);
+      scaffold.WriteU32(static_cast<std::uint32_t>(msg.qpayload.shape.rank()));
+      for (const auto d : msg.qpayload.shape.dims()) scaffold.WriteI64(d);
+      scaffold.WriteU64(static_cast<std::uint64_t>(msg.qpayload.data.size()));
+      bulk(msg.qpayload.data.data(), msg.qpayload.data.size());
+    }
+  }
+  if (version >= kVersionV4) {
+    scaffold.WriteU8(msg.priority);
+    scaffold.WriteI64(msg.slo_ms);
+  }
+  if (version >= kVersionV5) {
+    scaffold.WriteU8(1);
+  }
+  flush_scaffold();
+  FLUID_CHECK_MSG(emitted == total,
+                  "EncodeMessageScatter: encoder drifted from EncodedSize");
+  return total;
 }
 
 void RecycleMessage(Message&& msg) {
@@ -141,7 +245,7 @@ core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out) {
 
   std::uint8_t version = 0, type = 0, has_tensor = 0;
   FLUID_RETURN_IF_ERROR(r.TryReadU8(version));
-  if (version < kVersionV1 || version > kVersionV4) {
+  if (version < kVersionV1 || version > kVersionV5) {
     return core::Status::DataLoss("Message: unsupported version " +
                                   std::to_string(version));
   }
@@ -172,15 +276,32 @@ core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out) {
   if (version >= kVersionV4) {
     FLUID_RETURN_IF_ERROR(r.TryReadU8(msg.priority));
     FLUID_RETURN_IF_ERROR(r.TryReadI64(msg.slo_ms));
-    if (msg.slo_ms < 0) {
-      return core::Status::DataLoss("Message: v4 frame with negative slo_ms");
+    // A v4 body only exists because an SLO was attached, so a negative
+    // budget is corruption; a v5 body carries the block unconditionally
+    // and uses exactly -1 for "no SLO".
+    const std::int64_t floor = version >= kVersionV5 ? -1 : 0;
+    if (msg.slo_ms < floor) {
+      return core::Status::DataLoss("Message: frame with negative slo_ms");
     }
+  }
+  if (version >= kVersionV5) {
+    std::uint8_t input_quant = 0;
+    FLUID_RETURN_IF_ERROR(r.TryReadU8(input_quant));
+    if (input_quant > 1) {
+      return core::Status::DataLoss("Message: bogus input_quant marker");
+    }
+    if (input_quant != 0 && !msg.has_qpayload()) {
+      return core::Status::DataLoss(
+          "Message: input_quant set without a quantized payload");
+    }
+    msg.input_quant = input_quant != 0;
   }
   out = std::move(msg);
   return core::Status::Ok();
 }
 
 std::int64_t EncodedSize(const Message& msg) {
+  const std::uint8_t version = WireVersion(msg);
   // frame header (magic + body_len) + fixed body fields (incl. i64 batch).
   std::int64_t n = 4 + 4 + 1 + 1 + 8 + 8 + 4 +
                    static_cast<std::int64_t>(msg.tag.size()) + 1;
@@ -188,16 +309,17 @@ std::int64_t EncodedSize(const Message& msg) {
     // rank + dims + float count + data.
     n += 4 + 8 * msg.payload.shape().rank() + 8 + 4 * msg.payload.numel();
   }
-  if (msg.has_qpayload()) {
-    // v3 trailing has_qtensor flag + the quantized block.
-    n += 1 + quant::QuantizedWireBytes(msg.qpayload.shape.rank(),
-                                       msg.qpayload.numel());
+  if (version >= kVersionV3) {
+    // The has_qtensor flag every v3+ body carries, plus the quantized
+    // block when present.
+    n += 1;
+    if (msg.has_qpayload()) {
+      n += quant::QuantizedWireBytes(msg.qpayload.shape.rank(),
+                                     msg.qpayload.numel());
+    }
   }
-  if (msg.has_slo()) {
-    // v4 SLO block, plus the has_qtensor flag a v3-less v4 body still
-    // carries.
-    n += (msg.has_qpayload() ? 0 : 1) + 1 + 8;
-  }
+  if (version >= kVersionV4) n += 1 + 8;  // SLO block
+  if (version >= kVersionV5) n += 1;      // input_quant marker
   return n;
 }
 

@@ -33,6 +33,16 @@
 // set, so every frame without one is byte-identical to what v2/v3 peers
 // produced and expect.
 //
+// Version 5 adds a trailing [u8 input_quant] marker: the quantized
+// payload is a quantized *input shard* (the HighThroughput fan-out's
+// client tensors), not cut activations. A v5 body always carries the v3
+// has_qtensor flag and the v4 SLO block (slo_ms = -1 when no SLO is
+// attached — legal for v5 only), then the marker. The encoder emits
+// version 5 only when the marker is set, so every frame without a
+// quantized input stays byte-identical to what a v4 encoder produces;
+// sending v5 frames is negotiated per-deploy via the blueprint's
+// `int8_input_wire` option exactly like v3's cut-activation frames.
+//
 // Decode never throws: corrupt or truncated frames come back as
 // Status::DataLoss so a transport can drop the connection instead of
 // unwinding through the serving loop.
@@ -43,6 +53,7 @@
 #include <vector>
 
 #include "core/error.h"
+#include "core/serialize.h"
 #include "core/tensor.h"
 #include "quant/quantize.h"
 
@@ -56,6 +67,10 @@ inline constexpr std::uint32_t kFrameMagic = 0x534D4C46;
 /// receivers alike (deploy payloads are ~MBs at most; anything larger is
 /// a bug or a corrupt length field).
 inline constexpr std::uint32_t kMaxFrameBody = 64u << 20;  // 64 MiB
+
+/// Highest wire version this codec understands. Exported so the TCP
+/// streaming decoder rejects exactly the versions DecodeMessage would.
+inline constexpr std::uint8_t kMaxWireVersion = 5;
 
 /// Frame type. Values are wire-stable; append only.
 enum class MsgType : std::uint8_t {
@@ -85,6 +100,10 @@ struct Message {
   /// slo_ms < 0 means "no SLO attached" and the frame encodes ≤ v3.
   std::uint8_t priority = 0;
   std::int64_t slo_ms = -1;
+  /// Input-shard marker (v5): the qpayload is a quantized *input* (HT
+  /// fan-out shard), not cut activations. Forces wire version 5; requires
+  /// a quantized payload.
+  bool input_quant = false;
 
   /// Note: a zero-element tensor counts as "no payload" — its shape is not
   /// preserved on the wire. Frames that need data ship non-empty tensors.
@@ -110,6 +129,11 @@ struct Message {
   /// to peers that negotiated quant at deploy time.
   static Message WithQuantBatch(MsgType type, std::int64_t seq,
                                 std::string tag, quant::QuantizedTensor q);
+  /// A kInfer frame carrying a quantized *input shard* (HighThroughput
+  /// fan-out). Encodes as wire version 5 — send only to peers whose
+  /// deployment negotiated `int8_input_wire`.
+  static Message WithQuantInput(MsgType type, std::int64_t seq,
+                                std::string tag, quant::QuantizedTensor q);
   /// Header-only frame (kAck, kHeartbeat, kError, ...).
   static Message HeaderOnly(MsgType type, std::int64_t seq,
                             std::string tag = {});
@@ -133,6 +157,27 @@ void RecycleMessage(Message&& msg);
 /// Parse one complete frame. Returns DataLoss on bad magic / truncation /
 /// unknown version, InvalidArgument on an out-of-range message type.
 core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out);
+
+/// One scatter-gather piece of an encoded frame: either a window of the
+/// scaffold buffer (all the small framing/header fields, `bulk` null) or
+/// a window straight into the message's own bulk storage (fp32 payload
+/// bytes, int8 qpayload bytes). Concatenating the pieces in order yields
+/// exactly EncodeMessage(msg).
+struct WireSegment {
+  std::size_t scaffold_off = 0;      // valid when bulk == nullptr
+  const std::uint8_t* bulk = nullptr;
+  std::size_t size = 0;
+};
+
+/// Encode `msg` without copying its bulk bytes: the non-bulk fields are
+/// appended to `scaffold` (which may already hold earlier frames — the
+/// segments reference it by offset, so growth never invalidates them) and
+/// the segment list gains ≤ 5 entries describing the full frame in wire
+/// order. Returns the frame's total size (== EncodedSize(msg)). This is
+/// the vectored-send path: a transport turns the segments into iovecs and
+/// ships tensor storage directly, no frame-buffer memcpy.
+std::int64_t EncodeMessageScatter(const Message& msg, core::ByteWriter& scaffold,
+                                  std::vector<WireSegment>& segments);
 
 /// Bytes EncodeMessage would produce for `msg` without building the buffer
 /// (header + body). Used by the comm-cost accounting in sim/ and bench/.

@@ -30,6 +30,7 @@ struct PairState {
   std::deque<Frame> queue[2];  // queue[i]: frames for end i
   SteadyClock::time_point link_free[2] = {};  // direction busy until
   bool end_closed[2] = {false, false};
+  WireStats stats[2];  // per-endpoint counters, guarded by mu
   // Link model (zero-cost for the plain pair).
   std::chrono::duration<double> latency{0.0};
   double bandwidth_bytes_per_s = 0.0;  // <= 0: infinite
@@ -43,39 +44,70 @@ class InMemoryTransport final : public Transport {
   ~InMemoryTransport() override { Close(); }
 
   core::Status Send(const Message& msg) override {
-    // Pooled frame buffer, encoded before taking the pair lock. The
+    return SendBatch(std::span<const Message>(&msg, 1));
+  }
+
+  core::Status SendBatch(std::span<const Message> msgs) override {
+    if (msgs.empty()) return core::Status::Ok();
+    // Pooled frame buffers, all encoded before taking the pair lock. The
     // matching PoolPut happens on the receiving side after decode, so a
     // steady send/recv loop cycles the same storage through the pool.
-    auto bytes =
-        core::PoolGet<std::uint8_t>(static_cast<std::size_t>(EncodedSize(msg)));
-    EncodeMessageInto(msg, bytes);
+    thread_local std::vector<PairState::Frame> frames;
+    frames.clear();
+    frames.reserve(msgs.size());
+    for (const Message& msg : msgs) {
+      auto bytes = core::PoolGet<std::uint8_t>(
+          static_cast<std::size_t>(EncodedSize(msg)));
+      EncodeMessageInto(msg, bytes);
+      frames.push_back({std::move(bytes), {}});
+    }
     std::lock_guard<std::mutex> lock(state_->mu);
+    auto recycle = [&] {
+      for (auto& f : frames) core::PoolPut(std::move(f.bytes));
+      frames.clear();
+    };
     if (state_->end_closed[side_]) {
+      recycle();
       return core::Status::Unavailable("in-memory transport: endpoint closed");
     }
     if (state_->end_closed[1 - side_]) {
+      recycle();
       return core::Status::Unavailable("in-memory transport: peer closed");
     }
-    // Deliverable once the direction's serial link has carried it:
-    // latency head start, then the payload at the link's bandwidth,
-    // queued behind whatever this direction is still transmitting.
-    // Zero-cost link model: ready immediately.
-    auto ready = SteadyClock::now();
-    if (state_->latency.count() > 0 || state_->bandwidth_bytes_per_s > 0) {
-      const int dir = 1 - side_;
-      auto start = std::max(ready, state_->link_free[dir]);
-      auto transfer = std::chrono::duration<double>(
-          state_->bandwidth_bytes_per_s > 0
-              ? static_cast<double>(bytes.size()) /
-                    state_->bandwidth_bytes_per_s
-              : 0.0);
-      ready = start +
-              std::chrono::duration_cast<SteadyClock::duration>(
-                  state_->latency + transfer);
-      state_->link_free[dir] =
-          start + std::chrono::duration_cast<SteadyClock::duration>(transfer);
+    // The whole batch is one link transaction: a single latency head
+    // start, then the frames serialise back to back at the link's
+    // bandwidth — frame k is deliverable as its own bytes finish behind
+    // its predecessors', queued behind whatever this direction was still
+    // transmitting. Zero-cost link model: everything ready immediately.
+    const auto now = SteadyClock::now();
+    const bool emulated =
+        state_->latency.count() > 0 || state_->bandwidth_bytes_per_s > 0;
+    const int dir = 1 - side_;
+    const auto start = std::max(now, state_->link_free[dir]);
+    std::chrono::duration<double> cumulative{0.0};
+    WireStats& st = state_->stats[side_];
+    for (auto& f : frames) {
+      auto ready = now;
+      if (emulated) {
+        if (state_->bandwidth_bytes_per_s > 0) {
+          cumulative += std::chrono::duration<double>(
+              static_cast<double>(f.bytes.size()) /
+              state_->bandwidth_bytes_per_s);
+        }
+        ready = start + std::chrono::duration_cast<SteadyClock::duration>(
+                            state_->latency + cumulative);
+      }
+      st.bytes_sent += static_cast<std::int64_t>(f.bytes.size());
+      ++st.frames_sent;
+      f.ready = ready;
+      state_->queue[1 - side_].push_back(std::move(f));
     }
-    state_->queue[1 - side_].push_back({std::move(bytes), ready});
+    frames.clear();
+    if (emulated) {
+      state_->link_free[dir] =
+          start + std::chrono::duration_cast<SteadyClock::duration>(cumulative);
+    }
+    if (msgs.size() > 1) ++st.batched_sends;
     state_->cv.notify_all();
     return core::Status::Ok();
   }
@@ -109,6 +141,9 @@ class InMemoryTransport final : public Transport {
         }
         auto bytes = std::move(inbox.front().bytes);
         inbox.pop_front();
+        state_->stats[side_].bytes_recv +=
+            static_cast<std::int64_t>(bytes.size());
+        ++state_->stats[side_].frames_recv;
         lock.unlock();
         const core::Status st = DecodeMessage(bytes, out);
         core::PoolPut(std::move(bytes));
@@ -136,6 +171,11 @@ class InMemoryTransport final : public Transport {
            (state_->end_closed[1 - side_] && state_->queue[side_].empty());
   }
 
+  WireStats wire_stats() const override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->stats[side_];
+  }
+
   std::string Describe() const override {
     const bool emulated = state_->latency.count() > 0 ||
                           state_->bandwidth_bytes_per_s > 0;
@@ -149,6 +189,15 @@ class InMemoryTransport final : public Transport {
 };
 
 }  // namespace
+
+core::Status Transport::SendBatch(std::span<const Message> msgs) {
+  // Contract-keeping default for transports without a vectored path: the
+  // frames still go out in order, one Send each.
+  for (const Message& msg : msgs) {
+    FLUID_RETURN_IF_ERROR(Send(msg));
+  }
+  return core::Status::Ok();
+}
 
 std::pair<TransportPtr, TransportPtr> MakeInMemoryPair() {
   auto state = std::make_shared<PairState>();

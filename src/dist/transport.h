@@ -19,7 +19,9 @@
 //                       closes itself because framing cannot recover.
 
 #include <chrono>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -27,6 +29,26 @@
 #include "dist/message.h"
 
 namespace fluid::dist {
+
+/// Wire-level counters every transport keeps: the serving stack surfaces
+/// them per master/worker and the benches record them, so byte costs are
+/// a first-class, regression-pinned metric.
+struct WireStats {
+  std::int64_t bytes_sent = 0;    // full frames (header + body) shipped
+  std::int64_t bytes_recv = 0;    // full frames received and decoded
+  std::int64_t frames_sent = 0;
+  std::int64_t frames_recv = 0;
+  std::int64_t batched_sends = 0;  // SendBatch calls that shipped > 1 frame
+
+  WireStats& operator+=(const WireStats& o) {
+    bytes_sent += o.bytes_sent;
+    bytes_recv += o.bytes_recv;
+    frames_sent += o.frames_sent;
+    frames_recv += o.frames_recv;
+    batched_sends += o.batched_sends;
+    return *this;
+  }
+};
 
 class Transport {
  public:
@@ -36,8 +58,21 @@ class Transport {
   /// peer's application (only on flow control).
   virtual core::Status Send(const Message& msg) = 0;
 
+  /// Ship several frames as one link transaction, in order. The contract
+  /// is all-or-prefix: on failure some prefix of `msgs` may have reached
+  /// the wire, and the connection is in whatever state a failed Send
+  /// leaves it — callers treat the whole batch as suspect, exactly like a
+  /// failed Send. The base implementation is the trivial loop; TCP sends
+  /// one scatter-gather writev (one syscall, no bulk memcpy) and the
+  /// emulated link charges its latency once per batch.
+  virtual core::Status SendBatch(std::span<const Message> msgs);
+
   /// Wait up to `timeout` for one complete frame.
   virtual core::Status Recv(Message& out, std::chrono::milliseconds timeout) = 0;
+
+  /// Byte/frame counters since construction. Implementations that cannot
+  /// count return zeros.
+  virtual WireStats wire_stats() const { return {}; }
 
   /// Idempotent. After Close, the peer's Recv drains buffered frames and
   /// then reports kUnavailable.
@@ -75,7 +110,10 @@ std::pair<TransportPtr, TransportPtr> MakeInMemoryPair();
 /// DESIGN.md §3 substitution): benches and tests get wire-realistic
 /// serving behaviour — coalescing amortises per-frame latency, windowed
 /// sends overlap it — without a real radio in the loop. latency <= 0 and
-/// infinite bandwidth degrade to MakeInMemoryPair behaviour.
+/// infinite bandwidth degrade to MakeInMemoryPair behaviour. SendBatch
+/// charges the link as one transaction: one latency head start for the
+/// whole batch, each frame deliverable as its own bytes finish
+/// serialising behind its predecessors'.
 std::pair<TransportPtr, TransportPtr> MakeEmulatedLinkPair(
     std::chrono::duration<double> latency, double bandwidth_bytes_per_s);
 

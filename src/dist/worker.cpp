@@ -139,6 +139,10 @@ Message WorkerNode::HandleInfer(Message& msg) {
     }
     input = quant::DequantizeTensor(msg.qpayload);
     ++quant_frames_;
+    // v5 marks the quantized payload as an *input shard* (HT fan-out's
+    // int8_input_wire negotiation) rather than cut activations; decode is
+    // identical, only the accounting differs.
+    if (msg.input_quant) ++input_quant_frames_;
   } else {
     // Take the decoded tensor: the forward pass consumes it and its
     // (pooled) storage is recycled by the first layer.

@@ -72,6 +72,11 @@ class WorkerNode {
   std::int64_t quant_frames() const { return quant_frames_; }
   /// Infer frames that arrived with a v4 SLO block attached.
   std::int64_t slo_frames() const { return slo_frames_; }
+  /// Infer frames whose int8 payload was a quantized *input shard* (wire
+  /// v5, `int8_input_wire` negotiation) rather than cut activations.
+  std::int64_t input_quant_frames() const { return input_quant_frames_; }
+  /// Wire byte/frame counters of this worker's link to the master.
+  WireStats wire_stats() const { return transport_->wire_stats(); }
   /// Samples served per scheduling class (from v4 SLO blocks; frames
   /// without one are unclassified and counted nowhere here).
   std::int64_t samples_served_class(std::size_t cls) const {
@@ -97,6 +102,7 @@ class WorkerNode {
   std::atomic<std::int64_t> samples_served_{0};
   std::atomic<std::int64_t> quant_frames_{0};
   std::atomic<std::int64_t> slo_frames_{0};
+  std::atomic<std::int64_t> input_quant_frames_{0};
   std::atomic<std::int64_t> samples_by_class_[3]{};
 
   mutable std::mutex mu_;  // guards deployments_

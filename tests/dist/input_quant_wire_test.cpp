@@ -1,0 +1,400 @@
+// Wire v5 (quantized *input* shards) and the per-deploy int8_input_wire
+// negotiation: codec round-trip + fuzz, scatter-encode byte equivalence,
+// blueprint flag compatibility, quantized HT fan-out drift + wire-byte
+// economy, and v5 / v2 peer interop including mid-stream failover.
+// Mirrors quant_wire_test.cpp (wire v3) one version up.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "dist/master.h"
+#include "dist/message.h"
+#include "dist/worker.h"
+#include "nn/checkpoint.h"
+#include "train/model_zoo.h"
+
+namespace fluid::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(InputQuantWireTest, InputQuantFrameRoundTripsAsVersion5) {
+  core::Rng rng(1);
+  core::Tensor x = core::Tensor::UniformRandom({4, 1, 28, 28}, rng, 0, 1);
+  Message msg = Message::WithQuantInput(MsgType::kInfer, 42, "upper50",
+                                        quant::QuantizeTensor(x));
+  EXPECT_EQ(msg.batch, 4);
+  EXPECT_TRUE(msg.input_quant);
+  EXPECT_FALSE(msg.has_slo());
+  const auto bytes = EncodeMessage(msg);
+  // Body starts after [magic][len]; byte 0 of the body is the version.
+  ASSERT_GT(bytes.size(), 9u);
+  EXPECT_EQ(bytes[8], 5) << "quantized input shards must be wire v5";
+
+  Message back;
+  ASSERT_TRUE(DecodeMessage(bytes, back).ok());
+  EXPECT_EQ(back.type, MsgType::kInfer);
+  EXPECT_EQ(back.seq, 42);
+  EXPECT_EQ(back.batch, 4);
+  EXPECT_EQ(back.tag, "upper50");
+  EXPECT_FALSE(back.has_payload());
+  ASSERT_TRUE(back.has_qpayload());
+  EXPECT_TRUE(back.input_quant);
+  EXPECT_FALSE(back.has_slo()) << "v5 without an SLO decodes slo_ms = -1";
+  EXPECT_EQ(back.qpayload.shape, msg.qpayload.shape);
+  EXPECT_EQ(back.qpayload.scale, msg.qpayload.scale);
+  EXPECT_EQ(back.qpayload.data, msg.qpayload.data);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), EncodedSize(msg));
+}
+
+TEST(InputQuantWireTest, V5CarriesTheSloBlockWhenSet) {
+  core::Rng rng(2);
+  core::Tensor x = core::Tensor::UniformRandom({2, 1, 28, 28}, rng, 0, 1);
+  Message msg = Message::WithQuantInput(MsgType::kInfer, 7, "upper50",
+                                        quant::QuantizeTensor(x));
+  msg.SetSlo(1, 250);
+  const auto bytes = EncodeMessage(msg);
+  ASSERT_GT(bytes.size(), 9u);
+  EXPECT_EQ(bytes[8], 5);
+
+  Message back;
+  ASSERT_TRUE(DecodeMessage(bytes, back).ok());
+  EXPECT_TRUE(back.input_quant);
+  ASSERT_TRUE(back.has_slo());
+  EXPECT_EQ(back.priority, 1);
+  EXPECT_EQ(back.slo_ms, 250);
+}
+
+TEST(InputQuantWireTest, FramesWithoutTheMarkerKeepTheirOldVersions) {
+  core::Rng rng(3);
+  core::Tensor x = core::Tensor::UniformRandom({2, 3}, rng, -1, 1);
+
+  // The whole negotiation matrix below v5 stays byte-stable: fp32 → v2,
+  // quantized cut activations → v3, SLO block → v4. fp32-only peers must
+  // never see a version bump from this PR.
+  const auto v2 =
+      EncodeMessage(Message::WithBatch(MsgType::kInfer, 1, "m", x.Clone()));
+  ASSERT_GT(v2.size(), 9u);
+  EXPECT_EQ(v2[8], 2);
+
+  const auto v3 = EncodeMessage(Message::WithQuantBatch(
+      MsgType::kInfer, 1, "m", quant::QuantizeTensor(x)));
+  ASSERT_GT(v3.size(), 9u);
+  EXPECT_EQ(v3[8], 3);
+
+  Message slo = Message::WithBatch(MsgType::kInfer, 1, "m", x.Clone());
+  slo.SetSlo(0, 100);
+  const auto v4 = EncodeMessage(slo);
+  ASSERT_GT(v4.size(), 9u);
+  EXPECT_EQ(v4[8], 4);
+}
+
+TEST(InputQuantWireTest, ScatterEncodeReassemblesByteIdenticalAcrossVersions) {
+  core::Rng rng(4);
+  core::Tensor x = core::Tensor::UniformRandom({3, 1, 28, 28}, rng, 0, 1);
+  Message v4 = Message::WithBatch(MsgType::kInfer, 2, "fp", x.Clone());
+  v4.SetSlo(2, 40);
+  const Message msgs[] = {
+      Message::HeaderOnly(MsgType::kHeartbeat, 1, "hb"),
+      std::move(v4),
+      Message::WithQuantBatch(MsgType::kInfer, 3, "cut",
+                              quant::QuantizeTensor(x)),
+      Message::WithQuantInput(MsgType::kInfer, 4, "in",
+                              quant::QuantizeTensor(x)),
+  };
+  // All four frames scatter into ONE shared scaffold — the batched-send
+  // layout — and the reassembled bytes must equal each frame's plain
+  // EncodeMessage. This is the proof that vectored sends are invisible on
+  // the wire (fp32-only deployments stay byte-identical).
+  core::ByteWriter scaffold;
+  std::vector<WireSegment> segments;
+  std::vector<std::size_t> frame_sizes;
+  for (const Message& m : msgs) {
+    const auto n = EncodeMessageScatter(m, scaffold, segments);
+    EXPECT_EQ(n, EncodedSize(m));
+    frame_sizes.push_back(static_cast<std::size_t>(n));
+  }
+  std::vector<std::uint8_t> reassembled;
+  for (const WireSegment& seg : segments) {
+    const std::uint8_t* src =
+        seg.bulk != nullptr ? seg.bulk : scaffold.buffer().data() + seg.scaffold_off;
+    reassembled.insert(reassembled.end(), src, src + seg.size);
+  }
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < std::size(msgs); ++i) {
+    const auto want = EncodeMessage(msgs[i]);
+    ASSERT_EQ(want.size(), frame_sizes[i]);
+    ASSERT_LE(off + want.size(), reassembled.size());
+    EXPECT_TRUE(std::equal(want.begin(), want.end(), reassembled.begin() + off))
+        << "frame " << i << " drifted between scatter and plain encode";
+    off += want.size();
+  }
+  EXPECT_EQ(off, reassembled.size());
+}
+
+TEST(InputQuantWireTest, V5DecodeFuzzNeverThrows) {
+  core::Rng rng(5);
+  core::Tensor x = core::Tensor::UniformRandom({2, 1, 14, 14}, rng, 0, 1);
+  Message msg = Message::WithQuantInput(MsgType::kInfer, 9, "upper50",
+                                        quant::QuantizeTensor(x));
+  msg.SetSlo(0, 75);
+  const auto bytes = EncodeMessage(msg);
+  // Truncation at every byte boundary fails as Status, never throws.
+  for (std::size_t cut_at = 0; cut_at < bytes.size(); ++cut_at) {
+    Message out;
+    EXPECT_NO_THROW({
+      const auto st = DecodeMessage(
+          std::span<const std::uint8_t>(bytes.data(), cut_at), out);
+      EXPECT_FALSE(st.ok()) << "cut=" << cut_at;
+    });
+  }
+  // Single-byte corruption anywhere must decode or fail cleanly.
+  for (std::size_t i = 8; i < bytes.size(); ++i) {
+    auto bad = bytes;
+    bad[i] ^= 0xA5;
+    Message out;
+    EXPECT_NO_THROW({ (void)DecodeMessage(bad, out); }) << "i=" << i;
+  }
+}
+
+TEST(InputQuantWireTest, MarkerWithoutQuantPayloadIsRejected) {
+  // A hand-rolled v5 frame whose marker is set but whose body carries no
+  // qtensor is malformed — the decoder must refuse it, not fabricate an
+  // empty input shard.
+  core::ByteWriter body;
+  body.WriteU8(5);                       // version
+  body.WriteU8(2);                       // kInfer
+  body.WriteI64(1);                      // seq
+  body.WriteI64(0);                      // batch
+  body.WriteString("t");                 // tag
+  body.WriteU8(0);                       // has_tensor
+  body.WriteU8(0);                       // has_qtensor — nothing follows
+  body.WriteU8(0);                       // priority
+  body.WriteI64(-1);                     // slo_ms: "no SLO"
+  body.WriteU8(1);                       // input_quant, with no qpayload
+  core::ByteWriter frame;
+  frame.WriteU32(kFrameMagic);
+  frame.WriteU32(static_cast<std::uint32_t>(body.buffer().size()));
+  std::vector<std::uint8_t> bytes = frame.buffer();
+  bytes.insert(bytes.end(), body.buffer().begin(), body.buffer().end());
+  Message out;
+  EXPECT_NO_THROW({
+    const auto st = DecodeMessage(bytes, out);
+    EXPECT_FALSE(st.ok()) << "marker without qpayload must not decode";
+    EXPECT_EQ(st.code(), core::StatusCode::kDataLoss);
+  });
+}
+
+TEST(InputQuantWireTest, BlueprintInputWireFlagRoundTripsAndStaysV1WhenOff) {
+  slim::FluidNetConfig cfg;
+  auto bp = ModelBlueprint::Standalone(cfg, 16);
+  {
+    core::ByteWriter w;
+    bp.Encode(w);
+    EXPECT_EQ(w.buffer()[0], 1) << "quant-free blueprints must stay v1";
+    core::ByteReader r(w.buffer());
+    ModelBlueprint out;
+    ASSERT_TRUE(ModelBlueprint::Decode(r, out).ok());
+    EXPECT_FALSE(out.quant.any());
+  }
+  bp.quant.int8_input_wire = true;
+  {
+    core::ByteWriter w;
+    bp.Encode(w);
+    EXPECT_EQ(w.buffer()[0], 2);
+    core::ByteReader r(w.buffer());
+    ModelBlueprint out;
+    ASSERT_TRUE(ModelBlueprint::Decode(r, out).ok());
+    EXPECT_TRUE(out.quant.int8_input_wire);
+    EXPECT_FALSE(out.quant.int8_wire);
+    EXPECT_FALSE(out.quant.int8_compute);
+    EXPECT_TRUE(out.quant.any());
+  }
+}
+
+// One master + two workers, both hosting the worker-resident standalone
+// slice — the HighThroughput fan-out topology. Which worker negotiates
+// int8 input shards (wire v5) is per-test.
+class InputQuantClusterTest : public ::testing::Test {
+ protected:
+  InputQuantClusterTest()
+      : fluid_(slim::FluidModel::PaperDefault(7)), master_(cfg_), rng_(99) {
+    for (int i = 0; i < 2; ++i) {
+      auto [master_end, worker_end] = MakeInMemoryPair();
+      workers_.push_back(std::make_unique<WorkerNode>(
+          "w" + std::to_string(i), cfg_, std::move(worker_end)));
+      workers_.back()->Start();
+      master_.AttachWorker(std::move(master_end));
+    }
+  }
+
+  // Deploy upper50 to both workers; `quant[w]` selects which of them
+  // negotiates int8_input_wire. No master-resident slice: every shard of
+  // the fan-out goes remote, so the fp32 reference is the plain upper50
+  // forward of the whole batch.
+  void DeployFanOut(bool w0_quant, bool w1_quant) {
+    const auto& family = fluid_.family();
+    const bool quant[2] = {w0_quant, w1_quant};
+    for (std::size_t w = 0; w < 2; ++w) {
+      nn::Sequential upper = fluid_.ExtractSubnet(family.WorkerResident());
+      auto bp = ModelBlueprint::Standalone(
+          cfg_, family.WorkerResident().range.width());
+      bp.quant.int8_input_wire = quant[w];
+      ASSERT_TRUE(master_
+                      .DeployToWorker("upper50", bp, nn::ExtractState(upper),
+                                      2000ms, w)
+                      .ok());
+    }
+    Plan plan;
+    plan.worker_standalone = "upper50";
+    master_.SetPlan(plan);
+    master_.SetMode(sim::Mode::kHighThroughput);
+  }
+
+  core::Tensor Input(std::int64_t n = 1) {
+    return core::Tensor::UniformRandom({n, 1, 28, 28}, rng_, 0, 1);
+  }
+
+  slim::FluidNetConfig cfg_;
+  slim::FluidModel fluid_;
+  MasterNode master_;
+  std::vector<std::unique_ptr<WorkerNode>> workers_;
+  core::Rng rng_;
+};
+
+TEST_F(InputQuantClusterTest, QuantizedFanOutTracksFp32WithinDriftBound) {
+  DeployFanOut(/*w0_quant=*/true, /*w1_quant=*/true);
+  const core::Tensor x = Input(8);
+  nn::Sequential upper = fluid_.ExtractSubnet(fluid_.family().WorkerResident());
+  const core::Tensor want = upper.Forward(x, false);
+
+  auto reply = master_.Infer(x, 5000ms);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+
+  // absmax-int8 input quantization bounds the drift: inputs live in
+  // [0, 1], so one half-step of the input scale propagated through the
+  // slice — 5 % of the logit range catches a wrong scale or byte order
+  // immediately while tolerating legitimate rounding.
+  float logit_range = 0.0F;
+  for (const float v : want.data()) {
+    logit_range = std::max(logit_range, std::fabs(v));
+  }
+  EXPECT_LE(core::MaxAbsDiff(reply->logits, want),
+            0.05F * std::max(1.0F, logit_range));
+
+  // Prove the negotiation really changed the wire: the master shipped v5
+  // input shards and both workers decoded them as such.
+  EXPECT_GT(master_.stats().quant_input_frames, 0);
+  EXPECT_GT(workers_[0]->input_quant_frames(), 0);
+  EXPECT_GT(workers_[1]->input_quant_frames(), 0);
+}
+
+TEST_F(InputQuantClusterTest, V5AndV2PeersShareOneFanOut) {
+  DeployFanOut(/*w0_quant=*/true, /*w1_quant=*/false);
+  for (int i = 0; i < 4; ++i) {
+    auto reply = master_.Infer(Input(8), 5000ms);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+  // Worker 0 negotiated v5 and saw only quantized input shards; worker 1
+  // never negotiated and saw only fp32 v2 frames — in the same batches.
+  EXPECT_GT(workers_[0]->input_quant_frames(), 0);
+  EXPECT_GT(workers_[1]->samples_served(), 0);
+  EXPECT_EQ(workers_[1]->input_quant_frames(), 0);
+  EXPECT_EQ(workers_[1]->quant_frames(), 0);
+  EXPECT_EQ(master_.stats().quant_input_frames,
+            workers_[0]->input_quant_frames());
+}
+
+TEST_F(InputQuantClusterTest, FailoverFromV5WorkerLandsOnFp32Worker) {
+  DeployFanOut(/*w0_quant=*/true, /*w1_quant=*/false);
+  auto reply = master_.Infer(Input(4), 5000ms);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_GT(workers_[0]->input_quant_frames(), 0);
+
+  // The v5 worker dies mid-stream; the same cluster keeps serving through
+  // the fp32 peer, which must never see a v5 frame.
+  workers_[0]->Crash();
+  for (int i = 0; i < 4; ++i) {
+    auto r2 = master_.Infer(Input(2), 5000ms);
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  }
+  EXPECT_GT(workers_[1]->samples_served(), 0);
+  EXPECT_EQ(workers_[1]->input_quant_frames(), 0);
+  EXPECT_EQ(workers_[1]->quant_frames(), 0);
+  EXPECT_GT(master_.stats().failovers, 0);
+}
+
+TEST_F(InputQuantClusterTest, WireCountersAttributeTheFanOutTraffic) {
+  DeployFanOut(/*w0_quant=*/true, /*w1_quant=*/true);
+  const WireStats before = master_.wire_stats();
+  for (int i = 0; i < 4; ++i) {
+    auto reply = master_.Infer(Input(8), 5000ms);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+  const WireStats after = master_.wire_stats();
+  EXPECT_GT(after.bytes_sent, before.bytes_sent);
+  EXPECT_GT(after.frames_sent, before.frames_sent);
+  // Every infer round-trips: the master also drained the reply frames.
+  EXPECT_GT(after.frames_recv, before.frames_recv);
+  // Worker-side counters see the same traffic from the other end.
+  EXPECT_GT(workers_[0]->wire_stats().bytes_recv, 0);
+  EXPECT_GT(workers_[1]->wire_stats().bytes_recv, 0);
+  EXPECT_GE(after.bytes_sent, workers_[0]->wire_stats().bytes_recv);
+}
+
+TEST_F(InputQuantClusterTest, InputQuantShipsRoughlyFourTimesFewerBytes) {
+  DeployFanOut(/*w0_quant=*/true, /*w1_quant=*/true);
+
+  // A second identical cluster without the negotiation, as the fp32
+  // yardstick. Same batch size, same request count; only the wire format
+  // of the input shards differs.
+  slim::FluidModel fp32_fluid(slim::FluidModel::PaperDefault(7));
+  MasterNode fp32_master(cfg_);
+  std::vector<std::unique_ptr<WorkerNode>> fp32_workers;
+  for (int i = 0; i < 2; ++i) {
+    auto [master_end, worker_end] = MakeInMemoryPair();
+    fp32_workers.push_back(std::make_unique<WorkerNode>(
+        "f" + std::to_string(i), cfg_, std::move(worker_end)));
+    fp32_workers.back()->Start();
+    fp32_master.AttachWorker(std::move(master_end));
+  }
+  const auto& family = fp32_fluid.family();
+  for (std::size_t w = 0; w < 2; ++w) {
+    nn::Sequential upper = fp32_fluid.ExtractSubnet(family.WorkerResident());
+    ASSERT_TRUE(fp32_master
+                    .DeployToWorker("upper50",
+                                    ModelBlueprint::Standalone(
+                                        cfg_, family.WorkerResident().range.width()),
+                                    nn::ExtractState(upper), 2000ms, w)
+                    .ok());
+  }
+  Plan plan;
+  plan.worker_standalone = "upper50";
+  fp32_master.SetPlan(plan);
+  fp32_master.SetMode(sim::Mode::kHighThroughput);
+
+  auto shipped = [](MasterNode& m, core::Tensor x) {
+    const std::int64_t before = m.wire_stats().bytes_sent;
+    auto reply = m.Infer(x, 5000ms);
+    EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+    return m.wire_stats().bytes_sent - before;
+  };
+  std::int64_t quant_bytes = 0;
+  std::int64_t fp32_bytes = 0;
+  for (int i = 0; i < 4; ++i) {
+    core::Tensor x = Input(8);
+    quant_bytes += shipped(master_, x.Clone());
+    fp32_bytes += shipped(fp32_master, std::move(x));
+  }
+  // 784 floats vs 784 bytes per sample plus small fixed framing: the
+  // fan-out's wire cost must shrink close to 4×.
+  EXPECT_GT(static_cast<double>(fp32_bytes) / static_cast<double>(quant_bytes),
+            3.0);
+  for (auto& w : fp32_workers) w->Stop();
+}
+
+}  // namespace
+}  // namespace fluid::dist

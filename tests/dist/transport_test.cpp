@@ -279,6 +279,192 @@ TEST(TcpTransportTest, OversizedFrameIsRejectedBySenderWithoutClosing) {
   EXPECT_EQ(got.seq, 2);
 }
 
+// ---- SendBatch / vectored wire path ---------------------------------------
+
+TEST(InMemoryTransportTest, SendBatchDeliversInOrderAndCountsOneBatchedSend) {
+  auto [a, b] = MakeInMemoryPair();
+  const core::Tensor t = SomeTensor(7);
+  const Message batch[] = {
+      Message::WithBatch(MsgType::kInfer, 1, "x", t.Clone()),
+      Message::HeaderOnly(MsgType::kHeartbeat, 2),
+      Message::WithBatch(MsgType::kInfer, 3, "y", t.Clone()),
+  };
+  std::int64_t wire_bytes = 0;
+  for (const Message& m : batch) wire_bytes += EncodedSize(m);
+  ASSERT_TRUE(a->SendBatch(batch).ok());
+  for (std::int64_t seq = 1; seq <= 3; ++seq) {
+    Message got;
+    ASSERT_TRUE(b->Recv(got, 1000ms).ok()) << "seq " << seq;
+    EXPECT_EQ(got.seq, seq);
+  }
+  const WireStats sent = a->wire_stats();
+  EXPECT_EQ(sent.frames_sent, 3);
+  EXPECT_EQ(sent.batched_sends, 1);
+  EXPECT_EQ(sent.bytes_sent, wire_bytes);
+  const WireStats recvd = b->wire_stats();
+  EXPECT_EQ(recvd.frames_recv, 3);
+  EXPECT_EQ(recvd.bytes_recv, wire_bytes);
+}
+
+TEST(EmulatedLinkTest, SendBatchPaysLatencyOncePerBatch) {
+  // A batch is one link transaction: a single latency head start, then
+  // the frames serialize back to back. All three must arrive little after
+  // one latency, not one per frame.
+  auto [a, b] = MakeEmulatedLinkPair(std::chrono::duration<double>(0.050),
+                                     /*bandwidth_bytes_per_s=*/0);
+  const Message batch[] = {
+      Message::HeaderOnly(MsgType::kAck, 1),
+      Message::HeaderOnly(MsgType::kAck, 2),
+      Message::HeaderOnly(MsgType::kAck, 3),
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(a->SendBatch(batch).ok());
+  Message got;
+  for (std::int64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_TRUE(b->Recv(got, 2000ms).ok());
+    EXPECT_EQ(got.seq, seq);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, 40ms);   // the one head start is still paid
+  EXPECT_LT(elapsed, 120ms);  // but not once per frame
+}
+
+TEST(TcpTransportTest, SendBatchRoundTripsMixedVersionsInOneWritev) {
+  auto pair = MakeTcpPair();
+  core::Rng rng(42);
+  // Big enough that the fp32 and int8 bulks stream straight into pooled
+  // storage on the receiver (> the staged-decode cutoff), plus a tiny
+  // header-only frame riding in the same writev.
+  core::Tensor big = core::Tensor::UniformRandom({4, 16, 14, 14}, rng, -1, 1);
+  core::Tensor input = core::Tensor::UniformRandom({4, 1, 28, 28}, rng, 0, 1);
+  const quant::QuantizedTensor q = quant::QuantizeTensor(input);
+  const Message batch[] = {
+      Message::WithBatch(MsgType::kInfer, 1, "fp32", big.Clone()),
+      Message::HeaderOnly(MsgType::kHeartbeat, 2),
+      Message::WithQuantInput(MsgType::kInfer, 3, "upper50", q),
+  };
+  std::int64_t wire_bytes = 0;
+  for (const Message& m : batch) wire_bytes += EncodedSize(m);
+  ASSERT_TRUE(pair.client->SendBatch(batch).ok());
+
+  Message got;
+  ASSERT_TRUE(pair.server->Recv(got, 2000ms).ok());
+  EXPECT_EQ(got.seq, 1);
+  EXPECT_EQ(core::MaxAbsDiff(got.payload, big), 0.0F);
+  ASSERT_TRUE(pair.server->Recv(got, 2000ms).ok());
+  EXPECT_EQ(got.seq, 2);
+  EXPECT_EQ(got.type, MsgType::kHeartbeat);
+  ASSERT_TRUE(pair.server->Recv(got, 2000ms).ok());
+  EXPECT_EQ(got.seq, 3);
+  ASSERT_TRUE(got.has_qpayload());
+  EXPECT_TRUE(got.input_quant);
+  EXPECT_EQ(got.qpayload.scale, q.scale);
+  EXPECT_EQ(got.qpayload.data, q.data);
+
+  const WireStats sent = pair.client->wire_stats();
+  EXPECT_EQ(sent.frames_sent, 3);
+  EXPECT_EQ(sent.batched_sends, 1);
+  EXPECT_EQ(sent.bytes_sent, wire_bytes);
+  const WireStats recvd = pair.server->wire_stats();
+  EXPECT_EQ(recvd.frames_recv, 3);
+  EXPECT_EQ(recvd.bytes_recv, wire_bytes);
+}
+
+TEST(TcpTransportTest, SingleFrameSendDoesNotCountAsBatched) {
+  auto pair = MakeTcpPair();
+  ASSERT_TRUE(pair.client->Send(Message::HeaderOnly(MsgType::kAck, 1)).ok());
+  Message got;
+  ASSERT_TRUE(pair.server->Recv(got, 2000ms).ok());
+  EXPECT_EQ(pair.client->wire_stats().frames_sent, 1);
+  EXPECT_EQ(pair.client->wire_stats().batched_sends, 0);
+}
+
+TEST(TcpTransportTest, LargeFrameDribbledBytewiseStillDecodes) {
+  // The streaming receive path must assemble a frame that arrives in many
+  // small TCP segments — the prelude split across reads, the bulk filling
+  // pooled storage a chunk at a time.
+  TcpListener listener(0);
+  RawPeer peer = ConnectRaw(listener);
+  core::Rng rng(5);
+  core::Tensor input = core::Tensor::UniformRandom({8, 1, 28, 28}, rng, 0, 1);
+  const quant::QuantizedTensor q = quant::QuantizeTensor(input);
+  Message msg = Message::WithQuantInput(MsgType::kInfer, 11, "upper50", q);
+  msg.SetSlo(1, 99);
+  const auto bytes = EncodeMessage(msg);
+  ASSERT_GT(bytes.size(), 4096u) << "frame too small to exercise streaming";
+
+  std::thread dribbler([&] {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const std::size_t n = std::min<std::size_t>(977, bytes.size() - off);
+      ASSERT_EQ(::send(peer.fd, bytes.data() + off, n, 0),
+                static_cast<ssize_t>(n));
+      off += n;
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  Message got;
+  const auto st = peer.server->Recv(got, 5000ms);
+  dribbler.join();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(got.seq, 11);
+  EXPECT_EQ(got.tag, "upper50");
+  ASSERT_TRUE(got.has_qpayload());
+  EXPECT_TRUE(got.input_quant);
+  EXPECT_EQ(got.priority, 1);
+  EXPECT_EQ(got.slo_ms, 99);
+  EXPECT_EQ(got.qpayload.scale, q.scale);
+  EXPECT_EQ(got.qpayload.shape, q.shape);
+  EXPECT_EQ(got.qpayload.data, q.data);
+}
+
+TEST(TcpTransportTest, DribbledCorruptShapeIsDataLossNotHang) {
+  // Same dribble delivery, but the tensor's element count disagrees with
+  // its dims: whichever decode path sees it first must fail the stream as
+  // DataLoss instead of waiting for bytes that will never come.
+  TcpListener listener(0);
+  RawPeer peer = ConnectRaw(listener);
+  auto bytes = EncodeMessage(
+      Message::WithTensor(MsgType::kInfer, 1, "x", SomeTensor(9)));
+  // Body layout: [ver][type][seq][batch][tag u32+1]["x"][has_tensor][rank]
+  // then the dims; bump dim0's low byte so count != prod(dims).
+  const std::size_t dim0_off = 8 + 1 + 1 + 8 + 8 + 4 + 1 + 1 + 4;
+  ASSERT_LT(dim0_off, bytes.size());
+  bytes[dim0_off] += 1;
+  std::thread dribbler([&] {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const std::size_t n = std::min<std::size_t>(64, bytes.size() - off);
+      if (::send(peer.fd, bytes.data() + off, n, MSG_NOSIGNAL) <= 0) return;
+      off += n;
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  Message got;
+  const auto st = peer.server->Recv(got, 5000ms);
+  dribbler.join();
+  EXPECT_EQ(st.code(), core::StatusCode::kDataLoss);
+  EXPECT_TRUE(peer.server->closed());
+}
+
+TEST(TcpTransportTest, SendBatchFailsCleanlyOnClosedPeer) {
+  auto pair = MakeTcpPair();
+  pair.server->Close();
+  const Message batch[] = {
+      Message::HeaderOnly(MsgType::kAck, 1),
+      Message::HeaderOnly(MsgType::kAck, 2),
+  };
+  // The peer teardown may race the first writev into a success; a second
+  // batch must surface the dead link as a Status, never a signal/throw.
+  core::Status st = pair.client->SendBatch(batch);
+  for (int i = 0; i < 20 && st.ok(); ++i) {
+    std::this_thread::sleep_for(10ms);
+    st = pair.client->SendBatch(batch);
+  }
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(pair.client->closed());
+}
+
 TEST(TcpTransportTest, ConnectToDeadPortFailsWithStatus) {
   // Grab an ephemeral port, then close the listener so nobody listens.
   std::uint16_t dead_port = 0;
