@@ -57,6 +57,20 @@
 // byte/frame counters and the input quantization's top-1 fidelity. Knobs:
 // clients=N per_client=N workers=N max_batch=N max_delay_ms=N link_ms=F
 // bandwidth_mbps=F model=slice|full json=PATH.
+//
+// Extension — cluster scale-out mode (`cluster=1`): the partitioned
+// multi-master fleet. For masters=1..N, build N partitions — each its own
+// MasterNode + worker over its OWN emulated link (one serialization
+// domain per partition) — behind one RequestRouter, and measure aggregate
+// req/s closed-loop (16 clients per partition) plus a 3-class open-loop
+// Poisson run with per-class latency percentiles. One master is
+// link-bound (each coalesced chunk pays the RTT); N masters overlap N
+// independent link waits, so the sweep shows the router scaling past the
+// single-master serialization domain on the same per-partition link
+// budget. Knobs: masters=N clients=N(per partition) per_client=N
+// max_batch=N max_active=N open_rate=R(per partition)
+// open_requests=N(per partition) slo_high_ms/slo_normal_ms/slo_low_ms=N
+// policy=least|hash link_ms=F bandwidth_mbps=F json=PATH.
 
 #include <algorithm>
 #include <atomic>
@@ -78,6 +92,7 @@
 #include "core/rng.h"
 #include "dist/master.h"
 #include "dist/orchestrator.h"
+#include "dist/router.h"
 #include "dist/worker.h"
 #include "harness_common.h"
 #include "nn/checkpoint.h"
@@ -1279,6 +1294,353 @@ int RunClosedLoopServing(int argc, char** argv) {
   return 0;
 }
 
+// One row of the cluster sweep: the whole fleet's numbers at masters=N.
+struct ClusterPoint {
+  int masters = 0;
+  double closed_rps = 0;
+  double open_offered = 0;
+  double open_achieved = 0;
+  MixedClassTally tally[3];
+  std::int64_t deadline_misses = 0;
+  double avg_batch = 0;
+  std::int64_t routed = 0, rerouted = 0, retries = 0, failed = 0;
+  std::int64_t priority_reorders = 0;
+};
+
+int RunClusterScale(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  std::int64_t masters_max = 4, clients_per = 16, per_client = 60;
+  std::int64_t max_batch = 8, max_active = 256;
+  std::int64_t open_requests = 400;  // per partition
+  double open_rate = 200.0;          // req/s per partition
+  double link_ms = 12.0, bandwidth_mbps = 100.0;
+  std::int64_t slo_ms[3] = {250, 1000, 4000};  // high / normal / low
+  std::string json_path, policy = "least";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = arg.substr(0, eq), val = arg.substr(eq + 1);
+    if (key == "masters") masters_max = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "clients") clients_per = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "per_client") per_client = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "max_batch") max_batch = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "max_active") max_active = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "open_rate") open_rate = std::strtod(val.c_str(), nullptr);
+    if (key == "open_requests")
+      open_requests = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "slo_high_ms") slo_ms[0] = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "slo_normal_ms")
+      slo_ms[1] = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "slo_low_ms") slo_ms[2] = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "link_ms") link_ms = std::strtod(val.c_str(), nullptr);
+    if (key == "bandwidth_mbps")
+      bandwidth_mbps = std::strtod(val.c_str(), nullptr);
+    if (key == "policy") policy = val;
+    if (key == "json") json_path = val;
+  }
+  masters_max = std::max<std::int64_t>(1, std::min<std::int64_t>(8, masters_max));
+
+  std::printf("== cluster scale-out: RequestRouter over 1..%lld partitioned "
+              "masters ==\n",
+              static_cast<long long>(masters_max));
+  std::printf("# per partition: 1 master + 1 worker on its own %.1f ms / "
+              "%.0f Mbit/s link, max_batch %lld; policy %s\n",
+              link_ms, bandwidth_mbps, static_cast<long long>(max_batch),
+              policy.c_str());
+  std::printf("# closed loop: %lld clients x %lld reqs per partition; open "
+              "loop: %.0f req/s x %lld reqs per partition, 3 classes\n\n",
+              static_cast<long long>(clients_per),
+              static_cast<long long>(per_client), open_rate,
+              static_cast<long long>(open_requests));
+
+  // Every partition serves the same worker-standalone deployment: no
+  // master-local slice, so each coalesced chunk round-trips the
+  // partition's link — the serialization the router exists to overlap.
+  const slim::FluidNetConfig cfg;
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  const auto upper = fluid.family().WorkerResident();
+  nn::Sequential upper_net = fluid.ExtractSubnet(upper);
+  const nn::StateDict upper_state = nn::ExtractState(upper_net);
+  const auto bp = dist::ModelBlueprint::Standalone(cfg, upper.range.width());
+
+  static constexpr int kClusterClassPattern[10] = {0, 1, 2, 1, 2, 1, 0, 1, 2, 1};
+  std::vector<ClusterPoint> points;
+  for (std::int64_t n = 1; n <= masters_max; ++n) {
+    struct Part {
+      std::unique_ptr<dist::MasterNode> master;
+      std::unique_ptr<dist::WorkerNode> worker;
+    };
+    std::vector<Part> parts;
+    dist::RouterOptions ropts;
+    ropts.policy = policy == "hash" ? dist::RoutePolicy::kConsistentHash
+                                    : dist::RoutePolicy::kLeastLoaded;
+    dist::RequestRouter router(ropts);
+    for (std::int64_t p = 0; p < n; ++p) {
+      Part part;
+      part.master = std::make_unique<dist::MasterNode>(cfg);
+      auto [master_end, worker_end] = dist::MakeEmulatedLinkPair(
+          std::chrono::duration<double>(link_ms * 1e-3),
+          bandwidth_mbps * 1e6 / 8.0);
+      part.worker = std::make_unique<dist::WorkerNode>(
+          "p" + std::to_string(p) + "w0", cfg, std::move(worker_end));
+      part.worker->Start();
+      part.master->AttachWorker(std::move(master_end));
+      part.master->DeployToWorker("up", bp, upper_state, 10000ms)
+          .ThrowIfError();
+      dist::Plan plan;
+      plan.worker_standalone = "up";
+      part.master->SetPlan(plan);
+      part.master->SetMode(sim::Mode::kHighThroughput);
+      dist::BatchOptions bopts;
+      bopts.max_batch = static_cast<std::size_t>(max_batch);
+      bopts.max_delay = std::chrono::milliseconds(0);
+      bopts.max_active_reqs = static_cast<std::size_t>(max_active);
+      bopts.queue_capacity = 8192;
+      part.master->StartServing(bopts);
+      router.AddPartition(part.master.get());
+      parts.push_back(std::move(part));
+    }
+
+    ClusterPoint pt;
+    pt.masters = static_cast<int>(n);
+
+    // Phase 1: closed loop through the router — the aggregate-req/s
+    // scaling number (same per-partition link budget at every N).
+    const ClosedLoopResult closed = RunClosedLoop(
+        static_cast<int>(clients_per * n), static_cast<int>(per_client),
+        [&](const core::Tensor& x) {
+          return router.InferAsync(PooledInput(x), 30000ms).get();
+        });
+    pt.closed_rps = closed.rps;
+    std::printf("masters=%lld closed loop: %8.1f req/s\n",
+                static_cast<long long>(n), closed.rps);
+
+    // Phase 2: open loop, Poisson at open_rate x N, the mixed-SLO class
+    // pattern (20/50/30) with per-class deadlines carried through the
+    // router unchanged. Completions are polled (priority scheduling
+    // reorders them), each stamped the moment its future turns ready.
+    const double rate = open_rate * static_cast<double>(n);
+    const std::int64_t requests = open_requests * n;
+    pt.open_offered = rate;
+    for (auto& t : pt.tally)
+      t.lat_ms.reserve(static_cast<std::size_t>(requests));
+    struct Pending {
+      std::future<core::StatusOr<dist::InferReply>> future;
+      Clock::time_point scheduled;
+      int cls;
+    };
+    std::mutex mu;
+    std::vector<Pending> incoming;
+    bool done = false;
+    Clock::time_point last_completion{};
+    std::thread collector([&] {
+      std::vector<Pending> open;
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          for (auto& p : incoming) open.push_back(std::move(p));
+          incoming.clear();
+          if (open.empty() && done) return;
+        }
+        bool progressed = false;
+        for (auto it = open.begin(); it != open.end();) {
+          if (it->future.wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready) {
+            ++it;
+            continue;
+          }
+          const auto now = Clock::now();
+          auto reply = it->future.get();
+          MixedClassTally& t = pt.tally[it->cls];
+          if (reply.ok()) {
+            core::RecycleTensor(std::move(reply->logits));
+            const double ms =
+                std::chrono::duration<double, std::milli>(now - it->scheduled)
+                    .count();
+            t.lat_ms.push_back(ms);
+            ++t.delivered;
+            if (ms > static_cast<double>(slo_ms[it->cls])) ++t.late;
+            last_completion = now;
+          } else if (reply.status().code() ==
+                     core::StatusCode::kDeadlineExceeded) {
+            ++t.expired;
+          } else {
+            std::fprintf(stderr, "cluster open-loop request failed: %s\n",
+                         reply.status().ToString().c_str());
+            std::abort();
+          }
+          it = open.erase(it);
+          progressed = true;
+        }
+        if (!progressed)
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+    core::Rng rng(4242);
+    const core::Tensor x =
+        core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+    const auto t0 = Clock::now();
+    double next_s = 0.0;
+    for (std::int64_t i = 0; i < requests; ++i) {
+      next_s += -std::log(1.0 - rng.Uniform()) / rate;
+      const auto at = t0 + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(next_s));
+      std::this_thread::sleep_until(at);
+      const int cls = kClusterClassPattern[i % 10];
+      dist::SubmitOptions so;
+      so.timeout = std::chrono::milliseconds(slo_ms[cls]);
+      so.priority = static_cast<dist::Priority>(cls);
+      auto fut = router.InferAsync(PooledInput(x), so);
+      ++pt.tally[cls].offered;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        incoming.push_back({std::move(fut), at, cls});
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+    }
+    collector.join();
+
+    std::int64_t delivered_total = 0;
+    for (auto& t : pt.tally) {
+      std::sort(t.lat_ms.begin(), t.lat_ms.end());
+      t.p50 = Percentile(t.lat_ms, 0.50);
+      t.p95 = Percentile(t.lat_ms, 0.95);
+      t.p99 = Percentile(t.lat_ms, 0.99);
+      delivered_total += t.delivered;
+    }
+    const double span_s =
+        std::chrono::duration<double>(last_completion - t0).count();
+    pt.open_achieved =
+        span_s > 0 ? static_cast<double>(delivered_total) / span_s : 0.0;
+
+    const dist::RouterStats rs = router.stats();
+    const dist::SchedulerStats sched = router.scheduler_stats();
+    pt.deadline_misses = sched.deadline_misses;
+    pt.avg_batch = sched.avg_batch;
+    pt.routed = rs.routed_reqs;
+    pt.rerouted = rs.rerouted_reqs;
+    pt.retries = rs.retries;
+    pt.failed = rs.failed_reqs;
+    for (auto& part : parts)
+      pt.priority_reorders += part.worker->priority_reorders();
+
+    // Router first, then masters, then workers — the quiet shutdown order.
+    router.Stop();
+    for (auto& part : parts) part.master->StopServing();
+    for (auto& part : parts) part.worker->Stop();
+
+    std::printf("masters=%lld open loop:   %8.1f req/s offered, %.1f "
+                "achieved; p99 high/normal/low %.1f/%.1f/%.1f ms; misses "
+                "%lld, rerouted %lld\n\n",
+                static_cast<long long>(n), rate, pt.open_achieved,
+                pt.tally[0].p99, pt.tally[1].p99, pt.tally[2].p99,
+                static_cast<long long>(pt.deadline_misses),
+                static_cast<long long>(pt.rerouted));
+    points.push_back(std::move(pt));
+  }
+
+  std::printf("masters  closed req/s   scale   open req/s   high p99   "
+              "misses  rerouted\n");
+  for (const ClusterPoint& pt : points) {
+    std::printf("%7d %13.1f %6.2fx %12.1f %8.1f ms %8lld %9lld\n", pt.masters,
+                pt.closed_rps, pt.closed_rps / points.front().closed_rps,
+                pt.open_achieved, pt.tally[0].p99,
+                static_cast<long long>(pt.deadline_misses),
+                static_cast<long long>(pt.rerouted));
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 " \"mode\": \"cluster_scale\",\n"
+                 " \"policy\": \"%s\",\n"
+                 " \"clients_per_partition\": %lld,\n"
+                 " \"per_client\": %lld,\n"
+                 " \"max_batch\": %lld,\n"
+                 " \"max_active_reqs\": %lld,\n"
+                 " \"open_rate_per_partition\": %.1f,\n"
+                 " \"open_requests_per_partition\": %lld,\n"
+                 " \"link_ms\": %.1f,\n"
+                 " \"bandwidth_mbps\": %.1f,\n"
+                 " \"slo_ms\": {\"high\": %lld, \"normal\": %lld, "
+                 "\"low\": %lld},\n"
+                 " \"points\": [\n",
+                 std::string(dist::RoutePolicyName(
+                                 policy == "hash"
+                                     ? dist::RoutePolicy::kConsistentHash
+                                     : dist::RoutePolicy::kLeastLoaded))
+                     .c_str(),
+                 static_cast<long long>(clients_per),
+                 static_cast<long long>(per_client),
+                 static_cast<long long>(max_batch),
+                 static_cast<long long>(max_active), open_rate,
+                 static_cast<long long>(open_requests), link_ms,
+                 bandwidth_mbps, static_cast<long long>(slo_ms[0]),
+                 static_cast<long long>(slo_ms[1]),
+                 static_cast<long long>(slo_ms[2]));
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const ClusterPoint& pt = points[i];
+      std::fprintf(
+          f,
+          "  {\"masters\": %d, \"closed_req_per_s\": %.1f, "
+          "\"open_offered_req_per_s\": %.1f, \"open_achieved_req_per_s\": "
+          "%.1f,\n"
+          "   \"high\": {\"p50_ms\": %.1f, \"p95_ms\": %.1f, \"p99_ms\": "
+          "%.1f, \"delivered\": %lld, \"expired\": %lld},\n"
+          "   \"normal\": {\"p50_ms\": %.1f, \"p95_ms\": %.1f, \"p99_ms\": "
+          "%.1f, \"delivered\": %lld, \"expired\": %lld},\n"
+          "   \"low\": {\"p50_ms\": %.1f, \"p95_ms\": %.1f, \"p99_ms\": "
+          "%.1f, \"delivered\": %lld, \"expired\": %lld},\n"
+          "   \"deadline_misses\": %lld, \"avg_coalesced_batch\": %.2f, "
+          "\"routed\": %lld, \"rerouted\": %lld, \"retries\": %lld, "
+          "\"failed\": %lld, \"worker_priority_reorders\": %lld}%s\n",
+          pt.masters, pt.closed_rps, pt.open_offered, pt.open_achieved,
+          pt.tally[0].p50, pt.tally[0].p95, pt.tally[0].p99,
+          static_cast<long long>(pt.tally[0].delivered),
+          static_cast<long long>(pt.tally[0].expired), pt.tally[1].p50,
+          pt.tally[1].p95, pt.tally[1].p99,
+          static_cast<long long>(pt.tally[1].delivered),
+          static_cast<long long>(pt.tally[1].expired), pt.tally[2].p50,
+          pt.tally[2].p95, pt.tally[2].p99,
+          static_cast<long long>(pt.tally[2].delivered),
+          static_cast<long long>(pt.tally[2].expired),
+          static_cast<long long>(pt.deadline_misses), pt.avg_batch,
+          static_cast<long long>(pt.routed),
+          static_cast<long long>(pt.rerouted),
+          static_cast<long long>(pt.retries),
+          static_cast<long long>(pt.failed),
+          static_cast<long long>(pt.priority_reorders),
+          i + 1 < points.size() ? "," : "");
+    }
+    const auto scale_vs_1 = [&](std::size_t k) {
+      return k <= points.size() && points.front().closed_rps > 0
+                 ? points[k - 1].closed_rps / points.front().closed_rps
+                 : 0.0;
+    };
+    std::fprintf(f,
+                 " ],\n"
+                 " \"scale_2x_vs_1\": %.2f,\n"
+                 " \"scale_3x_vs_1\": %.2f,\n"
+                 " \"scale_4x_vs_1\": %.2f,\n"
+                 " \"high_p99_at_3_ms\": %.1f\n"
+                 "}\n",
+                 scale_vs_1(2), scale_vs_1(3), scale_vs_1(4),
+                 points.size() >= 3 ? points[2].tally[0].p99 : 0.0);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1294,6 +1656,9 @@ int main(int argc, char** argv) {
     }
     if (std::string(argv[i]) == "wire=1") {
       return RunWireServing(argc, argv);
+    }
+    if (std::string(argv[i]) == "cluster=1") {
+      return RunClusterScale(argc, argv);
     }
   }
   const auto opts = bench::HarnessOptions::FromArgs(argc, argv);

@@ -16,7 +16,21 @@
 // as CI's wire data-plane smoke run: it exits non-zero if no v3 cut frame,
 // no v5 input frame, or no batched send flowed over the real sockets.
 
+// Routed-fleet mode (`routed=1`): two PARTITIONS (master + its own TCP
+// worker each) behind one RequestRouter — the partitioned scale-out path
+// exercised over real loopback sockets. The deployment replicates through
+// router.DeployEverywhere (the deploy codec fanned across partitions),
+// then traffic flows two ways: spread keys that must land on BOTH
+// partitions, and a burst pinned to partition 0's hash owner while a
+// long-running batch holds its single admission slot — forcing the
+// router's admission-full divert to the sibling, over real sockets. CI
+// exits non-zero unless both partitions served traffic, at least one
+// request was rerouted, and every future resolved OK.
+
 #include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/logging.h"
@@ -25,6 +39,7 @@
 #include "data/synthetic_mnist.h"
 #include "dist/master.h"
 #include "dist/orchestrator.h"
+#include "dist/router.h"
 #include "dist/tcp_transport.h"
 #include "dist/worker.h"
 #include "slim/fluid_model.h"
@@ -34,7 +49,138 @@
 using namespace fluid;
 using namespace std::chrono_literals;
 
-int main() {
+namespace {
+
+int RunRoutedFleet() {
+  core::SetLogLevel(core::LogLevel::kWarn);
+  const slim::FluidNetConfig cfg;
+  constexpr std::size_t kPartitions = 2;
+
+  // Untrained weights: this smoke asserts routing/reroute counters, not
+  // accuracy, and CI wants it fast.
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(21);
+  const auto upper = fluid.family().WorkerResident();
+  nn::Sequential upper_net = fluid.ExtractSubnet(upper);
+
+  std::printf("[setup] %zu partitions, each master + 1 worker over "
+              "loopback TCP, one RequestRouter in front\n",
+              kPartitions);
+  dist::TcpListener listener(0);
+  std::vector<std::unique_ptr<dist::MasterNode>> masters;
+  std::vector<std::unique_ptr<dist::WorkerNode>> workers;
+  dist::RouterOptions ropts;
+  ropts.policy = dist::RoutePolicy::kConsistentHash;
+  dist::RequestRouter router(ropts);
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    masters.push_back(std::make_unique<dist::MasterNode>(cfg));
+    auto master_end = dist::TcpConnect("127.0.0.1", listener.port(), 2000ms);
+    auto worker_end = listener.Accept(2000ms);
+    master_end.status().ThrowIfError();
+    worker_end.status().ThrowIfError();
+    workers.push_back(std::make_unique<dist::WorkerNode>(
+        "p" + std::to_string(p) + "-edge", cfg, std::move(*worker_end)));
+    workers.back()->Start();
+    masters.back()->AttachWorker(std::move(*master_end));
+    router.AddPartition(masters.back().get());
+  }
+
+  // One blueprint deploy replicated to every partition's workers through
+  // the router — the fleet deployment path over real sockets.
+  router
+      .DeployEverywhere("up",
+                        dist::ModelBlueprint::Standalone(cfg, upper.range.width()),
+                        nn::ExtractState(upper_net), 5000ms)
+      .ThrowIfError();
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    dist::Plan plan;
+    plan.worker_standalone = "up";
+    masters[p]->SetPlan(plan);
+    masters[p]->SetMode(sim::Mode::kHighThroughput);
+    dist::BatchOptions bopts;
+    // Partition 0 gets a SINGLE admission slot so a long-running batch
+    // provably closes it; partition 1 is the open sibling.
+    bopts.max_batch = p == 0 ? 4 : 16;
+    bopts.max_active_reqs = p == 0 ? 1 : 256;
+    masters[p]->StartServing(bopts);
+  }
+
+  core::Rng rng(33);
+  const core::Tensor x = core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+
+  // Phase 1: spread traffic — sequential keys walk the hash ring, so both
+  // partitions must see first-choice dispatches.
+  std::vector<std::future<core::StatusOr<dist::InferReply>>> futs;
+  for (int i = 0; i < 32; ++i) futs.push_back(router.InferAsync(x, 10000ms));
+
+  // Phase 2: forced admission-full reroute. A 32-sample batch (8 chunks
+  // of 4, each a real socket round trip) occupies partition 0's only
+  // admission slot; every single-sample request pinned to its hash owner
+  // while it runs must divert to partition 1.
+  std::uint64_t key0 = 0;
+  while (router.PartitionForKey(key0) != 0) ++key0;
+  const core::Tensor held =
+      core::Tensor::UniformRandom({32, 1, 28, 28}, rng, 0, 1);
+  dist::SubmitOptions so;
+  so.timeout = 10000ms;
+  futs.push_back(router.InferAsync(held, so, key0));
+  for (int i = 0; i < 16; ++i) futs.push_back(router.InferAsync(x, so, key0));
+
+  std::int64_t ok = 0;
+  for (auto& f : futs) {
+    auto reply = f.get();
+    if (!reply.ok()) {
+      std::fprintf(stderr, "error: routed request failed: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    ++ok;
+  }
+
+  const dist::RouterStats rs = router.stats();
+  const dist::WireStats wire = router.wire_stats();
+  std::printf("[result] %lld/%zu requests OK; routed %lld (p0 %lld, p1 "
+              "%lld), rerouted %lld, retries %lld, failed %lld\n",
+              static_cast<long long>(ok), futs.size(),
+              static_cast<long long>(rs.routed_reqs),
+              static_cast<long long>(rs.partitions[0].routed),
+              static_cast<long long>(rs.partitions[1].routed),
+              static_cast<long long>(rs.rerouted_reqs),
+              static_cast<long long>(rs.retries),
+              static_cast<long long>(rs.failed_reqs));
+  std::printf("[result] fleet wire: %lld B sent / %lld B recv across %lld "
+              "frames\n",
+              static_cast<long long>(wire.bytes_sent),
+              static_cast<long long>(wire.bytes_recv),
+              static_cast<long long>(wire.frames_sent));
+
+  router.Stop();
+  for (auto& m : masters) m->StopServing();
+  for (auto& w : workers) w->Stop();
+
+  if (rs.partitions[0].routed <= 0 || rs.partitions[1].routed <= 0) {
+    std::fprintf(stderr, "error: a partition served no traffic — the hash "
+                         "ring is not spreading keys\n");
+    return 1;
+  }
+  if (rs.rerouted_reqs <= 0) {
+    std::fprintf(stderr, "error: no request was rerouted — the admission-"
+                         "full divert never engaged over TCP\n");
+    return 1;
+  }
+  if (rs.failed_reqs != 0) {
+    std::fprintf(stderr, "error: %lld routed requests failed\n",
+                 static_cast<long long>(rs.failed_reqs));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "routed=1") return RunRoutedFleet();
+  }
   core::SetLogLevel(core::LogLevel::kWarn);
   const slim::FluidNetConfig cfg;
   constexpr std::size_t kWorkers = 3;

@@ -20,6 +20,12 @@
 #                            with per-phase wire byte/frame counters and
 #                            the input quantization's top-1 fidelity
 #                            (fig2_throughput wire=1)
+#                          cluster_scale — partitioned multi-master
+#                            scale-out: RequestRouter over N=1..4
+#                            masters, each with its own worker and
+#                            emulated link; aggregate closed-loop req/s
+#                            plus 3-class open-loop percentiles per N
+#                            (fig2_throughput cluster=1)
 #                          int8_accuracy — top-1 of the int8 deployment vs
 #                            its fp32 source (fig2_accuracy quant_json=…;
 #                            skipped when FLUID_BENCH_SKIP_ACCURACY=1 — it
@@ -100,8 +106,8 @@ if ! cmake --build "${build_dir}" -j "$(nproc)" --target fig2_throughput; then
   echo "error: building fig2_throughput failed." >&2
   exit 1
 fi
-serving_tmp="$(mktemp)" ha_tmp="$(mktemp)" acc_tmp="$(mktemp)" mixed_tmp="$(mktemp)" wire_tmp="$(mktemp)"
-trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}" "${wire_tmp}"' EXIT
+serving_tmp="$(mktemp)" ha_tmp="$(mktemp)" acc_tmp="$(mktemp)" mixed_tmp="$(mktemp)" wire_tmp="$(mktemp)" cluster_tmp="$(mktemp)"
+trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}" "${wire_tmp}" "${cluster_tmp}"' EXIT
 "${build_dir}/fig2_throughput" closed_loop=1 clients=8 per_client=100 \
   json="${serving_tmp}"
 # Wire data plane: the HT fan-out served fp32 (v2) vs int8 input shards
@@ -122,6 +128,12 @@ trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}" "${ha_tm
 # single-class ha_quant baseline.
 "${build_dir}/fig2_throughput" mixed=1 rate=950 requests=3000 \
   max_batch=64 ha_window=32 cut=1 json="${mixed_tmp}"
+# Partitioned multi-master scale-out: the router over N=1..4 partitions,
+# each master + worker on its OWN 12 ms / 100 Mbit/s emulated link — the
+# aggregate req/s at N=3 vs N=1 is the scale-out gate, and the high
+# class's open-loop p99 must hold against the single-master mixed_slo
+# baseline.
+"${build_dir}/fig2_throughput" cluster=1 masters=4 json="${cluster_tmp}"
 
 if [[ "${FLUID_BENCH_SKIP_ACCURACY:-0}" != "1" ]]; then
   if ! cmake --build "${build_dir}" -j "$(nproc)" --target fig2_accuracy; then
@@ -143,11 +155,12 @@ EOF
 fi
 
 serving_merged="$(mktemp)"
-python3 - "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}" "${wire_tmp}" > "${serving_merged}" <<'EOF'
+python3 - "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}" "${wire_tmp}" "${cluster_tmp}" > "${serving_merged}" <<'EOF'
 import json, sys
-closed, ha, acc, mixed, wire = (json.load(open(p)) for p in sys.argv[1:6])
+closed, ha, acc, mixed, wire, cluster = (
+    json.load(open(p)) for p in sys.argv[1:7])
 out = {"closed_loop": closed, "ha_quant": ha, "mixed_slo": mixed,
-       "wire": wire}
+       "wire": wire, "cluster_scale": cluster}
 # Steady-state heap discipline per scenario, gathered in one place so the
 # alloc/request trajectory is tracked PR over PR next to the latencies.
 out["mem_discipline"] = {

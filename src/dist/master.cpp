@@ -34,6 +34,7 @@ std::size_t MasterNode::AttachWorker(TransportPtr transport) {
   WorkerHandle handle;
   handle.transport = std::move(transport);
   workers_.push_back(std::move(handle));
+  alive_count_.fetch_add(1, std::memory_order_relaxed);
   RefreshLabelsLocked();
   return workers_.size() - 1;
 }
@@ -57,6 +58,7 @@ core::Status MasterNode::ReattachWorker(std::size_t index,
   }
   handle.transport = std::move(transport);
   handle.alive = true;
+  alive_count_.fetch_add(1, std::memory_order_relaxed);
   handle.name.clear();
   handle.pending.clear();
   handle.reply_buffer.clear();
@@ -181,6 +183,33 @@ sim::Mode MasterNode::mode() const {
 MasterStats MasterNode::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+LoadSnapshot MasterNode::ProbeLoad() const {
+  LoadSnapshot snap;
+  snap.alive_workers = alive_count_.load(std::memory_order_relaxed);
+  std::shared_ptr<BatchScheduler> scheduler;
+  {
+    // serving_mu_ is the start/stop latch, never held while serving or
+    // across Submit backpressure — this is NOT the serving-core lock
+    // (mu_), which LoadSnapshot must never wait on.
+    std::lock_guard<std::mutex> lock(serving_mu_);
+    scheduler = scheduler_;
+  }
+  if (!scheduler) return snap;  // not serving: admission trivially open
+  snap.serving = true;
+  const SchedulerLoad load = scheduler->load();
+  snap.admission_open = load.admission_open;
+  snap.pool_occupancy = load.occupancy;
+  snap.active_requests = load.active_requests;
+  snap.queue_depth = load.queue_depth;
+  snap.deadline_misses = load.deadline_misses;
+  snap.completed = load.completed;
+  snap.miss_rate = load.completed > 0
+                       ? static_cast<double>(load.deadline_misses) /
+                             static_cast<double>(load.completed)
+                       : 0.0;
+  return snap;
 }
 
 WireStats MasterNode::wire_stats() const {
@@ -1050,6 +1079,7 @@ const MasterNode::Deployment* MasterNode::FindDeploymentLocked(
 void MasterNode::MarkDeadLocked(std::size_t w, const core::Status& why) {
   if (!workers_[w].alive) return;
   workers_[w].alive = false;
+  alive_count_.fetch_sub(1, std::memory_order_relaxed);
   workers_[w].pending.clear();
   workers_[w].reply_buffer.clear();
   FLUID_LOG(Warn) << "master: worker[" << w << "] ("

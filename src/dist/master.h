@@ -44,6 +44,7 @@
 // and redeploys. One mutex serializes the serving core; concurrency comes
 // from batching, not from concurrent forwards.
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <map>
@@ -87,6 +88,24 @@ struct MasterStats {
   std::int64_t reattaches = 0;       // workers revived via ReattachWorker
   std::int64_t quant_cut_frames = 0; // HA cut frames shipped int8 (wire v3)
   std::int64_t quant_input_frames = 0;  // HT shards shipped int8 (wire v5)
+};
+
+/// A master's serving load, cheap enough to probe per routing decision.
+/// Sourced from the scheduler's lock-free load mirror plus an atomic
+/// alive-worker count — taking it NEVER touches the serving-core lock, so
+/// a router probing every partition on every dispatch cannot contend with
+/// chunk service. (It briefly takes the start/stop latch serving_mu_ to
+/// copy the scheduler handle; that lock is never held while serving.)
+struct LoadSnapshot {
+  bool serving = false;         // scheduler running
+  bool admission_open = true;   // a Submit now would not block on admission
+  double pool_occupancy = 0.0;  // EMA active/max_active, [0, 1]
+  std::int64_t active_requests = 0;
+  std::int64_t queue_depth = 0;      // backlog rows
+  std::int64_t deadline_misses = 0;  // lifetime
+  std::int64_t completed = 0;        // lifetime
+  double miss_rate = 0.0;            // lifetime misses / completed
+  std::size_t alive_workers = 0;
 };
 
 class MasterNode {
@@ -162,6 +181,9 @@ class MasterNode {
   /// Returns the number still alive. Used by the Orchestrator tick.
   std::size_t ProbeWorkers(
       std::chrono::milliseconds timeout = std::chrono::milliseconds(250));
+
+  /// Hot-path load probe for dispatchers (see struct LoadSnapshot above).
+  LoadSnapshot ProbeLoad() const;
 
   MasterStats stats() const;
   /// Wire byte/frame counters summed over every attached worker link —
@@ -296,6 +318,11 @@ class MasterNode {
   /// races StopServing.
   mutable std::mutex serving_mu_;
   std::shared_ptr<BatchScheduler> scheduler_;
+
+  /// Lock-free mirror of the alive-worker count (maintained wherever
+  /// `WorkerHandle::alive` flips, always under mu_) so LoadSnapshot can
+  /// read it without the serving-core lock.
+  std::atomic<std::size_t> alive_count_{0};
 };
 
 }  // namespace fluid::dist

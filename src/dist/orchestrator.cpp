@@ -83,4 +83,56 @@ Orchestrator::Report Orchestrator::Tick(double demand) {
   return report;
 }
 
+FleetOrchestrator::FleetOrchestrator(RequestRouter& router,
+                                     OrchestratorConfig config)
+    : router_(router), config_(config) {}
+
+FleetOrchestrator::FleetReport FleetOrchestrator::Tick(double fleet_demand) {
+  ++ticks_;
+  FleetReport fleet;
+  fleet.demand = fleet_demand;
+
+  const RouterStats rs = router_.stats();
+  if (partitions_.size() < rs.partitions.size()) {
+    partitions_.resize(rs.partitions.size());
+  }
+  std::size_t live = 0;
+  for (const RouterPartitionStats& p : rs.partitions) live += p.live ? 1 : 0;
+  const double share =
+      live > 0 ? fleet_demand / static_cast<double>(live) : fleet_demand;
+
+  for (const RouterPartitionStats& p : rs.partitions) {
+    PartitionReport pr;
+    pr.partition = p.id;
+    pr.live = p.live;
+    pr.draining = p.draining;
+    if (!p.live) {
+      partitions_[p.id].reset();  // forget a removed partition's controller
+      fleet.partitions.push_back(std::move(pr));
+      continue;
+    }
+    MasterNode* master = router_.partition(p.id);
+    if (master == nullptr) {  // removed between stats() and here
+      pr.live = false;
+      fleet.partitions.push_back(std::move(pr));
+      continue;
+    }
+    if (!partitions_[p.id]) {
+      partitions_[p.id] = std::make_unique<Orchestrator>(*master, config_);
+    }
+    pr.report = partitions_[p.id]->Tick(share);
+    fleet.alive_workers += pr.report.alive_workers;
+    fleet.capacity += pr.report.capacity;
+    if (!p.draining) ++fleet.serving_partitions;
+    fleet.partitions.push_back(std::move(pr));
+  }
+
+  fleet.wire = router_.wire_stats();
+  fleet.sched = router_.scheduler_stats();
+  FLUID_LOG(Debug) << "fleet tick " << ticks_ << ": demand " << fleet_demand
+                   << " partitions " << fleet.serving_partitions << "/"
+                   << rs.partitions.size() << " capacity " << fleet.capacity;
+  return fleet;
+}
+
 }  // namespace fluid::dist

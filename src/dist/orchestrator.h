@@ -15,9 +15,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "dist/master.h"
 #include "dist/mode_controller.h"
+#include "dist/router.h"
 
 namespace fluid::dist {
 
@@ -64,6 +67,56 @@ class Orchestrator {
   // Last tick's lifetime counters, for per-interval rates.
   std::int64_t last_misses_ = 0;
   std::int64_t last_completed_ = 0;
+};
+
+/// Fleet-level control loop over a partitioned deployment: one
+/// Orchestrator per partition behind one RequestRouter. Each tick splits
+/// the fleet demand estimate evenly across the live partitions, runs each
+/// partition's own control iteration (heartbeats, mode decision, capacity
+/// estimate — per-partition mode is a feature: a degraded partition can
+/// drop to HT while its siblings stay HA), and rolls the results up into
+/// one fleet view with aggregate wire and scheduler telemetry from the
+/// router. Pure control plane, like the per-partition Orchestrator: a
+/// stalled fleet tick never stalls serving. Partition orchestrators are
+/// created lazily as partitions appear, and keep their controller
+/// hysteresis state across ticks; a removed partition's slot reports
+/// live=false and its controller state is dropped.
+class FleetOrchestrator {
+ public:
+  struct PartitionReport {
+    std::size_t partition = 0;
+    bool live = false;
+    bool draining = false;
+    Orchestrator::Report report;  // meaningful only when live
+  };
+
+  struct FleetReport {
+    double demand = 0.0;              // fleet demand this tick planned for
+    std::size_t serving_partitions = 0;  // live and not draining
+    std::size_t alive_workers = 0;       // across every live partition
+    double capacity = 0.0;               // summed partition estimates
+    /// Aggregate telemetry over the fleet (RequestRouter's summed view).
+    WireStats wire;
+    SchedulerStats sched;
+    std::vector<PartitionReport> partitions;
+  };
+
+  /// `config` is the PER-PARTITION operating point (each partition owns a
+  /// disjoint worker set, so capacities do not divide across siblings).
+  FleetOrchestrator(RequestRouter& router, OrchestratorConfig config);
+
+  /// One fleet control iteration for the given total demand (img/s).
+  FleetReport Tick(double fleet_demand);
+
+  std::int64_t ticks() const { return ticks_; }
+
+ private:
+  RequestRouter& router_;
+  OrchestratorConfig config_;
+  /// Index = partition id; null until that partition first appears (or
+  /// after it is removed).
+  std::vector<std::unique_ptr<Orchestrator>> partitions_;
+  std::int64_t ticks_ = 0;
 };
 
 }  // namespace fluid::dist

@@ -1,0 +1,495 @@
+#include "dist/router.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "core/buffer_pool.h"
+#include "core/error.h"
+
+namespace fluid::dist {
+
+using namespace std::chrono_literals;
+
+namespace {
+/// Least-loaded score: the ISSUE-spec signal pair — how full the active
+/// pool runs plus how often the partition blows deadlines. Lower is
+/// better; ties broken on instantaneous pool state, then id (stable).
+std::tuple<double, std::int64_t, std::int64_t> LoadKey(
+    const LoadSnapshot& s) {
+  return {s.pool_occupancy + s.miss_rate, s.active_requests, s.queue_depth};
+}
+
+core::Status NoPartition() {
+  return core::Status::Unavailable("router: no live partition to serve");
+}
+}  // namespace
+
+std::string_view RoutePolicyName(RoutePolicy p) {
+  switch (p) {
+    case RoutePolicy::kConsistentHash: return "consistent_hash";
+    case RoutePolicy::kLeastLoaded: return "least_loaded";
+  }
+  return "unknown";
+}
+
+// ---- HashRing --------------------------------------------------------------
+
+HashRing::HashRing(std::size_t points_per_node)
+    : points_(points_per_node == 0 ? 1 : points_per_node) {}
+
+std::uint64_t HashRing::Mix(std::uint64_t x) {
+  // splitmix64 finalizer: cheap, well-spread, and stable across builds
+  // (ring placement must be reproducible — tests pin remap fractions).
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void HashRing::AddNode(std::size_t id) {
+  for (std::size_t v = 0; v < points_; ++v) {
+    // Per-point hash chains the node hash with the point index so every
+    // virtual point lands independently.
+    const std::uint64_t point =
+        Mix(Mix(static_cast<std::uint64_t>(id) + 1) ^
+            (static_cast<std::uint64_t>(v) * 0xd1b54a32d192ed03ull));
+    ring_.emplace_back(point, id);
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+void HashRing::RemoveNode(std::size_t id) {
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [&](const auto& p) { return p.second == id; }),
+              ring_.end());
+}
+
+std::size_t HashRing::NodeFor(std::uint64_t key) const {
+  FLUID_CHECK_MSG(!ring_.empty(), "HashRing::NodeFor on an empty ring");
+  const std::uint64_t h = Mix(key);
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), h,
+      [](std::uint64_t v, const auto& p) { return v < p.first; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+void HashRing::WalkFrom(std::uint64_t key,
+                        std::vector<std::size_t>& order) const {
+  order.clear();
+  if (ring_.empty()) return;
+  const std::uint64_t h = Mix(key);
+  auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), h,
+      [](std::uint64_t v, const auto& p) { return v < p.first; });
+  for (std::size_t seen = 0; seen < ring_.size(); ++seen, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(order.begin(), order.end(), it->second) == order.end()) {
+      order.push_back(it->second);
+    }
+  }
+}
+
+// ---- RequestRouter ---------------------------------------------------------
+
+RequestRouter::RequestRouter(RouterOptions options)
+    : options_(options), ring_(options.ring_points) {
+  collector_ = std::thread(&RequestRouter::CollectLoop, this);
+}
+
+RequestRouter::~RequestRouter() { Stop(); }
+
+void RequestRouter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  pending_cv_.notify_all();
+  if (collector_.joinable()) collector_.join();
+}
+
+std::size_t RequestRouter::AddPartition(MasterNode* master) {
+  FLUID_CHECK_MSG(master != nullptr, "AddPartition: null master");
+  std::lock_guard<std::mutex> lock(mu_);
+  FLUID_CHECK_MSG(partitions_.size() < kMaxPartitions,
+                  "AddPartition: partition limit reached");
+  const std::size_t id = partitions_.size();
+  Partition p;
+  p.master = master;
+  partitions_.push_back(p);
+  ring_.AddNode(id);
+  return id;
+}
+
+void RequestRouter::RemovePartition(std::size_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= partitions_.size() || partitions_[id].master == nullptr) return;
+  partitions_[id].master = nullptr;
+  ring_.RemoveNode(id);
+}
+
+void RequestRouter::SetDraining(std::size_t id, bool draining) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= partitions_.size()) return;
+  partitions_[id].draining = draining;
+}
+
+bool RequestRouter::draining(std::size_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < partitions_.size() && partitions_[id].draining;
+}
+
+std::size_t RequestRouter::num_partitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Partition& p : partitions_) n += p.master != nullptr ? 1 : 0;
+  return n;
+}
+
+MasterNode* RequestRouter::partition(std::size_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < partitions_.size() ? partitions_[id].master : nullptr;
+}
+
+std::size_t RequestRouter::PartitionForKey(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.NodeFor(key);
+}
+
+void RequestRouter::SetLoadProbeForTesting(LoadProbe probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_ = std::move(probe);
+}
+
+LoadSnapshot RequestRouter::ProbeLoad(std::size_t id) const {
+  if (probe_) return probe_(id);
+  return partitions_[id].master->ProbeLoad();
+}
+
+void RequestRouter::PlanOrderLocked(std::uint64_t key,
+                                    std::vector<std::size_t>& order) const {
+  order.clear();
+  if (options_.policy == RoutePolicy::kConsistentHash) {
+    // Ring walk: the key's owner first, then its successors — which is
+    // exactly the failover order that keeps sibling spill deterministic.
+    ring_.WalkFrom(key, order);
+    return;
+  }
+  // Least-loaded: every live partition, ascending load score.
+  std::vector<std::pair<std::tuple<double, std::int64_t, std::int64_t>,
+                        std::size_t>> scored;
+  for (std::size_t id = 0; id < partitions_.size(); ++id) {
+    if (partitions_[id].master == nullptr) continue;
+    scored.emplace_back(LoadKey(ProbeLoad(id)), id);
+  }
+  std::sort(scored.begin(), scored.end());
+  for (const auto& [score, id] : scored) order.push_back(id);
+}
+
+bool RequestRouter::ChooseLocked(const std::vector<std::size_t>& order,
+                                 std::uint64_t tried, std::size_t& chosen) {
+  // First pass: an untried partition that is live, not draining, and has
+  // open admission (cheap lock-free probe).
+  for (const std::size_t id : order) {
+    if (tried & (1ull << id)) continue;
+    const Partition& p = partitions_[id];
+    if (p.master == nullptr || p.draining) continue;
+    if (!ProbeLoad(id).admission_open) continue;
+    chosen = id;
+    return true;
+  }
+  // Every admission is closed (or everything live is draining): take the
+  // first live untried candidate anyway — the submit blocks on admission
+  // backpressure bounded by the request's own budget, which beats
+  // refusing a request the fleet could still serve late.
+  for (const std::size_t id : order) {
+    if (tried & (1ull << id)) continue;
+    if (partitions_[id].master == nullptr) continue;
+    chosen = id;
+    return true;
+  }
+  return false;
+}
+
+std::future<core::StatusOr<InferReply>> RequestRouter::InferAsync(
+    core::Tensor input, std::chrono::milliseconds timeout) {
+  SubmitOptions opts;
+  opts.timeout = timeout;
+  return InferAsync(std::move(input), opts);
+}
+
+std::future<core::StatusOr<InferReply>> RequestRouter::InferAsync(
+    core::Tensor input, const SubmitOptions& opts) {
+  return InferAsync(std::move(input), opts,
+                    next_key_.fetch_add(1, std::memory_order_relaxed));
+}
+
+std::future<core::StatusOr<InferReply>> RequestRouter::InferAsync(
+    core::Tensor input, const SubmitOptions& opts, std::uint64_t key) {
+  auto p = std::make_unique<Pending>();
+  p->opts = opts;
+  p->deadline = Clock::now() + opts.timeout;
+  p->input = std::move(input);
+  auto future = p->promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (stop_) {
+      p->promise.set_value(
+          core::Status::Unavailable("router stopped before submit"));
+      return future;
+    }
+  }
+
+  std::size_t chosen = 0;
+  MasterNode* target = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++routed_reqs_;
+    PlanOrderLocked(key, p->order);
+    if (!ChooseLocked(p->order, /*tried=*/0, chosen)) {
+      ++failed_reqs_;
+      p->promise.set_value(NoPartition());
+      return future;
+    }
+    if (!p->order.empty() && chosen != p->order.front()) {
+      // The key's first choice could not take it (draining, removed, or
+      // admission-full): diverted to a sibling partition.
+      ++rerouted_reqs_;
+      ++partitions_[chosen].rerouted_in;
+    }
+    ++partitions_[chosen].routed;
+    p->tried |= 1ull << chosen;
+    target = partitions_[chosen].master;
+  }
+
+  // Submit OUTSIDE mu_: the partition's admission backpressure may block
+  // for the request's whole budget, and routing must not stall behind it.
+  // The partition gets a pooled copy; the original is retained for
+  // resubmission on an in-flight failure.
+  p->inner = target->InferAsync(core::AcquireTensorCopy(p->input), opts);
+
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    // Even if Stop() raced in, enqueueing is safe: the collector only
+    // exits once the pending set is empty.
+    pending_.push_back(std::move(p));
+  }
+  pending_cv_.notify_one();
+  return future;
+}
+
+core::StatusOr<InferReply> RequestRouter::Infer(
+    const core::Tensor& input, std::chrono::milliseconds timeout) {
+  return InferAsync(core::AcquireTensorCopy(input), timeout).get();
+}
+
+void RequestRouter::CollectLoop() {
+  for (;;) {
+    std::unique_ptr<Pending> ready;
+    {
+      std::unique_lock<std::mutex> lock(pending_mu_);
+      pending_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stop_ and nothing left to resolve
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if ((*it)->inner.wait_for(0s) == std::future_status::ready) {
+          ready = std::move(*it);
+          pending_.erase(it);
+          break;
+        }
+      }
+    }
+    if (ready) {
+      auto result = ready->inner.get();
+      FinishPending(std::move(ready), std::move(result));
+    } else {
+      // Requests in flight but none resolved: doze instead of spinning
+      // the lock (the partitions' own schedulers pace completion).
+      std::this_thread::sleep_for(200us);
+    }
+  }
+}
+
+void RequestRouter::FinishPending(std::unique_ptr<Pending> p,
+                                  core::StatusOr<InferReply> result) {
+  // A partition that answers kUnavailable (its transport died with no
+  // local fallback, or its scheduler stopped) is not the fleet's last
+  // word: with budget left and an untried sibling, resubmit there.
+  if (!result.ok() &&
+      result.status().code() == core::StatusCode::kUnavailable &&
+      Clock::now() < p->deadline) {
+    std::size_t chosen = 0;
+    MasterNode* target = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (ChooseLocked(p->order, p->tried, chosen)) {
+        target = partitions_[chosen].master;
+        p->tried |= 1ull << chosen;
+        ++partitions_[chosen].routed;
+        ++partitions_[chosen].rerouted_in;
+        ++rerouted_reqs_;
+        ++retries_;
+      }
+    }
+    if (target != nullptr) {
+      SubmitOptions opts = p->opts;
+      opts.timeout = RemainingMs(p->deadline);
+      p->inner = target->InferAsync(core::AcquireTensorCopy(p->input), opts);
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_.push_back(std::move(p));
+      return;
+    }
+  }
+  // Final: resolve the caller's promise exactly once, retire the retained
+  // input to the pool.
+  if (!p->input.empty()) core::RecycleTensor(std::move(p->input));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.ok()) {
+      ++completed_reqs_;
+    } else {
+      ++failed_reqs_;
+    }
+  }
+  p->promise.set_value(std::move(result));
+}
+
+// ---- Fleet deployment ------------------------------------------------------
+
+core::Status RequestRouter::DeployEverywhere(
+    const std::string& name, const ModelBlueprint& blueprint,
+    const nn::StateDict& state, std::chrono::milliseconds timeout) {
+  std::vector<std::pair<std::size_t, MasterNode*>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t id = 0; id < partitions_.size(); ++id) {
+      if (partitions_[id].master != nullptr) {
+        live.emplace_back(id, partitions_[id].master);
+      }
+    }
+  }
+  for (const auto& [id, master] : live) {
+    for (std::size_t w = 0; w < master->num_workers(); ++w) {
+      if (!master->WorkerAlive(w)) continue;
+      auto st = master->DeployToWorker(name, blueprint, state, timeout, w);
+      if (!st.ok()) {
+        return core::Status(st.code(),
+                            "DeployEverywhere: partition " +
+                                std::to_string(id) + " worker " +
+                                std::to_string(w) + ": " + st.message());
+      }
+    }
+  }
+  return core::Status::Ok();
+}
+
+core::Status RequestRouter::RollingDeploy(
+    const std::string& name, const ModelBlueprint& blueprint,
+    const nn::StateDict& state, std::chrono::milliseconds timeout) {
+  std::vector<std::pair<std::size_t, MasterNode*>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t id = 0; id < partitions_.size(); ++id) {
+      if (partitions_[id].master != nullptr) {
+        live.emplace_back(id, partitions_[id].master);
+      }
+    }
+  }
+  for (const auto& [id, master] : live) {
+    // Drain: new requests route to siblings while this partition rolls;
+    // what it already admitted keeps serving on the old deployment.
+    SetDraining(id, true);
+    core::Status st = core::Status::Ok();
+    for (std::size_t w = 0; w < master->num_workers() && st.ok(); ++w) {
+      if (!master->WorkerAlive(w)) continue;
+      st = master->DeployToWorker(name, blueprint, state, timeout, w);
+    }
+    SetDraining(id, false);
+    if (!st.ok()) {
+      // The partition rejoins on its previous deployment; the roll stops
+      // here so the operator sees a half-upgraded fleet loudly.
+      return core::Status(st.code(), "RollingDeploy: partition " +
+                                         std::to_string(id) + ": " +
+                                         st.message());
+    }
+  }
+  return core::Status::Ok();
+}
+
+// ---- Fleet telemetry -------------------------------------------------------
+
+RouterStats RequestRouter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RouterStats s;
+  s.routed_reqs = routed_reqs_;
+  s.rerouted_reqs = rerouted_reqs_;
+  s.retries = retries_;
+  s.completed_reqs = completed_reqs_;
+  s.failed_reqs = failed_reqs_;
+  s.partitions.reserve(partitions_.size());
+  for (std::size_t id = 0; id < partitions_.size(); ++id) {
+    RouterPartitionStats ps;
+    ps.id = id;
+    ps.live = partitions_[id].master != nullptr;
+    ps.draining = partitions_[id].draining;
+    ps.routed = partitions_[id].routed;
+    ps.rerouted_in = partitions_[id].rerouted_in;
+    if (ps.live) ps.load = ProbeLoad(id);
+    s.partitions.push_back(std::move(ps));
+  }
+  return s;
+}
+
+WireStats RequestRouter::wire_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WireStats total;
+  for (const Partition& p : partitions_) {
+    if (p.master != nullptr) total += p.master->wire_stats();
+  }
+  return total;
+}
+
+SchedulerStats RequestRouter::scheduler_stats() const {
+  std::vector<MasterNode*> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Partition& p : partitions_) {
+      if (p.master != nullptr) live.push_back(p.master);
+    }
+  }
+  SchedulerStats total;
+  double occupancy_sum = 0.0;
+  std::size_t serving = 0;
+  for (MasterNode* m : live) {
+    const SchedulerStats s = m->scheduler_stats();
+    total.submitted += s.submitted;
+    total.completed += s.completed;
+    total.batches += s.batches;
+    total.coalesced_samples += s.coalesced_samples;
+    total.queue_depth += s.queue_depth;
+    total.active_requests += s.active_requests;
+    total.running_requests += s.running_requests;
+    total.max_active_seen += s.max_active_seen;
+    total.deadline_misses += s.deadline_misses;
+    total.preemptions += s.preemptions;
+    for (std::size_t c = 0; c < kNumPriorityClasses; ++c) {
+      total.class_submitted[c] += s.class_submitted[c];
+      total.class_active[c] += s.class_active[c];
+    }
+    if (m->serving()) {
+      occupancy_sum += s.occupancy;
+      ++serving;
+    }
+  }
+  total.avg_batch = total.batches > 0
+                        ? static_cast<double>(total.coalesced_samples) /
+                              static_cast<double>(total.batches)
+                        : 0.0;
+  total.occupancy =
+      serving > 0 ? occupancy_sum / static_cast<double>(serving) : 0.0;
+  return total;
+}
+
+}  // namespace fluid::dist

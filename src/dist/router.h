@@ -1,0 +1,261 @@
+#pragma once
+// RequestRouter: the partitioned fleet's front door.
+//
+// One MasterNode is one serialization domain — its serving core runs
+// under a single lock and every request funnels through it. The router
+// scales past that by fronting N masters, each owning a DISJOINT worker
+// partition, and dispatching per request:
+//
+//   kConsistentHash — a hash ring over partitions (ring_points virtual
+//                     points each) keyed on the request id: the same key
+//                     lands on the same partition (cache/affinity), and
+//                     adding or removing a partition remaps only ~1/N of
+//                     the key space (the stability the tests pin).
+//   kLeastLoaded    — per-dispatch probe of every partition's
+//                     MasterNode::LoadSnapshot(); the request goes to the
+//                     lowest pool occupancy + deadline-miss-rate score.
+//
+// The router speaks the MasterNode InferAsync surface and carries the SLO
+// class/deadline through unchanged. Its futures are its OWN promises:
+// the caller's future is resolved exactly once by the router, never by a
+// partition directly. That indirection is what makes failover airtight —
+// when a partition's admission is closed (or it is draining, or removed)
+// the request is diverted to a sibling at submit time, and when a
+// partition FAILS a request in flight (its transport died with no local
+// fallback) the collector thread resubmits it to an untried sibling with
+// whatever deadline budget remains. Both paths count `rerouted_reqs`; a
+// request fails only when every partition has refused it or its budget is
+// spent. Never a lost future, never a double-resolved one.
+//
+// Deployment model: blueprint deploys replicate across partitions via the
+// existing deploy codec — DeployEverywhere ships one blueprint to every
+// worker of every partition, so any partition can serve any request.
+// RollingDeploy upgrades partition by partition: the partition is DRAINED
+// (the router routes new requests to siblings), its workers re-deployed,
+// then undrained — the fleet never stops serving during the roll.
+// Master-local deployments stay per-master (the caller owns those).
+//
+// Ownership/threading: the router does not own its MasterNodes (they must
+// outlive it, and RemovePartition must not race in-flight submits to that
+// partition). All entry points are thread-safe. Stop() (or destruction)
+// joins the collector after the pending set drains — every pending future
+// is deadline-bounded by its master, so shutdown is bounded too. Stop the
+// router BEFORE stopping the masters for a quiet shutdown (a stopped
+// master fails its requests kUnavailable, which the collector treats as
+// reroutable — correct, but noisy).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+#include "dist/blueprint.h"
+#include "dist/master.h"
+#include "dist/serving_queue.h"
+#include "dist/transport.h"
+#include "nn/checkpoint.h"
+
+namespace fluid::dist {
+
+enum class RoutePolicy : std::uint8_t {
+  kConsistentHash = 0,
+  kLeastLoaded = 1,
+};
+std::string_view RoutePolicyName(RoutePolicy p);
+
+struct RouterOptions {
+  RoutePolicy policy = RoutePolicy::kConsistentHash;
+  /// Virtual points per partition on the hash ring. More points spread
+  /// keys more evenly and shrink the remapped fraction on membership
+  /// change, at O(points · partitions) ring memory.
+  std::size_t ring_points = 64;
+};
+
+/// Consistent-hash ring over partition ids. Pure and deterministic (the
+/// point placement depends only on id and index), so key ownership is
+/// reproducible across processes — and directly testable.
+class HashRing {
+ public:
+  explicit HashRing(std::size_t points_per_node = 64);
+
+  void AddNode(std::size_t id);
+  void RemoveNode(std::size_t id);
+  bool empty() const { return ring_.empty(); }
+
+  /// Owner of `key` (the first ring point clockwise of Mix(key)).
+  /// Requires a non-empty ring.
+  std::size_t NodeFor(std::uint64_t key) const;
+  /// Distinct nodes in ring order starting at key's owner — the failover
+  /// order for that key. Appends to `order` (cleared first).
+  void WalkFrom(std::uint64_t key, std::vector<std::size_t>& order) const;
+
+  /// 64-bit finalizer (splitmix64) — the ring's point/key hash.
+  static std::uint64_t Mix(std::uint64_t x);
+
+ private:
+  std::size_t points_;
+  /// Sorted (point, node) pairs.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+struct RouterPartitionStats {
+  std::size_t id = 0;
+  bool live = false;      // attached, not removed
+  bool draining = false;  // rolling upgrade in progress
+  std::int64_t routed = 0;       // dispatches that chose this partition
+  std::int64_t rerouted_in = 0;  // of those, diverted from a sibling
+  LoadSnapshot load;             // probe at stats() time
+};
+
+struct RouterStats {
+  std::int64_t routed_reqs = 0;    // requests accepted by the router
+  std::int64_t rerouted_reqs = 0;  // diverted at submit or retried in flight
+  std::int64_t retries = 0;        // in-flight failures resubmitted
+  std::int64_t completed_reqs = 0;
+  std::int64_t failed_reqs = 0;    // resolved with an error
+  std::vector<RouterPartitionStats> partitions;
+};
+
+class RequestRouter {
+ public:
+  explicit RequestRouter(RouterOptions options = {});
+  ~RequestRouter();
+  RequestRouter(const RequestRouter&) = delete;
+  RequestRouter& operator=(const RequestRouter&) = delete;
+
+  /// Register a partition's master (non-owning). Returns its stable id.
+  std::size_t AddPartition(MasterNode* master);
+  /// Detach a partition: it leaves the ring and takes no new requests.
+  /// In-flight requests already submitted to it still resolve through
+  /// their futures (and may still reroute off it on failure).
+  void RemovePartition(std::size_t id);
+  /// Drain toggle (rolling upgrades): a draining partition takes no new
+  /// first-choice requests but keeps serving what it already admitted.
+  void SetDraining(std::size_t id, bool draining);
+  bool draining(std::size_t id) const;
+
+  std::size_t num_partitions() const;  // live (non-removed) partitions
+  MasterNode* partition(std::size_t id) const;  // nullptr once removed
+
+  /// Current owner of `key` under the hash policy (introspection/tests).
+  std::size_t PartitionForKey(std::uint64_t key) const;
+
+  // ---- The MasterNode serving surface -------------------------------
+
+  std::future<core::StatusOr<InferReply>> InferAsync(
+      core::Tensor input, std::chrono::milliseconds timeout);
+  std::future<core::StatusOr<InferReply>> InferAsync(
+      core::Tensor input, const SubmitOptions& opts);
+  /// Affinity form: `key` pins the consistent-hash choice (e.g. a client
+  /// or session id). The keyless overloads draw sequential keys.
+  std::future<core::StatusOr<InferReply>> InferAsync(
+      core::Tensor input, const SubmitOptions& opts, std::uint64_t key);
+  core::StatusOr<InferReply> Infer(const core::Tensor& input,
+                                   std::chrono::milliseconds timeout);
+
+  // ---- Fleet deployment ----------------------------------------------
+
+  /// Replicate one blueprint deploy to every alive worker of every live
+  /// partition (the existing deploy codec, fanned out). Fails fast on the
+  /// first rejected deploy.
+  core::Status DeployEverywhere(
+      const std::string& name, const ModelBlueprint& blueprint,
+      const nn::StateDict& state,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(2000));
+  /// Rolling upgrade: partition by partition — drain (router redirects
+  /// new requests to siblings), deploy to its workers, undrain. On a
+  /// failed deploy the partition is undrained (it still serves its
+  /// previous deployment) and the roll aborts with the error.
+  core::Status RollingDeploy(
+      const std::string& name, const ModelBlueprint& blueprint,
+      const nn::StateDict& state,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(2000));
+
+  // ---- Fleet telemetry ------------------------------------------------
+
+  RouterStats stats() const;
+  /// Summed wire counters over every partition's worker links.
+  WireStats wire_stats() const;
+  /// Fleet scheduler view: counters summed across partitions, occupancy
+  /// averaged over the partitions that are serving.
+  SchedulerStats scheduler_stats() const;
+
+  /// Join the collector after the pending set drains (each pending future
+  /// is deadline-bounded). New submits fail kUnavailable. Idempotent.
+  void Stop();
+
+  /// Test seam: replace the per-partition load probe (id → snapshot).
+  /// Pass nullptr to restore the real MasterNode::LoadSnapshot probe.
+  using LoadProbe = std::function<LoadSnapshot(std::size_t)>;
+  void SetLoadProbeForTesting(LoadProbe probe);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Partition {
+    MasterNode* master = nullptr;  // nullptr once removed
+    bool draining = false;
+    std::int64_t routed = 0;
+    std::int64_t rerouted_in = 0;
+  };
+
+  /// One request the router has accepted but not yet resolved. The input
+  /// is RETAINED (the partition got a pooled copy) so an in-flight
+  /// failure can be resubmitted to a sibling; it is recycled on resolve.
+  struct Pending {
+    std::promise<core::StatusOr<InferReply>> promise;
+    std::future<core::StatusOr<InferReply>> inner;
+    core::Tensor input;
+    SubmitOptions opts;           // original class; timeout re-derived
+    Clock::time_point deadline;   // submit time + original timeout
+    std::uint64_t tried = 0;      // bitmask of partition ids attempted
+    std::vector<std::size_t> order;  // candidate partitions, primary first
+  };
+  /// The tried-bitmask bounds the fleet size.
+  static constexpr std::size_t kMaxPartitions = 64;
+
+  LoadSnapshot ProbeLoad(std::size_t id) const;
+  /// Candidate partitions for `key`, primary first (ring walk under the
+  /// hash policy, ascending load score under least-loaded). mu_ held.
+  void PlanOrderLocked(std::uint64_t key, std::vector<std::size_t>& order) const;
+  /// First candidate that is live, not draining, and has open admission;
+  /// falls back to the first live candidate when every admission is
+  /// closed (bounded blocking beats refusal). Returns false when no live
+  /// partition exists. mu_ held.
+  bool ChooseLocked(const std::vector<std::size_t>& order, std::uint64_t tried,
+                    std::size_t& chosen);
+  void CollectLoop();
+  /// Resolve or resubmit one completed pending entry (collector thread).
+  void FinishPending(std::unique_ptr<Pending> p,
+                     core::StatusOr<InferReply> result);
+
+  RouterOptions options_;
+
+  mutable std::mutex mu_;  // partitions_, ring_, counters
+  std::vector<Partition> partitions_;
+  HashRing ring_;
+  std::atomic<std::uint64_t> next_key_{0};
+  std::int64_t routed_reqs_ = 0;
+  std::int64_t rerouted_reqs_ = 0;
+  std::int64_t retries_ = 0;
+  std::int64_t completed_reqs_ = 0;
+  std::int64_t failed_reqs_ = 0;
+  LoadProbe probe_;  // test seam; empty = real probe
+
+  mutable std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  std::list<std::unique_ptr<Pending>> pending_;
+  bool stop_ = false;
+  std::thread collector_;
+};
+
+}  // namespace fluid::dist

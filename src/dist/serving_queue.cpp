@@ -118,6 +118,7 @@ std::future<core::StatusOr<InferReply>> BatchScheduler::Submit(
     ++submitted_;
     ++class_submitted_[cls];
     max_active_seen_ = std::max(max_active_seen_, active_requests_);
+    PublishLoadLocked();
     return fut;
   }();
   cv_.notify_one();
@@ -189,6 +190,31 @@ SchedulerStats BatchScheduler::stats() const {
 
 std::int64_t BatchScheduler::ActiveRequestsLocked() const {
   return active_requests_;
+}
+
+void BatchScheduler::PublishLoadLocked() {
+  load_active_.store(active_requests_, std::memory_order_relaxed);
+  load_backlog_.store(backlog_rows_, std::memory_order_relaxed);
+  load_misses_.store(deadline_misses_, std::memory_order_relaxed);
+  load_completed_.store(completed_, std::memory_order_relaxed);
+  load_occupancy_.store(ema_occupancy_, std::memory_order_relaxed);
+}
+
+SchedulerLoad BatchScheduler::load() const {
+  SchedulerLoad l;
+  l.active_requests = load_active_.load(std::memory_order_relaxed);
+  l.queue_depth = load_backlog_.load(std::memory_order_relaxed);
+  l.deadline_misses = load_misses_.load(std::memory_order_relaxed);
+  l.completed = load_completed_.load(std::memory_order_relaxed);
+  l.max_active_reqs = static_cast<std::int64_t>(options_.max_active_reqs);
+  l.occupancy = load_occupancy_.load(std::memory_order_relaxed);
+  // Mirror Submit's admission predicate (modulo the oversized-request
+  // allowance): a closed pool is a full active set or a full backlog.
+  l.admission_open =
+      l.active_requests < l.max_active_reqs &&
+      (l.queue_depth < static_cast<std::int64_t>(options_.queue_capacity) ||
+       l.queue_depth == 0);
+  return l;
 }
 
 bool BatchScheduler::NextChunk(std::size_t max_samples,
@@ -327,6 +353,7 @@ void BatchScheduler::AssembleLocked(std::size_t max_samples,
                              (1.0 - kOccupancyEmaAlpha) * ema_occupancy_
                        : sample;
   ema_seeded_ = true;
+  PublishLoadLocked();
 }
 
 void BatchScheduler::CompleteRows(const Slice& slice, std::int64_t offset,
@@ -414,6 +441,7 @@ void BatchScheduler::FinalizeLocked(Request* req) {
   } else {
     ready_[static_cast<std::size_t>(req->priority)].erase(req->self);
   }
+  PublishLoadLocked();
   space_cv_.notify_all();  // an admission slot freed
 }
 

@@ -102,6 +102,23 @@ struct BatchOptions {
   std::size_t ha_window = 2;
 };
 
+/// Lock-free load mirror for dispatchers (the fleet router's least-loaded
+/// policy probes this on every route). Published from relaxed atomics that
+/// the scheduler updates wherever the locked counters change, so reading
+/// it never contends with admission or chunk assembly.
+struct SchedulerLoad {
+  std::int64_t active_requests = 0;  // ready + running
+  std::int64_t queue_depth = 0;      // backlog rows not yet in any chunk
+  std::int64_t deadline_misses = 0;  // lifetime
+  std::int64_t completed = 0;        // lifetime
+  std::int64_t max_active_reqs = 0;  // the admission bound (static)
+  double occupancy = 0.0;            // EMA active/max_active, [0, 1]
+  /// False when a Submit right now would block on admission backpressure
+  /// (active pool or backlog at its bound). Approximate by construction —
+  /// a racing admission can flip it — but that is all a router needs.
+  bool admission_open = true;
+};
+
 /// Counters the control plane consumes. Occupancy is now defined over the
 /// *active pool* (continuous admission has no per-coalesce "batch size"
 /// worth averaging): how full the ready+running pool runs against
@@ -208,6 +225,8 @@ class BatchScheduler {
 
   bool running() const { return running_; }
   SchedulerStats stats() const;
+  /// Lock-free load snapshot (relaxed atomics only — never touches mu_).
+  SchedulerLoad load() const;
   const BatchOptions& options() const { return options_; }
 
   // ---- Serve-side API: call only from the serve callback's thread. ----
@@ -251,6 +270,9 @@ class BatchScheduler {
   void FinalizeLocked(Request* req);
   bool HasBacklogLocked() const { return backlog_rows_ > 0; }
   std::int64_t ActiveRequestsLocked() const;
+  /// Mirror the locked load counters into the relaxed atomics load()
+  /// reads. Called at the end of every locked region that moved them.
+  void PublishLoadLocked();
 
   BatchOptions options_;
   ServeFn serve_;
@@ -279,6 +301,14 @@ class BatchScheduler {
   std::int64_t class_active_[kNumPriorityClasses] = {0, 0, 0};
   double ema_occupancy_ = 0.0;  // seeds on the first chunk
   bool ema_seeded_ = false;
+
+  // Lock-free mirrors of the load-relevant counters above, stored
+  // (relaxed) by PublishLoadLocked and read by load() without mu_.
+  std::atomic<std::int64_t> load_active_{0};
+  std::atomic<std::int64_t> load_backlog_{0};
+  std::atomic<std::int64_t> load_misses_{0};
+  std::atomic<std::int64_t> load_completed_{0};
+  std::atomic<double> load_occupancy_{0.0};
 
   std::thread thread_;
 };

@@ -48,6 +48,13 @@ struct WireStats {
     batched_sends += o.batched_sends;
     return *this;
   }
+
+  /// Value form of +=, for fleet-level aggregation (router/orchestrator
+  /// summing per-partition wire costs).
+  friend WireStats operator+(WireStats a, const WireStats& b) {
+    a += b;
+    return a;
+  }
 };
 
 class Transport {

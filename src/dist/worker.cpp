@@ -8,6 +8,49 @@ namespace fluid::dist {
 namespace {
 // Short poll so Stop()/Crash() are honoured promptly even on an idle link.
 constexpr std::chrono::milliseconds kPollInterval{50};
+
+// Bound on frames held for priority selection: past this the loop serves
+// before draining further (the link's own flow control backs up instead).
+constexpr std::size_t kMaxQueuedFrames = 256;
+
+// One frame awaiting service, with its scheduling key decoded once.
+struct PendingFrame {
+  Message msg;
+  std::chrono::steady_clock::time_point deadline;
+  std::uint64_t arrival = 0;  // monotone admission index (FIFO tiebreak)
+  std::uint8_t cls = 1;       // priority class (kNormal when unclassified)
+  bool control = false;       // non-kInfer frames: deploy/heartbeat/hello
+};
+
+PendingFrame ClassifyFrame(Message msg, std::uint64_t arrival) {
+  PendingFrame f;
+  f.arrival = arrival;
+  f.control = msg.type != MsgType::kInfer;
+  if (!f.control && msg.has_slo() && msg.priority < 3) {
+    f.cls = msg.priority;
+    f.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(msg.slo_ms);
+  } else {
+    // Unclassified work serves as kNormal; the deadline is set far enough
+    // out that EDF degrades to arrival order among such frames.
+    f.cls = 1;
+    f.deadline =
+        std::chrono::steady_clock::now() + std::chrono::hours(24);
+  }
+  f.msg = std::move(msg);
+  return f;
+}
+
+// Strict-class-then-EDF, mirroring BatchScheduler's chunk-assembly order:
+// control first (arrival order), then lower class value, then earlier
+// deadline, then arrival.
+bool FrameBefore(const PendingFrame& a, const PendingFrame& b) {
+  if (a.control != b.control) return a.control;
+  if (a.control) return a.arrival < b.arrival;
+  if (a.cls != b.cls) return a.cls < b.cls;
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.arrival < b.arrival;
+}
 }  // namespace
 
 WorkerNode::WorkerNode(std::string name, slim::FluidNetConfig config,
@@ -42,25 +85,53 @@ void WorkerNode::Crash() {
 }
 
 void WorkerNode::ServeLoop() {
-  while (!stop_) {
-    Message msg;
-    const auto st = transport_->Recv(msg, kPollInterval);
-    if (st.code() == core::StatusCode::kDeadlineExceeded) continue;
-    if (!st.ok()) {
-      // Peer gone (kUnavailable) or stream corrupt (kDataLoss, transport
-      // already closed itself). Either way this connection is done — note
-      // it and retire; decode errors never unwind the loop.
-      if (!stop_) {
-        FLUID_LOG(Warn) << "worker '" << name_
-                        << "': link down: " << st.ToString();
+  std::vector<PendingFrame> queue;
+  std::uint64_t arrivals = 0;
+  bool link_down = false;
+  while (!stop_ && !link_down) {
+    // Drain: block (briefly) only when nothing is queued; with work in
+    // hand, sweep whatever has already arrived without waiting so the
+    // priority pick below sees the whole backlog, not just frame one.
+    while (queue.size() < kMaxQueuedFrames) {
+      Message msg;
+      const auto timeout =
+          queue.empty() ? kPollInterval : std::chrono::milliseconds(0);
+      const auto st = transport_->Recv(msg, timeout);
+      if (st.code() == core::StatusCode::kDeadlineExceeded) break;
+      if (!st.ok()) {
+        // Peer gone (kUnavailable) or stream corrupt (kDataLoss, transport
+        // already closed itself). Either way this connection is done — note
+        // it and retire; decode errors never unwind the loop. Anything
+        // still queued is undeliverable (no link to reply on): the master
+        // fails those RPCs and re-serves the rows elsewhere.
+        if (!stop_) {
+          FLUID_LOG(Warn) << "worker '" << name_
+                          << "': link down: " << st.ToString();
+        }
+        link_down = true;
+        break;
       }
-      break;
+      queue.push_back(ClassifyFrame(std::move(msg), arrivals++));
     }
-    Message reply = Handle(msg);
+    if (queue.empty() || link_down) continue;
+
+    // Pick: strict class, then EDF, then arrival (see FrameBefore). The
+    // queue is small and short-lived — linear scan, no heap.
+    std::size_t best = 0;
+    std::size_t oldest = 0;
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+      if (FrameBefore(queue[i], queue[best])) best = i;
+      if (queue[i].arrival < queue[oldest].arrival) oldest = i;
+    }
+    if (best != oldest) ++priority_reorders_;
+    PendingFrame frame = std::move(queue[best]);
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(best));
+
+    Message reply = Handle(frame.msg);
     // Recycle the request's remaining bulk storage (handlers move what
     // they consume) and, after the frame is on the wire, the reply's —
     // the next decode/forward on this connection reuses it.
-    RecycleMessage(std::move(msg));
+    RecycleMessage(std::move(frame.msg));
     const auto send_st = transport_->Send(reply);
     RecycleMessage(std::move(reply));
     if (!send_st.ok()) break;

@@ -8,7 +8,15 @@
 // exactly the paper's Fig. 1(c) argument for the Fluid upper slice, and
 // LocalInfer is the surviving entry point.
 //
-// The serving loop runs on one background thread. Stop() is a graceful
+// The serving loop runs on one background thread. It is not FIFO: frames
+// already queued on the link are drained and served strict-class-then-EDF
+// from their v4 SLO blocks — the same order the master's BatchScheduler
+// assembles chunks in — so an urgent frame that lands behind a burst of
+// low-class ones does not wait out the burst on the device. Control
+// frames (deploy, heartbeat) always go first, in arrival order; frames
+// without an SLO block serve as kNormal with no meaningful deadline. The
+// master correlates replies by seq and parks out-of-order ones, so this
+// reordering is invisible to the RPC layer. Stop() is a graceful
 // shutdown; Crash() simulates a power failure (the transport drops with no
 // goodbye), which is what the failover benches use to kill a device
 // mid-stream.
@@ -82,6 +90,10 @@ class WorkerNode {
   std::int64_t samples_served_class(std::size_t cls) const {
     return cls < 3 ? samples_by_class_[cls].load() : 0;
   }
+  /// Times the serving loop picked a queued frame over an older one —
+  /// strict-class-then-EDF reorders actually exercised (0 on a link that
+  /// never queued more than one frame).
+  std::int64_t priority_reorders() const { return priority_reorders_; }
 
  private:
   void ServeLoop();
@@ -104,6 +116,7 @@ class WorkerNode {
   std::atomic<std::int64_t> slo_frames_{0};
   std::atomic<std::int64_t> input_quant_frames_{0};
   std::atomic<std::int64_t> samples_by_class_[3]{};
+  std::atomic<std::int64_t> priority_reorders_{0};
 
   mutable std::mutex mu_;  // guards deployments_
   std::map<std::string, nn::Sequential> deployments_;

@@ -1,0 +1,399 @@
+#include "dist/router.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/rng.h"
+#include "dist/master.h"
+#include "dist/orchestrator.h"
+#include "dist/worker.h"
+#include "nn/checkpoint.h"
+#include "train/model_zoo.h"
+
+namespace fluid::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::Tensor Sample(core::Rng& rng, std::int64_t n = 1) {
+  return core::Tensor::UniformRandom({n, 1, 28, 28}, rng, 0, 1);
+}
+
+// A partition whose master serves alone: one resident standalone slice,
+// no workers. The smallest thing the router can route to.
+struct LocalPartition {
+  explicit LocalPartition(const slim::FluidNetConfig& cfg,
+                          slim::FluidModel& fluid) : master(cfg) {
+    master.DeployLocal("solo",
+                       fluid.ExtractSubnet(fluid.family().WorkerResident()));
+    Plan plan;
+    plan.master_standalone = "solo";
+    master.SetPlan(plan);
+    master.SetMode(sim::Mode::kHighThroughput);
+  }
+  MasterNode master;
+};
+
+// A partition in the bench/CI shape: master plus one worker hosting the
+// standalone slice, master itself holding NO local slice — every sample
+// crosses the link, so a dead worker makes the partition answer
+// kUnavailable (the router's reroute trigger).
+struct WorkerPartition {
+  WorkerPartition(const slim::FluidNetConfig& cfg, slim::FluidModel& fluid,
+                  std::pair<TransportPtr, TransportPtr> link)
+      : master(cfg) {
+    worker = std::make_unique<WorkerNode>("w", cfg, std::move(link.second));
+    worker->Start();
+    master.AttachWorker(std::move(link.first));
+    nn::Sequential upper =
+        fluid.ExtractSubnet(fluid.family().WorkerResident());
+    EXPECT_TRUE(master
+                    .DeployToWorker("up", ModelBlueprint::Standalone(cfg, 8),
+                                    nn::ExtractState(upper), 2000ms)
+                    .ok());
+    Plan plan;
+    plan.worker_standalone = "up";
+    master.SetPlan(plan);
+    master.SetMode(sim::Mode::kHighThroughput);
+  }
+  MasterNode master;
+  std::unique_ptr<WorkerNode> worker;
+};
+
+// ---------------------------------------------------------------------------
+// HashRing
+// ---------------------------------------------------------------------------
+
+TEST(HashRingTest, MembershipChangeRemapsOnlyABoundedFractionAndReversibly) {
+  HashRing ring(64);
+  for (std::size_t id = 0; id < 4; ++id) ring.AddNode(id);
+
+  constexpr std::uint64_t kKeys = 1000;
+  std::vector<std::size_t> before(kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) before[k] = ring.NodeFor(k);
+
+  // Every node owns a share of the key space.
+  std::map<std::size_t, int> owned;
+  for (const std::size_t n : before) ++owned[n];
+  EXPECT_EQ(owned.size(), 4u);
+
+  // Adding a node steals keys ONLY for itself, and only ~1/5 of them.
+  ring.AddNode(4);
+  std::size_t moved = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    const std::size_t now = ring.NodeFor(k);
+    if (now != before[k]) {
+      EXPECT_EQ(now, 4u) << "key " << k
+                         << " moved between two pre-existing nodes";
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, kKeys / 20);  // the new node actually takes load
+  EXPECT_LT(moved, (kKeys * 2) / 5);  // nowhere near a rehash-everything
+
+  // Removing it restores the exact prior ownership — the stability the
+  // rolling-upgrade story depends on.
+  ring.RemoveNode(4);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(ring.NodeFor(k), before[k]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routing policies
+// ---------------------------------------------------------------------------
+
+TEST(RouterTest, ConsistentHashPinsAKeyToOnePartitionAndSpreadsTheSpace) {
+  slim::FluidNetConfig cfg;
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  LocalPartition p0(cfg, fluid), p1(cfg, fluid), p2(cfg, fluid);
+  RequestRouter router;
+  router.AddPartition(&p0.master);
+  router.AddPartition(&p1.master);
+  router.AddPartition(&p2.master);
+
+  // The ring spreads the key space over all three partitions.
+  std::map<std::size_t, int> owners;
+  for (std::uint64_t k = 0; k < 64; ++k) ++owners[router.PartitionForKey(k)];
+  EXPECT_EQ(owners.size(), 3u);
+
+  // Every request with the same key lands on the key's owner — and
+  // nowhere else.
+  core::Rng rng(7);
+  const std::uint64_t key = 11;
+  const std::size_t owner = router.PartitionForKey(key);
+  SubmitOptions opts;
+  opts.timeout = 5000ms;
+  std::vector<std::future<core::StatusOr<InferReply>>> futs;
+  for (int i = 0; i < 12; ++i) {
+    futs.push_back(router.InferAsync(Sample(rng), opts, key));
+  }
+  for (auto& f : futs) {
+    const auto reply = f.get();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.routed_reqs, 12);
+  EXPECT_EQ(stats.completed_reqs, 12);
+  EXPECT_EQ(stats.rerouted_reqs, 0);
+  for (const auto& p : stats.partitions) {
+    EXPECT_EQ(p.routed, p.id == owner ? 12 : 0);
+  }
+}
+
+TEST(RouterTest, LeastLoadedFollowsTheLoadProbe) {
+  slim::FluidNetConfig cfg;
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  LocalPartition p0(cfg, fluid), p1(cfg, fluid);
+  RouterOptions options;
+  options.policy = RoutePolicy::kLeastLoaded;
+  RequestRouter router(options);
+  router.AddPartition(&p0.master);
+  router.AddPartition(&p1.master);
+
+  // Probe says p0 is nearly full and missing deadlines, p1 is idle:
+  // every dispatch must pick p1.
+  router.SetLoadProbeForTesting([](std::size_t id) {
+    LoadSnapshot s;
+    s.serving = true;
+    s.pool_occupancy = id == 0 ? 0.9 : 0.1;
+    s.miss_rate = id == 0 ? 0.2 : 0.0;
+    return s;
+  });
+  core::Rng rng(8);
+  for (int i = 0; i < 6; ++i) {
+    const auto reply = router.Infer(Sample(rng), 5000ms);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+  EXPECT_EQ(router.stats().partitions[1].routed, 6);
+
+  // Flip the skew: the router follows without any reconfiguration.
+  router.SetLoadProbeForTesting([](std::size_t id) {
+    LoadSnapshot s;
+    s.serving = true;
+    s.pool_occupancy = id == 0 ? 0.1 : 0.9;
+    return s;
+  });
+  for (int i = 0; i < 6; ++i) {
+    const auto reply = router.Infer(Sample(rng), 5000ms);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.partitions[0].routed, 6);
+  EXPECT_EQ(stats.partitions[1].routed, 6);
+  EXPECT_EQ(stats.failed_reqs, 0);
+}
+
+TEST(RouterTest, DrainingPartitionDivertsNewRequestsToSiblings) {
+  slim::FluidNetConfig cfg;
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  LocalPartition p0(cfg, fluid), p1(cfg, fluid);
+  RequestRouter router;
+  router.AddPartition(&p0.master);
+  router.AddPartition(&p1.master);
+
+  const std::uint64_t key = 3;
+  const std::size_t owner = router.PartitionForKey(key);
+  const std::size_t sibling = 1 - owner;
+  router.SetDraining(owner, true);
+
+  core::Rng rng(9);
+  SubmitOptions opts;
+  opts.timeout = 5000ms;
+  for (int i = 0; i < 5; ++i) {
+    const auto reply = router.InferAsync(Sample(rng), opts, key).get();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.partitions[owner].routed, 0);
+  EXPECT_EQ(stats.partitions[sibling].routed, 5);
+  EXPECT_EQ(stats.partitions[sibling].rerouted_in, 5);
+  EXPECT_EQ(stats.rerouted_reqs, 5);
+
+  // Undrained, the key goes home again.
+  router.SetDraining(owner, false);
+  const auto reply = router.InferAsync(Sample(rng), opts, key).get();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(router.stats().partitions[owner].routed, 1);
+}
+
+TEST(RouterTest, AdmissionFullPartitionRedirectsAtSubmitTime) {
+  slim::FluidNetConfig cfg;
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  // p0's only server sits behind a slow emulated link and its pool admits
+  // ONE request: while that request is in flight p0's admission is
+  // closed, so a second request keyed to p0 must divert to p1 instead of
+  // queueing behind the link.
+  WorkerPartition p0(cfg, fluid, MakeEmulatedLinkPair(150ms, 1e12));
+  LocalPartition p1(cfg, fluid);
+  BatchOptions serving;
+  serving.max_active_reqs = 1;
+  p0.master.StartServing(serving);
+
+  RequestRouter router;
+  router.AddPartition(&p0.master);
+  router.AddPartition(&p1.master);
+  std::uint64_t key = 0;
+  while (router.PartitionForKey(key) != 0) ++key;
+
+  core::Rng rng(10);
+  SubmitOptions opts;
+  opts.timeout = 5000ms;
+  auto slow = router.InferAsync(Sample(rng), opts, key);
+  // p0 now holds its one admitted request (the link makes it slow); the
+  // next submit with the same key must go to p1, counted as a reroute.
+  auto diverted = router.InferAsync(Sample(rng), opts, key);
+  const auto fast = diverted.get();
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  {
+    const RouterStats stats = router.stats();
+    EXPECT_EQ(stats.partitions[1].routed, 1);
+    EXPECT_EQ(stats.partitions[1].rerouted_in, 1);
+    EXPECT_GE(stats.rerouted_reqs, 1);
+  }
+  const auto first = slow.get();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(router.stats().completed_reqs, 2);
+  p0.worker->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Failover
+// ---------------------------------------------------------------------------
+
+TEST(RouterTest, WorkerCrashMidStreamNeverLosesOrDoubleResolvesAFuture) {
+  slim::FluidNetConfig cfg;
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  WorkerPartition p0(cfg, fluid, MakeInMemoryPair());
+  LocalPartition p1(cfg, fluid);
+  RequestRouter router;
+  router.AddPartition(&p0.master);
+  router.AddPartition(&p1.master);
+  std::uint64_t key = 0;
+  while (router.PartitionForKey(key) != 0) ++key;
+
+  // Multiple client threads stream requests keyed to p0 while its only
+  // worker dies mid-stream. Every future must resolve OK — the failed
+  // partition's requests reroute to p1 with their remaining budget.
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 8;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      core::Rng rng(100 + c);
+      SubmitOptions opts;
+      opts.timeout = 10000ms;
+      for (int i = 0; i < kPerClient; ++i) {
+        auto reply = router.InferAsync(Sample(rng), opts, key).get();
+        EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+        if (reply.ok()) ++ok_count;
+      }
+    });
+  }
+  // Crash once the stream is provably mid-flight: a few requests done,
+  // most still to come — so the kill lands between requests, not after
+  // the last one.
+  while (ok_count.load() < 5) std::this_thread::sleep_for(1ms);
+  p0.worker->Crash();
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(ok_count, kClients * kPerClient);
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.completed_reqs, kClients * kPerClient);
+  EXPECT_EQ(stats.failed_reqs, 0);
+  EXPECT_GT(stats.rerouted_reqs, 0) << "the crash never forced a reroute";
+  EXPECT_GT(stats.partitions[1].routed, 0);
+}
+
+TEST(RouterTest, NoLivePartitionFailsFastWithUnavailable) {
+  RequestRouter router;
+  core::Rng rng(11);
+  const auto reply = router.Infer(Sample(rng), 200ms);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), core::StatusCode::kUnavailable);
+  EXPECT_EQ(router.stats().failed_reqs, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Deployment + fleet view
+// ---------------------------------------------------------------------------
+
+TEST(RouterTest, RollingDeployReplicatesToEveryPartitionAndKeepsServing) {
+  slim::FluidNetConfig cfg;
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  WorkerPartition p0(cfg, fluid, MakeInMemoryPair());
+  WorkerPartition p1(cfg, fluid, MakeInMemoryPair());
+  RequestRouter router;
+  router.AddPartition(&p0.master);
+  router.AddPartition(&p1.master);
+
+  nn::Sequential upper = fluid.ExtractSubnet(fluid.family().WorkerResident());
+  const auto st = router.RollingDeploy("up2", ModelBlueprint::Standalone(cfg, 8),
+                                       nn::ExtractState(upper));
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  for (WorkerPartition* p : {&p0, &p1}) {
+    const auto names = p->worker->DeploymentNames();
+    EXPECT_NE(std::find(names.begin(), names.end(), "up2"), names.end());
+    EXPECT_FALSE(router.draining(p == &p0 ? 0 : 1));
+  }
+
+  // The fleet still serves, and the fleet orchestrator sees both
+  // partitions with aggregate telemetry.
+  core::Rng rng(12);
+  ASSERT_TRUE(router.Infer(Sample(rng), 5000ms).ok());
+  OrchestratorConfig oc;
+  oc.ha_capacity = 60.0;
+  oc.ht_capacity = 100.0;
+  FleetOrchestrator fleet(router, oc);
+  const auto report = fleet.Tick(50.0);
+  EXPECT_EQ(report.partitions.size(), 2u);
+  EXPECT_EQ(report.serving_partitions, 2u);
+  EXPECT_EQ(report.alive_workers, 2u);
+  EXPECT_GT(report.wire.frames_sent, 0);
+  EXPECT_GT(report.sched.completed, 0);
+  p0.worker->Stop();
+  p1.worker->Stop();
+}
+
+// The single-master wire-compat gate: one partition behind the router
+// must put byte-for-byte the same traffic on the wire as the same fleet
+// driven directly — the router adds no frames, no fields, no versions.
+TEST(RouterTest, SingleMasterRoutedFleetIsWireIdenticalToDirect) {
+  slim::FluidNetConfig cfg;
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  WorkerPartition direct(cfg, fluid, MakeInMemoryPair());
+  WorkerPartition routed(cfg, fluid, MakeInMemoryPair());
+  BatchOptions serving;  // identical serving config on both
+  direct.master.StartServing(serving);
+  routed.master.StartServing(serving);
+  RequestRouter router;
+  router.AddPartition(&routed.master);
+
+  core::Rng rng_a(13), rng_b(13);  // identical request streams
+  for (int i = 0; i < 6; ++i) {
+    const core::Tensor x = Sample(rng_a);
+    const auto a = direct.master.Infer(x, 5000ms);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    const auto b = router.Infer(Sample(rng_b), 5000ms);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+  }
+  const WireStats da = direct.master.wire_stats();
+  const WireStats db = router.wire_stats();
+  EXPECT_EQ(da.bytes_sent, db.bytes_sent);
+  EXPECT_EQ(da.bytes_recv, db.bytes_recv);
+  EXPECT_EQ(da.frames_sent, db.frames_sent);
+  EXPECT_EQ(da.frames_recv, db.frames_recv);
+  direct.worker->Stop();
+  routed.worker->Stop();
+}
+
+}  // namespace
+}  // namespace fluid::dist

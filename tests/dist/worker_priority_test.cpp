@@ -1,0 +1,136 @@
+#include "dist/worker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "dist/blueprint.h"
+#include "dist/message.h"
+#include "dist/transport.h"
+#include "nn/checkpoint.h"
+#include "train/model_zoo.h"
+
+namespace fluid::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Drives a WorkerNode over a raw transport endpoint, like the master's
+// RPC layer but with full control over frame order and SLO blocks. The
+// frames are enqueued BEFORE the worker starts, so its first drain sees
+// the whole backlog at once and the service order is exactly the
+// scheduler's pick order — no timing in the test.
+class WorkerPriorityTest : public ::testing::Test {
+ protected:
+  WorkerPriorityTest() : fluid_(slim::FluidModel::PaperDefault(7)), rng_(21) {
+    auto [master_end, worker_end] = MakeInMemoryPair();
+    link_ = std::move(master_end);
+    worker_ =
+        std::make_unique<WorkerNode>("w0", cfg_, std::move(worker_end));
+  }
+
+  void EnqueueDeploy(std::int64_t seq) {
+    nn::Sequential upper =
+        fluid_.ExtractSubnet(fluid_.family().WorkerResident());
+    DeployRequest req;
+    req.name = "up";
+    req.blueprint = ModelBlueprint::Standalone(cfg_, 8);
+    req.state = nn::ExtractState(upper);
+    ASSERT_TRUE(
+        link_->Send(Message::HeaderOnly(MsgType::kDeploy, seq, req.EncodeToTag()))
+            .ok());
+  }
+
+  // One kInfer frame; cls < 0 means no SLO block (unclassified).
+  void EnqueueInfer(std::int64_t seq, int cls, std::int64_t slo_ms) {
+    Message msg = Message::WithBatch(
+        MsgType::kInfer, seq, "up",
+        core::Tensor::UniformRandom({1, 1, 28, 28}, rng_, 0, 1));
+    if (cls >= 0) msg.SetSlo(static_cast<std::uint8_t>(cls), slo_ms);
+    ASSERT_TRUE(link_->Send(msg).ok());
+  }
+
+  // Replies in arrival order, kHello skipped (the worker announces
+  // itself when it starts).
+  std::vector<std::int64_t> CollectReplySeqs(std::size_t n) {
+    std::vector<std::int64_t> seqs;
+    while (seqs.size() < n) {
+      Message reply;
+      const auto st = link_->Recv(reply, 2000ms);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      if (!st.ok()) break;
+      if (reply.type == MsgType::kHello) continue;
+      EXPECT_NE(reply.type, MsgType::kError) << reply.tag;
+      seqs.push_back(reply.seq);
+    }
+    return seqs;
+  }
+
+  slim::FluidNetConfig cfg_;
+  slim::FluidModel fluid_;
+  core::Rng rng_;
+  TransportPtr link_;
+  std::unique_ptr<WorkerNode> worker_;
+};
+
+TEST_F(WorkerPriorityTest, QueuedFramesServeStrictClassThenEdfNotFifo) {
+  EnqueueDeploy(1);
+  EnqueueInfer(2, /*cls=*/2, /*slo_ms=*/5000);  // low, arrived first
+  EnqueueInfer(3, /*cls=*/1, /*slo_ms=*/500);   // normal, later deadline
+  EnqueueInfer(4, /*cls=*/1, /*slo_ms=*/100);   // normal, urgent
+  EnqueueInfer(5, /*cls=*/0, /*slo_ms=*/5000);  // high, arrived last
+  worker_->Start();
+
+  // Deploy (control) first, then high, then normal by deadline, then
+  // low — the arrival order 2,3,4,5 is almost fully inverted.
+  const auto seqs = CollectReplySeqs(5);
+  ASSERT_EQ(seqs.size(), 5u);
+  EXPECT_EQ(seqs[0], 1);  // deploy ack
+  EXPECT_EQ(seqs[1], 5);  // kHigh preempts everything queued
+  EXPECT_EQ(seqs[2], 4);  // EDF within kNormal
+  EXPECT_EQ(seqs[3], 3);
+  EXPECT_EQ(seqs[4], 2);  // kLow drains last
+  EXPECT_EQ(worker_->priority_reorders(), 3);
+  EXPECT_EQ(worker_->samples_served_class(0), 1);
+  EXPECT_EQ(worker_->samples_served_class(1), 2);
+  EXPECT_EQ(worker_->samples_served_class(2), 1);
+  worker_->Stop();
+}
+
+TEST_F(WorkerPriorityTest, UnclassifiedFramesKeepFifoOrder) {
+  EnqueueDeploy(1);
+  for (std::int64_t seq = 2; seq <= 5; ++seq) {
+    EnqueueInfer(seq, /*cls=*/-1, /*slo_ms=*/0);
+  }
+  worker_->Start();
+
+  const auto seqs = CollectReplySeqs(5);
+  ASSERT_EQ(seqs.size(), 5u);
+  for (std::int64_t seq = 1; seq <= 5; ++seq) {
+    EXPECT_EQ(seqs[static_cast<std::size_t>(seq - 1)], seq);
+  }
+  EXPECT_EQ(worker_->priority_reorders(), 0);
+  worker_->Stop();
+}
+
+TEST_F(WorkerPriorityTest, ClassifiedUrgentFrameOvertakesUnclassifiedBacklog) {
+  EnqueueDeploy(1);
+  EnqueueInfer(2, /*cls=*/-1, /*slo_ms=*/0);   // unclassified = kNormal, no deadline
+  EnqueueInfer(3, /*cls=*/-1, /*slo_ms=*/0);
+  EnqueueInfer(4, /*cls=*/1, /*slo_ms=*/50);   // same class, real deadline
+  worker_->Start();
+
+  const auto seqs = CollectReplySeqs(4);
+  ASSERT_EQ(seqs.size(), 4u);
+  EXPECT_EQ(seqs[0], 1);
+  EXPECT_EQ(seqs[1], 4) << "SLO-stamped frame should overtake the backlog";
+  EXPECT_EQ(seqs[2], 2);
+  EXPECT_EQ(seqs[3], 3);
+  EXPECT_GE(worker_->priority_reorders(), 1);
+  worker_->Stop();
+}
+
+}  // namespace
+}  // namespace fluid::dist
