@@ -96,6 +96,8 @@
 #include "dist/worker.h"
 #include "harness_common.h"
 #include "nn/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quant/quantize.h"
 #include "sim/latency.h"
 #include "sim/pipeline_sim.h"
@@ -178,15 +180,6 @@ ClosedLoopResult RunClosedLoop(int clients, int per_client,
   return r;
 }
 
-// Latency percentiles of a sorted sample.
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const std::size_t idx = static_cast<std::size_t>(
-      std::min<double>(static_cast<double>(sorted.size()) - 1.0,
-                       std::ceil(q * static_cast<double>(sorted.size())) - 1.0));
-  return sorted[idx];
-}
-
 struct OpenLoopResult {
   double offered_rps = 0;   // the Poisson rate requested
   double achieved_rps = 0;  // completions over the measured span
@@ -215,8 +208,9 @@ OpenLoopResult RunOpenLoop(dist::MasterNode& master, double rate,
   std::deque<Pending> pending;
   bool done = false;
 
-  std::vector<double> latencies_ms;
-  latencies_ms.reserve(static_cast<std::size_t>(total_requests));
+  // Latency sample sink: the shared obs log-linear histogram (constant
+  // footprint, allocation-free Record) instead of the old sorted vector.
+  obs::Histogram lat_hist;
   Clock::time_point last_completion{};
   std::thread collector([&] {
     for (;;) {
@@ -236,7 +230,7 @@ OpenLoopResult RunOpenLoop(dist::MasterNode& master, double rate,
         std::abort();
       }
       core::RecycleTensor(std::move(reply->logits));
-      latencies_ms.push_back(
+      lat_hist.Record(
           std::chrono::duration<double, std::milli>(now - p.scheduled).count());
       last_completion = now;
     }
@@ -276,12 +270,11 @@ OpenLoopResult RunOpenLoop(dist::MasterNode& master, double rate,
                     total_requests;
   const double span_s =
       std::chrono::duration<double>(last_completion - t0).count();
-  r.achieved_rps =
-      span_s > 0 ? static_cast<double>(latencies_ms.size()) / span_s : 0;
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  r.p50_ms = Percentile(latencies_ms, 0.50);
-  r.p95_ms = Percentile(latencies_ms, 0.95);
-  r.p99_ms = Percentile(latencies_ms, 0.99);
+  const obs::Histogram::Snapshot lat = lat_hist.Snap();
+  r.achieved_rps = span_s > 0 ? static_cast<double>(lat.count) / span_s : 0;
+  r.p50_ms = lat.Quantile(0.50);
+  r.p95_ms = lat.Quantile(0.95);
+  r.p99_ms = lat.Quantile(0.99);
   return r;
 }
 
@@ -490,8 +483,15 @@ struct MixedClassTally {
   std::int64_t delivered = 0;
   std::int64_t expired = 0;
   std::int64_t late = 0;
-  std::vector<double> lat_ms;
+  obs::Histogram lat_ms;  // shared obs histogram, not a sorted vector
   double p50 = 0, p95 = 0, p99 = 0;
+
+  void Finish() {
+    const obs::Histogram::Snapshot s = lat_ms.Snap();
+    p50 = s.Quantile(0.50);
+    p95 = s.Quantile(0.95);
+    p99 = s.Quantile(0.99);
+  }
 };
 
 int RunMixedSlo(int argc, char** argv) {
@@ -653,7 +653,6 @@ int RunMixedSlo(int argc, char** argv) {
   // high-class reply with a slow low-class neighbour's finish. Poll every
   // outstanding future instead and stamp each the moment it turns ready.
   MixedClassTally tally[3];
-  for (auto& t : tally) t.lat_ms.reserve(static_cast<std::size_t>(requests));
   struct Pending {
     std::future<core::StatusOr<dist::InferReply>> future;
     Clock::time_point scheduled;
@@ -687,7 +686,7 @@ int RunMixedSlo(int argc, char** argv) {
           const double ms =
               std::chrono::duration<double, std::milli>(now - it->scheduled)
                   .count();
-          t.lat_ms.push_back(ms);
+          t.lat_ms.Record(ms);
           ++t.delivered;
           if (ms > static_cast<double>(slo_ms[it->cls])) ++t.late;
           last_completion = now;
@@ -752,10 +751,7 @@ int RunMixedSlo(int argc, char** argv) {
   std::int64_t delivered_total = 0;
   for (int c = 0; c < 3; ++c) {
     MixedClassTally& t = tally[c];
-    std::sort(t.lat_ms.begin(), t.lat_ms.end());
-    t.p50 = Percentile(t.lat_ms, 0.50);
-    t.p95 = Percentile(t.lat_ms, 0.95);
-    t.p99 = Percentile(t.lat_ms, 0.99);
+    t.Finish();
     delivered_total += t.delivered;
   }
   const double span_s =
@@ -1315,6 +1311,7 @@ int RunClusterScale(int argc, char** argv) {
   double open_rate = 200.0;          // req/s per partition
   double link_ms = 12.0, bandwidth_mbps = 100.0;
   std::int64_t slo_ms[3] = {250, 1000, 4000};  // high / normal / low
+  std::int64_t trace_sample = 16;  // 1-in-N request tracing; 0 disables
   std::string json_path, policy = "least";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -1337,9 +1334,17 @@ int RunClusterScale(int argc, char** argv) {
     if (key == "bandwidth_mbps")
       bandwidth_mbps = std::strtod(val.c_str(), nullptr);
     if (key == "policy") policy = val;
+    if (key == "trace_sample")
+      trace_sample = std::strtoll(val.c_str(), nullptr, 10);
     if (key == "json") json_path = val;
   }
   masters_max = std::max<std::int64_t>(1, std::min<std::int64_t>(8, masters_max));
+
+  // Fleet observability stays ON for the recorded scaling numbers: sampled
+  // tracing (1-in-N at the router front door) with the wire v6 trace
+  // block enabled on every partition link. The acceptance gate is that
+  // closed-loop req/s holds within 3% of the untraced baseline.
+  obs::Tracer::Global().SetSampleEvery(static_cast<int>(trace_sample));
 
   std::printf("== cluster scale-out: RequestRouter over 1..%lld partitioned "
               "masters ==\n",
@@ -1398,6 +1403,7 @@ int RunClusterScale(int argc, char** argv) {
       bopts.max_active_reqs = static_cast<std::size_t>(max_active);
       bopts.queue_capacity = 8192;
       part.master->StartServing(bopts);
+      part.master->EnableTraceWire(0);  // v6 trace block on this link
       router.AddPartition(part.master.get());
       parts.push_back(std::move(part));
     }
@@ -1423,8 +1429,6 @@ int RunClusterScale(int argc, char** argv) {
     const double rate = open_rate * static_cast<double>(n);
     const std::int64_t requests = open_requests * n;
     pt.open_offered = rate;
-    for (auto& t : pt.tally)
-      t.lat_ms.reserve(static_cast<std::size_t>(requests));
     struct Pending {
       std::future<core::StatusOr<dist::InferReply>> future;
       Clock::time_point scheduled;
@@ -1458,7 +1462,7 @@ int RunClusterScale(int argc, char** argv) {
             const double ms =
                 std::chrono::duration<double, std::milli>(now - it->scheduled)
                     .count();
-            t.lat_ms.push_back(ms);
+            t.lat_ms.Record(ms);
             ++t.delivered;
             if (ms > static_cast<double>(slo_ms[it->cls])) ++t.late;
             last_completion = now;
@@ -1506,10 +1510,7 @@ int RunClusterScale(int argc, char** argv) {
 
     std::int64_t delivered_total = 0;
     for (auto& t : pt.tally) {
-      std::sort(t.lat_ms.begin(), t.lat_ms.end());
-      t.p50 = Percentile(t.lat_ms, 0.50);
-      t.p95 = Percentile(t.lat_ms, 0.95);
-      t.p99 = Percentile(t.lat_ms, 0.99);
+      t.Finish();
       delivered_total += t.delivered;
     }
     const double span_s =
@@ -1552,6 +1553,10 @@ int RunClusterScale(int argc, char** argv) {
                 static_cast<long long>(pt.deadline_misses),
                 static_cast<long long>(pt.rerouted));
   }
+  std::printf("observability: 1-in-%lld request tracing, %lld spans "
+              "recorded across the sweep\n",
+              static_cast<long long>(trace_sample),
+              static_cast<long long>(obs::Tracer::Global().recorded()));
 
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -1628,15 +1633,233 @@ int RunClusterScale(int argc, char** argv) {
     };
     std::fprintf(f,
                  " ],\n"
+                 " \"trace_sample_every\": %lld,\n"
+                 " \"trace_spans_recorded\": %lld,\n"
                  " \"scale_2x_vs_1\": %.2f,\n"
                  " \"scale_3x_vs_1\": %.2f,\n"
                  " \"scale_4x_vs_1\": %.2f,\n"
                  " \"high_p99_at_3_ms\": %.1f\n"
                  "}\n",
+                 static_cast<long long>(trace_sample),
+                 static_cast<long long>(obs::Tracer::Global().recorded()),
                  scale_vs_1(2), scale_vs_1(3), scale_vs_1(4),
                  points.size() >= 3 ? points[2].tally[0].p99 : 0.0);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// `obs=1`: latency-breakdown view — where each SLO class's latency goes.
+// The scheduler's always-on queue-wait/service histograms plus the wire
+// histogram (fed by traced replies, so the run samples EVERY request)
+// split p50/p99 into scheduler-queue vs compute vs link time per class.
+// A worker-standalone plan over the emulated link makes every chunk
+// round-trip the wire, so all three components have data. Emits the
+// `obs` section of BENCH_serving.json.
+// ---------------------------------------------------------------------------
+int RunObsBreakdown(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  std::int64_t requests = 2000, max_batch = 8, max_active = 256;
+  double rate = 300.0, link_ms = 12.0, bandwidth_mbps = 100.0;
+  std::int64_t slo_ms[3] = {250, 1000, 4000};  // high / normal / low
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = arg.substr(0, eq), val = arg.substr(eq + 1);
+    if (key == "requests") requests = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "max_batch") max_batch = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "max_active") max_active = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "rate") rate = std::strtod(val.c_str(), nullptr);
+    if (key == "link_ms") link_ms = std::strtod(val.c_str(), nullptr);
+    if (key == "bandwidth_mbps")
+      bandwidth_mbps = std::strtod(val.c_str(), nullptr);
+    if (key == "slo_high_ms") slo_ms[0] = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "slo_normal_ms")
+      slo_ms[1] = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "slo_low_ms") slo_ms[2] = std::strtoll(val.c_str(), nullptr, 10);
+    if (key == "json") json_path = val;
+  }
+
+  std::printf("== latency breakdown: queue-wait vs service vs wire per SLO "
+              "class (traced serving) ==\n");
+  std::printf("# Poisson %.0f req/s, %lld requests, 3 classes; link %.1f ms "
+              "+ %.0f Mbit/s; every request traced\n\n",
+              rate, static_cast<long long>(requests), link_ms, bandwidth_mbps);
+
+  // Fresh series for this section, and sample EVERY request: the wire
+  // histogram only sees traced replies, so 1-in-1 makes it cover the run.
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Clear();
+  obs::Tracer::Global().SetSampleEvery(1);
+
+  // One partition behind the router — traces start at the router front
+  // door, so the timeline carries router.dispatch → sched.* → wire →
+  // worker.service even at N=1.
+  const slim::FluidNetConfig cfg;
+  slim::FluidModel fluid = slim::FluidModel::PaperDefault(7);
+  const auto upper = fluid.family().WorkerResident();
+  nn::Sequential upper_net = fluid.ExtractSubnet(upper);
+  dist::MasterNode master(cfg);
+  auto [master_end, worker_end] = dist::MakeEmulatedLinkPair(
+      std::chrono::duration<double>(link_ms * 1e-3),
+      bandwidth_mbps * 1e6 / 8.0);
+  dist::WorkerNode worker("w0", cfg, std::move(worker_end));
+  worker.Start();
+  master.AttachWorker(std::move(master_end));
+  master
+      .DeployToWorker("up",
+                      dist::ModelBlueprint::Standalone(cfg, upper.range.width()),
+                      nn::ExtractState(upper_net), 10000ms)
+      .ThrowIfError();
+  dist::Plan plan;
+  plan.worker_standalone = "up";
+  master.SetPlan(plan);
+  master.SetMode(sim::Mode::kHighThroughput);
+  dist::BatchOptions bopts;
+  bopts.max_batch = static_cast<std::size_t>(max_batch);
+  bopts.max_delay = std::chrono::milliseconds(0);
+  bopts.max_active_reqs = static_cast<std::size_t>(max_active);
+  bopts.queue_capacity = 8192;
+  master.StartServing(bopts);
+  master.EnableTraceWire(0);  // this link speaks v6: trace blocks ride it
+  dist::RequestRouter router;
+  router.AddPartition(&master);
+
+  // Poisson 3-class open loop (the mixed-SLO 20/50/30 pattern). Client
+  // latencies are not tallied here — the breakdown comes from the serving
+  // path's own histograms; the client just keeps the offered load honest.
+  static constexpr int kObsClassPattern[10] = {0, 1, 2, 1, 2, 1, 0, 1, 2, 1};
+  std::vector<std::future<core::StatusOr<dist::InferReply>>> futures;
+  futures.reserve(static_cast<std::size_t>(requests));
+  core::Rng rng(4242);
+  const core::Tensor x =
+      core::Tensor::UniformRandom({1, 1, 28, 28}, rng, 0, 1);
+  const auto t0 = Clock::now();
+  double next_s = 0.0;
+  for (std::int64_t i = 0; i < requests; ++i) {
+    next_s += -std::log(1.0 - rng.Uniform()) / rate;
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(next_s)));
+    const int cls = kObsClassPattern[i % 10];
+    dist::SubmitOptions so;
+    so.timeout = std::chrono::milliseconds(slo_ms[cls]);
+    so.priority = static_cast<dist::Priority>(cls);
+    futures.push_back(router.InferAsync(PooledInput(x), so));
+  }
+  std::int64_t delivered = 0, expired = 0;
+  for (auto& fut : futures) {
+    auto reply = fut.get();
+    if (reply.ok()) {
+      core::RecycleTensor(std::move(reply->logits));
+      ++delivered;
+    } else if (reply.status().code() == core::StatusCode::kDeadlineExceeded) {
+      ++expired;
+    } else {
+      std::fprintf(stderr, "obs request failed: %s\n",
+                   reply.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  router.Stop();
+  master.StopServing();
+  worker.Stop();
+  obs::Tracer::Global().SetSampleEvery(0);
+
+  const auto& reg = obs::MetricsRegistry::Global();
+  const char* kComponents[3] = {"fluid_sched_queue_wait_ms",
+                                "fluid_sched_service_ms", "fluid_wire_ms"};
+  const char* kComponentKeys[3] = {"queue_wait_ms", "service_ms", "wire_ms"};
+  // snap[class][component]
+  obs::Histogram::Snapshot snap[3][3];
+  bool missing = false;
+  for (int c = 0; c < 3; ++c) {
+    const std::string label{
+        dist::PriorityName(static_cast<dist::Priority>(c))};
+    for (int k = 0; k < 3; ++k) {
+      const obs::Histogram* h = reg.FindHistogram(
+          std::string(kComponents[k]) + "{class=\"" + label + "\"}");
+      if (h != nullptr) snap[c][k] = h->Snap();
+      // A class can legitimately end empty only if it was never offered;
+      // with the 20/50/30 pattern every class is.
+      if (h == nullptr || snap[c][k].count == 0) missing = true;
+    }
+  }
+
+  std::printf("class    queue p50/p99        service p50/p99     wire "
+              "p50/p99          samples\n");
+  for (int c = 0; c < 3; ++c) {
+    std::printf("%-6s %7.1f /%7.1f ms %8.1f /%7.1f ms %7.1f /%7.1f ms %8lld\n",
+                std::string(dist::PriorityName(static_cast<dist::Priority>(c)))
+                    .c_str(),
+                snap[c][0].Quantile(0.50), snap[c][0].Quantile(0.99),
+                snap[c][1].Quantile(0.50), snap[c][1].Quantile(0.99),
+                snap[c][2].Quantile(0.50), snap[c][2].Quantile(0.99),
+                static_cast<long long>(snap[c][0].count));
+  }
+  std::printf("\ndelivered %lld, expired %lld; %lld trace spans recorded\n",
+              static_cast<long long>(delivered),
+              static_cast<long long>(expired),
+              static_cast<long long>(obs::Tracer::Global().recorded()));
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 " \"mode\": \"obs\",\n"
+                 " \"requests\": %lld,\n"
+                 " \"rate_req_per_s\": %.1f,\n"
+                 " \"link_ms\": %.1f,\n"
+                 " \"bandwidth_mbps\": %.1f,\n"
+                 " \"max_batch\": %lld,\n"
+                 " \"trace_sample_every\": 1,\n"
+                 " \"trace_spans_recorded\": %lld,\n"
+                 " \"delivered\": %lld,\n"
+                 " \"expired\": %lld,\n"
+                 " \"breakdown\": {\n",
+                 static_cast<long long>(requests), rate, link_ms,
+                 bandwidth_mbps, static_cast<long long>(max_batch),
+                 static_cast<long long>(obs::Tracer::Global().recorded()),
+                 static_cast<long long>(delivered),
+                 static_cast<long long>(expired));
+    for (int c = 0; c < 3; ++c) {
+      std::fprintf(f, "  \"%s\": {",
+                   std::string(dist::PriorityName(
+                                   static_cast<dist::Priority>(c)))
+                       .c_str());
+      for (int k = 0; k < 3; ++k) {
+        std::fprintf(f,
+                     "\"%s\": {\"count\": %lld, \"p50\": %.2f, "
+                     "\"p99\": %.2f}%s",
+                     kComponentKeys[k],
+                     static_cast<long long>(snap[c][k].count),
+                     snap[c][k].Quantile(0.50), snap[c][k].Quantile(0.99),
+                     k < 2 ? ", " : "");
+      }
+      std::fprintf(f, "}%s\n", c < 2 ? "," : "");
+    }
+    std::fprintf(f, " }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (missing) {
+    std::fprintf(stderr,
+                 "OBS FAIL: a per-class breakdown histogram is missing or "
+                 "empty — the traced serving path did not feed it\n");
+    return 1;
+  }
+  if (obs::Tracer::Global().recorded() <= 0) {
+    std::fprintf(stderr, "OBS FAIL: no trace spans recorded\n");
+    return 1;
   }
   return 0;
 }
@@ -1659,6 +1882,9 @@ int main(int argc, char** argv) {
     }
     if (std::string(argv[i]) == "cluster=1") {
       return RunClusterScale(argc, argv);
+    }
+    if (std::string(argv[i]) == "obs=1") {
+      return RunObsBreakdown(argc, argv);
     }
   }
   const auto opts = bench::HarnessOptions::FromArgs(argc, argv);

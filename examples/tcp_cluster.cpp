@@ -28,7 +28,9 @@
 // request was rerouted, and every future resolved OK.
 
 #include <cstdio>
+#include <cstring>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,6 +44,8 @@
 #include "dist/router.h"
 #include "dist/tcp_transport.h"
 #include "dist/worker.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "slim/fluid_model.h"
 #include "train/model_zoo.h"
 #include "train/nested_trainer.h"
@@ -55,6 +59,13 @@ int RunRoutedFleet() {
   core::SetLogLevel(core::LogLevel::kWarn);
   const slim::FluidNetConfig cfg;
   constexpr std::size_t kPartitions = 2;
+
+  // Observability smoke rides along: trace EVERY request (the router
+  // front door samples 1-in-1) and put the wire v6 trace block on every
+  // partition link, then assert below that the metrics dump carries the
+  // fleet series and that at least one COMPLETE cross-node trace —
+  // router → scheduler → wire → worker → reply — landed in the ring.
+  obs::Tracer::Global().SetSampleEvery(1);
 
   // Untrained weights: this smoke asserts routing/reroute counters, not
   // accuracy, and CI wants it fast.
@@ -81,6 +92,7 @@ int RunRoutedFleet() {
         "p" + std::to_string(p) + "-edge", cfg, std::move(*worker_end)));
     workers.back()->Start();
     masters.back()->AttachWorker(std::move(*master_end));
+    masters.back()->EnableTraceWire(0);  // this link speaks v6
     router.AddPartition(masters.back().get());
   }
 
@@ -153,9 +165,17 @@ int RunRoutedFleet() {
               static_cast<long long>(wire.bytes_recv),
               static_cast<long long>(wire.frames_sent));
 
+  // One fleet control tick: rolls the wire/scheduler/pool/router counters
+  // into the FleetSnapshot and publishes them as fluid_fleet_* gauges, so
+  // the dump assertion below sees the whole re-homed telemetry surface.
+  dist::FleetOrchestrator forch(router,
+                                {.ha_capacity = 500.0, .ht_capacity = 1000.0});
+  forch.Tick(100.0);
+
   router.Stop();
   for (auto& m : masters) m->StopServing();
   for (auto& w : workers) w->Stop();
+  obs::Tracer::Global().SetSampleEvery(0);
 
   if (rs.partitions[0].routed <= 0 || rs.partitions[1].routed <= 0) {
     std::fprintf(stderr, "error: a partition served no traffic — the hash "
@@ -170,6 +190,56 @@ int RunRoutedFleet() {
   if (rs.failed_reqs != 0) {
     std::fprintf(stderr, "error: %lld routed requests failed\n",
                  static_cast<long long>(rs.failed_reqs));
+    return 1;
+  }
+
+  // Observability gate 1: the one-scrape fleet snapshot must carry the
+  // re-homed series — wire, scheduler, router rollups and the serving
+  // path's per-class histograms.
+  const std::string dump = obs::MetricsRegistry::Global().DumpMetrics();
+  for (const char* series :
+       {"fluid_fleet_wire_frames_sent", "fluid_fleet_sched_completed",
+        "fluid_fleet_router_routed_reqs", "fluid_fleet_pool_gets",
+        "fluid_sched_queue_wait_ms", "fluid_sched_service_ms",
+        "fluid_wire_ms"}) {
+    if (dump.find(series) == std::string::npos) {
+      std::fprintf(stderr,
+                   "error: metrics dump is missing series %s — the fleet "
+                   "telemetry re-homing is broken\n",
+                   series);
+      return 1;
+    }
+  }
+
+  // Observability gate 2: at least one trace must be COMPLETE across the
+  // fleet — dispatched at the router, admitted by a scheduler, its chunk
+  // shipped over TCP (wire span), served by a worker (master and workers
+  // share this process, so both ends land in the same ring), and the
+  // request finalized.
+  std::map<std::uint64_t, unsigned> trace_parts;
+  std::int64_t spans = 0;
+  for (const obs::Span& s : obs::Tracer::Global().Snapshot()) {
+    unsigned bit = 0;
+    if (std::strcmp(s.name, "router.dispatch") == 0) bit = 1u;
+    if (std::strcmp(s.name, "sched.admission") == 0) bit = 2u;
+    if (std::strcmp(s.name, "wire") == 0) bit = 4u;
+    if (std::strcmp(s.name, "worker.service") == 0) bit = 8u;
+    if (std::strcmp(s.name, "sched.request") == 0) bit = 16u;
+    trace_parts[s.trace_id] |= bit;
+    ++spans;
+  }
+  std::int64_t complete = 0;
+  for (const auto& [id, mask] : trace_parts) {
+    if ((mask & 31u) == 31u) ++complete;
+  }
+  std::printf("[result] observability: %lld spans across %zu traces, %lld "
+              "complete router->sched->wire->worker->reply timelines\n",
+              static_cast<long long>(spans), trace_parts.size(),
+              static_cast<long long>(complete));
+  if (complete <= 0) {
+    std::fprintf(stderr,
+                 "error: no complete cross-node trace — a span stage never "
+                 "recorded (router/scheduler/wire/worker/reply)\n");
     return 1;
   }
   return 0;

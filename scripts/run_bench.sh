@@ -24,8 +24,14 @@
 #                            scale-out: RequestRouter over N=1..4
 #                            masters, each with its own worker and
 #                            emulated link; aggregate closed-loop req/s
-#                            plus 3-class open-loop percentiles per N
+#                            plus 3-class open-loop percentiles per N,
+#                            measured with 1-in-16 request tracing and
+#                            the wire v6 trace block on
 #                            (fig2_throughput cluster=1)
+#                          obs         — latency breakdown per SLO class:
+#                            queue-wait vs service vs wire p50/p99 from
+#                            the serving path's own histograms, every
+#                            request traced (fig2_throughput obs=1)
 #                          int8_accuracy — top-1 of the int8 deployment vs
 #                            its fp32 source (fig2_accuracy quant_json=…;
 #                            skipped when FLUID_BENCH_SKIP_ACCURACY=1 — it
@@ -106,8 +112,8 @@ if ! cmake --build "${build_dir}" -j "$(nproc)" --target fig2_throughput; then
   echo "error: building fig2_throughput failed." >&2
   exit 1
 fi
-serving_tmp="$(mktemp)" ha_tmp="$(mktemp)" acc_tmp="$(mktemp)" mixed_tmp="$(mktemp)" wire_tmp="$(mktemp)" cluster_tmp="$(mktemp)"
-trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}" "${wire_tmp}" "${cluster_tmp}"' EXIT
+serving_tmp="$(mktemp)" ha_tmp="$(mktemp)" acc_tmp="$(mktemp)" mixed_tmp="$(mktemp)" wire_tmp="$(mktemp)" cluster_tmp="$(mktemp)" obs_tmp="$(mktemp)"
+trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}" "${wire_tmp}" "${cluster_tmp}" "${obs_tmp}"' EXIT
 "${build_dir}/fig2_throughput" closed_loop=1 clients=8 per_client=100 \
   json="${serving_tmp}"
 # Wire data plane: the HT fan-out served fp32 (v2) vs int8 input shards
@@ -134,6 +140,11 @@ trap 'rm -f "${tmp1}" "${tmp4}" ${merged:+"${merged}"} "${serving_tmp}" "${ha_tm
 # class's open-loop p99 must hold against the single-master mixed_slo
 # baseline.
 "${build_dir}/fig2_throughput" cluster=1 masters=4 json="${cluster_tmp}"
+# Latency breakdown: the serving path's queue-wait/service/wire histograms
+# split each SLO class's latency into its scheduler, compute and link
+# components; every request is traced so the wire component covers the run.
+"${build_dir}/fig2_throughput" obs=1 rate=300 requests=2000 \
+  json="${obs_tmp}"
 
 if [[ "${FLUID_BENCH_SKIP_ACCURACY:-0}" != "1" ]]; then
   if ! cmake --build "${build_dir}" -j "$(nproc)" --target fig2_accuracy; then
@@ -155,12 +166,12 @@ EOF
 fi
 
 serving_merged="$(mktemp)"
-python3 - "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}" "${wire_tmp}" "${cluster_tmp}" > "${serving_merged}" <<'EOF'
+python3 - "${serving_tmp}" "${ha_tmp}" "${acc_tmp}" "${mixed_tmp}" "${wire_tmp}" "${cluster_tmp}" "${obs_tmp}" > "${serving_merged}" <<'EOF'
 import json, sys
-closed, ha, acc, mixed, wire, cluster = (
-    json.load(open(p)) for p in sys.argv[1:7])
+closed, ha, acc, mixed, wire, cluster, obs = (
+    json.load(open(p)) for p in sys.argv[1:8])
 out = {"closed_loop": closed, "ha_quant": ha, "mixed_slo": mixed,
-       "wire": wire, "cluster_scale": cluster}
+       "wire": wire, "cluster_scale": cluster, "obs": obs}
 # Steady-state heap discipline per scenario, gathered in one place so the
 # alloc/request trajectory is tracked PR over PR next to the latencies.
 out["mem_discipline"] = {

@@ -1,8 +1,10 @@
 #include "core/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace fluid::core {
@@ -10,10 +12,48 @@ namespace fluid::core {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_flush_mutex;
+// Namespace-scope initializer: the env override lands before main() and
+// before any FLUID_LOG call from static initialisation can be filtered
+// by the wrong level. g_level above is constant-initialized, so the
+// ordering is well-defined.
+const bool g_env_level_applied = [] {
+  ApplyLogLevelFromEnv();
+  return true;
+}();
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+bool ParseLogLevel(std::string_view name, LogLevel& out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "trace") out = LogLevel::kTrace;
+  else if (lower == "debug") out = LogLevel::kDebug;
+  else if (lower == "info") out = LogLevel::kInfo;
+  else if (lower == "warn" || lower == "warning") out = LogLevel::kWarn;
+  else if (lower == "error") out = LogLevel::kError;
+  else if (lower == "off") out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+void ApplyLogLevelFromEnv() {
+  const char* env = std::getenv("FLUID_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  LogLevel level = LogLevel::kWarn;
+  if (ParseLogLevel(env, level)) {
+    SetLogLevel(level);
+  } else {
+    std::fprintf(stderr,
+                 "[WARN logging] unrecognised FLUID_LOG_LEVEL '%s' ignored "
+                 "(want trace|debug|info|warn|error|off)\n",
+                 env);
+  }
+}
 
 std::string_view LogLevelName(LogLevel level) {
   switch (level) {
@@ -45,8 +85,8 @@ LogLine::~LogLine() {
                        steady_clock::now().time_since_epoch())
                        .count();
   std::lock_guard<std::mutex> lock(g_flush_mutex);
-  std::fprintf(stderr, "%lld %s\n", static_cast<long long>(now),
-               stream_.str().c_str());
+  std::fprintf(stderr, "%lld %s%s\n", static_cast<long long>(now),
+               stream_.str().c_str(), fields_.str().c_str());
 }
 
 }  // namespace detail

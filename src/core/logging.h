@@ -2,8 +2,13 @@
 // Minimal thread-safe leveled logger.
 //
 // Usage:  FLUID_LOG(Info) << "trained width " << w;
+// Structured key=value fields (machine-greppable, appended in order):
+//         FLUID_LOG(Warn).With("event", "stale_reply").With("seq", seq)
+//             << "dropping stale reply";
 // The global level defaults to Warn so tests and benches stay quiet;
-// examples raise it to Info.
+// examples raise it to Info. The FLUID_LOG_LEVEL environment variable
+// (trace|debug|info|warn|error|off, case-insensitive) overrides the
+// default once at startup — SetLogLevel still wins afterwards.
 
 #include <mutex>
 #include <sstream>
@@ -18,6 +23,14 @@ void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 std::string_view LogLevelName(LogLevel level);
+
+/// Parse a FLUID_LOG_LEVEL-style name ("info", "WARN", ...). Returns
+/// false (and leaves `out` alone) on anything unrecognised.
+bool ParseLogLevel(std::string_view name, LogLevel& out);
+
+/// Apply the FLUID_LOG_LEVEL environment override, if set and valid.
+/// Runs automatically once at startup; exposed for tests.
+void ApplyLogLevelFromEnv();
 
 namespace detail {
 
@@ -36,9 +49,19 @@ class LogLine {
     return *this;
   }
 
+  /// Append a structured ` key=value` field. Fields render after any
+  /// streamed free text in call order, e.g.
+  ///   [WARN master.cpp:42] dropping reply event=stale_reply seq=17
+  template <typename T>
+  LogLine& With(std::string_view key, const T& value) {
+    fields_ << ' ' << key << '=' << value;
+    return *this;
+  }
+
  private:
   LogLevel level_;
   std::ostringstream stream_;
+  std::ostringstream fields_;
 };
 
 bool LogEnabled(LogLevel level);

@@ -7,11 +7,29 @@
 #include "core/buffer_pool.h"
 #include "core/logging.h"
 #include "core/tensor_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fluid::dist {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+/// Split a traced reply's observed round trip into pure link time: the
+/// worker echoed the master's send stamp (so rtt computes on the master's
+/// own clock) plus its service duration. Records the "wire" span under
+/// the request frame's span and the per-class wire histogram. No-op for
+/// untraced replies.
+void RecordWireReply(const Message& reply, obs::Histogram* hist) {
+  if (!reply.has_trace()) return;
+  const std::int64_t rtt = obs::NowUs() - reply.trace_sent_us;
+  const std::int64_t wire_us =
+      std::max<std::int64_t>(0, rtt - reply.trace_service_us);
+  auto& tracer = obs::Tracer::Global();
+  tracer.Record(reply.trace_id, tracer.NewSpanId(), reply.trace_span, "wire",
+                "master", reply.trace_sent_us, wire_us);
+  if (hist != nullptr) hist->Record(static_cast<double>(wire_us) / 1000.0);
+}
 
 /// A structurally valid kResult for `rows` samples: payload present with a
 /// batch dim of `rows`, and the v2 batch header (when set) agreeing. The
@@ -24,7 +42,13 @@ bool WellFormedResult(const Message& reply, std::int64_t rows) {
 }
 }  // namespace
 
-MasterNode::MasterNode(slim::FluidNetConfig config) : config_(config) {}
+MasterNode::MasterNode(slim::FluidNetConfig config) : config_(config) {
+  auto& reg = obs::MetricsRegistry::Global();
+  for (std::size_t c = 0; c < kNumPriorityClasses; ++c) {
+    const std::string label{PriorityName(static_cast<Priority>(c))};
+    wire_ms_[c] = &reg.GetHistogram("fluid_wire_ms{class=\"" + label + "\"}");
+  }
+}
 
 MasterNode::~MasterNode() { StopServing(); }
 
@@ -100,6 +124,11 @@ std::size_t MasterNode::AliveWorkers() const {
 bool MasterNode::WorkerAlive(std::size_t index) const {
   std::lock_guard<std::mutex> lock(mu_);
   return index < workers_.size() && workers_[index].alive;
+}
+
+void MasterNode::EnableTraceWire(std::size_t index, bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < workers_.size()) workers_[index].trace_wire = on;
 }
 
 void MasterNode::DeployLocal(std::string name, nn::Sequential model) {
@@ -389,6 +418,12 @@ bool MasterNode::ServePipelineContinuous(BatchScheduler& sched) {
         // class and remaining budget for per-class accounting downstream.
         frame.SetSlo(static_cast<std::uint8_t>(chunk.top),
                      RemainingMs(chunk.urgent_deadline).count());
+        // v6 trace block, only on links negotiated for it: the worker
+        // echoes stamp + service duration so the reply splits the round
+        // trip into link time vs back-half compute.
+        if (chunk.trace_id != 0 && workers_[w].trace_wire) {
+          frame.SetTrace(chunk.trace_id, chunk.trace_parent, obs::NowUs());
+        }
         frames.push_back(std::move(frame));
         flights.push_back({seq, w, std::move(chunk)});
       }
@@ -444,6 +479,8 @@ bool MasterNode::ServePipelineContinuous(BatchScheduler& sched) {
                  : "malformed pipeline chunk result"));
       } else {
         stats_.served_pipeline += fl.chunk.rows;
+        RecordWireReply(*got,
+                        wire_ms_[static_cast<std::size_t>(fl.chunk.top)]);
         // Resolve under mu_: the cached pipeline label is guarded by it,
         // and the scheduler lock only ever nests inside mu_.
         sched.CompleteChunk(fl.chunk, got->payload, label_pipeline_);
@@ -512,6 +549,10 @@ bool MasterNode::ServePipelineContinuous(BatchScheduler& sched) {
 
 void MasterNode::ServeChunkSharded(BatchScheduler& sched,
                                    const BatchScheduler::WorkChunk& chunk) {
+  // One span per chunk serve (inert when untraced): covers stack, shard
+  // fan-out, remote waits and scatter; shard wire spans parent under it.
+  obs::ScopedSpan chunk_span(obs::Tracer::Global(), chunk.trace_id,
+                             chunk.trace_parent, "master.chunk", "master");
   core::Tensor storage;
   core::Status st = core::Status::Ok();
   {
@@ -519,7 +560,8 @@ void MasterNode::ServeChunkSharded(BatchScheduler& sched,
     const core::Tensor* stacked = StackChunk(chunk, storage);
     ++stats_.batches;
     stats_.coalesced_samples += chunk.rows;
-    auto result = ServeShardedLocked(*stacked, chunk.deadline, &chunk);
+    auto result =
+        ServeShardedLocked(*stacked, chunk.deadline, &chunk, chunk_span.id());
     if (result.ok()) {
       // Scatter shard results to the chunk's slices under mu_: the
       // attribution labels point at the cached strings it guards. Each
@@ -768,7 +810,7 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServePipelineBatchLocked(
 
 core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
     const core::Tensor& input, Clock::time_point deadline,
-    const BatchScheduler::WorkChunk* slo) {
+    const BatchScheduler::WorkChunk* slo, std::uint64_t trace_parent) {
   const std::int64_t n = input.shape()[0];
 
   // HighThroughput fan-out (and the failover target for every other path):
@@ -914,9 +956,15 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
     if (slo != nullptr) {
       // Serving a scheduler chunk: the frame carries the chunk's most
       // urgent class + remaining budget (wire v4) for per-class
-      // accounting on the worker.
+      // accounting on the worker, and — on links negotiated for wire v6
+      // — the trace block the worker echoes with its service duration.
       frame.SetSlo(static_cast<std::uint8_t>(slo->top),
                    RemainingMs(slo->urgent_deadline).count());
+      if (slo->trace_id != 0 && workers_[w].trace_wire) {
+        frame.SetTrace(slo->trace_id,
+                       trace_parent != 0 ? trace_parent : slo->trace_parent,
+                       obs::NowUs());
+      }
     }
     auto st = SendLocked(w, frame);
     RecycleMessage(std::move(frame));
@@ -977,6 +1025,8 @@ core::StatusOr<MasterNode::BatchResult> MasterNode::ServeShardedLocked(
           "worker[" + std::to_string(w) + "]: result size mismatch");
       continue;
     }
+    RecordWireReply(*reply, wire_ms_[static_cast<std::size_t>(
+                                slo != nullptr ? slo->top : Priority::kNormal)]);
     RecycleMessage(std::move(*reply));
     stats_.served_remote += shard.rows;
     shard.done = true;
@@ -1176,9 +1226,12 @@ core::StatusOr<Message> MasterNode::AwaitReplyLocked(
     // Correlation id matches nothing we sent (or an RPC long abandoned):
     // drop it loudly rather than mis-deliver.
     ++stats_.stale_replies;
-    FLUID_LOG(Warn) << "master: dropping stale " << MsgTypeName(reply.type)
-                    << " reply seq=" << reply.seq << " from worker[" << w
-                    << "]";
+    FLUID_LOG(Warn)
+            .With("event", "stale_reply")
+            .With("worker", w)
+            .With("seq", reply.seq)
+            .With("type", MsgTypeName(reply.type))
+        << "master: dropping stale reply";
   }
 }
 

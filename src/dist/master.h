@@ -63,6 +63,10 @@
 #include "sim/scenario.h"
 #include "slim/fluid_model.h"
 
+namespace fluid::obs {
+class Histogram;
+}  // namespace fluid::obs
+
 namespace fluid::dist {
 
 /// Which deployment serves which role. Names refer to deployments made via
@@ -177,6 +181,15 @@ class MasterNode {
   core::StatusOr<InferReply> Infer(const core::Tensor& input,
                                    std::chrono::milliseconds timeout);
 
+  /// Allow wire v6 traced frames on worker `index`'s link. Off by default:
+  /// a v5-or-older peer would reject version-6 frames and drop the
+  /// connection, so only enable it for peers known to speak v6 (same
+  /// binary, or a deploy that acked it). With the flag off a sampled
+  /// request still traces master-side — its frames just ship untraced
+  /// (byte-identical to v5) and the per-worker wire/service split is
+  /// absent from the timeline.
+  void EnableTraceWire(std::size_t index, bool on = true);
+
   /// Heartbeat every believed-alive worker; mark non-responders dead.
   /// Returns the number still alive. Used by the Orchestrator tick.
   std::size_t ProbeWorkers(
@@ -209,6 +222,8 @@ class MasterNode {
     TransportPtr transport;
     std::string name;  // from its kHello, if seen
     bool alive = true;
+    /// Send wire v6 traced frames on this link (see EnableTraceWire).
+    bool trace_wire = false;
     std::vector<Deployment> deployments;
     /// Correlation ids of RPCs currently in flight on this link.
     std::set<std::int64_t> pending;
@@ -264,10 +279,13 @@ class MasterNode {
   core::StatusOr<BatchResult> ServePipelineBatchLocked(
       const core::Tensor& input, std::chrono::steady_clock::time_point deadline);
   /// `slo` (when serving a scheduler chunk) stamps the v4 SLO block —
-  /// class + remaining budget — onto every shard frame shipped.
+  /// class + remaining budget — onto every shard frame shipped; a traced
+  /// chunk additionally stamps the v6 trace block (parented to
+  /// `trace_parent`, the master.chunk span) on trace_wire links.
   core::StatusOr<BatchResult> ServeShardedLocked(
       const core::Tensor& input, std::chrono::steady_clock::time_point deadline,
-      const BatchScheduler::WorkChunk* slo = nullptr);
+      const BatchScheduler::WorkChunk* slo = nullptr,
+      std::uint64_t trace_parent = 0);
   core::StatusOr<core::Tensor> ServeShardRemoteLocked(
       std::size_t w, const std::string& name, core::Tensor shard,
       std::chrono::steady_clock::time_point deadline);
@@ -323,6 +341,11 @@ class MasterNode {
   /// `WorkerHandle::alive` flips, always under mu_) so LoadSnapshot can
   /// read it without the serving-core lock.
   std::atomic<std::size_t> alive_count_{0};
+
+  /// Per-class pure-wire-time histograms (obs/metrics.h), recorded when a
+  /// traced reply's echoed service duration lets the observed round trip
+  /// split into link time vs worker compute. Cached at construction.
+  obs::Histogram* wire_ms_[kNumPriorityClasses] = {};
 };
 
 }  // namespace fluid::dist

@@ -14,13 +14,16 @@ constexpr std::uint32_t kMagic = kFrameMagic;
 // [u8 priority][i64 slo_ms] — emitted only when an SLO is attached.
 // v5: trailing [u8 input_quant] — the qpayload is a quantized input
 // shard; a v5 body always carries the v3 flag and the v4 SLO block
-// (slo_ms = -1 legal, meaning "no SLO").
+// (slo_ms = -1 legal, meaning "no SLO"). v6: trailing [u8 has_trace]
+// [trace block] — sampled distributed-tracing context; a v6 body always
+// carries every lower block (the v5 marker may legitimately be 0 here).
 constexpr std::uint8_t kVersionV1 = 1;
 constexpr std::uint8_t kVersion = 2;
 constexpr std::uint8_t kVersionV3 = 3;
 constexpr std::uint8_t kVersionV4 = 4;
 constexpr std::uint8_t kVersionV5 = 5;
-static_assert(kVersionV5 == kMaxWireVersion,
+constexpr std::uint8_t kVersionV6 = 6;
+static_assert(kVersionV6 == kMaxWireVersion,
               "message.h kMaxWireVersion drifted from the codec");
 constexpr std::uint8_t kMaxType = static_cast<std::uint8_t>(MsgType::kHeartbeat);
 
@@ -28,6 +31,7 @@ constexpr std::uint8_t kMaxType = static_cast<std::uint8_t>(MsgType::kHeartbeat)
 // each optional trailing block forces the version that introduced it,
 // so frames without a feature stay byte-identical to older encoders.
 std::uint8_t WireVersion(const Message& msg) {
+  if (msg.has_trace()) return kVersionV6;
   if (msg.input_quant) return kVersionV5;
   if (msg.has_slo()) return kVersionV4;
   if (msg.has_qpayload()) return kVersionV3;
@@ -130,13 +134,22 @@ void EncodeMessageInto(const Message& msg, std::vector<std::uint8_t>& out) {
     if (msg.has_qpayload()) msg.qpayload.Encode(w);
   }
   if (version >= kVersionV4) {
-    // v5 bodies write the block unconditionally (slo_ms = -1 when unset);
-    // a v4 body only exists because has_slo() held.
+    // v5+ bodies write the block unconditionally (slo_ms = -1 when
+    // unset); a v4 body only exists because has_slo() held.
     w.WriteU8(msg.priority);
     w.WriteI64(msg.slo_ms);
   }
   if (version >= kVersionV5) {
-    w.WriteU8(1);
+    // A v5 body only exists because the marker is set; a v6 body carries
+    // the byte unconditionally, so 0 is legal there.
+    w.WriteU8(msg.input_quant ? 1 : 0);
+  }
+  if (version >= kVersionV6) {
+    w.WriteU8(1);  // has_trace — a v6 body only exists because of it
+    w.WriteU64(msg.trace_id);
+    w.WriteU64(msg.trace_span);
+    w.WriteI64(msg.trace_sent_us);
+    w.WriteI64(msg.trace_service_us);
   }
   out = w.TakeBuffer();
   FLUID_CHECK_MSG(static_cast<std::int64_t>(out.size()) == total,
@@ -217,7 +230,14 @@ std::int64_t EncodeMessageScatter(const Message& msg, core::ByteWriter& scaffold
     scaffold.WriteI64(msg.slo_ms);
   }
   if (version >= kVersionV5) {
+    scaffold.WriteU8(msg.input_quant ? 1 : 0);
+  }
+  if (version >= kVersionV6) {
     scaffold.WriteU8(1);
+    scaffold.WriteU64(msg.trace_id);
+    scaffold.WriteU64(msg.trace_span);
+    scaffold.WriteI64(msg.trace_sent_us);
+    scaffold.WriteI64(msg.trace_service_us);
   }
   flush_scaffold();
   FLUID_CHECK_MSG(emitted == total,
@@ -245,7 +265,7 @@ core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out) {
 
   std::uint8_t version = 0, type = 0, has_tensor = 0;
   FLUID_RETURN_IF_ERROR(r.TryReadU8(version));
-  if (version < kVersionV1 || version > kVersionV5) {
+  if (version < kVersionV1 || version > kVersionV6) {
     return core::Status::DataLoss("Message: unsupported version " +
                                   std::to_string(version));
   }
@@ -296,6 +316,26 @@ core::Status DecodeMessage(std::span<const std::uint8_t> bytes, Message& out) {
     }
     msg.input_quant = input_quant != 0;
   }
+  if (version >= kVersionV6) {
+    std::uint8_t has_trace = 0;
+    FLUID_RETURN_IF_ERROR(r.TryReadU8(has_trace));
+    if (has_trace > 1) {
+      return core::Status::DataLoss("Message: bogus has_trace flag");
+    }
+    if (has_trace != 0) {
+      FLUID_RETURN_IF_ERROR(r.TryReadU64(msg.trace_id));
+      FLUID_RETURN_IF_ERROR(r.TryReadU64(msg.trace_span));
+      FLUID_RETURN_IF_ERROR(r.TryReadI64(msg.trace_sent_us));
+      FLUID_RETURN_IF_ERROR(r.TryReadI64(msg.trace_service_us));
+      if (msg.trace_id == 0) {
+        return core::Status::DataLoss("Message: trace block without an id");
+      }
+      if (msg.trace_sent_us < 0 || msg.trace_service_us < 0) {
+        return core::Status::DataLoss(
+            "Message: trace block with negative timestamps");
+      }
+    }
+  }
   out = std::move(msg);
   return core::Status::Ok();
 }
@@ -320,6 +360,7 @@ std::int64_t EncodedSize(const Message& msg) {
   }
   if (version >= kVersionV4) n += 1 + 8;  // SLO block
   if (version >= kVersionV5) n += 1;      // input_quant marker
+  if (version >= kVersionV6) n += 1 + 8 + 8 + 8 + 8;  // trace block
   return n;
 }
 

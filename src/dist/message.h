@@ -43,6 +43,19 @@
 // sending v5 frames is negotiated per-deploy via the blueprint's
 // `int8_input_wire` option exactly like v3's cut-activation frames.
 //
+// Version 6 adds an optional trailing trace block — [u8 has_trace]
+// [u64 trace_id][u64 trace_span][i64 trace_sent_us][i64 trace_service_us]
+// — carrying a sampled request's distributed-tracing context
+// (obs/trace.h) across nodes. On kInfer frames the master stamps the
+// trace id, the parent span and its own steady-clock send timestamp; the
+// worker echoes the block on the kResult reply with its service duration
+// filled in, so the master can split the observed round trip into pure
+// link time and worker compute. Same discipline as v3/v4/v5: the encoder
+// emits version 6 only when a trace is attached (sampled 1-in-N), so
+// every untraced frame stays byte-identical to what a v5 encoder
+// produces. A v6 body always carries the v3 flag, the v4 SLO block
+// (slo_ms = -1 legal) and the v5 marker (0 legal — v6 only).
+//
 // Decode never throws: corrupt or truncated frames come back as
 // Status::DataLoss so a transport can drop the connection instead of
 // unwinding through the serving loop.
@@ -70,7 +83,7 @@ inline constexpr std::uint32_t kMaxFrameBody = 64u << 20;  // 64 MiB
 
 /// Highest wire version this codec understands. Exported so the TCP
 /// streaming decoder rejects exactly the versions DecodeMessage would.
-inline constexpr std::uint8_t kMaxWireVersion = 5;
+inline constexpr std::uint8_t kMaxWireVersion = 6;
 
 /// Frame type. Values are wire-stable; append only.
 enum class MsgType : std::uint8_t {
@@ -104,18 +117,48 @@ struct Message {
   /// fan-out shard), not cut activations. Forces wire version 5; requires
   /// a quantized payload.
   bool input_quant = false;
+  /// Trace block (v6): sampled distributed-tracing context. A nonzero
+  /// trace_id forces wire version 6. trace_span is the sender's parent
+  /// span; trace_sent_us is the master's steady-clock stamp at send time
+  /// (echoed unchanged by the worker so the master can compute the round
+  /// trip on its own clock); trace_service_us is the worker's service
+  /// duration, filled in on kResult replies only.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_span = 0;
+  std::int64_t trace_sent_us = 0;
+  std::int64_t trace_service_us = 0;
 
   /// Note: a zero-element tensor counts as "no payload" — its shape is not
   /// preserved on the wire. Frames that need data ship non-empty tensors.
   bool has_payload() const { return !payload.empty(); }
   bool has_qpayload() const { return !qpayload.empty(); }
   bool has_slo() const { return slo_ms >= 0; }
+  bool has_trace() const { return trace_id != 0; }
 
   /// Attach a v4 SLO block: scheduling class + remaining budget (clamped
   /// to >= 0 so setting always takes effect).
   void SetSlo(std::uint8_t cls, std::int64_t remaining_ms) {
     priority = cls;
     slo_ms = remaining_ms < 0 ? 0 : remaining_ms;
+  }
+
+  /// Attach a v6 trace block (request direction: service duration 0).
+  /// Ignored when `id` is 0 (the request was sampled out).
+  void SetTrace(std::uint64_t id, std::uint64_t span, std::int64_t sent_us) {
+    trace_id = id;
+    trace_span = span;
+    trace_sent_us = sent_us < 0 ? 0 : sent_us;
+    trace_service_us = 0;
+  }
+
+  /// Echo a request frame's trace block onto this reply, stamping the
+  /// worker's service duration. No-op for untraced requests.
+  void EchoTrace(const Message& request, std::int64_t service_us) {
+    if (!request.has_trace()) return;
+    trace_id = request.trace_id;
+    trace_span = request.trace_span;
+    trace_sent_us = request.trace_sent_us;
+    trace_service_us = service_us < 0 ? 0 : service_us;
   }
 
   static Message WithTensor(MsgType type, std::int64_t seq, std::string tag,

@@ -1,8 +1,54 @@
 #include "dist/orchestrator.h"
 
 #include "core/logging.h"
+#include "obs/metrics.h"
 
 namespace fluid::dist {
+
+namespace {
+/// Publish one fleet tick's rolled-up snapshot as fluid_fleet_* series in
+/// the global registry. Gauges throughout (last-writer-wins): every
+/// source is already a lifetime counter or an instantaneous level, so a
+/// scrape between ticks sees the latest tick's view.
+void PublishFleetMetrics(const FleetOrchestrator::FleetReport& fleet) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const auto set = [&reg](const char* name, double v) {
+    reg.GetGauge(name).Set(v);
+  };
+  const auto seti = [&set](const char* name, std::int64_t v) {
+    set(name, static_cast<double>(v));
+  };
+  set("fluid_fleet_demand", fleet.demand);
+  set("fluid_fleet_capacity", fleet.capacity);
+  seti("fluid_fleet_serving_partitions",
+       static_cast<std::int64_t>(fleet.serving_partitions));
+  seti("fluid_fleet_alive_workers",
+       static_cast<std::int64_t>(fleet.alive_workers));
+  const FleetSnapshot& s = fleet.snapshot;
+  seti("fluid_fleet_wire_bytes_sent", s.wire.bytes_sent);
+  seti("fluid_fleet_wire_bytes_recv", s.wire.bytes_recv);
+  seti("fluid_fleet_wire_frames_sent", s.wire.frames_sent);
+  seti("fluid_fleet_wire_frames_recv", s.wire.frames_recv);
+  seti("fluid_fleet_wire_batched_sends", s.wire.batched_sends);
+  seti("fluid_fleet_sched_submitted", s.sched.submitted);
+  seti("fluid_fleet_sched_completed", s.sched.completed);
+  seti("fluid_fleet_sched_queue_depth", s.sched.queue_depth);
+  seti("fluid_fleet_sched_active_requests", s.sched.active_requests);
+  seti("fluid_fleet_sched_deadline_misses", s.sched.deadline_misses);
+  seti("fluid_fleet_sched_preemptions", s.sched.preemptions);
+  set("fluid_fleet_sched_occupancy", s.sched.occupancy);
+  seti("fluid_fleet_pool_gets", static_cast<std::int64_t>(s.pool.gets));
+  seti("fluid_fleet_pool_hits", static_cast<std::int64_t>(s.pool.hits));
+  seti("fluid_fleet_pool_puts", static_cast<std::int64_t>(s.pool.puts));
+  seti("fluid_fleet_pool_discards",
+       static_cast<std::int64_t>(s.pool.discards));
+  seti("fluid_fleet_router_routed_reqs", s.router.routed_reqs);
+  seti("fluid_fleet_router_rerouted_reqs", s.router.rerouted_reqs);
+  seti("fluid_fleet_router_retries", s.router.retries);
+  seti("fluid_fleet_router_completed_reqs", s.router.completed_reqs);
+  seti("fluid_fleet_router_failed_reqs", s.router.failed_reqs);
+}
+}  // namespace
 
 Orchestrator::Orchestrator(MasterNode& master, OrchestratorConfig config)
     : master_(master),
@@ -127,8 +173,11 @@ FleetOrchestrator::FleetReport FleetOrchestrator::Tick(double fleet_demand) {
     fleet.partitions.push_back(std::move(pr));
   }
 
-  fleet.wire = router_.wire_stats();
-  fleet.sched = router_.scheduler_stats();
+  fleet.snapshot.wire = router_.wire_stats();
+  fleet.snapshot.sched = router_.scheduler_stats();
+  fleet.snapshot.pool = core::PoolStatsSnapshot();
+  fleet.snapshot.router = rs;
+  PublishFleetMetrics(fleet);
   FLUID_LOG(Debug) << "fleet tick " << ticks_ << ": demand " << fleet_demand
                    << " partitions " << fleet.serving_partitions << "/"
                    << rs.partitions.size() << " capacity " << fleet.capacity;

@@ -18,11 +18,24 @@
 #include <memory>
 #include <vector>
 
+#include "core/buffer_pool.h"
 #include "dist/master.h"
 #include "dist/mode_controller.h"
 #include "dist/router.h"
 
 namespace fluid::dist {
+
+/// One fleet-wide telemetry snapshot: the wire, scheduler, buffer-pool
+/// and router counters that used to travel as separate bespoke structs,
+/// rolled up at the FleetOrchestrator tick. The same numbers are
+/// published into the global obs::MetricsRegistry as `fluid_fleet_*`
+/// series, so one `DumpMetrics()` scrape sees what the tick saw.
+struct FleetSnapshot {
+  WireStats wire;       // summed over every partition's worker links
+  SchedulerStats sched; // summed across partitions (router's fleet view)
+  core::PoolStats pool; // process-wide buffer-pool counters
+  RouterStats router;   // dispatch/reroute/failure counters
+};
 
 struct OrchestratorConfig {
   double ha_capacity = 0.0;  // img/s of the HA pipeline operating point
@@ -95,9 +108,9 @@ class FleetOrchestrator {
     std::size_t serving_partitions = 0;  // live and not draining
     std::size_t alive_workers = 0;       // across every live partition
     double capacity = 0.0;               // summed partition estimates
-    /// Aggregate telemetry over the fleet (RequestRouter's summed view).
-    WireStats wire;
-    SchedulerStats sched;
+    /// Aggregate telemetry over the fleet, one snapshot instead of the
+    /// old separate wire/sched members (also published as fluid_fleet_*).
+    FleetSnapshot snapshot;
     std::vector<PartitionReport> partitions;
   };
 

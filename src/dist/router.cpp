@@ -6,6 +6,8 @@
 
 #include "core/buffer_pool.h"
 #include "core/error.h"
+#include "core/logging.h"
+#include "obs/trace.h"
 
 namespace fluid::dist {
 
@@ -228,8 +230,16 @@ std::future<core::StatusOr<InferReply>> RequestRouter::InferAsync(
 
 std::future<core::StatusOr<InferReply>> RequestRouter::InferAsync(
     core::Tensor input, const SubmitOptions& opts, std::uint64_t key) {
+  // Trace sampling happens here, at the fleet's front door: 1-in-N
+  // requests get a trace id that rides SubmitOptions into the partition's
+  // scheduler and (on trace_wire links) across the wire. A caller-set id
+  // is respected (the request was sampled upstream).
+  auto& tracer = obs::Tracer::Global();
   auto p = std::make_unique<Pending>();
   p->opts = opts;
+  if (p->opts.trace_id == 0) p->opts.trace_id = tracer.MaybeStartTrace();
+  const std::int64_t dispatch_start =
+      p->opts.trace_id != 0 ? obs::NowUs() : 0;
   p->deadline = Clock::now() + opts.timeout;
   p->input = std::move(input);
   auto future = p->promise.get_future();
@@ -265,11 +275,20 @@ std::future<core::StatusOr<InferReply>> RequestRouter::InferAsync(
     target = partitions_[chosen].master;
   }
 
+  if (p->opts.trace_id != 0) {
+    // router.dispatch is the trace's root span: it covers partition
+    // choice and submission, and everything downstream parents under it.
+    const std::uint64_t span = tracer.NewSpanId();
+    tracer.Record(p->opts.trace_id, span, 0, "router.dispatch", "router",
+                  dispatch_start, obs::NowUs() - dispatch_start);
+    p->opts.trace_parent = span;
+  }
+
   // Submit OUTSIDE mu_: the partition's admission backpressure may block
   // for the request's whole budget, and routing must not stall behind it.
   // The partition gets a pooled copy; the original is retained for
   // resubmission on an in-flight failure.
-  p->inner = target->InferAsync(core::AcquireTensorCopy(p->input), opts);
+  p->inner = target->InferAsync(core::AcquireTensorCopy(p->input), p->opts);
 
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
@@ -336,6 +355,20 @@ void RequestRouter::FinishPending(std::unique_ptr<Pending> p,
     if (target != nullptr) {
       SubmitOptions opts = p->opts;
       opts.timeout = RemainingMs(p->deadline);
+      FLUID_LOG(Warn)
+              .With("event", "reroute")
+              .With("partition", chosen)
+              .With("budget_ms", opts.timeout.count())
+          << "router: partition failed in flight, resubmitting to sibling";
+      if (opts.trace_id != 0) {
+        // Mark the reroute in the timeline; the retried leg parents under
+        // it so the two submissions stay distinguishable.
+        auto& tracer = obs::Tracer::Global();
+        const std::uint64_t span = tracer.NewSpanId();
+        tracer.Record(opts.trace_id, span, opts.trace_parent,
+                      "router.reroute", "router", obs::NowUs(), 0);
+        opts.trace_parent = span;
+      }
       p->inner = target->InferAsync(core::AcquireTensorCopy(p->input), opts);
       std::lock_guard<std::mutex> lock(pending_mu_);
       pending_.push_back(std::move(p));

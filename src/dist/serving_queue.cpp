@@ -5,6 +5,8 @@
 
 #include "core/buffer_pool.h"
 #include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fluid::dist {
 
@@ -42,6 +44,17 @@ BatchScheduler::BatchScheduler(BatchOptions options, ServeFn serve)
   FLUID_CHECK_MSG(options_.ha_chunk >= 1 && options_.ha_window >= 1,
                   "BatchScheduler: ha_chunk/ha_window < 1");
   FLUID_CHECK_MSG(serve_ != nullptr, "BatchScheduler: null serve callback");
+  // Latency-breakdown series, one pair per class. Registered once here so
+  // the hot path records through cached pointers without the registry
+  // mutex (see docs/observability.md for the naming scheme).
+  auto& reg = obs::MetricsRegistry::Global();
+  for (std::size_t c = 0; c < kNumPriorityClasses; ++c) {
+    const std::string label{PriorityName(static_cast<Priority>(c))};
+    queue_wait_ms_[c] = &reg.GetHistogram("fluid_sched_queue_wait_ms{class=\"" +
+                                          label + "\"}");
+    service_ms_[c] =
+        &reg.GetHistogram("fluid_sched_service_ms{class=\"" + label + "\"}");
+  }
   running_ = true;
   thread_ = std::thread(&BatchScheduler::DrainLoop, this);
 }
@@ -67,6 +80,7 @@ std::future<core::StatusOr<InferReply>> BatchScheduler::Submit(
         "BatchScheduler::Submit: unknown priority class"));
   }
   const std::int64_t samples = input.shape()[0];
+  const std::int64_t submit_us = obs::NowUs();
   const auto deadline = Clock::now() + opts.timeout;
   auto future = [&] {
     std::unique_lock<std::mutex> lock(mu_);
@@ -100,6 +114,16 @@ std::future<core::StatusOr<InferReply>> BatchScheduler::Submit(
     req.input = std::move(input);
     req.priority = opts.priority;
     req.deadline = deadline;
+    req.trace_id = opts.trace_id;
+    req.trace_parent = opts.trace_parent;
+    req.submit_us = submit_us;
+    req.admit_us = obs::NowUs();
+    if (req.trace_id != 0) {
+      auto& tracer = obs::Tracer::Global();
+      tracer.Record(req.trace_id, tracer.NewSpanId(), req.trace_parent,
+                    "sched.admission", "sched", submit_us,
+                    req.admit_us - submit_us);
+    }
     auto fut = req.promise.get_future();
 
     // EDF within the class: insert by deadline. Arrivals usually carry the
@@ -222,6 +246,8 @@ bool BatchScheduler::NextChunk(std::size_t max_samples,
                                WorkChunk& chunk) {
   chunk.slices.clear();
   chunk.rows = 0;
+  chunk.trace_id = 0;
+  chunk.trace_parent = 0;
   FLUID_CHECK_MSG(max_samples >= 1, "NextChunk: max_samples < 1");
   std::unique_lock<std::mutex> lock(mu_);
   if (!cv_.wait_until(lock, Clock::now() + wait,
@@ -301,10 +327,21 @@ void BatchScheduler::AssembleLocked(std::size_t max_samples,
       const std::int64_t take =
           std::min(max_rows - chunk.rows, req->samples - req->scheduled_rows);
       chunk.slices.push_back({req, req->scheduled_rows, take});
+      if (chunk.trace_id == 0 && req->trace_id != 0) {
+        chunk.trace_id = req->trace_id;
+        chunk.trace_parent = req->trace_parent;
+      }
       if (req->scheduled_rows == 0) {
         // First rows of a READY request: admit it into RUNNING. splice()
         // moves the node without invalidating iterators or the pointer.
         service_.splice(service_.end(), ready_[cls], req->self);
+        req->first_us = obs::NowUs();
+        if (req->trace_id != 0) {
+          auto& tracer = obs::Tracer::Global();
+          tracer.Record(req->trace_id, tracer.NewSpanId(), req->trace_parent,
+                        "sched.ready_wait", "sched", req->admit_us,
+                        req->first_us - req->admit_us);
+        }
       }
       req->scheduled_rows += take;
       backlog_rows_ -= take;
@@ -416,6 +453,24 @@ void BatchScheduler::FinalizeLocked(Request* req) {
   if (Clock::now() > req->deadline && !req->failed) {
     // Delivered, but late: the compute wasn't wasted, the SLO was.
     ++deadline_misses_;
+  }
+  // Latency breakdown (always-on, lock-free): queue wait is
+  // submit→first chunk (requests that never got one count their whole
+  // life as wait), service is first chunk→now.
+  const std::int64_t end_us = obs::NowUs();
+  const auto cls = static_cast<std::size_t>(req->priority);
+  const std::int64_t served_at = req->first_us != 0 ? req->first_us : end_us;
+  queue_wait_ms_[cls]->Record(
+      static_cast<double>(served_at - req->submit_us) / 1000.0);
+  if (req->first_us != 0) {
+    service_ms_[cls]->Record(static_cast<double>(end_us - req->first_us) /
+                             1000.0);
+  }
+  if (req->trace_id != 0) {
+    auto& tracer = obs::Tracer::Global();
+    tracer.Record(req->trace_id, tracer.NewSpanId(), req->trace_parent,
+                  req->failed ? "sched.request_failed" : "sched.request",
+                  "sched", req->submit_us, end_us - req->submit_us);
   }
   if (!req->input.empty()) core::RecycleTensor(std::move(req->input));
   if (req->failed) {

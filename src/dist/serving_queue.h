@@ -48,6 +48,10 @@
 #include "core/error.h"
 #include "core/tensor.h"
 
+namespace fluid::obs {
+class Histogram;
+}  // namespace fluid::obs
+
 namespace fluid::dist {
 
 /// One answered inference request.
@@ -76,6 +80,12 @@ struct SubmitOptions {
   /// against it. The deadline is submit time + timeout.
   std::chrono::milliseconds timeout{5000};
   Priority priority = Priority::kNormal;
+  /// Distributed-tracing context (obs/trace.h). 0 = untraced (the
+  /// sampled-out common case); a nonzero id makes the scheduler record
+  /// admission/ready-wait/chunk/request spans under it, parented to
+  /// trace_parent (the submitter's span, e.g. router.dispatch).
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_parent = 0;
 };
 
 /// Knobs of the admission/scheduling policy and the HA pipeline schedule.
@@ -164,6 +174,16 @@ class BatchScheduler {
     std::chrono::steady_clock::time_point deadline;
     std::promise<core::StatusOr<InferReply>> promise;
 
+    // Observability (obs/): trace context from SubmitOptions plus the
+    // lifecycle timestamps (steady-clock µs) behind the latency
+    // breakdown — submit→admit (admission), admit→first chunk (READY
+    // wait / queue wait), first chunk→finalize (service).
+    std::uint64_t trace_id = 0;
+    std::uint64_t trace_parent = 0;
+    std::int64_t submit_us = 0;
+    std::int64_t admit_us = 0;
+    std::int64_t first_us = 0;  // 0 until the first chunk takes rows
+
     // Scheduling/serve progress — touched only under the scheduler lock.
     std::int64_t scheduled_rows = 0;  // rows handed out in chunks
     std::int64_t resolved_rows = 0;   // rows completed or failed
@@ -195,6 +215,10 @@ class BatchScheduler {
     /// Min deadline across slices: the tightest remaining budget (what
     /// the wire SLO block advertises).
     std::chrono::steady_clock::time_point urgent_deadline;
+    /// Trace context of the first traced slice (0 when none): the serve
+    /// side stamps wire frames and records master.chunk spans under it.
+    std::uint64_t trace_id = 0;
+    std::uint64_t trace_parent = 0;
   };
 
   /// Serve callback: runs on the drain thread whenever the pool has
@@ -301,6 +325,12 @@ class BatchScheduler {
   std::int64_t class_active_[kNumPriorityClasses] = {0, 0, 0};
   double ema_occupancy_ = 0.0;  // seeds on the first chunk
   bool ema_seeded_ = false;
+
+  // Always-on latency-breakdown histograms (obs/metrics.h), one pair per
+  // priority class: queue wait (submit→first chunk) and service (first
+  // chunk→finalize). Cached at construction; recording is lock-free.
+  obs::Histogram* queue_wait_ms_[kNumPriorityClasses] = {};
+  obs::Histogram* service_ms_[kNumPriorityClasses] = {};
 
   // Lock-free mirrors of the load-relevant counters above, stored
   // (relaxed) by PublishLoadLocked and read by load() without mu_.

@@ -522,6 +522,26 @@ class TcpTransport final : public Transport {
       }
       rx_msg_.input_quant = input_quant != 0;
     }
+    if (rx_version_ >= 6) {
+      std::uint8_t has_trace = 0;
+      FLUID_RETURN_IF_ERROR(r.TryReadU8(has_trace));
+      if (has_trace > 1) {
+        return core::Status::DataLoss("tcp: bogus has_trace flag");
+      }
+      if (has_trace != 0) {
+        FLUID_RETURN_IF_ERROR(r.TryReadU64(rx_msg_.trace_id));
+        FLUID_RETURN_IF_ERROR(r.TryReadU64(rx_msg_.trace_span));
+        FLUID_RETURN_IF_ERROR(r.TryReadI64(rx_msg_.trace_sent_us));
+        FLUID_RETURN_IF_ERROR(r.TryReadI64(rx_msg_.trace_service_us));
+        if (rx_msg_.trace_id == 0) {
+          return core::Status::DataLoss("tcp: trace block without an id");
+        }
+        if (rx_msg_.trace_sent_us < 0 || rx_msg_.trace_service_us < 0) {
+          return core::Status::DataLoss(
+              "tcp: trace block with negative timestamps");
+        }
+      }
+    }
     rx_.erase(rx_.begin(),
               rx_.begin() + static_cast<std::ptrdiff_t>(rx_trailer_left_));
     bytes_recv_.fetch_add(static_cast<std::int64_t>(8 + rx_body_len_),

@@ -1,6 +1,7 @@
 #include "dist/worker.h"
 
 #include "core/logging.h"
+#include "obs/trace.h"
 #include "quant/quant_layers.h"
 
 namespace fluid::dist {
@@ -194,6 +195,9 @@ Message WorkerNode::HandleDeploy(const Message& msg) {
 }
 
 Message WorkerNode::HandleInfer(Message& msg) {
+  // Traced frame (wire v6): clock the service so the reply can echo the
+  // block with the duration filled in. Untraced frames read no clocks.
+  const std::int64_t svc_start = msg.has_trace() ? obs::NowUs() : 0;
   if (!msg.has_payload() && !msg.has_qpayload()) {
     return Message::HeaderOnly(MsgType::kError, msg.seq, "infer: no payload");
   }
@@ -245,8 +249,19 @@ Message WorkerNode::HandleInfer(Message& msg) {
     ++slo_frames_;
     samples_by_class_[msg.priority] += samples;
   }
-  return Message::WithBatch(MsgType::kResult, msg.seq, msg.tag,
-                            std::move(*logits));
+  Message reply = Message::WithBatch(MsgType::kResult, msg.seq, msg.tag,
+                                     std::move(*logits));
+  if (msg.has_trace()) {
+    ++trace_frames_;
+    const std::int64_t svc_us = obs::NowUs() - svc_start;
+    // The span lands in *this* process's ring under the master's trace
+    // id; the echoed block carries the duration back for the wire split.
+    auto& tracer = obs::Tracer::Global();
+    tracer.Record(msg.trace_id, tracer.NewSpanId(), msg.trace_span,
+                  "worker.service", name_, svc_start, svc_us);
+    reply.EchoTrace(msg, svc_us);
+  }
+  return reply;
 }
 
 core::StatusOr<core::Tensor> WorkerNode::LocalInfer(const std::string& model,

@@ -83,6 +83,9 @@ class WorkerNode {
   /// Infer frames whose int8 payload was a quantized *input shard* (wire
   /// v5, `int8_input_wire` negotiation) rather than cut activations.
   std::int64_t input_quant_frames() const { return input_quant_frames_; }
+  /// Infer frames that arrived with a v6 trace block (and had it echoed,
+  /// service duration filled, on the reply).
+  std::int64_t trace_frames() const { return trace_frames_; }
   /// Wire byte/frame counters of this worker's link to the master.
   WireStats wire_stats() const { return transport_->wire_stats(); }
   /// Samples served per scheduling class (from v4 SLO blocks; frames
@@ -115,6 +118,7 @@ class WorkerNode {
   std::atomic<std::int64_t> quant_frames_{0};
   std::atomic<std::int64_t> slo_frames_{0};
   std::atomic<std::int64_t> input_quant_frames_{0};
+  std::atomic<std::int64_t> trace_frames_{0};
   std::atomic<std::int64_t> samples_by_class_[3]{};
   std::atomic<std::int64_t> priority_reorders_{0};
 

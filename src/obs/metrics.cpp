@@ -1,0 +1,324 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+namespace fluid::obs {
+
+namespace detail {
+
+std::size_t ThisThreadStripe() {
+  // Hash of the thread id, computed once per thread. thread_local keeps
+  // the hot path to one TLS read.
+  thread_local const std::size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kMetricStripes;
+  return stripe;
+}
+
+}  // namespace detail
+
+// ---- Counter ----------------------------------------------------------------
+
+std::int64_t Counter::Value() const {
+  std::int64_t total = 0;
+  for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+struct Histogram::Shard {
+  std::atomic<std::int64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<std::int64_t> max_u{0};
+  std::atomic<std::int64_t> buckets[kBuckets] = {};
+};
+
+Histogram::Histogram() : shards_(new Shard[kMetricStripes]) {}
+Histogram::~Histogram() = default;
+Histogram::Histogram(Histogram&&) noexcept = default;
+Histogram& Histogram::operator=(Histogram&&) noexcept = default;
+
+std::size_t Histogram::BucketIndex(std::int64_t u) {
+  if (u < 2 * kSub) return static_cast<std::size_t>(u);
+  const int b = std::bit_width(static_cast<std::uint64_t>(u));
+  const int shift = b - (kSubBits + 1);
+  std::size_t idx = static_cast<std::size_t>(2 * kSub) +
+                    static_cast<std::size_t>(b - (kSubBits + 2)) *
+                        static_cast<std::size_t>(kSub) +
+                    static_cast<std::size_t>((u >> shift) - kSub);
+  if (idx >= kBuckets) idx = kBuckets - 1;
+  return idx;
+}
+
+void Histogram::BucketBounds(std::size_t idx, std::int64_t& lo,
+                             std::int64_t& hi) {
+  if (idx < static_cast<std::size_t>(2 * kSub)) {
+    lo = static_cast<std::int64_t>(idx);
+    hi = lo + 1;
+    return;
+  }
+  const std::size_t oct = (idx - 2 * kSub) / kSub;
+  const std::size_t off = (idx - 2 * kSub) % kSub;
+  const int shift = static_cast<int>(oct) + 1;
+  lo = (kSub + static_cast<std::int64_t>(off)) << shift;
+  hi = lo + (std::int64_t{1} << shift);
+}
+
+void Histogram::Record(double value) {
+  std::int64_t u = 0;
+  if (value > 0.0 && std::isfinite(value)) {
+    u = static_cast<std::int64_t>(std::llround(value * kScale));
+    if (u < 0) u = 0;
+  }
+  Shard& s = shards_[detail::ThisThreadStripe()];
+  s.buckets[BucketIndex(u)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  std::int64_t prev = s.max_u.load(std::memory_order_relaxed);
+  while (u > prev &&
+         !s.max_u.compare_exchange_weak(prev, u, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot out;
+  out.buckets.assign(kBuckets, 0);
+  std::int64_t max_u = 0;
+  for (std::size_t sh = 0; sh < kMetricStripes; ++sh) {
+    const Shard& s = shards_[sh];
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    max_u = std::max(max_u, s.max_u.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  out.max = static_cast<double>(max_u) / kScale;
+  return out;
+}
+
+std::int64_t Histogram::Count() const {
+  std::int64_t total = 0;
+  for (std::size_t sh = 0; sh < kMetricStripes; ++sh) {
+    total += shards_[sh].count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (std::size_t sh = 0; sh < kMetricStripes; ++sh) {
+    Shard& s = shards_[sh];
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.max_u.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample (1-based), nearest-rank with interpolation
+  // inside the winning bucket.
+  const double target = q * static_cast<double>(count - 1) + 1.0;
+  double seen = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const double n = static_cast<double>(buckets[b]);
+    if (n <= 0.0) continue;
+    if (seen + n >= target) {
+      std::int64_t lo = 0, hi = 0;
+      BucketBounds(b, lo, hi);
+      const double frac = (target - seen) / n;  // (0, 1]
+      const double u = static_cast<double>(lo) +
+                       (static_cast<double>(hi - lo)) * frac;
+      return u / kScale;
+    }
+    seen += n;
+  }
+  return max;
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* g = new MetricsRegistry();  // leaked: outlives exit
+  return *g;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+// Split "name{labels}" so derived series (histogram _count/_sum, quantile
+// labels) keep valid Prometheus syntax.
+void SplitSeries(const std::string& series, std::string& base,
+                 std::string& labels) {
+  const auto brace = series.find('{');
+  if (brace == std::string::npos) {
+    base = series;
+    labels.clear();
+    return;
+  }
+  base = series.substr(0, brace);
+  labels = series.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.pop_back();
+}
+
+std::string WithLabels(const std::string& base, const std::string& labels,
+                       const std::string& extra = {}) {
+  std::string all = labels;
+  if (!extra.empty()) {
+    if (!all.empty()) all += ",";
+    all += extra;
+  }
+  if (all.empty()) return base;
+  return base + "{" + all + "}";
+}
+
+void AppendNumber(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name;
+    out += " ";
+    out += std::to_string(c->Value());
+    out += "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += name;
+    out += " ";
+    AppendNumber(out, g->Value());
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const auto snap = h->Snap();
+    std::string base, labels;
+    SplitSeries(name, base, labels);
+    for (const double q : {0.5, 0.9, 0.99}) {
+      char qlabel[32];
+      std::snprintf(qlabel, sizeof(qlabel), "quantile=\"%g\"", q);
+      out += WithLabels(base, labels, qlabel);
+      out += " ";
+      AppendNumber(out, snap.Quantile(q));
+      out += "\n";
+    }
+    out += WithLabels(base + "_count", labels);
+    out += " ";
+    out += std::to_string(snap.count);
+    out += "\n";
+    out += WithLabels(base + "_sum", labels);
+    out += " ";
+    AppendNumber(out, snap.sum);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  \"" + JsonEscape(name) + "\": " + std::to_string(c->Value());
+  }
+  out += "\n },\n \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  \"" + JsonEscape(name) + "\": ";
+    AppendNumber(out, g->Value());
+  }
+  out += "\n },\n \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const auto snap = h->Snap();
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  \"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(snap.count) + ", \"sum\": ";
+    AppendNumber(out, snap.sum);
+    out += ", \"mean\": ";
+    AppendNumber(out, snap.Mean());
+    out += ", \"max\": ";
+    AppendNumber(out, snap.max);
+    out += ", \"p50\": ";
+    AppendNumber(out, snap.Quantile(0.5));
+    out += ", \"p90\": ";
+    AppendNumber(out, snap.Quantile(0.9));
+    out += ", \"p99\": ";
+    AppendNumber(out, snap.Quantile(0.99));
+    out += "}";
+  }
+  out += "\n }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace fluid::obs

@@ -1,0 +1,154 @@
+#pragma once
+// Lock-light process-wide metrics registry: counters, gauges and
+// log-linear histograms, all safe to update from any serving thread
+// without a lock on the hot path.
+//
+// Write path: every metric is striped into cache-line-padded cells; a
+// writing thread hashes its id to one stripe and bumps a relaxed atomic
+// there, so two serving threads never contend on one cache line. Read
+// path (`PrometheusText`, `DumpMetrics`, `Snap`) merges the stripes —
+// scrapes are rare and pay the whole cost.
+//
+// Histograms are log-linear (HdrHistogram-style): 32 linear sub-buckets
+// per power-of-two octave over a fixed micro-unit grid, giving ≤ ~3 %
+// relative quantile error with a fixed 1920-bucket footprint and O(1)
+// allocation-free recording. `bench/fig2_throughput` and the serving
+// runtime report percentiles from this one implementation.
+//
+// Naming scheme (see docs/observability.md): series are registered under
+// their full Prometheus identity including labels, e.g.
+//   registry.GetHistogram("fluid_sched_queue_wait_ms{class=\"high\"}")
+// so the registry itself stays a flat string → metric map.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fluid::obs {
+
+/// Stripes per metric. Eight padded cells cover the handful of serving
+/// threads a node runs without false sharing.
+inline constexpr std::size_t kMetricStripes = 8;
+
+namespace detail {
+
+struct alignas(64) PaddedCell {
+  std::atomic<std::int64_t> v{0};
+};
+
+/// Stable stripe index for the calling thread.
+std::size_t ThisThreadStripe();
+
+}  // namespace detail
+
+/// Monotonic counter. Add is wait-free on the caller's stripe.
+class Counter {
+ public:
+  void Add(std::int64_t d = 1) {
+    cells_[detail::ThisThreadStripe()].v.fetch_add(d,
+                                                   std::memory_order_relaxed);
+  }
+  std::int64_t Value() const;
+  void Reset();
+
+ private:
+  detail::PaddedCell cells_[kMetricStripes];
+};
+
+/// Last-writer-wins gauge (double so occupancy/rates fit).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log-linear histogram of non-negative doubles (latencies in ms by
+/// convention; sub-millisecond precision is kept via a 1/1024 internal
+/// unit). Record never allocates; quantiles come from a merged snapshot.
+class Histogram {
+ public:
+  /// 32 linear sub-buckets per octave → worst-case quantile error 1/32.
+  static constexpr int kSubBits = 5;
+  static constexpr std::int64_t kSub = std::int64_t{1} << kSubBits;
+  static constexpr std::size_t kBuckets = 1920;
+  /// Internal micro-unit: recorded values are scaled by 1024 and rounded,
+  /// so a histogram of milliseconds resolves ~1 µs.
+  static constexpr double kScale = 1024.0;
+
+  Histogram();
+  ~Histogram();
+  // Out of line: the defaulted bodies need the complete Shard type.
+  Histogram(Histogram&&) noexcept;
+  Histogram& operator=(Histogram&&) noexcept;
+
+  void Record(double value);
+
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    std::vector<std::int64_t> buckets;  // merged, kBuckets wide
+
+    /// Quantile in original units, linearly interpolated inside the
+    /// winning bucket. q in [0,1]; returns 0 when empty.
+    double Quantile(double q) const;
+    double Mean() const { return count > 0 ? sum / count : 0.0; }
+  };
+  Snapshot Snap() const;
+  std::int64_t Count() const;
+  double Quantile(double q) const { return Snap().Quantile(q); }
+  void Reset();
+
+  /// Bucket index for a value already in internal units (exposed for
+  /// tests pinning the bucket math).
+  static std::size_t BucketIndex(std::int64_t u);
+  /// [lo, hi) of a bucket in internal units.
+  static void BucketBounds(std::size_t idx, std::int64_t& lo, std::int64_t& hi);
+
+ private:
+  struct Shard;
+  std::unique_ptr<Shard[]> shards_;  // kMetricStripes shards
+};
+
+/// The process-wide registry. Get* registers on first use (one mutex
+/// acquisition — callers cache the returned reference) and returns a
+/// reference stable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Lookup without registering; nullptr when the series does not exist.
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Prometheus text exposition of every series (counters as _total-style
+  /// plain samples, histograms as quantile/_count/_sum summaries).
+  std::string PrometheusText() const;
+
+  /// JSON snapshot: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, mean, max, p50, p90, p99}}}.
+  std::string DumpMetrics() const;
+
+  /// Zero every registered series (bench section boundaries, tests).
+  /// References handed out stay valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace fluid::obs

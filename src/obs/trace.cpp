@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+namespace fluid::obs {
+
+std::int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+// splitmix64: turns the sequential trace counter into well-spread ids.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t ring_slots) : ring_(ring_slots) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* g = new Tracer();  // leaked: serving threads may outlive exit
+  return *g;
+}
+
+std::uint64_t Tracer::MaybeStartTrace() {
+  const int n = sample_every_.load(std::memory_order_relaxed);
+  if (n <= 0) return 0;
+  const std::uint64_t tick = sample_tick_.fetch_add(1, std::memory_order_relaxed);
+  if (tick % static_cast<std::uint64_t>(n) != 0) return 0;
+  const std::uint64_t id = Mix(next_id_.fetch_add(1, std::memory_order_relaxed));
+  return id != 0 ? id : 1;
+}
+
+void Tracer::Record(std::uint64_t trace_id, std::uint64_t span_id,
+                    std::uint64_t parent_id, const char* name,
+                    std::string_view node, std::int64_t start_us,
+                    std::int64_t dur_us) {
+  if (trace_id == 0 || ring_.empty()) return;
+  Span s;
+  s.trace_id = trace_id;
+  s.span_id = span_id;
+  s.parent_id = parent_id;
+  s.name = name;
+  const std::size_t n = std::min(node.size(), sizeof(s.node) - 1);
+  std::memcpy(s.node, node.data(), n);
+  s.node[n] = '\0';
+  s.start_us = start_us;
+  s.dur_us = dur_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_slot_] = s;
+  next_slot_ = (next_slot_ + 1) % ring_.size();
+  ++recorded_;
+}
+
+std::vector<Span> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  for (const Span& s : ring_) {
+    if (s.trace_id != 0) out.push_back(s);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Span& s : ring_) s = Span{};
+  next_slot_ = 0;
+  recorded_ = 0;
+}
+
+std::int64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::string Tracer::DumpJson() const {
+  std::map<std::uint64_t, std::vector<Span>> by_trace;
+  for (const Span& s : Snapshot()) by_trace[s.trace_id].push_back(s);
+  std::string out = "{\"traces\": [";
+  bool first_trace = true;
+  for (auto& [trace_id, spans] : by_trace) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) {
+                return a.start_us != b.start_us ? a.start_us < b.start_us
+                                                : a.span_id < b.span_id;
+              });
+    out += first_trace ? "\n" : ",\n";
+    first_trace = false;
+    out += " {\"trace_id\": \"" + std::to_string(trace_id) +
+           "\", \"spans\": [";
+    bool first_span = true;
+    for (const Span& s : spans) {
+      out += first_span ? "\n" : ",\n";
+      first_span = false;
+      out += "  {\"name\": \"" + std::string(s.name) + "\", \"node\": \"" +
+             std::string(s.node) + "\", \"span\": " +
+             std::to_string(s.span_id) + ", \"parent\": " +
+             std::to_string(s.parent_id) + ", \"start_us\": " +
+             std::to_string(s.start_us) + ", \"dur_us\": " +
+             std::to_string(s.dur_us) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace fluid::obs

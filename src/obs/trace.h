@@ -1,0 +1,131 @@
+#pragma once
+// Distributed request tracing: a per-request trace id plus span records
+// (router dispatch, admission, READY wait, chunk serve, wire send/recv,
+// worker service, reply) collected into a fixed-size ring buffer.
+//
+// Sampling is 1-in-N at trace creation (`MaybeStartTrace`): a sampled-out
+// request costs one relaxed counter bump and nothing else — no clock
+// reads, no ring writes, no allocations. A sampled request's spans are
+// PODs copied into a preallocated ring (no per-span heap), so tracing is
+// compatible with the serve path's pinned allocation budgets
+// (tests/dist/serve_alloc_test.cpp).
+//
+// Across nodes the context rides the wire v6 trace block
+// (dist/message.h): the master stamps sampled kInfer frames with
+// (trace_id, parent span, send timestamp); the worker records its own
+// service span under the same trace id and echoes the block on the
+// reply with its service duration filled in, which lets the master
+// separate pure link time from worker compute. Span names are static
+// strings; node labels are short inline char arrays.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fluid::obs {
+
+/// Steady-clock microseconds (monotonic, process-relative). All span
+/// timestamps use this clock; cross-process spans are only comparable
+/// within one process's dump.
+std::int64_t NowUs();
+
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  const char* name = "";  // must point at static storage
+  char node[16] = {};     // fleet node label ("router", "m0", "w1")
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t ring_slots = 8192);
+  static Tracer& Global();
+
+  /// 1-in-N sampling; 0 (the default) disables tracing entirely.
+  void SetSampleEvery(int n) {
+    sample_every_.store(n, std::memory_order_relaxed);
+  }
+  int sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
+  /// Returns a fresh nonzero trace id for 1 request in N, 0 otherwise.
+  std::uint64_t MaybeStartTrace();
+
+  /// Fresh process-unique span id (nonzero).
+  std::uint64_t NewSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Copy one span into the ring. No-op when trace_id == 0. Never
+  /// allocates; wraps over the oldest spans when full.
+  void Record(std::uint64_t trace_id, std::uint64_t span_id,
+              std::uint64_t parent_id, const char* name,
+              std::string_view node, std::int64_t start_us,
+              std::int64_t dur_us);
+
+  /// Stable copy of every live span (unordered).
+  std::vector<Span> Snapshot() const;
+
+  /// JSON timelines: {"traces": [{"trace_id": ..., "spans": [...]}]},
+  /// spans sorted by start time within each trace.
+  std::string DumpJson() const;
+
+  void Clear();
+  std::int64_t recorded() const;  // total spans ever recorded
+
+ private:
+  std::atomic<int> sample_every_{0};
+  std::atomic<std::uint64_t> sample_tick_{0};
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mu_;  // ring writes are a tiny POD copy under this
+  std::vector<Span> ring_;
+  std::size_t next_slot_ = 0;
+  std::int64_t recorded_ = 0;
+};
+
+/// RAII span: stamps start in the constructor, records on destruction.
+/// Inert (and free of clock reads) when trace_id == 0.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, std::uint64_t trace_id, std::uint64_t parent_id,
+             const char* name, std::string_view node)
+      : tracer_(tracer),
+        trace_id_(trace_id),
+        parent_id_(parent_id),
+        span_id_(trace_id != 0 ? tracer.NewSpanId() : 0),
+        name_(name),
+        start_us_(trace_id != 0 ? NowUs() : 0) {
+    const std::size_t n = std::min(node.size(), sizeof(node_) - 1);
+    std::memcpy(node_, node.data(), n);
+    node_[n] = '\0';
+  }
+  ~ScopedSpan() {
+    if (trace_id_ != 0) {
+      tracer_.Record(trace_id_, span_id_, parent_id_, name_, node_, start_us_,
+                     NowUs() - start_us_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  std::uint64_t id() const { return span_id_; }
+
+ private:
+  Tracer& tracer_;
+  const std::uint64_t trace_id_;
+  const std::uint64_t parent_id_;
+  const std::uint64_t span_id_;
+  const char* name_;
+  char node_[16] = {};
+  const std::int64_t start_us_;
+};
+
+}  // namespace fluid::obs

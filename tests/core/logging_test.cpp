@@ -1,5 +1,8 @@
 #include "core/logging.h"
 
+#include <cstdlib>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace fluid::core {
@@ -45,6 +48,74 @@ TEST_F(LoggingTest, MacroSkipsDisabledLevelsWithoutEvaluating) {
   EXPECT_EQ(evaluations, 0);
   FLUID_LOG(Error) << expensive();
   EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, WithRendersKeyValueFieldsAfterFreeText) {
+  SetLogLevel(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  FLUID_LOG(Warn).With("event", "stale_reply").With("seq", 17)
+      << "dropping reply";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // Free text first, then the structured fields in call order.
+  const auto text = out.find("dropping reply");
+  const auto ev = out.find("event=stale_reply");
+  const auto seq = out.find("seq=17");
+  ASSERT_NE(text, std::string::npos) << out;
+  ASSERT_NE(ev, std::string::npos) << out;
+  ASSERT_NE(seq, std::string::npos) << out;
+  EXPECT_LT(text, ev);
+  EXPECT_LT(ev, seq);
+}
+
+TEST_F(LoggingTest, WithIsSkippedEntirelyBelowTheLevelGate) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 1;
+  };
+  FLUID_LOG(Warn).With("n", expensive()) << "quiet";
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsAnyCaseAndRejectsJunk) {
+  LogLevel level = LogLevel::kOff;
+  EXPECT_TRUE(ParseLogLevel("info", level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("WARN", level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("Debug", level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("trace", level));
+  EXPECT_EQ(level, LogLevel::kTrace);
+  EXPECT_TRUE(ParseLogLevel("error", level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("off", level));
+  EXPECT_EQ(level, LogLevel::kOff);
+
+  level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("loud", level));
+  EXPECT_FALSE(ParseLogLevel("", level));
+  EXPECT_EQ(level, LogLevel::kError);  // untouched on failure
+}
+
+TEST_F(LoggingTest, EnvOverrideAppliesValidLevelsAndIgnoresJunk) {
+  ASSERT_EQ(setenv("FLUID_LOG_LEVEL", "debug", 1), 0);
+  ApplyLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+
+  // An unrecognised value leaves the current level alone.
+  SetLogLevel(LogLevel::kInfo);
+  ASSERT_EQ(setenv("FLUID_LOG_LEVEL", "shouty", 1), 0);
+  ::testing::internal::CaptureStderr();  // swallow the warning it prints
+  ApplyLogLevelFromEnv();
+  ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+
+  // Unset: no-op.
+  ASSERT_EQ(unsetenv("FLUID_LOG_LEVEL"), 0);
+  ApplyLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
 }
 
 }  // namespace

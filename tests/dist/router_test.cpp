@@ -14,6 +14,7 @@
 #include "dist/master.h"
 #include "dist/orchestrator.h"
 #include "dist/worker.h"
+#include "obs/metrics.h"
 #include "nn/checkpoint.h"
 #include "train/model_zoo.h"
 
@@ -357,8 +358,15 @@ TEST(RouterTest, RollingDeployReplicatesToEveryPartitionAndKeepsServing) {
   EXPECT_EQ(report.partitions.size(), 2u);
   EXPECT_EQ(report.serving_partitions, 2u);
   EXPECT_EQ(report.alive_workers, 2u);
-  EXPECT_GT(report.wire.frames_sent, 0);
-  EXPECT_GT(report.sched.completed, 0);
+  EXPECT_GT(report.snapshot.wire.frames_sent, 0);
+  EXPECT_GT(report.snapshot.sched.completed, 0);
+  EXPECT_GT(report.snapshot.pool.gets, 0u);
+  EXPECT_GT(report.snapshot.router.routed_reqs, 0);
+  // The tick also published the rolled-up snapshot as fluid_fleet_*
+  // series in the global registry.
+  const std::string dump = obs::MetricsRegistry::Global().DumpMetrics();
+  EXPECT_NE(dump.find("fluid_fleet_wire_frames_sent"), std::string::npos);
+  EXPECT_NE(dump.find("fluid_fleet_sched_completed"), std::string::npos);
   p0.worker->Stop();
   p1.worker->Stop();
 }

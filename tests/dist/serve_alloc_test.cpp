@@ -22,6 +22,7 @@
 #include "dist/master.h"
 #include "dist/worker.h"
 #include "nn/checkpoint.h"
+#include "obs/trace.h"
 #include "train/model_zoo.h"
 
 namespace fluid::dist {
@@ -219,6 +220,62 @@ TEST_F(ServeAllocTest, QuantPipelineAsyncServeStaysWithinAllocBudget) {
   const PerRequestCost cost = MeasurePerRequest(50);
   EXPECT_LE(cost.allocs, 16.0);
   EXPECT_LE(cost.bytes, 3584.0);
+  master_.StopServing();
+}
+
+// Observability on: the async budget above must hold unchanged with
+// 1-in-16 sampled tracing and the v6 trace block active on the link (the
+// cluster bench's operating point). A sampled-out request pays one
+// relaxed counter bump; a sampled request's spans are POD copies into
+// the tracer's preallocated ring and the trace block rides the pooled
+// encode buffer — none of it may show up in the per-request heap numbers.
+TEST_F(ServeAllocTest, AsyncServeBudgetUnchangedWithSampledTracing) {
+  DeployPaperPlan();
+  master_.SetMode(sim::Mode::kHighThroughput);
+  master_.StartServing(BatchOptions{});
+  master_.EnableTraceWire(0);
+  auto serve_traced = [&] {
+    SubmitOptions so;
+    so.timeout = 5000ms;
+    // The router's front door, inlined: 1 in N requests carries a trace.
+    so.trace_id = obs::Tracer::Global().MaybeStartTrace();
+    // Pooled input copy, like Infer and the bench clients — a plain copy
+    // of x_ would charge a fresh 3 KB heap tensor to every request.
+    auto reply = master_.InferAsync(core::AcquireTensorCopy(x_), so).get();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    core::RecycleTensor(std::move(reply->logits));
+  };
+  // Warm with every request traced so the one-time registrations (the
+  // wire-latency histogram's shard buckets on the first traced reply)
+  // land outside the measured window, then drop to the 1-in-16 rate.
+  obs::Tracer::Global().SetSampleEvery(1);
+  for (int i = 0; i < 8; ++i) serve_traced();
+  obs::Tracer::Global().SetSampleEvery(16);
+  ASSERT_TRUE(WarmUntilStable(serve_traced, 12))
+      << "traced async serve path never stabilized";
+  const auto pool_before = core::PoolStatsSnapshot();
+  const auto allocs_before = core::AllocCount();
+  const auto bytes_before = core::AllocBytes();
+  const auto spans_before = obs::Tracer::Global().recorded();
+  const int n = 64;  // 4 sampled requests at 1-in-16
+  for (int i = 0; i < n; ++i) serve_traced();
+  const double allocs =
+      static_cast<double>(core::AllocCount() - allocs_before) / n;
+  const double bytes =
+      static_cast<double>(core::AllocBytes() - bytes_before) / n;
+  const auto pool = core::PoolStatsSnapshot();
+  std::printf("  [traced steady state: %.2f allocs/req, %.0f bytes/req; pool "
+              "%.2f gets %.2f hits %.2f discards /req]\n",
+              allocs, bytes,
+              static_cast<double>(pool.gets - pool_before.gets) / n,
+              static_cast<double>(pool.hits - pool_before.hits) / n,
+              static_cast<double>(pool.discards - pool_before.discards) / n);
+  // Same pins as AsyncBatchedServePathStaysWithinAllocBudget.
+  EXPECT_LE(allocs, 12.0);
+  EXPECT_LE(bytes, 2560.0);
+  // And tracing really was live: the sampled requests recorded spans.
+  EXPECT_GT(obs::Tracer::Global().recorded(), spans_before);
+  obs::Tracer::Global().SetSampleEvery(0);
   master_.StopServing();
 }
 

@@ -1,0 +1,376 @@
+// Wire v6 (distributed-tracing context) and the per-link trace_wire
+// negotiation: codec round-trip + fuzz, scatter-encode byte equivalence,
+// untraced-frame byte stability, v6 / v5 / v2 peer interop, and
+// mid-stream failover keeping the trace intact. Mirrors
+// input_quant_wire_test.cpp (wire v5) one version up.
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "dist/master.h"
+#include "dist/message.h"
+#include "dist/worker.h"
+#include "nn/checkpoint.h"
+#include "obs/trace.h"
+#include "train/model_zoo.h"
+
+namespace fluid::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(TraceWireTest, TracedFrameRoundTripsAsVersion6) {
+  core::Rng rng(1);
+  core::Tensor x = core::Tensor::UniformRandom({4, 1, 28, 28}, rng, 0, 1);
+  Message msg = Message::WithBatch(MsgType::kInfer, 42, "upper50", x.Clone());
+  msg.SetSlo(1, 250);
+  msg.SetTrace(/*id=*/0xABCD1234u, /*parent_span=*/77, /*sent_us=*/123456);
+  ASSERT_TRUE(msg.has_trace());
+  const auto bytes = EncodeMessage(msg);
+  // Body starts after [magic][len]; byte 0 of the body is the version.
+  ASSERT_GT(bytes.size(), 9u);
+  EXPECT_EQ(bytes[8], 6) << "traced frames must be wire v6";
+
+  Message back;
+  ASSERT_TRUE(DecodeMessage(bytes, back).ok());
+  EXPECT_EQ(back.type, MsgType::kInfer);
+  EXPECT_EQ(back.seq, 42);
+  EXPECT_EQ(back.batch, 4);
+  ASSERT_TRUE(back.has_trace());
+  EXPECT_EQ(back.trace_id, 0xABCD1234u);
+  EXPECT_EQ(back.trace_span, 77u);
+  EXPECT_EQ(back.trace_sent_us, 123456);
+  EXPECT_EQ(back.trace_service_us, 0);
+  ASSERT_TRUE(back.has_slo());
+  EXPECT_EQ(back.priority, 1);
+  EXPECT_EQ(back.slo_ms, 250);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), EncodedSize(msg));
+}
+
+TEST(TraceWireTest, TraceRidesQuantInputFramesToo) {
+  // The v6 block composes with every lower block: a quantized input shard
+  // (v5 marker) with an SLO and a trace decodes all three.
+  core::Rng rng(2);
+  core::Tensor x = core::Tensor::UniformRandom({2, 1, 28, 28}, rng, 0, 1);
+  Message msg = Message::WithQuantInput(MsgType::kInfer, 7, "upper50",
+                                        quant::QuantizeTensor(x));
+  msg.SetSlo(0, 100);
+  msg.SetTrace(99, 3, 1000);
+  const auto bytes = EncodeMessage(msg);
+  ASSERT_GT(bytes.size(), 9u);
+  EXPECT_EQ(bytes[8], 6);
+
+  Message back;
+  ASSERT_TRUE(DecodeMessage(bytes, back).ok());
+  EXPECT_TRUE(back.input_quant);
+  ASSERT_TRUE(back.has_qpayload());
+  ASSERT_TRUE(back.has_slo());
+  ASSERT_TRUE(back.has_trace());
+  EXPECT_EQ(back.trace_id, 99u);
+}
+
+TEST(TraceWireTest, UntracedFramesKeepTheirOldVersions) {
+  // The whole version matrix below v6 stays byte-stable: the encoder only
+  // emits v6 when a trace is attached, so untraced peers never see a
+  // version bump from this PR.
+  core::Rng rng(3);
+  core::Tensor x = core::Tensor::UniformRandom({2, 3}, rng, -1, 1);
+  const auto v2 =
+      EncodeMessage(Message::WithBatch(MsgType::kInfer, 1, "m", x.Clone()));
+  ASSERT_GT(v2.size(), 9u);
+  EXPECT_EQ(v2[8], 2);
+
+  Message slo = Message::WithBatch(MsgType::kInfer, 1, "m", x.Clone());
+  slo.SetSlo(0, 100);
+  const auto v4 = EncodeMessage(slo);
+  ASSERT_GT(v4.size(), 9u);
+  EXPECT_EQ(v4[8], 4);
+
+  const auto v5 = EncodeMessage(Message::WithQuantInput(
+      MsgType::kInfer, 1, "m", quant::QuantizeTensor(x)));
+  ASSERT_GT(v5.size(), 9u);
+  EXPECT_EQ(v5[8], 5);
+}
+
+TEST(TraceWireTest, EchoTraceCopiesContextAndFillsService) {
+  core::Rng rng(4);
+  core::Tensor x = core::Tensor::UniformRandom({1, 4}, rng, 0, 1);
+  Message request = Message::WithBatch(MsgType::kInfer, 5, "m", x.Clone());
+  request.SetTrace(321, 9, 5000);
+  Message reply = Message::WithBatch(MsgType::kResult, 5, "m", x.Clone());
+  reply.EchoTrace(request, /*service_us=*/1234);
+  ASSERT_TRUE(reply.has_trace());
+  EXPECT_EQ(reply.trace_id, 321u);
+  EXPECT_EQ(reply.trace_span, 9u);
+  EXPECT_EQ(reply.trace_sent_us, 5000);
+  EXPECT_EQ(reply.trace_service_us, 1234);
+
+  // Echoing an untraced request is a no-op: the reply stays untraced and
+  // therefore encodes below v6.
+  Message plain = Message::WithBatch(MsgType::kInfer, 6, "m", x.Clone());
+  Message reply2 = Message::WithBatch(MsgType::kResult, 6, "m", x.Clone());
+  reply2.EchoTrace(plain, 777);
+  EXPECT_FALSE(reply2.has_trace());
+  EXPECT_EQ(EncodeMessage(reply2)[8], 2);
+}
+
+TEST(TraceWireTest, ScatterEncodeReassemblesByteIdenticalForV6) {
+  core::Rng rng(5);
+  core::Tensor x = core::Tensor::UniformRandom({3, 1, 28, 28}, rng, 0, 1);
+  Message traced = Message::WithBatch(MsgType::kInfer, 2, "fp", x.Clone());
+  traced.SetSlo(2, 40);
+  traced.SetTrace(1234, 56, 789000);
+  Message traced_quant = Message::WithQuantInput(MsgType::kInfer, 3, "in",
+                                                 quant::QuantizeTensor(x));
+  traced_quant.SetTrace(4321, 65, 987000);
+  const Message msgs[] = {std::move(traced), std::move(traced_quant)};
+
+  core::ByteWriter scaffold;
+  std::vector<WireSegment> segments;
+  std::vector<std::size_t> frame_sizes;
+  for (const Message& m : msgs) {
+    const auto n = EncodeMessageScatter(m, scaffold, segments);
+    EXPECT_EQ(n, EncodedSize(m));
+    frame_sizes.push_back(static_cast<std::size_t>(n));
+  }
+  std::vector<std::uint8_t> reassembled;
+  for (const WireSegment& seg : segments) {
+    const std::uint8_t* src = seg.bulk != nullptr
+                                  ? seg.bulk
+                                  : scaffold.buffer().data() + seg.scaffold_off;
+    reassembled.insert(reassembled.end(), src, src + seg.size);
+  }
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < std::size(msgs); ++i) {
+    const auto want = EncodeMessage(msgs[i]);
+    ASSERT_EQ(want.size(), frame_sizes[i]);
+    ASSERT_LE(off + want.size(), reassembled.size());
+    EXPECT_TRUE(std::equal(want.begin(), want.end(), reassembled.begin() + off))
+        << "frame " << i << " drifted between scatter and plain encode";
+    off += want.size();
+  }
+  EXPECT_EQ(off, reassembled.size());
+}
+
+TEST(TraceWireTest, V6DecodeFuzzNeverThrows) {
+  core::Rng rng(6);
+  core::Tensor x = core::Tensor::UniformRandom({2, 1, 14, 14}, rng, 0, 1);
+  Message msg = Message::WithQuantInput(MsgType::kInfer, 9, "upper50",
+                                        quant::QuantizeTensor(x));
+  msg.SetSlo(0, 75);
+  msg.SetTrace(0xDEADBEEFu, 17, 42424242);
+  const auto bytes = EncodeMessage(msg);
+  ASSERT_EQ(bytes[8], 6);
+  // Truncation at every byte boundary fails as Status, never throws.
+  for (std::size_t cut_at = 0; cut_at < bytes.size(); ++cut_at) {
+    Message out;
+    EXPECT_NO_THROW({
+      const auto st = DecodeMessage(
+          std::span<const std::uint8_t>(bytes.data(), cut_at), out);
+      EXPECT_FALSE(st.ok()) << "cut=" << cut_at;
+    });
+  }
+  // Single-byte corruption anywhere must decode or fail cleanly.
+  for (std::size_t i = 8; i < bytes.size(); ++i) {
+    auto bad = bytes;
+    bad[i] ^= 0xA5;
+    Message out;
+    EXPECT_NO_THROW({ (void)DecodeMessage(bad, out); }) << "i=" << i;
+  }
+}
+
+// A hand-rolled minimal v6 body up to (but not including) the trace
+// block, so each malformed-trailer case below appends its own bytes.
+core::ByteWriter V6BodyPrefix() {
+  core::ByteWriter body;
+  body.WriteU8(6);        // version
+  body.WriteU8(2);        // kInfer
+  body.WriteI64(1);       // seq
+  body.WriteI64(0);       // batch
+  body.WriteString("t");  // tag
+  body.WriteU8(0);        // has_tensor
+  body.WriteU8(0);        // has_qtensor
+  body.WriteU8(0);        // priority
+  body.WriteI64(-1);      // slo_ms: "no SLO"
+  body.WriteU8(0);        // input_quant: 0 is legal at v6
+  return body;
+}
+
+std::vector<std::uint8_t> FrameFromBody(const core::ByteWriter& body) {
+  core::ByteWriter frame;
+  frame.WriteU32(kFrameMagic);
+  frame.WriteU32(static_cast<std::uint32_t>(body.buffer().size()));
+  std::vector<std::uint8_t> bytes = frame.buffer();
+  bytes.insert(bytes.end(), body.buffer().begin(), body.buffer().end());
+  return bytes;
+}
+
+TEST(TraceWireTest, MalformedTraceBlocksAreRejected) {
+  {
+    // has_trace flag beyond 1 is corruption.
+    core::ByteWriter body = V6BodyPrefix();
+    body.WriteU8(2);
+    Message out;
+    const auto st = DecodeMessage(FrameFromBody(body), out);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), core::StatusCode::kDataLoss);
+  }
+  {
+    // A trace block whose id is zero contradicts the sampling contract
+    // (nonzero id IS the "traced" signal).
+    core::ByteWriter body = V6BodyPrefix();
+    body.WriteU8(1);
+    body.WriteU64(0);   // trace_id
+    body.WriteU64(1);   // trace_span
+    body.WriteI64(10);  // sent_us
+    body.WriteI64(0);   // service_us
+    Message out;
+    const auto st = DecodeMessage(FrameFromBody(body), out);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), core::StatusCode::kDataLoss);
+  }
+  {
+    // Negative timestamps are corruption (the steady clock never is).
+    core::ByteWriter body = V6BodyPrefix();
+    body.WriteU8(1);
+    body.WriteU64(5);
+    body.WriteU64(1);
+    body.WriteI64(-3);
+    body.WriteI64(0);
+    Message out;
+    const auto st = DecodeMessage(FrameFromBody(body), out);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), core::StatusCode::kDataLoss);
+  }
+  {
+    // has_trace = 0 with nothing after it is a VALID v6 frame (the
+    // encoder never produces one, but the decoder must accept it).
+    core::ByteWriter body = V6BodyPrefix();
+    body.WriteU8(0);
+    Message out;
+    ASSERT_TRUE(DecodeMessage(FrameFromBody(body), out).ok());
+    EXPECT_FALSE(out.has_trace());
+  }
+}
+
+// One master + two workers hosting the worker-resident standalone slice —
+// the HT fan-out topology, served through the batch scheduler so chunks
+// carry trace context. Which link speaks v6 is per-test (EnableTraceWire).
+class TraceClusterTest : public ::testing::Test {
+ protected:
+  TraceClusterTest()
+      : fluid_(slim::FluidModel::PaperDefault(7)), master_(cfg_), rng_(99) {
+    for (int i = 0; i < 2; ++i) {
+      auto [master_end, worker_end] = MakeInMemoryPair();
+      workers_.push_back(std::make_unique<WorkerNode>(
+          "w" + std::to_string(i), cfg_, std::move(worker_end)));
+      workers_.back()->Start();
+      master_.AttachWorker(std::move(master_end));
+    }
+    const auto& family = fluid_.family();
+    for (std::size_t w = 0; w < 2; ++w) {
+      nn::Sequential upper = fluid_.ExtractSubnet(family.WorkerResident());
+      auto bp = ModelBlueprint::Standalone(
+          cfg_, family.WorkerResident().range.width());
+      EXPECT_TRUE(master_
+                      .DeployToWorker("upper50", bp, nn::ExtractState(upper),
+                                      2000ms, w)
+                      .ok());
+    }
+    Plan plan;
+    plan.worker_standalone = "upper50";
+    master_.SetPlan(plan);
+    master_.SetMode(sim::Mode::kHighThroughput);
+    BatchOptions bopts;
+    bopts.max_batch = 8;
+    master_.StartServing(bopts);
+  }
+
+  ~TraceClusterTest() override {
+    master_.StopServing();
+    for (auto& w : workers_) w->Stop();
+  }
+
+  core::StatusOr<InferReply> TracedInfer(std::uint64_t trace_id,
+                                         std::int64_t n = 4) {
+    SubmitOptions so;
+    so.timeout = 5000ms;
+    so.trace_id = trace_id;
+    so.trace_parent = 1;
+    return master_
+        .InferAsync(core::Tensor::UniformRandom({n, 1, 28, 28}, rng_, 0, 1),
+                    so)
+        .get();
+  }
+
+  slim::FluidNetConfig cfg_;
+  slim::FluidModel fluid_;
+  MasterNode master_;
+  std::vector<std::unique_ptr<WorkerNode>> workers_;
+  core::Rng rng_;
+};
+
+TEST_F(TraceClusterTest, V6AndV5OrV2PeersShareOneFanOut) {
+  // Only worker 0's link speaks v6; worker 1 never negotiated and must
+  // never receive a trace block — in the same fan-out batches.
+  master_.EnableTraceWire(0);
+  for (int i = 0; i < 6; ++i) {
+    auto reply = TracedInfer(0x5100 + static_cast<std::uint64_t>(i), 8);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+  EXPECT_GT(workers_[0]->trace_frames(), 0);
+  EXPECT_GT(workers_[1]->samples_served(), 0);
+  EXPECT_EQ(workers_[1]->trace_frames(), 0)
+      << "a non-negotiated peer saw a v6 trace block";
+}
+
+TEST_F(TraceClusterTest, UntracedRequestsNeverShipTraceBlocks) {
+  master_.EnableTraceWire(0);
+  master_.EnableTraceWire(1);
+  // trace_id = 0: sampled out. Even with every link v6-capable, no frame
+  // may carry a trace block.
+  for (int i = 0; i < 4; ++i) {
+    auto reply = TracedInfer(0, 8);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+  EXPECT_EQ(workers_[0]->trace_frames(), 0);
+  EXPECT_EQ(workers_[1]->trace_frames(), 0);
+}
+
+TEST_F(TraceClusterTest, FailoverKeepsTheTraceIntact) {
+  master_.EnableTraceWire(0);
+  {
+    auto reply = TracedInfer(0x6001, 4);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+  EXPECT_GT(workers_[0]->trace_frames(), 0);
+
+  // The v6 worker dies mid-stream. Traced requests keep completing
+  // through the surviving fp32-path peer — which must never see a trace
+  // block (the failover re-serve path strips it) — and the trace itself
+  // stays intact in the ring: its request-level spans still record.
+  workers_[0]->Crash();
+  const std::uint64_t failover_trace = 0x6002;
+  for (int i = 0; i < 4; ++i) {
+    auto reply = TracedInfer(failover_trace + static_cast<std::uint64_t>(i), 2);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+  EXPECT_EQ(workers_[1]->trace_frames(), 0);
+  EXPECT_GT(master_.stats().failovers, 0);
+
+  bool found_request_span = false;
+  for (const obs::Span& s : obs::Tracer::Global().Snapshot()) {
+    if (s.trace_id >= failover_trace && s.trace_id < failover_trace + 4 &&
+        std::strcmp(s.name, "sched.request") == 0) {
+      found_request_span = true;
+    }
+  }
+  EXPECT_TRUE(found_request_span)
+      << "the traced request's timeline vanished across the failover";
+}
+
+}  // namespace
+}  // namespace fluid::dist

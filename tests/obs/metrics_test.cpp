@@ -1,0 +1,164 @@
+// MetricsRegistry: striped counters/gauges, the log-linear histogram's
+// bucket math and quantile accuracy, Prometheus/JSON rendering, Reset.
+
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace fluid::obs {
+namespace {
+
+TEST(CounterTest, SumsAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST(HistogramTest, BucketMathIsMonotoneAndSelfConsistent) {
+  // Every value lands in a bucket whose [lo, hi) bounds contain it, and
+  // bucket indices never decrease as values grow.
+  std::size_t prev_idx = 0;
+  for (std::int64_t u = 0; u < 1 << 20; u = u < 128 ? u + 1 : u + u / 7) {
+    const std::size_t idx = Histogram::BucketIndex(u);
+    EXPECT_GE(idx, prev_idx) << "u=" << u;
+    prev_idx = idx;
+    std::int64_t lo = 0, hi = 0;
+    Histogram::BucketBounds(idx, lo, hi);
+    EXPECT_LE(lo, u) << "u=" << u;
+    EXPECT_GT(hi, u) << "u=" << u;
+  }
+}
+
+TEST(HistogramTest, QuantileErrorIsBoundedByTheSubBucketWidth) {
+  // A uniform grid of known values: every quantile of the histogram must
+  // sit within the log-linear design error (1/kSub ≈ 3 %) of the exact
+  // order statistic.
+  Histogram h;
+  constexpr int kN = 10000;
+  for (int i = 1; i <= kN; ++i) {
+    h.Record(static_cast<double>(i) * 0.1);  // 0.1 .. 1000.0 ms
+  }
+  const Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, kN);
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double exact = q * static_cast<double>(kN) * 0.1;
+    const double got = snap.Quantile(q);
+    EXPECT_NEAR(got, exact, exact * (1.5 / Histogram::kSub) + 0.01)
+        << "q=" << q;
+  }
+  EXPECT_NEAR(snap.Mean(), (0.1 + 1000.0) / 2.0, 0.5);
+  EXPECT_NEAR(snap.max, 1000.0, 0.01);
+}
+
+TEST(HistogramTest, HandlesZeroNegativeAndNonFinite) {
+  Histogram h;
+  h.Record(0.0);
+  h.Record(-5.0);
+  h.Record(std::numeric_limits<double>::infinity());
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  // All four recorded (as the zero bucket), none crash or poison state.
+  EXPECT_EQ(h.Count(), 4);
+  // Interpolation inside the zero bucket stays below one internal unit.
+  EXPECT_LT(h.Snap().Quantile(0.5), 1.0 / Histogram::kScale);
+}
+
+TEST(HistogramTest, RecordIsThreadSafeAcrossStripes) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = h.Snap();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_NEAR(snap.max, kThreads, 0.01);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStableReferencesAndFindDoesNotRegister) {
+  auto& reg = MetricsRegistry::Global();
+  Counter& c1 = reg.GetCounter("obs_test_counter_stable");
+  Counter& c2 = reg.GetCounter("obs_test_counter_stable");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(reg.FindHistogram("obs_test_hist_never_registered"), nullptr);
+  Histogram& h = reg.GetHistogram("obs_test_hist_registered");
+  EXPECT_EQ(reg.FindHistogram("obs_test_hist_registered"), &h);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextCarriesEverySeriesKind) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test_prom_counter").Add(3);
+  reg.GetGauge("obs_test_prom_gauge").Set(2.5);
+  reg.GetHistogram("obs_test_prom_hist{class=\"high\"}").Record(10.0);
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("obs_test_prom_counter 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("obs_test_prom_gauge 2.5"), std::string::npos);
+  // Histogram labels merge with the quantile label and the derived
+  // _count/_sum series keep the original labels.
+  EXPECT_NE(
+      text.find("obs_test_prom_hist{class=\"high\",quantile=\"0.5\"}"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("obs_test_prom_hist_count{class=\"high\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_hist_sum{class=\"high\"} 10"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DumpMetricsIsWellFormedJson) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("obs_test_json_counter").Add(1);
+  reg.GetHistogram("obs_test_json_hist").Record(5.0);
+  const std::string json = reg.DumpMetrics();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_json_counter\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_json_hist\": {\"count\": 1"),
+            std::string::npos);
+  // Quoted names must be escaped (labels carry embedded quotes).
+  reg.GetHistogram("obs_test_json_hist{class=\"x\"}").Record(1.0);
+  const std::string json2 = reg.DumpMetrics();
+  EXPECT_NE(json2.find("obs_test_json_hist{class=\\\"x\\\"}"),
+            std::string::npos)
+      << json2;
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsReferencesValid) {
+  auto& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("obs_test_reset_counter");
+  Histogram& h = reg.GetHistogram("obs_test_reset_hist");
+  c.Add(7);
+  h.Record(3.0);
+  reg.Reset();
+  EXPECT_EQ(c.Value(), 0);
+  EXPECT_EQ(h.Count(), 0);
+  // The references stay live after Reset.
+  c.Add(1);
+  h.Record(1.0);
+  EXPECT_EQ(c.Value(), 1);
+  EXPECT_EQ(h.Count(), 1);
+}
+
+}  // namespace
+}  // namespace fluid::obs

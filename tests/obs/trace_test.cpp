@@ -1,0 +1,126 @@
+// Tracer: 1-in-N sampling, ring wrap, ScopedSpan RAII, JSON dump.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace fluid::obs {
+namespace {
+
+TEST(TracerTest, SamplingIsExactlyOneInN) {
+  Tracer t(64);
+  // Default (0) disables: no trace ids at all.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(t.MaybeStartTrace(), 0u);
+  t.SetSampleEvery(4);
+  int sampled = 0;
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t id = t.MaybeStartTrace();
+    if (id != 0) {
+      ++sampled;
+      ids.insert(id);
+    }
+  }
+  EXPECT_EQ(sampled, 100);
+  // Ids are unique — mixed, not sequential ticks.
+  EXPECT_EQ(ids.size(), 100u);
+  t.SetSampleEvery(1);
+  EXPECT_NE(t.MaybeStartTrace(), 0u);
+}
+
+TEST(TracerTest, RecordIsANoOpForTraceIdZero) {
+  Tracer t(64);
+  t.Record(0, 1, 0, "ignored", "n0", 10, 5);
+  EXPECT_EQ(t.recorded(), 0);
+  EXPECT_TRUE(t.Snapshot().empty());
+}
+
+TEST(TracerTest, RingWrapsOverTheOldestSpans) {
+  Tracer t(8);
+  for (int i = 1; i <= 20; ++i) {
+    t.Record(static_cast<std::uint64_t>(i), t.NewSpanId(), 0, "s", "n0",
+             i * 100, 1);
+  }
+  EXPECT_EQ(t.recorded(), 20);  // lifetime count keeps growing
+  const auto spans = t.Snapshot();
+  ASSERT_EQ(spans.size(), 8u);  // only the ring's worth survive
+  // The survivors are the 8 most recent records (trace ids 13..20).
+  for (const Span& s : spans) {
+    EXPECT_GE(s.trace_id, 13u);
+    EXPECT_LE(s.trace_id, 20u);
+  }
+}
+
+TEST(TracerTest, ClearEmptiesTheRingAndTheLifetimeCount) {
+  Tracer t(8);
+  t.Record(1, 1, 0, "s", "n0", 0, 1);
+  t.Clear();
+  EXPECT_EQ(t.recorded(), 0);
+  EXPECT_TRUE(t.Snapshot().empty());
+}
+
+TEST(ScopedSpanTest, RecordsOnDestructionWithParentAndNode) {
+  Tracer t(8);
+  std::uint64_t span_id = 0;
+  {
+    ScopedSpan span(t, /*trace_id=*/42, /*parent_id=*/7, "unit.work", "w3");
+    span_id = span.id();
+    EXPECT_NE(span_id, 0u);
+    EXPECT_EQ(t.recorded(), 0);  // nothing until destruction
+  }
+  const auto spans = t.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, 42u);
+  EXPECT_EQ(spans[0].span_id, span_id);
+  EXPECT_EQ(spans[0].parent_id, 7u);
+  EXPECT_STREQ(spans[0].name, "unit.work");
+  EXPECT_STREQ(spans[0].node, "w3");
+  EXPECT_GE(spans[0].dur_us, 0);
+}
+
+TEST(ScopedSpanTest, InertWhenTraceIdIsZero) {
+  Tracer t(8);
+  {
+    ScopedSpan span(t, /*trace_id=*/0, 0, "unit.work", "w3");
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_EQ(t.recorded(), 0);
+}
+
+TEST(ScopedSpanTest, LongNodeLabelsAreTruncatedNotOverrun) {
+  Tracer t(8);
+  {
+    ScopedSpan span(t, 1, 0, "s", "a-very-long-node-label-indeed");
+  }
+  const auto spans = t.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(std::string(spans[0].node), "a-very-long-nod");  // 15 chars + NUL
+}
+
+TEST(TracerTest, DumpJsonGroupsByTraceAndSortsByStart) {
+  Tracer t(16);
+  // Two traces, spans recorded out of start order.
+  t.Record(0xAA, 2, 1, "second", "n0", 200, 10);
+  t.Record(0xAA, 1, 0, "first", "n0", 100, 10);
+  t.Record(0xBB, 3, 0, "other", "n1", 50, 5);
+  const std::string json = t.DumpJson();
+  EXPECT_NE(json.find("\"traces\""), std::string::npos);
+  const auto first = json.find("\"first\"");
+  const auto second = json.find("\"second\"");
+  ASSERT_NE(first, std::string::npos) << json;
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);  // sorted by start_us within the trace
+  EXPECT_NE(json.find("\"other\""), std::string::npos);
+  // Both trace groups present.
+  EXPECT_EQ(json.find("\"spans\"") != std::string::npos, true);
+}
+
+TEST(TracerTest, GlobalIsASingleton) {
+  EXPECT_EQ(&Tracer::Global(), &Tracer::Global());
+}
+
+}  // namespace
+}  // namespace fluid::obs
